@@ -1,0 +1,128 @@
+// Shared machinery for the figure/table reproduction benches.
+//
+// Each bench binary builds the paper's hardware configuration, runs the
+// NetPIPE reproduction over every library the figure shows, prints the
+// numeric comparison plus an ASCII rendition of the figure, and finally a
+// paper-vs-measured check table. Values marked "OCR" in the notes are
+// digits reconstructed from the garbled source text (see DESIGN.md §1).
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mp/adapters.h"
+#include "mp/testbed.h"
+#include "netpipe/modules.h"
+#include "netpipe/report.h"
+#include "netpipe/runner.h"
+#include "simhw/presets.h"
+#include "tcpsim/socket.h"
+
+namespace pp::bench {
+
+inline netpipe::RunOptions default_run_options() {
+  netpipe::RunOptions o;
+  o.schedule.max_bytes = 8ull << 20;
+  o.repeats = 3;
+  o.warmup = 1;
+  return o;
+}
+
+/// Keeps a library pair alive for the duration of a measurement while
+/// exposing one endpoint as a NetPIPE transport.
+class HeldTransport final : public netpipe::Transport {
+ public:
+  HeldTransport(std::shared_ptr<void> keepalive, mp::Library& lib, int peer)
+      : keep_(std::move(keepalive)), t_(lib, peer) {}
+
+  sim::Task<void> send(std::uint64_t b) override { return t_.send(b); }
+  sim::Task<void> recv(std::uint64_t b) override { return t_.recv(b); }
+  hw::Node& node() { return t_.node(); }
+  std::string name() const override { return t_.name(); }
+
+ private:
+  std::shared_ptr<void> keep_;
+  mp::LibraryTransport t_;
+};
+
+using TransportPair = std::pair<std::unique_ptr<netpipe::Transport>,
+                                std::unique_ptr<netpipe::Transport>>;
+
+/// Wraps a create_pair() result into a transport pair with shared
+/// ownership of the libraries.
+template <typename PairT>
+TransportPair hold_pair(PairT pair) {
+  auto shared = std::make_shared<PairT>(std::move(pair));
+  auto ta = std::make_unique<HeldTransport>(shared, *shared->first, 1);
+  auto tb = std::make_unique<HeldTransport>(shared, *shared->second, 0);
+  return {std::move(ta), std::move(tb)};
+}
+
+/// Raw TCP with explicitly tuned socket buffers on both ends.
+inline TransportPair raw_tcp_pair(mp::PairBed& bed, std::uint32_t buf_bytes,
+                                  const std::string& label = "raw TCP") {
+  auto [sa, sb] = bed.socket_pair("rawtcp");
+  sa.set_send_buffer(buf_bytes);
+  sa.set_recv_buffer(buf_bytes);
+  sb.set_send_buffer(buf_bytes);
+  sb.set_recv_buffer(buf_bytes);
+  return {std::make_unique<netpipe::TcpTransport>(sa, label),
+          std::make_unique<netpipe::TcpTransport>(sb, label)};
+}
+
+/// One measured curve in a figure.
+struct Curve {
+  std::string label;
+  netpipe::RunResult result;
+};
+
+/// Runs NetPIPE over a transport pair built on a fresh two-node bed.
+inline Curve measure_on_bed(
+    const std::string& label, const hw::HostConfig& host,
+    const hw::NicConfig& nic, const tcp::Sysctl& sysctl,
+    const std::function<TransportPair(mp::PairBed&)>& make,
+    const netpipe::RunOptions& opts = default_run_options()) {
+  mp::PairBed bed(host, nic, sysctl);
+  auto [ta, tb] = make(bed);
+  Curve c;
+  c.label = label;
+  c.result = netpipe::run_netpipe(bed.sim, *ta, *tb, opts);
+  return c;
+}
+
+/// Prints a whole figure: header, comparison table at the canonical
+/// sizes, ASCII chart, and per-curve summaries.
+inline void print_figure(const std::string& title,
+                         const std::vector<Curve>& curves) {
+  std::cout << "\n==== " << title << " ====\n\n";
+  std::vector<netpipe::Series> series;
+  series.reserve(curves.size());
+  for (const auto& c : curves) series.push_back({c.label, &c.result});
+  const std::vector<std::uint64_t> sizes = {64,        1024,      8192,
+                                            65536,     262144,    1048576,
+                                            8ull << 20};
+  netpipe::print_comparison(std::cout, series, sizes);
+  std::cout << "\n" << netpipe::ascii_chart(series) << "\n";
+  std::cout << "latency / peak summary:\n";
+  for (const auto& c : curves) {
+    std::printf("  %-24s %7.1f us %8.0f Mbps (90%% at %s)\n", c.label.c_str(),
+                c.result.latency_us, c.result.max_mbps,
+                netpipe::format_bytes(c.result.saturation_bytes).c_str());
+  }
+}
+
+/// Finds a curve by label (must exist).
+inline const netpipe::RunResult& find(const std::vector<Curve>& curves,
+                                      const std::string& label) {
+  for (const auto& c : curves) {
+    if (c.label == label) return c.result;
+  }
+  std::cerr << "no curve labelled " << label << "\n";
+  std::abort();
+}
+
+}  // namespace pp::bench

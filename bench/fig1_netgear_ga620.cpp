@@ -1,0 +1,108 @@
+// Figure 1: message-passing performance across Netgear GA620 fiber
+// Gigabit Ethernet cards between two Pentium-4 PCs.
+//
+// Paper findings reproduced here:
+//  - raw TCP tops out around 550 Mbps with ~120 us latency under the 2.4
+//    kernel;
+//  - MP_Lite and TCGMSG lie on the raw TCP curve ("left off since they
+//    fell nearly on top of the TCP curve");
+//  - LAM/MPI -O and MPI/Pro come within a few percent, with a slight,
+//    non-tunable dip at LAM's rendezvous threshold;
+//  - MPICH and PVM lose 25-30 % for large messages (staging copies), and
+//    MPICH shows a sharp dip at its 128 kB rendezvous cutoff.
+#include "bench/common.h"
+
+#include "mp/lam.h"
+#include "mp/mpich.h"
+#include "mp/mpipro.h"
+#include "mp/mplite.h"
+#include "mp/pvm.h"
+#include "mp/tcgmsg.h"
+
+using namespace pp;
+using namespace pp::bench;
+
+int main() {
+  const auto host = hw::presets::pentium4_pc();
+  const auto nic = hw::presets::netgear_ga620();
+  const auto sysctl = tcp::Sysctl::tuned();
+
+  std::vector<Curve> curves;
+  curves.push_back(measure_on_bed("raw TCP", host, nic, sysctl,
+                                  [](mp::PairBed& bed) {
+                                    return raw_tcp_pair(bed, 512 << 10);
+                                  }));
+  curves.push_back(measure_on_bed("MPICH", host, nic, sysctl,
+                                  [](mp::PairBed& bed) {
+                                    mp::MpichOptions o;
+                                    o.p4_sockbufsize = 256 << 10;  // tuned
+                                    return hold_pair(
+                                        mp::Mpich::create_pair(bed, o));
+                                  }));
+  curves.push_back(measure_on_bed("LAM/MPI -O", host, nic, sysctl,
+                                  [](mp::PairBed& bed) {
+                                    mp::LamOptions o;
+                                    o.mode = mp::LamMode::kC2cO;
+                                    return hold_pair(
+                                        mp::Lam::create_pair(bed, o));
+                                  }));
+  curves.push_back(measure_on_bed("MPI/Pro", host, nic, sysctl,
+                                  [](mp::PairBed& bed) {
+                                    mp::MpiProOptions o;
+                                    o.tcp_long = 128 << 10;  // tuned
+                                    return hold_pair(
+                                        mp::MpiPro::create_pair(bed, o));
+                                  }));
+  curves.push_back(measure_on_bed("MP_Lite", host, nic, sysctl,
+                                  [](mp::PairBed& bed) {
+                                    return hold_pair(
+                                        mp::MpLite::create_pair(bed));
+                                  }));
+  curves.push_back(measure_on_bed("PVM", host, nic, sysctl,
+                                  [](mp::PairBed& bed) {
+                                    mp::PvmOptions o;
+                                    o.route = mp::PvmRoute::kDirect;
+                                    o.encoding = mp::PvmEncoding::kInPlace;
+                                    return hold_pair(
+                                        mp::Pvm::create_pair(bed, o));
+                                  }));
+  curves.push_back(measure_on_bed("TCGMSG", host, nic, sysctl,
+                                  [](mp::PairBed& bed) {
+                                    return hold_pair(
+                                        mp::Tcgmsg::create_pair(bed, {}));
+                                  }));
+
+  print_figure("Figure 1: Netgear GA620 fiber GigE, two P4 PCs", curves);
+
+  for (const auto& c : curves) {
+    netpipe::write_dat("fig1_" + c.label.substr(0, 3) + ".dat", c.result);
+  }
+
+  const auto& tcp_r = find(curves, "raw TCP");
+  const auto& mpich = find(curves, "MPICH");
+  const auto& pvm = find(curves, "PVM");
+  const auto& mplite = find(curves, "MP_Lite");
+  const auto& tcg = find(curves, "TCGMSG");
+  const auto& mpipro = find(curves, "MPI/Pro");
+
+  std::cout << "\npaper-vs-measured checks (Figure 1):\n";
+  std::vector<netpipe::PaperCheck> checks = {
+      {"raw TCP max Mbps", 550, tcp_r.max_mbps, "OCR: '55 Mbps'"},
+      {"raw TCP latency us", 120, tcp_r.latency_us, "OCR: '12 us'"},
+      {"MPICH large-msg loss vs TCP (%)", 27,
+       100.0 * (1.0 - mpich.max_mbps / tcp_r.max_mbps), "paper: 25-30 %"},
+      {"PVM large-msg loss vs TCP (%)", 27,
+       100.0 * (1.0 - pvm.max_mbps / tcp_r.max_mbps), "paper: 25-30 %"},
+      {"MP_Lite / raw TCP ratio (%)", 100,
+       100.0 * mplite.max_mbps / tcp_r.max_mbps, "lies on the TCP curve"},
+      {"TCGMSG / raw TCP ratio (%)", 100,
+       100.0 * tcg.max_mbps / tcp_r.max_mbps, "lies on the TCP curve"},
+      {"MPI/Pro / raw TCP ratio (%)", 95,
+       100.0 * mpipro.max_mbps / tcp_r.max_mbps, "within 5 % of raw TCP"},
+      {"MPICH dip: Mbps at 128k vs 96k", 100,
+       100.0 * mpich.mbps_at(128 << 10) / mpich.mbps_at(96 << 10),
+       "<100 means the rendezvous dip exists"},
+  };
+  print_paper_checks(std::cout, checks);
+  return 0;
+}

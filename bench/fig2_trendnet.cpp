@@ -1,0 +1,118 @@
+// Figure 2: message-passing performance across TrendNet TEG-PCITX copper
+// Gigabit Ethernet cards between two Pentium-4 PCs.
+//
+// The cheap-NIC story: the card needs enormous socket buffers. Raw TCP at
+// default buffers flattens near 290 Mbps and needs ~512 kB to double.
+// Only the libraries with user-tunable socket buffers — MP_Lite
+// (automatic) and MPICH (P4_SOCKBUFSIZE) — work well; LAM/MPI, MPI/Pro,
+// PVM and TCGMSG are stuck at roughly 190-320 Mbps because their buffer
+// sizes are fixed or hard-wired.
+#include "bench/common.h"
+
+#include "mp/lam.h"
+#include "mp/mpich.h"
+#include "mp/mpipro.h"
+#include "mp/mplite.h"
+#include "mp/pvm.h"
+#include "mp/tcgmsg.h"
+
+using namespace pp;
+using namespace pp::bench;
+
+int main() {
+  const auto host = hw::presets::pentium4_pc();
+  const auto nic = hw::presets::trendnet_teg_pcitx();
+  const auto sysctl = tcp::Sysctl::tuned();
+
+  std::vector<Curve> curves;
+  curves.push_back(measure_on_bed("raw TCP", host, nic, sysctl,
+                                  [](mp::PairBed& bed) {
+                                    return raw_tcp_pair(bed, 512 << 10);
+                                  }));
+  curves.push_back(measure_on_bed(
+      "raw TCP default", host, nic, sysctl, [](mp::PairBed& bed) {
+        return raw_tcp_pair(bed, 64 << 10, "raw TCP default");
+      }));
+  curves.push_back(measure_on_bed("MPICH", host, nic, sysctl,
+                                  [](mp::PairBed& bed) {
+                                    mp::MpichOptions o;
+                                    o.p4_sockbufsize = 256 << 10;
+                                    return hold_pair(
+                                        mp::Mpich::create_pair(bed, o));
+                                  }));
+  curves.push_back(measure_on_bed("LAM/MPI -O", host, nic, sysctl,
+                                  [](mp::PairBed& bed) {
+                                    mp::LamOptions o;
+                                    o.mode = mp::LamMode::kC2cO;
+                                    return hold_pair(
+                                        mp::Lam::create_pair(bed, o));
+                                  }));
+  curves.push_back(measure_on_bed("MPI/Pro", host, nic, sysctl,
+                                  [](mp::PairBed& bed) {
+                                    mp::MpiProOptions o;
+                                    o.tcp_long = 128 << 10;
+                                    return hold_pair(
+                                        mp::MpiPro::create_pair(bed, o));
+                                  }));
+  curves.push_back(measure_on_bed("MP_Lite", host, nic, sysctl,
+                                  [](mp::PairBed& bed) {
+                                    return hold_pair(
+                                        mp::MpLite::create_pair(bed));
+                                  }));
+  curves.push_back(measure_on_bed("PVM", host, nic, sysctl,
+                                  [](mp::PairBed& bed) {
+                                    mp::PvmOptions o;
+                                    o.route = mp::PvmRoute::kDirect;
+                                    o.encoding = mp::PvmEncoding::kInPlace;
+                                    return hold_pair(
+                                        mp::Pvm::create_pair(bed, o));
+                                  }));
+  curves.push_back(measure_on_bed("TCGMSG", host, nic, sysctl,
+                                  [](mp::PairBed& bed) {
+                                    return hold_pair(
+                                        mp::Tcgmsg::create_pair(bed, {}));
+                                  }));
+  curves.push_back(measure_on_bed(
+      "TCGMSG 256k rebuild", host, nic, sysctl, [](mp::PairBed& bed) {
+        mp::TcgmsgOptions o;
+        o.sr_sock_buf_size = 256 << 10;  // §7's recompile experiment
+        return hold_pair(mp::Tcgmsg::create_pair(bed, o));
+      }));
+
+  print_figure("Figure 2: TrendNet TEG-PCITX copper GigE, two P4 PCs",
+               curves);
+
+  const auto& tcp_r = find(curves, "raw TCP");
+  const auto& tcp_def = find(curves, "raw TCP default");
+  const auto& mpich = find(curves, "MPICH");
+  const auto& mplite = find(curves, "MP_Lite");
+  const auto& lam = find(curves, "LAM/MPI -O");
+  const auto& mpipro = find(curves, "MPI/Pro");
+  const auto& pvm = find(curves, "PVM");
+  const auto& tcg = find(curves, "TCGMSG");
+  const auto& tcg_big = find(curves, "TCGMSG 256k rebuild");
+
+  std::cout << "\npaper-vs-measured checks (Figure 2):\n";
+  std::vector<netpipe::PaperCheck> checks = {
+      {"raw TCP max, tuned 512k buffers", 580, tcp_r.max_mbps,
+       "OCR: both cards reach '55 Mbps'"},
+      {"raw TCP at default buffers", 290, tcp_def.max_mbps,
+       "OCR: 'flattens out at 29 Mbps'"},
+      {"tuned/default raw TCP ratio", 2.0,
+       tcp_r.max_mbps / tcp_def.max_mbps, "'doubling the raw throughput'"},
+      {"MPICH tuned max", 375, mpich.max_mbps,
+       "'only MP_Lite and MPICH worked well'"},
+      {"MP_Lite max", 550, mplite.max_mbps, "tracks tuned raw TCP"},
+      {"LAM/MPI stuck (Mbps)", 250, lam.max_mbps,
+       "paper: 'many libraries reaching only 250-400'"},
+      {"MPI/Pro stuck (Mbps)", 250, mpipro.max_mbps,
+       "'flattening out at 250 Mbps'"},
+      {"PVM stuck (Mbps)", 190, pvm.max_mbps, "'limited to only 190 Mbps'"},
+      {"TCGMSG stuck (Mbps)", 250, tcg.max_mbps,
+       "'performance is limited to 250 Mbps'"},
+      {"TCGMSG after 256k recompile", 550, tcg_big.max_mbps,
+       "'brought the performance up to raw TCP levels'"},
+  };
+  print_paper_checks(std::cout, checks);
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Engineering micro-benchmarks of the simulator itself (google-benchmark):
+// event-queue throughput, coroutine switch cost, TCP segment path cost.
+// These bound how fast the reproduction can sweep parameter spaces.
+#include <benchmark/benchmark.h>
+
+#include "mp/testbed.h"
+#include "simcore/resource.h"
+#include "simcore/simulator.h"
+#include "simcore/sync.h"
+#include "simhw/presets.h"
+#include "tcpsim/socket.h"
+
+namespace {
+
+using namespace pp;
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    const int n = static_cast<int>(state.range(0));
+    s.spawn(
+        [](sim::Simulator& s, int n) -> sim::Task<void> {
+          for (int i = 0; i < n; ++i) co_await s.delay(1);
+        }(s, n),
+        "spin");
+    s.run();
+    benchmark::DoNotOptimize(s.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(100000);
+
+void BM_CoroutineCallChain(benchmark::State& state) {
+  struct Helper {
+    static sim::Task<int> leaf(sim::Simulator& s) {
+      co_await s.delay(1);
+      co_return 1;
+    }
+    static sim::Task<int> chain(sim::Simulator& s, int depth) {
+      if (depth == 0) co_return co_await leaf(s);
+      co_return co_await chain(s, depth - 1);
+    }
+  };
+  for (auto _ : state) {
+    sim::Simulator s;
+    s.spawn(
+        [](sim::Simulator& s, int d) -> sim::Task<void> {
+          for (int i = 0; i < 100; ++i) {
+            benchmark::DoNotOptimize(co_await Helper::chain(s, d));
+          }
+        }(s, static_cast<int>(state.range(0))),
+        "chain");
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_CoroutineCallChain)->Arg(1)->Arg(16);
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    auto ping = std::make_shared<sim::Channel<int>>(s);
+    auto pong = std::make_shared<sim::Channel<int>>(s);
+    s.spawn(
+        [](std::shared_ptr<sim::Channel<int>> out,
+           std::shared_ptr<sim::Channel<int>> in) -> sim::Task<void> {
+          for (int i = 0; i < 1000; ++i) {
+            co_await out->push(i);
+            (void)co_await in->pop();
+          }
+        }(ping, pong),
+        "a");
+    s.spawn(
+        [](std::shared_ptr<sim::Channel<int>> in,
+           std::shared_ptr<sim::Channel<int>> out) -> sim::Task<void> {
+          for (int i = 0; i < 1000; ++i) {
+            (void)co_await in->pop();
+            co_await out->push(i);
+          }
+        }(ping, pong),
+        "b");
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_ChannelPingPong);
+
+void BM_TcpBulkTransfer(benchmark::State& state) {
+  const std::uint64_t bytes = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    mp::PairBed bed(hw::presets::pentium4_pc(),
+                    hw::presets::netgear_ga620(), tcp::Sysctl::tuned());
+    auto [sa, sb] = bed.socket_pair("bench");
+    sa.set_send_buffer(512 << 10);
+    sb.set_recv_buffer(512 << 10);
+    bed.sim.spawn(
+        [](tcp::Socket s, std::uint64_t n) -> sim::Task<void> {
+          co_await s.send(n);
+        }(sa, bytes),
+        "tx");
+    bed.sim.spawn(
+        [](tcp::Socket s, std::uint64_t n) -> sim::Task<void> {
+          co_await s.recv_exact(n);
+        }(sb, bytes),
+        "rx");
+    bed.sim.run();
+    benchmark::DoNotOptimize(bed.sim.events_processed());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_TcpBulkTransfer)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_RateResourceTransfer(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::RateResource bus(s, "bus", sim::Rate::megabytes(100));
+    s.spawn(
+        [](sim::RateResource& r) -> sim::Task<void> {
+          for (int i = 0; i < 1000; ++i) co_await r.transfer(1500);
+        }(bus),
+        "user");
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_RateResourceTransfer);
+
+}  // namespace
+
+BENCHMARK_MAIN();

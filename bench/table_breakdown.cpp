@@ -1,0 +1,66 @@
+// "Identify where the inefficiencies lie" (paper §1): resource-time
+// breakdown of a bulk raw-TCP transfer on each hardware configuration,
+// naming the bottleneck the measurement implies.
+#include "bench/common.h"
+
+#include "netpipe/breakdown.h"
+
+using namespace pp;
+using namespace pp::bench;
+
+namespace {
+
+void breakdown_for(const std::string& title, const hw::HostConfig& host,
+                   const hw::NicConfig& nic) {
+  mp::PairBed bed(host, nic, tcp::Sysctl::tuned());
+  auto [sa, sb] = bed.socket_pair("bd");
+  sa.set_send_buffer(512 << 10);
+  sa.set_recv_buffer(512 << 10);
+  sb.set_send_buffer(512 << 10);
+  sb.set_recv_buffer(512 << 10);
+  netpipe::BreakdownProbe probe(bed.node_a, bed.node_b, bed.link.forward,
+                                bed.link.backward);
+  const std::uint64_t total = 16 << 20;
+  bed.sim.spawn(
+      [](tcp::Socket s, std::uint64_t n) -> sim::Task<void> {
+        co_await s.send(n);
+      }(sa, total),
+      "tx");
+  sim::SimTime done = 0;
+  bed.sim.spawn(
+      [](tcp::Socket s, std::uint64_t n, sim::Simulator& sm,
+         sim::SimTime& d) -> sim::Task<void> {
+        co_await s.recv_exact(n);
+        d = sm.now();
+      }(sb, total, bed.sim, done),
+      "rx");
+  bed.sim.run();
+  const double mbps =
+      static_cast<double>(total) * 8.0 / sim::to_seconds(done) / 1e6;
+  std::cout << "\n==== " << title << " — " << static_cast<int>(mbps)
+            << " Mbps ====\n";
+  netpipe::print_breakdown(std::cout, probe.finish());
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Bulk raw-TCP transfer, 16 MB, tuned buffers: where the "
+               "time goes.\n";
+  breakdown_for("Netgear GA620 / P4 (1500 MTU)", hw::presets::pentium4_pc(),
+                hw::presets::netgear_ga620());
+  breakdown_for("TrendNet / P4 (1500 MTU)", hw::presets::pentium4_pc(),
+                hw::presets::trendnet_teg_pcitx());
+  breakdown_for("SysKonnect jumbo / P4 (32-bit PCI)",
+                hw::presets::pentium4_pc(),
+                hw::presets::syskonnect_sk9843(9000));
+  breakdown_for("SysKonnect jumbo / DS20 (64-bit PCI)",
+                hw::presets::compaq_ds20(),
+                hw::presets::syskonnect_sk9843(9000));
+  std::cout
+      << "\nExpected story (paper §1/§7): on 1500-MTU GigE the host CPU\n"
+         "(per-packet protocol work + copies) saturates first; jumbo\n"
+         "frames shift the bottleneck to the 32-bit PCI bus; only the\n"
+         "64-bit DS20 gets the wire itself near saturation.\n";
+  return 0;
+}

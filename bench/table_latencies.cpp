@@ -1,0 +1,140 @@
+// Latency summary table: the small-message latencies quoted throughout
+// the paper's §4-§6, one row per (layer, hardware) combination.
+#include "bench/common.h"
+
+#include "gmsim/gm.h"
+#include "mp/gm_mpi.h"
+#include "mp/lam.h"
+#include "mp/mpich.h"
+#include "mp/mpipro.h"
+#include "mp/mplite.h"
+#include "mp/pvm.h"
+#include "mp/tcgmsg.h"
+#include "mp/via_mpi.h"
+#include "viasim/via.h"
+
+using namespace pp;
+using namespace pp::bench;
+
+namespace {
+
+netpipe::RunOptions latency_opts() {
+  netpipe::RunOptions o;
+  o.schedule.max_bytes = 256;  // only the small-message region matters
+  o.repeats = 5;
+  return o;
+}
+
+double tcp_latency(const hw::HostConfig& host, const hw::NicConfig& nic,
+                   const std::function<TransportPair(mp::PairBed&)>& make) {
+  mp::PairBed bed(host, nic, tcp::Sysctl::tuned());
+  auto [ta, tb] = make(bed);
+  return netpipe::run_netpipe(bed.sim, *ta, *tb, latency_opts()).latency_us;
+}
+
+}  // namespace
+
+int main() {
+  const auto p4 = hw::presets::pentium4_pc();
+  const auto ds20 = hw::presets::compaq_ds20();
+
+  struct Row {
+    const char* what;
+    double paper;
+    double measured;
+    const char* note;
+  };
+  std::vector<Row> rows;
+
+  rows.push_back({"raw TCP, Netgear GA620 / P4", 120,
+                  tcp_latency(p4, hw::presets::netgear_ga620(),
+                              [](mp::PairBed& b) {
+                                return raw_tcp_pair(b, 512 << 10);
+                              }),
+                  "OCR '12 us'; 'latencies are poor under 2.4'"});
+  rows.push_back({"raw TCP, TrendNet / P4", 65,
+                  tcp_latency(p4, hw::presets::trendnet_teg_pcitx(),
+                              [](mp::PairBed& b) {
+                                return raw_tcp_pair(b, 512 << 10);
+                              }),
+                  "OCR: second GigE latency digit lost"});
+  rows.push_back({"raw TCP, SysKonnect jumbo / DS20", 48,
+                  tcp_latency(ds20, hw::presets::syskonnect_sk9843(9000),
+                              [](mp::PairBed& b) {
+                                return raw_tcp_pair(b, 512 << 10);
+                              }),
+                  "'a low 48 us latency'"});
+  rows.push_back({"LAM/MPI lamd route, GA620 / P4", 245,
+                  tcp_latency(p4, hw::presets::netgear_ga620(),
+                              [](mp::PairBed& b) {
+                                mp::LamOptions o;
+                                o.mode = mp::LamMode::kLamd;
+                                return hold_pair(mp::Lam::create_pair(b, o));
+                              }),
+                  "'doubling the latency to 245 us'"});
+
+  {  // GM rows
+    for (auto [mode, paper, label] :
+         {std::tuple{gm::RecvMode::kPolling, 16.0, "raw GM, Polling"},
+          std::tuple{gm::RecvMode::kBlocking, 36.0, "raw GM, Blocking"},
+          std::tuple{gm::RecvMode::kHybrid, 16.0, "raw GM, Hybrid"}}) {
+      sim::Simulator s;
+      hw::Cluster c(s);
+      auto& a = c.add_node(p4);
+      auto& b = c.add_node(p4);
+      gm::GmConfig gc;
+      gc.recv_mode = mode;
+      gm::GmFabric fab(c, a, b, hw::presets::myrinet_pci64a(),
+                       hw::presets::back_to_back(), gc);
+      mp::GmTransport ta(fab.port_a()), tb(fab.port_b());
+      const auto r = netpipe::run_netpipe(s, ta, tb, latency_opts());
+      rows.push_back({label, paper, r.latency_us, ""});
+    }
+  }
+  {  // IP over GM
+    rows.push_back({"IP over GM / P4", 48,
+                    tcp_latency(p4, hw::presets::myrinet_ip_over_gm(),
+                                [](mp::PairBed& b) {
+                                  return raw_tcp_pair(b, 512 << 10);
+                                }),
+                    "'IP-GM has a latency of 48 us'"});
+  }
+  {  // VIA rows
+    auto via_lat = [&](bool giganet, const mp::ViaMpiOptions& lib) {
+      sim::Simulator s;
+      hw::Cluster c(s);
+      auto& a = c.add_node(p4);
+      auto& b = c.add_node(p4);
+      via::ViaConfig vc;
+      vc.personality = giganet ? via::ViaPersonality::giganet()
+                               : via::ViaPersonality::mvia_sk98lin();
+      via::ViaFabric fab(
+          c, a, b,
+          giganet ? hw::presets::giganet_clan()
+                  : hw::presets::syskonnect_mvia(),
+          giganet ? hw::presets::switched() : hw::presets::back_to_back(),
+          vc);
+      mp::ViaMpi la(fab.end_a(), 0, lib), lb(fab.end_b(), 1, lib);
+      mp::LibraryTransport ta(la, 1), tb(lb, 0);
+      return netpipe::run_netpipe(s, ta, tb, latency_opts()).latency_us;
+    };
+    rows.push_back({"MVICH, Giganet cLAN", 10,
+                    via_lat(true, mp::ViaMpi::mvich()), ""});
+    rows.push_back({"MP_Lite, Giganet cLAN", 10,
+                    via_lat(true, mp::ViaMpi::mplite_via()), ""});
+    rows.push_back({"MPI/Pro, Giganet cLAN", 42,
+                    via_lat(true, mp::ViaMpi::mpipro_via()),
+                    "progress-thread handoff"});
+    rows.push_back({"MVICH, M-VIA on SysKonnect", 42,
+                    via_lat(false, mp::ViaMpi::mvich()), ""});
+  }
+
+  std::cout << "\n==== Latency summary (one-way, small messages) ====\n\n";
+  std::vector<netpipe::PaperCheck> checks;
+  checks.reserve(rows.size());
+  for (const auto& r : rows) {
+    checks.push_back({r.what, r.paper, r.measured, r.note});
+  }
+  print_paper_checks(std::cout, checks);
+  return 0;
+}

@@ -1,0 +1,206 @@
+// Tuning-effect table: every "before -> after" tuning delta the paper
+// quotes in §4, each reproduced as a parameter sweep.
+//
+//  1. raw TCP vs socket buffer size on the TrendNet cards (290 -> ~580);
+//  2. MPICH's P4_SOCKBUFSIZE (the paper's "vital" 5-fold improvement —
+//     our model reproduces the direction with a smaller ratio; see
+//     EXPERIMENTS.md);
+//  3. LAM/MPI run modes: lamd relay vs c2c vs c2c -O;
+//  4. PVM's optimization ladder: pvmd route -> direct route -> direct +
+//     PvmDataInPlace (90 -> 330 -> 415 in the paper);
+//  5. TCGMSG's SR_SOCK_BUF_SIZE recompile on the DS20s (600 -> 900);
+//  6. MPI/Pro's tcp_long rendezvous threshold (dip removal);
+//  7. MVICH's via_long / RDMA threshold on Giganet (§6.1: "setting
+//     via_long to 64 kB gets rid of a dip").
+#include "bench/common.h"
+
+#include "mp/lam.h"
+#include "mp/via_mpi.h"
+#include "viasim/via.h"
+#include "mp/mpich.h"
+#include "mp/mpipro.h"
+#include "mp/pvm.h"
+#include "mp/tcgmsg.h"
+
+using namespace pp;
+using namespace pp::bench;
+
+int main() {
+  const auto p4 = hw::presets::pentium4_pc();
+  const auto trendnet = hw::presets::trendnet_teg_pcitx();
+  const auto ga620 = hw::presets::netgear_ga620();
+  const auto sysctl = tcp::Sysctl::tuned();
+
+  std::cout << "==== 1. raw TCP vs socket buffer size, TrendNet ====\n";
+  std::cout << "  (paper: default buffers flatten at 290 Mbps; 512 kB "
+               "doubles it)\n";
+  for (std::uint32_t buf :
+       {16u << 10, 32u << 10, 64u << 10, 128u << 10, 256u << 10, 512u << 10,
+        1u << 20}) {
+    const Curve c = measure_on_bed(
+        "tcp", p4, trendnet, sysctl,
+        [&](mp::PairBed& bed) { return raw_tcp_pair(bed, buf); });
+    std::printf("  buffers %7s : %6.0f Mbps\n",
+                netpipe::format_bytes(buf).c_str(), c.result.max_mbps);
+  }
+
+  std::cout << "\n==== 2. MPICH P4_SOCKBUFSIZE sweep, TrendNet ====\n";
+  std::cout << "  (paper: 32 kB default -> 256 kB is 'vital', ~5x; our "
+               "window model reproduces ~2-3x)\n";
+  double mpich_default = 0, mpich_tuned = 0;
+  for (std::uint32_t buf : {32u << 10, 64u << 10, 128u << 10, 256u << 10}) {
+    const Curve c = measure_on_bed(
+        "mpich", p4, trendnet, sysctl, [&](mp::PairBed& bed) {
+          mp::MpichOptions o;
+          o.p4_sockbufsize = buf;
+          return hold_pair(mp::Mpich::create_pair(bed, o));
+        });
+    if (buf == 32u << 10) mpich_default = c.result.max_mbps;
+    if (buf == 256u << 10) mpich_tuned = c.result.max_mbps;
+    std::printf("  P4_SOCKBUFSIZE %7s : %6.0f Mbps\n",
+                netpipe::format_bytes(buf).c_str(), c.result.max_mbps);
+  }
+
+  std::cout << "\n==== 3. LAM/MPI run modes, Netgear GA620 ====\n";
+  std::cout << "  (paper: lamd 260 Mbps / 245 us; no -O tops at 350; -O "
+               "near raw TCP)\n";
+  double lam_modes[3] = {0, 0, 0};
+  {
+    int i = 0;
+    for (auto mode :
+         {mp::LamMode::kLamd, mp::LamMode::kC2c, mp::LamMode::kC2cO}) {
+      const Curve c = measure_on_bed(
+          "lam", p4, ga620, sysctl, [&](mp::PairBed& bed) {
+            mp::LamOptions o;
+            o.mode = mode;
+            return hold_pair(mp::Lam::create_pair(bed, o));
+          });
+      lam_modes[i++] = c.result.max_mbps;
+      std::printf("  %-12s : %6.0f Mbps, %6.1f us\n",
+                  c.result.transport.c_str(), c.result.max_mbps,
+                  c.result.latency_us);
+    }
+  }
+
+  std::cout << "\n==== 4. PVM optimization ladder, Netgear GA620 ====\n";
+  std::cout << "  (paper: pvmd ~90 -> direct 330 -> + PvmDataInPlace 415)\n";
+  double pvm_ladder[3] = {0, 0, 0};
+  {
+    struct Step {
+      const char* label;
+      mp::PvmOptions opt;
+    };
+    mp::PvmOptions daemon_route;  // defaults: daemon + XDR
+    mp::PvmOptions direct;
+    direct.route = mp::PvmRoute::kDirect;
+    mp::PvmOptions inplace;
+    inplace.route = mp::PvmRoute::kDirect;
+    inplace.encoding = mp::PvmEncoding::kInPlace;
+    const Step steps[] = {{"pvmd route (default)", daemon_route},
+                          {"PvmRouteDirect", direct},
+                          {"direct + PvmDataInPlace", inplace}};
+    int i = 0;
+    for (const auto& st : steps) {
+      const Curve c = measure_on_bed(
+          "pvm", p4, ga620, sysctl, [&](mp::PairBed& bed) {
+            return hold_pair(mp::Pvm::create_pair(bed, st.opt));
+          });
+      pvm_ladder[i++] = c.result.max_mbps;
+      std::printf("  %-26s : %6.0f Mbps\n", st.label, c.result.max_mbps);
+    }
+  }
+
+  std::cout << "\n==== 5. TCGMSG SR_SOCK_BUF_SIZE recompile, DS20 jumbo "
+               "====\n";
+  std::cout << "  (paper: 32 kB tops at ~600; 128 kB reaches 900, matching "
+               "raw TCP)\n";
+  double tcg_small = 0, tcg_big = 0;
+  for (std::uint32_t buf : {32u << 10, 128u << 10}) {
+    const Curve c = measure_on_bed(
+        "tcgmsg", hw::presets::compaq_ds20(),
+        hw::presets::syskonnect_sk9843(9000), sysctl,
+        [&](mp::PairBed& bed) {
+          mp::TcgmsgOptions o;
+          o.sr_sock_buf_size = buf;
+          return hold_pair(mp::Tcgmsg::create_pair(bed, o));
+        });
+    (buf == 32u << 10 ? tcg_small : tcg_big) = c.result.max_mbps;
+    std::printf("  SR_SOCK_BUF_SIZE %7s : %6.0f Mbps\n",
+                netpipe::format_bytes(buf).c_str(), c.result.max_mbps);
+  }
+
+  std::cout << "\n==== 6. MPI/Pro tcp_long rendezvous threshold, GA620 "
+               "====\n";
+  std::cout << "  (paper: raising 32 kB -> 128 kB 'removes much of a dip' "
+               "at the threshold)\n";
+  double dip[2] = {0, 0};
+  {
+    int i = 0;
+    for (std::uint64_t thr : {32ull << 10, 128ull << 10}) {
+      const Curve c = measure_on_bed(
+          "mpipro", p4, ga620, sysctl, [&](mp::PairBed& bed) {
+            mp::MpiProOptions o;
+            o.tcp_long = thr;
+            return hold_pair(mp::MpiPro::create_pair(bed, o));
+          });
+      // Depth of the dip right at the old threshold region.
+      const double at_40k = c.result.mbps_at(40 << 10);
+      const double at_28k = c.result.mbps_at(28 << 10);
+      dip[i++] = at_40k / at_28k;
+      std::printf("  tcp_long %7s : 28k %6.0f Mbps -> 40k %6.0f Mbps\n",
+                  netpipe::format_bytes(thr).c_str(), at_28k, at_40k);
+    }
+  }
+
+  std::cout << "\n==== 7. MVICH via_long (RDMA threshold), Giganet "
+               "====\n";
+  std::cout << "  (paper: the dip sits at the threshold; raising via_long "
+               "moves/removes it)\n";
+  double via_dip[2] = {0, 0};
+  {
+    int i = 0;
+    for (std::uint64_t thr : {16ull << 10, 64ull << 10}) {
+      sim::Simulator s;
+      hw::Cluster c(s);
+      auto& a = c.add_node(p4);
+      auto& b = c.add_node(p4);
+      via::ViaConfig vc;
+      vc.rdma_threshold = thr;
+      via::ViaFabric fab(c, a, b, hw::presets::giganet_clan(),
+                         hw::presets::switched(), vc);
+      const auto lo = mp::ViaMpi::mvich();
+      mp::ViaMpi la(fab.end_a(), 0, lo), lb(fab.end_b(), 1, lo);
+      mp::LibraryTransport ta(la, 1), tb(lb, 0);
+      const auto r = netpipe::run_netpipe(s, ta, tb,
+                                          default_run_options());
+      // Depth of the dip just above the 16 kB point.
+      const double above = r.mbps_at(20 << 10);
+      const double below = r.mbps_at(16 << 10);
+      via_dip[i++] = above / below;
+      std::printf("  via_long %7s : 16k %6.0f Mbps -> 20k %6.0f Mbps, "
+                  "max %4.0f\n",
+                  netpipe::format_bytes(thr).c_str(), below, above,
+                  r.max_mbps);
+    }
+  }
+
+  std::cout << "\npaper-vs-measured checks (tuning table):\n";
+  std::vector<netpipe::PaperCheck> checks = {
+      {"MPICH tuned/default ratio (TrendNet)", 5.0,
+       mpich_tuned / std::max(mpich_default, 1.0),
+       "'a 5-fold increase'; our model gives the direction, smaller ratio"},
+      {"LAM lamd Mbps", 260, lam_modes[0], "OCR: '26 Mbps'"},
+      {"LAM no-O Mbps", 350, lam_modes[1], "'tops out at 35[0]'"},
+      {"PVM pvmd Mbps", 90, pvm_ladder[0], "'around 9[0] Mbps'"},
+      {"PVM direct Mbps", 330, pvm_ladder[1], "'4-fold increase to 33[0]'"},
+      {"PVM in-place Mbps", 415, pvm_ladder[2], "'increasing ... to 415'"},
+      {"TCGMSG 32k on DS20", 600, tcg_small, "OCR digit lost"},
+      {"TCGMSG 128k on DS20", 900, tcg_big, "'matching raw TCP'"},
+      {"MPI/Pro dip removal (40k/28k, tuned)", 1.0, dip[1],
+       "with tcp_long=128k there is no dip above 28k"},
+      {"MVICH dip at 16k removed by via_long=64k", 1.0, via_dip[1],
+       "paper: 'setting via_long to 64 kB gets rid of a dip'"},
+  };
+  print_paper_checks(std::cout, checks);
+  return 0;
+}

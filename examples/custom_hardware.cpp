@@ -1,0 +1,76 @@
+// Custom hardware: define a hypothetical host and NIC from scratch and
+// see what each message-passing library would deliver on it — the
+// "evaluate a new GigE card before buying a rack of them" workflow the
+// paper's §7 warns is necessary ("Great care must be taken in evaluating
+// these new GigE cards").
+#include <iostream>
+#include <vector>
+
+#include "bench/common.h"
+#include "mp/mpich.h"
+#include "mp/mplite.h"
+#include "mp/tcgmsg.h"
+
+using namespace pp;
+using namespace pp::bench;
+
+int main() {
+  // A hypothetical next-generation node: faster memory, 64-bit PCI.
+  hw::HostConfig host;
+  host.name = "nextgen";
+  host.copy_bandwidth = sim::Rate::megabytes(800);
+  host.cached_copy_bandwidth = sim::Rate::megabytes(3000);
+  host.pci_raw = sim::Rate::megabytes(528);  // 64-bit 66 MHz
+  host.pci_width_bits = 64;
+  host.pci_dma_setup = sim::microseconds(0.3);
+  host.syscall_cost = sim::microseconds(0.5);
+  host.wakeup_cost = sim::microseconds(1.5);
+  host.proto_tx_cost = sim::microseconds(1.5);
+  host.proto_rx_cost = sim::microseconds(2.0);
+
+  // A speculative cheap 10x NIC with mediocre interrupt behaviour — the
+  // "new wave" pattern the paper identified with the TrendNet cards.
+  hw::NicConfig nic;
+  nic.name = "hypothetical-10g";
+  nic.link_rate = sim::Rate::gigabits(10.0);
+  nic.mtu = 9000;
+  nic.max_mtu = 9000;
+  nic.pci64_capable = true;
+  nic.pci_efficiency = 0.7;
+  nic.driver_tx_cost = sim::microseconds(1.5);
+  nic.driver_rx_cost = sim::microseconds(3.0);
+  nic.sparse_irq_delay = sim::microseconds(15.0);
+  nic.busy_irq_delay = sim::microseconds(500.0);  // cheap-card stalls
+
+  const tcp::Sysctl sysctl = tcp::Sysctl::tuned(16 << 20);
+
+  std::vector<Curve> curves;
+  curves.push_back(measure_on_bed(
+      "raw TCP 4M buf", host, nic, sysctl,
+      [](mp::PairBed& bed) { return raw_tcp_pair(bed, 4 << 20); }));
+  curves.push_back(measure_on_bed(
+      "raw TCP 64k buf", host, nic, sysctl, [](mp::PairBed& bed) {
+        return raw_tcp_pair(bed, 64 << 10, "raw TCP 64k buf");
+      }));
+  curves.push_back(measure_on_bed(
+      "MPICH (defaults)", host, nic, sysctl, [](mp::PairBed& bed) {
+        return hold_pair(mp::Mpich::create_pair(bed, {}));
+      }));
+  curves.push_back(measure_on_bed(
+      "MP_Lite", host, nic, sysctl, [](mp::PairBed& bed) {
+        return hold_pair(mp::MpLite::create_pair(bed));
+      }));
+  curves.push_back(measure_on_bed(
+      "TCGMSG (32k hardwired)", host, nic, sysctl, [](mp::PairBed& bed) {
+        return hold_pair(mp::Tcgmsg::create_pair(bed, {}));
+      }));
+
+  print_figure("Hypothetical 10 GigE card on a next-gen node", curves);
+
+  std::cout
+      << "\nReading: with ~0.5 ms receive-path stalls, even a 10 Gb link\n"
+         "is socket-buffer-bound — default 64 kB buffers and TCGMSG's\n"
+         "hard-wired 32 kB waste almost all of the extra wire speed,\n"
+         "exactly the pattern the paper found on the 2002 TrendNet cards.\n";
+  return 0;
+}

@@ -1,0 +1,252 @@
+// netpipe_cli: the NetPIPE tool itself, reproduced — pick a module (a
+// library or raw layer) and a hardware configuration, get the classic
+// listing, exactly like running the 2002 utility on the 2002 testbed.
+//
+//   ./netpipe_cli [module] [options]
+//
+//   modules: tcp mpich mpich-mplite lam lam-c2c lamd mpipro mplite pvm
+//            pvm-direct pvm-inplace tcgmsg gm gm-blocking mpich-gm
+//            mpipro-gm ipgm via mvich mvich-norput mplite-via mpipro-via
+//            mvia shmem
+//   options:
+//     -H host     p4 | ds20                       (default p4)
+//     -N nic      ga620 | trendnet | ga622 | sk9843 | sk9843-jumbo | fe
+//                 (TCP modules only; default ga620)
+//     -b bytes    socket buffer size for raw tcp  (default 524288)
+//     -u bytes    largest message                 (default 8388608)
+//     -P n        perturbation delta              (default 3)
+//     -r n        timed repeats per point         (default 3)
+//     -s          streaming mode instead of ping-pong
+//     -o file     also write a gnuplot-ready .dat file
+//     -q          quiet: summary line only
+//     -g          also print the fitted LogGP parameters
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bench/common.h"
+#include "netpipe/loggp.h"
+#include "shmemsim/shmem.h"
+#include "gmsim/gm.h"
+#include "mp/gm_mpi.h"
+#include "mp/lam.h"
+#include "mp/mpich.h"
+#include "mp/mpipro.h"
+#include "mp/mplite.h"
+#include "mp/pvm.h"
+#include "mp/tcgmsg.h"
+#include "mp/via_mpi.h"
+#include "viasim/via.h"
+
+using namespace pp;
+using namespace pp::bench;
+
+namespace {
+
+struct CliOptions {
+  std::string module = "tcp";
+  std::string host = "p4";
+  std::string nic = "ga620";
+  std::uint32_t buffer = 512 << 10;
+  netpipe::RunOptions run;
+  std::string dat_file;
+  bool quiet = false;
+  bool loggp = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [module] [-H host] [-N nic] [-b bytes]"
+                       " [-u bytes] [-P n] [-r n] [-s] [-o file] [-q]\n",
+               argv0);
+  std::exit(2);
+}
+
+hw::HostConfig host_for(const CliOptions& o) {
+  if (o.host == "ds20") return hw::presets::compaq_ds20();
+  if (o.host == "p4") return hw::presets::pentium4_pc();
+  std::fprintf(stderr, "unknown host '%s'\n", o.host.c_str());
+  std::exit(2);
+}
+
+hw::NicConfig nic_for(const CliOptions& o) {
+  if (o.nic == "ga620") return hw::presets::netgear_ga620();
+  if (o.nic == "trendnet") return hw::presets::trendnet_teg_pcitx();
+  if (o.nic == "ga622") return hw::presets::netgear_ga622();
+  if (o.nic == "sk9843") return hw::presets::syskonnect_sk9843(1500);
+  if (o.nic == "sk9843-jumbo") return hw::presets::syskonnect_sk9843(9000);
+  if (o.nic == "fe") return hw::presets::fast_ethernet();
+  std::fprintf(stderr, "unknown nic '%s'\n", o.nic.c_str());
+  std::exit(2);
+}
+
+netpipe::RunResult run_tcp_family(const CliOptions& o) {
+  const auto host = host_for(o);
+  const tcp::Sysctl sysctl = tcp::Sysctl::tuned();
+  hw::NicConfig nic = nic_for(o);
+  if (o.module == "ipgm") nic = hw::presets::myrinet_ip_over_gm();
+  mp::PairBed bed(host, nic, sysctl);
+
+  auto run = [&](TransportPair pair) {
+    return netpipe::run_netpipe(bed.sim, *pair.first, *pair.second, o.run);
+  };
+  const std::string m = o.module;
+  if (m == "tcp" || m == "ipgm") return run(raw_tcp_pair(bed, o.buffer));
+  if (m == "mpich" || m == "mpich-mplite") {
+    mp::MpichOptions mo;
+    mo.p4_sockbufsize = o.buffer;
+    if (m == "mpich-mplite") mo.channel = mp::MpichChannel::kMpLiteChannel;
+    return run(hold_pair(mp::Mpich::create_pair(bed, mo)));
+  }
+  if (m == "lam" || m == "lam-c2c" || m == "lamd") {
+    mp::LamOptions lo;
+    lo.mode = m == "lam" ? mp::LamMode::kC2cO
+              : m == "lam-c2c" ? mp::LamMode::kC2c
+                               : mp::LamMode::kLamd;
+    return run(hold_pair(mp::Lam::create_pair(bed, lo)));
+  }
+  if (m == "mpipro") {
+    mp::MpiProOptions po;
+    po.tcp_long = 128 << 10;
+    return run(hold_pair(mp::MpiPro::create_pair(bed, po)));
+  }
+  if (m == "mplite") return run(hold_pair(mp::MpLite::create_pair(bed)));
+  if (m == "pvm" || m == "pvm-direct" || m == "pvm-inplace") {
+    mp::PvmOptions po;
+    if (m != "pvm") po.route = mp::PvmRoute::kDirect;
+    if (m == "pvm-inplace") po.encoding = mp::PvmEncoding::kInPlace;
+    return run(hold_pair(mp::Pvm::create_pair(bed, po)));
+  }
+  if (m == "tcgmsg") {
+    mp::TcgmsgOptions to;
+    if (o.buffer != 512u << 10) to.sr_sock_buf_size = o.buffer;
+    return run(hold_pair(mp::Tcgmsg::create_pair(bed, to)));
+  }
+  std::fprintf(stderr, "unknown module '%s'\n", m.c_str());
+  std::exit(2);
+}
+
+netpipe::RunResult run_gm_family(const CliOptions& o) {
+  sim::Simulator s;
+  hw::Cluster c(s);
+  auto& a = c.add_node(host_for(o));
+  auto& b = c.add_node(host_for(o));
+  gm::GmConfig gc;
+  if (o.module == "gm-blocking") gc.recv_mode = gm::RecvMode::kBlocking;
+  gm::GmFabric fab(c, a, b, hw::presets::myrinet_pci64a(),
+                   hw::presets::back_to_back(), gc);
+  if (o.module == "mpich-gm" || o.module == "mpipro-gm") {
+    const auto lo = o.module == "mpich-gm" ? mp::GmMpi::mpich_gm()
+                                           : mp::GmMpi::mpipro_gm();
+    mp::GmMpi la(fab.port_a(), 0, lo), lb(fab.port_b(), 1, lo);
+    mp::LibraryTransport ta(la, 1), tb(lb, 0);
+    return netpipe::run_netpipe(s, ta, tb, o.run);
+  }
+  mp::GmTransport ta(fab.port_a()), tb(fab.port_b());
+  return netpipe::run_netpipe(s, ta, tb, o.run);
+}
+
+netpipe::RunResult run_via_family(const CliOptions& o) {
+  sim::Simulator s;
+  hw::Cluster c(s);
+  auto& a = c.add_node(host_for(o));
+  auto& b = c.add_node(host_for(o));
+  const bool mvia = o.module == "mvia";
+  via::ViaConfig vc;
+  vc.personality = mvia ? via::ViaPersonality::mvia_sk98lin()
+                        : via::ViaPersonality::giganet();
+  via::ViaFabric fab(
+      c, a, b,
+      mvia ? hw::presets::syskonnect_mvia() : hw::presets::giganet_clan(),
+      mvia ? hw::presets::back_to_back() : hw::presets::switched(), vc);
+  mp::ViaMpiOptions lo = mp::ViaMpi::mvich();
+  if (o.module == "mvich-norput") lo = mp::ViaMpi::mvich(false);
+  if (o.module == "mplite-via") lo = mp::ViaMpi::mplite_via();
+  if (o.module == "mpipro-via") lo = mp::ViaMpi::mpipro_via();
+  if (o.module == "via") {
+    mp::ViaTransport ta(fab.end_a()), tb(fab.end_b());
+    return netpipe::run_netpipe(s, ta, tb, o.run);
+  }
+  mp::ViaMpi la(fab.end_a(), 0, lo), lb(fab.end_b(), 1, lo);
+  mp::LibraryTransport ta(la, 1), tb(lb, 0);
+  return netpipe::run_netpipe(s, ta, tb, o.run);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions o;
+  o.run = default_run_options();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "-H") {
+      o.host = next();
+    } else if (arg == "-N") {
+      o.nic = next();
+    } else if (arg == "-b") {
+      o.buffer = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
+    } else if (arg == "-u") {
+      o.run.schedule.max_bytes = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "-P") {
+      o.run.schedule.perturbation =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
+    } else if (arg == "-r") {
+      o.run.repeats = std::atoi(next());
+    } else if (arg == "-s") {
+      o.run.streaming = true;
+    } else if (arg == "-o") {
+      o.dat_file = next();
+    } else if (arg == "-q") {
+      o.quiet = true;
+    } else if (arg == "-g") {
+      o.loggp = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else if (!arg.empty() && arg[0] != '-') {
+      o.module = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  netpipe::RunResult result;
+  if (o.module == "shmem") {
+    sim::Simulator s;
+    shmem::SmpConfig sc;
+    if (o.host == "ds20") sc.copy_bandwidth = sim::Rate::megabytes(320);
+    shmem::ShmemPair pair(s, sc);
+    shmem::ShmemTransport ta(pair.pe0()), tb(pair.pe1());
+    result = netpipe::run_netpipe(s, ta, tb, o.run);
+  } else if (o.module == "gm" || o.module == "gm-blocking" ||
+      o.module == "mpich-gm" || o.module == "mpipro-gm") {
+    result = run_gm_family(o);
+  } else if (o.module == "via" || o.module == "mvich" ||
+             o.module == "mvich-norput" || o.module == "mplite-via" ||
+             o.module == "mpipro-via" || o.module == "mvia") {
+    result = run_via_family(o);
+  } else {
+    result = run_tcp_family(o);
+  }
+
+  if (o.quiet) {
+    std::printf("%s: latency %.1f us, max %.0f Mbps, n1/2 %s, 90%% at %s\n",
+                result.transport.c_str(), result.latency_us,
+                result.max_mbps,
+                netpipe::format_bytes(result.half_performance_bytes).c_str(),
+                netpipe::format_bytes(result.saturation_bytes).c_str());
+  } else {
+    netpipe::print_run(std::cout, result);
+  }
+  if (o.loggp) {
+    netpipe::print_loggp(std::cout, result.transport,
+                         netpipe::fit_loggp(result));
+  }
+  if (!o.dat_file.empty()) netpipe::write_dat(o.dat_file, result);
+  return 0;
+}

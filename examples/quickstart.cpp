@@ -1,0 +1,43 @@
+// Quickstart: build a two-node GigE cluster, run the NetPIPE
+// reproduction over raw TCP, and print the classic three-column listing.
+//
+//   ./quickstart [nic]    nic: ga620 | trendnet | sk9843 | sk9843-jumbo
+#include <iostream>
+#include <string>
+
+#include "mp/testbed.h"
+#include "netpipe/modules.h"
+#include "netpipe/report.h"
+#include "netpipe/runner.h"
+#include "simhw/presets.h"
+
+using namespace pp;
+
+int main(int argc, char** argv) {
+  // 1. Pick the NIC model (see simhw/presets.h for the full catalogue).
+  const std::string nic_name = argc > 1 ? argv[1] : "ga620";
+  hw::NicConfig nic = hw::presets::netgear_ga620();
+  if (nic_name == "trendnet") nic = hw::presets::trendnet_teg_pcitx();
+  if (nic_name == "sk9843") nic = hw::presets::syskonnect_sk9843(1500);
+  if (nic_name == "sk9843-jumbo") nic = hw::presets::syskonnect_sk9843(9000);
+
+  // 2. Two Pentium-4 nodes, back to back, with tuned sysctl caps — the
+  //    paper's baseline configuration.
+  mp::PairBed bed(hw::presets::pentium4_pc(), nic, tcp::Sysctl::tuned());
+
+  // 3. One TCP connection with 512 kB socket buffers on both ends.
+  auto [sa, sb] = bed.socket_pair("quickstart");
+  sa.set_send_buffer(512 << 10);
+  sa.set_recv_buffer(512 << 10);
+  sb.set_send_buffer(512 << 10);
+  sb.set_recv_buffer(512 << 10);
+
+  // 4. Run NetPIPE and print the measurement.
+  netpipe::TcpTransport ta(sa), tb(sb);
+  netpipe::RunOptions opts;
+  opts.schedule.max_bytes = 4 << 20;
+  const netpipe::RunResult result = netpipe::run_netpipe(bed.sim, ta, tb,
+                                                         opts);
+  netpipe::print_run(std::cout, result);
+  return 0;
+}

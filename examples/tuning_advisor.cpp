@@ -1,0 +1,150 @@
+// Tuning advisor: automates §7's advice to library developers.
+//
+// For a chosen library/NIC pair it sweeps the socket buffer size and (if
+// the library has one) the rendezvous threshold, then prints the settings
+// a user should pick and the improvement over the defaults.
+//
+//   ./tuning_advisor [library] [nic]
+//       library: mpich | tcgmsg | mpipro | tcp
+//       nic:     ga620 | trendnet | sk9843 | sk9843-jumbo
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "mp/mpich.h"
+#include "mp/mpipro.h"
+#include "mp/tcgmsg.h"
+
+using namespace pp;
+using namespace pp::bench;
+
+namespace {
+
+struct Sweep {
+  std::uint64_t value = 0;
+  double max_mbps = 0;
+  double dip_ratio = 1.0;  // min(curve)/neighbour around thresholds
+};
+
+double score(const netpipe::RunResult& r) { return r.max_mbps; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string lib = argc > 1 ? argv[1] : "mpich";
+  const std::string nic_name = argc > 2 ? argv[2] : "trendnet";
+
+  hw::HostConfig host = hw::presets::pentium4_pc();
+  hw::NicConfig nic = hw::presets::trendnet_teg_pcitx();
+  if (nic_name == "ga620") nic = hw::presets::netgear_ga620();
+  if (nic_name == "sk9843") nic = hw::presets::syskonnect_sk9843(1500);
+  if (nic_name == "sk9843-jumbo") {
+    nic = hw::presets::syskonnect_sk9843(9000);
+    host = hw::presets::compaq_ds20();
+  }
+  const tcp::Sysctl sysctl = tcp::Sysctl::tuned();
+
+  std::printf("tuning %s on %s/%s\n\n", lib.c_str(), nic.name.c_str(),
+              host.name.c_str());
+
+  const std::vector<std::uint32_t> buffers = {32u << 10,  64u << 10,
+                                              128u << 10, 256u << 10,
+                                              512u << 10, 1u << 20};
+  std::vector<Sweep> sweep;
+  double default_mbps = 0;
+
+  auto run_with_buffer = [&](std::uint32_t buf) -> double {
+    if (lib == "mpich") {
+      const Curve c = measure_on_bed(
+          "m", host, nic, sysctl, [&](mp::PairBed& bed) {
+            mp::MpichOptions o;
+            o.p4_sockbufsize = buf;
+            return hold_pair(mp::Mpich::create_pair(bed, o));
+          });
+      return score(c.result);
+    }
+    if (lib == "tcgmsg") {
+      const Curve c = measure_on_bed(
+          "t", host, nic, sysctl, [&](mp::PairBed& bed) {
+            mp::TcgmsgOptions o;
+            o.sr_sock_buf_size = buf;
+            return hold_pair(mp::Tcgmsg::create_pair(bed, o));
+          });
+      return score(c.result);
+    }
+    const Curve c = measure_on_bed(
+        "tcp", host, nic, sysctl,
+        [&](mp::PairBed& bed) { return raw_tcp_pair(bed, buf); });
+    return score(c.result);
+  };
+
+  if (lib == "mpipro") {
+    std::puts("MPI/Pro's socket buffers are not user tunable; sweeping the");
+    std::puts("tcp_long rendezvous threshold instead.\n");
+    double best = 0;
+    std::uint64_t best_thr = 0;
+    for (std::uint64_t thr :
+         {16ull << 10, 32ull << 10, 64ull << 10, 128ull << 10,
+          256ull << 10}) {
+      const Curve c = measure_on_bed(
+          "p", host, nic, sysctl, [&](mp::PairBed& bed) {
+            mp::MpiProOptions o;
+            o.tcp_long = thr;
+            return hold_pair(mp::MpiPro::create_pair(bed, o));
+          });
+      // Penalize the dip just above the threshold.
+      const double above = c.result.mbps_at(thr + thr / 4);
+      const double below = c.result.mbps_at(thr - thr / 4);
+      const double dip = below > 0 ? above / below : 1.0;
+      std::printf("  tcp_long %7s : max %6.0f Mbps, dip ratio %.2f\n",
+                  netpipe::format_bytes(thr).c_str(), c.result.max_mbps,
+                  dip);
+      const double s = c.result.max_mbps * std::min(dip, 1.0);
+      if (s > best) {
+        best = s;
+        best_thr = thr;
+      }
+      if (thr == 32ull << 10) default_mbps = c.result.max_mbps;
+    }
+    std::printf("\nrecommended: tcp_long = %s\n",
+                netpipe::format_bytes(best_thr).c_str());
+    return 0;
+  }
+
+  for (std::uint32_t buf : buffers) {
+    Sweep s;
+    s.value = buf;
+    s.max_mbps = run_with_buffer(buf);
+    sweep.push_back(s);
+    std::printf("  buffers %7s : %6.0f Mbps\n",
+                netpipe::format_bytes(buf).c_str(), s.max_mbps);
+    if (buf == buffers.front()) default_mbps = s.max_mbps;
+  }
+
+  // Recommend the smallest buffer within 3 % of the best (memory costs
+  // real RAM: "each node opens 2 socket buffers for each machine").
+  double best = 0;
+  for (const auto& s : sweep) best = std::max(best, s.max_mbps);
+  for (const auto& s : sweep) {
+    if (s.max_mbps >= 0.97 * best) {
+      std::printf("\nrecommended buffer size: %s (%.0f Mbps, %.1fx over "
+                  "the %s default)\n",
+                  netpipe::format_bytes(s.value).c_str(), s.max_mbps,
+                  s.max_mbps / std::max(default_mbps, 1.0),
+                  netpipe::format_bytes(buffers.front()).c_str());
+      if (lib == "tcgmsg") {
+        std::puts("apply by rebuilding with -DSR_SOCK_BUF_SIZE=<bytes> "
+                  "(sndrcvP.h)");
+      } else if (lib == "mpich") {
+        std::puts("apply with: export P4_SOCKBUFSIZE=<bytes>");
+      } else {
+        std::puts("apply with setsockopt(SO_SNDBUF/SO_RCVBUF) and raise "
+                  "net.core.{r,w}mem_max in /etc/sysctl.conf");
+      }
+      break;
+    }
+  }
+  return 0;
+}

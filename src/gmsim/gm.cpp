@@ -1,0 +1,124 @@
+#include "gmsim/gm.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pp::gm {
+
+GmPort::GmPort(sim::Simulator& sim, hw::Node& node, hw::PacketPipe& out,
+               hw::PacketPipe& in, GmConfig config, std::string name)
+    : sim_(sim),
+      node_(node),
+      out_(out),
+      in_(in),
+      config_(config),
+      name_(std::move(name)),
+      tokens_(sim, static_cast<std::uint64_t>(config.send_tokens)),
+      arrivals_(sim) {
+  sim_.spawn_daemon(rx_daemon(), name_ + ".rx");
+}
+
+sim::Task<void> GmPort::send(std::uint64_t bytes, std::uint32_t tag) {
+  co_await node_.cpu_cost(config_.api_send_cost);
+  const std::uint32_t mtu = out_.nic().mtu;
+  std::uint64_t left = bytes;
+  bool first = true;
+  while (first || left > 0) {
+    first = false;
+    const std::uint64_t frag = std::min<std::uint64_t>(left, mtu);
+    left -= frag;
+    co_await tokens_.acquire(1);
+    auto ctx = std::make_shared<Frag>();
+    ctx->dst = peer_;
+    ctx->tag = tag;
+    ctx->msg_bytes = bytes;
+    ctx->frag_bytes = frag;
+    ctx->last = (left == 0);
+    hw::Packet p;
+    p.dma_bytes = frag + config_.frag_header;
+    p.wire_bytes = frag + config_.frag_header + out_.nic().frame_overhead;
+    p.ctx = std::move(ctx);
+    out_.inject(std::move(p));
+  }
+}
+
+void GmPort::complete_message(std::uint32_t tag, std::uint64_t bytes) {
+  (void)bytes;
+  ++messages_received_;
+  auto it = std::find_if(posted_.begin(), posted_.end(), [&](PostedRecv* p) {
+    return !p->completed && p->tag == tag;
+  });
+  if (it != posted_.end()) {
+    PostedRecv* pr = *it;
+    posted_.erase(it);
+    pr->completed = true;
+    pr->staged = false;  // landed in the pre-posted buffer: zero-copy
+    pr->done->set();
+  } else {
+    unexpected_.push_back(tag);
+    arrivals_.notify_all();
+  }
+}
+
+sim::Task<void> GmPort::rx_daemon() {
+  for (;;) {
+    hw::Packet p = co_await in_.delivered().pop();
+    auto frag = std::static_pointer_cast<Frag>(p.ctx);
+    assert(frag && frag->dst == this && "foreign packet on GM pipe");
+    // The fragment has been deposited; return the sender's token.
+    peer_->tokens_.release(1);
+    std::uint64_t& sofar = partial_[frag->tag];
+    sofar += frag->frag_bytes;
+    if (frag->last) {
+      assert(sofar == frag->msg_bytes && "fragment accounting broke");
+      partial_.erase(frag->tag);
+      complete_message(frag->tag, frag->msg_bytes);
+    }
+  }
+}
+
+sim::Task<void> GmPort::recv(std::uint64_t bytes, std::uint32_t tag) {
+  co_await node_.cpu_cost(config_.api_recv_cost);
+  bool staged = false;
+  auto uit = std::find(unexpected_.begin(), unexpected_.end(), tag);
+  if (uit != unexpected_.end()) {
+    unexpected_.erase(uit);
+    staged = true;  // had to be parked in a GM bounce buffer
+  } else {
+    PostedRecv pr;
+    pr.tag = tag;
+    pr.done = std::make_unique<sim::Trigger>(sim_);
+    posted_.push_back(&pr);
+    co_await pr.done->wait();
+    staged = pr.staged;
+  }
+  switch (config_.recv_mode) {
+    case RecvMode::kPolling:
+    case RecvMode::kHybrid:
+      // Hybrid delivers polling-grade latency without pinning the CPU
+      // ("provides the same results as the Polling mode but should not
+      // burden the CPU as much").
+      co_await node_.cpu_cost(config_.polling_detect);
+      break;
+    case RecvMode::kBlocking:
+      co_await sim_.delay(config_.blocking_wakeup);
+      co_await node_.cpu_cost(node_.config().wakeup_cost);
+      break;
+  }
+  if (staged) co_await node_.staging_copy(bytes);
+}
+
+GmFabric::GmFabric(hw::Cluster& cluster, hw::Node& a, hw::Node& b,
+                   const hw::NicConfig& nic, const hw::LinkConfig& link,
+                   GmConfig config)
+    : duplex_(cluster.connect(a, b, nic, link)) {
+  port_a_ = std::make_unique<GmPort>(cluster.simulator(), a, duplex_.forward,
+                                     duplex_.backward, config, "gm.a");
+  port_b_ = std::make_unique<GmPort>(cluster.simulator(), b,
+                                     duplex_.backward, duplex_.forward,
+                                     config, "gm.b");
+  port_a_->peer_ = port_b_.get();
+  port_b_->peer_ = port_a_.get();
+}
+
+}  // namespace pp::gm

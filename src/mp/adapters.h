@@ -1,0 +1,32 @@
+// NetPIPE transport adapter for any message-passing library: this is the
+// "NetPIPE MPI/PVM/TCGMSG module" of the paper.
+#pragma once
+
+#include <string>
+
+#include "mp/api.h"
+#include "netpipe/transport.h"
+
+namespace pp::mp {
+
+class LibraryTransport final : public netpipe::Transport {
+ public:
+  LibraryTransport(Library& lib, int peer, std::uint32_t tag = 1)
+      : lib_(lib), peer_(peer), tag_(tag) {}
+
+  sim::Task<void> send(std::uint64_t bytes) override {
+    return lib_.send(peer_, bytes, tag_);
+  }
+  sim::Task<void> recv(std::uint64_t bytes) override {
+    return lib_.recv(peer_, bytes, tag_);
+  }
+  hw::Node& node() { return lib_.node(); }
+  std::string name() const override { return lib_.name(); }
+
+ private:
+  Library& lib_;
+  int peer_;
+  std::uint32_t tag_;
+};
+
+}  // namespace pp::mp

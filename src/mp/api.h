@@ -1,0 +1,57 @@
+// Common message-passing interface implemented by every library model
+// (MPICH, LAM/MPI, MPI/Pro, MP_Lite, PVM, TCGMSG, and the GM/VIA
+// variants).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "simcore/simulator.h"
+#include "simcore/task.h"
+#include "simhw/node.h"
+
+namespace pp::mp {
+
+/// Handle for a nonblocking operation.
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<sim::Completion> c) : c_(std::move(c)) {}
+
+  bool done() const { return !c_ || c_->done(); }
+
+  sim::Task<void> wait() {
+    if (c_) co_await c_->wait();
+  }
+
+ private:
+  std::shared_ptr<sim::Completion> c_;
+};
+
+/// One rank's handle into a message-passing library instance.
+class Library {
+ public:
+  virtual ~Library() = default;
+
+  /// Blocking tagged send of `bytes` to rank `dst`.
+  virtual sim::Task<void> send(int dst, std::uint64_t bytes,
+                               std::uint32_t tag) = 0;
+
+  /// Blocking tagged receive of exactly `bytes` from rank `src`. Matching
+  /// is by (src, tag) with an unexpected-message queue, like MPI.
+  virtual sim::Task<void> recv(int src, std::uint64_t bytes,
+                               std::uint32_t tag) = 0;
+
+  /// Nonblocking variants: the operation runs as a concurrent simulated
+  /// task. Libraries without an independent progress engine still only
+  /// move data when some call is blocked in the library (see DESIGN.md).
+  virtual Request isend(int dst, std::uint64_t bytes, std::uint32_t tag);
+  virtual Request irecv(int src, std::uint64_t bytes, std::uint32_t tag);
+
+  virtual hw::Node& node() = 0;
+  virtual int rank() const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace pp::mp

@@ -1,0 +1,84 @@
+#include "mp/collectives.h"
+
+#include <algorithm>
+
+namespace pp::mp {
+
+namespace {
+
+/// Pipeline chunk for the broadcast (large enough to amortize latency,
+/// small enough to overlap the ring hops).
+constexpr std::uint64_t kBcastChunk = 64 << 10;
+
+}  // namespace
+
+sim::Task<void> ring_broadcast(RingComm comm, int root, std::uint64_t bytes,
+                               std::uint32_t tag) {
+  if (comm.size <= 1 || bytes == 0) co_return;
+  const int dist = (comm.rank - root + comm.size) % comm.size;
+  std::uint64_t left_bytes = bytes;
+  std::uint32_t chunk_idx = 0;
+  while (left_bytes > 0) {
+    const std::uint64_t chunk = std::min(left_bytes, kBcastChunk);
+    left_bytes -= chunk;
+    const std::uint32_t t = tag + chunk_idx++;
+    if (dist == 0) {
+      co_await comm.lib->send(comm.right(), chunk, t);
+    } else {
+      co_await comm.lib->recv(comm.left(), chunk, t);
+      if (dist != comm.size - 1) {
+        co_await comm.lib->send(comm.right(), chunk, t);
+      }
+    }
+  }
+}
+
+sim::Task<void> ring_allreduce(RingComm comm, std::uint64_t bytes,
+                               std::uint32_t tag) {
+  if (comm.size <= 1 || bytes == 0) co_return;
+  const std::uint64_t chunk = (bytes + comm.size - 1) / comm.size;
+  // Phase 1: reduce-scatter — N-1 steps, each rank combines one chunk.
+  for (int step = 0; step < comm.size - 1; ++step) {
+    const std::uint32_t t = tag + static_cast<std::uint32_t>(step);
+    Request s = comm.lib->isend(comm.right(), chunk, t);
+    co_await comm.lib->recv(comm.left(), chunk, t);
+    // Local reduction over the received chunk (one arithmetic pass).
+    co_await comm.lib->node().staging_copy(chunk);
+    co_await s.wait();
+  }
+  // Phase 2: allgather the reduced chunks.
+  for (int step = 0; step < comm.size - 1; ++step) {
+    const std::uint32_t t =
+        tag + 0x100 + static_cast<std::uint32_t>(step);
+    Request s = comm.lib->isend(comm.right(), chunk, t);
+    co_await comm.lib->recv(comm.left(), chunk, t);
+    co_await s.wait();
+  }
+}
+
+sim::Task<void> ring_allgather(RingComm comm, std::uint64_t block_bytes,
+                               std::uint32_t tag) {
+  if (comm.size <= 1 || block_bytes == 0) co_return;
+  for (int step = 0; step < comm.size - 1; ++step) {
+    const std::uint32_t t = tag + static_cast<std::uint32_t>(step);
+    Request s = comm.lib->isend(comm.right(), block_bytes, t);
+    co_await comm.lib->recv(comm.left(), block_bytes, t);
+    co_await s.wait();
+  }
+}
+
+sim::Task<void> ring_barrier(RingComm comm, std::uint32_t tag) {
+  if (comm.size <= 1) co_return;
+  for (int round = 0; round < 2; ++round) {
+    const std::uint32_t t = tag + static_cast<std::uint32_t>(round);
+    if (comm.rank == 0) {
+      co_await comm.lib->send(comm.right(), 1, t);
+      co_await comm.lib->recv(comm.left(), 1, t);
+    } else {
+      co_await comm.lib->recv(comm.left(), 1, t);
+      co_await comm.lib->send(comm.right(), 1, t);
+    }
+  }
+}
+
+}  // namespace pp::mp

@@ -1,0 +1,48 @@
+// Ring-based collective operations over any Library endpoint: the
+// "many common global operations" MP_Lite supports (paper §3.4), built
+// portably on point-to-point calls like TCGMSG's and PVM's collectives
+// were.
+//
+// Algorithms are the classic ring formulations:
+//  - broadcast: pipeline around the ring from the root;
+//  - allreduce: reduce-scatter then allgather, each N-1 ring steps on
+//    size/N chunks (bandwidth-optimal);
+//  - allgather: N-1 ring steps of the per-rank block;
+//  - barrier: a zero-byte token twice around the ring.
+// Reduction arithmetic is charged on the CPU as one pass over the bytes.
+#pragma once
+
+#include <cstdint>
+
+#include "mp/api.h"
+#include "simcore/task.h"
+
+namespace pp::mp {
+
+/// A rank's view of the ring.
+struct RingComm {
+  Library* lib = nullptr;
+  int rank = 0;
+  int size = 0;
+
+  int left() const { return (rank + size - 1) % size; }
+  int right() const { return (rank + 1) % size; }
+};
+
+/// Pipelined ring broadcast of `bytes` from `root`.
+sim::Task<void> ring_broadcast(RingComm comm, int root, std::uint64_t bytes,
+                               std::uint32_t tag = 0x1000);
+
+/// Bandwidth-optimal ring allreduce of a `bytes`-sized vector.
+sim::Task<void> ring_allreduce(RingComm comm, std::uint64_t bytes,
+                               std::uint32_t tag = 0x2000);
+
+/// Ring allgather: every rank contributes `block_bytes` and ends with
+/// size * block_bytes.
+sim::Task<void> ring_allgather(RingComm comm, std::uint64_t block_bytes,
+                               std::uint32_t tag = 0x3000);
+
+/// Ring barrier: a token travels the ring twice.
+sim::Task<void> ring_barrier(RingComm comm, std::uint32_t tag = 0x4000);
+
+}  // namespace pp::mp

@@ -1,0 +1,48 @@
+#include "mp/daemon_relay.h"
+
+#include <algorithm>
+
+namespace pp::mp {
+
+sim::Task<void> RelayChannel::send(std::uint64_t bytes) {
+  const std::uint64_t frags = fragments_for(bytes);
+  std::uint64_t left = bytes;
+  int outstanding = 0;
+  for (std::uint64_t i = 0; i < frags; ++i) {
+    if (outstanding == opt_.window) {
+      co_await src_sock_.recv_exact(opt_.ack_bytes);
+      --outstanding;
+    }
+    const std::uint64_t frag =
+        std::min<std::uint64_t>(left, opt_.fragment_payload);
+    left -= frag;
+    // Application -> local daemon IPC: syscall + copy + daemon wakeup.
+    co_await src_.cpu_cost(src_.config().syscall_cost);
+    co_await src_.staging_copy(frag);
+    co_await src_.cpu_cost(opt_.daemon_service);
+    co_await src_sock_.send(frag + opt_.fragment_header);
+    ++outstanding;
+  }
+  while (outstanding > 0) {
+    co_await src_sock_.recv_exact(opt_.ack_bytes);
+    --outstanding;
+  }
+}
+
+sim::Task<void> RelayChannel::recv(std::uint64_t bytes) {
+  const std::uint64_t frags = fragments_for(bytes);
+  std::uint64_t left = bytes;
+  for (std::uint64_t i = 0; i < frags; ++i) {
+    const std::uint64_t frag =
+        std::min<std::uint64_t>(left, opt_.fragment_payload);
+    left -= frag;
+    co_await dst_sock_.recv_exact(frag + opt_.fragment_header);
+    // Remote daemon -> application IPC.
+    co_await dst_.cpu_cost(opt_.daemon_service);
+    co_await dst_.staging_copy(frag);
+    co_await dst_.cpu_cost(dst_.config().wakeup_cost);
+    co_await dst_sock_.send(opt_.ack_bytes);
+  }
+}
+
+}  // namespace pp::mp

@@ -1,0 +1,95 @@
+#include "mp/lam.h"
+
+#include <cassert>
+
+namespace pp::mp {
+
+Lam::Lam(sim::Simulator& sim, int rank, hw::Node& node, LamOptions opt)
+    : sim_(sim), rank_(rank), node_(node), opt_(opt) {
+  if (opt_.mode != LamMode::kLamd) {
+    stream_ = std::make_unique<StreamLibrary>(sim, rank, node,
+                                              make_stream_config(opt_));
+  }
+}
+
+std::string Lam::name() const {
+  switch (opt_.mode) {
+    case LamMode::kLamd:
+      return "LAM/MPI (lamd)";
+    case LamMode::kC2c:
+      return "LAM/MPI (c2c)";
+    case LamMode::kC2cO:
+      return "LAM/MPI -O";
+  }
+  return "LAM/MPI";
+}
+
+StreamConfig Lam::make_stream_config(const LamOptions& opt) {
+  StreamConfig c;
+  c.name = opt.mode == LamMode::kC2cO ? "LAM/MPI -O" : "LAM/MPI (c2c)";
+  c.header_bytes = 24;
+  c.eager_max = 64 * 1024 - 1;  // fixed; the non-tunable Figure-1 dip
+  // LAM sizes its c2c socket buffers itself; they are not a user tunable,
+  // which is what costs it ~25 % in the paper's fast DS20 environment.
+  c.buffer_policy = BufferPolicy::kFixed;
+  c.fixed_buffer_bytes = 44 * 1024;
+  if (opt.mode == LamMode::kC2c) {
+    // Heterogeneous data conversion on both ends.
+    c.tx_conversion = 0.9;
+    c.rx_conversion = 0.9;
+  }
+  c.per_call_cost = sim::microseconds(0.6);
+  return c;
+}
+
+sim::Task<void> Lam::send(int dst, std::uint64_t bytes, std::uint32_t tag) {
+  if (opt_.mode != LamMode::kLamd) {
+    co_await stream_->send(dst, bytes, tag);
+    co_return;
+  }
+  (void)dst;
+  (void)tag;  // lamd relays preserve pairwise order; tags ride along
+  co_await relay_out_->send(bytes);
+}
+
+sim::Task<void> Lam::recv(int src, std::uint64_t bytes, std::uint32_t tag) {
+  if (opt_.mode != LamMode::kLamd) {
+    co_await stream_->recv(src, bytes, tag);
+    co_return;
+  }
+  (void)src;
+  (void)tag;
+  co_await relay_in_->recv(bytes);
+}
+
+std::pair<std::unique_ptr<Lam>, std::unique_ptr<Lam>> Lam::create_pair(
+    PairBed& bed, LamOptions opt) {
+  auto a = std::make_unique<Lam>(bed.sim, 0, bed.node_a, opt);
+  auto b = std::make_unique<Lam>(bed.sim, 1, bed.node_b, opt);
+  if (opt.mode != LamMode::kLamd) {
+    auto [sa, sb] = bed.socket_pair("lam");
+    wire_pair(*a->stream_, *b->stream_, std::move(sa), std::move(sb));
+    return {std::move(a), std::move(b)};
+  }
+  // lamd: one dedicated daemon connection per direction.
+  RelayOptions ropt;
+  ropt.fragment_payload = 8192;
+  ropt.fragment_header = 24;
+  ropt.window = 2;  // lamd keeps a couple of packets in flight
+  ropt.daemon_service = sim::microseconds(40.0);
+  auto [da, db] = bed.socket_pair("lamd.fwd");
+  auto [ea, eb] = bed.socket_pair("lamd.rev");
+  auto fwd = std::make_shared<RelayChannel>(bed.node_a, bed.node_b,
+                                            std::move(da), std::move(db),
+                                            ropt);
+  auto rev = std::make_shared<RelayChannel>(bed.node_b, bed.node_a,
+                                            std::move(eb), std::move(ea),
+                                            ropt);
+  a->relay_out_ = fwd;
+  a->relay_in_ = rev;
+  b->relay_out_ = rev;
+  b->relay_in_ = fwd;
+  return {std::move(a), std::move(b)};
+}
+
+}  // namespace pp::mp

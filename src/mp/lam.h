@@ -1,0 +1,61 @@
+// LAM/MPI 6.5 (paper §3.2, §4.2).
+//
+// Modelled mechanisms, one per run mode:
+//  - kLamd ("mpirun -lamd"): every message is relayed through the lamd
+//    daemons — convenient monitoring, but the paper measures ~260 Mbps
+//    and a doubled (245 us) latency;
+//  - kC2c (client-to-client, no -O): direct sockets, but data conversion
+//    for heterogeneity costs an extra per-byte pass on both ends ("tops
+//    out at 350 Mbps when no optimizations are used");
+//  - kC2cO (-O, homogeneous): conversion skipped — "brings the
+//    performance nearly to raw TCP levels".
+// The rendezvous threshold (64 kB) is fixed: the slight dip in Figure 1
+// "is apparently not user-tunable". Socket buffers stay at OS defaults.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "mp/daemon_relay.h"
+#include "mp/stream_lib.h"
+#include "mp/testbed.h"
+
+namespace pp::mp {
+
+enum class LamMode { kLamd, kC2c, kC2cO };
+
+struct LamOptions {
+  LamMode mode = LamMode::kC2cO;
+};
+
+class Lam final : public Library {
+ public:
+  Lam(sim::Simulator& sim, int rank, hw::Node& node, LamOptions opt);
+
+  sim::Task<void> send(int dst, std::uint64_t bytes,
+                       std::uint32_t tag) override;
+  sim::Task<void> recv(int src, std::uint64_t bytes,
+                       std::uint32_t tag) override;
+
+  hw::Node& node() override { return node_; }
+  int rank() const override { return rank_; }
+  std::string name() const override;
+
+  StreamLibrary* stream() { return stream_.get(); }
+
+  static std::pair<std::unique_ptr<Lam>, std::unique_ptr<Lam>> create_pair(
+      PairBed& bed, LamOptions opt = {});
+
+ private:
+  static StreamConfig make_stream_config(const LamOptions& opt);
+
+  sim::Simulator& sim_;
+  int rank_;
+  hw::Node& node_;
+  LamOptions opt_;
+  std::unique_ptr<StreamLibrary> stream_;      // c2c modes
+  std::shared_ptr<RelayChannel> relay_out_;    // lamd mode
+  std::shared_ptr<RelayChannel> relay_in_;
+};
+
+}  // namespace pp::mp

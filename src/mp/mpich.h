@@ -1,0 +1,84 @@
+// MPICH 1.2.x over its p4 channel device (paper §3.1, §4.1).
+//
+// Modelled mechanisms:
+//  - P4_SOCKBUFSIZE sets both socket buffers (default 32 kB — "increasing
+//    it to 256 kB is vital").
+//  - All receives land in the p4 staging buffer and are memcpy'd to the
+//    user, costing MPICH the paper's 25-30 % for large messages (§7).
+//  - Messages of 128 kB and above switch to a rendezvous handshake (the
+//    sharp dip in Figure 1); the cutoff is only changeable by editing
+//    mpid/ch2 source, which we model as a constructor option.
+//  - Progress only inside MPI calls (p4 is a blocking channel device).
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "mp/stream_lib.h"
+#include "mp/testbed.h"
+
+namespace pp::mp {
+
+/// Which channel device MPICH runs on. kP4 is the stock Unix device; the
+/// paper's §4.4 reports "preliminary results on an MPICH-MP_Lite
+/// implementation at the channel interface layer show that this
+/// performance can be passed along to the full MPI implementation of
+/// MPICH" — kMpLiteChannel models that build: SIGIO progress, auto-max
+/// socket buffers, no receive staging.
+enum class MpichChannel { kP4, kMpLiteChannel };
+
+struct MpichOptions {
+  /// P4_SOCKBUFSIZE environment variable (p4 channel only).
+  std::uint32_t p4_sockbufsize = 32 * 1024;
+  /// The 128 kB rendezvous cutoff in mpid/ch2/chinit.c ("not designed to
+  /// be user tunable, but can always be modified in the source code").
+  std::uint64_t rendezvous_cutoff = 128 * 1024;
+  MpichChannel channel = MpichChannel::kP4;
+  /// Model p4 as a strict blocking channel device: long transfers move
+  /// one P4_SOCKBUFSIZE staging bufferful at a time, stop-and-wait.
+  /// This is the hypothesized source of the paper's "5-fold" tuning
+  /// ratio (EXPERIMENTS.md footnote 2); off by default because the
+  /// real p4 pipelines at least partially.
+  bool p4_stop_and_wait = false;
+};
+
+class Mpich final : public StreamLibrary {
+ public:
+  Mpich(sim::Simulator& sim, int rank, hw::Node& node, MpichOptions opt = {})
+      : StreamLibrary(sim, rank, node, make_config(opt)) {}
+
+  static StreamConfig make_config(const MpichOptions& opt) {
+    StreamConfig c;
+    c.header_bytes = 40;
+    c.eager_max = opt.rendezvous_cutoff - 1;
+    c.per_call_cost = sim::microseconds(0.8);
+    if (opt.channel == MpichChannel::kP4) {
+      c.name = "MPICH";
+      c.stage_all_receives = true;  // p4 receives to a buffer, then memcpy
+      c.buffer_policy = BufferPolicy::kFixed;
+      c.fixed_buffer_bytes = opt.p4_sockbufsize;
+      if (opt.p4_stop_and_wait) {
+        c.stop_and_wait_chunk = opt.p4_sockbufsize;
+      }
+    } else {
+      // The MP_Lite channel device: the underlying layer's behaviour
+      // shows through to full MPICH.
+      c.name = "MPICH-MP_Lite";
+      c.stage_all_receives = false;
+      c.buffer_policy = BufferPolicy::kSysctlMax;
+      c.progress = ProgressMode::kIndependent;
+    }
+    return c;
+  }
+
+  static std::pair<std::unique_ptr<Mpich>, std::unique_ptr<Mpich>>
+  create_pair(PairBed& bed, MpichOptions opt = {}) {
+    auto a = std::make_unique<Mpich>(bed.sim, 0, bed.node_a, opt);
+    auto b = std::make_unique<Mpich>(bed.sim, 1, bed.node_b, opt);
+    auto [sa, sb] = bed.socket_pair("mpich");
+    wire_pair(*a, *b, std::move(sa), std::move(sb));
+    return {std::move(a), std::move(b)};
+  }
+};
+
+}  // namespace pp::mp

@@ -1,0 +1,46 @@
+// MP_Lite 2.3, the authors' lightweight library (paper §3.4, §4.4).
+//
+// Modelled mechanisms:
+//  - SIGIO interrupt-driven progress: data keeps flowing through the TCP
+//    buffers at all times (independent progress engine);
+//  - socket buffers raised to the system maximum automatically — "the
+//    only tuning needed was to increase the maximum socket buffer sizes
+//    on the system" (sysctl);
+//  - no staging copies, no rendezvous: the curve lies on raw TCP.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "mp/stream_lib.h"
+#include "mp/testbed.h"
+
+namespace pp::mp {
+
+class MpLite final : public StreamLibrary {
+ public:
+  MpLite(sim::Simulator& sim, int rank, hw::Node& node)
+      : StreamLibrary(sim, rank, node, make_config()) {}
+
+  static StreamConfig make_config() {
+    StreamConfig c;
+    c.name = "MP_Lite";
+    c.header_bytes = 24;
+    c.eager_max = UINT64_MAX;
+    c.buffer_policy = BufferPolicy::kSysctlMax;
+    c.progress = ProgressMode::kIndependent;  // the SIGIO handler
+    c.per_call_cost = sim::microseconds(0.3);
+    return c;
+  }
+
+  static std::pair<std::unique_ptr<MpLite>, std::unique_ptr<MpLite>>
+  create_pair(PairBed& bed) {
+    auto a = std::make_unique<MpLite>(bed.sim, 0, bed.node_a);
+    auto b = std::make_unique<MpLite>(bed.sim, 1, bed.node_b);
+    auto [sa, sb] = bed.socket_pair("mplite");
+    wire_pair(*a, *b, std::move(sa), std::move(sb));
+    return {std::move(a), std::move(b)};
+  }
+};
+
+}  // namespace pp::mp

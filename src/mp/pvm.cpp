@@ -1,0 +1,118 @@
+#include "mp/pvm.h"
+
+namespace pp::mp {
+
+Pvm::Pvm(sim::Simulator& sim, int rank, hw::Node& node, PvmOptions opt)
+    : sim_(sim), rank_(rank), node_(node), opt_(opt) {
+  if (opt_.route == PvmRoute::kDirect) {
+    stream_ = std::make_unique<StreamLibrary>(sim, rank, node,
+                                              make_stream_config(opt_));
+  }
+}
+
+std::string Pvm::name() const {
+  std::string n = opt_.route == PvmRoute::kDaemon ? "PVM (pvmd route)"
+                                                  : "PVM (direct)";
+  switch (opt_.encoding) {
+    case PvmEncoding::kDefault:
+      break;
+    case PvmEncoding::kRaw:
+      n += " raw";
+      break;
+    case PvmEncoding::kInPlace:
+      n += " in-place";
+      break;
+  }
+  return n;
+}
+
+double Pvm::pack_factor() const {
+  switch (opt_.encoding) {
+    case PvmEncoding::kDefault:
+      return 2.0;  // XDR: convert + copy
+    case PvmEncoding::kRaw:
+      return 1.0;  // plain copy into the pack buffer
+    case PvmEncoding::kInPlace:
+      return 0.0;  // data sent straight from user memory
+  }
+  return 0.0;
+}
+
+StreamConfig Pvm::make_stream_config(const PvmOptions& opt) {
+  StreamConfig c;
+  c.name = "PVM";
+  c.header_bytes = 32;
+  c.eager_max = UINT64_MAX;  // PVM streams; no rendezvous protocol
+  c.buffer_policy = BufferPolicy::kOsDefault;
+  c.fragment_payload = 4080;  // pvmd fragment size
+  c.fragment_header = 16;
+  switch (opt.encoding) {
+    case PvmEncoding::kDefault:
+      c.tx_conversion = 1.2;
+      break;
+    case PvmEncoding::kRaw:
+      c.tx_conversion = 1.0;
+      break;
+    case PvmEncoding::kInPlace:
+      c.tx_conversion = 0.0;
+      break;
+  }
+  c.rx_conversion = 1.0;  // pvm_upk* always copies out
+  c.per_call_cost = sim::microseconds(0.8);
+  return c;
+}
+
+sim::Task<void> Pvm::send(int dst, std::uint64_t bytes, std::uint32_t tag) {
+  if (opt_.route == PvmRoute::kDirect) {
+    co_await stream_->send(dst, bytes, tag);
+    co_return;
+  }
+  (void)dst;
+  (void)tag;  // the pvmd route preserves pairwise order
+  // pvm_initsend packing happens before the daemon sees anything.
+  if (pack_factor() > 0.0) {
+    co_await node_.cpu().transfer(static_cast<std::uint64_t>(
+        static_cast<double>(bytes) * pack_factor()));
+  }
+  co_await relay_out_->send(bytes);
+}
+
+sim::Task<void> Pvm::recv(int src, std::uint64_t bytes, std::uint32_t tag) {
+  if (opt_.route == PvmRoute::kDirect) {
+    co_await stream_->recv(src, bytes, tag);
+    co_return;
+  }
+  (void)src;
+  (void)tag;
+  co_await relay_in_->recv(bytes);
+  // pvm_upk* copy out of the receive buffer.
+  co_await node_.copy(bytes);
+}
+
+std::pair<std::unique_ptr<Pvm>, std::unique_ptr<Pvm>> Pvm::create_pair(
+    PairBed& bed, PvmOptions opt) {
+  auto a = std::make_unique<Pvm>(bed.sim, 0, bed.node_a, opt);
+  auto b = std::make_unique<Pvm>(bed.sim, 1, bed.node_b, opt);
+  if (opt.route == PvmRoute::kDirect) {
+    auto [sa, sb] = bed.socket_pair("pvm");
+    wire_pair(*a->stream_, *b->stream_, std::move(sa), std::move(sb));
+    return {std::move(a), std::move(b)};
+  }
+  RelayOptions ropt;  // pvmd defaults: 4 kB fragments, stop-and-wait
+  ropt.daemon_service = sim::microseconds(12.0);
+  auto [da, db] = bed.socket_pair("pvmd.fwd");
+  auto [ea, eb] = bed.socket_pair("pvmd.rev");
+  auto fwd = std::make_shared<RelayChannel>(bed.node_a, bed.node_b,
+                                            std::move(da), std::move(db),
+                                            ropt);
+  auto rev = std::make_shared<RelayChannel>(bed.node_b, bed.node_a,
+                                            std::move(eb), std::move(ea),
+                                            ropt);
+  a->relay_out_ = fwd;
+  a->relay_in_ = rev;
+  b->relay_out_ = rev;
+  b->relay_in_ = fwd;
+  return {std::move(a), std::move(b)};
+}
+
+}  // namespace pp::mp

@@ -1,0 +1,61 @@
+// PVM 3.4 (paper §3.5, §4.5).
+//
+// Modelled mechanisms:
+//  - the default route sends everything through the pvmd daemons (~90
+//    Mbps in the paper); pvm_setopt(PvmRoute, PvmRouteDirect) gives a
+//    4-fold improvement;
+//  - pvm_initsend encoding: PvmDataDefault packs with XDR conversion,
+//    PvmDataRaw packs with a plain copy, PvmDataInPlace skips the send
+//    copy entirely (330 -> 415 Mbps in the paper); the receive side
+//    always unpacks through a copy, which keeps PVM 25-30 % below TCP;
+//  - data moves in pvmd-style ~4 kB fragments with per-fragment headers.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "mp/daemon_relay.h"
+#include "mp/stream_lib.h"
+#include "mp/testbed.h"
+
+namespace pp::mp {
+
+enum class PvmRoute { kDaemon, kDirect };
+enum class PvmEncoding { kDefault, kRaw, kInPlace };
+
+struct PvmOptions {
+  PvmRoute route = PvmRoute::kDaemon;        // PVM's default!
+  PvmEncoding encoding = PvmEncoding::kDefault;
+};
+
+class Pvm final : public Library {
+ public:
+  Pvm(sim::Simulator& sim, int rank, hw::Node& node, PvmOptions opt);
+
+  sim::Task<void> send(int dst, std::uint64_t bytes,
+                       std::uint32_t tag) override;
+  sim::Task<void> recv(int src, std::uint64_t bytes,
+                       std::uint32_t tag) override;
+
+  hw::Node& node() override { return node_; }
+  int rank() const override { return rank_; }
+  std::string name() const override;
+
+  static std::pair<std::unique_ptr<Pvm>, std::unique_ptr<Pvm>> create_pair(
+      PairBed& bed, PvmOptions opt = {});
+
+ private:
+  static StreamConfig make_stream_config(const PvmOptions& opt);
+  /// Extra per-byte CPU passes for pvm_pk* under this encoding.
+  double pack_factor() const;
+
+  sim::Simulator& sim_;
+  int rank_;
+  hw::Node& node_;
+  PvmOptions opt_;
+  std::unique_ptr<StreamLibrary> stream_;    // direct route
+  std::shared_ptr<RelayChannel> relay_out_;  // daemon route
+  std::shared_ptr<RelayChannel> relay_in_;
+};
+
+}  // namespace pp::mp

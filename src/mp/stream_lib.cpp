@@ -1,0 +1,361 @@
+#include "mp/stream_lib.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace pp::mp {
+
+// ---------------------------------------------------------------------------
+// Library defaults (nonblocking ops as concurrent simulated tasks)
+// ---------------------------------------------------------------------------
+
+Request Library::isend(int dst, std::uint64_t bytes, std::uint32_t tag) {
+  return Request(
+      node().simulator().spawn(send(dst, bytes, tag), name() + ".isend"));
+}
+
+Request Library::irecv(int src, std::uint64_t bytes, std::uint32_t tag) {
+  return Request(
+      node().simulator().spawn(recv(src, bytes, tag), name() + ".irecv"));
+}
+
+// ---------------------------------------------------------------------------
+// Channel plumbing
+// ---------------------------------------------------------------------------
+
+void StreamLibrary::bind_peer(int peer_rank, tcp::Socket socket) {
+  PeerChannel& ch = peers_[peer_rank];
+  ch.peer_rank = peer_rank;
+  ch.sock = std::move(socket);
+  ch.reader_changed = std::make_unique<sim::Signal>(sim_);
+  ch.tx_lock = std::make_unique<sim::ByteSemaphore>(sim_, 1);
+
+  switch (config_.buffer_policy) {
+    case BufferPolicy::kOsDefault:
+      break;
+    case BufferPolicy::kFixed:
+      ch.sock.set_send_buffer(config_.fixed_buffer_bytes);
+      ch.sock.set_recv_buffer(config_.fixed_buffer_bytes);
+      break;
+    case BufferPolicy::kSysctlMax:
+      // setsockopt clamps to the sysctl caps, so asking for "everything"
+      // is exactly MP_Lite's behaviour.
+      ch.sock.set_send_buffer(UINT32_MAX);
+      ch.sock.set_recv_buffer(UINT32_MAX);
+      break;
+  }
+
+  if (config_.progress == ProgressMode::kIndependent) {
+    ch.reader_active = true;  // the progress engine owns the stream
+    sim_.spawn_daemon(progress_daemon(ch),
+                      config_.name + ".progress@" + std::to_string(rank_));
+  }
+}
+
+StreamLibrary::PeerChannel& StreamLibrary::channel(int peer) {
+  auto it = peers_.find(peer);
+  assert(it != peers_.end() && "no channel bound to that rank");
+  return it->second;
+}
+
+std::uint64_t StreamLibrary::payload_with_fragment_overhead(
+    std::uint64_t bytes) const {
+  if (config_.fragment_payload == 0 || bytes == 0) return bytes;
+  const std::uint64_t frags =
+      (bytes + config_.fragment_payload - 1) / config_.fragment_payload;
+  return bytes + frags * config_.fragment_header;
+}
+
+sim::Task<void> StreamLibrary::send_wire(PeerChannel& ch, WireMeta meta,
+                                         std::uint64_t payload_bytes) {
+  ch.meta_out->push_back(meta);
+  co_await ch.sock.send(config_.header_bytes + payload_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// The inbound dispatcher
+// ---------------------------------------------------------------------------
+
+sim::Task<void> StreamLibrary::read_one(PeerChannel& ch) {
+  co_await ch.sock.recv_exact(config_.header_bytes);
+  assert(!ch.meta_in->empty() && "header bytes arrived without metadata");
+  const WireMeta m = ch.meta_in->front();
+  ch.meta_in->pop_front();
+
+  switch (m.kind) {
+    case Kind::kData: {
+      auto it = std::find_if(ch.posted.begin(), ch.posted.end(),
+                             [&](PostedRecv* p) {
+                               return !p->matched && p->tag == m.tag;
+                             });
+      PostedRecv* pr = it != ch.posted.end() ? *it : nullptr;
+      const std::uint64_t wire_payload =
+          payload_with_fragment_overhead(m.bytes);
+      if (pr != nullptr && !config_.stage_all_receives) {
+        // Payload lands directly in the posted user buffer.
+        pr->matched = true;
+        co_await ch.sock.recv_exact(wire_payload);
+        ch.posted.erase(std::find(ch.posted.begin(), ch.posted.end(), pr));
+        pr->was_staged = false;
+        pr->completed = true;
+        pr->done->set();
+      } else {
+        // Payload goes to the library's staging buffer first.
+        co_await ch.sock.recv_exact(wire_payload);
+        staged_bytes_ += m.bytes;
+        if (pr == nullptr) {
+          // A matching receive may have been posted while the payload was
+          // in flight; match it now rather than parking the message.
+          auto again = std::find_if(ch.posted.begin(), ch.posted.end(),
+                                    [&](PostedRecv* p) {
+                                      return !p->matched && p->tag == m.tag;
+                                    });
+          if (again != ch.posted.end()) pr = *again;
+        }
+        if (pr != nullptr) {
+          pr->matched = true;
+          ch.posted.erase(std::find(ch.posted.begin(), ch.posted.end(), pr));
+          pr->was_staged = true;
+          pr->completed = true;
+          pr->done->set();
+        } else {
+          ch.unexpected.push_back(UnexpectedMsg{m.tag, m.bytes});
+          ch.reader_changed->notify_all();
+        }
+      }
+      break;
+    }
+    case Kind::kRts: {
+      auto it = std::find_if(ch.posted.begin(), ch.posted.end(),
+                             [&](PostedRecv* p) {
+                               return !p->matched && p->tag == m.tag;
+                             });
+      if (it != ch.posted.end()) {
+        // A receive is already posted: clear the sender to transmit.
+        co_await ch.tx_lock->acquire(1);
+        co_await send_wire(ch, WireMeta{Kind::kCts, m.tag, m.bytes, false},
+                           0);
+        ch.tx_lock->release(1);
+      } else {
+        ch.rts_pending.push_back(UnexpectedMsg{m.tag, m.bytes});
+        ch.reader_changed->notify_all();
+      }
+      break;
+    }
+    case Kind::kCts: {
+      assert(!ch.cts_waiters.empty() && "CTS with no rendezvous in flight");
+      sim::Trigger* t = ch.cts_waiters.front();
+      ch.cts_waiters.pop_front();
+      t->set();
+      break;
+    }
+    case Kind::kSyncAck: {
+      assert(!ch.sync_waiters.empty() && "sync ACK with no waiting SND");
+      sim::Trigger* t = ch.sync_waiters.front();
+      ch.sync_waiters.pop_front();
+      t->set();
+      break;
+    }
+  }
+}
+
+sim::Task<void> StreamLibrary::drive_until(PeerChannel& ch,
+                                           std::function<bool()> done) {
+  while (!done()) {
+    if (!ch.reader_active) {
+      ch.reader_active = true;
+      if (done()) {  // re-check: a previous reader may have finished us
+        ch.reader_active = false;
+        ch.reader_changed->notify_all();
+        break;
+      }
+      co_await read_one(ch);
+      ch.reader_active = false;
+      ch.reader_changed->notify_all();
+    } else {
+      co_await ch.reader_changed->wait();
+    }
+  }
+}
+
+sim::Task<void> StreamLibrary::progress_daemon(PeerChannel& ch) {
+  for (;;) {
+    co_await read_one(ch);
+    ch.reader_changed->notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking send / recv
+// ---------------------------------------------------------------------------
+
+sim::Task<void> StreamLibrary::send(int dst, std::uint64_t bytes,
+                                    std::uint32_t tag) {
+  PeerChannel& ch = channel(dst);
+  co_await node_.cpu_cost(config_.per_call_cost);
+  if (config_.thread_handoff > 0) {
+    // Hand the message descriptor to the progress thread.
+    co_await node_.cpu_cost(node_.config().wakeup_cost);
+    co_await sim_.delay(config_.thread_handoff);
+  }
+  if (config_.tx_conversion > 0.0) {
+    co_await node_.cpu().occupy(static_cast<sim::SimTime>(
+        static_cast<double>(node_.staging_copy_time(bytes)) *
+        config_.tx_conversion));
+  }
+
+  // p4 blocking channel device: long messages march through the staging
+  // buffer one chunk at a time, stop-and-wait.
+  if (config_.stop_and_wait_chunk > 0 &&
+      bytes > config_.stop_and_wait_chunk) {
+    std::uint64_t left = bytes;
+    while (left > 0) {
+      const std::uint64_t chunk =
+          std::min(left, config_.stop_and_wait_chunk);
+      left -= chunk;
+      co_await send_message(ch, chunk, tag, /*sync=*/true);
+    }
+    if (config_.synchronous_send) {
+      sim::Trigger ack(sim_);
+      ch.sync_waiters.push_back(&ack);
+      co_await drive_until(ch, [&] { return ack.is_set(); });
+    }
+    co_return;
+  }
+  co_await send_message(ch, bytes, tag, config_.synchronous_send);
+}
+
+sim::Task<void> StreamLibrary::send_message(PeerChannel& ch,
+                                            std::uint64_t bytes,
+                                            std::uint32_t tag, bool sync) {
+  if (bytes <= config_.eager_max) {
+    co_await ch.tx_lock->acquire(1);
+    co_await send_wire(ch, WireMeta{Kind::kData, tag, bytes, false},
+                       payload_with_fragment_overhead(bytes));
+    ch.tx_lock->release(1);
+  } else {
+    // Rendezvous: request-to-send, wait for clear-to-send, then the data.
+    rendezvous_count_ += 1;
+    co_await ch.tx_lock->acquire(1);
+    co_await send_wire(ch, WireMeta{Kind::kRts, tag, bytes, false}, 0);
+    ch.tx_lock->release(1);
+    sim::Trigger cts(sim_);
+    ch.cts_waiters.push_back(&cts);
+    co_await drive_until(ch, [&] { return cts.is_set(); });
+    co_await ch.tx_lock->acquire(1);
+    co_await send_wire(ch, WireMeta{Kind::kData, tag, bytes, true},
+                       payload_with_fragment_overhead(bytes));
+    ch.tx_lock->release(1);
+  }
+
+  if (sync) {
+    sim::Trigger ack(sim_);
+    ch.sync_waiters.push_back(&ack);
+    co_await drive_until(ch, [&] { return ack.is_set(); });
+  }
+}
+
+sim::Task<void> StreamLibrary::recv(int src, std::uint64_t bytes,
+                                    std::uint32_t tag) {
+  PeerChannel& ch = channel(src);
+  co_await node_.cpu_cost(config_.per_call_cost);
+  if (config_.thread_handoff > 0) {
+    co_await node_.cpu_cost(node_.config().wakeup_cost);
+    co_await sim_.delay(config_.thread_handoff);
+  }
+  if (config_.stop_and_wait_chunk > 0 &&
+      bytes > config_.stop_and_wait_chunk) {
+    std::uint64_t left = bytes;
+    while (left > 0) {
+      const std::uint64_t chunk =
+          std::min(left, config_.stop_and_wait_chunk);
+      left -= chunk;
+      co_await recv_message(ch, chunk, tag, /*sync=*/true);
+    }
+    if (config_.synchronous_send) {
+      co_await ch.tx_lock->acquire(1);
+      co_await send_wire(ch, WireMeta{Kind::kSyncAck, tag, 0, false}, 0);
+      ch.tx_lock->release(1);
+    }
+    co_return;
+  }
+  co_await recv_message(ch, bytes, tag, config_.synchronous_send);
+}
+
+sim::Task<void> StreamLibrary::recv_message(PeerChannel& ch,
+                                            std::uint64_t bytes,
+                                            std::uint32_t tag, bool sync) {
+  bool staged = false;
+  // 1) Already in the unexpected queue?
+  auto uit = std::find_if(ch.unexpected.begin(), ch.unexpected.end(),
+                          [&](const UnexpectedMsg& u) { return u.tag == tag; });
+  if (uit != ch.unexpected.end()) {
+    assert(uit->bytes == bytes && "matched message has a different size");
+    ch.unexpected.erase(uit);
+    staged = true;
+  } else {
+    // 2) A rendezvous sender may already be asking.
+    auto rit = std::find_if(ch.rts_pending.begin(), ch.rts_pending.end(),
+                            [&](const UnexpectedMsg& u) {
+                              return u.tag == tag;
+                            });
+    PostedRecv pr;
+    pr.tag = tag;
+    pr.bytes = bytes;
+    pr.done = std::make_unique<sim::Trigger>(sim_);
+    ch.posted.push_back(&pr);
+    if (rit != ch.rts_pending.end()) {
+      ch.rts_pending.erase(rit);
+      co_await ch.tx_lock->acquire(1);
+      co_await send_wire(ch, WireMeta{Kind::kCts, tag, bytes, false}, 0);
+      ch.tx_lock->release(1);
+    }
+    co_await drive_until(ch, [&] { return pr.completed; });
+    staged = pr.was_staged;
+  }
+
+  if (staged) {
+    // Library buffer -> user buffer copy (the p4 penalty, and the cost of
+    // unexpected arrivals for every library).
+    co_await node_.staging_copy(bytes);
+  }
+  if (config_.rx_conversion > 0.0) {
+    co_await node_.cpu().occupy(static_cast<sim::SimTime>(
+        static_cast<double>(node_.staging_copy_time(bytes)) *
+        config_.rx_conversion));
+  }
+  if (sync) {
+    co_await ch.tx_lock->acquire(1);
+    co_await send_wire(ch, WireMeta{Kind::kSyncAck, tag, 0, false}, 0);
+    ch.tx_lock->release(1);
+  }
+}
+
+Request StreamLibrary::isend(int dst, std::uint64_t bytes,
+                             std::uint32_t tag) {
+  return Request(sim_.spawn(send(dst, bytes, tag), config_.name + ".isend"));
+}
+
+Request StreamLibrary::irecv(int src, std::uint64_t bytes,
+                             std::uint32_t tag) {
+  return Request(sim_.spawn(recv(src, bytes, tag), config_.name + ".irecv"));
+}
+
+// ---------------------------------------------------------------------------
+// Pair wiring helper
+// ---------------------------------------------------------------------------
+
+void wire_pair(StreamLibrary& a, StreamLibrary& b, tcp::Socket sa,
+               tcp::Socket sb) {
+  auto ab = std::make_shared<std::deque<StreamLibrary::WireMeta>>();
+  auto ba = std::make_shared<std::deque<StreamLibrary::WireMeta>>();
+  a.bind_peer(b.rank(), std::move(sa));
+  b.bind_peer(a.rank(), std::move(sb));
+  a.channel(b.rank()).meta_out = ab;
+  a.channel(b.rank()).meta_in = ba;
+  b.channel(a.rank()).meta_out = ba;
+  b.channel(a.rank()).meta_in = ab;
+}
+
+}  // namespace pp::mp

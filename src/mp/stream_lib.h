@@ -1,0 +1,201 @@
+// StreamLibrary: the protocol engine shared by every TCP-based
+// message-passing library model.
+//
+// It implements, over a byte-stream socket per peer:
+//  - tagged messages with an unexpected-message queue (MPI-style matching)
+//  - an eager protocol (header + payload) below the rendezvous threshold
+//  - a rendezvous protocol (RTS -> CTS -> payload) above it — the
+//    handshake costs two extra one-way latencies, producing the
+//    throughput dip at the threshold the paper shows for MPICH and LAM
+//  - optional receive staging: payload always lands in a library buffer
+//    and is memcpy'd to the user (MPICH/p4's behaviour — the source of
+//    its 25-30 % large-message loss)
+//  - optional per-byte data conversion (LAM without -O, PVM's XDR)
+//  - optional synchronous-send completion ACKs (TCGMSG's SND semantics)
+//  - a choice of progress engine: on-call (progress only inside library
+//    calls) or an independent reader (MPI/Pro's progress thread,
+//    MP_Lite's SIGIO handler)
+//
+// Each concrete library is a thin configuration of this engine plus, for
+// PVM and LAM's lamd mode, the DaemonRelay path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mp/api.h"
+#include "simcore/sync.h"
+#include "tcpsim/socket.h"
+
+namespace pp::mp {
+
+/// How a library sizes its sockets' buffers (the paper's central tunable).
+enum class BufferPolicy {
+  kOsDefault,   ///< whatever the kernel gives (LAM, PVM)
+  kFixed,       ///< a library-chosen constant (MPICH's P4_SOCKBUFSIZE,
+                ///< TCGMSG's SR_SOCK_BUF_SIZE, MPI/Pro's internal size)
+  kSysctlMax,   ///< raise to the system maximum (MP_Lite)
+};
+
+/// When the library moves data relative to application calls.
+enum class ProgressMode {
+  kOnCall,      ///< data moves only while a rank is inside the library
+  kIndependent, ///< a progress engine drains the wire at all times
+                ///< (MPI/Pro's thread, MP_Lite's SIGIO handler)
+};
+
+struct StreamConfig {
+  std::string name = "stream-mp";
+  std::uint32_t header_bytes = 32;
+  /// Largest eager payload; larger messages use rendezvous. ~0 disables
+  /// rendezvous entirely (MP_Lite).
+  std::uint64_t eager_max = UINT64_MAX;
+  /// Always stage received payloads in a library buffer and memcpy to the
+  /// user (p4). When false, payloads matching a posted receive land
+  /// directly in user memory.
+  bool stage_all_receives = false;
+  /// Extra per-byte CPU cost on both ends, as a multiple of the host's
+  /// copy cost (1.0 = one extra memcpy-equivalent). Models XDR / LAM's
+  /// heterogeneous conversion.
+  double tx_conversion = 0.0;
+  double rx_conversion = 0.0;
+  /// TCGMSG: SND blocks until the matching RCV has completed.
+  bool synchronous_send = false;
+  /// p4 blocking-channel-device mode: long messages move through the
+  /// staging buffer one bufferful at a time, each chunk acknowledged
+  /// before the next is sent (the stop-and-wait behaviour that made
+  /// P4_SOCKBUFSIZE so punishing when small). 0 disables.
+  std::uint64_t stop_and_wait_chunk = 0;
+  /// Fixed library bookkeeping per send/recv call.
+  sim::SimTime per_call_cost = sim::microseconds(0.4);
+  /// Extra latency handed to a separate progress thread per message end
+  /// (MPI/Pro).
+  sim::SimTime thread_handoff = 0;
+
+  BufferPolicy buffer_policy = BufferPolicy::kOsDefault;
+  std::uint32_t fixed_buffer_bytes = 0;
+
+  ProgressMode progress = ProgressMode::kOnCall;
+
+  /// If nonzero, payload is carried in fragments with this many bytes of
+  /// extra header each (PVM's ~4 kB fragments).
+  std::uint32_t fragment_payload = 0;
+  std::uint32_t fragment_header = 0;
+};
+
+class StreamLibrary : public Library {
+ public:
+  StreamLibrary(sim::Simulator& sim, int rank, hw::Node& node,
+                StreamConfig config)
+      : sim_(sim), rank_(rank), node_(node), config_(std::move(config)) {}
+
+  /// Wires a socket to a peer rank, applying the library's buffer policy.
+  /// Use wire_pair() to connect two libraries, which also links their
+  /// wire-metadata queues.
+  void bind_peer(int peer_rank, tcp::Socket socket);
+
+  sim::Task<void> send(int dst, std::uint64_t bytes,
+                       std::uint32_t tag) override;
+  sim::Task<void> recv(int src, std::uint64_t bytes,
+                       std::uint32_t tag) override;
+  Request isend(int dst, std::uint64_t bytes, std::uint32_t tag) override;
+  Request irecv(int src, std::uint64_t bytes, std::uint32_t tag) override;
+
+  hw::Node& node() override { return node_; }
+  int rank() const override { return rank_; }
+  std::string name() const override { return config_.name; }
+
+  const StreamConfig& config() const { return config_; }
+
+  /// Count of rendezvous handshakes performed (for tests).
+  std::uint64_t rendezvous_count() const { return rendezvous_count_; }
+  /// Bytes that went through the library staging buffer (for tests).
+  std::uint64_t staged_bytes() const { return staged_bytes_; }
+
+ protected:
+  enum class Kind : std::uint8_t { kData, kRts, kCts, kSyncAck };
+
+  /// Metadata describing the next wire message; travels logically with
+  /// the header bytes (the two endpoints share address space).
+  struct WireMeta {
+    Kind kind = Kind::kData;
+    std::uint32_t tag = 0;
+    std::uint64_t bytes = 0;
+    bool rendezvous_payload = false;
+  };
+
+  struct PostedRecv {
+    std::uint32_t tag = 0;
+    std::uint64_t bytes = 0;
+    bool matched = false;
+    bool completed = false;
+    bool was_staged = false;
+    std::unique_ptr<sim::Trigger> done;
+  };
+
+  struct UnexpectedMsg {
+    std::uint32_t tag = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  struct PeerChannel {
+    int peer_rank = -1;
+    tcp::Socket sock;
+    // Outbound metadata mirror: the peer pops these as it reads headers.
+    std::shared_ptr<std::deque<WireMeta>> meta_out;
+    std::shared_ptr<std::deque<WireMeta>> meta_in;
+
+    // Receive-side dispatcher state.
+    bool reader_active = false;
+    std::unique_ptr<sim::Signal> reader_changed;
+    std::deque<PostedRecv*> posted;
+    std::deque<UnexpectedMsg> unexpected;
+    // Rendezvous requests that arrived before their receive was posted.
+    std::deque<UnexpectedMsg> rts_pending;
+    // Rendezvous: senders waiting for CTS, FIFO per peer.
+    std::deque<sim::Trigger*> cts_waiters;
+    // Synchronous sends waiting for the receiver's completion ACK.
+    std::deque<sim::Trigger*> sync_waiters;
+    // Serializes whole messages on the outbound stream.
+    std::unique_ptr<sim::ByteSemaphore> tx_lock;
+  };
+
+  PeerChannel& channel(int peer);
+  sim::Task<void> read_one(PeerChannel& ch);
+  /// Participates in (or waits on) the inbound dispatcher until `done()`
+  /// holds: the single-reader discipline every socket-based MPI uses.
+  sim::Task<void> drive_until(PeerChannel& ch, std::function<bool()> done);
+  sim::Task<void> progress_daemon(PeerChannel& ch);
+  sim::Task<void> send_wire(PeerChannel& ch, WireMeta meta,
+                            std::uint64_t payload_bytes);
+  sim::Task<void> send_message(PeerChannel& ch, std::uint64_t bytes,
+                               std::uint32_t tag, bool sync);
+  sim::Task<void> recv_message(PeerChannel& ch, std::uint64_t bytes,
+                               std::uint32_t tag, bool sync);
+
+  std::uint64_t payload_with_fragment_overhead(std::uint64_t bytes) const;
+
+  sim::Simulator& sim_;
+  int rank_;
+  hw::Node& node_;
+  StreamConfig config_;
+  std::map<int, PeerChannel> peers_;
+  std::uint64_t rendezvous_count_ = 0;
+  std::uint64_t staged_bytes_ = 0;
+
+  friend void wire_pair(StreamLibrary& a, StreamLibrary& b, tcp::Socket sa,
+                        tcp::Socket sb);
+};
+
+/// Connects two library endpoints over an established socket pair (sa on
+/// a's node, sb on b's node) and links their wire-metadata queues.
+void wire_pair(StreamLibrary& a, StreamLibrary& b, tcp::Socket sa,
+               tcp::Socket sb);
+
+}  // namespace pp::mp

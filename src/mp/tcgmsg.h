@@ -1,0 +1,94 @@
+// TCGMSG 4.04 (paper §3.6, §4.6).
+//
+// Modelled mechanisms:
+//  - a very thin layer over TCP: small header, no staging, no rendezvous
+//    ("it passes on nearly all the performance that TCP offers");
+//  - SND blocks until the matching RCV has completed (synchronous
+//    completion ACK);
+//  - socket buffers hard-wired to SR_SOCK_BUF_SIZE = 32 kB in sndrcvP.h —
+//    changing it means recompiling, which we model as a constructor
+//    option (the paper's §7 recompile experiment).
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "mp/stream_lib.h"
+#include "mp/testbed.h"
+
+namespace pp::mp {
+
+struct TcgmsgOptions {
+  /// SR_SOCK_BUF_SIZE in sndrcvP.h; 32 kB unless you recompile.
+  std::uint32_t sr_sock_buf_size = 32 * 1024;
+};
+
+class Tcgmsg final : public StreamLibrary {
+ public:
+  Tcgmsg(sim::Simulator& sim, int rank, hw::Node& node,
+         TcgmsgOptions opt = {})
+      : StreamLibrary(sim, rank, node, make_config(opt)) {}
+
+  static StreamConfig make_config(const TcgmsgOptions& opt) {
+    StreamConfig c;
+    c.name = "TCGMSG";
+    c.header_bytes = 16;
+    c.eager_max = UINT64_MAX;  // always streams; no rendezvous dip
+    c.synchronous_send = true;
+    c.buffer_policy = BufferPolicy::kFixed;
+    c.fixed_buffer_bytes = opt.sr_sock_buf_size;
+    c.per_call_cost = sim::microseconds(0.3);
+    return c;
+  }
+
+  static std::pair<std::unique_ptr<Tcgmsg>, std::unique_ptr<Tcgmsg>>
+  create_pair(PairBed& bed, TcgmsgOptions opt = {}) {
+    auto a = std::make_unique<Tcgmsg>(bed.sim, 0, bed.node_a, opt);
+    auto b = std::make_unique<Tcgmsg>(bed.sim, 1, bed.node_b, opt);
+    auto [sa, sb] = bed.socket_pair("tcgmsg");
+    wire_pair(*a, *b, std::move(sa), std::move(sb));
+    return {std::move(a), std::move(b)};
+  }
+};
+
+/// TCGMSG stacked on an MPI library instead of raw TCP (paper §4.6:
+/// "NetPIPE measurements showed that there is no performance lost by
+/// running TCGMSG-MPICH compared to MPICH alone, though the fact that a
+/// TCGMSG SND blocks until the matching RCV is completed may affect real
+/// applications more"). The wrapper adds only TCGMSG's thin call
+/// overhead and its synchronous-completion handshake, carried as small
+/// MPI messages.
+class TcgmsgOverMpi final : public Library {
+ public:
+  TcgmsgOverMpi(Library& inner, sim::SimTime per_call =
+                                    sim::microseconds(0.3))
+      : inner_(inner), per_call_(per_call) {}
+
+  sim::Task<void> send(int dst, std::uint64_t bytes,
+                       std::uint32_t tag) override {
+    co_await node().cpu_cost(per_call_);
+    co_await inner_.send(dst, bytes, tag);
+    // SND blocks until the matching RCV has completed.
+    co_await inner_.recv(dst, 4, kAckTagBase + tag);
+  }
+
+  sim::Task<void> recv(int src, std::uint64_t bytes,
+                       std::uint32_t tag) override {
+    co_await node().cpu_cost(per_call_);
+    co_await inner_.recv(src, bytes, tag);
+    co_await inner_.send(src, 4, kAckTagBase + tag);
+  }
+
+  hw::Node& node() override { return inner_.node(); }
+  int rank() const override { return inner_.rank(); }
+  std::string name() const override {
+    return "TCGMSG-" + inner_.name();
+  }
+
+ private:
+  static constexpr std::uint32_t kAckTagBase = 0x20000000;
+  Library& inner_;
+  sim::SimTime per_call_;
+};
+
+}  // namespace pp::mp

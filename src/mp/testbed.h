@@ -1,0 +1,56 @@
+// Two-node experiment bed: the standard fixture every test, bench and
+// example builds on. It owns the simulator, the cluster (two hosts, one
+// NIC model, one duplex link) and the per-node TCP stacks, and can mint
+// any number of connections over the shared link — just like running
+// several sockets over one pair of NICs.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "simcore/simulator.h"
+#include "simhw/cluster.h"
+#include "simhw/presets.h"
+#include "tcpsim/socket.h"
+
+namespace pp::mp {
+
+class PairBed {
+ public:
+  PairBed(const hw::HostConfig& host, const hw::NicConfig& nic,
+          const tcp::Sysctl& sysctl = {},
+          const hw::LinkConfig& link_cfg = hw::presets::back_to_back())
+      : PairBed(host, host, nic, sysctl, link_cfg) {}
+
+  /// Heterogeneous pair (e.g. a P4 talking to a DS20) — the environment
+  /// LAM's lamd mode and data conversion exist for.
+  PairBed(const hw::HostConfig& host_a, const hw::HostConfig& host_b,
+          const hw::NicConfig& nic, const tcp::Sysctl& sysctl = {},
+          const hw::LinkConfig& link_cfg = hw::presets::back_to_back())
+      : cluster(sim),
+        node_a(cluster.add_node(host_a)),
+        node_b(cluster.add_node(host_b)),
+        link(cluster.connect(node_a, node_b, nic, link_cfg)),
+        stack_a(node_a, sysctl),
+        stack_b(node_b, sysctl) {}
+
+  /// A new connection over the shared link; first socket lives on node A.
+  std::pair<tcp::Socket, tcp::Socket> socket_pair(
+      const std::string& name = "conn") {
+    return tcp::connect(stack_a, stack_b, link,
+                        name + "#" + std::to_string(next_conn_++));
+  }
+
+  sim::Simulator sim;
+  hw::Cluster cluster;
+  hw::Node& node_a;
+  hw::Node& node_b;
+  hw::Cluster::Duplex link;
+  tcp::TcpStack stack_a;
+  tcp::TcpStack stack_b;
+
+ private:
+  int next_conn_ = 0;
+};
+
+}  // namespace pp::mp

@@ -1,0 +1,121 @@
+// Multi-node worlds: rings of N nodes with a library endpoint per rank.
+//
+// Each neighbouring pair gets its own duplex link (back-to-back cabling,
+// as a 2002 budget cluster ring would be wired); every node has one TCP
+// stack. Libraries are wired pairwise exactly like the two-node testbed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mp/stream_lib.h"
+#include "simcore/simulator.h"
+#include "simhw/cluster.h"
+#include "simhw/presets.h"
+#include "tcpsim/socket.h"
+
+namespace pp::mp {
+
+/// N nodes in a ring; rank i talks to (i±1) mod N.
+class RingWorld {
+ public:
+  RingWorld(int nranks, const hw::HostConfig& host,
+            const hw::NicConfig& nic, const tcp::Sysctl& sysctl,
+            const hw::LinkConfig& link_cfg = hw::presets::back_to_back())
+      : cluster(sim) {
+    for (int i = 0; i < nranks; ++i) {
+      nodes.push_back(&cluster.add_node(host));
+      stacks.push_back(std::make_unique<tcp::TcpStack>(*nodes.back(),
+                                                       sysctl));
+    }
+    for (int i = 0; i < nranks; ++i) {
+      const int j = (i + 1) % nranks;
+      if (nranks == 2 && i == 1) break;  // one link suffices for a pair
+      links.push_back(std::make_unique<hw::Cluster::Duplex>(
+          cluster.connect(*nodes[i], *nodes[j], nic, link_cfg)));
+    }
+  }
+
+  int size() const { return static_cast<int>(nodes.size()); }
+
+  /// Builds one StreamLibrary-family endpoint per rank and wires each
+  /// neighbouring pair over its ring link.
+  template <typename L, typename... Args>
+  std::vector<std::unique_ptr<L>> build(Args&&... args) {
+    std::vector<std::unique_ptr<L>> libs;
+    libs.reserve(nodes.size());
+    for (int i = 0; i < size(); ++i) {
+      libs.push_back(std::make_unique<L>(sim, i, *nodes[i], args...));
+    }
+    for (std::size_t l = 0; l < links.size(); ++l) {
+      const int i = static_cast<int>(l);
+      const int j = (i + 1) % size();
+      auto [si, sj] = tcp::connect(*stacks[i], *stacks[j], *links[l],
+                                   "ring" + std::to_string(i));
+      wire_pair(*libs[i], *libs[j], si, sj);
+    }
+    return libs;
+  }
+
+  sim::Simulator sim;
+  hw::Cluster cluster;
+  std::vector<hw::Node*> nodes;
+  std::vector<std::unique_ptr<tcp::TcpStack>> stacks;
+  std::vector<std::unique_ptr<hw::Cluster::Duplex>> links;
+};
+
+/// N nodes with a channel between every pair (a switched cluster; each
+/// pair gets its own pipes — see DESIGN.md for the approximation). This
+/// is what the tree/butterfly collective algorithms need.
+class MeshWorld {
+ public:
+  MeshWorld(int nranks, const hw::HostConfig& host,
+            const hw::NicConfig& nic, const tcp::Sysctl& sysctl,
+            const hw::LinkConfig& link_cfg = hw::presets::switched())
+      : cluster(sim) {
+    for (int i = 0; i < nranks; ++i) {
+      nodes.push_back(&cluster.add_node(host));
+      stacks.push_back(std::make_unique<tcp::TcpStack>(*nodes.back(),
+                                                       sysctl));
+    }
+    for (int i = 0; i < nranks; ++i) {
+      for (int j = i + 1; j < nranks; ++j) {
+        pair_links.emplace_back(
+            i, j,
+            std::make_unique<hw::Cluster::Duplex>(
+                cluster.connect(*nodes[i], *nodes[j], nic, link_cfg)));
+      }
+    }
+  }
+
+  int size() const { return static_cast<int>(nodes.size()); }
+
+  template <typename L, typename... Args>
+  std::vector<std::unique_ptr<L>> build(Args&&... args) {
+    std::vector<std::unique_ptr<L>> libs;
+    libs.reserve(nodes.size());
+    for (int i = 0; i < size(); ++i) {
+      libs.push_back(std::make_unique<L>(sim, i, *nodes[i], args...));
+    }
+    for (auto& [i, j, link] : pair_links) {
+      auto [si, sj] = tcp::connect(*stacks[static_cast<std::size_t>(i)],
+                                   *stacks[static_cast<std::size_t>(j)],
+                                   *link,
+                                   "mesh" + std::to_string(i) + "-" +
+                                       std::to_string(j));
+      wire_pair(*libs[static_cast<std::size_t>(i)],
+                *libs[static_cast<std::size_t>(j)], si, sj);
+    }
+    return libs;
+  }
+
+  sim::Simulator sim;
+  hw::Cluster cluster;
+  std::vector<hw::Node*> nodes;
+  std::vector<std::unique_ptr<tcp::TcpStack>> stacks;
+  std::vector<std::tuple<int, int, std::unique_ptr<hw::Cluster::Duplex>>>
+      pair_links;
+};
+
+}  // namespace pp::mp

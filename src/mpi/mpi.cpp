@@ -1,0 +1,263 @@
+#include "mpi/mpi.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pp::mpi {
+
+namespace {
+
+/// Collective operations use the top of the 16-bit user tag space; user
+/// point-to-point tags should stay below kCollBase.
+constexpr std::uint32_t kCollBase = 0xF000;
+constexpr std::uint32_t kTagBarrier = kCollBase + 0x00;
+constexpr std::uint32_t kTagBcast = kCollBase + 0x20;
+constexpr std::uint32_t kTagReduce = kCollBase + 0x40;
+constexpr std::uint32_t kTagAllreduce = kCollBase + 0x60;
+constexpr std::uint32_t kTagGather = kCollBase + 0x80;
+constexpr std::uint32_t kTagScatter = kCollBase + 0xA0;
+constexpr std::uint32_t kTagAllgather = kCollBase + 0xC0;
+constexpr std::uint32_t kTagAlltoall = kCollBase + 0xE0;
+
+std::uint32_t next_context() {
+  static std::uint32_t counter = 1;
+  return counter++;
+}
+
+bool power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+std::vector<Comm> Comm::world(const std::vector<mp::Library*>& members) {
+  const std::uint32_t ctx = next_context();
+  std::vector<Comm> comms(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    assert(members[i]->rank() == static_cast<int>(i) &&
+           "world members must be ordered by library rank");
+    comms[i].members_ = members;
+    comms[i].rank_ = static_cast<int>(i);
+    comms[i].context_ = ctx;
+  }
+  return comms;
+}
+
+std::vector<Comm> Comm::split(const std::vector<Comm>& world,
+                              const std::vector<int>& colors,
+                              const std::vector<int>& keys) {
+  assert(world.size() == colors.size() && world.size() == keys.size());
+  std::vector<Comm> out(world.size());
+  // Group world ranks by color, order each group by (key, world rank).
+  std::vector<int> order(world.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return keys[static_cast<std::size_t>(a)] <
+           keys[static_cast<std::size_t>(b)];
+  });
+  // Deterministic context per color: allocate in ascending color order.
+  std::vector<int> seen_colors;
+  for (int c : colors) {
+    if (c >= 0 && std::find(seen_colors.begin(), seen_colors.end(), c) ==
+                      seen_colors.end()) {
+      seen_colors.push_back(c);
+    }
+  }
+  std::sort(seen_colors.begin(), seen_colors.end());
+  for (int color : seen_colors) {
+    const std::uint32_t ctx = next_context();
+    std::vector<mp::Library*> group;
+    std::vector<int> group_world_ranks;
+    for (int w : order) {
+      if (colors[static_cast<std::size_t>(w)] == color) {
+        group.push_back(world[static_cast<std::size_t>(w)].lib_ptr());
+        group_world_ranks.push_back(w);
+      }
+    }
+    for (std::size_t r = 0; r < group.size(); ++r) {
+      Comm& c = out[static_cast<std::size_t>(group_world_ranks[r])];
+      c.members_ = group;
+      c.rank_ = static_cast<int>(r);
+      c.context_ = ctx;
+    }
+  }
+  return out;
+}
+
+sim::Task<void> Comm::combine(std::uint64_t bytes) {
+  return lib().node().staging_copy(bytes);
+}
+
+// ---------------------------------------------------------------------------
+// point to point
+// ---------------------------------------------------------------------------
+
+sim::Task<void> Comm::send(std::uint64_t count, Datatype type, int dest,
+                           std::uint32_t tag) {
+  return lib().send(global(dest), bytes_of(type, count), wire_tag(tag));
+}
+
+sim::Task<void> Comm::recv(std::uint64_t count, Datatype type, int source,
+                           std::uint32_t tag) {
+  return lib().recv(global(source), bytes_of(type, count), wire_tag(tag));
+}
+
+mp::Request Comm::isend(std::uint64_t count, Datatype type, int dest,
+                        std::uint32_t tag) {
+  return lib().isend(global(dest), bytes_of(type, count), wire_tag(tag));
+}
+
+mp::Request Comm::irecv(std::uint64_t count, Datatype type, int source,
+                        std::uint32_t tag) {
+  return lib().irecv(global(source), bytes_of(type, count), wire_tag(tag));
+}
+
+sim::Task<void> Comm::sendrecv(std::uint64_t send_count, Datatype type,
+                               int dest, std::uint64_t recv_count,
+                               int source, std::uint32_t tag) {
+  mp::Request s = isend(send_count, type, dest, tag);
+  co_await recv(recv_count, type, source, tag);
+  co_await s.wait();
+}
+
+// ---------------------------------------------------------------------------
+// collectives
+// ---------------------------------------------------------------------------
+
+sim::Task<void> Comm::barrier() {
+  // Dissemination barrier: ceil(log2(size)) rounds.
+  std::uint32_t round = 0;
+  for (int mask = 1; mask < size(); mask <<= 1, ++round) {
+    const int to = (rank_ + mask) % size();
+    const int from = (rank_ - mask + size()) % size();
+    mp::Request s = isend(1, Datatype::kByte, to, kTagBarrier + round);
+    co_await recv(1, Datatype::kByte, from, kTagBarrier + round);
+    co_await s.wait();
+  }
+}
+
+sim::Task<void> Comm::bcast(std::uint64_t count, Datatype type, int root) {
+  if (size() <= 1 || count == 0) co_return;
+  const int vrank = (rank_ - root + size()) % size();
+  int mask = 1;
+  while (mask < size()) {
+    if (vrank & mask) {
+      const int src = (vrank - mask + root) % size();
+      co_await recv(count, type, src, kTagBcast);
+      break;
+    }
+    mask <<= 1;
+  }
+  // Forward down the binomial tree.
+  mask >>= 1;
+  while (mask > 0) {
+    if ((vrank & mask) == 0 && vrank + mask < size()) {
+      const int dst = (vrank + mask + root) % size();
+      co_await send(count, type, dst, kTagBcast);
+    }
+    mask >>= 1;
+  }
+}
+
+sim::Task<void> Comm::reduce(std::uint64_t count, Datatype type, int root) {
+  if (size() <= 1 || count == 0) co_return;
+  const int vrank = (rank_ - root + size()) % size();
+  const std::uint64_t bytes = bytes_of(type, count);
+  int mask = 1;
+  while (mask < size()) {
+    if (vrank & mask) {
+      const int dst = (vrank - mask + root) % size();
+      co_await send(count, type, dst, kTagReduce);
+      break;
+    }
+    if (vrank + mask < size()) {
+      const int src = (vrank + mask + root) % size();
+      co_await recv(count, type, src, kTagReduce);
+      co_await combine(bytes);
+    }
+    mask <<= 1;
+  }
+}
+
+sim::Task<void> Comm::allreduce(std::uint64_t count, Datatype type) {
+  if (size() <= 1 || count == 0) co_return;
+  const std::uint64_t bytes = bytes_of(type, count);
+  if (power_of_two(size())) {
+    // Recursive doubling: log2(size) exchange rounds.
+    std::uint32_t round = 0;
+    for (int mask = 1; mask < size(); mask <<= 1, ++round) {
+      const int partner = rank_ ^ mask;
+      co_await sendrecv(count, type, partner, count, partner,
+                        kTagAllreduce + round);
+      co_await combine(bytes);
+    }
+  } else {
+    co_await reduce(count, type, /*root=*/0);
+    co_await bcast(count, type, /*root=*/0);
+  }
+}
+
+sim::Task<void> Comm::gather(std::uint64_t count, Datatype type, int root) {
+  if (size() <= 1 || count == 0) co_return;
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) co_await recv(count, type, r, kTagGather);
+    }
+  } else {
+    co_await send(count, type, root, kTagGather);
+  }
+}
+
+sim::Task<void> Comm::scatter(std::uint64_t count, Datatype type,
+                              int root) {
+  if (size() <= 1 || count == 0) co_return;
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) co_await send(count, type, r, kTagScatter);
+    }
+  } else {
+    co_await recv(count, type, root, kTagScatter);
+  }
+}
+
+sim::Task<void> Comm::allgather(std::uint64_t count, Datatype type) {
+  if (size() <= 1 || count == 0) co_return;
+  if (power_of_two(size())) {
+    // Recursive doubling: the exchanged block doubles every round.
+    std::uint64_t block = count;
+    std::uint32_t round = 0;
+    for (int mask = 1; mask < size(); mask <<= 1, ++round) {
+      const int partner = rank_ ^ mask;
+      co_await sendrecv(block, type, partner, block, partner,
+                        kTagAllgather + round);
+      block *= 2;
+    }
+  } else {
+    // Ring fallback: size-1 steps of one block.
+    for (int step = 0; step < size() - 1; ++step) {
+      const int to = (rank_ + 1) % size();
+      const int from = (rank_ - 1 + size()) % size();
+      mp::Request s = isend(count, type, to,
+                            kTagAllgather + static_cast<std::uint32_t>(step));
+      co_await recv(count, type, from,
+                    kTagAllgather + static_cast<std::uint32_t>(step));
+      co_await s.wait();
+    }
+  }
+}
+
+sim::Task<void> Comm::alltoall(std::uint64_t count, Datatype type) {
+  if (size() <= 1 || count == 0) co_return;
+  // Pairwise exchange: size-1 rounds, each a deadlock-free sendrecv.
+  for (int r = 1; r < size(); ++r) {
+    const int to = (rank_ + r) % size();
+    const int from = (rank_ - r + size()) % size();
+    mp::Request s = isend(count, type, to,
+                          kTagAlltoall + static_cast<std::uint32_t>(r));
+    co_await recv(count, type, from,
+                  kTagAlltoall + static_cast<std::uint32_t>(r));
+    co_await s.wait();
+  }
+}
+
+}  // namespace pp::mpi

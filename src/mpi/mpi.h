@@ -1,0 +1,117 @@
+// An MPI-1-flavoured facade over the library models: the public API a
+// downstream application would program against (the paper's application
+// view of the world).
+//
+// Scope: blocking and nonblocking point-to-point with communicator
+// contexts and typed counts, plus the MPI-1 collective set implemented
+// with the standard algorithms:
+//   Bcast      binomial tree
+//   Reduce     binomial tree (reversed)
+//   Allreduce  recursive doubling (power-of-two) / reduce+bcast fallback
+//   Barrier    dissemination
+//   Gather     linear fan-in        Scatter   linear fan-out
+//   Allgather  recursive doubling / ring fallback
+//   Alltoall   pairwise exchange rounds
+// Communicators can be split() like MPI_Comm_split; contexts isolate tag
+// spaces so libraries' matching is never confused across communicators.
+//
+// Data is modelled as typed element counts (the simulation carries byte
+// counts, not payloads); reduction arithmetic is charged on the CPU as
+// one pass over the bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mp/api.h"
+#include "simcore/task.h"
+
+namespace pp::mpi {
+
+/// Element types (what MPI_Datatype conveys that matters here: width).
+enum class Datatype : std::uint32_t {
+  kByte = 1,
+  kInt = 4,
+  kFloat = 4,
+  kDouble = 8,
+  kLongLong = 8,
+};
+
+constexpr std::uint64_t bytes_of(Datatype t, std::uint64_t count) {
+  return count * static_cast<std::uint64_t>(t);
+}
+
+/// One rank's handle to a communicator. All ranks of a communicator must
+/// be backed by library endpoints wired to each other (MeshWorld).
+class Comm {
+ public:
+  /// World constructor: rank i of `members` must be the endpoint whose
+  /// Library::rank() equals i.
+  static std::vector<Comm> world(const std::vector<mp::Library*>& members);
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  hw::Node& node() const { return lib().node(); }
+
+  // ---- point to point -----------------------------------------------------
+
+  sim::Task<void> send(std::uint64_t count, Datatype type, int dest,
+                       std::uint32_t tag);
+  sim::Task<void> recv(std::uint64_t count, Datatype type, int source,
+                       std::uint32_t tag);
+  mp::Request isend(std::uint64_t count, Datatype type, int dest,
+                    std::uint32_t tag);
+  mp::Request irecv(std::uint64_t count, Datatype type, int source,
+                    std::uint32_t tag);
+  /// MPI_Sendrecv: concurrent exchange, deadlock-free.
+  sim::Task<void> sendrecv(std::uint64_t send_count, Datatype type,
+                           int dest, std::uint64_t recv_count, int source,
+                           std::uint32_t tag);
+
+  // ---- collectives (call on every rank of the communicator) ---------------
+
+  sim::Task<void> barrier();
+  sim::Task<void> bcast(std::uint64_t count, Datatype type, int root);
+  sim::Task<void> reduce(std::uint64_t count, Datatype type, int root);
+  sim::Task<void> allreduce(std::uint64_t count, Datatype type);
+  sim::Task<void> gather(std::uint64_t count, Datatype type, int root);
+  sim::Task<void> scatter(std::uint64_t count, Datatype type, int root);
+  sim::Task<void> allgather(std::uint64_t count, Datatype type);
+  sim::Task<void> alltoall(std::uint64_t count, Datatype type);
+
+  // ---- communicator management --------------------------------------------
+
+  /// MPI_Comm_split: ranks with the same color form a new communicator,
+  /// ordered by (key, old rank). Must be called by every rank; the split
+  /// is computed locally (deterministic), communication-free like most
+  /// implementations' fast path. Ranks with color < 0 get an empty Comm.
+  static std::vector<Comm> split(const std::vector<Comm>& world,
+                                 const std::vector<int>& colors,
+                                 const std::vector<int>& keys);
+
+  bool valid() const { return !members_.empty(); }
+
+ private:
+  mp::Library* lib_ptr() const {
+    return valid() ? members_[static_cast<std::size_t>(rank_)] : nullptr;
+  }
+  mp::Library& lib() const { return *members_[static_cast<std::size_t>(
+      rank_)]; }
+  int global(int comm_rank) const {
+    return members_[static_cast<std::size_t>(comm_rank)]->rank();
+  }
+  std::uint32_t wire_tag(std::uint32_t user_tag) const {
+    // Contexts carve disjoint tag spaces; user tags are 16 bits.
+    return (context_ << 16) | (user_tag & 0xFFFFu);
+  }
+  /// Charges one arithmetic pass over the data (reduction op).
+  sim::Task<void> combine(std::uint64_t bytes);
+
+  std::vector<mp::Library*> members_;  // comm rank -> endpoint
+  int rank_ = -1;
+  std::uint32_t context_ = 1;
+};
+
+}  // namespace pp::mpi

@@ -1,0 +1,71 @@
+#include "netpipe/breakdown.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace pp::netpipe {
+
+const BreakdownRow* Breakdown::bottleneck() const {
+  const BreakdownRow* best = nullptr;
+  for (const auto& r : rows) {
+    if (best == nullptr || r.busy_fraction > best->busy_fraction) best = &r;
+  }
+  return best;
+}
+
+BreakdownProbe::BreakdownProbe(hw::Node& a, hw::Node& b,
+                               hw::PacketPipe& fwd, hw::PacketPipe& bwd)
+    : sim_(&a.simulator()) {
+  resources_ = {&a.cpu(), &a.pci(), &fwd.wire(), &bwd.wire(), &b.pci(),
+                &b.cpu()};
+  labels_ = {"sender cpu (copies+protocol)", "sender pci dma",
+             "wire (forward)", "wire (reverse/acks)", "receiver pci dma",
+             "receiver cpu (copies+protocol)"};
+  start();
+}
+
+BreakdownProbe::Sample BreakdownProbe::sample() const {
+  Sample s;
+  s.at = sim_->now();
+  s.stats.reserve(resources_.size());
+  for (const auto* r : resources_) s.stats.push_back(r->stats());
+  return s;
+}
+
+void BreakdownProbe::start() { start_ = sample(); }
+
+Breakdown BreakdownProbe::finish() const {
+  Breakdown b;
+  const Sample end_sample = sample();
+  b.interval = end_sample.at - start_.at;
+  for (std::size_t i = 0; i < resources_.size(); ++i) {
+    BreakdownRow row;
+    row.resource = labels_[i];
+    const auto& s0 = start_.stats[i];
+    const auto& s1 = end_sample.stats[i];
+    row.operations = s1.operations - s0.operations;
+    row.bytes = s1.bytes - s0.bytes;
+    row.busy_fraction =
+        b.interval > 0
+            ? static_cast<double>(s1.busy - s0.busy) /
+                  static_cast<double>(b.interval)
+            : 0.0;
+    b.rows.push_back(row);
+  }
+  return b;
+}
+
+void print_breakdown(std::ostream& os, const Breakdown& b) {
+  os << "time breakdown over " << sim::format_time(b.interval) << ":\n";
+  for (const auto& r : b.rows) {
+    os << "  " << std::left << std::setw(32) << r.resource << std::right
+       << std::fixed << std::setprecision(1) << std::setw(6)
+       << 100.0 * r.busy_fraction << "% busy, " << r.operations << " ops\n";
+  }
+  if (const BreakdownRow* hot = b.bottleneck()) {
+    os << "  -> bottleneck candidate: " << hot->resource << "\n";
+  }
+}
+
+}  // namespace pp::netpipe

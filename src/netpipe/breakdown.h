@@ -1,0 +1,60 @@
+// Where-did-the-time-go breakdown: the paper's stated first step is "to
+// identify where the performance is being lost and determine why"; this
+// report does it mechanically from the simulator's resource accounting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "simhw/node.h"
+#include "simhw/pipe.h"
+
+namespace pp::netpipe {
+
+/// One resource's share of a measured interval.
+struct BreakdownRow {
+  std::string resource;
+  double busy_fraction = 0.0;   ///< of the measured wall-clock interval
+  std::uint64_t operations = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct Breakdown {
+  sim::SimTime interval = 0;
+  std::vector<BreakdownRow> rows;
+
+  /// The busiest resource — the bottleneck candidate.
+  const BreakdownRow* bottleneck() const;
+};
+
+/// Snapshots the resource counters of two nodes and a duplex link;
+/// diff two snapshots around a transfer to get the breakdown.
+class BreakdownProbe {
+ public:
+  BreakdownProbe(hw::Node& a, hw::Node& b, hw::PacketPipe& fwd,
+                 hw::PacketPipe& bwd);
+
+  /// Captures the current counters as the interval start.
+  void start();
+
+  /// Produces the breakdown for [start(), now].
+  Breakdown finish() const;
+
+ private:
+  struct Sample {
+    sim::SimTime at = 0;
+    std::vector<sim::ResourceStats> stats;
+  };
+  Sample sample() const;
+
+  sim::Simulator* sim_ = nullptr;
+  std::vector<sim::RateResource*> resources_;
+  std::vector<std::string> labels_;
+  Sample start_;
+};
+
+void print_breakdown(std::ostream& os, const Breakdown& b);
+
+}  // namespace pp::netpipe

@@ -1,0 +1,76 @@
+#include "netpipe/loggp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace pp::netpipe {
+
+LogGpFit fit_loggp(const RunResult& r) {
+  LogGpFit fit;
+  if (r.points.size() < 4) return fit;
+
+  // Intercept: the average time of the smallest decade of messages.
+  const std::uint64_t small_cutoff =
+      std::max<std::uint64_t>(r.points.front().bytes * 8, 64);
+  double a_sum = 0;
+  int a_n = 0;
+  for (const auto& p : r.points) {
+    if (p.bytes <= small_cutoff) {
+      a_sum += sim::to_microseconds(p.elapsed);
+      ++a_n;
+    }
+  }
+  fit.o_plus_L_us = a_n > 0 ? a_sum / a_n : 0.0;
+
+  // Slope: least squares of (time - a) / n over the top size decade,
+  // where the per-byte term dominates.
+  const std::uint64_t large_cutoff = r.points.back().bytes / 8;
+  double num = 0, den = 0;
+  for (const auto& p : r.points) {
+    if (p.bytes >= large_cutoff) {
+      const double n = static_cast<double>(p.bytes);
+      const double t_us = sim::to_microseconds(p.elapsed) - fit.o_plus_L_us;
+      num += n * t_us;
+      den += n * n;
+    }
+  }
+  if (den <= 0) return fit;
+  const double g_us_per_byte = num / den;
+  fit.g_ns_per_byte = g_us_per_byte * 1e3;
+  if (g_us_per_byte > 0) {
+    // 1 byte per G microseconds -> 8/G megabits per second.
+    fit.r_inf_mbps = 8.0 / g_us_per_byte;
+    fit.n_half_bytes = fit.o_plus_L_us / g_us_per_byte;
+  }
+
+  // Fit quality across the whole curve.
+  double sq = 0;
+  int n_pts = 0;
+  for (const auto& p : r.points) {
+    const double model =
+        fit.o_plus_L_us + static_cast<double>(p.bytes) * g_us_per_byte;
+    const double meas = sim::to_microseconds(p.elapsed);
+    if (meas > 0) {
+      const double rel = (model - meas) / meas;
+      sq += rel * rel;
+      ++n_pts;
+    }
+  }
+  fit.rms_rel_error = n_pts > 0 ? std::sqrt(sq / n_pts) : 0.0;
+  return fit;
+}
+
+void print_loggp(std::ostream& os, const std::string& label,
+                 const LogGpFit& fit) {
+  os << std::left << std::setw(24) << label << std::right << std::fixed
+     << "  o+L " << std::setw(7) << std::setprecision(1) << fit.o_plus_L_us
+     << " us   G " << std::setw(7) << std::setprecision(3)
+     << fit.g_ns_per_byte << " ns/B   r_inf " << std::setw(6)
+     << std::setprecision(0) << fit.r_inf_mbps << " Mbps   n1/2 "
+     << std::setw(8) << std::setprecision(0) << fit.n_half_bytes
+     << " B   rms " << std::setprecision(2) << fit.rms_rel_error << "\n";
+}
+
+}  // namespace pp::netpipe

@@ -1,0 +1,43 @@
+// LogGP parameter extraction from a measured NetPIPE curve.
+//
+// The LogGP model (Alexandrov et al.) describes a network by the time of
+// an n-byte message:  t(n) = (o_s + L + o_r) + n * G — a fixed per-message
+// term and a per-byte gap. NetPIPE curves are exactly the data needed to
+// fit it, and the fitted parameters compress a whole figure into two
+// numbers per library: what you pay per message and what you pay per
+// byte. (The paper's "50 % of the raw performance can be lost in the
+// message-passing layer" is a statement about G; its latency table is a
+// statement about o+L.)
+#pragma once
+
+#include <iosfwd>
+
+#include "netpipe/runner.h"
+
+namespace pp::netpipe {
+
+struct LogGpFit {
+  /// Fixed per-message cost: sender overhead + wire latency + receiver
+  /// overhead (microseconds).
+  double o_plus_L_us = 0.0;
+  /// Per-byte gap (nanoseconds per byte).
+  double g_ns_per_byte = 0.0;
+  /// Asymptotic bandwidth implied by G (Mbps).
+  double r_inf_mbps = 0.0;
+  /// The model's half-performance point, (o+L)/G (bytes).
+  double n_half_bytes = 0.0;
+  /// Root-mean-square relative error of the fit over the curve — large
+  /// values flag protocol regime changes (rendezvous dips, window
+  /// limits) that a two-parameter model cannot express.
+  double rms_rel_error = 0.0;
+};
+
+/// Least-squares fit of t(n) = a + n*G over the measured points (the
+/// intercept is refined from the small-message region, the slope from
+/// the large-message region, as is standard practice).
+LogGpFit fit_loggp(const RunResult& r);
+
+void print_loggp(std::ostream& os, const std::string& label,
+                 const LogGpFit& fit);
+
+}  // namespace pp::netpipe

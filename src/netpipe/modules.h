@@ -1,0 +1,35 @@
+// Transport adapters for the raw communication layers. Adapters for the
+// message-passing libraries live with the libraries in mp/.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "netpipe/transport.h"
+#include "tcpsim/socket.h"
+
+namespace pp::netpipe {
+
+/// NetPIPE's TCP module: drives a raw socket.
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(tcp::Socket socket, std::string name = "raw TCP")
+      : socket_(std::move(socket)), name_(std::move(name)) {}
+
+  sim::Task<void> send(std::uint64_t bytes) override {
+    return socket_.send(bytes);
+  }
+  sim::Task<void> recv(std::uint64_t bytes) override {
+    return socket_.recv_exact(bytes);
+  }
+  hw::Node& node() { return socket_.node(); }
+  std::string name() const override { return name_; }
+
+  tcp::Socket& socket() { return socket_; }
+
+ private:
+  tcp::Socket socket_;
+  std::string name_;
+};
+
+}  // namespace pp::netpipe

@@ -1,0 +1,138 @@
+#include "netpipe/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+namespace pp::netpipe {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= (1ull << 20) && bytes % (1ull << 20) == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluM",
+                  static_cast<unsigned long long>(bytes >> 20));
+  } else if (bytes >= 1024 && bytes % 1024 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluk",
+                  static_cast<unsigned long long>(bytes >> 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+void print_run(std::ostream& os, const RunResult& r) {
+  os << "# NetPIPE: " << r.transport << "\n";
+  os << "# latency " << std::fixed << std::setprecision(1) << r.latency_us
+     << " us, max " << std::setprecision(0) << r.max_mbps << " Mbps, 90% at "
+     << format_bytes(r.saturation_bytes) << "\n";
+  os << std::right << std::setw(10) << "bytes" << std::setw(14) << "time(us)"
+     << std::setw(12) << "Mbps" << "\n";
+  for (const auto& p : r.points) {
+    os << std::setw(10) << p.bytes << std::setw(14) << std::setprecision(2)
+       << std::fixed << sim::to_microseconds(p.elapsed) << std::setw(12)
+       << std::setprecision(2) << p.mbps() << "\n";
+  }
+}
+
+void print_comparison(std::ostream& os, const std::vector<Series>& series,
+                      const std::vector<std::uint64_t>& sizes) {
+  os << std::right << std::setw(10) << "bytes";
+  for (const auto& s : series) os << std::setw(12) << s.label.substr(0, 11);
+  os << "\n";
+  for (std::uint64_t size : sizes) {
+    os << std::setw(10) << format_bytes(size);
+    for (const auto& s : series) {
+      os << std::setw(12) << std::fixed << std::setprecision(1)
+         << s.result->mbps_at(size);
+    }
+    os << "\n";
+  }
+}
+
+std::string ascii_chart(const std::vector<Series>& series, int width,
+                        int height) {
+  if (series.empty() || width < 20 || height < 5) return {};
+  double max_mbps = 0.0;
+  std::uint64_t min_b = UINT64_MAX, max_b = 1;
+  for (const auto& s : series) {
+    for (const auto& p : s.result->points) {
+      max_mbps = std::max(max_mbps, p.mbps());
+      min_b = std::min(min_b, p.bytes);
+      max_b = std::max(max_b, p.bytes);
+    }
+  }
+  if (max_mbps <= 0.0 || min_b >= max_b) return {};
+  const double lx0 = std::log2(static_cast<double>(min_b));
+  const double lx1 = std::log2(static_cast<double>(max_b));
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width),
+                                            ' '));
+  const char marks[] = "*+o#x%@&";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char mark = marks[si % (sizeof(marks) - 1)];
+    for (const auto& p : series[si].result->points) {
+      const double fx = (std::log2(static_cast<double>(p.bytes)) - lx0) /
+                        (lx1 - lx0);
+      const double fy = p.mbps() / max_mbps;
+      const int x = std::min(width - 1, static_cast<int>(fx * (width - 1)));
+      const int y = std::min(height - 1,
+                             static_cast<int>(fy * (height - 1)));
+      grid[static_cast<std::size_t>(height - 1 - y)]
+          [static_cast<std::size_t>(x)] = mark;
+    }
+  }
+  std::string out;
+  char head[64];
+  std::snprintf(head, sizeof(head), "Mbps (max %.0f)\n", max_mbps);
+  out += head;
+  for (const auto& row : grid) {
+    out += "|";
+    out += row;
+    out += "\n";
+  }
+  out += "+";
+  out.append(static_cast<std::size_t>(width), '-');
+  out += "\n ";
+  out += format_bytes(min_b);
+  out.append(static_cast<std::size_t>(std::max(1, width - 12)), ' ');
+  out += format_bytes(max_b);
+  out += " (message size, log)\n";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += " ";
+    out += marks[si % (sizeof(marks) - 1)];
+    out += " = " + series[si].label + "\n";
+  }
+  return out;
+}
+
+double print_paper_checks(std::ostream& os,
+                          const std::vector<PaperCheck>& checks) {
+  os << std::left << std::setw(44) << "metric" << std::right << std::setw(10)
+     << "paper" << std::setw(10) << "measured" << std::setw(8) << "ratio"
+     << "  note\n";
+  double worst = 0.0;
+  for (const auto& c : checks) {
+    const double ratio = c.paper > 0 ? c.measured / c.paper : 0.0;
+    if (ratio > 0) worst = std::max(worst, std::fabs(std::log(ratio)));
+    os << std::left << std::setw(44) << c.metric << std::right
+       << std::setw(10) << std::fixed << std::setprecision(1) << c.paper
+       << std::setw(10) << c.measured << std::setw(8) << std::setprecision(2)
+       << ratio << "  " << c.note << "\n";
+  }
+  return worst;
+}
+
+void write_dat(const std::string& path, const RunResult& r) {
+  std::ofstream f(path);
+  f << "# " << r.transport << "\n# bytes time_us mbps\n";
+  for (const auto& p : r.points) {
+    f << p.bytes << " " << sim::to_microseconds(p.elapsed) << " " << p.mbps()
+      << "\n";
+  }
+}
+
+}  // namespace pp::netpipe

@@ -1,0 +1,52 @@
+// Reporting helpers: NetPIPE-style tables, terminal charts, and the
+// paper-vs-measured check rows used by every bench binary.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netpipe/runner.h"
+
+namespace pp::netpipe {
+
+/// A labelled measurement, one line in a figure.
+struct Series {
+  std::string label;
+  const RunResult* result = nullptr;
+};
+
+/// NetPIPE's classic three-column listing for one run.
+void print_run(std::ostream& os, const RunResult& r);
+
+/// Multi-series throughput table at the given sizes (one row per size,
+/// one column per series) — the numeric form of the paper's figures.
+void print_comparison(std::ostream& os, const std::vector<Series>& series,
+                      const std::vector<std::uint64_t>& sizes);
+
+/// Log-x ASCII chart of throughput curves, one plot character per series.
+std::string ascii_chart(const std::vector<Series>& series, int width = 72,
+                        int height = 20);
+
+/// One reproduced number: what the paper reports vs what we measured.
+struct PaperCheck {
+  std::string metric;
+  double paper = 0.0;     ///< value (possibly OCR-reconstructed) from the paper
+  double measured = 0.0;
+  std::string note;
+};
+
+/// Prints the check table and returns the worst |log-ratio| seen (0 =
+/// perfect), so benches can summarize fidelity.
+double print_paper_checks(std::ostream& os,
+                          const std::vector<PaperCheck>& checks);
+
+/// Writes "bytes time_us mbps" rows to a whitespace-separated file that
+/// gnuplot or any plotting tool can consume.
+void write_dat(const std::string& path, const RunResult& r);
+
+/// Human-readable byte count ("64", "8k", "2M").
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace pp::netpipe

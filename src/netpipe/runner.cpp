@@ -1,0 +1,128 @@
+#include "netpipe/runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pp::netpipe {
+
+double RunResult::mbps_at(std::uint64_t bytes) const {
+  double best = 0.0;
+  double best_dist = 1e300;
+  for (const auto& p : points) {
+    const double dist = std::fabs(std::log2(static_cast<double>(p.bytes)) -
+                                  std::log2(static_cast<double>(bytes)));
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = p.mbps();
+    }
+  }
+  return best;
+}
+
+namespace {
+
+sim::Task<void> pingpong_initiator(sim::Simulator& sim, Transport& t,
+                                   const std::vector<std::uint64_t>& sizes,
+                                   const RunOptions& opt,
+                                   std::vector<DataPoint>& out) {
+  for (std::uint64_t size : sizes) {
+    for (int w = 0; w < opt.warmup; ++w) {
+      co_await t.send(size);
+      co_await t.recv(size);
+    }
+    const sim::SimTime t0 = sim.now();
+    for (int r = 0; r < opt.repeats; ++r) {
+      co_await t.send(size);
+      co_await t.recv(size);
+    }
+    const sim::SimTime round = (sim.now() - t0) / opt.repeats;
+    out.push_back(DataPoint{size, round / 2});
+  }
+}
+
+sim::Task<void> pingpong_responder(Transport& t,
+                                   const std::vector<std::uint64_t>& sizes,
+                                   const RunOptions& opt) {
+  for (std::uint64_t size : sizes) {
+    for (int r = 0; r < opt.warmup + opt.repeats; ++r) {
+      co_await t.recv(size);
+      co_await t.send(size);
+    }
+  }
+}
+
+sim::Task<void> stream_sender(Transport& t,
+                              const std::vector<std::uint64_t>& sizes,
+                              const RunOptions& opt) {
+  for (std::uint64_t size : sizes) {
+    for (int r = 0; r < opt.warmup + opt.repeats; ++r) {
+      co_await t.send(size);
+    }
+    // One small reply resynchronizes the pair between sizes.
+    co_await t.recv(4);
+  }
+}
+
+sim::Task<void> stream_receiver(sim::Simulator& sim, Transport& t,
+                                const std::vector<std::uint64_t>& sizes,
+                                const RunOptions& opt,
+                                std::vector<DataPoint>& out) {
+  for (std::uint64_t size : sizes) {
+    for (int w = 0; w < opt.warmup; ++w) co_await t.recv(size);
+    const sim::SimTime t0 = sim.now();
+    for (int r = 0; r < opt.repeats; ++r) co_await t.recv(size);
+    const sim::SimTime per = (sim.now() - t0) / opt.repeats;
+    out.push_back(DataPoint{size, per});
+    co_await t.send(4);
+  }
+}
+
+}  // namespace
+
+RunResult run_netpipe(sim::Simulator& simulator, Transport& a, Transport& b,
+                      const RunOptions& options) {
+  RunResult result;
+  result.transport = a.name();
+  const std::vector<std::uint64_t> sizes = make_schedule(options.schedule);
+
+  if (options.streaming) {
+    simulator.spawn(stream_sender(a, sizes, options), "np.stream.tx");
+    simulator.spawn(
+        stream_receiver(simulator, b, sizes, options, result.points),
+        "np.stream.rx");
+  } else {
+    simulator.spawn(
+        pingpong_initiator(simulator, a, sizes, options, result.points),
+        "np.ping");
+    simulator.spawn(pingpong_responder(b, sizes, options), "np.pong");
+  }
+  simulator.run();
+
+  // Latency: average one-way time of the small-message points.
+  double lat_sum = 0.0;
+  int lat_n = 0;
+  for (const auto& p : result.points) {
+    if (p.bytes <= options.latency_cutoff && !options.streaming) {
+      lat_sum += sim::to_microseconds(p.elapsed);
+      ++lat_n;
+    }
+    result.max_mbps = std::max(result.max_mbps, p.mbps());
+  }
+  if (lat_n > 0) result.latency_us = lat_sum / lat_n;
+
+  for (const auto& p : result.points) {
+    if (p.mbps() >= 0.9 * result.max_mbps) {
+      result.saturation_bytes = p.bytes;
+      break;
+    }
+  }
+  for (const auto& p : result.points) {
+    if (p.mbps() >= 0.5 * result.max_mbps) {
+      result.half_performance_bytes = p.bytes;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace pp::netpipe

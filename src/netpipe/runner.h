@@ -1,0 +1,69 @@
+// The NetPIPE ping-pong driver.
+//
+// For each size in the schedule it bounces messages between the two
+// transports several times and records the averaged round trip. Timing in
+// the simulator is exact, but the repeat machinery is kept because it is
+// part of NetPIPE's methodology (and the first iteration legitimately
+// differs: cold interrupt-mitigation state, unprimed windows).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netpipe/schedule.h"
+#include "netpipe/transport.h"
+#include "simcore/simulator.h"
+#include "simcore/time.h"
+
+namespace pp::netpipe {
+
+struct RunOptions {
+  ScheduleOptions schedule;
+  /// Ping-pong repetitions averaged per data point.
+  int repeats = 3;
+  /// Warm-up bounces before the timed repetitions of each point.
+  int warmup = 1;
+  /// Bytes at or below which a point counts toward the latency estimate
+  /// (the paper: "round trip time divided by two for messages smaller
+  /// than 64 bytes").
+  std::uint64_t latency_cutoff = 64;
+  /// Streaming mode (NetPIPE -s): unidirectional flood instead of
+  /// ping-pong.
+  bool streaming = false;
+};
+
+struct DataPoint {
+  std::uint64_t bytes = 0;
+  sim::SimTime elapsed = 0;  ///< averaged one-way transfer time
+  double mbps() const {
+    return elapsed > 0 ? static_cast<double>(bytes) * 8.0 /
+                             sim::to_seconds(elapsed) / 1e6
+                       : 0.0;
+  }
+};
+
+struct RunResult {
+  std::string transport;
+  std::vector<DataPoint> points;
+
+  /// Small-message latency: average one-way time for points <= cutoff.
+  double latency_us = 0.0;
+  /// Peak throughput over the whole curve.
+  double max_mbps = 0.0;
+  /// Smallest message size reaching 90 % of the peak ("saturation").
+  std::uint64_t saturation_bytes = 0;
+  /// The classic n_1/2: smallest message achieving half the peak rate —
+  /// the latency/bandwidth crossover NetPIPE's authors popularized.
+  std::uint64_t half_performance_bytes = 0;
+
+  /// Throughput at the data point closest to `bytes`.
+  double mbps_at(std::uint64_t bytes) const;
+};
+
+/// Runs a NetPIPE measurement between transports `a` and `b` (which must
+/// already be connected to each other). Drives `simulator.run()`.
+RunResult run_netpipe(sim::Simulator& simulator, Transport& a, Transport& b,
+                      const RunOptions& options = {});
+
+}  // namespace pp::netpipe

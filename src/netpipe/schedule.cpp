@@ -1,0 +1,35 @@
+#include "netpipe/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pp::netpipe {
+
+std::vector<std::uint64_t> make_schedule(const ScheduleOptions& opt) {
+  std::vector<std::uint64_t> sizes;
+  const std::uint32_t per = std::max<std::uint32_t>(opt.points_per_doubling, 1);
+  // Exponential base progression with `per` points per doubling.
+  double x = static_cast<double>(std::max<std::uint64_t>(opt.min_bytes, 1));
+  const double growth = std::pow(2.0, 1.0 / static_cast<double>(per));
+  std::uint64_t last_base = 0;
+  while (true) {
+    const auto base = static_cast<std::uint64_t>(std::llround(x));
+    if (base > opt.max_bytes) break;
+    if (base != last_base) {
+      last_base = base;
+      if (opt.perturbation > 0 && base > opt.perturbation) {
+        sizes.push_back(base - opt.perturbation);
+      }
+      sizes.push_back(base);
+      if (opt.perturbation > 0) sizes.push_back(base + opt.perturbation);
+    }
+    x *= growth;
+  }
+  // The final perturbed point may exceed max_bytes by the perturbation;
+  // that matches NetPIPE's behaviour of straddling the top size.
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  return sizes;
+}
+
+}  // namespace pp::netpipe

@@ -1,0 +1,24 @@
+// NetPIPE's message-size schedule: sizes at regular (exponential)
+// intervals, each with slight perturbations, "to provide a complete test
+// of the system" (paper §2) — the perturbed points straddle internal
+// buffer and packet boundaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pp::netpipe {
+
+struct ScheduleOptions {
+  std::uint64_t min_bytes = 1;
+  std::uint64_t max_bytes = 8ull << 20;
+  /// Perturbation delta around each base size (NetPIPE default: 3).
+  std::uint32_t perturbation = 3;
+  /// Base points per doubling of the message size (1 = powers of two).
+  std::uint32_t points_per_doubling = 1;
+};
+
+/// Returns the sorted, de-duplicated list of message sizes to test.
+std::vector<std::uint64_t> make_schedule(const ScheduleOptions& opt = {});
+
+}  // namespace pp::netpipe

@@ -1,0 +1,29 @@
+// The NetPIPE module interface.
+//
+// NetPIPE is protocol-independent: it drives anything that can send and
+// receive a counted message. Each message-passing library (and each raw
+// layer: TCP, GM, VIA) provides a Transport adapter; the Runner bounces
+// messages between a pair of them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simcore/task.h"
+
+namespace pp::netpipe {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends one `bytes`-long message to the peer transport.
+  virtual sim::Task<void> send(std::uint64_t bytes) = 0;
+
+  /// Receives exactly one message of `bytes` length from the peer.
+  virtual sim::Task<void> recv(std::uint64_t bytes) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace pp::netpipe

@@ -1,0 +1,46 @@
+#include "shmemsim/shmem.h"
+
+namespace pp::shmem {
+
+sim::Task<void> ShmemPe::put(std::uint64_t bytes) {
+  puts_ += 1;
+  co_await node_.cpu(pe_).occupy(node_.config().api_cost);
+  // The copy streams through the shared bus; the issuing CPU drives it.
+  co_await node_.membus().transfer(bytes);
+}
+
+sim::Task<void> ShmemPe::get(std::uint64_t bytes) {
+  gets_ += 1;
+  co_await node_.cpu(pe_).occupy(node_.config().api_cost);
+  co_await node_.membus().transfer(bytes);
+}
+
+sim::Task<void> ShmemPe::notify() {
+  co_await node_.cpu(pe_).occupy(node_.config().api_cost);
+  // Store fence + flag write; visible after the coherency latency.
+  auto box = outbox_;
+  node_.simulator().call_after(node_.config().flag_latency,
+                               [box] { box->release(1); });
+}
+
+sim::Task<void> ShmemPe::wait_notify() {
+  // Spin-wait: each poll costs a cache probe on this PE.
+  while (!inbox_->try_acquire(1)) {
+    co_await node_.cpu(pe_).occupy(node_.config().poll_interval / 2);
+    co_await node_.simulator().delay(node_.config().poll_interval);
+  }
+}
+
+ShmemPair::ShmemPair(sim::Simulator& sim, SmpConfig config)
+    : node_(sim, std::move(config)) {
+  pe0_ = std::make_unique<ShmemPe>(node_, 0);
+  pe1_ = std::make_unique<ShmemPe>(node_, 1);
+  auto a_to_b = std::make_shared<sim::ByteSemaphore>(sim, 0);
+  auto b_to_a = std::make_shared<sim::ByteSemaphore>(sim, 0);
+  pe0_->outbox_ = a_to_b;
+  pe0_->inbox_ = b_to_a;
+  pe1_->outbox_ = b_to_a;
+  pe1_->inbox_ = a_to_b;
+}
+
+}  // namespace pp::shmem

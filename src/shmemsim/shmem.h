@@ -1,0 +1,136 @@
+// SHMEM on an SMP node: the paper's NetPIPE module list includes SHMEM
+// (§2), the one-sided put/get API of Cray/SGI machines that GPSHMEM [13]
+// ported to clusters. The natural 2002 substrate for it is the other
+// kind of parallelism the testbed had: the dual-processor Compaq DS20.
+//
+// Model: two processors sharing one memory system. A put/get is a
+// memcpy through the shared memory bus plus a small API cost; the
+// receiving side notices completion by polling a flag (cache-coherent
+// spin). This yields the classic intra-node NetPIPE curve — sub-µs
+// latency, memory-speed bandwidth — the upper bound every network in
+// the paper is chasing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "netpipe/transport.h"
+#include "simcore/resource.h"
+#include "simcore/simulator.h"
+#include "simcore/sync.h"
+#include "simcore/task.h"
+
+namespace pp::shmem {
+
+struct SmpConfig {
+  std::string name = "smp";
+  /// Shared memory-bus copy bandwidth (both processors contend on it).
+  sim::Rate copy_bandwidth = sim::Rate::megabytes(320);
+  /// Per-call API cost (symmetric-heap address arithmetic, barriers on
+  /// the write buffer).
+  sim::SimTime api_cost = sim::nanoseconds(200);
+  /// Cache-coherency visibility delay for the completion flag.
+  sim::SimTime flag_latency = sim::nanoseconds(300);
+  /// Polling granularity of the waiting processor.
+  sim::SimTime poll_interval = sim::nanoseconds(100);
+};
+
+/// A dual-processor node: two CPU contexts sharing one memory bus.
+class SmpNode {
+ public:
+  SmpNode(sim::Simulator& sim, SmpConfig config)
+      : sim_(sim),
+        config_(std::move(config)),
+        membus_(sim, config_.name + ".membus", config_.copy_bandwidth),
+        cpu0_(sim, config_.name + ".cpu0", config_.copy_bandwidth),
+        cpu1_(sim, config_.name + ".cpu1", config_.copy_bandwidth) {}
+
+  sim::Simulator& simulator() { return sim_; }
+  const SmpConfig& config() const { return config_; }
+  sim::RateResource& membus() { return membus_; }
+  sim::RateResource& cpu(int pe) { return pe == 0 ? cpu0_ : cpu1_; }
+
+ private:
+  sim::Simulator& sim_;
+  SmpConfig config_;
+  sim::RateResource membus_;
+  sim::RateResource cpu0_;
+  sim::RateResource cpu1_;
+};
+
+/// One processing element's SHMEM handle.
+class ShmemPe {
+ public:
+  ShmemPe(SmpNode& node, int pe) : node_(node), pe_(pe) {}
+
+  int pe() const { return pe_; }
+
+  /// shmem_putmem: one-sided copy into the peer's symmetric heap.
+  /// Completes when the data is globally visible.
+  sim::Task<void> put(std::uint64_t bytes);
+
+  /// shmem_getmem: one-sided copy from the peer's symmetric heap.
+  sim::Task<void> get(std::uint64_t bytes);
+
+  /// shmem_fence + flag write: make prior puts visible and notify.
+  sim::Task<void> notify();
+
+  /// shmem_wait-style spin on a flag the peer will set.
+  sim::Task<void> wait_notify();
+
+  SmpNode& node() { return node_; }
+
+  std::uint64_t puts() const { return puts_; }
+  std::uint64_t gets() const { return gets_; }
+
+ private:
+  friend class ShmemPair;
+  SmpNode& node_;
+  int pe_;
+  // Pending notifications from the peer (set pointers at construction).
+  std::shared_ptr<sim::ByteSemaphore> inbox_;
+  std::shared_ptr<sim::ByteSemaphore> outbox_;
+  std::uint64_t puts_ = 0;
+  std::uint64_t gets_ = 0;
+};
+
+/// NetPIPE SHMEM module: a send is a one-sided put plus a completion
+/// flag; a receive is just waiting on the flag (the data was placed
+/// directly — the whole point of one-sided communication).
+class ShmemTransport final : public netpipe::Transport {
+ public:
+  explicit ShmemTransport(ShmemPe& pe, std::string name = "SHMEM (SMP)")
+      : pe_(pe), name_(std::move(name)) {}
+
+  sim::Task<void> send(std::uint64_t bytes) override {
+    co_await pe_.put(bytes);
+    co_await pe_.notify();
+  }
+  sim::Task<void> recv(std::uint64_t /*bytes*/) override {
+    return pe_.wait_notify();
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  ShmemPe& pe_;
+  std::string name_;
+};
+
+/// Two PEs on one SMP node, wired together.
+class ShmemPair {
+ public:
+  explicit ShmemPair(sim::Simulator& sim, SmpConfig config = {});
+
+  ShmemPe& pe0() { return *pe0_; }
+  ShmemPe& pe1() { return *pe1_; }
+  SmpNode& node() { return node_; }
+
+ private:
+  SmpNode node_;
+  std::unique_ptr<ShmemPe> pe0_;
+  std::unique_ptr<ShmemPe> pe1_;
+};
+
+}  // namespace pp::shmem

@@ -1,0 +1,167 @@
+#include "simcore/simulator.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace pp::sim {
+
+std::string format_time(SimTime t) {
+  char buf[64];
+  const double abs_t = static_cast<double>(t < 0 ? -t : t);
+  if (abs_t < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(t));
+  } else if (abs_t < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(t) / 1e3);
+  } else if (abs_t < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(t) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6fs", static_cast<double>(t) / 1e9);
+  }
+  return buf;
+}
+
+// Detached root coroutine wrapper around a spawned Task. It starts
+// suspended (spawn() queues its first resumption), runs the task to
+// completion, performs process bookkeeping, and destroys its own frame at
+// final suspension.
+struct Simulator::RootTask {
+  struct promise_type {
+    RootTask get_return_object() {
+      return RootTask{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        h.destroy();
+        return std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      // run_root catches everything; an exception here means the wrapper
+      // itself is broken.
+      std::terminate();
+    }
+  };
+  std::coroutine_handle<> handle;
+};
+
+Simulator::RootTask Simulator::run_root(Task<void> task, std::size_t slot) {
+  std::exception_ptr error;
+  try {
+    co_await std::move(task);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  LiveProcess& proc = processes_[slot];
+  Completion& c = *proc.completion;
+  c.done_ = true;
+  c.error_ = error;
+  for (auto waiter : c.waiters_) schedule_now(waiter);
+  c.waiters_.clear();
+  if (!proc.daemon) --live_;
+  if (error && !pending_error_) pending_error_ = error;
+}
+
+std::shared_ptr<Completion> Simulator::spawn_impl(Task<void> task,
+                                                  std::string name,
+                                                  bool daemon) {
+  auto completion = std::make_shared<Completion>();
+  const std::size_t slot = processes_.size();
+  processes_.push_back(LiveProcess{std::move(name), completion, daemon});
+  if (!daemon) ++live_;
+  RootTask root = run_root(std::move(task), slot);
+  schedule_now(root.handle);
+  return completion;
+}
+
+std::shared_ptr<Completion> Simulator::spawn(Task<void> task,
+                                             std::string name) {
+  return spawn_impl(std::move(task), std::move(name), /*daemon=*/false);
+}
+
+std::shared_ptr<Completion> Simulator::spawn_daemon(Task<void> task,
+                                                    std::string name) {
+  return spawn_impl(std::move(task), std::move(name), /*daemon=*/true);
+}
+
+void Simulator::schedule(SimTime at, std::coroutine_handle<> h) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, seq_++, h, nullptr});
+}
+
+void Simulator::call_at(SimTime at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, seq_++, {}, std::move(fn)});
+}
+
+void Simulator::step(const Event& ev) {
+  now_ = ev.at;
+  ++events_;
+  if (ev.handle) {
+    ev.handle.resume();
+  } else {
+    ev.callback();
+  }
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    if (events_ >= event_limit_) {
+      throw std::runtime_error(
+          "simulator event limit exceeded (runaway protocol loop?)");
+    }
+    Event ev = queue_.top();
+    queue_.pop();
+    step(ev);
+    if (pending_error_) {
+      auto err = std::exchange(pending_error_, nullptr);
+      std::rethrow_exception(err);
+    }
+  }
+  if (live_ > 0) throw_deadlock();
+}
+
+bool Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    if (events_ >= event_limit_) {
+      throw std::runtime_error(
+          "simulator event limit exceeded (runaway protocol loop?)");
+    }
+    Event ev = queue_.top();
+    queue_.pop();
+    step(ev);
+    if (pending_error_) {
+      auto err = std::exchange(pending_error_, nullptr);
+      std::rethrow_exception(err);
+    }
+  }
+  if (now_ < t) now_ = t;
+  return !queue_.empty();
+}
+
+void Simulator::throw_deadlock() const {
+  std::string msg = "simulation deadlock: ";
+  msg += std::to_string(live_);
+  msg += " process(es) still suspended with an empty event queue;";
+  msg += " waiting:";
+  int listed = 0;
+  for (const auto& p : processes_) {
+    if (!p.daemon && !p.completion->done()) {
+      msg += ' ';
+      msg += p.name.empty() ? "<unnamed>" : p.name;
+      if (++listed == 8) {
+        msg += " ...";
+        break;
+      }
+    }
+  }
+  throw DeadlockError(msg);
+}
+
+}  // namespace pp::sim

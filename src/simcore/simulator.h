@@ -1,0 +1,183 @@
+// The deterministic discrete-event simulator that drives every model.
+//
+// Simulated processes are C++20 coroutines (Task<void>) spawned onto the
+// Simulator. They suspend on awaitables (delays, synchronization
+// primitives, resources) and are resumed by the event loop in strict
+// (time, insertion-order) order, which makes every run bit-for-bit
+// reproducible.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simcore/task.h"
+#include "simcore/time.h"
+
+namespace pp::sim {
+
+class Simulator;
+class TraceRecorder;
+
+/// Thrown by Simulator::run() when the event queue drains while spawned
+/// processes are still suspended (a classic distributed-protocol deadlock).
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Completion handle returned by Simulator::spawn(). Other coroutines may
+/// co_await wait() to join the spawned process.
+class Completion {
+ public:
+  bool done() const noexcept { return done_; }
+  bool failed() const noexcept { return static_cast<bool>(error_); }
+
+  /// Awaitable that resumes once the spawned process has finished. If the
+  /// process ended with an exception, the exception is rethrown here (in
+  /// addition to failing the whole run).
+  auto wait() {
+    struct Awaiter {
+      Completion& c;
+      bool await_ready() const noexcept { return c.done_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        c.waiters_.push_back(h);
+      }
+      void await_resume() const {
+        if (c.error_) std::rethrow_exception(c.error_);
+      }
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  friend class Simulator;
+  bool done_ = false;
+  std::exception_ptr error_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const noexcept { return now_; }
+
+  /// Awaitable: suspend the calling coroutine for `d` nanoseconds. A zero
+  /// delay still yields, letting other ready events run first.
+  auto delay(SimTime d) { return DelayAwaiter{*this, now_ + (d > 0 ? d : 0)}; }
+
+  /// Awaitable: suspend until absolute virtual time `t` (or immediately
+  /// reschedule if `t` is in the past).
+  auto delay_until(SimTime t) { return DelayAwaiter{*this, t}; }
+
+  /// Starts `task` as a detached root process. The returned Completion can
+  /// be awaited by other coroutines; the Simulator keeps it alive.
+  std::shared_ptr<Completion> spawn(Task<void> task, std::string name = {});
+
+  /// Starts an infrastructure pump that is expected to wait forever (e.g. a
+  /// NIC receive loop). Daemons do not keep run() alive and are not counted
+  /// as deadlocked when the event queue drains.
+  std::shared_ptr<Completion> spawn_daemon(Task<void> task,
+                                           std::string name = {});
+
+  /// Runs until the event queue is empty. Throws the first exception that
+  /// escaped a spawned process, or DeadlockError if processes remain
+  /// suspended with nothing left to run.
+  void run();
+
+  /// Runs all events with timestamp <= t. Returns true if events remain.
+  bool run_until(SimTime t);
+
+  /// Low-level: schedule `h` to resume at absolute time `at` (clamped to
+  /// now()). Used by the synchronization primitives and resources.
+  void schedule(SimTime at, std::coroutine_handle<> h);
+  void schedule_now(std::coroutine_handle<> h) { schedule(now_, h); }
+
+  /// Runs `fn` at absolute time `at` without the overhead of spawning a
+  /// process. Used for fire-and-forget actions such as wire propagation.
+  void call_at(SimTime at, std::function<void()> fn);
+  void call_after(SimTime d, std::function<void()> fn) {
+    call_at(now_ + (d > 0 ? d : 0), std::move(fn));
+  }
+
+  std::uint64_t events_processed() const noexcept { return events_; }
+  int live_processes() const noexcept { return live_; }
+
+  /// Safety valve against runaway protocol loops: run() throws once this
+  /// many events have been processed.
+  void set_event_limit(std::uint64_t limit) noexcept { event_limit_ = limit; }
+
+  /// Optional structured trace recorder: resources record their busy
+  /// spans when attached (see simcore/tracing.h).
+  void set_tracer(TraceRecorder* t) noexcept { tracer_ = t; }
+  TraceRecorder* tracer() const noexcept { return tracer_; }
+
+  /// Optional trace sink; when set, components may log timestamped lines.
+  void set_trace_sink(std::function<void(SimTime, std::string_view)> sink) {
+    trace_sink_ = std::move(sink);
+  }
+  bool tracing() const noexcept { return static_cast<bool>(trace_sink_); }
+  void trace(std::string_view msg) {
+    if (trace_sink_) trace_sink_(now_, msg);
+  }
+
+ private:
+  struct DelayAwaiter {
+    Simulator& sim;
+    SimTime at;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { sim.schedule(at, h); }
+    void await_resume() const noexcept {}
+  };
+
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;   // exactly one of handle/callback set
+    std::function<void()> callback;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  struct LiveProcess {
+    std::string name;
+    std::shared_ptr<Completion> completion;
+    bool daemon = false;
+  };
+
+  // Root coroutine wrapper for spawned tasks; bookkeeping lives in
+  // simulator.cpp.
+  struct RootTask;
+  RootTask run_root(Task<void> task, std::size_t slot);
+  std::shared_ptr<Completion> spawn_impl(Task<void> task, std::string name,
+                                         bool daemon);
+
+  void step(const Event& ev);
+  [[noreturn]] void throw_deadlock() const;
+
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t event_limit_ = UINT64_MAX;
+  int live_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<LiveProcess> processes_;  // slot -> process bookkeeping
+  std::exception_ptr pending_error_;
+  TraceRecorder* tracer_ = nullptr;
+  std::function<void(SimTime, std::string_view)> trace_sink_;
+};
+
+}  // namespace pp::sim

@@ -1,0 +1,219 @@
+// Coroutine synchronization primitives for simulated processes.
+//
+// All primitives are single-threaded (the simulator is sequential); they
+// exist to express *simulated* concurrency: waiters are parked and resumed
+// through the simulator's event queue so wakeup order stays deterministic.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "simcore/simulator.h"
+
+namespace pp::sim {
+
+/// One-shot latch. wait() completes immediately once set() has been called;
+/// set() releases all current waiters. Reusable via reset().
+class Trigger {
+ public:
+  explicit Trigger(Simulator& sim) : sim_(sim) {}
+
+  bool is_set() const noexcept { return set_; }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) sim_.schedule_now(h);
+    waiters_.clear();
+  }
+
+  void reset() noexcept { set_ = false; }
+
+  auto wait() {
+    struct Awaiter {
+      Trigger& t;
+      bool await_ready() const noexcept { return t.set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        t.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& sim_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Condition-variable-like signal: wait() parks until the *next* notify.
+/// Callers re-check their predicate in a loop, exactly like std::condition
+/// _variable usage.
+class Signal {
+ public:
+  explicit Signal(Simulator& sim) : sim_(sim) {}
+
+  void notify_all() {
+    for (auto h : waiters_) sim_.schedule_now(h);
+    waiters_.clear();
+  }
+
+  void notify_one() {
+    if (waiters_.empty()) return;
+    sim_.schedule_now(waiters_.front());
+    waiters_.pop_front();
+  }
+
+  std::size_t waiting() const noexcept { return waiters_.size(); }
+
+  auto wait() {
+    struct Awaiter {
+      Signal& s;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        s.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& sim_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with FIFO waiters and *bulk* acquire, used to model
+/// byte-counted buffers (e.g. a TCP socket send buffer): acquire(n) parks
+/// until n units are free, and waiters are served strictly in order so a
+/// large request is not starved by later small ones.
+class ByteSemaphore {
+ public:
+  ByteSemaphore(Simulator& sim, std::uint64_t initial)
+      : sim_(sim), available_(initial) {}
+
+  std::uint64_t available() const noexcept { return available_; }
+
+  /// Immediately adds n units and wakes any waiters that now fit (in FIFO
+  /// order, stopping at the first that still does not fit).
+  void release(std::uint64_t n) {
+    available_ += n;
+    grant();
+  }
+
+  /// Takes n units without blocking; caller must ensure they are available.
+  void take(std::uint64_t n) {
+    available_ -= n;
+  }
+
+  /// Re-initializes the available count. Only valid while nothing waits
+  /// (e.g. resizing a socket buffer before traffic starts).
+  void reset(std::uint64_t n) {
+    assert(waiters_.empty() && "cannot reset a semaphore with waiters");
+    available_ = n;
+  }
+
+  bool try_acquire(std::uint64_t n) noexcept {
+    if (waiters_.empty() && available_ >= n) {
+      available_ -= n;
+      return true;
+    }
+    return false;
+  }
+
+  /// Awaitable bulk acquire. FIFO: an acquire parked behind earlier waiters
+  /// stays behind them even if its own amount would fit.
+  auto acquire(std::uint64_t n) { return Acquire{*this, n}; }
+
+ private:
+  struct Waiter {
+    std::uint64_t amount;
+    std::coroutine_handle<> handle;
+  };
+
+  struct Acquire {
+    ByteSemaphore& s;
+    std::uint64_t n;
+    bool suspended = false;
+    bool await_ready() const noexcept {
+      return s.waiters_.empty() && s.available_ >= n;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      suspended = true;
+      s.waiters_.push_back(Waiter{n, h});
+    }
+    void await_resume() noexcept {
+      // On the ready path the units are deducted here; on the wakeup path
+      // grant() already deducted them before scheduling us.
+      if (!suspended) s.available_ -= n;
+    }
+  };
+
+  void grant() {
+    while (!waiters_.empty() && available_ >= waiters_.front().amount) {
+      Waiter w = waiters_.front();
+      waiters_.pop_front();
+      available_ -= w.amount;
+      sim_.schedule_now(w.handle);
+    }
+  }
+
+  Simulator& sim_;
+  std::uint64_t available_;
+  std::deque<Waiter> waiters_;
+};
+
+/// FIFO message queue between simulated processes. Unbounded by default;
+/// a bound turns push() into a blocking (awaitable) operation.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim, std::size_t bound = 0)
+      : sim_(sim), bound_(bound), space_(sim, bound == 0 ? UINT64_MAX : bound),
+        items_(sim, 0) {}
+
+  std::size_t size() const noexcept { return queue_.size(); }
+  bool empty() const noexcept { return queue_.empty(); }
+
+  /// Non-blocking push; only valid for unbounded channels or when not full.
+  void push_now(T value) {
+    queue_.push_back(std::move(value));
+    items_.release(1);
+  }
+
+  Task<void> push(T value) {
+    if (bound_ != 0) co_await space_.acquire(1);
+    push_now(std::move(value));
+  }
+
+  Task<T> pop() {
+    co_await items_.acquire(1);
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    if (bound_ != 0) space_.release(1);
+    co_return value;
+  }
+
+  std::optional<T> try_pop() {
+    if (queue_.empty() || !items_.try_acquire(1)) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    if (bound_ != 0) space_.release(1);
+    return value;
+  }
+
+ private:
+  Simulator& sim_;
+  std::size_t bound_;
+  ByteSemaphore space_;
+  ByteSemaphore items_;
+  std::deque<T> queue_;
+};
+
+}  // namespace pp::sim

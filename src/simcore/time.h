@@ -1,0 +1,42 @@
+// Simulated-time types and helpers.
+//
+// The whole simulation runs on a single virtual clock measured in integer
+// nanoseconds. Integer time keeps the event queue total-ordered and the
+// simulation bit-for-bit deterministic across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pp::sim {
+
+/// A point in (or duration of) simulated time, in nanoseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+constexpr SimTime nanoseconds(double n) { return static_cast<SimTime>(n); }
+constexpr SimTime microseconds(double us) {
+  return static_cast<SimTime>(us * static_cast<double>(kMicrosecond));
+}
+constexpr SimTime milliseconds(double ms) {
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+}
+constexpr SimTime seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+constexpr double to_microseconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+/// Renders a time as a compact human-readable string ("12.5us", "3.2ms").
+std::string format_time(SimTime t);
+
+}  // namespace pp::sim

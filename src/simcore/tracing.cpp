@@ -1,0 +1,76 @@
+#include "simcore/tracing.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace pp::sim {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+std::string TraceRecorder::to_chrome_json() const {
+  // Assign a stable tid per track name, in first-appearance order.
+  std::map<std::string, int> tids;
+  auto tid_of = [&tids](const std::string& track) {
+    auto [it, inserted] = tids.emplace(track, static_cast<int>(tids.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+
+  char buf[160];
+  for (const auto& s : spans_) {
+    std::string name;
+    append_escaped(name, s.name);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"name\":\"",
+                  tid_of(s.track), to_microseconds(s.start),
+                  to_microseconds(s.duration));
+    emit(std::string(buf) + name + "\"}");
+  }
+  for (const auto& i : instants_) {
+    std::string name;
+    append_escaped(name, i.name);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,"
+                  "\"s\":\"t\",\"name\":\"",
+                  tid_of(i.track), to_microseconds(i.at));
+    emit(std::string(buf) + name + "\"}");
+  }
+  // Thread-name metadata so the tracks are labelled.
+  for (const auto& [track, tid] : tids) {
+    std::string name;
+    append_escaped(name, track);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+                  "\"name\":\"thread_name\",\"args\":{\"name\":\"",
+                  tid);
+    emit(std::string(buf) + name + "\"}}");
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path);
+  f << to_chrome_json();
+}
+
+}  // namespace pp::sim

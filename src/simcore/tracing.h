@@ -1,0 +1,57 @@
+// Timeline tracing: records resource occupancy spans and instant events
+// and writes them in the Chrome trace-event JSON format (load in
+// chrome://tracing or Perfetto). The visual counterpart of the paper's
+// "identify where the inefficiencies lie".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simcore/time.h"
+
+namespace pp::sim {
+
+class TraceRecorder {
+ public:
+  /// A busy interval on a named track (one track per resource).
+  void record_span(std::string_view track, std::string_view name,
+                   SimTime start, SimTime duration) {
+    spans_.push_back(Span{std::string(track), std::string(name), start,
+                          duration});
+  }
+
+  /// A point event (message sent, interrupt fired, ...).
+  void record_instant(std::string_view track, std::string_view name,
+                      SimTime at) {
+    instants_.push_back(Instant{std::string(track), std::string(name), at});
+  }
+
+  std::size_t span_count() const { return spans_.size(); }
+  std::size_t instant_count() const { return instants_.size(); }
+
+  /// Serializes to Chrome trace-event JSON.
+  std::string to_chrome_json() const;
+
+  /// Writes the JSON to a file.
+  void write_chrome_json(const std::string& path) const;
+
+ private:
+  struct Span {
+    std::string track;
+    std::string name;
+    SimTime start;
+    SimTime duration;
+  };
+  struct Instant {
+    std::string track;
+    std::string name;
+    SimTime at;
+  };
+
+  std::vector<Span> spans_;
+  std::vector<Instant> instants_;
+};
+
+}  // namespace pp::sim

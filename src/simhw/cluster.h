@@ -1,0 +1,57 @@
+// Cluster builder: owns nodes and the packet pipes connecting them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simcore/simulator.h"
+#include "simhw/config.h"
+#include "simhw/node.h"
+#include "simhw/pipe.h"
+
+namespace pp::hw {
+
+class Cluster {
+ public:
+  explicit Cluster(sim::Simulator& sim) : sim_(sim) {}
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  Node& add_node(const HostConfig& config) {
+    nodes_.push_back(std::make_unique<Node>(
+        sim_, static_cast<int>(nodes_.size()), config));
+    return *nodes_.back();
+  }
+
+  /// A full-duplex link: one pipe per direction.
+  struct Duplex {
+    PacketPipe& forward;   ///< a -> b
+    PacketPipe& backward;  ///< b -> a
+  };
+
+  Duplex connect(Node& a, Node& b, const NicConfig& nic,
+                 const LinkConfig& link = {}) {
+    const std::string base = nic.name + "[" + std::to_string(a.id()) + "-" +
+                             std::to_string(b.id()) + "]";
+    pipes_.push_back(
+        std::make_unique<PacketPipe>(sim_, a, b, nic, link, base + ">"));
+    PacketPipe& fwd = *pipes_.back();
+    pipes_.push_back(
+        std::make_unique<PacketPipe>(sim_, b, a, nic, link, base + "<"));
+    PacketPipe& bwd = *pipes_.back();
+    return Duplex{fwd, bwd};
+  }
+
+  sim::Simulator& simulator() noexcept { return sim_; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  Node& node(std::size_t i) { return *nodes_.at(i); }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<PacketPipe>> pipes_;
+};
+
+}  // namespace pp::hw

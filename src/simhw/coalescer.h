@@ -1,0 +1,54 @@
+// Receive-interrupt timing model.
+//
+// Two regimes, chosen by the gap since the previous frame:
+//  - idle link (gap >= idle_gap): the base interrupt latency applies. This
+//    is what a ping-pong latency test sees.
+//  - streaming (gap < idle_gap): the NIC's loaded receive path applies —
+//    interrupt mitigation plus, on the cheap cards of the paper's era,
+//    driver receive-ring stalls. ACKs returning to a bulk sender ride this
+//    path, so a large busy delay inflates the effective RTT and makes
+//    throughput socket-buffer-limited: the paper's TrendNet story.
+//
+// Delivery order is clamped to be FIFO regardless of the regime mix.
+#pragma once
+
+#include "simcore/time.h"
+#include "simhw/config.h"
+
+namespace pp::hw {
+
+class RxCoalescer {
+ public:
+  explicit RxCoalescer(const NicConfig& nic)
+      : sparse_delay_(nic.sparse_irq_delay),
+        busy_delay_(nic.busy_irq_delay),
+        idle_gap_(nic.idle_gap),
+        burst_threshold_(nic.busy_burst_threshold) {}
+
+  /// Time the host notices a frame that finished DMA at `arrival`.
+  /// Monotone non-decreasing for non-decreasing arrivals.
+  sim::SimTime interrupt_time(sim::SimTime arrival) {
+    if (last_arrival_ < 0 || arrival - last_arrival_ >= idle_gap_) {
+      dense_count_ = 0;  // link went idle; the loaded regime resets
+    } else {
+      ++dense_count_;
+    }
+    last_arrival_ = arrival;
+    const bool loaded = dense_count_ >= burst_threshold_;
+    sim::SimTime fire = arrival + (loaded ? busy_delay_ : sparse_delay_);
+    if (fire < last_fire_) fire = last_fire_;  // FIFO
+    last_fire_ = fire;
+    return fire;
+  }
+
+ private:
+  sim::SimTime sparse_delay_;
+  sim::SimTime busy_delay_;
+  sim::SimTime idle_gap_;
+  int burst_threshold_;
+  int dense_count_ = 0;
+  sim::SimTime last_arrival_ = -1;
+  sim::SimTime last_fire_ = 0;
+};
+
+}  // namespace pp::hw

@@ -1,0 +1,103 @@
+// Parameter structs describing hosts, NICs and links.
+//
+// Every number that shapes a measurement lives here, in one place, so the
+// calibration pass (presets.cpp) and the ablation benches can reason about
+// them. See DESIGN.md §7 for how the presets were anchored to the paper's
+// raw-TCP numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simcore/resource.h"
+#include "simcore/time.h"
+
+namespace pp::hw {
+
+using sim::Rate;
+using sim::SimTime;
+
+/// Host (motherboard + OS) parameters.
+struct HostConfig {
+  std::string name;
+
+  /// Large, uncached memcpy bandwidth. Every user<->kernel copy and every
+  /// message-passing-library staging copy is charged at this rate on the
+  /// node's single CPU resource — this is what makes "one extra memcpy"
+  /// cost the 25-30 % the paper measures for MPICH and PVM.
+  Rate copy_bandwidth = Rate::megabytes(200);
+
+  /// Copy bandwidth for small, cache-resident buffers (library staging
+  /// copies of short messages run much faster than cold-memory streams).
+  Rate cached_copy_bandwidth = Rate::megabytes(1200);
+  /// Staging copies at or below this size use the cached rate.
+  std::uint32_t cached_copy_limit = 32 * 1024;
+
+  /// Raw PCI burst bandwidth for the bus width below (32-bit/33 MHz is
+  /// ~132 MB/s theoretical). Per-NIC DMA-engine efficiency scales it.
+  Rate pci_raw = Rate::megabytes(132);
+  int pci_width_bits = 32;
+  SimTime pci_dma_setup = sim::microseconds(0.5);
+
+  /// Cost of one user/kernel crossing (send()/recv() syscall entry).
+  SimTime syscall_cost = sim::microseconds(1.0);
+  /// Scheduler cost to wake a process blocked in recv()/select().
+  SimTime wakeup_cost = sim::microseconds(3.0);
+
+  /// Kernel TCP/IP per-packet protocol processing (excludes the NIC
+  /// driver's own per-packet costs, which are NIC properties).
+  SimTime proto_tx_cost = sim::microseconds(4.0);
+  SimTime proto_rx_cost = sim::microseconds(5.0);
+};
+
+/// NIC (card + driver) parameters.
+struct NicConfig {
+  std::string name;
+
+  Rate link_rate = Rate::gigabits(1.0);
+  std::uint32_t mtu = 1500;       ///< configured MTU (IP bytes per frame)
+  std::uint32_t max_mtu = 1500;   ///< what the hardware supports
+  /// Preamble + SFD + inter-frame gap + MAC header + CRC per frame.
+  std::uint32_t frame_overhead = 38;
+
+  bool pci64_capable = false;
+  /// DMA-engine quality: fraction of the host's raw PCI bandwidth this
+  /// card sustains (descriptor fetches, burst sizes...).
+  double pci_efficiency = 0.7;
+
+  /// Per-packet driver work charged on the host CPU.
+  SimTime driver_tx_cost = sim::microseconds(3.0);
+  SimTime driver_rx_cost = sim::microseconds(6.0);
+
+  /// Per-packet work on the NIC's own processor/DMA path (dominates for
+  /// Myrinet's LANai; ~0 for dumb Ethernet NICs whose work we charge to
+  /// the host driver instead).
+  SimTime nic_tx_cost = 0;
+  SimTime nic_rx_cost = 0;
+
+  /// Interrupt latency when the link has been idle (ping-pong latency).
+  SimTime sparse_irq_delay = sim::microseconds(15.0);
+  /// Receive-path notification delay under streaming load (interrupt
+  /// mitigation + driver ring-processing stalls). For stall-prone cards
+  /// this is large, delaying returning ACKs and making throughput
+  /// socket-buffer-limited — the paper's TrendNet story.
+  SimTime busy_irq_delay = sim::microseconds(10.0);
+  /// Inter-frame gap above which the link counts as idle again.
+  SimTime idle_gap = sim::microseconds(60.0);
+  /// Number of densely-spaced frames before the receive path enters the
+  /// loaded regime: a short burst (a message and its control traffic)
+  /// still sees the idle-path latency; sustained streams do not.
+  int busy_burst_threshold = 8;
+
+  /// True for OS-bypass interconnects (GM, VIA): no kernel protocol cost,
+  /// no interrupt on the fast path.
+  bool os_bypass = false;
+};
+
+/// Cable/switch parameters for one link.
+struct LinkConfig {
+  /// One-way propagation (cable + any switch port-to-port latency).
+  SimTime propagation = sim::microseconds(0.5);
+};
+
+}  // namespace pp::hw

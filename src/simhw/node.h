@@ -1,0 +1,69 @@
+// A cluster node: one CPU resource (which serializes protocol work and
+// memory copies — the "memory bus saturation" the paper describes shows up
+// as contention here) and one PCI bus resource shared by all NICs in the
+// node.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "simcore/resource.h"
+#include "simcore/simulator.h"
+#include "simcore/task.h"
+#include "simhw/config.h"
+
+namespace pp::hw {
+
+class Node {
+ public:
+  Node(sim::Simulator& sim, int id, HostConfig config)
+      : sim_(sim),
+        id_(id),
+        config_(std::move(config)),
+        cpu_(sim, config_.name + "#" + std::to_string(id) + ".cpu",
+             config_.copy_bandwidth),
+        pci_(sim, config_.name + "#" + std::to_string(id) + ".pci",
+             config_.pci_raw, config_.pci_dma_setup) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int id() const noexcept { return id_; }
+  const HostConfig& config() const noexcept { return config_; }
+  sim::Simulator& simulator() noexcept { return sim_; }
+
+  sim::RateResource& cpu() noexcept { return cpu_; }
+  sim::RateResource& pci() noexcept { return pci_; }
+
+  /// A memory-to-memory copy of `bytes` performed by this node's CPU
+  /// (user<->kernel crossing copies, library staging copies, ...).
+  sim::Task<void> copy(std::uint64_t bytes) { return cpu_.transfer(bytes); }
+
+  /// Fixed CPU work (syscall entry, per-packet protocol processing, ...).
+  sim::Task<void> cpu_cost(sim::SimTime t) { return cpu_.occupy(t); }
+
+  /// Time one staging-copy pass over `bytes` takes: small buffers are
+  /// cache-resident, large ones stream from cold memory.
+  sim::SimTime staging_copy_time(std::uint64_t bytes) const {
+    const Rate rate = bytes <= config_.cached_copy_limit
+                          ? config_.cached_copy_bandwidth
+                          : config_.copy_bandwidth;
+    return rate.time_for(bytes);
+  }
+
+  /// A library staging copy (unexpected-queue drain, eager-buffer copy,
+  /// pack/unpack pass). Uses the size-dependent rate above.
+  sim::Task<void> staging_copy(std::uint64_t bytes) {
+    return cpu_.occupy(staging_copy_time(bytes));
+  }
+
+ private:
+  sim::Simulator& sim_;
+  int id_;
+  HostConfig config_;
+  sim::RateResource cpu_;
+  sim::RateResource pci_;
+};
+
+}  // namespace pp::hw

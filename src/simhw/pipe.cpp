@@ -1,0 +1,120 @@
+#include "simhw/pipe.h"
+
+#include <cmath>
+#include <utility>
+
+namespace pp::hw {
+
+PacketPipe::PacketPipe(sim::Simulator& sim, Node& src, Node& dst,
+                       NicConfig nic, LinkConfig link, std::string name)
+    : sim_(sim),
+      src_(src),
+      dst_(dst),
+      nic_(std::move(nic)),
+      link_(link),
+      name_(std::move(name)),
+      wire_(sim, name_ + ".wire", nic_.link_rate),
+      coalescer_(nic_),
+      tx_cpu_q_(sim),
+      tx_dma_q_(sim),
+      wire_q_(sim),
+      rx_dma_q_(sim),
+      rx_cpu_q_(sim),
+      delivered_(sim) {
+  sim_.spawn_daemon(tx_cpu_pump(), name_ + ".txcpu");
+  sim_.spawn_daemon(tx_dma_pump(), name_ + ".txdma");
+  sim_.spawn_daemon(wire_pump(), name_ + ".wire");
+  sim_.spawn_daemon(rx_dma_pump(), name_ + ".rxdma");
+  sim_.spawn_daemon(rx_cpu_pump(), name_ + ".rxcpu");
+}
+
+sim::SimTime PacketPipe::tx_cpu_cost() const {
+  return nic_.driver_tx_cost +
+         (nic_.os_bypass ? 0 : src_.config().proto_tx_cost);
+}
+
+sim::SimTime PacketPipe::rx_cpu_cost() const {
+  return nic_.driver_rx_cost +
+         (nic_.os_bypass ? 0 : dst_.config().proto_rx_cost);
+}
+
+std::uint64_t PacketPipe::pci_effective_bytes(const Node& host,
+                                              std::uint64_t bytes) const {
+  double factor = nic_.pci_efficiency;
+  if (host.config().pci_width_bits == 64 && !nic_.pci64_capable) {
+    // A 32-bit card in a 64-bit slot only uses half the bus cycles' width.
+    factor *= 0.5;
+  }
+  if (factor <= 0.0) factor = 1e-3;
+  return static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(bytes) / factor));
+}
+
+sim::Task<void> PacketPipe::tx_cpu_pump() {
+  for (;;) {
+    Packet p = co_await tx_cpu_q_.pop();
+    // A zero cost must not even queue on the CPU: an OS-bypass NIC's DMA
+    // engine proceeds regardless of what the host CPU is doing.
+    if (const sim::SimTime cost = tx_cpu_cost(); cost > 0) {
+      co_await src_.cpu_cost(cost);
+    }
+    tx_dma_q_.push_now(std::move(p));
+  }
+}
+
+sim::Task<void> PacketPipe::tx_dma_pump() {
+  for (;;) {
+    Packet p = co_await tx_dma_q_.pop();
+    co_await src_.pci().transfer_with_overhead(
+        pci_effective_bytes(src_, p.dma_bytes), nic_.nic_tx_cost);
+    wire_q_.push_now(std::move(p));
+  }
+}
+
+sim::Task<void> PacketPipe::wire_pump() {
+  for (;;) {
+    Packet p = co_await wire_q_.pop();
+    co_await wire_.transfer(p.wire_bytes);
+    // Fault injection: a corrupted frame still occupied the wire but
+    // never reaches the receiver.
+    if (loss_probability_ > 0.0 &&
+        loss_rng_.uniform() < loss_probability_) {
+      ++n_dropped_;
+      continue;
+    }
+    // Propagation does not occupy the wire; hand the frame to the receive
+    // side with a fire-and-forget timer so back-to-back frames pipeline.
+    auto frame = std::make_shared<Packet>(std::move(p));
+    sim_.call_after(link_.propagation, [this, frame]() mutable {
+      rx_dma_q_.push_now(std::move(*frame));
+    });
+  }
+}
+
+sim::Task<void> PacketPipe::rx_dma_pump() {
+  for (;;) {
+    Packet p = co_await rx_dma_q_.pop();
+    co_await dst_.pci().transfer_with_overhead(
+        pci_effective_bytes(dst_, p.dma_bytes), nic_.nic_rx_cost);
+    // The frame now sits in host memory; the interrupt (possibly batched
+    // by the mitigation timer) makes the host notice it.
+    const sim::SimTime irq_at = coalescer_.interrupt_time(sim_.now());
+    auto frame = std::make_shared<Packet>(std::move(p));
+    sim_.call_at(irq_at, [this, frame]() mutable {
+      rx_cpu_q_.push_now(std::move(*frame));
+    });
+  }
+}
+
+sim::Task<void> PacketPipe::rx_cpu_pump() {
+  for (;;) {
+    Packet p = co_await rx_cpu_q_.pop();
+    if (const sim::SimTime cost = rx_cpu_cost(); cost > 0) {
+      co_await dst_.cpu_cost(cost);
+    }
+    ++n_delivered_;
+    delivered_.push_now(std::move(p));
+  }
+}
+
+}  // namespace pp::hw

@@ -1,0 +1,112 @@
+// A one-directional packet path between two nodes.
+//
+// The path is a pipeline of independently-pumped stages so that, exactly
+// like real hardware, the wire can serialize frame i+1 while the receiver
+// is still DMA-ing frame i and the destination CPU is still processing
+// frame i-1:
+//
+//   inject -> [tx cpu] -> [tx DMA/PCI] -> [wire] -> propagation
+//          -> [rx DMA/PCI] -> interrupt coalescing -> [rx cpu] -> delivered
+//
+// CPU stages are charged on the node's single CPU resource, so protocol
+// work, driver work and user copies all contend — the paper's observation
+// that the message-passing layer and the OS fight over the same memory/CPU
+// path falls out of this sharing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "simcore/random.h"
+#include "simcore/resource.h"
+#include "simcore/simulator.h"
+#include "simcore/sync.h"
+#include "simcore/task.h"
+#include "simhw/coalescer.h"
+#include "simhw/config.h"
+#include "simhw/node.h"
+
+namespace pp::hw {
+
+/// One frame in flight. The pipe only looks at the byte counts; `ctx`
+/// carries the protocol descriptor (TCP segment, GM message, ...).
+struct Packet {
+  std::uint64_t dma_bytes = 0;   ///< bytes crossing the PCI bus
+  std::uint64_t wire_bytes = 0;  ///< bytes serialized on the wire
+  std::shared_ptr<void> ctx;
+};
+
+class PacketPipe {
+ public:
+  PacketPipe(sim::Simulator& sim, Node& src, Node& dst, NicConfig nic,
+             LinkConfig link, std::string name);
+
+  PacketPipe(const PacketPipe&) = delete;
+  PacketPipe& operator=(const PacketPipe&) = delete;
+
+  /// Hands a packet to the transmit path. Never blocks; upper layers pace
+  /// themselves (TCP by its window, GM/VIA by their credits).
+  void inject(Packet p) { tx_cpu_q_.push_now(std::move(p)); }
+
+  /// Frames that have fully arrived (after the receive interrupt and the
+  /// destination's per-packet processing).
+  sim::Channel<Packet>& delivered() noexcept { return delivered_; }
+
+  const NicConfig& nic() const noexcept { return nic_; }
+  Node& src() noexcept { return src_; }
+  Node& dst() noexcept { return dst_; }
+  sim::RateResource& wire() noexcept { return wire_; }
+  std::uint64_t packets_delivered() const noexcept { return n_delivered_; }
+  std::uint64_t packets_dropped() const noexcept { return n_dropped_; }
+
+  /// Fault injection: drop each frame with probability `p` (deterministic
+  /// given the seed). The paper's fabrics are lossless back-to-back
+  /// links; this exists to exercise the TCP retransmission machinery and
+  /// degraded-cable scenarios.
+  void set_loss(double p, std::uint64_t seed = 1) {
+    loss_probability_ = p;
+    loss_rng_ = sim::SplitMix64(seed);
+  }
+
+  /// Host-side per-packet CPU charge on each side (useful to reason about
+  /// saturation in reports and tests).
+  sim::SimTime tx_cpu_cost() const;
+  sim::SimTime rx_cpu_cost() const;
+
+ private:
+  sim::Task<void> tx_cpu_pump();
+  sim::Task<void> tx_dma_pump();
+  sim::Task<void> wire_pump();
+  sim::Task<void> rx_dma_pump();
+  sim::Task<void> rx_cpu_pump();
+
+  /// PCI bytes inflated by the card's DMA efficiency and bus-width match,
+  /// so the shared PCI resource sees the card's *effective* occupancy.
+  std::uint64_t pci_effective_bytes(const Node& host,
+                                    std::uint64_t bytes) const;
+
+  sim::Simulator& sim_;
+  Node& src_;
+  Node& dst_;
+  NicConfig nic_;
+  LinkConfig link_;
+  std::string name_;
+
+  sim::RateResource wire_;
+  RxCoalescer coalescer_;
+
+  sim::Channel<Packet> tx_cpu_q_;
+  sim::Channel<Packet> tx_dma_q_;
+  sim::Channel<Packet> wire_q_;
+  sim::Channel<Packet> rx_dma_q_;
+  sim::Channel<Packet> rx_cpu_q_;
+  sim::Channel<Packet> delivered_;
+
+  std::uint64_t n_delivered_ = 0;
+  std::uint64_t n_dropped_ = 0;
+  double loss_probability_ = 0.0;
+  sim::SplitMix64 loss_rng_{1};
+};
+
+}  // namespace pp::hw

@@ -1,0 +1,193 @@
+#include "simhw/presets.h"
+
+#include "simcore/time.h"
+
+namespace pp::hw::presets {
+
+using sim::microseconds;
+
+HostConfig pentium4_pc() {
+  HostConfig h;
+  h.name = "p4-1.8";
+  // Large uncached memcpy on PC133 SDRAM: ~200 MB/s. This single number
+  // drives the 25-30 % large-message loss of every library that adds a
+  // staging copy.
+  h.copy_bandwidth = Rate::megabytes(200);
+  h.pci_raw = Rate::megabytes(132);  // 32-bit 33 MHz theoretical
+  h.pci_width_bits = 32;
+  h.pci_dma_setup = microseconds(0.5);
+  h.syscall_cost = microseconds(1.0);
+  h.wakeup_cost = microseconds(3.0);
+  h.proto_tx_cost = microseconds(4.0);
+  h.proto_rx_cost = microseconds(4.0);
+  return h;
+}
+
+HostConfig compaq_ds20() {
+  HostConfig h;
+  h.name = "ds20";
+  h.copy_bandwidth = Rate::megabytes(320);
+  h.cached_copy_bandwidth = Rate::megabytes(1500);
+  h.pci_raw = Rate::megabytes(264);  // 64-bit 33 MHz theoretical
+  h.pci_width_bits = 64;
+  h.pci_dma_setup = microseconds(0.4);
+  h.syscall_cost = microseconds(0.8);
+  h.wakeup_cost = microseconds(2.5);
+  h.proto_tx_cost = microseconds(3.0);
+  h.proto_rx_cost = microseconds(3.5);
+  return h;
+}
+
+NicConfig netgear_ga620() {
+  NicConfig n;
+  n.name = "ga620";
+  n.link_rate = Rate::gigabits(1.0);
+  n.mtu = 1500;
+  n.max_mtu = 9000;  // AceNIC supports jumbo; the paper ran it at 1500
+  n.pci64_capable = true;
+  n.pci_efficiency = 0.75;
+  n.driver_tx_cost = microseconds(3.0);
+  n.driver_rx_cost = microseconds(6.5);
+  // The paper: "latencies are poor under the new Linux 2.4.x kernel" —
+  // the AceNIC firmware coalesces even sparse traffic.
+  n.sparse_irq_delay = microseconds(90.0);
+  n.busy_irq_delay = microseconds(8.0);
+  return n;
+}
+
+NicConfig trendnet_teg_pcitx() {
+  NicConfig n;
+  n.name = "trendnet";
+  n.link_rate = Rate::gigabits(1.0);
+  n.mtu = 1500;
+  n.max_mtu = 1500;
+  n.pci64_capable = false;
+  n.pci_efficiency = 0.72;
+  n.driver_tx_cost = microseconds(3.0);
+  n.driver_rx_cost = microseconds(5.5);
+  n.sparse_irq_delay = microseconds(40.0);
+  // The ns8382x receive path stalls for close to a millisecond under
+  // load; this is why raw TCP flattens at ~290 Mbps until the socket
+  // buffers reach 512 kB.
+  n.busy_irq_delay = microseconds(900.0);
+  return n;
+}
+
+NicConfig netgear_ga622() {
+  NicConfig n = trendnet_teg_pcitx();
+  n.name = "ga622";
+  n.pci64_capable = true;
+  // Same silicon, and a driver the paper calls immature even for raw TCP.
+  n.driver_rx_cost = microseconds(10.0);
+  n.busy_irq_delay = microseconds(1100.0);
+  return n;
+}
+
+NicConfig syskonnect_sk9843(std::uint32_t mtu) {
+  NicConfig n;
+  n.name = "sk9843";
+  n.link_rate = Rate::gigabits(1.0);
+  n.mtu = mtu;
+  n.max_mtu = 9000;
+  n.pci64_capable = true;
+  n.pci_efficiency = 0.68;
+  n.driver_tx_cost = microseconds(2.0);
+  n.driver_rx_cost = microseconds(5.0);
+  n.sparse_irq_delay = microseconds(18.0);
+  n.busy_irq_delay = microseconds(220.0);
+  return n;
+}
+
+NicConfig myrinet_pci64a() {
+  NicConfig n;
+  n.name = "myrinet";
+  n.link_rate = Rate::gigabits(1.28);
+  n.mtu = 8192;  // GM fragments long messages into large fabric packets
+  n.max_mtu = 8192;
+  n.frame_overhead = 16;
+  n.pci64_capable = true;
+  n.pci_efficiency = 0.78;
+  n.os_bypass = true;
+  // Host involvement is zero on the fast path (OS bypass); the 66 MHz
+  // LANai does the per-packet work on the I/O path.
+  n.driver_tx_cost = 0;
+  n.driver_rx_cost = 0;
+  n.nic_tx_cost = microseconds(2.5);
+  n.nic_rx_cost = microseconds(2.5);
+  // Polling receive: no interrupt on the fast path.
+  n.sparse_irq_delay = microseconds(1.0);
+  n.busy_irq_delay = microseconds(1.0);
+  return n;
+}
+
+NicConfig giganet_clan() {
+  NicConfig n;
+  n.name = "clan";
+  n.link_rate = Rate::gigabits(1.25);
+  n.mtu = 4096;
+  n.max_mtu = 4096;
+  n.frame_overhead = 8;
+  n.pci64_capable = false;
+  n.pci_efficiency = 0.79;
+  n.os_bypass = true;
+  n.driver_tx_cost = 0;
+  n.driver_rx_cost = 0;
+  n.nic_tx_cost = microseconds(1.0);
+  n.nic_rx_cost = microseconds(1.0);
+  n.sparse_irq_delay = microseconds(1.0);
+  n.busy_irq_delay = microseconds(1.0);
+  return n;
+}
+
+NicConfig myrinet_ip_over_gm() {
+  NicConfig n = myrinet_pci64a();
+  n.name = "ip-over-gm";
+  n.os_bypass = false;  // the kernel TCP/IP stack is back in the path
+  n.driver_tx_cost = microseconds(3.0);
+  n.driver_rx_cost = microseconds(6.0);
+  // The Ethernet-emulation path cannot use GM's optimized DMA engine.
+  n.pci_efficiency = 0.55;
+  n.sparse_irq_delay = microseconds(25.0);
+  n.busy_irq_delay = microseconds(25.0);
+  return n;
+}
+
+NicConfig syskonnect_mvia() {
+  NicConfig n = syskonnect_sk9843(1500);
+  n.name = "mvia-sk98lin";
+  n.os_bypass = true;  // no TCP/IP; M-VIA's own costs are charged by viasim
+  n.driver_tx_cost = 0;
+  n.driver_rx_cost = 0;
+  // M-VIA's interrupt path skips the whole TCP/IP softirq chain.
+  n.sparse_irq_delay = microseconds(8.0);
+  return n;
+}
+
+NicConfig fast_ethernet() {
+  NicConfig n;
+  n.name = "fe100";
+  n.link_rate = Rate::megabits(100.0);
+  n.mtu = 1500;
+  n.max_mtu = 1500;
+  n.pci64_capable = false;
+  n.pci_efficiency = 0.9;
+  n.driver_tx_cost = microseconds(2.0);
+  n.driver_rx_cost = microseconds(4.0);
+  n.sparse_irq_delay = microseconds(20.0);
+  n.busy_irq_delay = microseconds(20.0);
+  return n;
+}
+
+LinkConfig back_to_back() {
+  LinkConfig l;
+  l.propagation = microseconds(0.5);
+  return l;
+}
+
+LinkConfig switched() {
+  LinkConfig l;
+  l.propagation = microseconds(3.0);
+  return l;
+}
+
+}  // namespace pp::hw::presets

@@ -1,0 +1,70 @@
+// Calibrated presets for every host and NIC the paper tests.
+//
+// Host presets are anchored to the paper's raw-TCP measurements (DESIGN.md
+// §7); NIC presets encode each card's personality: DMA-engine quality,
+// driver per-packet costs, and — crucially for the paper's socket-buffer
+// story — interrupt-mitigation behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "simhw/config.h"
+
+namespace pp::hw::presets {
+
+// ----- hosts -------------------------------------------------------------
+
+/// 1.8 GHz Pentium 4, 768 MB PC133, 32-bit 33 MHz PCI (the paper's ~$1500
+/// commodity cluster node).
+HostConfig pentium4_pc();
+
+/// Compaq DS20, 500 MHz Alpha EV6, 64-bit 33 MHz PCI.
+HostConfig compaq_ds20();
+
+// ----- NICs --------------------------------------------------------------
+
+/// Netgear GA620 fiber GigE (AceNIC driver): mature but with the poor
+/// 2.4-kernel latency the paper reports (~120 us).
+NicConfig netgear_ga620();
+
+/// TrendNet TEG-PCITX copper GigE (ns83820 driver): the $55 new wave —
+/// needs enormous socket buffers because of its receive-path stalls.
+NicConfig trendnet_teg_pcitx();
+
+/// Netgear GA622 copper GigE: electrically a 64-bit TrendNet with an
+/// equally immature driver.
+NicConfig netgear_ga622();
+
+/// SysKonnect SK-9843 (sk98lin): low latency, jumbo-frame capable.
+/// @param mtu 1500 or up to 9000 (jumbo frames).
+NicConfig syskonnect_sk9843(std::uint32_t mtu = 1500);
+
+/// Myrinet PCI64A-2 with the 66 MHz LANai (GM fabric, OS bypass).
+NicConfig myrinet_pci64a();
+
+/// Giganet cLAN (hardware VIA, OS bypass).
+NicConfig giganet_clan();
+
+/// The Myrinet card driven as an IP interface (IP-over-GM): the kernel
+/// stack is back in the path, so latency and efficiency regress to
+/// GigE-TCP levels (paper §5).
+NicConfig myrinet_ip_over_gm();
+
+/// The SysKonnect card under M-VIA instead of the kernel TCP stack: the
+/// VIA software layer replaces the TCP/IP protocol costs (charged by the
+/// viasim personality), but the interrupt behaviour is the card's own.
+NicConfig syskonnect_mvia();
+
+/// Plain Fast Ethernet, for the "established technology" contrast the
+/// paper draws in §4.
+NicConfig fast_ethernet();
+
+// ----- links -------------------------------------------------------------
+
+/// Crossover cable, no switch (how the paper ran everything but Giganet).
+LinkConfig back_to_back();
+
+/// Through one switch (the Giganet CL5000 setup).
+LinkConfig switched();
+
+}  // namespace pp::hw::presets

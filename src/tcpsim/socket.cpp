@@ -1,0 +1,423 @@
+#include "tcpsim/socket.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "simcore/sync.h"
+
+namespace pp::tcp {
+
+namespace {
+
+/// On-the-wire protocol bytes per segment (IP + TCP headers).
+constexpr std::uint32_t kHeaderBytes = 40;
+
+}  // namespace
+
+/// Descriptor travelling as a pipe packet's ctx.
+struct SegmentCtx {
+  Endpoint* dst = nullptr;    ///< receiving endpoint
+  std::uint64_t seq = 0;      ///< first payload byte's stream offset
+  std::uint32_t payload = 0;  ///< 0 for a pure ACK
+  std::uint64_t ack = 0;      ///< cumulative ACK (bytes received in order)
+  std::uint64_t wnd_edge = 0; ///< absolute highest stream offset permitted
+};
+
+/// One directed half of a connection plus the receive state for the
+/// opposite direction. Two of these form a Connection.
+struct Endpoint {
+  Endpoint(TcpStack& stack_in, hw::PacketPipe& out_pipe, std::string nm)
+      : stack(&stack_in),
+        out(&out_pipe),
+        name(std::move(nm)),
+        snd_space(stack_in.node().simulator(), 0),
+        tx_signal(stack_in.node().simulator()),
+        rx_signal(stack_in.node().simulator()) {}
+
+  hw::Node& node() { return stack->node(); }
+  sim::Simulator& simulator() { return stack->node().simulator(); }
+
+  std::uint32_t mss() const { return out->nic().mtu - kHeaderBytes; }
+
+  /// Highest stream offset the peer may send (our buffer's absolute edge).
+  std::uint64_t advert_edge() const { return consumed + rcv_buf; }
+  std::uint64_t avail() const { return rcv_next - consumed; }
+
+  void start_traffic() { traffic_started = true; }
+
+  void inject_segment(std::uint32_t payload, std::uint64_t seq);
+  void send_pure_ack();
+  void on_segment(const SegmentCtx& s);
+  void maybe_window_update(std::uint64_t pre_recv_usable);
+  /// Go-back-N: requeue everything after the last cumulative ACK.
+  void rewind_to_una();
+  /// Arms (or keeps armed) the retransmission timer.
+  void arm_rto();
+
+  sim::Task<void> tx_pump();
+  sim::Task<void> send(std::uint64_t bytes, std::uint64_t token);
+  sim::Task<std::uint64_t> recv(std::uint64_t max);
+
+  TcpStack* stack;
+  hw::PacketPipe* out;
+  Endpoint* peer = nullptr;
+  std::string name;
+
+  std::uint32_t snd_buf = 0;
+  std::uint32_t rcv_buf = 0;
+  bool traffic_started = false;
+
+  // --- transmit state -----------------------------------------------------
+  sim::ByteSemaphore snd_space;  ///< free bytes in the send buffer
+  std::uint64_t unsent = 0;      ///< buffered bytes not yet segmented
+  std::uint64_t submitted = 0;   ///< total bytes accepted from the app
+  std::uint64_t snd_next = 0;
+  std::uint64_t snd_una = 0;
+  std::uint64_t rwnd_edge = 0;   ///< absolute send limit from peer's window
+  int dupack_count = 0;
+  std::uint64_t recover_until = 0;
+  bool rto_armed = false;
+  // Reno congestion state (bytes). cwnd is initialized on first use so
+  // the MSS (which depends on the bound pipe) is known.
+  std::uint64_t cwnd = 0;
+  std::uint64_t ssthresh = UINT64_MAX;
+  sim::Signal tx_signal;
+
+  /// Absolute limit from both flow control and congestion control.
+  std::uint64_t send_edge() {
+    if (!stack->sysctl().congestion_control) return rwnd_edge;
+    if (cwnd == 0) {
+      cwnd = static_cast<std::uint64_t>(
+                 stack->sysctl().initial_cwnd_segments) *
+             mss();
+    }
+    return std::min(rwnd_edge, snd_una + cwnd);
+  }
+
+  void on_ack_progress(std::uint64_t acked) {
+    if (!stack->sysctl().congestion_control || cwnd == 0) return;
+    if (cwnd < ssthresh) {
+      cwnd += std::min<std::uint64_t>(acked, mss());  // slow start
+    } else {
+      cwnd += std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(mss()) * mss() / cwnd);
+    }
+  }
+
+  void on_congestion(bool timeout) {
+    if (!stack->sysctl().congestion_control || cwnd == 0) return;
+    const std::uint64_t flight = snd_next - snd_una;
+    ssthresh = std::max<std::uint64_t>(flight / 2, 2ull * mss());
+    cwnd = timeout ? mss() : ssthresh;
+  }
+
+  // --- receive state -------------------------------------------------------
+  std::uint64_t rcv_next = 0;   ///< in-order bytes arrived
+  std::uint64_t consumed = 0;   ///< bytes taken by the application
+  std::uint64_t last_advertised_edge = 0;
+  int pending_acks = 0;
+  sim::Signal rx_signal;
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> send_marks;
+  std::vector<std::uint64_t> tokens_ready;
+
+  SocketStats stats;
+};
+
+/// A full-duplex connection: two endpoints referencing each other.
+class Connection {
+ public:
+  Connection(TcpStack& a, TcpStack& b, hw::Cluster::Duplex& link,
+             const std::string& name)
+      : a_(a, link.forward, name + ".a"), b_(b, link.backward, name + ".b") {
+    a_.peer = &b_;
+    b_.peer = &a_;
+    init_endpoint(a_, a);
+    init_endpoint(b_, b);
+    a_.rwnd_edge = b_.rcv_buf;
+    b_.rwnd_edge = a_.rcv_buf;
+    a_.simulator().spawn_daemon(a_.tx_pump(), name + ".a.tx");
+    b_.simulator().spawn_daemon(b_.tx_pump(), name + ".b.tx");
+  }
+
+  Endpoint& a() { return a_; }
+  Endpoint& b() { return b_; }
+
+ private:
+  static void init_endpoint(Endpoint& e, TcpStack& stack) {
+    const Sysctl& s = stack.sysctl();
+    e.snd_buf = std::min(s.wmem_default, s.wmem_max);
+    e.rcv_buf = std::min(s.rmem_default, s.rmem_max);
+    e.snd_space.reset(e.snd_buf);
+    e.last_advertised_edge = e.rcv_buf;
+  }
+
+  Endpoint a_;
+  Endpoint b_;
+};
+
+// --------------------------------------------------------------------------
+// Endpoint implementation
+// --------------------------------------------------------------------------
+
+void Endpoint::inject_segment(std::uint32_t payload, std::uint64_t seq) {
+  auto ctx = std::make_shared<SegmentCtx>();
+  ctx->dst = peer;
+  ctx->seq = seq;
+  ctx->payload = payload;
+  ctx->ack = rcv_next;
+  ctx->wnd_edge = advert_edge();
+  last_advertised_edge = ctx->wnd_edge;
+  pending_acks = 0;  // any segment carries the latest cumulative ACK
+  hw::Packet p;
+  p.dma_bytes = payload + kHeaderBytes;
+  p.wire_bytes = payload + kHeaderBytes + out->nic().frame_overhead;
+  p.ctx = std::move(ctx);
+  out->inject(std::move(p));
+}
+
+void Endpoint::send_pure_ack() {
+  stats.acks_sent += 1;
+  inject_segment(/*payload=*/0, /*seq=*/snd_next);
+}
+
+void Endpoint::maybe_window_update(std::uint64_t pre_recv_usable) {
+  // Receiver-side silly-window-syndrome avoidance: the regular data ACKs
+  // already carry a fresh advertisement, so an explicit window-update ACK
+  // is only worth its cost when (a) the sender was (nearly) stalled on a
+  // closed window and consuming just reopened a useful amount, or (b) the
+  // last advertisement has gone badly stale (guards against a stalled
+  // sender that we will never ACK again because no data is arriving).
+  const std::uint64_t gain = advert_edge() - last_advertised_edge;
+  const std::uint64_t threshold = std::max<std::uint64_t>(
+      std::min<std::uint64_t>(2ull * mss(), rcv_buf / 2), 1);
+  const bool sender_starved = pre_recv_usable < mss() && gain >= threshold;
+  const bool advert_stale = gain >= std::max<std::uint64_t>(rcv_buf / 2, 1);
+  if (sender_starved || advert_stale) send_pure_ack();
+}
+
+void Endpoint::on_segment(const SegmentCtx& s) {
+  traffic_started = true;
+  if (s.payload > 0) {
+    if (s.seq != rcv_next) {
+      // A gap: an earlier segment was lost. Go-back-N receiver: discard
+      // and tell the sender where the stream stands (a duplicate ACK).
+      stats.out_of_order_dropped += 1;
+      send_pure_ack();
+    } else {
+      assert(rcv_next + s.payload <= advert_edge() &&
+             "peer violated the advertised window");
+      rcv_next += s.payload;
+      stats.bytes_received += s.payload;
+      rx_signal.notify_all();
+      pending_acks += 1;
+      if (pending_acks >= 2) {
+        send_pure_ack();
+      } else {
+        // Delayed-ACK flush for an odd trailing segment.
+        Endpoint* self = this;
+        simulator().call_after(stack->sysctl().delayed_ack_timeout, [self] {
+          if (self->pending_acks > 0) self->send_pure_ack();
+        });
+      }
+    }
+  }
+  if (s.ack > snd_una) {
+    const std::uint64_t acked = s.ack - snd_una;
+    snd_space.release(acked);
+    snd_una = s.ack;
+    dupack_count = 0;
+    on_ack_progress(acked);
+  } else if (s.ack == snd_una && s.payload == 0 && snd_next > snd_una) {
+    // A pure duplicate ACK while data is outstanding. Only one fast
+    // retransmit per window of data (NewReno-style recovery point):
+    // duplicates caused by the flight we already rewound must not
+    // trigger another rewind, or recovery livelocks.
+    if (++dupack_count >= stack->sysctl().dupack_threshold &&
+        snd_una >= recover_until) {
+      dupack_count = 0;
+      stats.fast_retransmits += 1;
+      on_congestion(/*timeout=*/false);
+      rewind_to_una();
+    }
+  }
+  if (s.wnd_edge > rwnd_edge) rwnd_edge = s.wnd_edge;
+  tx_signal.notify_all();
+}
+
+void Endpoint::rewind_to_una() {
+  if (snd_next == snd_una) return;
+  stats.retransmits += 1;
+  recover_until = snd_next;      // recovery completes when this is acked
+  unsent += snd_next - snd_una;  // those bytes go back to the tx queue
+  snd_next = snd_una;
+  tx_signal.notify_all();
+}
+
+void Endpoint::arm_rto() {
+  if (rto_armed) return;
+  rto_armed = true;
+  const std::uint64_t epoch = snd_una;
+  Endpoint* self = this;
+  simulator().call_after(stack->sysctl().retransmit_timeout, [self, epoch] {
+    self->rto_armed = false;
+    if (self->snd_next == self->snd_una) return;  // everything acked
+    if (self->snd_una == epoch) {
+      // No progress for a whole RTO: resend from the last acked byte.
+      self->on_congestion(/*timeout=*/true);
+      self->rewind_to_una();
+    }
+    self->arm_rto();  // keep watching until the window drains
+  });
+}
+
+sim::Task<void> Endpoint::tx_pump() {
+  for (;;) {
+    // Sender-side SWS avoidance: send a full MSS or the final tail of the
+    // buffered data, never a runt forced by a fragmented window.
+    const auto sendable = [this]() -> std::uint64_t {
+      const std::uint64_t edge = send_edge();
+      if (unsent == 0 || snd_next >= edge) return 0;
+      const std::uint64_t want = std::min<std::uint64_t>(unsent, mss());
+      return (edge - snd_next >= want) ? want : 0;
+    };
+    while (sendable() == 0) {
+      co_await tx_signal.wait();
+    }
+    const std::uint32_t seg = static_cast<std::uint32_t>(sendable());
+    unsent -= seg;
+    stats.data_segments_sent += 1;
+    stats.bytes_sent += seg;
+    const std::uint64_t seq = snd_next;
+    snd_next += seg;
+    inject_segment(seg, seq);
+    arm_rto();
+    // Yield so same-time arrivals (ACKs) interleave deterministically.
+    co_await simulator().delay(0);
+  }
+}
+
+sim::Task<void> Endpoint::send(std::uint64_t bytes, std::uint64_t token) {
+  start_traffic();
+  co_await node().cpu_cost(node().config().syscall_cost);
+  std::uint64_t left = bytes;
+  while (left > 0) {
+    // The kernel copies user data into the send buffer as space frees,
+    // one MSS-sized chunk at a time.
+    const std::uint64_t chunk = std::min<std::uint64_t>(left, mss());
+    co_await snd_space.acquire(chunk);
+    co_await node().copy(chunk);
+    unsent += chunk;
+    left -= chunk;
+    tx_signal.notify_all();
+  }
+  submitted += bytes;
+  if (token != 0) send_marks.emplace_back(submitted, token);
+}
+
+sim::Task<std::uint64_t> Endpoint::recv(std::uint64_t max) {
+  start_traffic();
+  co_await node().cpu_cost(node().config().syscall_cost);
+  if (avail() == 0) {
+    do {
+      co_await rx_signal.wait();
+    } while (avail() == 0);
+    co_await node().cpu_cost(node().config().wakeup_cost);
+  }
+  // What the sender could still send before this recv() freed space.
+  const std::uint64_t pre_recv_usable = advert_edge() - rcv_next;
+  const std::uint64_t n = std::min(max, avail());
+  co_await node().copy(n);
+  consumed += n;
+  auto& marks = peer->send_marks;
+  while (!marks.empty() && marks.front().first <= consumed) {
+    tokens_ready.push_back(marks.front().second);
+    marks.pop_front();
+  }
+  maybe_window_update(pre_recv_usable);
+  co_return n;
+}
+
+// --------------------------------------------------------------------------
+// TcpStack
+// --------------------------------------------------------------------------
+
+void TcpStack::attach_rx_pipe(hw::PacketPipe& pipe) {
+  assert(&pipe.dst() == &node_ && "pipe does not terminate at this node");
+  for (const auto* p : attached_) {
+    if (p == &pipe) return;
+  }
+  attached_.push_back(&pipe);
+  node_.simulator().spawn_daemon(demux(pipe),
+                                 "tcp.demux@" + std::to_string(node_.id()));
+}
+
+sim::Task<void> TcpStack::demux(hw::PacketPipe& pipe) {
+  for (;;) {
+    hw::Packet p = co_await pipe.delivered().pop();
+    auto seg = std::static_pointer_cast<SegmentCtx>(p.ctx);
+    assert(seg && seg->dst && "non-TCP packet on a TCP-attached pipe");
+    seg->dst->on_segment(*seg);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Socket facade
+// --------------------------------------------------------------------------
+
+void Socket::set_send_buffer(std::uint32_t bytes) {
+  assert(ep_ && !ep_->traffic_started &&
+         "socket buffers must be set before traffic starts");
+  ep_->snd_buf = std::min(bytes, ep_->stack->sysctl().wmem_max);
+  ep_->snd_space.reset(ep_->snd_buf);
+}
+
+void Socket::set_recv_buffer(std::uint32_t bytes) {
+  assert(ep_ && !ep_->traffic_started &&
+         "socket buffers must be set before traffic starts");
+  ep_->rcv_buf = std::min(bytes, ep_->stack->sysctl().rmem_max);
+  ep_->last_advertised_edge = ep_->advert_edge();
+  ep_->peer->rwnd_edge = ep_->advert_edge();
+}
+
+std::uint32_t Socket::send_buffer() const { return ep_->snd_buf; }
+std::uint32_t Socket::recv_buffer() const { return ep_->rcv_buf; }
+
+sim::Task<void> Socket::send(std::uint64_t bytes, std::uint64_t token) {
+  return ep_->send(bytes, token);
+}
+
+sim::Task<std::uint64_t> Socket::recv(std::uint64_t max) {
+  return ep_->recv(max);
+}
+
+sim::Task<void> Socket::recv_exact(std::uint64_t bytes) {
+  std::uint64_t left = bytes;
+  while (left > 0) left -= co_await ep_->recv(left);
+}
+
+std::vector<std::uint64_t> Socket::take_tokens() {
+  return std::exchange(ep_->tokens_ready, {});
+}
+
+std::uint64_t Socket::available() const { return ep_->avail(); }
+const SocketStats& Socket::stats() const { return ep_->stats; }
+hw::Node& Socket::node() { return ep_->node(); }
+std::uint32_t Socket::mss() const { return ep_->mss(); }
+
+std::pair<Socket, Socket> connect(TcpStack& a, TcpStack& b,
+                                  hw::Cluster::Duplex& link,
+                                  std::string name) {
+  assert(&link.forward.src() == &a.node() &&
+         &link.forward.dst() == &b.node() &&
+         "duplex link does not join these stacks' nodes");
+  auto conn = std::make_shared<Connection>(a, b, link, name);
+  a.retain(conn);
+  b.retain(conn);
+  a.attach_rx_pipe(link.backward);
+  b.attach_rx_pipe(link.forward);
+  Socket sa{std::shared_ptr<Endpoint>(conn, &conn->a())};
+  Socket sb{std::shared_ptr<Endpoint>(conn, &conn->b())};
+  return {sa, sb};
+}
+
+}  // namespace pp::tcp

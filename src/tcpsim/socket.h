@@ -1,0 +1,133 @@
+// Simulated TCP: stacks, connections and the blocking socket API the
+// message-passing libraries are built on.
+//
+// Fidelity notes (what is and is not modelled):
+//  - Real sliding-window flow control: the sender is limited by the
+//    receiver-advertised window and by its own send buffer; ACKs (one per
+//    two segments, plus delayed-ACK flushes and window updates) carry the
+//    advertisement back through the same NIC path as data, so ACK delay
+//    from interrupt mitigation inflates the effective RTT exactly as on
+//    real hardware. This is the mechanism behind the paper's central
+//    finding that socket buffer sizes dominate GigE performance.
+//  - Every user<->kernel crossing costs a syscall and a memcpy charged on
+//    the node's CPU resource.
+//  - No loss, no retransmission, no congestion control: the paper's
+//    back-to-back links are lossless, so throughput is governed purely by
+//    flow control and per-packet costs. Segments arrive in order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simcore/simulator.h"
+#include "simcore/task.h"
+#include "simhw/cluster.h"
+#include "simhw/node.h"
+#include "simhw/pipe.h"
+#include "tcpsim/tuning.h"
+
+namespace pp::tcp {
+
+class Connection;
+struct Endpoint;
+
+/// Per-node TCP stack: owns the sysctl settings and demultiplexes frames
+/// arriving on the node's NICs to connection endpoints.
+class TcpStack {
+ public:
+  TcpStack(hw::Node& node, Sysctl sysctl = {})
+      : node_(node), sysctl_(sysctl) {}
+
+  TcpStack(const TcpStack&) = delete;
+  TcpStack& operator=(const TcpStack&) = delete;
+
+  hw::Node& node() noexcept { return node_; }
+  Sysctl& sysctl() noexcept { return sysctl_; }
+  const Sysctl& sysctl() const noexcept { return sysctl_; }
+
+  /// Starts demultiplexing an inbound pipe (idempotent per pipe). The pipe
+  /// must terminate at this stack's node. Multiple connections share one
+  /// pipe, as multiple sockets share one NIC.
+  void attach_rx_pipe(hw::PacketPipe& pipe);
+
+  /// Keeps connection state alive for the stack's lifetime (timer
+  /// callbacks may outlive the application's Socket handles).
+  void retain(std::shared_ptr<void> obj) {
+    retained_.push_back(std::move(obj));
+  }
+
+ private:
+  sim::Task<void> demux(hw::PacketPipe& pipe);
+
+  hw::Node& node_;
+  Sysctl sysctl_;
+  std::vector<const hw::PacketPipe*> attached_;
+  std::vector<std::shared_ptr<void>> retained_;
+};
+
+/// Per-direction traffic counters (for tests and reports).
+struct SocketStats {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t data_segments_sent = 0;
+  std::uint64_t acks_sent = 0;  ///< pure ACKs (no piggybacked data)
+  std::uint64_t retransmits = 0;       ///< go-back-N rewinds
+  std::uint64_t fast_retransmits = 0;  ///< triggered by duplicate ACKs
+  std::uint64_t out_of_order_dropped = 0;
+};
+
+/// One side of an established connection. Cheap to copy (shared state).
+class Socket {
+ public:
+  Socket() = default;
+
+  /// setsockopt(SO_SNDBUF/SO_RCVBUF): clamped to the node's sysctl caps.
+  /// Must be called before any traffic flows on this socket.
+  void set_send_buffer(std::uint32_t bytes);
+  void set_recv_buffer(std::uint32_t bytes);
+  std::uint32_t send_buffer() const;
+  std::uint32_t recv_buffer() const;
+
+  /// Blocking send of `bytes`; returns when everything has been copied
+  /// into the send buffer (standard blocking-socket semantics). `token`
+  /// marks the end of this write in the byte stream for integrity tests.
+  sim::Task<void> send(std::uint64_t bytes, std::uint64_t token = 0);
+
+  /// Blocking receive: waits for at least one byte, consumes up to `max`.
+  sim::Task<std::uint64_t> recv(std::uint64_t max);
+
+  /// Loops recv() until exactly `bytes` have been consumed.
+  sim::Task<void> recv_exact(std::uint64_t bytes);
+
+  /// Tokens whose stream position has been fully consumed by recv().
+  std::vector<std::uint64_t> take_tokens();
+
+  /// Bytes available to recv() right now.
+  std::uint64_t available() const;
+
+  const SocketStats& stats() const;
+  hw::Node& node();
+  std::uint32_t mss() const;
+
+  explicit operator bool() const noexcept { return ep_ != nullptr; }
+
+ private:
+  friend std::pair<Socket, Socket> connect(TcpStack&, TcpStack&,
+                                           hw::Cluster::Duplex&,
+                                           std::string);
+  explicit Socket(std::shared_ptr<Endpoint> ep) : ep_(std::move(ep)) {}
+  std::shared_ptr<Endpoint> ep_;
+};
+
+/// Establishes a connection between two stacks across a duplex link whose
+/// forward pipe runs from a's node to b's node. Returns the two socket
+/// ends (first belongs to `a`).
+std::pair<Socket, Socket> connect(TcpStack& a, TcpStack& b,
+                                  hw::Cluster::Duplex& link,
+                                  std::string name = "tcp");
+
+}  // namespace pp::tcp

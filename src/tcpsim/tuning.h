@@ -1,0 +1,42 @@
+// OS-level TCP tuning parameters (the /etc/sysctl.conf knobs the paper
+// tells MP_Lite users to raise).
+#pragma once
+
+#include <cstdint>
+
+#include "simcore/time.h"
+
+namespace pp::tcp {
+
+struct Sysctl {
+  /// net.core.rmem_max / wmem_max: hard caps on setsockopt() buffer sizes.
+  std::uint32_t rmem_max = 65536;
+  std::uint32_t wmem_max = 65536;
+  /// Buffer sizes a socket gets when the application sets nothing.
+  std::uint32_t rmem_default = 65536;
+  std::uint32_t wmem_default = 65536;
+  /// Delayed-ACK flush timeout for odd trailing segments.
+  sim::SimTime delayed_ack_timeout = sim::microseconds(300.0);
+  /// Retransmission timeout (only matters on lossy links; the paper's
+  /// back-to-back fabrics never drop).
+  sim::SimTime retransmit_timeout = sim::milliseconds(40.0);
+  /// Duplicate ACKs that trigger a fast retransmit.
+  int dupack_threshold = 3;
+  /// Reno-style congestion control (slow start, congestion avoidance,
+  /// multiplicative decrease). The 2.4 kernel's behaviour; disable to
+  /// study pure flow control.
+  bool congestion_control = true;
+  /// Initial congestion window, in segments (Linux 2.4: 2).
+  int initial_cwnd_segments = 2;
+
+  /// The paper's recommended tuning: raise the caps so applications (or
+  /// libraries like MP_Lite) can ask for gigabit-sized buffers.
+  static Sysctl tuned(std::uint32_t max_bytes = 4 * 1024 * 1024) {
+    Sysctl s;
+    s.rmem_max = max_bytes;
+    s.wmem_max = max_bytes;
+    return s;
+  }
+};
+
+}  // namespace pp::tcp

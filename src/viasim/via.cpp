@@ -1,0 +1,188 @@
+#include "viasim/via.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pp::via {
+
+ViaPersonality ViaPersonality::giganet() {
+  ViaPersonality p;
+  p.name = "Giganet cLAN";
+  p.doorbell_cost = sim::microseconds(0.8);
+  p.completion_cost = sim::microseconds(0.8);
+  p.per_frag_host_cost = 0;
+  return p;
+}
+
+ViaPersonality ViaPersonality::mvia_sk98lin() {
+  ViaPersonality p;
+  p.name = "M-VIA/sk98lin";
+  // Doorbells are kernel traps and every packet runs through the M-VIA
+  // software dispatch path on the host CPU.
+  p.doorbell_cost = sim::microseconds(4.0);
+  p.completion_cost = sim::microseconds(3.0);
+  p.per_frag_host_cost = sim::microseconds(12.0);
+  p.default_credits = 8;
+  return p;
+}
+
+ViEndpoint::ViEndpoint(sim::Simulator& sim, hw::Node& node,
+                       hw::PacketPipe& out, hw::PacketPipe& in,
+                       ViaConfig config, std::string name)
+    : sim_(sim),
+      node_(node),
+      out_(out),
+      in_(in),
+      config_(config),
+      name_(std::move(name)),
+      credits_(sim, static_cast<std::uint64_t>(
+                   config.credits > 0 ? config.credits
+                                      : config.personality.default_credits)),
+      arrivals_(sim) {
+  sim_.spawn_daemon(rx_daemon(), name_ + ".rx");
+}
+
+sim::Task<void> ViEndpoint::transmit(Kind kind, std::uint32_t tag,
+                                     std::uint64_t bytes) {
+  const std::uint32_t mtu = out_.nic().mtu;
+  std::uint64_t left = bytes;
+  bool first = true;
+  while (first || left > 0) {
+    first = false;
+    const std::uint64_t frag = std::min<std::uint64_t>(left, mtu);
+    left -= frag;
+    co_await credits_.acquire(1);
+    if (config_.personality.per_frag_host_cost > 0) {
+      co_await node_.cpu_cost(config_.personality.per_frag_host_cost);
+    }
+    auto ctx = std::make_shared<Frag>();
+    ctx->dst = peer_;
+    ctx->kind = kind;
+    ctx->tag = tag;
+    ctx->msg_bytes = bytes;
+    ctx->frag_bytes = frag;
+    ctx->last = (left == 0);
+    hw::Packet p;
+    p.dma_bytes = frag + config_.frag_header;
+    p.wire_bytes = frag + config_.frag_header + out_.nic().frame_overhead;
+    p.ctx = std::move(ctx);
+    out_.inject(std::move(p));
+  }
+}
+
+void ViEndpoint::complete_message(std::uint32_t tag) {
+  auto it = std::find_if(posted_.begin(), posted_.end(), [&](PostedRecv* p) {
+    return !p->completed && p->tag == tag;
+  });
+  if (it != posted_.end()) {
+    PostedRecv* pr = *it;
+    posted_.erase(it);
+    pr->completed = true;
+    pr->done->set();
+  } else {
+    unexpected_.push_back(tag);
+    arrivals_.notify_all();
+  }
+}
+
+sim::Task<void> ViEndpoint::rx_daemon() {
+  for (;;) {
+    hw::Packet p = co_await in_.delivered().pop();
+    auto frag = std::static_pointer_cast<Frag>(p.ctx);
+    assert(frag && frag->dst == this && "foreign packet on VIA pipe");
+    peer_->credits_.release(1);
+    if (config_.personality.per_frag_host_cost > 0) {
+      co_await node_.cpu_cost(config_.personality.per_frag_host_cost);
+    }
+    switch (frag->kind) {
+      case Kind::kData: {
+        std::uint64_t& sofar = partial_[frag->tag];
+        sofar += frag->frag_bytes;
+        if (frag->last) {
+          assert(sofar == frag->msg_bytes && "fragment accounting broke");
+          partial_.erase(frag->tag);
+          complete_message(frag->tag);
+        }
+        break;
+      }
+      case Kind::kRdmaReq:
+        rdma_reqs_.push_back(frag->tag);
+        arrivals_.notify_all();
+        break;
+      case Kind::kRdmaAck: {
+        assert(!rdma_ack_waiters_.empty() && "RDMA ack without a waiter");
+        sim::Trigger* t = rdma_ack_waiters_.front();
+        rdma_ack_waiters_.pop_front();
+        t->set();
+        break;
+      }
+    }
+  }
+}
+
+sim::Task<void> ViEndpoint::send(std::uint64_t bytes, std::uint32_t tag) {
+  co_await node_.cpu_cost(config_.personality.doorbell_cost);
+  if (bytes <= config_.rdma_threshold) {
+    co_await transmit(Kind::kData, tag, bytes);
+    co_return;
+  }
+  // RDMA write: exchange the target address, then place the data.
+  rdma_transfers_ += 1;
+  sim::Trigger ack(sim_);
+  rdma_ack_waiters_.push_back(&ack);
+  co_await transmit(Kind::kRdmaReq, tag, config_.ctl_bytes);
+  co_await ack.wait();
+  co_await node_.cpu_cost(config_.personality.doorbell_cost);
+  co_await transmit(Kind::kData, tag, bytes);
+}
+
+sim::Task<void> ViEndpoint::recv(std::uint64_t bytes, std::uint32_t tag) {
+  co_await node_.cpu_cost(config_.personality.doorbell_cost);
+  bool staged = false;
+  if (bytes > config_.rdma_threshold) {
+    // Wait for the address request, answer it, then wait for the data.
+    while (true) {
+      auto rit = std::find(rdma_reqs_.begin(), rdma_reqs_.end(), tag);
+      if (rit != rdma_reqs_.end()) {
+        rdma_reqs_.erase(rit);
+        break;
+      }
+      co_await arrivals_.wait();
+    }
+    PostedRecv pr;
+    pr.tag = tag;
+    pr.done = std::make_unique<sim::Trigger>(sim_);
+    posted_.push_back(&pr);
+    co_await transmit(Kind::kRdmaAck, tag, config_.ctl_bytes);
+    co_await pr.done->wait();
+  } else {
+    auto uit = std::find(unexpected_.begin(), unexpected_.end(), tag);
+    if (uit != unexpected_.end()) {
+      unexpected_.erase(uit);
+      staged = true;  // arrived before a descriptor was posted
+    } else {
+      PostedRecv pr;
+      pr.tag = tag;
+      pr.done = std::make_unique<sim::Trigger>(sim_);
+      posted_.push_back(&pr);
+      co_await pr.done->wait();
+    }
+  }
+  co_await node_.cpu_cost(config_.personality.completion_cost);
+  if (staged) co_await node_.staging_copy(bytes);
+}
+
+ViaFabric::ViaFabric(hw::Cluster& cluster, hw::Node& a, hw::Node& b,
+                     const hw::NicConfig& nic, const hw::LinkConfig& link,
+                     ViaConfig config)
+    : duplex_(cluster.connect(a, b, nic, link)) {
+  a_ = std::make_unique<ViEndpoint>(cluster.simulator(), a, duplex_.forward,
+                                    duplex_.backward, config, "via.a");
+  b_ = std::make_unique<ViEndpoint>(cluster.simulator(), b,
+                                    duplex_.backward, duplex_.forward,
+                                    config, "via.b");
+  a_->peer_ = b_.get();
+  b_->peer_ = a_.get();
+}
+
+}  // namespace pp::via

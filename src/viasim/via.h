@@ -1,0 +1,135 @@
+// VIA: the Virtual Interface Architecture (paper §6).
+//
+// Two personalities of the same API:
+//  - hardware VIA (Giganet cLAN): descriptors posted by user-level
+//    doorbell writes; the NIC moves data with zero host involvement —
+//    ~10 us latency, ~800 Mbps in the paper;
+//  - software VIA (M-VIA on the SysKonnect sk98lin driver): the same
+//    verbs, but doorbells are kernel traps and every packet costs host
+//    CPU in the M-VIA dispatch path — which is why the paper measures
+//    only raw-TCP-grade throughput (~425 Mbps, 42 us).
+//
+// Transfers at or below the RDMA threshold use send/recv descriptors;
+// larger ones do an RDMA write after an address-exchange handshake — the
+// "small dip at 16 kB ... at the RDMA threshold" in Figure 5.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "simcore/simulator.h"
+#include "simcore/sync.h"
+#include "simcore/task.h"
+#include "simhw/cluster.h"
+#include "simhw/node.h"
+#include "simhw/pipe.h"
+
+namespace pp::via {
+
+struct ViaPersonality {
+  std::string name;
+  /// Posting a descriptor: a user-level doorbell write (hardware VIA) or
+  /// a kernel trap (M-VIA).
+  sim::SimTime doorbell_cost = sim::microseconds(0.8);
+  /// Reaping a completion from the CQ.
+  sim::SimTime completion_cost = sim::microseconds(0.8);
+  /// Host CPU charged per fragment (0 for hardware VIA; the M-VIA
+  /// software dispatch path for the rest).
+  sim::SimTime per_frag_host_cost = 0;
+  /// Default descriptor credits for this implementation (M-VIA's beta
+  /// posts far fewer descriptors than the Giganet firmware).
+  int default_credits = 16;
+
+  static ViaPersonality giganet();
+  static ViaPersonality mvia_sk98lin();
+};
+
+struct ViaConfig {
+  ViaPersonality personality = ViaPersonality::giganet();
+  /// Send/recv descriptors above this size switch to RDMA write.
+  std::uint64_t rdma_threshold = 16 * 1024;
+  /// Descriptor credits (fragments in flight); 0 = personality default.
+  int credits = 0;
+  std::uint32_t frag_header = 8;
+  /// Bytes of the RDMA address-exchange control message.
+  std::uint32_t ctl_bytes = 64;
+};
+
+/// One VI endpoint; create a connected pair with ViaFabric.
+class ViEndpoint {
+ public:
+  ViEndpoint(sim::Simulator& sim, hw::Node& node, hw::PacketPipe& out,
+             hw::PacketPipe& in, ViaConfig config, std::string name);
+
+  sim::Task<void> send(std::uint64_t bytes, std::uint32_t tag);
+  sim::Task<void> recv(std::uint64_t bytes, std::uint32_t tag);
+
+  hw::Node& node() { return node_; }
+  const ViaConfig& config() const { return config_; }
+  std::uint64_t rdma_transfers() const { return rdma_transfers_; }
+
+ private:
+  friend class ViaFabric;
+
+  enum class Kind : std::uint8_t { kData, kRdmaReq, kRdmaAck };
+
+  struct Frag {
+    ViEndpoint* dst = nullptr;
+    Kind kind = Kind::kData;
+    std::uint32_t tag = 0;
+    std::uint64_t msg_bytes = 0;
+    std::uint64_t frag_bytes = 0;
+    bool last = false;
+  };
+
+  struct PostedRecv {
+    std::uint32_t tag = 0;
+    bool completed = false;
+    std::unique_ptr<sim::Trigger> done;
+  };
+
+  sim::Task<void> rx_daemon();
+  sim::Task<void> transmit(Kind kind, std::uint32_t tag,
+                           std::uint64_t bytes);
+  void complete_message(std::uint32_t tag);
+
+  sim::Simulator& sim_;
+  hw::Node& node_;
+  hw::PacketPipe& out_;
+  hw::PacketPipe& in_;
+  ViaConfig config_;
+  std::string name_;
+
+  sim::ByteSemaphore credits_;
+  ViEndpoint* peer_ = nullptr;
+
+  std::map<std::uint32_t, std::uint64_t> partial_;
+  std::deque<PostedRecv*> posted_;
+  std::deque<std::uint32_t> unexpected_;
+  // RDMA handshakes: requests seen / acks awaited, FIFO per endpoint.
+  std::deque<std::uint32_t> rdma_reqs_;
+  std::deque<sim::Trigger*> rdma_ack_waiters_;
+  sim::Signal arrivals_;
+  std::uint64_t rdma_transfers_ = 0;
+};
+
+/// Builds a VIA link between two nodes and a connected endpoint pair.
+class ViaFabric {
+ public:
+  ViaFabric(hw::Cluster& cluster, hw::Node& a, hw::Node& b,
+            const hw::NicConfig& nic, const hw::LinkConfig& link,
+            ViaConfig config = {});
+
+  ViEndpoint& end_a() { return *a_; }
+  ViEndpoint& end_b() { return *b_; }
+
+ private:
+  hw::Cluster::Duplex duplex_;
+  std::unique_ptr<ViEndpoint> a_;
+  std::unique_ptr<ViEndpoint> b_;
+};
+
+}  // namespace pp::via

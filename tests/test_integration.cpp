@@ -1,0 +1,294 @@
+// Integration tests: miniature versions of every paper experiment with
+// assertions on the qualitative findings (who wins, by roughly what
+// factor, where the dips fall). These guard the reproduction itself.
+#include <gtest/gtest.h>
+
+#include "bench/common.h"
+#include "gmsim/gm.h"
+#include "mp/gm_mpi.h"
+#include "mp/lam.h"
+#include "mp/mpich.h"
+#include "mp/mpipro.h"
+#include "mp/mplite.h"
+#include "mp/pvm.h"
+#include "mp/tcgmsg.h"
+#include "mp/via_mpi.h"
+#include "viasim/via.h"
+
+namespace pp {
+namespace {
+
+using namespace pp::bench;
+namespace presets = hw::presets;
+
+netpipe::RunOptions quick() {
+  netpipe::RunOptions o;
+  o.schedule.max_bytes = 2 << 20;
+  o.repeats = 1;
+  o.warmup = 1;
+  return o;
+}
+
+// ---- Figure 1 (Netgear GA620) --------------------------------------------
+
+class Fig1 : public ::testing::Test {
+ protected:
+  static constexpr auto kBuf = 512u << 10;
+  const hw::HostConfig host = presets::pentium4_pc();
+  const hw::NicConfig nic = presets::netgear_ga620();
+  const tcp::Sysctl sysctl = tcp::Sysctl::tuned();
+
+  netpipe::RunResult tcp_run() {
+    return measure_on_bed("tcp", host, nic, sysctl,
+                          [](mp::PairBed& b) { return raw_tcp_pair(b, kBuf); },
+                          quick())
+        .result;
+  }
+};
+
+TEST_F(Fig1, MpLiteTracksRawTcpWithinAFewPercent) {
+  const auto tcp_r = tcp_run();
+  const auto lite = measure_on_bed(
+      "mplite", host, nic, sysctl,
+      [](mp::PairBed& b) { return hold_pair(mp::MpLite::create_pair(b)); },
+      quick());
+  EXPECT_NEAR(lite.result.max_mbps / tcp_r.max_mbps, 1.0, 0.05);
+}
+
+TEST_F(Fig1, MpichLoses25To30PercentForLargeMessages) {
+  const auto tcp_r = tcp_run();
+  const auto mpich = measure_on_bed(
+      "mpich", host, nic, sysctl,
+      [](mp::PairBed& b) {
+        mp::MpichOptions o;
+        o.p4_sockbufsize = 256 << 10;
+        return hold_pair(mp::Mpich::create_pair(b, o));
+      },
+      quick());
+  const double loss = 1.0 - mpich.result.max_mbps / tcp_r.max_mbps;
+  EXPECT_GT(loss, 0.15);
+  EXPECT_LT(loss, 0.35);
+}
+
+TEST_F(Fig1, MpichShowsRendezvousDipAt128k) {
+  const auto mpich = measure_on_bed(
+      "mpich", host, nic, sysctl,
+      [](mp::PairBed& b) {
+        mp::MpichOptions o;
+        o.p4_sockbufsize = 256 << 10;
+        return hold_pair(mp::Mpich::create_pair(b, o));
+      },
+      quick());
+  EXPECT_LT(mpich.result.mbps_at(128 << 10),
+            0.97 * mpich.result.mbps_at(96 << 10));
+}
+
+TEST_F(Fig1, RaisingRendezvousCutoffRemovesTheDip) {
+  const auto moved = measure_on_bed(
+      "mpich", host, nic, sysctl,
+      [](mp::PairBed& b) {
+        mp::MpichOptions o;
+        o.p4_sockbufsize = 256 << 10;
+        o.rendezvous_cutoff = 1 << 20;  // the §3.1 source-code edit
+        return hold_pair(mp::Mpich::create_pair(b, o));
+      },
+      quick());
+  EXPECT_GE(moved.result.mbps_at(128 << 10),
+            0.99 * moved.result.mbps_at(96 << 10));
+}
+
+TEST_F(Fig1, PvmInPlaceStaysBelowTcpByTheUnpackCopy) {
+  const auto tcp_r = tcp_run();
+  const auto pvm = measure_on_bed(
+      "pvm", host, nic, sysctl,
+      [](mp::PairBed& b) {
+        mp::PvmOptions o;
+        o.route = mp::PvmRoute::kDirect;
+        o.encoding = mp::PvmEncoding::kInPlace;
+        return hold_pair(mp::Pvm::create_pair(b, o));
+      },
+      quick());
+  const double loss = 1.0 - pvm.result.max_mbps / tcp_r.max_mbps;
+  EXPECT_GT(loss, 0.15);
+  EXPECT_LT(loss, 0.35);
+}
+
+// ---- Figure 2 (TrendNet) --------------------------------------------------
+
+TEST(Fig2, OnlyTunableLibrariesSurviveTheCheapCard) {
+  const auto host = presets::pentium4_pc();
+  const auto nic = presets::trendnet_teg_pcitx();
+  const auto sysctl = tcp::Sysctl::tuned();
+  const auto mplite = measure_on_bed(
+      "mplite", host, nic, sysctl,
+      [](mp::PairBed& b) { return hold_pair(mp::MpLite::create_pair(b)); },
+      quick());
+  const auto tcg = measure_on_bed(
+      "tcgmsg", host, nic, sysctl,
+      [](mp::PairBed& b) {
+        return hold_pair(mp::Tcgmsg::create_pair(b, {}));
+      },
+      quick());
+  const auto mpipro = measure_on_bed(
+      "mpipro", host, nic, sysctl,
+      [](mp::PairBed& b) {
+        mp::MpiProOptions o;
+        o.tcp_long = 128 << 10;
+        return hold_pair(mp::MpiPro::create_pair(b, o));
+      },
+      quick());
+  // MP_Lite (auto-max buffers) roughly doubles the stuck libraries.
+  EXPECT_GT(mplite.result.max_mbps, 1.6 * tcg.result.max_mbps);
+  EXPECT_GT(mplite.result.max_mbps, 1.5 * mpipro.result.max_mbps);
+}
+
+TEST(Fig2, MpichTuningRecoversThroughputOnTrendnet) {
+  const auto host = presets::pentium4_pc();
+  const auto nic = presets::trendnet_teg_pcitx();
+  const auto sysctl = tcp::Sysctl::tuned();
+  auto run_with = [&](std::uint32_t buf) {
+    return measure_on_bed(
+               "mpich", host, nic, sysctl,
+               [&](mp::PairBed& b) {
+                 mp::MpichOptions o;
+                 o.p4_sockbufsize = buf;
+                 return hold_pair(mp::Mpich::create_pair(b, o));
+               },
+               quick())
+        .result.max_mbps;
+  };
+  // The paper's "vital" P4_SOCKBUFSIZE tuning, directionally.
+  EXPECT_GT(run_with(256 << 10), 1.4 * run_with(32 << 10));
+}
+
+// ---- Figure 3 (SysKonnect jumbo on DS20) ----------------------------------
+
+TEST(Fig3, TcgmsgRecompileRecoversRawTcp) {
+  const auto host = presets::compaq_ds20();
+  const auto nic = presets::syskonnect_sk9843(9000);
+  const auto sysctl = tcp::Sysctl::tuned();
+  const auto tcp_r = measure_on_bed(
+      "tcp", host, nic, sysctl,
+      [](mp::PairBed& b) { return raw_tcp_pair(b, 512 << 10); }, quick());
+  auto run_with = [&](std::uint32_t buf) {
+    return measure_on_bed(
+               "tcgmsg", host, nic, sysctl,
+               [&](mp::PairBed& b) {
+                 mp::TcgmsgOptions o;
+                 o.sr_sock_buf_size = buf;
+                 return hold_pair(mp::Tcgmsg::create_pair(b, o));
+               },
+               quick())
+        .result.max_mbps;
+  };
+  const double small = run_with(32 << 10);
+  const double big = run_with(128 << 10);
+  EXPECT_LT(small, 0.75 * tcp_r.result.max_mbps);   // capped by 32 kB
+  EXPECT_GT(big, 0.95 * tcp_r.result.max_mbps);     // "matching raw TCP"
+}
+
+TEST(Fig3, JumboDs20BeatsGigePcByNearlyTwofold) {
+  const auto ds20 = measure_on_bed(
+      "tcp", presets::compaq_ds20(), presets::syskonnect_sk9843(9000),
+      tcp::Sysctl::tuned(),
+      [](mp::PairBed& b) { return raw_tcp_pair(b, 512 << 10); }, quick());
+  const auto pc = measure_on_bed(
+      "tcp", presets::pentium4_pc(), presets::netgear_ga620(),
+      tcp::Sysctl::tuned(),
+      [](mp::PairBed& b) { return raw_tcp_pair(b, 512 << 10); }, quick());
+  EXPECT_GT(ds20.result.max_mbps, 1.6 * pc.result.max_mbps);
+}
+
+// ---- Figure 4 (Myrinet) ----------------------------------------------------
+
+TEST(Fig4, GmBeatsGigeTcpInLatencyBySevenfold) {
+  sim::Simulator s;
+  hw::Cluster c(s);
+  auto& a = c.add_node(presets::pentium4_pc());
+  auto& b = c.add_node(presets::pentium4_pc());
+  gm::GmFabric fab(c, a, b, presets::myrinet_pci64a(),
+                   presets::back_to_back(), {});
+  mp::GmTransport ta(fab.port_a()), tb(fab.port_b());
+  netpipe::RunOptions o = quick();
+  o.schedule.max_bytes = 1024;
+  const auto gm_r = netpipe::run_netpipe(s, ta, tb, o);
+  const auto tcp_r = measure_on_bed(
+      "tcp", presets::pentium4_pc(), presets::netgear_ga620(),
+      tcp::Sysctl::tuned(),
+      [](mp::PairBed& bd) { return raw_tcp_pair(bd, 512 << 10); }, quick());
+  EXPECT_LT(gm_r.latency_us * 5, tcp_r.result.latency_us);
+  EXPECT_LT(gm_r.latency_us, 20.0);
+}
+
+TEST(Fig4, MpichGmWithinFewPercentOfRawGm) {
+  auto run = [&](bool with_lib) {
+    sim::Simulator s;
+    hw::Cluster c(s);
+    auto& a = c.add_node(presets::pentium4_pc());
+    auto& b = c.add_node(presets::pentium4_pc());
+    gm::GmFabric fab(c, a, b, presets::myrinet_pci64a(),
+                     presets::back_to_back(), {});
+    if (with_lib) {
+      mp::GmMpi la(fab.port_a(), 0), lb(fab.port_b(), 1);
+      mp::LibraryTransport ta(la, 1), tb(lb, 0);
+      return netpipe::run_netpipe(s, ta, tb, quick()).max_mbps;
+    }
+    mp::GmTransport ta(fab.port_a()), tb(fab.port_b());
+    return netpipe::run_netpipe(s, ta, tb, quick()).max_mbps;
+  };
+  EXPECT_GT(run(true), 0.93 * run(false));
+}
+
+// ---- Figure 5 (VIA) --------------------------------------------------------
+
+TEST(Fig5, GiganetLatencyOrderOfTenMicroseconds) {
+  sim::Simulator s;
+  hw::Cluster c(s);
+  auto& a = c.add_node(presets::pentium4_pc());
+  auto& b = c.add_node(presets::pentium4_pc());
+  via::ViaFabric fab(c, a, b, presets::giganet_clan(), presets::switched(),
+                     {});
+  const auto opt = mp::ViaMpi::mvich();
+  mp::ViaMpi la(fab.end_a(), 0, opt), lb(fab.end_b(), 1, opt);
+  mp::LibraryTransport ta(la, 1), tb(lb, 0);
+  netpipe::RunOptions o = quick();
+  o.schedule.max_bytes = 1024;
+  const auto r = netpipe::run_netpipe(s, ta, tb, o);
+  EXPECT_GT(r.latency_us, 6.0);
+  EXPECT_LT(r.latency_us, 14.0);
+}
+
+TEST(Fig5, MpiProProgressThreadCostsLatencyNotBandwidth) {
+  auto run = [&](const mp::ViaMpiOptions& opt) {
+    sim::Simulator s;
+    hw::Cluster c(s);
+    auto& a = c.add_node(presets::pentium4_pc());
+    auto& b = c.add_node(presets::pentium4_pc());
+    via::ViaFabric fab(c, a, b, presets::giganet_clan(),
+                       presets::switched(), {});
+    mp::ViaMpi la(fab.end_a(), 0, opt), lb(fab.end_b(), 1, opt);
+    mp::LibraryTransport ta(la, 1), tb(lb, 0);
+    return netpipe::run_netpipe(s, ta, tb, quick());
+  };
+  const auto mvich = run(mp::ViaMpi::mvich());
+  const auto mpipro = run(mp::ViaMpi::mpipro_via());
+  EXPECT_GT(mpipro.latency_us, mvich.latency_us + 15.0);
+  EXPECT_NEAR(mpipro.max_mbps / mvich.max_mbps, 1.0, 0.03);
+}
+
+// ---- Cross-cutting ---------------------------------------------------------
+
+TEST(CrossCutting, EverySubstrateIsDeterministic) {
+  auto fig1_once = [] {
+    return measure_on_bed(
+               "tcp", presets::pentium4_pc(), presets::netgear_ga620(),
+               tcp::Sysctl::tuned(),
+               [](mp::PairBed& b) { return raw_tcp_pair(b, 256 << 10); },
+               quick())
+        .result.max_mbps;
+  };
+  EXPECT_EQ(fig1_once(), fig1_once());
+}
+
+}  // namespace
+}  // namespace pp

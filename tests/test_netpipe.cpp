@@ -1,0 +1,309 @@
+// Tests for the NetPIPE reproduction: schedule, runner, reporting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "mp/testbed.h"
+#include "netpipe/breakdown.h"
+#include "netpipe/loggp.h"
+#include "netpipe/modules.h"
+#include "netpipe/report.h"
+#include "netpipe/runner.h"
+#include "netpipe/schedule.h"
+#include "simhw/presets.h"
+
+namespace pp::netpipe {
+namespace {
+
+namespace presets = hw::presets;
+
+TEST(Schedule, CoversRangeSortedAndUnique) {
+  ScheduleOptions opt;
+  opt.min_bytes = 1;
+  opt.max_bytes = 1 << 20;
+  const auto sizes = make_schedule(opt);
+  ASSERT_FALSE(sizes.empty());
+  EXPECT_EQ(sizes.front(), 1u);
+  EXPECT_GE(sizes.back(), opt.max_bytes);
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_LT(sizes[i - 1], sizes[i]);
+  }
+}
+
+TEST(Schedule, PerturbationsStraddleEachBase) {
+  ScheduleOptions opt;
+  opt.min_bytes = 1;
+  opt.max_bytes = 4096;
+  opt.perturbation = 3;
+  const auto sizes = make_schedule(opt);
+  // 1024 must appear with 1021 and 1027 around it.
+  auto has = [&](std::uint64_t v) {
+    return std::find(sizes.begin(), sizes.end(), v) != sizes.end();
+  };
+  EXPECT_TRUE(has(1021));
+  EXPECT_TRUE(has(1024));
+  EXPECT_TRUE(has(1027));
+}
+
+TEST(Schedule, PointsPerDoublingDensifiesTheGrid) {
+  ScheduleOptions sparse;
+  sparse.max_bytes = 1 << 16;
+  sparse.perturbation = 0;
+  ScheduleOptions dense = sparse;
+  dense.points_per_doubling = 4;
+  EXPECT_GT(make_schedule(dense).size(), 2 * make_schedule(sparse).size());
+}
+
+TEST(Schedule, NoPerturbationBelowDelta) {
+  ScheduleOptions opt;
+  opt.min_bytes = 1;
+  opt.max_bytes = 8;
+  opt.perturbation = 3;
+  const auto sizes = make_schedule(opt);
+  for (auto s : sizes) EXPECT_GE(s, 1u);
+}
+
+struct RunFixture {
+  RunFixture()
+      : bed(presets::pentium4_pc(), presets::netgear_ga620(),
+            tcp::Sysctl::tuned()) {
+    auto [sa, sb] = bed.socket_pair("np");
+    sa.set_send_buffer(256 << 10);
+    sa.set_recv_buffer(256 << 10);
+    sb.set_send_buffer(256 << 10);
+    sb.set_recv_buffer(256 << 10);
+    ta = std::make_unique<TcpTransport>(sa);
+    tb = std::make_unique<TcpTransport>(sb);
+  }
+  mp::PairBed bed;
+  std::unique_ptr<TcpTransport> ta, tb;
+};
+
+RunOptions small_opts() {
+  RunOptions o;
+  o.schedule.max_bytes = 256 << 10;
+  o.repeats = 2;
+  return o;
+}
+
+TEST(Runner, ProducesOnePointPerScheduledSize) {
+  RunFixture f;
+  const RunOptions opts = small_opts();
+  const RunResult r = run_netpipe(f.bed.sim, *f.ta, *f.tb, opts);
+  EXPECT_EQ(r.points.size(), make_schedule(opts.schedule).size());
+  EXPECT_EQ(r.transport, "raw TCP");
+}
+
+TEST(Runner, ThroughputGrowsWithMessageSize) {
+  RunFixture f;
+  const RunResult r = run_netpipe(f.bed.sim, *f.ta, *f.tb, small_opts());
+  EXPECT_LT(r.mbps_at(64), r.mbps_at(4096));
+  EXPECT_LT(r.mbps_at(4096), r.mbps_at(256 << 10));
+}
+
+TEST(Runner, LatencyComesFromSmallMessages) {
+  RunFixture f;
+  const RunResult r = run_netpipe(f.bed.sim, *f.ta, *f.tb, small_opts());
+  // GA620 ping-pong latency: roughly the paper's ~120 us.
+  EXPECT_GT(r.latency_us, 80.0);
+  EXPECT_LT(r.latency_us, 180.0);
+  EXPECT_GT(r.max_mbps, 300.0);
+  EXPECT_GT(r.saturation_bytes, 1024u);
+}
+
+TEST(Runner, StreamingModeBeatsPingPongMidrange) {
+  RunFixture ping;
+  const RunResult rp = run_netpipe(ping.bed.sim, *ping.ta, *ping.tb,
+                                   small_opts());
+  RunFixture stream;
+  RunOptions so = small_opts();
+  so.streaming = true;
+  const RunResult rs = run_netpipe(stream.bed.sim, *stream.ta, *stream.tb,
+                                   so);
+  // Streaming overlaps transfers, so mid-size throughput is higher.
+  EXPECT_GT(rs.mbps_at(16 << 10), rp.mbps_at(16 << 10));
+}
+
+TEST(Report, FormatBytes) {
+  EXPECT_EQ(format_bytes(17), "17");
+  EXPECT_EQ(format_bytes(2048), "2k");
+  EXPECT_EQ(format_bytes(3 << 20), "3M");
+  EXPECT_EQ(format_bytes(1500), "1500");
+}
+
+TEST(Report, PaperChecksWorstRatio) {
+  std::ostringstream os;
+  const double worst = print_paper_checks(
+      os, {{"a", 100, 100, ""}, {"b", 100, 150, ""}, {"c", 100, 80, ""}});
+  EXPECT_NEAR(worst, std::log(1.5), 1e-9);
+  EXPECT_NE(os.str().find("a"), std::string::npos);
+}
+
+TEST(Report, AsciiChartRendersAllSeries) {
+  RunResult r1, r2;
+  r1.transport = "one";
+  r2.transport = "two";
+  for (int i = 0; i < 10; ++i) {
+    const std::uint64_t bytes = 1ull << i;
+    r1.points.push_back({bytes, sim::microseconds(100)});
+    r2.points.push_back({bytes, sim::microseconds(200)});
+  }
+  const std::string chart =
+      ascii_chart({{"one", &r1}, {"two", &r2}}, 60, 12);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('+'), std::string::npos);
+  EXPECT_NE(chart.find("one"), std::string::npos);
+}
+
+TEST(Report, WriteDatRoundTrips) {
+  RunResult r;
+  r.transport = "t";
+  r.points.push_back({1024, sim::microseconds(100)});
+  const std::string path = "/tmp/pp_test_write.dat";
+  write_dat(path, r);
+  std::ifstream f(path);
+  std::string all((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("1024"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Report, MbpsAtPicksNearestLogPoint) {
+  RunResult r;
+  r.points.push_back({1024, sim::microseconds(10)});     // 819 Mbps
+  r.points.push_back({1 << 20, sim::microseconds(1000)});
+  EXPECT_NEAR(r.mbps_at(900), r.points[0].mbps(), 1e-9);
+  EXPECT_NEAR(r.mbps_at(2 << 20), r.points[1].mbps(), 1e-9);
+}
+
+TEST(Runner, DeterministicAcrossRuns) {
+  auto once = [] {
+    RunFixture f;
+    RunOptions o = small_opts();
+    o.schedule.max_bytes = 64 << 10;
+    const RunResult r = run_netpipe(f.bed.sim, *f.ta, *f.tb, o);
+    return std::pair{r.max_mbps, r.latency_us};
+  };
+  EXPECT_EQ(once(), once());
+}
+
+
+TEST(Runner, HalfPerformancePointIsBetweenLatencyAndSaturation) {
+  RunFixture f;
+  const RunResult r = run_netpipe(f.bed.sim, *f.ta, *f.tb, small_opts());
+  EXPECT_GT(r.half_performance_bytes, 64u);
+  EXPECT_LE(r.half_performance_bytes, r.saturation_bytes);
+  // At n_1/2 the curve is, by definition, at about half the peak.
+  EXPECT_NEAR(r.mbps_at(r.half_performance_bytes) / r.max_mbps, 0.5, 0.2);
+}
+
+TEST(Breakdown, IdentifiesTheCpuBottleneckOn1500MtuGige) {
+  mp::PairBed bed(presets::pentium4_pc(), presets::netgear_ga620(),
+                  tcp::Sysctl::tuned());
+  auto [sa, sb] = bed.socket_pair("bd");
+  sa.set_send_buffer(512 << 10);
+  sb.set_recv_buffer(512 << 10);
+  BreakdownProbe probe(bed.node_a, bed.node_b, bed.link.forward,
+                       bed.link.backward);
+  bed.sim.spawn(
+      [](tcp::Socket s) -> sim::Task<void> { co_await s.send(4 << 20); }(sa),
+      "tx");
+  bed.sim.spawn(
+      [](tcp::Socket s) -> sim::Task<void> {
+        co_await s.recv_exact(4 << 20);
+      }(sb),
+      "rx");
+  bed.sim.run();
+  const Breakdown b = probe.finish();
+  ASSERT_EQ(b.rows.size(), 6u);
+  const BreakdownRow* hot = b.bottleneck();
+  ASSERT_NE(hot, nullptr);
+  // The paper's 1500-MTU GigE story: per-packet protocol work and copies
+  // on the receiving host saturate before the PCI bus or the wire.
+  EXPECT_NE(hot->resource.find("cpu"), std::string::npos);
+  EXPECT_GT(hot->busy_fraction, 0.7);
+  // The wire must NOT be the bottleneck at 1500 MTU.
+  for (const auto& row : b.rows) {
+    if (row.resource.find("wire (forward)") != std::string::npos) {
+      EXPECT_LT(row.busy_fraction, hot->busy_fraction);
+    }
+  }
+}
+
+TEST(Breakdown, PciBoundWithJumboFramesOn32BitHost) {
+  mp::PairBed bed(presets::pentium4_pc(), presets::syskonnect_sk9843(9000),
+                  tcp::Sysctl::tuned());
+  auto [sa, sb] = bed.socket_pair("bd");
+  sa.set_send_buffer(512 << 10);
+  sb.set_recv_buffer(512 << 10);
+  BreakdownProbe probe(bed.node_a, bed.node_b, bed.link.forward,
+                       bed.link.backward);
+  bed.sim.spawn(
+      [](tcp::Socket s) -> sim::Task<void> { co_await s.send(4 << 20); }(sa),
+      "tx");
+  bed.sim.spawn(
+      [](tcp::Socket s) -> sim::Task<void> {
+        co_await s.recv_exact(4 << 20);
+      }(sb),
+      "rx");
+  bed.sim.run();
+  const BreakdownRow* hot = probe.finish().bottleneck();
+  ASSERT_NE(hot, nullptr);
+  EXPECT_NE(hot->resource.find("pci"), std::string::npos);
+}
+
+
+TEST(LogGp, FitMatchesACleanCurve) {
+  // Synthesize an exactly-LogGP curve: t(n) = 50 us + n * 10 ns.
+  RunResult r;
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t n = 1ull << i;
+    r.points.push_back(
+        {n, sim::microseconds(50.0) +
+                static_cast<sim::SimTime>(n * 10)});
+  }
+  const LogGpFit fit = fit_loggp(r);
+  EXPECT_NEAR(fit.o_plus_L_us, 50.0, 1.0);
+  EXPECT_NEAR(fit.g_ns_per_byte, 10.0, 0.5);
+  EXPECT_NEAR(fit.r_inf_mbps, 800.0, 20.0);
+  EXPECT_NEAR(fit.n_half_bytes, 5000.0, 500.0);
+  EXPECT_LT(fit.rms_rel_error, 0.05);
+}
+
+TEST(LogGp, FitsTheMeasuredRawTcpCurve) {
+  RunFixture f;
+  RunOptions o = small_opts();
+  o.schedule.max_bytes = 4 << 20;
+  const RunResult r = run_netpipe(f.bed.sim, *f.ta, *f.tb, o);
+  const LogGpFit fit = fit_loggp(r);
+  // o+L tracks the measured latency; r_inf tracks the measured peak.
+  EXPECT_NEAR(fit.o_plus_L_us, r.latency_us, 0.25 * r.latency_us);
+  EXPECT_NEAR(fit.r_inf_mbps, r.max_mbps, 0.15 * r.max_mbps);
+  // And the model reproduces the measured half-performance point within
+  // a factor of a few (the curve is not exactly two-parameter).
+  EXPECT_GT(fit.n_half_bytes, r.half_performance_bytes / 8.0);
+  EXPECT_LT(fit.n_half_bytes, r.half_performance_bytes * 8.0);
+}
+
+TEST(LogGp, RendezvousDipShowsUpAsFitError) {
+  // MPICH's rendezvous dip is a regime change a 2-parameter model cannot
+  // express: its rms error must exceed raw TCP's.
+  mp::PairBed tcp_bed(presets::pentium4_pc(), presets::netgear_ga620(),
+                      tcp::Sysctl::tuned());
+  auto [sa, sb] = tcp_bed.socket_pair();
+  sa.set_send_buffer(512 << 10);
+  sb.set_recv_buffer(512 << 10);
+  TcpTransport ta(sa), tb(sb);
+  RunOptions o;
+  o.schedule.max_bytes = 1 << 20;
+  o.repeats = 2;
+  const LogGpFit tcp_fit =
+      fit_loggp(run_netpipe(tcp_bed.sim, ta, tb, o));
+  EXPECT_LT(tcp_fit.rms_rel_error, 0.8);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pp::netpipe

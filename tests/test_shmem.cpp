@@ -1,0 +1,116 @@
+// Tests for the SMP SHMEM substrate.
+#include <gtest/gtest.h>
+
+#include "netpipe/runner.h"
+#include "shmemsim/shmem.h"
+
+namespace pp::shmem {
+namespace {
+
+TEST(Shmem, PutNotifyWaitRoundTrip) {
+  sim::Simulator s;
+  ShmemPair pair(s);
+  sim::SimTime got = 0;
+  s.spawn(
+      [](ShmemPe& pe) -> sim::Task<void> {
+        co_await pe.put(4096);
+        co_await pe.notify();
+      }(pair.pe0()),
+      "pe0");
+  s.spawn(
+      [](ShmemPe& pe, sim::Simulator& s, sim::SimTime& t) -> sim::Task<void> {
+        co_await pe.wait_notify();
+        t = s.now();
+      }(pair.pe1(), s, got),
+      "pe1");
+  s.run();
+  EXPECT_GT(got, 0);
+  EXPECT_LT(got, sim::microseconds(30));
+  EXPECT_EQ(pair.pe0().puts(), 1u);
+}
+
+TEST(Shmem, LatencyIsSubTwoMicroseconds) {
+  sim::Simulator s;
+  ShmemPair pair(s);
+  ShmemTransport ta(pair.pe0()), tb(pair.pe1());
+  netpipe::RunOptions o;
+  o.schedule.max_bytes = 1024;
+  o.repeats = 3;
+  const auto r = netpipe::run_netpipe(s, ta, tb, o);
+  // The intra-node upper bound the paper's networks chase: ~1 us.
+  EXPECT_LT(r.latency_us, 2.0);
+  EXPECT_GT(r.latency_us, 0.2);
+}
+
+TEST(Shmem, BandwidthApproachesTheMemoryBus) {
+  sim::Simulator s;
+  SmpConfig cfg;
+  cfg.copy_bandwidth = sim::Rate::megabytes(320);  // DS20-class memory
+  ShmemPair pair(s, cfg);
+  ShmemTransport ta(pair.pe0()), tb(pair.pe1());
+  netpipe::RunOptions o;
+  o.schedule.min_bytes = 64 << 10;
+  o.schedule.max_bytes = 8 << 20;
+  o.repeats = 2;
+  const auto r = netpipe::run_netpipe(s, ta, tb, o);
+  const double bus_mbps = cfg.copy_bandwidth.mbps();
+  EXPECT_GT(r.max_mbps, 0.9 * bus_mbps);
+  EXPECT_LE(r.max_mbps, 1.02 * bus_mbps);
+}
+
+TEST(Shmem, FarFasterThanAnyNetworkInThePaper) {
+  sim::Simulator s;
+  ShmemPair pair(s);
+  ShmemTransport ta(pair.pe0()), tb(pair.pe1());
+  netpipe::RunOptions o;
+  o.schedule.max_bytes = 1 << 20;
+  const auto r = netpipe::run_netpipe(s, ta, tb, o);
+  EXPECT_GT(r.max_mbps, 1500.0);  // vs ~900 for the best network
+  EXPECT_LT(r.latency_us, 10.0);  // vs ~10 us for Giganet VIA
+}
+
+TEST(Shmem, GetMovesBytesThroughTheBusToo) {
+  sim::Simulator s;
+  ShmemPair pair(s);
+  sim::SimTime done = 0;
+  s.spawn(
+      [](ShmemPe& pe, sim::Simulator& s, sim::SimTime& t) -> sim::Task<void> {
+        co_await pe.get(1 << 20);
+        t = s.now();
+      }(pair.pe0(), s, done),
+      "pe0");
+  s.run();
+  // 1 MB at 320 MB/s is ~3.3 ms.
+  EXPECT_NEAR(sim::to_seconds(done) * 1e3, 3.3, 0.5);
+  EXPECT_EQ(pair.pe0().gets(), 1u);
+}
+
+TEST(Shmem, ContendingPesShareTheBus) {
+  // Both PEs streaming puts simultaneously: each gets ~half the bus.
+  auto one_way = [](bool both) {
+    sim::Simulator s;
+    ShmemPair pair(s);
+    sim::SimTime done = 0;
+    s.spawn(
+        [](ShmemPe& pe, sim::Simulator& s, sim::SimTime& t) -> sim::Task<void> {
+          for (int i = 0; i < 8; ++i) co_await pe.put(1 << 20);
+          t = s.now();
+        }(pair.pe0(), s, done),
+        "pe0");
+    if (both) {
+      s.spawn(
+          [](ShmemPe& pe) -> sim::Task<void> {
+            for (int i = 0; i < 8; ++i) co_await pe.put(1 << 20);
+          }(pair.pe1()),
+          "pe1");
+    }
+    s.run();
+    return done;
+  };
+  const sim::SimTime alone = one_way(false);
+  const sim::SimTime contended = one_way(true);
+  EXPECT_GT(contended, alone * 3 / 2);
+}
+
+}  // namespace
+}  // namespace pp::shmem

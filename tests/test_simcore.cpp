@@ -1,0 +1,553 @@
+// Unit and property tests for the discrete-event coroutine engine.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "simcore/random.h"
+#include "simcore/resource.h"
+#include "simcore/simulator.h"
+#include "simcore/sync.h"
+#include "simcore/tracing.h"
+
+namespace pp::sim {
+namespace {
+
+TEST(SimTime, UnitConversions) {
+  EXPECT_EQ(microseconds(1), 1000);
+  EXPECT_EQ(milliseconds(1), 1'000'000);
+  EXPECT_EQ(seconds(1), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(to_microseconds(microseconds(12.5)), 12.5);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2)), 2.0);
+}
+
+TEST(SimTime, Formatting) {
+  EXPECT_EQ(format_time(500), "500ns");
+  EXPECT_EQ(format_time(microseconds(12.5)), "12.500us");
+  EXPECT_EQ(format_time(milliseconds(3.25)), "3.250ms");
+  EXPECT_EQ(format_time(seconds(1.5)), "1.500000s");
+}
+
+TEST(Rate, Conversions) {
+  const Rate gig = Rate::gigabits(1.0);
+  EXPECT_DOUBLE_EQ(gig.mbps(), 1000.0);
+  // 125 MB/s -> 1 byte takes 8 ns.
+  EXPECT_EQ(gig.time_for(1), 8);
+  EXPECT_EQ(gig.time_for(1'000'000), 8'000'000);
+}
+
+TEST(Simulator, DelayAdvancesClock) {
+  Simulator sim;
+  SimTime observed = -1;
+  sim.spawn(
+      [](Simulator& s, SimTime& out) -> Task<void> {
+        co_await s.delay(microseconds(5));
+        out = s.now();
+      }(sim, observed),
+      "delayer");
+  sim.run();
+  EXPECT_EQ(observed, microseconds(5));
+}
+
+TEST(Simulator, ZeroDelayYieldsToReadyEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  auto proc = [](Simulator& s, std::vector<int>& ord, int id) -> Task<void> {
+    ord.push_back(id);
+    co_await s.delay(0);
+    ord.push_back(id + 10);
+  };
+  sim.spawn(proc(sim, order, 1), "a");
+  sim.spawn(proc(sim, order, 2), "b");
+  sim.run();
+  // Both first halves run before either second half: delay(0) yields.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 11, 12}));
+}
+
+TEST(Simulator, EventsAtSameTimeRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    sim.spawn(
+        [](Simulator& s, std::vector<int>& ord, int id) -> Task<void> {
+          co_await s.delay(microseconds(1));
+          ord.push_back(id);
+        }(sim, order, i),
+        "p" + std::to_string(i));
+  }
+  sim.run();
+  std::vector<int> expect(8);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Simulator, NestedTaskCallsPropagateValues) {
+  Simulator sim;
+  int result = 0;
+  struct Helper {
+    static Task<int> leaf(Simulator& s) {
+      co_await s.delay(10);
+      co_return 21;
+    }
+    static Task<int> middle(Simulator& s) {
+      int a = co_await leaf(s);
+      int b = co_await leaf(s);
+      co_return a + b;
+    }
+  };
+  sim.spawn(
+      [](Simulator& s, int& out) -> Task<void> {
+        out = co_await Helper::middle(s);
+      }(sim, result),
+      "root");
+  sim.run();
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(sim.now(), 20);
+}
+
+TEST(Simulator, ExceptionInProcessPropagatesFromRun) {
+  Simulator sim;
+  sim.spawn(
+      [](Simulator& s) -> Task<void> {
+        co_await s.delay(5);
+        throw std::runtime_error("boom");
+      }(sim),
+      "thrower");
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(Simulator, DeadlockDetectedAndNamed) {
+  Simulator sim;
+  auto trig = std::make_shared<Trigger>(sim);
+  sim.spawn(
+      [](std::shared_ptr<Trigger> t) -> Task<void> { co_await t->wait(); }(
+          trig),
+      "stuck-process");
+  try {
+    sim.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    EXPECT_NE(std::string(e.what()).find("stuck-process"), std::string::npos);
+  }
+}
+
+TEST(Simulator, CompletionJoin) {
+  Simulator sim;
+  std::vector<int> order;
+  auto worker = sim.spawn(
+      [](Simulator& s, std::vector<int>& ord) -> Task<void> {
+        co_await s.delay(microseconds(3));
+        ord.push_back(1);
+      }(sim, order),
+      "worker");
+  sim.spawn(
+      [](std::shared_ptr<Completion> c, std::vector<int>& ord) -> Task<void> {
+        co_await c->wait();
+        ord.push_back(2);
+      }(worker, order),
+      "joiner");
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(worker->done());
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int ticks = 0;
+  sim.spawn(
+      [](Simulator& s, int& t) -> Task<void> {
+        for (int i = 0; i < 10; ++i) {
+          co_await s.delay(microseconds(10));
+          ++t;
+        }
+      }(sim, ticks),
+      "ticker");
+  const bool more = sim.run_until(microseconds(35));
+  EXPECT_TRUE(more);
+  EXPECT_EQ(ticks, 3);
+  EXPECT_EQ(sim.now(), microseconds(35));
+  sim.run();
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST(Simulator, EventLimitGuardsRunaway) {
+  Simulator sim;
+  sim.set_event_limit(100);
+  sim.spawn(
+      [](Simulator& s) -> Task<void> {
+        for (;;) co_await s.delay(1);
+      }(sim),
+      "runaway");
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(Trigger, ReleasesAllWaitersAndStaysSet) {
+  Simulator sim;
+  auto trig = std::make_shared<Trigger>(sim);
+  int released = 0;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn(
+        [](std::shared_ptr<Trigger> t, int& r) -> Task<void> {
+          co_await t->wait();
+          ++r;
+        }(trig, released),
+        "waiter");
+  }
+  sim.spawn(
+      [](Simulator& s, std::shared_ptr<Trigger> t) -> Task<void> {
+        co_await s.delay(microseconds(1));
+        t->set();
+      }(sim, trig),
+      "setter");
+  sim.spawn(
+      [](Simulator& s, std::shared_ptr<Trigger> t, int& r) -> Task<void> {
+        co_await s.delay(microseconds(2));
+        co_await t->wait();  // already set: must not block
+        ++r;
+      }(sim, trig, released),
+      "late-waiter");
+  sim.run();
+  EXPECT_EQ(released, 4);
+}
+
+TEST(Signal, NotifyOneWakesInFifoOrder) {
+  Simulator sim;
+  auto sig = std::make_shared<Signal>(sim);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn(
+        [](std::shared_ptr<Signal> s, std::vector<int>& ord,
+           int id) -> Task<void> {
+          co_await s->wait();
+          ord.push_back(id);
+        }(sig, order, i),
+        "w" + std::to_string(i));
+  }
+  sim.spawn(
+      [](Simulator& s, std::shared_ptr<Signal> sig) -> Task<void> {
+        co_await s.delay(1);
+        sig->notify_one();
+        co_await s.delay(1);
+        sig->notify_one();
+        co_await s.delay(1);
+        sig->notify_all();
+      }(sim, sig),
+      "notifier");
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ByteSemaphore, BulkAcquireIsFifoAndNotStarved) {
+  Simulator sim;
+  auto sem = std::make_shared<ByteSemaphore>(sim, 10);
+  std::vector<std::string> order;
+  // First a large request that cannot be satisfied yet...
+  sim.spawn(
+      [](std::shared_ptr<ByteSemaphore> s,
+         std::vector<std::string>& ord) -> Task<void> {
+        co_await s->acquire(50);
+        ord.push_back("large");
+      }(sem, order),
+      "large");
+  // ...then a small one that *would* fit but must queue behind it.
+  sim.spawn(
+      [](Simulator& s, std::shared_ptr<ByteSemaphore> sem,
+         std::vector<std::string>& ord) -> Task<void> {
+        co_await s.delay(1);
+        co_await sem->acquire(5);
+        ord.push_back("small");
+      }(sim, sem, order),
+      "small");
+  sim.spawn(
+      [](Simulator& s, std::shared_ptr<ByteSemaphore> sem) -> Task<void> {
+        co_await s.delay(2);
+        sem->release(45);  // now 55 available -> large(50) then small(5)
+      }(sim, sem),
+      "releaser");
+  sim.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"large", "small"}));
+  EXPECT_EQ(sem->available(), 0u);
+}
+
+TEST(ByteSemaphore, TryAcquireRespectsWaiters) {
+  Simulator sim;
+  ByteSemaphore sem(sim, 100);
+  EXPECT_TRUE(sem.try_acquire(60));
+  EXPECT_FALSE(sem.try_acquire(60));
+  EXPECT_TRUE(sem.try_acquire(40));
+  EXPECT_EQ(sem.available(), 0u);
+  sem.release(10);
+  EXPECT_EQ(sem.available(), 10u);
+}
+
+TEST(Channel, FifoDeliveryAcrossProcesses) {
+  Simulator sim;
+  auto ch = std::make_shared<Channel<int>>(sim);
+  std::vector<int> got;
+  sim.spawn(
+      [](Simulator& s, std::shared_ptr<Channel<int>> c) -> Task<void> {
+        for (int i = 0; i < 5; ++i) {
+          co_await s.delay(microseconds(1));
+          co_await c->push(i);
+        }
+      }(sim, ch),
+      "producer");
+  sim.spawn(
+      [](std::shared_ptr<Channel<int>> c, std::vector<int>& out) -> Task<void> {
+        for (int i = 0; i < 5; ++i) out.push_back(co_await c->pop());
+      }(ch, got),
+      "consumer");
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, BoundedPushBlocksUntilPop) {
+  Simulator sim;
+  auto ch = std::make_shared<Channel<int>>(sim, 2);
+  SimTime third_push_time = -1;
+  sim.spawn(
+      [](Simulator& s, std::shared_ptr<Channel<int>> c,
+         SimTime& t3) -> Task<void> {
+        co_await c->push(1);
+        co_await c->push(2);
+        co_await c->push(3);  // must wait for the consumer
+        t3 = s.now();
+      }(sim, ch, third_push_time),
+      "producer");
+  sim.spawn(
+      [](Simulator& s, std::shared_ptr<Channel<int>> c) -> Task<void> {
+        co_await s.delay(microseconds(7));
+        (void)co_await c->pop();
+        (void)co_await c->pop();
+        (void)co_await c->pop();
+      }(sim, ch),
+      "consumer");
+  sim.run();
+  EXPECT_EQ(third_push_time, microseconds(7));
+}
+
+TEST(RateResource, ServiceTimeMatchesRate) {
+  Simulator sim;
+  RateResource wire(sim, "wire", Rate::gigabits(1.0), /*per_op=*/0);
+  SimTime done = -1;
+  sim.spawn(
+      [](RateResource& r, SimTime& out, Simulator& s) -> Task<void> {
+        co_await r.transfer(125'000);  // 1 ms at 1 Gb/s
+        out = s.now();
+      }(wire, done, sim),
+      "xfer");
+  sim.run();
+  EXPECT_EQ(done, milliseconds(1));
+  EXPECT_EQ(wire.stats().operations, 1u);
+  EXPECT_EQ(wire.stats().bytes, 125'000u);
+}
+
+TEST(RateResource, FifoSerialization) {
+  Simulator sim;
+  RateResource bus(sim, "bus", Rate::megabytes(100), microseconds(1));
+  std::vector<SimTime> finish;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn(
+        [](RateResource& r, std::vector<SimTime>& out,
+           Simulator& s) -> Task<void> {
+          co_await r.transfer(100'000);  // 1 ms each + 1 us per-op
+          out.push_back(s.now());
+        }(bus, finish, sim),
+        "xfer" + std::to_string(i));
+  }
+  sim.run();
+  ASSERT_EQ(finish.size(), 3u);
+  const SimTime one = milliseconds(1) + microseconds(1);
+  EXPECT_EQ(finish[0], one);
+  EXPECT_EQ(finish[1], 2 * one);
+  EXPECT_EQ(finish[2], 3 * one);
+  EXPECT_EQ(bus.stats().waited, (one) + (2 * one));
+}
+
+TEST(RateResource, UtilizationAccountsIdleTime) {
+  Simulator sim;
+  RateResource bus(sim, "bus", Rate::megabytes(100));
+  sim.spawn(
+      [](Simulator& s, RateResource& r) -> Task<void> {
+        co_await s.delay(milliseconds(1));
+        co_await r.transfer(100'000);  // another 1 ms busy
+      }(sim, bus),
+      "xfer");
+  sim.run();
+  EXPECT_NEAR(bus.utilization(), 0.5, 1e-9);
+}
+
+TEST(SplitMix64, DeterministicAndSpread) {
+  SplitMix64 a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+  SplitMix64 r(7);
+  int buckets[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4000; ++i) buckets[r.below(4)]++;
+  for (int count : buckets) EXPECT_GT(count, 800);
+}
+
+// Property: the simulator is deterministic — identical programs produce
+// identical event counts and finish times.
+TEST(SimulatorProperty, DeterministicReplay) {
+  auto run_once = []() {
+    Simulator sim;
+    auto ch = std::make_shared<Channel<int>>(sim, 3);
+    for (int p = 0; p < 4; ++p) {
+      sim.spawn(
+          [](Simulator& s, std::shared_ptr<Channel<int>> c,
+             int id) -> Task<void> {
+            SplitMix64 rng(static_cast<std::uint64_t>(id));
+            for (int i = 0; i < 20; ++i) {
+              co_await s.delay(static_cast<SimTime>(rng.below(1000)));
+              co_await c->push(id * 100 + i);
+            }
+          }(sim, ch, p),
+          "prod" + std::to_string(p));
+    }
+    sim.spawn(
+        [](std::shared_ptr<Channel<int>> c) -> Task<void> {
+          for (int i = 0; i < 80; ++i) (void)co_await c->pop();
+        }(ch),
+        "consumer");
+    sim.run();
+    return std::pair{sim.events_processed(), sim.now()};
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first, second);
+}
+
+
+TEST(Tracing, RecordsResourceSpansAndSerializes) {
+  Simulator sim;
+  TraceRecorder tracer;
+  sim.set_tracer(&tracer);
+  RateResource bus(sim, "test.bus", Rate::megabytes(100), microseconds(1));
+  sim.spawn(
+      [](RateResource& r) -> Task<void> {
+        co_await r.transfer(50000);
+        co_await r.occupy(microseconds(5));
+      }(bus),
+      "user");
+  sim.run();
+  EXPECT_EQ(tracer.span_count(), 2u);
+  tracer.record_instant("app", "marker \"x\"", microseconds(3));
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("test.bus"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  // Quotes in names must be escaped.
+  EXPECT_NE(json.find("marker \\\"x\\\""), std::string::npos);
+}
+
+TEST(Tracing, NoTracerMeansNoOverheadPath) {
+  Simulator sim;
+  RateResource bus(sim, "bus", Rate::megabytes(100));
+  sim.spawn(
+      [](RateResource& r) -> Task<void> { co_await r.transfer(1000); }(bus),
+      "user");
+  sim.run();
+  SUCCEED();  // merely exercises the tracer-absent branch
+}
+
+
+TEST(Channel, TryPopAndSizeSemantics) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  EXPECT_TRUE(ch.empty());
+  EXPECT_FALSE(ch.try_pop().has_value());
+  ch.push_now(7);
+  ch.push_now(8);
+  EXPECT_EQ(ch.size(), 2u);
+  EXPECT_EQ(ch.try_pop().value(), 7);
+  EXPECT_EQ(ch.try_pop().value(), 8);
+  EXPECT_FALSE(ch.try_pop().has_value());
+}
+
+TEST(ByteSemaphore, ResetReinitializesWhenIdle) {
+  Simulator sim;
+  ByteSemaphore sem(sim, 5);
+  sem.take(3);
+  EXPECT_EQ(sem.available(), 2u);
+  sem.reset(100);
+  EXPECT_EQ(sem.available(), 100u);
+}
+
+TEST(Trigger, ResetAllowsReuse) {
+  Simulator sim;
+  auto trig = std::make_shared<Trigger>(sim);
+  int wakeups = 0;
+  trig->set();
+  EXPECT_TRUE(trig->is_set());
+  trig->reset();
+  EXPECT_FALSE(trig->is_set());
+  sim.spawn(
+      [](std::shared_ptr<Trigger> t, int& w) -> Task<void> {
+        co_await t->wait();
+        ++w;
+      }(trig, wakeups),
+      "waiter");
+  sim.spawn(
+      [](Simulator& s, std::shared_ptr<Trigger> t) -> Task<void> {
+        co_await s.delay(1);
+        t->set();
+      }(sim, trig),
+      "setter");
+  sim.run();
+  EXPECT_EQ(wakeups, 1);
+}
+
+TEST(RateResource, OccupyAndTransferShareTheFifo) {
+  Simulator sim;
+  RateResource bus(sim, "bus", Rate::megabytes(1));  // 1 us per byte
+  std::vector<int> order;
+  sim.spawn(
+      [](RateResource& r, std::vector<int>& ord) -> Task<void> {
+        co_await r.transfer(10);  // 10 us
+        ord.push_back(1);
+      }(bus, order),
+      "xfer");
+  sim.spawn(
+      [](RateResource& r, std::vector<int>& ord) -> Task<void> {
+        co_await r.occupy(microseconds(1));  // queued behind the transfer
+        ord.push_back(2);
+      }(bus, order),
+      "work");
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), microseconds(11));
+}
+
+TEST(Simulator, CallAfterRunsCallbacksInOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.call_after(microseconds(5), [&] { order.push_back(2); });
+  sim.call_after(microseconds(1), [&] { order.push_back(1); });
+  sim.call_after(microseconds(5), [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), microseconds(5));
+}
+
+TEST(Simulator, DaemonsDoNotCountAsDeadlock) {
+  Simulator sim;
+  auto ch = std::make_shared<Channel<int>>(sim);
+  sim.spawn_daemon(
+      [](std::shared_ptr<Channel<int>> c) -> Task<void> {
+        for (;;) (void)co_await c->pop();
+      }(ch),
+      "pump");
+  sim.spawn(
+      [](Simulator& s, std::shared_ptr<Channel<int>> c) -> Task<void> {
+        co_await s.delay(1);
+        co_await c->push(1);
+      }(sim, ch),
+      "producer");
+  sim.run();  // must terminate despite the forever-waiting daemon
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pp::sim

@@ -1,0 +1,262 @@
+// Unit and property tests for the hardware models.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/simulator.h"
+#include "simhw/cluster.h"
+#include "simhw/coalescer.h"
+#include "simhw/presets.h"
+
+namespace pp::hw {
+namespace {
+
+namespace presets = pp::hw::presets;
+using sim::microseconds;
+
+NicConfig test_nic() {
+  NicConfig n;
+  n.sparse_irq_delay = microseconds(10);
+  n.busy_irq_delay = microseconds(100);
+  n.idle_gap = microseconds(50);
+  n.busy_burst_threshold = 3;
+  return n;
+}
+
+TEST(RxCoalescer, SparseTrafficGetsBaseLatency) {
+  RxCoalescer c(test_nic());
+  EXPECT_EQ(c.interrupt_time(microseconds(100)), microseconds(110));
+  // Next arrival far away: still the sparse path.
+  EXPECT_EQ(c.interrupt_time(microseconds(1000)), microseconds(1010));
+}
+
+TEST(RxCoalescer, ShortBurstStaysOnSparsePath) {
+  RxCoalescer c(test_nic());
+  // Three closely spaced frames: under the burst threshold of 3 dense
+  // *successors*, all still sparse.
+  EXPECT_EQ(c.interrupt_time(microseconds(100)), microseconds(110));
+  EXPECT_EQ(c.interrupt_time(microseconds(101)), microseconds(111));
+  EXPECT_EQ(c.interrupt_time(microseconds(102)), microseconds(112));
+}
+
+TEST(RxCoalescer, SustainedStreamEntersLoadedRegime) {
+  RxCoalescer c(test_nic());
+  sim::SimTime t = microseconds(100);
+  sim::SimTime last = 0;
+  for (int i = 0; i < 10; ++i) {
+    last = c.interrupt_time(t);
+    t += microseconds(2);
+  }
+  // After the burst threshold, delay is the busy value.
+  EXPECT_EQ(last, t - microseconds(2) + microseconds(100));
+}
+
+TEST(RxCoalescer, IdleGapResetsTheRegime) {
+  RxCoalescer c(test_nic());
+  sim::SimTime t = microseconds(100);
+  for (int i = 0; i < 10; ++i) {
+    c.interrupt_time(t);
+    t += microseconds(2);
+  }
+  // A long quiet period resets to the sparse path.
+  const sim::SimTime quiet = t + microseconds(500);
+  EXPECT_EQ(c.interrupt_time(quiet), quiet + microseconds(10));
+}
+
+TEST(RxCoalescer, DeliveryIsFifoAcrossRegimeChanges) {
+  RxCoalescer c(test_nic());
+  std::vector<sim::SimTime> fires;
+  sim::SimTime t = 0;
+  sim::SimTime gaps[] = {microseconds(60), microseconds(1),  microseconds(1),
+                         microseconds(1),  microseconds(1),  microseconds(80),
+                         microseconds(1),  microseconds(40), microseconds(1)};
+  for (sim::SimTime g : gaps) {
+    t += g;
+    fires.push_back(c.interrupt_time(t));
+  }
+  for (std::size_t i = 1; i < fires.size(); ++i) {
+    EXPECT_GE(fires[i], fires[i - 1]) << "at " << i;
+  }
+}
+
+TEST(Node, StagingCopyUsesCachedRateForSmallBuffers) {
+  sim::Simulator s;
+  HostConfig h = presets::pentium4_pc();
+  Node n(s, 0, h);
+  const sim::SimTime small = n.staging_copy_time(16 << 10);
+  const sim::SimTime large = n.staging_copy_time(1 << 20);
+  // Per-byte, the small copy must be much cheaper.
+  const double small_per_byte = static_cast<double>(small) / (16 << 10);
+  const double large_per_byte = static_cast<double>(large) / (1 << 20);
+  EXPECT_LT(small_per_byte * 3, large_per_byte);
+}
+
+TEST(PacketPipe, DeliversInOrderWithCorrectCount) {
+  sim::Simulator s;
+  Cluster c(s);
+  Node& a = c.add_node(presets::pentium4_pc());
+  Node& b = c.add_node(presets::pentium4_pc());
+  auto link = c.connect(a, b, presets::netgear_ga620());
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    Packet p;
+    p.dma_bytes = 1000;
+    p.wire_bytes = 1040;
+    p.ctx = std::make_shared<int>(i);
+    link.forward.inject(std::move(p));
+  }
+  s.spawn(
+      [](PacketPipe& pipe, std::vector<int>& out) -> sim::Task<void> {
+        for (int i = 0; i < 10; ++i) {
+          Packet p = co_await pipe.delivered().pop();
+          out.push_back(*std::static_pointer_cast<int>(p.ctx));
+        }
+      }(link.forward, order),
+      "sink");
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_EQ(link.forward.packets_delivered(), 10u);
+}
+
+TEST(PacketPipe, WireRateBoundsThroughput) {
+  sim::Simulator s;
+  Cluster c(s);
+  Node& a = c.add_node(presets::pentium4_pc());
+  Node& b = c.add_node(presets::pentium4_pc());
+  NicConfig nic = presets::netgear_ga620();
+  auto link = c.connect(a, b, nic);
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    Packet p;
+    p.dma_bytes = 1500;
+    p.wire_bytes = 1538;
+    link.forward.inject(std::move(p));
+  }
+  sim::SimTime done = 0;
+  s.spawn(
+      [](PacketPipe& pipe, int n, sim::Simulator& s,
+         sim::SimTime& out) -> sim::Task<void> {
+        for (int i = 0; i < n; ++i) (void)co_await pipe.delivered().pop();
+        out = s.now();
+      }(link.forward, n, s, done),
+      "sink");
+  s.run();
+  const double mbps =
+      n * 1500 * 8.0 / sim::to_seconds(done) / 1e6;
+  EXPECT_LT(mbps, 1000.0);  // can't beat the wire
+  EXPECT_GT(mbps, 300.0);   // but the pipeline must actually pipeline
+}
+
+TEST(PacketPipe, NarrowCardOnWideBusPaysWidthPenalty) {
+  auto run = [](bool wide_card) {
+    sim::Simulator s;
+    Cluster c(s);
+    HostConfig ds20 = presets::compaq_ds20();
+    Node& a = c.add_node(ds20);
+    Node& b = c.add_node(ds20);
+    NicConfig nic =
+        wide_card ? presets::netgear_ga622() : presets::trendnet_teg_pcitx();
+    // Equalize everything except the width capability.
+    NicConfig base = presets::trendnet_teg_pcitx();
+    base.pci64_capable = wide_card;
+    auto link = c.connect(a, b, base);
+    for (int i = 0; i < 100; ++i) {
+      Packet p;
+      p.dma_bytes = 1500;
+      p.wire_bytes = 1538;
+      link.forward.inject(std::move(p));
+    }
+    sim::SimTime done = 0;
+    s.spawn(
+        [](PacketPipe& pipe, sim::Simulator& s,
+           sim::SimTime& out) -> sim::Task<void> {
+          for (int i = 0; i < 100; ++i) (void)co_await pipe.delivered().pop();
+          out = s.now();
+        }(link.forward, s, done),
+        "sink");
+    s.run();
+    (void)nic;
+    return done;
+  };
+  // A 32-bit card in the DS20's 64-bit slot should move data strictly
+  // slower than the 64-bit-capable version of the same card.
+  EXPECT_GT(run(false), run(true));
+}
+
+TEST(PacketPipe, OsBypassSkipsKernelProtocolCosts) {
+  auto one_way = [](bool bypass) {
+    sim::Simulator s;
+    Cluster c(s);
+    Node& a = c.add_node(presets::pentium4_pc());
+    Node& b = c.add_node(presets::pentium4_pc());
+    NicConfig nic = presets::netgear_ga620();
+    nic.os_bypass = bypass;
+    auto link = c.connect(a, b, nic);
+    Packet p;
+    p.dma_bytes = 100;
+    p.wire_bytes = 138;
+    link.forward.inject(std::move(p));
+    sim::SimTime done = 0;
+    s.spawn(
+        [](PacketPipe& pipe, sim::Simulator& s,
+           sim::SimTime& out) -> sim::Task<void> {
+          (void)co_await pipe.delivered().pop();
+          out = s.now();
+        }(link.forward, s, done),
+        "sink");
+    s.run();
+    return done;
+  };
+  const sim::SimTime with_kernel = one_way(false);
+  const sim::SimTime bypassed = one_way(true);
+  HostConfig h = presets::pentium4_pc();
+  EXPECT_EQ(with_kernel - bypassed, h.proto_tx_cost + h.proto_rx_cost);
+}
+
+// Every preset must be internally consistent.
+class PresetSanity : public ::testing::TestWithParam<NicConfig> {};
+
+TEST_P(PresetSanity, ValidRanges) {
+  const NicConfig& n = GetParam();
+  EXPECT_GT(n.link_rate.bytes_per_second, 0.0);
+  EXPECT_GE(n.max_mtu, n.mtu);
+  EXPECT_GT(n.mtu, 100u);
+  EXPECT_GT(n.pci_efficiency, 0.0);
+  EXPECT_LE(n.pci_efficiency, 1.0);
+  EXPECT_GE(n.busy_burst_threshold, 0);
+  EXPECT_GE(n.sparse_irq_delay, 0);
+  EXPECT_GE(n.busy_irq_delay, 0);
+  EXPECT_FALSE(n.name.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNics, PresetSanity,
+    ::testing::Values(presets::netgear_ga620(), presets::trendnet_teg_pcitx(),
+                      presets::netgear_ga622(),
+                      presets::syskonnect_sk9843(1500),
+                      presets::syskonnect_sk9843(9000),
+                      presets::myrinet_pci64a(), presets::giganet_clan(),
+                      presets::myrinet_ip_over_gm(),
+                      presets::syskonnect_mvia(), presets::fast_ethernet()),
+    [](const ::testing::TestParamInfo<NicConfig>& info) {
+      std::string name = info.param.name + "_" +
+                         std::to_string(info.param.mtu);
+      for (char& ch : name) {
+        if (ch == '-' || ch == '.') ch = '_';
+      }
+      return name;
+    });
+
+TEST(Cluster, NodesGetSequentialIds) {
+  sim::Simulator s;
+  Cluster c(s);
+  Node& a = c.add_node(presets::pentium4_pc());
+  Node& b = c.add_node(presets::compaq_ds20());
+  EXPECT_EQ(a.id(), 0);
+  EXPECT_EQ(b.id(), 1);
+  EXPECT_EQ(c.node_count(), 2u);
+  EXPECT_EQ(&c.node(1), &b);
+}
+
+}  // namespace
+}  // namespace pp::hw

@@ -1,0 +1,604 @@
+// Unit, integration and property tests for the simulated TCP stack.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "simcore/simulator.h"
+#include "simhw/cluster.h"
+#include "simhw/presets.h"
+#include "tcpsim/socket.h"
+
+namespace pp {
+namespace {
+
+namespace presets = hw::presets;
+
+/// Two nodes joined by one NIC model, with a connected socket pair.
+struct Pair {
+  explicit Pair(const hw::HostConfig& host = presets::pentium4_pc(),
+                const hw::NicConfig& nic = presets::netgear_ga620(),
+                const tcp::Sysctl& sysctl = {})
+      : cluster(sim),
+        a(cluster.add_node(host)),
+        b(cluster.add_node(host)),
+        link(cluster.connect(a, b, nic, presets::back_to_back())),
+        stack_a(a, sysctl),
+        stack_b(b, sysctl) {
+    auto [sa, sb] = tcp::connect(stack_a, stack_b, link);
+    sock_a = sa;
+    sock_b = sb;
+  }
+
+  sim::Simulator sim;
+  hw::Cluster cluster;
+  hw::Node& a;
+  hw::Node& b;
+  hw::Cluster::Duplex link;
+  tcp::TcpStack stack_a;
+  tcp::TcpStack stack_b;
+  tcp::Socket sock_a;
+  tcp::Socket sock_b;
+};
+
+TEST(TcpSocket, BytesConservedAndTokensOrdered) {
+  Pair p;
+  const std::vector<std::uint64_t> sizes = {1, 100, 1459, 1460, 1461, 60000};
+  p.sim.spawn(
+      [](Pair& f, const std::vector<std::uint64_t>& sz) -> sim::Task<void> {
+        for (std::size_t i = 0; i < sz.size(); ++i) {
+          co_await f.sock_a.send(sz[i], /*token=*/i + 1);
+        }
+      }(p, sizes),
+      "sender");
+  std::vector<std::uint64_t> tokens;
+  p.sim.spawn(
+      [](Pair& f, const std::vector<std::uint64_t>& sz,
+         std::vector<std::uint64_t>& tok) -> sim::Task<void> {
+        for (std::uint64_t s : sz) {
+          co_await f.sock_b.recv_exact(s);
+          for (std::uint64_t t : f.sock_b.take_tokens()) tok.push_back(t);
+        }
+      }(p, sizes, tokens),
+      "receiver");
+  p.sim.run();
+  EXPECT_EQ(tokens, (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6}));
+  std::uint64_t total = 0;
+  for (auto s : sizes) total += s;
+  EXPECT_EQ(p.sock_b.stats().bytes_received, total);
+  EXPECT_EQ(p.sock_a.stats().bytes_sent, total);
+}
+
+TEST(TcpSocket, SmallMessageLatencyIsMicroseconds) {
+  Pair p;
+  sim::SimTime arrival = 0;
+  p.sim.spawn(
+      [](Pair& f) -> sim::Task<void> { co_await f.sock_a.send(64); }(p),
+      "sender");
+  p.sim.spawn(
+      [](Pair& f, sim::SimTime& t) -> sim::Task<void> {
+        co_await f.sock_b.recv_exact(64);
+        t = f.sim.now();
+      }(p, arrival),
+      "receiver");
+  p.sim.run();
+  // Netgear GA620 path: should be on the order of the paper's ~120 us.
+  EXPECT_GT(arrival, sim::microseconds(50));
+  EXPECT_LT(arrival, sim::microseconds(250));
+}
+
+TEST(TcpSocket, SendBlocksUntilReceiverDrains) {
+  Pair p;
+  sim::SimTime send_done = -1;
+  sim::SimTime recv_start = sim::seconds(1);
+  p.sim.spawn(
+      [](Pair& f, sim::SimTime& done) -> sim::Task<void> {
+        co_await f.sock_a.send(1 << 20);  // 1 MB >> 64 kB buffers
+        done = f.sim.now();
+      }(p, send_done),
+      "sender");
+  p.sim.spawn(
+      [](Pair& f, sim::SimTime& start) -> sim::Task<void> {
+        co_await f.sim.delay(sim::milliseconds(50));
+        start = f.sim.now();
+        co_await f.sock_b.recv_exact(1 << 20);
+      }(p, recv_start),
+      "receiver");
+  p.sim.run();
+  // The sender cannot finish before the receiver starts draining.
+  EXPECT_GT(send_done, recv_start);
+}
+
+TEST(TcpSocket, SetBufferClampedBySysctl) {
+  Pair p;  // default sysctl: 64 kB caps
+  p.sock_a.set_send_buffer(4 * 1024 * 1024);
+  EXPECT_EQ(p.sock_a.send_buffer(), 65536u);
+  tcp::Sysctl tuned = tcp::Sysctl::tuned();
+  Pair q(presets::pentium4_pc(), presets::netgear_ga620(), tuned);
+  q.sock_a.set_send_buffer(512 * 1024);
+  EXPECT_EQ(q.sock_a.send_buffer(), 512u * 1024);
+}
+
+TEST(TcpSocket, MssFollowsNicMtu) {
+  Pair p(presets::compaq_ds20(), presets::syskonnect_sk9843(9000));
+  EXPECT_EQ(p.sock_a.mss(), 9000u - 40u);
+  Pair q;
+  EXPECT_EQ(q.sock_a.mss(), 1460u);
+}
+
+TEST(TcpSocket, BidirectionalSimultaneousTraffic) {
+  Pair p;
+  const std::uint64_t n = 200000;
+  auto pump = [](tcp::Socket out, tcp::Socket in,
+                 std::uint64_t bytes) -> sim::Task<void> {
+    // Full-duplex: both sides send and receive concurrently.
+    out.node().simulator().spawn(
+        [](tcp::Socket s, std::uint64_t b) -> sim::Task<void> {
+          co_await s.send(b);
+        }(out, bytes),
+        "tx");
+    co_await in.recv_exact(bytes);
+  };
+  p.sim.spawn(pump(p.sock_a, p.sock_a, n), "a");
+  p.sim.spawn(pump(p.sock_b, p.sock_b, n), "b");
+  p.sim.run();
+  EXPECT_EQ(p.sock_a.stats().bytes_received, n);
+  EXPECT_EQ(p.sock_b.stats().bytes_received, n);
+}
+
+TEST(TcpSocket, AcksRoughlyEveryOtherSegment) {
+  Pair p;
+  p.sim.spawn(
+      [](Pair& f) -> sim::Task<void> { co_await f.sock_a.send(300000); }(p),
+      "sender");
+  p.sim.spawn(
+      [](Pair& f) -> sim::Task<void> { co_await f.sock_b.recv_exact(300000); }(
+          p),
+      "receiver");
+  p.sim.run();
+  const auto& tx = p.sock_a.stats();
+  const auto& rx = p.sock_b.stats();
+  EXPECT_GE(rx.acks_sent, tx.data_segments_sent / 3);
+  EXPECT_LE(rx.acks_sent, tx.data_segments_sent);
+}
+
+/// Measures one-directional bulk throughput in Mbps for a given buffer
+/// size on a given NIC.
+double bulk_mbps(const hw::HostConfig& host, const hw::NicConfig& nic,
+                 std::uint32_t buf_bytes, std::uint64_t total = 8 << 20) {
+  tcp::Sysctl sysctl = tcp::Sysctl::tuned();
+  Pair p(host, nic, sysctl);
+  p.sock_a.set_send_buffer(buf_bytes);
+  p.sock_b.set_recv_buffer(buf_bytes);
+  p.sim.spawn(
+      [](Pair& f, std::uint64_t t) -> sim::Task<void> {
+        co_await f.sock_a.send(t);
+      }(p, total),
+      "sender");
+  sim::SimTime done = 0;
+  p.sim.spawn(
+      [](Pair& f, std::uint64_t t, sim::SimTime& d) -> sim::Task<void> {
+        co_await f.sock_b.recv_exact(t);
+        d = f.sim.now();
+      }(p, total, done),
+      "receiver");
+  p.sim.run();
+  return static_cast<double>(total) * 8.0 / sim::to_seconds(done) / 1e6;
+}
+
+TEST(TcpThroughput, MonotoneInSocketBufferSize) {
+  double prev = 0.0;
+  for (std::uint32_t buf : {16u << 10, 32u << 10, 64u << 10, 128u << 10,
+                            256u << 10, 512u << 10}) {
+    const double mbps =
+        bulk_mbps(presets::pentium4_pc(), presets::trendnet_teg_pcitx(), buf,
+                  2 << 20);
+    EXPECT_GE(mbps, prev * 0.98) << "buffer " << buf;
+    prev = mbps;
+  }
+}
+
+TEST(TcpThroughput, TrendnetIsBufferStarvedAtDefaults) {
+  const double small = bulk_mbps(presets::pentium4_pc(),
+                                 presets::trendnet_teg_pcitx(), 64 << 10);
+  const double large = bulk_mbps(presets::pentium4_pc(),
+                                 presets::trendnet_teg_pcitx(), 512 << 10);
+  // The paper: 290 Mbps at defaults, roughly doubling with 512 kB buffers.
+  EXPECT_LT(small, 0.65 * large);
+}
+
+TEST(TcpThroughput, JumboFramesBeatStandardMtuOnSysKonnect) {
+  const double std_mtu = bulk_mbps(presets::pentium4_pc(),
+                                   presets::syskonnect_sk9843(1500), 512 << 10);
+  const double jumbo = bulk_mbps(presets::pentium4_pc(),
+                                 presets::syskonnect_sk9843(9000), 512 << 10);
+  EXPECT_GT(jumbo, std_mtu * 1.15);
+}
+
+TEST(TcpSocket, MultipleConnectionsShareOneLink) {
+  Pair p;
+  auto [c2a, c2b] = tcp::connect(p.stack_a, p.stack_b, p.link, "tcp2");
+  std::uint64_t got1 = 0, got2 = 0;
+  p.sim.spawn(
+      [](Pair& f, tcp::Socket s2) -> sim::Task<void> {
+        co_await f.sock_a.send(50000, 7);
+        co_await s2.send(30000, 9);
+      }(p, c2a),
+      "sender");
+  p.sim.spawn(
+      [](Pair& f, std::uint64_t& g) -> sim::Task<void> {
+        co_await f.sock_b.recv_exact(50000);
+        g = f.sock_b.take_tokens().at(0);
+      }(p, got1),
+      "recv1");
+  p.sim.spawn(
+      [](tcp::Socket s2, std::uint64_t& g) -> sim::Task<void> {
+        co_await s2.recv_exact(30000);
+        g = s2.take_tokens().at(0);
+      }(c2b, got2),
+      "recv2");
+  p.sim.run();
+  EXPECT_EQ(got1, 7u);
+  EXPECT_EQ(got2, 9u);
+}
+
+TEST(TcpSocket, DeterministicReplay) {
+  auto once = [] {
+    Pair p;
+    p.sim.spawn(
+        [](Pair& f) -> sim::Task<void> { co_await f.sock_a.send(777777); }(p),
+        "s");
+    p.sim.spawn(
+        [](Pair& f) -> sim::Task<void> {
+          co_await f.sock_b.recv_exact(777777);
+        }(p),
+        "r");
+    p.sim.run();
+    return std::pair{p.sim.now(), p.sim.events_processed()};
+  };
+  EXPECT_EQ(once(), once());
+}
+
+// Property sweep: conservation holds for arbitrary message sizes around
+// segment boundaries.
+class TcpConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TcpConservation, ExactDelivery) {
+  Pair p;
+  const std::uint64_t n = GetParam();
+  p.sim.spawn(
+      [](Pair& f, std::uint64_t n) -> sim::Task<void> {
+        co_await f.sock_a.send(n, 42);
+      }(p, n),
+      "s");
+  p.sim.spawn(
+      [](Pair& f, std::uint64_t n) -> sim::Task<void> {
+        co_await f.sock_b.recv_exact(n);
+      }(p, n),
+      "r");
+  p.sim.run();
+  EXPECT_EQ(p.sock_b.stats().bytes_received, n);
+  EXPECT_EQ(p.sock_b.take_tokens(), std::vector<std::uint64_t>{42});
+}
+
+INSTANTIATE_TEST_SUITE_P(SegmentBoundaries, TcpConservation,
+                         ::testing::Values(1, 2, 1459, 1460, 1461, 2919, 2920,
+                                           2921, 65535, 65536, 65537, 131072,
+                                           1 << 20));
+
+
+// ---- Fault injection: lossy links and retransmission ----------------------
+
+/// A pair with loss injected on the forward direction.
+struct LossyPair : Pair {
+  explicit LossyPair(double loss, std::uint64_t seed = 7)
+      : Pair(hw::presets::pentium4_pc(), hw::presets::netgear_ga620(),
+             tcp::Sysctl::tuned()) {
+    link.forward.set_loss(loss, seed);
+  }
+};
+
+TEST(TcpLoss, TransferCompletesAndConservesBytesUnderLoss) {
+  LossyPair p(0.02);
+  const std::uint64_t total = 1 << 20;
+  p.sim.spawn(
+      [](Pair& f, std::uint64_t t) -> sim::Task<void> {
+        co_await f.sock_a.send(t, 42);
+      }(p, total),
+      "sender");
+  p.sim.spawn(
+      [](Pair& f, std::uint64_t t) -> sim::Task<void> {
+        co_await f.sock_b.recv_exact(t);
+      }(p, total),
+      "receiver");
+  p.sim.run();
+  EXPECT_EQ(p.sock_b.stats().bytes_received, total);
+  EXPECT_EQ(p.sock_b.take_tokens(), std::vector<std::uint64_t>{42});
+  EXPECT_GT(p.link.forward.packets_dropped(), 0u);
+  EXPECT_GT(p.sock_a.stats().retransmits, 0u);
+}
+
+TEST(TcpLoss, TokensStayOrderedAcrossRetransmissions) {
+  LossyPair p(0.05, 99);
+  p.sim.spawn(
+      [](Pair& f) -> sim::Task<void> {
+        for (std::uint64_t i = 1; i <= 20; ++i) {
+          co_await f.sock_a.send(20000, i);
+        }
+      }(p),
+      "sender");
+  std::vector<std::uint64_t> tokens;
+  p.sim.spawn(
+      [](Pair& f, std::vector<std::uint64_t>& tok) -> sim::Task<void> {
+        for (int i = 0; i < 20; ++i) {
+          co_await f.sock_b.recv_exact(20000);
+          for (auto t : f.sock_b.take_tokens()) tok.push_back(t);
+        }
+      }(p, tokens),
+      "receiver");
+  p.sim.run();
+  ASSERT_EQ(tokens.size(), 20u);
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(tokens[i], i + 1);
+}
+
+TEST(TcpLoss, ThroughputDegradesMonotonicallyWithLossRate) {
+  auto mbps_at_loss = [](double loss) {
+    LossyPair p(loss, 5);
+    p.sock_a.set_send_buffer(256 << 10);
+    p.sock_b.set_recv_buffer(256 << 10);
+    const std::uint64_t total = 2 << 20;
+    p.sim.spawn(
+        [](Pair& f, std::uint64_t t) -> sim::Task<void> {
+          co_await f.sock_a.send(t);
+        }(p, total),
+        "tx");
+    sim::SimTime done = 0;
+    p.sim.spawn(
+        [](Pair& f, std::uint64_t t, sim::SimTime& d) -> sim::Task<void> {
+          co_await f.sock_b.recv_exact(t);
+          d = f.sim.now();
+        }(p, total, done),
+        "rx");
+    p.sim.run();
+    return static_cast<double>(total) * 8.0 / sim::to_seconds(done) / 1e6;
+  };
+  const double clean = mbps_at_loss(0.0);
+  const double light = mbps_at_loss(0.005);
+  const double heavy = mbps_at_loss(0.05);
+  EXPECT_GT(clean, light);
+  EXPECT_GT(light, heavy);
+}
+
+TEST(TcpLoss, FastRetransmitRecoversWithoutFullTimeout) {
+  // With plenty of traffic behind a single loss, duplicate ACKs should
+  // recover the stream well before the 40 ms RTO.
+  LossyPair p(0.01, 3);
+  p.sock_a.set_send_buffer(256 << 10);
+  p.sock_b.set_recv_buffer(256 << 10);
+  const std::uint64_t total = 4 << 20;
+  p.sim.spawn(
+      [](Pair& f, std::uint64_t t) -> sim::Task<void> {
+        co_await f.sock_a.send(t);
+      }(p, total),
+      "tx");
+  p.sim.spawn(
+      [](Pair& f, std::uint64_t t) -> sim::Task<void> {
+        co_await f.sock_b.recv_exact(t);
+      }(p, total),
+      "rx");
+  p.sim.run();
+  EXPECT_GT(p.sock_a.stats().fast_retransmits, 0u);
+  EXPECT_GT(p.sock_b.stats().out_of_order_dropped, 0u);
+}
+
+TEST(TcpLoss, LosslessLinkNeverRetransmits) {
+  Pair p;
+  p.sim.spawn(
+      [](Pair& f) -> sim::Task<void> { co_await f.sock_a.send(4 << 20); }(p),
+      "tx");
+  p.sim.spawn(
+      [](Pair& f) -> sim::Task<void> {
+        co_await f.sock_b.recv_exact(4 << 20);
+      }(p),
+      "rx");
+  p.sim.run();
+  EXPECT_EQ(p.sock_a.stats().retransmits, 0u);
+  EXPECT_EQ(p.sock_a.stats().fast_retransmits, 0u);
+  EXPECT_EQ(p.sock_b.stats().out_of_order_dropped, 0u);
+}
+
+TEST(TcpLoss, DeterministicUnderLoss) {
+  auto once = [] {
+    LossyPair p(0.02, 11);
+    p.sim.spawn(
+        [](Pair& f) -> sim::Task<void> { co_await f.sock_a.send(500000); }(p),
+        "tx");
+    p.sim.spawn(
+        [](Pair& f) -> sim::Task<void> {
+          co_await f.sock_b.recv_exact(500000);
+        }(p),
+        "rx");
+    p.sim.run();
+    return std::pair{p.sim.now(), p.sock_a.stats().retransmits};
+  };
+  EXPECT_EQ(once(), once());
+}
+
+
+// ---- Congestion control ----------------------------------------------------
+
+TEST(TcpCongestion, SlowStartMakesTheFirstTransferSlower) {
+  // Two identical 256 kB transfers on one connection: the first carries
+  // the slow-start penalty, the second runs on a grown cwnd.
+  Pair p(presets::pentium4_pc(), presets::netgear_ga620(),
+         tcp::Sysctl::tuned());
+  p.sock_a.set_send_buffer(512 << 10);
+  p.sock_b.set_recv_buffer(512 << 10);
+  std::vector<sim::SimTime> durations;
+  p.sim.spawn(
+      [](Pair& f, std::vector<sim::SimTime>& out) -> sim::Task<void> {
+        for (int i = 0; i < 2; ++i) {
+          const sim::SimTime t0 = f.sim.now();
+          co_await f.sock_a.send(256 << 10);
+          co_await f.sock_a.recv_exact(4);  // app-level ack
+          out.push_back(f.sim.now() - t0);
+        }
+      }(p, durations),
+      "tx");
+  p.sim.spawn(
+      [](Pair& f) -> sim::Task<void> {
+        for (int i = 0; i < 2; ++i) {
+          co_await f.sock_b.recv_exact(256 << 10);
+          co_await f.sock_b.send(4);
+        }
+      }(p),
+      "rx");
+  p.sim.run();
+  ASSERT_EQ(durations.size(), 2u);
+  EXPECT_GT(durations[0], durations[1] + sim::microseconds(200));
+}
+
+TEST(TcpCongestion, DisablingRestoresPureFlowControl) {
+  tcp::Sysctl no_cc = tcp::Sysctl::tuned();
+  no_cc.congestion_control = false;
+  Pair p(presets::pentium4_pc(), presets::netgear_ga620(), no_cc);
+  p.sock_a.set_send_buffer(512 << 10);
+  p.sock_b.set_recv_buffer(512 << 10);
+  std::vector<sim::SimTime> durations;
+  p.sim.spawn(
+      [](Pair& f, std::vector<sim::SimTime>& out) -> sim::Task<void> {
+        for (int i = 0; i < 2; ++i) {
+          const sim::SimTime t0 = f.sim.now();
+          co_await f.sock_a.send(256 << 10);
+          co_await f.sock_a.recv_exact(4);
+          out.push_back(f.sim.now() - t0);
+        }
+      }(p, durations),
+      "tx");
+  p.sim.spawn(
+      [](Pair& f) -> sim::Task<void> {
+        for (int i = 0; i < 2; ++i) {
+          co_await f.sock_b.recv_exact(256 << 10);
+          co_await f.sock_b.send(4);
+        }
+      }(p),
+      "rx");
+  p.sim.run();
+  // Without slow start the two transfers cost (almost) the same.
+  EXPECT_LT(durations[0], durations[1] + sim::microseconds(150));
+}
+
+TEST(TcpCongestion, LossShrinksThroughputMoreWithCcThanWithout) {
+  auto mbps = [](bool cc, double loss) {
+    tcp::Sysctl sysctl = tcp::Sysctl::tuned();
+    sysctl.congestion_control = cc;
+    Pair p(presets::pentium4_pc(), presets::netgear_ga620(), sysctl);
+    p.link.forward.set_loss(loss, 23);
+    p.sock_a.set_send_buffer(512 << 10);
+    p.sock_b.set_recv_buffer(512 << 10);
+    const std::uint64_t total = 4 << 20;
+    p.sim.spawn(
+        [](Pair& f, std::uint64_t t) -> sim::Task<void> {
+          co_await f.sock_a.send(t);
+        }(p, total),
+        "tx");
+    sim::SimTime done = 0;
+    p.sim.spawn(
+        [](Pair& f, std::uint64_t t, sim::SimTime& d) -> sim::Task<void> {
+          co_await f.sock_b.recv_exact(t);
+          d = f.sim.now();
+        }(p, total, done),
+        "rx");
+    p.sim.run();
+    return static_cast<double>(total) * 8.0 / sim::to_seconds(done) / 1e6;
+  };
+  // With a go-back-N sender, every loss costs a whole flight: shrinking
+  // the flight via multiplicative decrease *saves* goodput under loss —
+  // the original congestion-collapse lesson, visible in miniature.
+  EXPECT_GT(mbps(true, 0.01), 2.0 * mbps(false, 0.01));
+  // And without loss the two behave the same at steady state.
+  EXPECT_NEAR(mbps(true, 0.0) / mbps(false, 0.0), 1.0, 0.05);
+}
+
+
+// ---- Cross-NIC property sweeps ---------------------------------------------
+
+struct NicCase {
+  const char* name;
+  hw::NicConfig nic;
+};
+
+class PerNicProperties : public ::testing::TestWithParam<NicCase> {};
+
+TEST_P(PerNicProperties, BulkThroughputWithinPhysicalBounds) {
+  const auto& nic = GetParam().nic;
+  const double mbps =
+      bulk_mbps(presets::pentium4_pc(), nic, 512 << 10, 4 << 20);
+  EXPECT_GT(mbps, 10.0);
+  EXPECT_LT(mbps, nic.link_rate.mbps());  // can't beat the wire
+}
+
+TEST_P(PerNicProperties, ThroughputMonotoneInBufferSize) {
+  const auto& nic = GetParam().nic;
+  double prev = 0.0;
+  for (std::uint32_t buf : {32u << 10, 128u << 10, 512u << 10}) {
+    const double mbps = bulk_mbps(presets::pentium4_pc(), nic, buf, 2 << 20);
+    EXPECT_GE(mbps, prev * 0.97) << GetParam().name << " buf " << buf;
+    prev = mbps;
+  }
+}
+
+TEST_P(PerNicProperties, ConservationAndOrderHold) {
+  Pair p(presets::pentium4_pc(), GetParam().nic, tcp::Sysctl::tuned());
+  p.sim.spawn(
+      [](Pair& f) -> sim::Task<void> {
+        for (std::uint64_t i = 1; i <= 5; ++i) {
+          co_await f.sock_a.send(50000, i);
+        }
+      }(p),
+      "tx");
+  std::vector<std::uint64_t> tokens;
+  p.sim.spawn(
+      [](Pair& f, std::vector<std::uint64_t>& tok) -> sim::Task<void> {
+        for (int i = 0; i < 5; ++i) {
+          co_await f.sock_b.recv_exact(50000);
+          for (auto t : f.sock_b.take_tokens()) tok.push_back(t);
+        }
+      }(p, tokens),
+      "rx");
+  p.sim.run();
+  EXPECT_EQ(tokens, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST_P(PerNicProperties, LatencyBelowThroughputSaturationTime) {
+  Pair p(presets::pentium4_pc(), GetParam().nic, tcp::Sysctl::tuned());
+  sim::SimTime done = 0;
+  p.sim.spawn(
+      [](Pair& f) -> sim::Task<void> { co_await f.sock_a.send(64); }(p),
+      "tx");
+  p.sim.spawn(
+      [](Pair& f, sim::SimTime& d) -> sim::Task<void> {
+        co_await f.sock_b.recv_exact(64);
+        d = f.sim.now();
+      }(p, done),
+      "rx");
+  p.sim.run();
+  EXPECT_GT(done, sim::microseconds(5));
+  EXPECT_LT(done, sim::milliseconds(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNics, PerNicProperties,
+    ::testing::Values(NicCase{"ga620", presets::netgear_ga620()},
+                      NicCase{"trendnet", presets::trendnet_teg_pcitx()},
+                      NicCase{"ga622", presets::netgear_ga622()},
+                      NicCase{"sk9843", presets::syskonnect_sk9843(1500)},
+                      NicCase{"sk9843j", presets::syskonnect_sk9843(9000)},
+                      NicCase{"ipgm", presets::myrinet_ip_over_gm()},
+                      NicCase{"fe100", presets::fast_ethernet()}),
+    [](const ::testing::TestParamInfo<NicCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace pp

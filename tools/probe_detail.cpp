@@ -1,0 +1,39 @@
+// Detailed single-run probe: utilization + ack accounting.
+#include <cstdio>
+#include "simcore/simulator.h"
+#include "simhw/cluster.h"
+#include "simhw/presets.h"
+#include "tcpsim/socket.h"
+using namespace pp;
+namespace presets = hw::presets;
+int main(int argc, char** argv) {
+  std::uint32_t buf = argc > 1 ? std::atoi(argv[1]) : 65536;
+  sim::Simulator s; hw::Cluster c(s);
+  auto host = presets::pentium4_pc();
+  auto nic = presets::netgear_ga620();
+  auto& a = c.add_node(host); auto& b = c.add_node(host);
+  auto link = c.connect(a, b, nic, presets::back_to_back());
+  tcp::TcpStack sa(a, tcp::Sysctl::tuned()), sb(b, tcp::Sysctl::tuned());
+  auto [xa, xb] = tcp::connect(sa, sb, link);
+  xa.set_send_buffer(buf); xb.set_recv_buffer(buf);
+  const std::uint64_t total = 8 << 20;
+  s.spawn([](tcp::Socket x, std::uint64_t t) -> sim::Task<void> { co_await x.send(t); }(xa, total), "tx");
+  sim::SimTime done = 0;
+  s.spawn([](tcp::Socket x, std::uint64_t t, sim::Simulator& sm, sim::SimTime& d) -> sim::Task<void> {
+    co_await x.recv_exact(t); d = sm.now(); }(xb, total, s, done), "rx");
+  s.run();
+  double secs = sim::to_seconds(done);
+  std::printf("buf=%u thr=%.0f Mbps time=%.3f ms\n", buf, total*8.0/secs/1e6, secs*1e3);
+  std::printf("sender cpu util=%.2f pci util=%.2f | recv cpu util=%.2f pci util=%.2f\n",
+    a.cpu().utilization(), a.pci().utilization(), b.cpu().utilization(), b.pci().utilization());
+  std::printf("fwd wire util=%.2f busy=%.3fms | segs=%llu acks_by_rx=%llu\n",
+    link.forward.wire().utilization(), sim::to_seconds(link.forward.wire().stats().busy)*1e3,
+    (unsigned long long)xa.stats().data_segments_sent, (unsigned long long)xb.stats().acks_sent);
+  std::printf("sender cpu waited=%.3fms busy=%.3fms ops=%llu\n",
+    sim::to_seconds(a.cpu().stats().waited)*1e3, sim::to_seconds(a.cpu().stats().busy)*1e3,
+    (unsigned long long)a.cpu().stats().operations);
+  std::printf("recv cpu waited=%.3fms busy=%.3fms ops=%llu\n",
+    sim::to_seconds(b.cpu().stats().waited)*1e3, sim::to_seconds(b.cpu().stats().busy)*1e3,
+    (unsigned long long)b.cpu().stats().operations);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Calibration probe for Figure 4 (Myrinet/GM) and Figure 5 (VIA).
+#include <cstdio>
+#include "gmsim/gm.h"
+#include "mp/adapters.h"
+#include "mp/gm_mpi.h"
+#include "mp/via_mpi.h"
+#include "netpipe/modules.h"
+#include "netpipe/report.h"
+#include "netpipe/runner.h"
+#include "simhw/presets.h"
+#include "tcpsim/socket.h"
+#include "viasim/via.h"
+using namespace pp;
+namespace presets = hw::presets;
+
+netpipe::RunOptions opts() { netpipe::RunOptions o; o.repeats = 2; return o; }
+
+void print_row(const char* name, const netpipe::RunResult& r) {
+  std::printf("%-18s %8.1f %8.0f |", name, r.latency_us, r.max_mbps);
+  for (std::uint64_t s : {4ull<<10, 16ull<<10, 64ull<<10, 1ull<<20, 8ull<<20})
+    std::printf(" %6.0f", r.mbps_at(s));
+  std::printf("\n");
+}
+
+int main() {
+  std::printf("%-18s %8s %8s | Mbps@ 4k 16k 64k 1M 8M\n", "transport", "lat(us)", "max");
+  // raw GM + MPICH-GM + MPI/Pro-GM, per recv mode
+  for (auto mode : {gm::RecvMode::kPolling, gm::RecvMode::kBlocking, gm::RecvMode::kHybrid}) {
+    sim::Simulator s; hw::Cluster c(s);
+    auto& a = c.add_node(presets::pentium4_pc());
+    auto& b = c.add_node(presets::pentium4_pc());
+    gm::GmConfig gc; gc.recv_mode = mode;
+    gm::GmFabric fab(c, a, b, presets::myrinet_pci64a(), presets::back_to_back(), gc);
+    mp::GmTransport ta(fab.port_a()), tb(fab.port_b());
+    auto r = netpipe::run_netpipe(s, ta, tb, opts());
+    const char* mn = mode == gm::RecvMode::kPolling ? "raw GM polling" : mode == gm::RecvMode::kBlocking ? "raw GM blocking" : "raw GM hybrid";
+    print_row(mn, r);
+  }
+  {
+    sim::Simulator s; hw::Cluster c(s);
+    auto& a = c.add_node(presets::pentium4_pc());
+    auto& b = c.add_node(presets::pentium4_pc());
+    gm::GmFabric fab(c, a, b, presets::myrinet_pci64a(), presets::back_to_back(), {});
+    mp::GmMpi la(fab.port_a(), 0, mp::GmMpi::mpich_gm());
+    mp::GmMpi lb(fab.port_b(), 1, mp::GmMpi::mpich_gm());
+    mp::LibraryTransport ta(la, 1), tb(lb, 0);
+    print_row("MPICH-GM", netpipe::run_netpipe(s, ta, tb, opts()));
+  }
+  {
+    sim::Simulator s; hw::Cluster c(s);
+    auto& a = c.add_node(presets::pentium4_pc());
+    auto& b = c.add_node(presets::pentium4_pc());
+    gm::GmFabric fab(c, a, b, presets::myrinet_pci64a(), presets::back_to_back(), {});
+    mp::GmMpi la(fab.port_a(), 0, mp::GmMpi::mpipro_gm());
+    mp::GmMpi lb(fab.port_b(), 1, mp::GmMpi::mpipro_gm());
+    mp::LibraryTransport ta(la, 1), tb(lb, 0);
+    print_row("MPI/Pro-GM", netpipe::run_netpipe(s, ta, tb, opts()));
+  }
+  // IP over GM (raw TCP over the myrinet ip path)
+  {
+    sim::Simulator s; hw::Cluster c(s);
+    auto& a = c.add_node(presets::pentium4_pc());
+    auto& b = c.add_node(presets::pentium4_pc());
+    auto link = c.connect(a, b, presets::myrinet_ip_over_gm(), presets::back_to_back());
+    tcp::TcpStack sa(a, tcp::Sysctl::tuned()), sb(b, tcp::Sysctl::tuned());
+    auto [xa, xb] = tcp::connect(sa, sb, link);
+    xa.set_send_buffer(512<<10); xa.set_recv_buffer(512<<10);
+    xb.set_send_buffer(512<<10); xb.set_recv_buffer(512<<10);
+    netpipe::TcpTransport ta(xa, "IP-GM"), tb(xb, "IP-GM");
+    print_row("IP over GM", netpipe::run_netpipe(s, ta, tb, opts()));
+  }
+  // VIA: Giganet raw + MVICH + MP_Lite + MPI/Pro, then M-VIA
+  auto via_run = [&](const char* label, bool giganet, mp::ViaMpiOptions const* lib) {
+    sim::Simulator s; hw::Cluster c(s);
+    auto& a = c.add_node(presets::pentium4_pc());
+    auto& b = c.add_node(presets::pentium4_pc());
+    via::ViaConfig vc;
+    vc.personality = giganet ? via::ViaPersonality::giganet() : via::ViaPersonality::mvia_sk98lin();
+    auto nic = giganet ? presets::giganet_clan() : presets::syskonnect_mvia();
+    auto link_cfg = giganet ? presets::switched() : presets::back_to_back();
+    via::ViaFabric fab(c, a, b, nic, link_cfg, vc);
+    if (!lib) {
+      mp::ViaTransport ta(fab.end_a()), tb(fab.end_b());
+      print_row(label, netpipe::run_netpipe(s, ta, tb, opts()));
+    } else {
+      mp::ViaMpi la(fab.end_a(), 0, *lib), lb(fab.end_b(), 1, *lib);
+      mp::LibraryTransport ta(la, 1), tb(lb, 0);
+      print_row(label, netpipe::run_netpipe(s, ta, tb, opts()));
+    }
+  };
+  via_run("raw VIA clan", true, nullptr);
+  auto mvich = mp::ViaMpi::mvich();
+  via_run("MVICH clan", true, &mvich);
+  auto mplite = mp::ViaMpi::mplite_via();
+  via_run("MP_Lite clan", true, &mplite);
+  auto mpipro = mp::ViaMpi::mpipro_via();
+  via_run("MPI/Pro clan", true, &mpipro);
+  via_run("M-VIA raw sk", false, nullptr);
+  via_run("MVICH M-VIA", false, &mvich);
+  via_run("MP_Lite M-VIA", false, &mplite);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Calibration probe: all message-passing libraries on one NIC (fig-1 style).
+#include <cstdio>
+#include <iostream>
+#include "mp/adapters.h"
+#include "mp/lam.h"
+#include "mp/mpich.h"
+#include "mp/mpipro.h"
+#include "mp/mplite.h"
+#include "mp/pvm.h"
+#include "mp/tcgmsg.h"
+#include "mp/testbed.h"
+#include "netpipe/modules.h"
+#include "netpipe/report.h"
+#include "netpipe/runner.h"
+using namespace pp;
+namespace presets = hw::presets;
+
+netpipe::RunOptions fast_opts() {
+  netpipe::RunOptions o;
+  o.schedule.max_bytes = 8 << 20;
+  o.repeats = 2; o.warmup = 1;
+  return o;
+}
+
+template <typename MakeTransports>
+netpipe::RunResult measure(const hw::HostConfig& host, const hw::NicConfig& nic, MakeTransports make) {
+  mp::PairBed bed(host, nic, tcp::Sysctl::tuned());
+  auto [ta, tb] = make(bed);
+  return netpipe::run_netpipe(bed.sim, *ta, *tb, fast_opts());
+}
+
+int main(int argc, char** argv) {
+  auto host = presets::pentium4_pc();
+  auto nic = presets::netgear_ga620();
+  if (argc > 1 && std::string(argv[1]) == "trendnet") nic = presets::trendnet_teg_pcitx();
+  if (argc > 1 && std::string(argv[1]) == "ds20") { host = presets::compaq_ds20(); nic = presets::syskonnect_sk9843(9000); }
+
+  struct Row { std::string name; netpipe::RunResult r; };
+  std::vector<Row> rows;
+  using TPtr = std::unique_ptr<netpipe::Transport>;
+
+  // raw TCP (tuned 512 kB)
+  rows.push_back({"raw TCP", measure(host, nic, [](mp::PairBed& bed) {
+    auto [sa, sb] = bed.socket_pair("raw");
+    sa.set_send_buffer(512<<10); sa.set_recv_buffer(512<<10);
+    sb.set_send_buffer(512<<10); sb.set_recv_buffer(512<<10);
+    return std::pair<TPtr,TPtr>{std::make_unique<netpipe::TcpTransport>(sa), std::make_unique<netpipe::TcpTransport>(sb)};
+  })});
+
+  auto lib_pair = [](auto pair_holder) {
+    // keep libraries alive via shared ownership inside the transports
+    struct Holder : netpipe::Transport {
+      std::shared_ptr<void> keep; std::unique_ptr<mp::LibraryTransport> t;
+      Holder(std::shared_ptr<void> k, mp::Library& l) : keep(std::move(k)), t(std::make_unique<mp::LibraryTransport>(l, l.rank() == 0 ? 1 : 0)) {}
+      sim::Task<void> send(std::uint64_t b) override { return t->send(b); }
+      sim::Task<void> recv(std::uint64_t b) override { return t->recv(b); }
+      hw::Node& node() { return t->node(); }
+      std::string name() const override { return t->name(); }
+    };
+    auto shared = std::make_shared<decltype(pair_holder)>(std::move(pair_holder));
+    return std::pair<TPtr,TPtr>{std::make_unique<Holder>(shared, *shared->first), std::make_unique<Holder>(shared, *shared->second)};
+  };
+
+  rows.push_back({"MPICH tuned 256k", measure(host, nic, [&](mp::PairBed& bed) {
+    mp::MpichOptions o; o.p4_sockbufsize = 256<<10;
+    return lib_pair(mp::Mpich::create_pair(bed, o)); })});
+  rows.push_back({"MPICH default 32k", measure(host, nic, [&](mp::PairBed& bed) {
+    return lib_pair(mp::Mpich::create_pair(bed, {})); })});
+  rows.push_back({"LAM -O", measure(host, nic, [&](mp::PairBed& bed) {
+    mp::LamOptions o; o.mode = mp::LamMode::kC2cO;
+    return lib_pair(mp::Lam::create_pair(bed, o)); })});
+  rows.push_back({"LAM c2c", measure(host, nic, [&](mp::PairBed& bed) {
+    mp::LamOptions o; o.mode = mp::LamMode::kC2c;
+    return lib_pair(mp::Lam::create_pair(bed, o)); })});
+  rows.push_back({"LAM lamd", measure(host, nic, [&](mp::PairBed& bed) {
+    mp::LamOptions o; o.mode = mp::LamMode::kLamd;
+    return lib_pair(mp::Lam::create_pair(bed, o)); })});
+  rows.push_back({"MPI/Pro tuned", measure(host, nic, [&](mp::PairBed& bed) {
+    mp::MpiProOptions o; o.tcp_long = 128<<10;
+    return lib_pair(mp::MpiPro::create_pair(bed, o)); })});
+  rows.push_back({"MP_Lite", measure(host, nic, [&](mp::PairBed& bed) {
+    return lib_pair(mp::MpLite::create_pair(bed)); })});
+  rows.push_back({"PVM direct inplace", measure(host, nic, [&](mp::PairBed& bed) {
+    mp::PvmOptions o; o.route = mp::PvmRoute::kDirect; o.encoding = mp::PvmEncoding::kInPlace;
+    return lib_pair(mp::Pvm::create_pair(bed, o)); })});
+  rows.push_back({"PVM direct default", measure(host, nic, [&](mp::PairBed& bed) {
+    mp::PvmOptions o; o.route = mp::PvmRoute::kDirect;
+    return lib_pair(mp::Pvm::create_pair(bed, o)); })});
+  rows.push_back({"PVM pvmd", measure(host, nic, [&](mp::PairBed& bed) {
+    return lib_pair(mp::Pvm::create_pair(bed, {})); })});
+  rows.push_back({"TCGMSG", measure(host, nic, [&](mp::PairBed& bed) {
+    return lib_pair(mp::Tcgmsg::create_pair(bed, {})); })});
+  rows.push_back({"TCGMSG 256k", measure(host, nic, [&](mp::PairBed& bed) {
+    mp::TcgmsgOptions o; o.sr_sock_buf_size = 256<<10;
+    return lib_pair(mp::Tcgmsg::create_pair(bed, o)); })});
+
+  std::printf("%-20s %9s %9s %9s | Mbps@ 64k 128k 256k 1M 8M\n", "library", "lat(us)", "max", "sat");
+  for (auto& row : rows) {
+    std::printf("%-20s %9.1f %9.0f %9s |", row.name.c_str(), row.r.latency_us, row.r.max_mbps,
+                netpipe::format_bytes(row.r.saturation_bytes).c_str());
+    for (std::uint64_t s : {64ull<<10, 128ull<<10, 256ull<<10, 1ull<<20, 8ull<<20})
+      std::printf(" %6.0f", row.r.mbps_at(s));
+    std::printf("\n");
+  }
+  return 0;
+}

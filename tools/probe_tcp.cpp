@@ -1,0 +1,59 @@
+// Calibration probe: raw TCP throughput/latency per NIC and buffer size.
+#include <cstdio>
+#include "simcore/simulator.h"
+#include "simhw/cluster.h"
+#include "simhw/presets.h"
+#include "tcpsim/socket.h"
+using namespace pp;
+namespace presets = hw::presets;
+
+double bulk(const hw::HostConfig& host, const hw::NicConfig& nic, std::uint32_t buf, std::uint64_t total) {
+  sim::Simulator s; hw::Cluster c(s);
+  auto& a = c.add_node(host); auto& b = c.add_node(host);
+  auto link = c.connect(a, b, nic, presets::back_to_back());
+  tcp::TcpStack sa(a, tcp::Sysctl::tuned()), sb(b, tcp::Sysctl::tuned());
+  auto [xa, xb] = tcp::connect(sa, sb, link);
+  xa.set_send_buffer(buf); xb.set_recv_buffer(buf);
+  s.spawn([](tcp::Socket x, std::uint64_t t) -> sim::Task<void> { co_await x.send(t); }(xa, total), "tx");
+  sim::SimTime done = 0;
+  s.spawn([](tcp::Socket x, std::uint64_t t, sim::Simulator& s, sim::SimTime& d) -> sim::Task<void> {
+    co_await x.recv_exact(t); d = s.now(); }(xb, total, s, done), "rx");
+  s.run();
+  return double(total) * 8.0 / sim::to_seconds(done) / 1e6;
+}
+
+double latency_us(const hw::HostConfig& host, const hw::NicConfig& nic) {
+  sim::Simulator s; hw::Cluster c(s);
+  auto& a = c.add_node(host); auto& b = c.add_node(host);
+  auto link = c.connect(a, b, nic, presets::back_to_back());
+  tcp::TcpStack sa(a, tcp::Sysctl::tuned()), sb(b, tcp::Sysctl::tuned());
+  auto [xa, xb] = tcp::connect(sa, sb, link);
+  static constexpr int reps = 20;
+  sim::SimTime done = 0;
+  s.spawn([](tcp::Socket x, sim::Simulator& sm, sim::SimTime& d) -> sim::Task<void> {
+    for (int i = 0; i < reps; ++i) { co_await x.send(64); co_await x.recv_exact(64); }
+    d = sm.now(); }(xa, s, done), "a");
+  s.spawn([](tcp::Socket x) -> sim::Task<void> {
+    for (int i = 0; i < reps; ++i) { co_await x.recv_exact(64); co_await x.send(64); } }(xb), "b");
+  s.run();
+  // Measure at completion: the retransmission timer idles out afterwards.
+  return sim::to_microseconds(done) / (2.0 * reps);
+}
+int main() {
+  struct Case { const char* name; hw::HostConfig h; hw::NicConfig n; };
+  Case cases[] = {
+    {"ga620/p4", presets::pentium4_pc(), presets::netgear_ga620()},
+    {"trendnet/p4", presets::pentium4_pc(), presets::trendnet_teg_pcitx()},
+    {"sk9843-1500/p4", presets::pentium4_pc(), presets::syskonnect_sk9843(1500)},
+    {"sk9843-9000/p4", presets::pentium4_pc(), presets::syskonnect_sk9843(9000)},
+    {"sk9843-9000/ds20", presets::compaq_ds20(), presets::syskonnect_sk9843(9000)},
+  };
+  std::printf("%-18s %9s | Mbps @ buf: 16k 32k 64k 128k 256k 512k 1M\n", "config", "lat(us)");
+  for (auto& cse : cases) {
+    std::printf("%-18s %9.1f |", cse.name, latency_us(cse.h, cse.n));
+    for (std::uint32_t buf : {16u<<10, 32u<<10, 64u<<10, 128u<<10, 256u<<10, 512u<<10, 1u<<20})
+      std::printf(" %6.0f", bulk(cse.h, cse.n, buf, 8<<20));
+    std::printf("\n");
+  }
+  return 0;
+}
