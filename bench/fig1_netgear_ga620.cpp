@@ -10,69 +10,19 @@
 //    non-tunable dip at LAM's rendezvous threshold;
 //  - MPICH and PVM lose 25-30 % for large messages (staging copies), and
 //    MPICH shows a sharp dip at its 128 kB rendezvous cutoff.
-#include "bench/common.h"
-
-#include "mp/lam.h"
-#include "mp/mpich.h"
-#include "mp/mpipro.h"
-#include "mp/mplite.h"
-#include "mp/pvm.h"
-#include "mp/tcgmsg.h"
+//
+// The seven curves are one parallel sweep (see bench/figures.h).
+#include "bench/figures.h"
 
 using namespace pp;
 using namespace pp::bench;
 
 int main() {
-  const auto host = hw::presets::pentium4_pc();
-  const auto nic = hw::presets::netgear_ga620();
-  const auto sysctl = tcp::Sysctl::tuned();
-
-  std::vector<Curve> curves;
-  curves.push_back(measure_on_bed("raw TCP", host, nic, sysctl,
-                                  [](mp::PairBed& bed) {
-                                    return raw_tcp_pair(bed, 512 << 10);
-                                  }));
-  curves.push_back(measure_on_bed("MPICH", host, nic, sysctl,
-                                  [](mp::PairBed& bed) {
-                                    mp::MpichOptions o;
-                                    o.p4_sockbufsize = 256 << 10;  // tuned
-                                    return hold_pair(
-                                        mp::Mpich::create_pair(bed, o));
-                                  }));
-  curves.push_back(measure_on_bed("LAM/MPI -O", host, nic, sysctl,
-                                  [](mp::PairBed& bed) {
-                                    mp::LamOptions o;
-                                    o.mode = mp::LamMode::kC2cO;
-                                    return hold_pair(
-                                        mp::Lam::create_pair(bed, o));
-                                  }));
-  curves.push_back(measure_on_bed("MPI/Pro", host, nic, sysctl,
-                                  [](mp::PairBed& bed) {
-                                    mp::MpiProOptions o;
-                                    o.tcp_long = 128 << 10;  // tuned
-                                    return hold_pair(
-                                        mp::MpiPro::create_pair(bed, o));
-                                  }));
-  curves.push_back(measure_on_bed("MP_Lite", host, nic, sysctl,
-                                  [](mp::PairBed& bed) {
-                                    return hold_pair(
-                                        mp::MpLite::create_pair(bed));
-                                  }));
-  curves.push_back(measure_on_bed("PVM", host, nic, sysctl,
-                                  [](mp::PairBed& bed) {
-                                    mp::PvmOptions o;
-                                    o.route = mp::PvmRoute::kDirect;
-                                    o.encoding = mp::PvmEncoding::kInPlace;
-                                    return hold_pair(
-                                        mp::Pvm::create_pair(bed, o));
-                                  }));
-  curves.push_back(measure_on_bed("TCGMSG", host, nic, sysctl,
-                                  [](mp::PairBed& bed) {
-                                    return hold_pair(
-                                        mp::Tcgmsg::create_pair(bed, {}));
-                                  }));
+  const auto sr = sweep::run_sweep(fig1_spec());
+  const std::vector<Curve> curves = curves_of(sr);
 
   print_figure("Figure 1: Netgear GA620 fiber GigE, two P4 PCs", curves);
+  print_sweep_stats(sr);
 
   for (const auto& c : curves) {
     netpipe::write_dat("fig1_" + c.label.substr(0, 3) + ".dat", c.result);

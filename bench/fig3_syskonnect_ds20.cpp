@@ -7,76 +7,20 @@
 // buffer caps it around 600 Mbps until recompiled with 128 kB, after
 // which it matches raw TCP (the §7 demonstration). MPI/Pro's Alpha port
 // was too new for the paper to include; we measure our model anyway.
-#include "bench/common.h"
-
-#include "mp/lam.h"
-#include "mp/mpich.h"
-#include "mp/mpipro.h"
-#include "mp/mplite.h"
-#include "mp/pvm.h"
-#include "mp/tcgmsg.h"
+//
+// The eight curves are one parallel sweep (see bench/figures.h).
+#include "bench/figures.h"
 
 using namespace pp;
 using namespace pp::bench;
 
 int main() {
-  const auto host = hw::presets::compaq_ds20();
-  const auto nic = hw::presets::syskonnect_sk9843(9000);
-  const auto sysctl = tcp::Sysctl::tuned();
-
-  std::vector<Curve> curves;
-  curves.push_back(measure_on_bed("raw TCP", host, nic, sysctl,
-                                  [](mp::PairBed& bed) {
-                                    return raw_tcp_pair(bed, 512 << 10);
-                                  }));
-  curves.push_back(measure_on_bed("MPICH", host, nic, sysctl,
-                                  [](mp::PairBed& bed) {
-                                    mp::MpichOptions o;
-                                    o.p4_sockbufsize = 256 << 10;
-                                    return hold_pair(
-                                        mp::Mpich::create_pair(bed, o));
-                                  }));
-  curves.push_back(measure_on_bed("LAM/MPI -O", host, nic, sysctl,
-                                  [](mp::PairBed& bed) {
-                                    mp::LamOptions o;
-                                    o.mode = mp::LamMode::kC2cO;
-                                    return hold_pair(
-                                        mp::Lam::create_pair(bed, o));
-                                  }));
-  curves.push_back(measure_on_bed("MP_Lite", host, nic, sysctl,
-                                  [](mp::PairBed& bed) {
-                                    return hold_pair(
-                                        mp::MpLite::create_pair(bed));
-                                  }));
-  curves.push_back(measure_on_bed("PVM", host, nic, sysctl,
-                                  [](mp::PairBed& bed) {
-                                    mp::PvmOptions o;
-                                    o.route = mp::PvmRoute::kDirect;
-                                    o.encoding = mp::PvmEncoding::kInPlace;
-                                    return hold_pair(
-                                        mp::Pvm::create_pair(bed, o));
-                                  }));
-  curves.push_back(measure_on_bed("TCGMSG", host, nic, sysctl,
-                                  [](mp::PairBed& bed) {
-                                    return hold_pair(
-                                        mp::Tcgmsg::create_pair(bed, {}));
-                                  }));
-  curves.push_back(measure_on_bed(
-      "TCGMSG 128k rebuild", host, nic, sysctl, [](mp::PairBed& bed) {
-        mp::TcgmsgOptions o;
-        o.sr_sock_buf_size = 128 << 10;
-        return hold_pair(mp::Tcgmsg::create_pair(bed, o));
-      }));
-  curves.push_back(measure_on_bed("MPI/Pro (model)", host, nic, sysctl,
-                                  [](mp::PairBed& bed) {
-                                    mp::MpiProOptions o;
-                                    o.tcp_long = 128 << 10;
-                                    return hold_pair(
-                                        mp::MpiPro::create_pair(bed, o));
-                                  }));
+  const auto sr = sweep::run_sweep(fig3_spec());
+  const std::vector<Curve> curves = curves_of(sr);
 
   print_figure(
       "Figure 3: SysKonnect SK-9843, 9000 B MTU, two Compaq DS20s", curves);
+  print_sweep_stats(sr);
 
   const auto& tcp_r = find(curves, "raw TCP");
   const auto& mpich = find(curves, "MPICH");

@@ -8,91 +8,35 @@
 //    percent in the intermediate range (eager-buffer copies);
 //  - IP over GM has a 48 us latency and otherwise offers GigE-TCP-grade
 //    performance — custom hardware wasted by a kernel protocol stack.
-#include "bench/common.h"
-
-#include "gmsim/gm.h"
-#include "mp/gm_mpi.h"
+//
+// All six measurements (four figure curves plus the §5 receive-mode
+// probes) run as one parallel sweep (see bench/figures.h).
+#include "bench/figures.h"
 
 using namespace pp;
 using namespace pp::bench;
 
-namespace {
-
-Curve measure_gm(const std::string& label, gm::RecvMode mode,
-                 const mp::GmMpiOptions* lib) {
-  sim::Simulator s;
-  hw::Cluster c(s);
-  auto& a = c.add_node(hw::presets::pentium4_pc());
-  auto& b = c.add_node(hw::presets::pentium4_pc());
-  gm::GmConfig gc;
-  gc.recv_mode = mode;
-  gm::GmFabric fab(c, a, b, hw::presets::myrinet_pci64a(),
-                   hw::presets::back_to_back(), gc);
-  Curve out;
-  out.label = label;
-  if (lib == nullptr) {
-    mp::GmTransport ta(fab.port_a()), tb(fab.port_b());
-    out.result = netpipe::run_netpipe(s, ta, tb, default_run_options());
-  } else {
-    mp::GmMpi la(fab.port_a(), 0, *lib), lb(fab.port_b(), 1, *lib);
-    mp::LibraryTransport ta(la, 1), tb(lb, 0);
-    out.result = netpipe::run_netpipe(s, ta, tb, default_run_options());
-  }
-  return out;
-}
-
-Curve measure_ip_over_gm() {
-  sim::Simulator s;
-  hw::Cluster c(s);
-  auto& a = c.add_node(hw::presets::pentium4_pc());
-  auto& b = c.add_node(hw::presets::pentium4_pc());
-  auto link = c.connect(a, b, hw::presets::myrinet_ip_over_gm(),
-                        hw::presets::back_to_back());
-  tcp::TcpStack sa(a, tcp::Sysctl::tuned()), sb(b, tcp::Sysctl::tuned());
-  auto [xa, xb] = tcp::connect(sa, sb, link);
-  xa.set_send_buffer(512 << 10);
-  xa.set_recv_buffer(512 << 10);
-  xb.set_send_buffer(512 << 10);
-  xb.set_recv_buffer(512 << 10);
-  netpipe::TcpTransport ta(xa, "IP over GM"), tb(xb, "IP over GM");
-  Curve out;
-  out.label = "IP over GM";
-  out.result = netpipe::run_netpipe(s, ta, tb, default_run_options());
-  return out;
-}
-
-}  // namespace
-
 int main() {
-  std::vector<Curve> curves;
-  curves.push_back(measure_gm("raw GM", gm::RecvMode::kPolling, nullptr));
-  const auto mpich = mp::GmMpi::mpich_gm();
-  curves.push_back(measure_gm("MPICH-GM", gm::RecvMode::kPolling, &mpich));
-  const auto mpipro = mp::GmMpi::mpipro_gm();
-  curves.push_back(
-      measure_gm("MPI/Pro-GM", gm::RecvMode::kPolling, &mpipro));
-  curves.push_back(measure_ip_over_gm());
+  const auto sr = sweep::run_sweep(fig4_spec());
+  const std::vector<Curve> curves = curves_of(sr, fig4_figure_curves());
 
   print_figure("Figure 4: Myrinet PCI64A-2, two P4 PCs", curves);
-
-  // Receive-mode latency comparison (quoted in §5).
-  const Curve blocking =
-      measure_gm("raw GM blocking", gm::RecvMode::kBlocking, nullptr);
-  const Curve hybrid =
-      measure_gm("raw GM hybrid", gm::RecvMode::kHybrid, nullptr);
+  print_sweep_stats(sr);
 
   const auto& raw = find(curves, "raw GM");
   const auto& mpich_r = find(curves, "MPICH-GM");
   const auto& mpipro_r = find(curves, "MPI/Pro-GM");
   const auto& ipog = find(curves, "IP over GM");
+  const auto& blocking = sr.at("raw GM blocking");
+  const auto& hybrid = sr.at("raw GM hybrid");
 
   std::cout << "\npaper-vs-measured checks (Figure 4):\n";
   std::vector<netpipe::PaperCheck> checks = {
       {"raw GM max Mbps", 800, raw.max_mbps, "OCR: 'maximum of 8 Mbps'"},
       {"raw GM latency us (Polling)", 16, raw.latency_us, ""},
-      {"raw GM latency us (Blocking)", 36, blocking.result.latency_us, ""},
-      {"Hybrid == Polling latency", raw.latency_us,
-       hybrid.result.latency_us, "'same results as the Polling mode'"},
+      {"raw GM latency us (Blocking)", 36, blocking.latency_us, ""},
+      {"Hybrid == Polling latency", raw.latency_us, hybrid.latency_us,
+       "'same results as the Polling mode'"},
       {"MPICH-GM / raw GM at 64k (%)", 96,
        100.0 * mpich_r.mbps_at(64 << 10) / raw.mbps_at(64 << 10),
        "'losing only a few percent ... intermediate range'"},

@@ -9,68 +9,27 @@
 //  - M-VIA on the SysKonnect cards reaches ~425 Mbps at 42 us —
 //    "approximately the same performance that raw TCP offers for this
 //    hardware configuration".
-#include "bench/common.h"
-
-#include "mp/via_mpi.h"
-#include "viasim/via.h"
+//
+// All six measurements (five figure curves plus the no-RPUT warning
+// configuration) run as one parallel sweep (see bench/figures.h).
+#include "bench/figures.h"
 
 using namespace pp;
 using namespace pp::bench;
 
-namespace {
-
-Curve measure_via(const std::string& label, bool giganet,
-                  const mp::ViaMpiOptions* lib) {
-  sim::Simulator s;
-  hw::Cluster c(s);
-  auto& a = c.add_node(hw::presets::pentium4_pc());
-  auto& b = c.add_node(hw::presets::pentium4_pc());
-  via::ViaConfig vc;
-  vc.personality = giganet ? via::ViaPersonality::giganet()
-                           : via::ViaPersonality::mvia_sk98lin();
-  const auto nic = giganet ? hw::presets::giganet_clan()
-                           : hw::presets::syskonnect_mvia();
-  const auto link =
-      giganet ? hw::presets::switched() : hw::presets::back_to_back();
-  via::ViaFabric fab(c, a, b, nic, link, vc);
-  Curve out;
-  out.label = label;
-  if (lib == nullptr) {
-    mp::ViaTransport ta(fab.end_a()), tb(fab.end_b());
-    out.result = netpipe::run_netpipe(s, ta, tb, default_run_options());
-  } else {
-    mp::ViaMpi la(fab.end_a(), 0, *lib), lb(fab.end_b(), 1, *lib);
-    mp::LibraryTransport ta(la, 1), tb(lb, 0);
-    out.result = netpipe::run_netpipe(s, ta, tb, default_run_options());
-  }
-  return out;
-}
-
-}  // namespace
-
 int main() {
-  std::vector<Curve> curves;
-  const auto mvich = mp::ViaMpi::mvich();
-  const auto mplite = mp::ViaMpi::mplite_via();
-  const auto mpipro = mp::ViaMpi::mpipro_via();
-  curves.push_back(measure_via("MVICH Giganet", true, &mvich));
-  curves.push_back(measure_via("MP_Lite Giganet", true, &mplite));
-  curves.push_back(measure_via("MPI/Pro Giganet", true, &mpipro));
-  curves.push_back(measure_via("MVICH M-VIA/sk", false, &mvich));
-  curves.push_back(measure_via("MP_Lite M-VIA/sk", false, &mplite));
+  const auto sr = sweep::run_sweep(fig5_spec());
+  const std::vector<Curve> curves = curves_of(sr, fig5_figure_curves());
 
   print_figure("Figure 5: Giganet cLAN and M-VIA over SysKonnect, P4 PCs",
                curves);
-
-  // The no-RPUT configuration the paper warns about.
-  const auto no_rput = mp::ViaMpi::mvich(false);
-  const Curve mvich_norput =
-      measure_via("MVICH without RPUT", true, &no_rput);
+  print_sweep_stats(sr);
 
   const auto& mv = find(curves, "MVICH Giganet");
   const auto& ml = find(curves, "MP_Lite Giganet");
   const auto& mo = find(curves, "MPI/Pro Giganet");
   const auto& mvia = find(curves, "MVICH M-VIA/sk");
+  const auto& norput = sr.at("MVICH without RPUT");
 
   std::cout << "\npaper-vs-measured checks (Figure 5):\n";
   std::vector<netpipe::PaperCheck> checks = {
@@ -89,7 +48,7 @@ int main() {
        100.0 * mv.mbps_at(20 << 10) / mv.mbps_at(16 << 10),
        "'small dip at 16 kB is at the RDMA threshold'"},
       {"MVICH no-RPUT penalty (% of RPUT)", 75,
-       100.0 * mvich_norput.result.max_mbps / mv.max_mbps,
+       100.0 * norput.max_mbps / mv.max_mbps,
        "'vital to configure ... RPUT_SUPPORT'"},
   };
   print_paper_checks(std::cout, checks);

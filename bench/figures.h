@@ -1,0 +1,381 @@
+// Declarative sweep specs for the paper's five figures.
+//
+// Each figure is a sweep::SweepSpec whose jobs are fully self-contained:
+// every job builds its own simulator, cluster and transports inside the
+// closure (all configs captured by value), so the jobs can run on any
+// thread in any order and still aggregate deterministically. The figure
+// benches and the combined sweep_figures bench both build on these.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "bench/common.h"
+#include "gmsim/gm.h"
+#include "mp/gm_mpi.h"
+#include "mp/lam.h"
+#include "mp/mpich.h"
+#include "mp/mpipro.h"
+#include "mp/mplite.h"
+#include "mp/pvm.h"
+#include "mp/tcgmsg.h"
+#include "mp/via_mpi.h"
+#include "sweep/sweep.h"
+#include "viasim/via.h"
+
+namespace pp::bench {
+
+/// A job that measures NetPIPE over a transport pair on a fresh two-node
+/// bed (the TCP-based libraries of Figures 1-3).
+inline sweep::JobSpec bed_job(
+    std::string label, hw::HostConfig host, hw::NicConfig nic,
+    tcp::Sysctl sysctl, std::function<TransportPair(mp::PairBed&)> make,
+    netpipe::RunOptions opts) {
+  auto run = [host = std::move(host), nic = std::move(nic), sysctl,
+              make = std::move(make), opts] {
+    mp::PairBed bed(host, nic, sysctl);
+    auto [ta, tb] = make(bed);
+    return netpipe::run_netpipe(bed.sim, *ta, *tb, opts);
+  };
+  return sweep::JobSpec{std::move(label), std::move(run)};
+}
+
+/// GM (Myrinet) measurement: raw GM port-to-port, or an MPI layered over
+/// it when `lib` is set.
+inline netpipe::RunResult measure_gm_result(
+    gm::RecvMode mode, std::optional<mp::GmMpiOptions> lib,
+    const netpipe::RunOptions& opts) {
+  sim::Simulator s;
+  hw::Cluster c(s);
+  auto& a = c.add_node(hw::presets::pentium4_pc());
+  auto& b = c.add_node(hw::presets::pentium4_pc());
+  gm::GmConfig gc;
+  gc.recv_mode = mode;
+  gm::GmFabric fab(c, a, b, hw::presets::myrinet_pci64a(),
+                   hw::presets::back_to_back(), gc);
+  if (!lib) {
+    mp::GmTransport ta(fab.port_a()), tb(fab.port_b());
+    return netpipe::run_netpipe(s, ta, tb, opts);
+  }
+  mp::GmMpi la(fab.port_a(), 0, *lib), lb(fab.port_b(), 1, *lib);
+  mp::LibraryTransport ta(la, 1), tb(lb, 0);
+  return netpipe::run_netpipe(s, ta, tb, opts);
+}
+
+inline netpipe::RunResult measure_ip_over_gm_result(
+    const netpipe::RunOptions& opts) {
+  sim::Simulator s;
+  hw::Cluster c(s);
+  auto& a = c.add_node(hw::presets::pentium4_pc());
+  auto& b = c.add_node(hw::presets::pentium4_pc());
+  auto link = c.connect(a, b, hw::presets::myrinet_ip_over_gm(),
+                        hw::presets::back_to_back());
+  tcp::TcpStack sa(a, tcp::Sysctl::tuned()), sb(b, tcp::Sysctl::tuned());
+  auto [xa, xb] = tcp::connect(sa, sb, link);
+  xa.set_send_buffer(512 << 10);
+  xa.set_recv_buffer(512 << 10);
+  xb.set_send_buffer(512 << 10);
+  xb.set_recv_buffer(512 << 10);
+  netpipe::TcpTransport ta(xa, "IP over GM"), tb(xb, "IP over GM");
+  return netpipe::run_netpipe(s, ta, tb, opts);
+}
+
+/// VIA measurement: Giganet cLAN hardware or M-VIA over SysKonnect, raw
+/// or under an MPI when `lib` is set.
+inline netpipe::RunResult measure_via_result(
+    bool giganet, std::optional<mp::ViaMpiOptions> lib,
+    const netpipe::RunOptions& opts) {
+  sim::Simulator s;
+  hw::Cluster c(s);
+  auto& a = c.add_node(hw::presets::pentium4_pc());
+  auto& b = c.add_node(hw::presets::pentium4_pc());
+  via::ViaConfig vc;
+  vc.personality = giganet ? via::ViaPersonality::giganet()
+                           : via::ViaPersonality::mvia_sk98lin();
+  const auto nic = giganet ? hw::presets::giganet_clan()
+                           : hw::presets::syskonnect_mvia();
+  const auto link =
+      giganet ? hw::presets::switched() : hw::presets::back_to_back();
+  via::ViaFabric fab(c, a, b, nic, link, vc);
+  if (!lib) {
+    mp::ViaTransport ta(fab.end_a()), tb(fab.end_b());
+    return netpipe::run_netpipe(s, ta, tb, opts);
+  }
+  mp::ViaMpi la(fab.end_a(), 0, *lib), lb(fab.end_b(), 1, *lib);
+  mp::LibraryTransport ta(la, 1), tb(lb, 0);
+  return netpipe::run_netpipe(s, ta, tb, opts);
+}
+
+inline sweep::SweepSpec fig1_spec(
+    const netpipe::RunOptions& opts = default_run_options()) {
+  const auto host = hw::presets::pentium4_pc();
+  const auto nic = hw::presets::netgear_ga620();
+  const auto sysctl = tcp::Sysctl::tuned();
+  sweep::SweepSpec s;
+  s.name = "fig1_netgear_ga620";
+  s.jobs.push_back(bed_job(
+      "raw TCP", host, nic, sysctl,
+      [](mp::PairBed& bed) { return raw_tcp_pair(bed, 512 << 10); }, opts));
+  s.jobs.push_back(bed_job("MPICH", host, nic, sysctl,
+                           [](mp::PairBed& bed) {
+                             mp::MpichOptions o;
+                             o.p4_sockbufsize = 256 << 10;  // tuned
+                             return hold_pair(mp::Mpich::create_pair(bed, o));
+                           },
+                           opts));
+  s.jobs.push_back(bed_job("LAM/MPI -O", host, nic, sysctl,
+                           [](mp::PairBed& bed) {
+                             mp::LamOptions o;
+                             o.mode = mp::LamMode::kC2cO;
+                             return hold_pair(mp::Lam::create_pair(bed, o));
+                           },
+                           opts));
+  s.jobs.push_back(bed_job("MPI/Pro", host, nic, sysctl,
+                           [](mp::PairBed& bed) {
+                             mp::MpiProOptions o;
+                             o.tcp_long = 128 << 10;  // tuned
+                             return hold_pair(mp::MpiPro::create_pair(bed, o));
+                           },
+                           opts));
+  s.jobs.push_back(bed_job("MP_Lite", host, nic, sysctl,
+                           [](mp::PairBed& bed) {
+                             return hold_pair(mp::MpLite::create_pair(bed));
+                           },
+                           opts));
+  s.jobs.push_back(bed_job("PVM", host, nic, sysctl,
+                           [](mp::PairBed& bed) {
+                             mp::PvmOptions o;
+                             o.route = mp::PvmRoute::kDirect;
+                             o.encoding = mp::PvmEncoding::kInPlace;
+                             return hold_pair(mp::Pvm::create_pair(bed, o));
+                           },
+                           opts));
+  s.jobs.push_back(bed_job("TCGMSG", host, nic, sysctl,
+                           [](mp::PairBed& bed) {
+                             return hold_pair(mp::Tcgmsg::create_pair(bed, {}));
+                           },
+                           opts));
+  return s;
+}
+
+inline sweep::SweepSpec fig2_spec(
+    const netpipe::RunOptions& opts = default_run_options()) {
+  const auto host = hw::presets::pentium4_pc();
+  const auto nic = hw::presets::trendnet_teg_pcitx();
+  const auto sysctl = tcp::Sysctl::tuned();
+  sweep::SweepSpec s;
+  s.name = "fig2_trendnet";
+  s.jobs.push_back(bed_job(
+      "raw TCP", host, nic, sysctl,
+      [](mp::PairBed& bed) { return raw_tcp_pair(bed, 512 << 10); }, opts));
+  s.jobs.push_back(bed_job(
+      "raw TCP default", host, nic, sysctl,
+      [](mp::PairBed& bed) {
+        return raw_tcp_pair(bed, 64 << 10, "raw TCP default");
+      },
+      opts));
+  s.jobs.push_back(bed_job("MPICH", host, nic, sysctl,
+                           [](mp::PairBed& bed) {
+                             mp::MpichOptions o;
+                             o.p4_sockbufsize = 256 << 10;
+                             return hold_pair(mp::Mpich::create_pair(bed, o));
+                           },
+                           opts));
+  s.jobs.push_back(bed_job("LAM/MPI -O", host, nic, sysctl,
+                           [](mp::PairBed& bed) {
+                             mp::LamOptions o;
+                             o.mode = mp::LamMode::kC2cO;
+                             return hold_pair(mp::Lam::create_pair(bed, o));
+                           },
+                           opts));
+  s.jobs.push_back(bed_job("MPI/Pro", host, nic, sysctl,
+                           [](mp::PairBed& bed) {
+                             mp::MpiProOptions o;
+                             o.tcp_long = 128 << 10;
+                             return hold_pair(mp::MpiPro::create_pair(bed, o));
+                           },
+                           opts));
+  s.jobs.push_back(bed_job("MP_Lite", host, nic, sysctl,
+                           [](mp::PairBed& bed) {
+                             return hold_pair(mp::MpLite::create_pair(bed));
+                           },
+                           opts));
+  s.jobs.push_back(bed_job("PVM", host, nic, sysctl,
+                           [](mp::PairBed& bed) {
+                             mp::PvmOptions o;
+                             o.route = mp::PvmRoute::kDirect;
+                             o.encoding = mp::PvmEncoding::kInPlace;
+                             return hold_pair(mp::Pvm::create_pair(bed, o));
+                           },
+                           opts));
+  s.jobs.push_back(bed_job("TCGMSG", host, nic, sysctl,
+                           [](mp::PairBed& bed) {
+                             return hold_pair(mp::Tcgmsg::create_pair(bed, {}));
+                           },
+                           opts));
+  s.jobs.push_back(bed_job(
+      "TCGMSG 256k rebuild", host, nic, sysctl,
+      [](mp::PairBed& bed) {
+        mp::TcgmsgOptions o;
+        o.sr_sock_buf_size = 256 << 10;  // §7's recompile experiment
+        return hold_pair(mp::Tcgmsg::create_pair(bed, o));
+      },
+      opts));
+  return s;
+}
+
+inline sweep::SweepSpec fig3_spec(
+    const netpipe::RunOptions& opts = default_run_options()) {
+  const auto host = hw::presets::compaq_ds20();
+  const auto nic = hw::presets::syskonnect_sk9843(9000);
+  const auto sysctl = tcp::Sysctl::tuned();
+  sweep::SweepSpec s;
+  s.name = "fig3_syskonnect_ds20";
+  s.jobs.push_back(bed_job(
+      "raw TCP", host, nic, sysctl,
+      [](mp::PairBed& bed) { return raw_tcp_pair(bed, 512 << 10); }, opts));
+  s.jobs.push_back(bed_job("MPICH", host, nic, sysctl,
+                           [](mp::PairBed& bed) {
+                             mp::MpichOptions o;
+                             o.p4_sockbufsize = 256 << 10;
+                             return hold_pair(mp::Mpich::create_pair(bed, o));
+                           },
+                           opts));
+  s.jobs.push_back(bed_job("LAM/MPI -O", host, nic, sysctl,
+                           [](mp::PairBed& bed) {
+                             mp::LamOptions o;
+                             o.mode = mp::LamMode::kC2cO;
+                             return hold_pair(mp::Lam::create_pair(bed, o));
+                           },
+                           opts));
+  s.jobs.push_back(bed_job("MP_Lite", host, nic, sysctl,
+                           [](mp::PairBed& bed) {
+                             return hold_pair(mp::MpLite::create_pair(bed));
+                           },
+                           opts));
+  s.jobs.push_back(bed_job("PVM", host, nic, sysctl,
+                           [](mp::PairBed& bed) {
+                             mp::PvmOptions o;
+                             o.route = mp::PvmRoute::kDirect;
+                             o.encoding = mp::PvmEncoding::kInPlace;
+                             return hold_pair(mp::Pvm::create_pair(bed, o));
+                           },
+                           opts));
+  s.jobs.push_back(bed_job("TCGMSG", host, nic, sysctl,
+                           [](mp::PairBed& bed) {
+                             return hold_pair(mp::Tcgmsg::create_pair(bed, {}));
+                           },
+                           opts));
+  s.jobs.push_back(bed_job(
+      "TCGMSG 128k rebuild", host, nic, sysctl,
+      [](mp::PairBed& bed) {
+        mp::TcgmsgOptions o;
+        o.sr_sock_buf_size = 128 << 10;
+        return hold_pair(mp::Tcgmsg::create_pair(bed, o));
+      },
+      opts));
+  s.jobs.push_back(bed_job("MPI/Pro (model)", host, nic, sysctl,
+                           [](mp::PairBed& bed) {
+                             mp::MpiProOptions o;
+                             o.tcp_long = 128 << 10;
+                             return hold_pair(mp::MpiPro::create_pair(bed, o));
+                           },
+                           opts));
+  return s;
+}
+
+/// Figure 4's sweep also carries the §5 receive-mode latency probes
+/// ("raw GM blocking"/"raw GM hybrid"); the figure proper plots only the
+/// first four curves — see fig4_figure_labels().
+inline sweep::SweepSpec fig4_spec(
+    const netpipe::RunOptions& opts = default_run_options()) {
+  sweep::SweepSpec s;
+  s.name = "fig4_myrinet";
+  s.add("raw GM", [opts] {
+    return measure_gm_result(gm::RecvMode::kPolling, std::nullopt, opts);
+  });
+  s.add("MPICH-GM", [opts] {
+    return measure_gm_result(gm::RecvMode::kPolling, mp::GmMpi::mpich_gm(),
+                             opts);
+  });
+  s.add("MPI/Pro-GM", [opts] {
+    return measure_gm_result(gm::RecvMode::kPolling, mp::GmMpi::mpipro_gm(),
+                             opts);
+  });
+  s.add("IP over GM", [opts] { return measure_ip_over_gm_result(opts); });
+  s.add("raw GM blocking", [opts] {
+    return measure_gm_result(gm::RecvMode::kBlocking, std::nullopt, opts);
+  });
+  s.add("raw GM hybrid", [opts] {
+    return measure_gm_result(gm::RecvMode::kHybrid, std::nullopt, opts);
+  });
+  return s;
+}
+
+inline std::size_t fig4_figure_curves() { return 4; }
+
+/// Figure 5's sweep also carries the no-RPUT configuration the paper
+/// warns about; the figure proper plots the first five curves.
+inline sweep::SweepSpec fig5_spec(
+    const netpipe::RunOptions& opts = default_run_options()) {
+  sweep::SweepSpec s;
+  s.name = "fig5_via";
+  s.add("MVICH Giganet", [opts] {
+    return measure_via_result(true, mp::ViaMpi::mvich(), opts);
+  });
+  s.add("MP_Lite Giganet", [opts] {
+    return measure_via_result(true, mp::ViaMpi::mplite_via(), opts);
+  });
+  s.add("MPI/Pro Giganet", [opts] {
+    return measure_via_result(true, mp::ViaMpi::mpipro_via(), opts);
+  });
+  s.add("MVICH M-VIA/sk", [opts] {
+    return measure_via_result(false, mp::ViaMpi::mvich(), opts);
+  });
+  s.add("MP_Lite M-VIA/sk", [opts] {
+    return measure_via_result(false, mp::ViaMpi::mplite_via(), opts);
+  });
+  s.add("MVICH without RPUT", [opts] {
+    return measure_via_result(true, mp::ViaMpi::mvich(false), opts);
+  });
+  return s;
+}
+
+inline std::size_t fig5_figure_curves() { return 5; }
+
+inline std::vector<sweep::SweepSpec> all_figure_specs(
+    const netpipe::RunOptions& opts = default_run_options()) {
+  std::vector<sweep::SweepSpec> specs;
+  specs.push_back(fig1_spec(opts));
+  specs.push_back(fig2_spec(opts));
+  specs.push_back(fig3_spec(opts));
+  specs.push_back(fig4_spec(opts));
+  specs.push_back(fig5_spec(opts));
+  return specs;
+}
+
+/// Converts the first `limit` sweep results (all when limit == 0) into
+/// the Curve list the reporting helpers consume. Throws if any job
+/// failed.
+inline std::vector<Curve> curves_of(const sweep::SweepResult& sr,
+                                    std::size_t limit = 0) {
+  const std::size_t n =
+      limit == 0 ? sr.jobs.size() : std::min(limit, sr.jobs.size());
+  std::vector<Curve> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(Curve{sr.jobs[i].label, sr.at(sr.jobs[i].label)});
+  }
+  return out;
+}
+
+/// One-line sweep execution summary printed by every ported bench.
+inline void print_sweep_stats(const sweep::SweepResult& sr) {
+  std::printf(
+      "sweep '%s': %zu jobs on %d threads, %.0f ms wall "
+      "(serial estimate %.0f ms, %.2fx speedup)\n",
+      sr.name.c_str(), sr.jobs.size(), sr.threads, sr.wall_ms, sr.serial_ms,
+      sr.speedup());
+}
+
+}  // namespace pp::bench

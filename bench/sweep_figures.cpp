@@ -1,0 +1,100 @@
+// The whole paper as one parallel experiment sweep.
+//
+// Runs every curve of Figures 1-5 twice — once on a single thread, once
+// on the full thread pool — verifies that the parallel run reproduces the
+// serial RunResult curves bit for bit (the determinism contract of
+// src/sweep + simcore), prints the wall-clock comparison, and writes the
+// machine-readable BENCH_sweep.json report.
+//
+//   ./sweep_figures [--quick]      --quick caps messages at 256 kB
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/figures.h"
+#include "sweep/json_report.h"
+
+using namespace pp;
+using namespace pp::bench;
+
+namespace {
+
+/// Bitwise curve comparison: every point's size and time, plus the
+/// derived metrics, must agree exactly (NaN == NaN for latency).
+bool identical(const netpipe::RunResult& a, const netpipe::RunResult& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    if (a.points[i].bytes != b.points[i].bytes ||
+        a.points[i].elapsed != b.points[i].elapsed) {
+      return false;
+    }
+  }
+  const bool lat_equal =
+      (!a.has_latency() && !b.has_latency()) || a.latency_us == b.latency_us;
+  return lat_equal && a.max_mbps == b.max_mbps &&
+         a.saturation_bytes == b.saturation_bytes &&
+         a.half_performance_bytes == b.half_performance_bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  netpipe::RunOptions opts = default_run_options();
+  if (argc > 1 && std::strcmp(argv[1], "--quick") == 0) {
+    opts.schedule.max_bytes = 256 << 10;
+  }
+  const auto specs = all_figure_specs(opts);
+
+  std::size_t total_jobs = 0;
+  for (const auto& s : specs) total_jobs += s.jobs.size();
+  std::printf("running %zu figure jobs serially, then in parallel...\n",
+              total_jobs);
+
+  sweep::SweepOptions serial_opt;
+  serial_opt.threads = 1;
+  std::vector<sweep::SweepResult> serial, parallel;
+  double serial_wall = 0, parallel_wall = 0;
+  for (const auto& spec : specs) {
+    serial.push_back(sweep::run_sweep(spec, serial_opt));
+    serial_wall += serial.back().wall_ms;
+  }
+  for (const auto& spec : specs) {
+    parallel.push_back(sweep::run_sweep(spec));
+    parallel_wall += parallel.back().wall_ms;
+  }
+
+  int mismatches = 0;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    for (std::size_t j = 0; j < serial[s].jobs.size(); ++j) {
+      const auto& sj = serial[s].jobs[j];
+      const auto& pj = parallel[s].jobs[j];
+      if (sj.label != pj.label || !sj.ok || !pj.ok ||
+          !identical(sj.result, pj.result)) {
+        std::printf("MISMATCH: %s / %s\n", specs[s].name.c_str(),
+                    sj.label.c_str());
+        ++mismatches;
+      }
+    }
+  }
+
+  std::printf("\n%-22s %8s %10s %10s %8s\n", "sweep", "jobs", "serial ms",
+              "parallel", "speedup");
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    std::printf("%-22s %8zu %10.0f %10.0f %7.2fx\n",
+                parallel[s].name.c_str(), parallel[s].jobs.size(),
+                serial[s].wall_ms, parallel[s].wall_ms,
+                parallel[s].wall_ms > 0
+                    ? serial[s].wall_ms / parallel[s].wall_ms
+                    : 0.0);
+  }
+  std::printf("%-22s %8zu %10.0f %10.0f %7.2fx  (%d threads)\n", "TOTAL",
+              total_jobs, serial_wall, parallel_wall,
+              parallel_wall > 0 ? serial_wall / parallel_wall : 0.0,
+              parallel.front().threads);
+  std::printf("determinism: parallel curves %s the serial curves\n",
+              mismatches == 0 ? "bit-identical to" : "DIVERGE from");
+
+  sweep::JsonReporter::write("BENCH_sweep.json", parallel);
+  std::printf("wrote BENCH_sweep.json\n");
+  return mismatches == 0 ? 0 : 1;
+}

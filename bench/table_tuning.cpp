@@ -12,15 +12,10 @@
 //  6. MPI/Pro's tcp_long rendezvous threshold (dip removal);
 //  7. MVICH's via_long / RDMA threshold on Giganet (§6.1: "setting
 //     via_long to 64 kB gets rid of a dip").
-#include "bench/common.h"
-
-#include "mp/lam.h"
-#include "mp/via_mpi.h"
-#include "viasim/via.h"
-#include "mp/mpich.h"
-#include "mp/mpipro.h"
-#include "mp/pvm.h"
-#include "mp/tcgmsg.h"
+//
+// Each section runs as one parallel sweep (src/sweep); the printed rows
+// stay in parameter order because run_sweep aggregates in spec order.
+#include "bench/figures.h"
 
 using namespace pp;
 using namespace pp::bench;
@@ -30,35 +25,60 @@ int main() {
   const auto trendnet = hw::presets::trendnet_teg_pcitx();
   const auto ga620 = hw::presets::netgear_ga620();
   const auto sysctl = tcp::Sysctl::tuned();
+  const auto opts = default_run_options();
+  double total_wall_ms = 0, total_serial_ms = 0;
+  const auto track = [&](const sweep::SweepResult& sr) {
+    total_wall_ms += sr.wall_ms;
+    total_serial_ms += sr.serial_ms;
+  };
 
   std::cout << "==== 1. raw TCP vs socket buffer size, TrendNet ====\n";
   std::cout << "  (paper: default buffers flatten at 290 Mbps; 512 kB "
                "doubles it)\n";
-  for (std::uint32_t buf :
-       {16u << 10, 32u << 10, 64u << 10, 128u << 10, 256u << 10, 512u << 10,
-        1u << 20}) {
-    const Curve c = measure_on_bed(
-        "tcp", p4, trendnet, sysctl,
-        [&](mp::PairBed& bed) { return raw_tcp_pair(bed, buf); });
-    std::printf("  buffers %7s : %6.0f Mbps\n",
-                netpipe::format_bytes(buf).c_str(), c.result.max_mbps);
+  {
+    sweep::SweepSpec spec;
+    spec.name = "tuning.tcp_buffers";
+    for (std::uint32_t buf :
+         {16u << 10, 32u << 10, 64u << 10, 128u << 10, 256u << 10,
+          512u << 10, 1u << 20}) {
+      spec.jobs.push_back(bed_job(
+          netpipe::format_bytes(buf), p4, trendnet, sysctl,
+          [buf](mp::PairBed& bed) { return raw_tcp_pair(bed, buf); }, opts));
+    }
+    const auto sr = sweep::run_sweep(spec);
+    track(sr);
+    for (const auto& j : sr.jobs) {
+      std::printf("  buffers %7s : %6.0f Mbps\n", j.label.c_str(),
+                  j.result.max_mbps);
+    }
   }
 
   std::cout << "\n==== 2. MPICH P4_SOCKBUFSIZE sweep, TrendNet ====\n";
   std::cout << "  (paper: 32 kB default -> 256 kB is 'vital', ~5x; our "
                "window model reproduces ~2-3x)\n";
   double mpich_default = 0, mpich_tuned = 0;
-  for (std::uint32_t buf : {32u << 10, 64u << 10, 128u << 10, 256u << 10}) {
-    const Curve c = measure_on_bed(
-        "mpich", p4, trendnet, sysctl, [&](mp::PairBed& bed) {
-          mp::MpichOptions o;
-          o.p4_sockbufsize = buf;
-          return hold_pair(mp::Mpich::create_pair(bed, o));
-        });
-    if (buf == 32u << 10) mpich_default = c.result.max_mbps;
-    if (buf == 256u << 10) mpich_tuned = c.result.max_mbps;
-    std::printf("  P4_SOCKBUFSIZE %7s : %6.0f Mbps\n",
-                netpipe::format_bytes(buf).c_str(), c.result.max_mbps);
+  {
+    sweep::SweepSpec spec;
+    spec.name = "tuning.mpich_p4_sockbufsize";
+    for (std::uint32_t buf : {32u << 10, 64u << 10, 128u << 10, 256u << 10}) {
+      spec.jobs.push_back(bed_job(netpipe::format_bytes(buf), p4, trendnet,
+                                  sysctl,
+                                  [buf](mp::PairBed& bed) {
+                                    mp::MpichOptions o;
+                                    o.p4_sockbufsize = buf;
+                                    return hold_pair(
+                                        mp::Mpich::create_pair(bed, o));
+                                  },
+                                  opts));
+    }
+    const auto sr = sweep::run_sweep(spec);
+    track(sr);
+    mpich_default = sr.jobs.front().result.max_mbps;
+    mpich_tuned = sr.jobs.back().result.max_mbps;
+    for (const auto& j : sr.jobs) {
+      std::printf("  P4_SOCKBUFSIZE %7s : %6.0f Mbps\n", j.label.c_str(),
+                  j.result.max_mbps);
+    }
   }
 
   std::cout << "\n==== 3. LAM/MPI run modes, Netgear GA620 ====\n";
@@ -66,19 +86,27 @@ int main() {
                "near raw TCP)\n";
   double lam_modes[3] = {0, 0, 0};
   {
-    int i = 0;
+    sweep::SweepSpec spec;
+    spec.name = "tuning.lam_modes";
     for (auto mode :
          {mp::LamMode::kLamd, mp::LamMode::kC2c, mp::LamMode::kC2cO}) {
-      const Curve c = measure_on_bed(
-          "lam", p4, ga620, sysctl, [&](mp::PairBed& bed) {
-            mp::LamOptions o;
-            o.mode = mode;
-            return hold_pair(mp::Lam::create_pair(bed, o));
-          });
-      lam_modes[i++] = c.result.max_mbps;
+      spec.jobs.push_back(bed_job("mode" + std::to_string(spec.jobs.size()),
+                                  p4, ga620, sysctl,
+                                  [mode](mp::PairBed& bed) {
+                                    mp::LamOptions o;
+                                    o.mode = mode;
+                                    return hold_pair(
+                                        mp::Lam::create_pair(bed, o));
+                                  },
+                                  opts));
+    }
+    const auto sr = sweep::run_sweep(spec);
+    track(sr);
+    for (std::size_t i = 0; i < sr.jobs.size(); ++i) {
+      lam_modes[i] = sr.jobs[i].result.max_mbps;
       std::printf("  %-12s : %6.0f Mbps, %6.1f us\n",
-                  c.result.transport.c_str(), c.result.max_mbps,
-                  c.result.latency_us);
+                  sr.jobs[i].result.transport.c_str(),
+                  sr.jobs[i].result.max_mbps, sr.jobs[i].result.latency_us);
     }
   }
 
@@ -86,27 +114,33 @@ int main() {
   std::cout << "  (paper: pvmd ~90 -> direct 330 -> + PvmDataInPlace 415)\n";
   double pvm_ladder[3] = {0, 0, 0};
   {
-    struct Step {
-      const char* label;
-      mp::PvmOptions opt;
-    };
     mp::PvmOptions daemon_route;  // defaults: daemon + XDR
     mp::PvmOptions direct;
     direct.route = mp::PvmRoute::kDirect;
     mp::PvmOptions inplace;
     inplace.route = mp::PvmRoute::kDirect;
     inplace.encoding = mp::PvmEncoding::kInPlace;
-    const Step steps[] = {{"pvmd route (default)", daemon_route},
-                          {"PvmRouteDirect", direct},
-                          {"direct + PvmDataInPlace", inplace}};
-    int i = 0;
+    const std::pair<const char*, mp::PvmOptions> steps[] = {
+        {"pvmd route (default)", daemon_route},
+        {"PvmRouteDirect", direct},
+        {"direct + PvmDataInPlace", inplace}};
+    sweep::SweepSpec spec;
+    spec.name = "tuning.pvm_ladder";
     for (const auto& st : steps) {
-      const Curve c = measure_on_bed(
-          "pvm", p4, ga620, sysctl, [&](mp::PairBed& bed) {
-            return hold_pair(mp::Pvm::create_pair(bed, st.opt));
-          });
-      pvm_ladder[i++] = c.result.max_mbps;
-      std::printf("  %-26s : %6.0f Mbps\n", st.label, c.result.max_mbps);
+      const mp::PvmOptions opt = st.second;
+      spec.jobs.push_back(bed_job(st.first, p4, ga620, sysctl,
+                                  [opt](mp::PairBed& bed) {
+                                    return hold_pair(
+                                        mp::Pvm::create_pair(bed, opt));
+                                  },
+                                  opts));
+    }
+    const auto sr = sweep::run_sweep(spec);
+    track(sr);
+    for (std::size_t i = 0; i < sr.jobs.size(); ++i) {
+      pvm_ladder[i] = sr.jobs[i].result.max_mbps;
+      std::printf("  %-26s : %6.0f Mbps\n", sr.jobs[i].label.c_str(),
+                  sr.jobs[i].result.max_mbps);
     }
   }
 
@@ -115,18 +149,29 @@ int main() {
   std::cout << "  (paper: 32 kB tops at ~600; 128 kB reaches 900, matching "
                "raw TCP)\n";
   double tcg_small = 0, tcg_big = 0;
-  for (std::uint32_t buf : {32u << 10, 128u << 10}) {
-    const Curve c = measure_on_bed(
-        "tcgmsg", hw::presets::compaq_ds20(),
-        hw::presets::syskonnect_sk9843(9000), sysctl,
-        [&](mp::PairBed& bed) {
-          mp::TcgmsgOptions o;
-          o.sr_sock_buf_size = buf;
-          return hold_pair(mp::Tcgmsg::create_pair(bed, o));
-        });
-    (buf == 32u << 10 ? tcg_small : tcg_big) = c.result.max_mbps;
-    std::printf("  SR_SOCK_BUF_SIZE %7s : %6.0f Mbps\n",
-                netpipe::format_bytes(buf).c_str(), c.result.max_mbps);
+  {
+    sweep::SweepSpec spec;
+    spec.name = "tuning.tcgmsg_recompile";
+    for (std::uint32_t buf : {32u << 10, 128u << 10}) {
+      spec.jobs.push_back(bed_job(netpipe::format_bytes(buf),
+                                  hw::presets::compaq_ds20(),
+                                  hw::presets::syskonnect_sk9843(9000), sysctl,
+                                  [buf](mp::PairBed& bed) {
+                                    mp::TcgmsgOptions o;
+                                    o.sr_sock_buf_size = buf;
+                                    return hold_pair(
+                                        mp::Tcgmsg::create_pair(bed, o));
+                                  },
+                                  opts));
+    }
+    const auto sr = sweep::run_sweep(spec);
+    track(sr);
+    tcg_small = sr.jobs.front().result.max_mbps;
+    tcg_big = sr.jobs.back().result.max_mbps;
+    for (const auto& j : sr.jobs) {
+      std::printf("  SR_SOCK_BUF_SIZE %7s : %6.0f Mbps\n", j.label.c_str(),
+                  j.result.max_mbps);
+    }
   }
 
   std::cout << "\n==== 6. MPI/Pro tcp_long rendezvous threshold, GA620 "
@@ -135,20 +180,28 @@ int main() {
                "at the threshold)\n";
   double dip[2] = {0, 0};
   {
-    int i = 0;
+    sweep::SweepSpec spec;
+    spec.name = "tuning.mpipro_tcp_long";
     for (std::uint64_t thr : {32ull << 10, 128ull << 10}) {
-      const Curve c = measure_on_bed(
-          "mpipro", p4, ga620, sysctl, [&](mp::PairBed& bed) {
-            mp::MpiProOptions o;
-            o.tcp_long = thr;
-            return hold_pair(mp::MpiPro::create_pair(bed, o));
-          });
+      spec.jobs.push_back(bed_job(netpipe::format_bytes(thr), p4, ga620,
+                                  sysctl,
+                                  [thr](mp::PairBed& bed) {
+                                    mp::MpiProOptions o;
+                                    o.tcp_long = thr;
+                                    return hold_pair(
+                                        mp::MpiPro::create_pair(bed, o));
+                                  },
+                                  opts));
+    }
+    const auto sr = sweep::run_sweep(spec);
+    track(sr);
+    for (std::size_t i = 0; i < sr.jobs.size(); ++i) {
       // Depth of the dip right at the old threshold region.
-      const double at_40k = c.result.mbps_at(40 << 10);
-      const double at_28k = c.result.mbps_at(28 << 10);
-      dip[i++] = at_40k / at_28k;
+      const double at_40k = sr.jobs[i].result.mbps_at(40 << 10);
+      const double at_28k = sr.jobs[i].result.mbps_at(28 << 10);
+      dip[i] = at_40k / at_28k;
       std::printf("  tcp_long %7s : 28k %6.0f Mbps -> 40k %6.0f Mbps\n",
-                  netpipe::format_bytes(thr).c_str(), at_28k, at_40k);
+                  sr.jobs[i].label.c_str(), at_28k, at_40k);
     }
   }
 
@@ -158,31 +211,42 @@ int main() {
                "moves/removes it)\n";
   double via_dip[2] = {0, 0};
   {
-    int i = 0;
+    sweep::SweepSpec spec;
+    spec.name = "tuning.mvich_via_long";
     for (std::uint64_t thr : {16ull << 10, 64ull << 10}) {
-      sim::Simulator s;
-      hw::Cluster c(s);
-      auto& a = c.add_node(p4);
-      auto& b = c.add_node(p4);
-      via::ViaConfig vc;
-      vc.rdma_threshold = thr;
-      via::ViaFabric fab(c, a, b, hw::presets::giganet_clan(),
-                         hw::presets::switched(), vc);
-      const auto lo = mp::ViaMpi::mvich();
-      mp::ViaMpi la(fab.end_a(), 0, lo), lb(fab.end_b(), 1, lo);
-      mp::LibraryTransport ta(la, 1), tb(lb, 0);
-      const auto r = netpipe::run_netpipe(s, ta, tb,
-                                          default_run_options());
+      spec.add(netpipe::format_bytes(thr), [thr, p4, opts] {
+        sim::Simulator s;
+        hw::Cluster c(s);
+        auto& a = c.add_node(p4);
+        auto& b = c.add_node(p4);
+        via::ViaConfig vc;
+        vc.rdma_threshold = thr;
+        via::ViaFabric fab(c, a, b, hw::presets::giganet_clan(),
+                           hw::presets::switched(), vc);
+        const auto lo = mp::ViaMpi::mvich();
+        mp::ViaMpi la(fab.end_a(), 0, lo), lb(fab.end_b(), 1, lo);
+        mp::LibraryTransport ta(la, 1), tb(lb, 0);
+        return netpipe::run_netpipe(s, ta, tb, opts);
+      });
+    }
+    const auto sr = sweep::run_sweep(spec);
+    track(sr);
+    for (std::size_t i = 0; i < sr.jobs.size(); ++i) {
       // Depth of the dip just above the 16 kB point.
-      const double above = r.mbps_at(20 << 10);
-      const double below = r.mbps_at(16 << 10);
-      via_dip[i++] = above / below;
+      const double above = sr.jobs[i].result.mbps_at(20 << 10);
+      const double below = sr.jobs[i].result.mbps_at(16 << 10);
+      via_dip[i] = above / below;
       std::printf("  via_long %7s : 16k %6.0f Mbps -> 20k %6.0f Mbps, "
                   "max %4.0f\n",
-                  netpipe::format_bytes(thr).c_str(), below, above,
-                  r.max_mbps);
+                  sr.jobs[i].label.c_str(), below, above,
+                  sr.jobs[i].result.max_mbps);
     }
   }
+
+  std::printf("\nsweeps: %.0f ms wall total (serial estimate %.0f ms, "
+              "%.2fx speedup)\n",
+              total_wall_ms, total_serial_ms,
+              total_wall_ms > 0 ? total_serial_ms / total_wall_ms : 0.0);
 
   std::cout << "\npaper-vs-measured checks (tuning table):\n";
   std::vector<netpipe::PaperCheck> checks = {

@@ -235,9 +235,14 @@ int main(int argc, char** argv) {
   }
 
   if (o.quiet) {
-    std::printf("%s: latency %.1f us, max %.0f Mbps, n1/2 %s, 90%% at %s\n",
-                result.transport.c_str(), result.latency_us,
-                result.max_mbps,
+    char lat[32];
+    if (result.has_latency()) {
+      std::snprintf(lat, sizeof(lat), "%.1f us", result.latency_us);
+    } else {
+      std::snprintf(lat, sizeof(lat), "n/a (streaming)");
+    }
+    std::printf("%s: latency %s, max %.0f Mbps, n1/2 %s, 90%% at %s\n",
+                result.transport.c_str(), lat, result.max_mbps,
                 netpipe::format_bytes(result.half_performance_bytes).c_str(),
                 netpipe::format_bytes(result.saturation_bytes).c_str());
   } else {

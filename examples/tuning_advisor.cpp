@@ -1,14 +1,16 @@
 // Tuning advisor: automates §7's advice to library developers.
 //
 // For a chosen library/NIC pair it sweeps the socket buffer size and (if
-// the library has one) the rendezvous threshold, then prints the settings
+// the library has one) the rendezvous threshold — all candidate settings
+// measured as one parallel sweep (src/sweep) — then prints the settings
 // a user should pick and the improvement over the defaults.
 //
 //   ./tuning_advisor [library] [nic]
 //       library: mpich | tcgmsg | mpipro | tcp
 //       nic:     ga620 | trendnet | sk9843 | sk9843-jumbo
+#include <algorithm>
 #include <cstdio>
-#include <iostream>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -16,19 +18,24 @@
 #include "mp/mpich.h"
 #include "mp/mpipro.h"
 #include "mp/tcgmsg.h"
+#include "sweep/sweep.h"
 
 using namespace pp;
 using namespace pp::bench;
 
 namespace {
 
-struct Sweep {
-  std::uint64_t value = 0;
-  double max_mbps = 0;
-  double dip_ratio = 1.0;  // min(curve)/neighbour around thresholds
-};
-
-double score(const netpipe::RunResult& r) { return r.max_mbps; }
+/// A buffer-size (or threshold) measurement job on a fresh two-node bed.
+sweep::JobSpec advisor_job(std::string label, hw::HostConfig host,
+                           hw::NicConfig nic, tcp::Sysctl sysctl,
+                           std::function<TransportPair(mp::PairBed&)> make) {
+  auto run = [host, nic, sysctl, make = std::move(make)] {
+    mp::PairBed bed(host, nic, sysctl);
+    auto [ta, tb] = make(bed);
+    return netpipe::run_netpipe(bed.sim, *ta, *tb, default_run_options());
+  };
+  return sweep::JobSpec{std::move(label), std::move(run)};
+}
 
 }  // namespace
 
@@ -49,90 +56,86 @@ int main(int argc, char** argv) {
   std::printf("tuning %s on %s/%s\n\n", lib.c_str(), nic.name.c_str(),
               host.name.c_str());
 
-  const std::vector<std::uint32_t> buffers = {32u << 10,  64u << 10,
-                                              128u << 10, 256u << 10,
-                                              512u << 10, 1u << 20};
-  std::vector<Sweep> sweep;
-  double default_mbps = 0;
-
-  auto run_with_buffer = [&](std::uint32_t buf) -> double {
-    if (lib == "mpich") {
-      const Curve c = measure_on_bed(
-          "m", host, nic, sysctl, [&](mp::PairBed& bed) {
-            mp::MpichOptions o;
-            o.p4_sockbufsize = buf;
-            return hold_pair(mp::Mpich::create_pair(bed, o));
-          });
-      return score(c.result);
-    }
-    if (lib == "tcgmsg") {
-      const Curve c = measure_on_bed(
-          "t", host, nic, sysctl, [&](mp::PairBed& bed) {
-            mp::TcgmsgOptions o;
-            o.sr_sock_buf_size = buf;
-            return hold_pair(mp::Tcgmsg::create_pair(bed, o));
-          });
-      return score(c.result);
-    }
-    const Curve c = measure_on_bed(
-        "tcp", host, nic, sysctl,
-        [&](mp::PairBed& bed) { return raw_tcp_pair(bed, buf); });
-    return score(c.result);
-  };
-
   if (lib == "mpipro") {
     std::puts("MPI/Pro's socket buffers are not user tunable; sweeping the");
     std::puts("tcp_long rendezvous threshold instead.\n");
+    const std::vector<std::uint64_t> thresholds = {
+        16ull << 10, 32ull << 10, 64ull << 10, 128ull << 10, 256ull << 10};
+    sweep::SweepSpec spec;
+    spec.name = "advisor.mpipro_tcp_long";
+    for (std::uint64_t thr : thresholds) {
+      spec.jobs.push_back(advisor_job(netpipe::format_bytes(thr), host, nic,
+                                      sysctl, [thr](mp::PairBed& bed) {
+                                        mp::MpiProOptions o;
+                                        o.tcp_long = thr;
+                                        return hold_pair(
+                                            mp::MpiPro::create_pair(bed, o));
+                                      }));
+    }
+    const auto sr = sweep::run_sweep(spec);
     double best = 0;
     std::uint64_t best_thr = 0;
-    for (std::uint64_t thr :
-         {16ull << 10, 32ull << 10, 64ull << 10, 128ull << 10,
-          256ull << 10}) {
-      const Curve c = measure_on_bed(
-          "p", host, nic, sysctl, [&](mp::PairBed& bed) {
-            mp::MpiProOptions o;
-            o.tcp_long = thr;
-            return hold_pair(mp::MpiPro::create_pair(bed, o));
-          });
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+      const std::uint64_t thr = thresholds[i];
+      const auto& r = sr.jobs[i].result;
       // Penalize the dip just above the threshold.
-      const double above = c.result.mbps_at(thr + thr / 4);
-      const double below = c.result.mbps_at(thr - thr / 4);
+      const double above = r.mbps_at(thr + thr / 4);
+      const double below = r.mbps_at(thr - thr / 4);
       const double dip = below > 0 ? above / below : 1.0;
       std::printf("  tcp_long %7s : max %6.0f Mbps, dip ratio %.2f\n",
-                  netpipe::format_bytes(thr).c_str(), c.result.max_mbps,
-                  dip);
-      const double s = c.result.max_mbps * std::min(dip, 1.0);
-      if (s > best) {
-        best = s;
+                  sr.jobs[i].label.c_str(), r.max_mbps, dip);
+      const double score = r.max_mbps * std::min(dip, 1.0);
+      if (score > best) {
+        best = score;
         best_thr = thr;
       }
-      if (thr == 32ull << 10) default_mbps = c.result.max_mbps;
     }
     std::printf("\nrecommended: tcp_long = %s\n",
                 netpipe::format_bytes(best_thr).c_str());
     return 0;
   }
 
+  const std::vector<std::uint32_t> buffers = {32u << 10,  64u << 10,
+                                              128u << 10, 256u << 10,
+                                              512u << 10, 1u << 20};
+  sweep::SweepSpec spec;
+  spec.name = "advisor." + lib + "_buffers";
   for (std::uint32_t buf : buffers) {
-    Sweep s;
-    s.value = buf;
-    s.max_mbps = run_with_buffer(buf);
-    sweep.push_back(s);
-    std::printf("  buffers %7s : %6.0f Mbps\n",
-                netpipe::format_bytes(buf).c_str(), s.max_mbps);
-    if (buf == buffers.front()) default_mbps = s.max_mbps;
+    auto make = [lib, buf](mp::PairBed& bed) -> TransportPair {
+      if (lib == "mpich") {
+        mp::MpichOptions o;
+        o.p4_sockbufsize = buf;
+        return hold_pair(mp::Mpich::create_pair(bed, o));
+      }
+      if (lib == "tcgmsg") {
+        mp::TcgmsgOptions o;
+        o.sr_sock_buf_size = buf;
+        return hold_pair(mp::Tcgmsg::create_pair(bed, o));
+      }
+      return raw_tcp_pair(bed, buf);
+    };
+    spec.jobs.push_back(advisor_job(netpipe::format_bytes(buf), host, nic,
+                                    sysctl, std::move(make)));
+  }
+  const auto sr = sweep::run_sweep(spec);
+
+  double best = 0;
+  double default_mbps = sr.jobs.front().result.max_mbps;
+  for (const auto& j : sr.jobs) {
+    std::printf("  buffers %7s : %6.0f Mbps\n", j.label.c_str(),
+                j.result.max_mbps);
+    best = std::max(best, j.result.max_mbps);
   }
 
   // Recommend the smallest buffer within 3 % of the best (memory costs
   // real RAM: "each node opens 2 socket buffers for each machine").
-  double best = 0;
-  for (const auto& s : sweep) best = std::max(best, s.max_mbps);
-  for (const auto& s : sweep) {
-    if (s.max_mbps >= 0.97 * best) {
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    const double mbps = sr.jobs[i].result.max_mbps;
+    if (mbps >= 0.97 * best) {
       std::printf("\nrecommended buffer size: %s (%.0f Mbps, %.1fx over "
                   "the %s default)\n",
-                  netpipe::format_bytes(s.value).c_str(), s.max_mbps,
-                  s.max_mbps / std::max(default_mbps, 1.0),
+                  netpipe::format_bytes(buffers[i]).c_str(), mbps,
+                  mbps / std::max(default_mbps, 1.0),
                   netpipe::format_bytes(buffers.front()).c_str());
       if (lib == "tcgmsg") {
         std::puts("apply by rebuilding with -DSR_SOCK_BUF_SIZE=<bytes> "

@@ -1,6 +1,7 @@
 #include "mpi/mpi.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 namespace pp::mpi {
@@ -20,8 +21,10 @@ constexpr std::uint32_t kTagAllgather = kCollBase + 0xC0;
 constexpr std::uint32_t kTagAlltoall = kCollBase + 0xE0;
 
 std::uint32_t next_context() {
-  static std::uint32_t counter = 1;
-  return counter++;
+  // Atomic so that communicators may be constructed from concurrent sweep
+  // jobs (each on its own Simulator) without racing on the counter.
+  static std::atomic<std::uint32_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }

@@ -26,9 +26,14 @@ std::string format_bytes(std::uint64_t bytes) {
 
 void print_run(std::ostream& os, const RunResult& r) {
   os << "# NetPIPE: " << r.transport << "\n";
-  os << "# latency " << std::fixed << std::setprecision(1) << r.latency_us
-     << " us, max " << std::setprecision(0) << r.max_mbps << " Mbps, 90% at "
-     << format_bytes(r.saturation_bytes) << "\n";
+  os << "# latency ";
+  if (r.has_latency()) {
+    os << std::fixed << std::setprecision(1) << r.latency_us << " us";
+  } else {
+    os << "n/a";
+  }
+  os << ", max " << std::fixed << std::setprecision(0) << r.max_mbps
+     << " Mbps, 90% at " << format_bytes(r.saturation_bytes) << "\n";
   os << std::right << std::setw(10) << "bytes" << std::setw(14) << "time(us)"
      << std::setw(12) << "Mbps" << "\n";
   for (const auto& p : r.points) {

@@ -2,10 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace pp::netpipe {
 
 double RunResult::mbps_at(std::uint64_t bytes) const {
+  if (points.empty()) {
+    throw std::logic_error(
+        "RunResult::mbps_at: no data points (empty or failed run)");
+  }
+  if (bytes == 0) {
+    throw std::invalid_argument("RunResult::mbps_at: bytes must be > 0");
+  }
   double best = 0.0;
   double best_dist = 1e300;
   for (const auto& p : points) {
@@ -35,8 +43,12 @@ sim::Task<void> pingpong_initiator(sim::Simulator& sim, Transport& t,
       co_await t.send(size);
       co_await t.recv(size);
     }
-    const sim::SimTime round = (sim.now() - t0) / opt.repeats;
-    out.push_back(DataPoint{size, round / 2});
+    // One-way time in a single rounded division: splitting this into
+    // /repeats then /2 truncated up to 2*repeats-1 ns per point.
+    const sim::SimTime total = sim.now() - t0;
+    const sim::SimTime half_rounds =
+        2 * static_cast<sim::SimTime>(opt.repeats);
+    out.push_back(DataPoint{size, (total + half_rounds / 2) / half_rounds});
   }
 }
 
@@ -84,6 +96,12 @@ RunResult run_netpipe(sim::Simulator& simulator, Transport& a, Transport& b,
   RunResult result;
   result.transport = a.name();
   const std::vector<std::uint64_t> sizes = make_schedule(options.schedule);
+  if (sizes.empty()) {
+    throw std::invalid_argument(
+        "run_netpipe: empty message schedule (min_bytes > max_bytes?) for "
+        "transport " +
+        result.transport);
+  }
 
   if (options.streaming) {
     simulator.spawn(stream_sender(a, sizes, options), "np.stream.tx");
@@ -98,7 +116,9 @@ RunResult run_netpipe(sim::Simulator& simulator, Transport& a, Transport& b,
   }
   simulator.run();
 
-  // Latency: average one-way time of the small-message points.
+  // Latency: average one-way time of the small-message points. Streaming
+  // mode measures throughput only, so latency_us stays NaN ("absent")
+  // there rather than reading as a measured 0.0.
   double lat_sum = 0.0;
   int lat_n = 0;
   for (const auto& p : result.points) {

@@ -7,7 +7,9 @@
 // differs: cold interrupt-mitigation state, unprimed windows).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -48,7 +50,10 @@ struct RunResult {
   std::vector<DataPoint> points;
 
   /// Small-message latency: average one-way time for points <= cutoff.
-  double latency_us = 0.0;
+  /// NaN when the run did not measure latency (streaming mode, or no
+  /// point at or below the cutoff) — check has_latency() before use.
+  double latency_us = std::numeric_limits<double>::quiet_NaN();
+  bool has_latency() const { return !std::isnan(latency_us); }
   /// Peak throughput over the whole curve.
   double max_mbps = 0.0;
   /// Smallest message size reaching 90 % of the peak ("saturation").

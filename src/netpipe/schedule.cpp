@@ -8,8 +8,9 @@ namespace pp::netpipe {
 std::vector<std::uint64_t> make_schedule(const ScheduleOptions& opt) {
   std::vector<std::uint64_t> sizes;
   const std::uint32_t per = std::max<std::uint32_t>(opt.points_per_doubling, 1);
+  const std::uint64_t floor_bytes = std::max<std::uint64_t>(opt.min_bytes, 1);
   // Exponential base progression with `per` points per doubling.
-  double x = static_cast<double>(std::max<std::uint64_t>(opt.min_bytes, 1));
+  double x = static_cast<double>(floor_bytes);
   const double growth = std::pow(2.0, 1.0 / static_cast<double>(per));
   std::uint64_t last_base = 0;
   while (true) {
@@ -17,7 +18,10 @@ std::vector<std::uint64_t> make_schedule(const ScheduleOptions& opt) {
     if (base > opt.max_bytes) break;
     if (base != last_base) {
       last_base = base;
-      if (opt.perturbation > 0 && base > opt.perturbation) {
+      // The lower perturbed point is dropped when it would underflow or
+      // fall below min_bytes (e.g. min_bytes <= perturbation).
+      if (opt.perturbation > 0 && base > opt.perturbation &&
+          base - opt.perturbation >= floor_bytes) {
         sizes.push_back(base - opt.perturbation);
       }
       sizes.push_back(base);

@@ -68,16 +68,44 @@ Simulator::RootTask Simulator::run_root(Task<void> task, std::size_t slot) {
   if (error && !pending_error_) pending_error_ = error;
 }
 
+void Simulator::check_thread() {
+  const std::thread::id self = std::this_thread::get_id();
+  std::thread::id expected{};
+  if (owner_.compare_exchange_strong(expected, self,
+                                     std::memory_order_relaxed)) {
+    return;  // first use: this thread now owns the instance
+  }
+  if (expected != self) {
+    throw std::logic_error(
+        "Simulator used from two threads; each sweep/measurement job must "
+        "construct and run its own Simulator on one thread");
+  }
+}
+
 std::shared_ptr<Completion> Simulator::spawn_impl(Task<void> task,
                                                   std::string name,
                                                   bool daemon) {
+  check_thread();
   auto completion = std::make_shared<Completion>();
   const std::size_t slot = processes_.size();
-  processes_.push_back(LiveProcess{std::move(name), completion, daemon});
+  processes_.push_back(LiveProcess{std::move(name), completion, daemon, {}});
   if (!daemon) ++live_;
   RootTask root = run_root(std::move(task), slot);
+  processes_[slot].root = root.handle;
   schedule_now(root.handle);
   return completion;
+}
+
+Simulator::~Simulator() {
+  // A finished root frame destroys itself at final suspension; whatever
+  // is still suspended (daemon pumps blocked on a channel, processes
+  // stranded by an exception) is reaped here. Destroying the root frame
+  // destroys its locals — including the awaited Task chain — so each
+  // process's whole coroutine tree is released. Reverse order so later
+  // processes never outlive state owned by earlier ones.
+  for (auto it = processes_.rbegin(); it != processes_.rend(); ++it) {
+    if (it->root && !it->completion->done()) it->root.destroy();
+  }
 }
 
 std::shared_ptr<Completion> Simulator::spawn(Task<void> task,
@@ -110,7 +138,25 @@ void Simulator::step(const Event& ev) {
   }
 }
 
+namespace {
+// Flags re-entrant run()/run_until() calls (e.g. from a call_at callback)
+// and restores the flag on both normal exit and exception propagation.
+struct RunningGuard {
+  explicit RunningGuard(bool& flag) : flag_(flag) {
+    if (flag_) {
+      throw std::logic_error(
+          "Simulator::run() re-entered from inside the event loop");
+    }
+    flag_ = true;
+  }
+  ~RunningGuard() { flag_ = false; }
+  bool& flag_;
+};
+}  // namespace
+
 void Simulator::run() {
+  check_thread();
+  RunningGuard guard(running_);
   while (!queue_.empty()) {
     if (events_ >= event_limit_) {
       throw std::runtime_error(
@@ -128,6 +174,8 @@ void Simulator::run() {
 }
 
 bool Simulator::run_until(SimTime t) {
+  check_thread();
+  RunningGuard guard(running_);
   while (!queue_.empty() && queue_.top().at <= t) {
     if (events_ >= event_limit_) {
       throw std::runtime_error(

@@ -7,6 +7,7 @@
 // reproducible.
 #pragma once
 
+#include <atomic>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
@@ -15,6 +16,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "simcore/task.h"
@@ -63,11 +65,26 @@ class Completion {
   std::vector<std::coroutine_handle<>> waiters_;
 };
 
+/// Threading contract (audited for the parallel sweep executor in
+/// src/sweep): a Simulator and everything attached to it — tasks, sync
+/// primitives, resources, hardware models — is strictly single-threaded.
+/// Nothing in simcore uses global mutable state, so any number of
+/// *distinct* Simulator instances may run concurrently on different
+/// threads; that is exactly how sweep jobs parallelize. One instance,
+/// however, must stay confined to one thread: the first thread that
+/// spawns or runs pins the instance, and any use from another thread (or
+/// a nested run() from inside a callback) throws instead of corrupting
+/// the event queue.
 class Simulator {
  public:
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// Destroys the frames of processes still suspended (daemon pumps
+  /// parked on a channel, tasks stranded by an aborted run) so their
+  /// coroutine trees do not leak.
+  ~Simulator();
 
   /// Current virtual time.
   SimTime now() const noexcept { return now_; }
@@ -156,6 +173,7 @@ class Simulator {
     std::string name;
     std::shared_ptr<Completion> completion;
     bool daemon = false;
+    std::coroutine_handle<> root;  // frame to reap if never finished
   };
 
   // Root coroutine wrapper for spawned tasks; bookkeeping lives in
@@ -168,6 +186,10 @@ class Simulator {
   void step(const Event& ev);
   [[noreturn]] void throw_deadlock() const;
 
+  // Pins the instance to the first thread that spawns or runs; throws
+  // std::logic_error on use from any other thread.
+  void check_thread();
+
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_ = 0;
@@ -176,6 +198,8 @@ class Simulator {
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::vector<LiveProcess> processes_;  // slot -> process bookkeeping
   std::exception_ptr pending_error_;
+  std::atomic<std::thread::id> owner_{};  // pinned on first spawn/run
+  bool running_ = false;                  // guards nested run()/run_until()
   TraceRecorder* tracer_ = nullptr;
   std::function<void(SimTime, std::string_view)> trace_sink_;
 };

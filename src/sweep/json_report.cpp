@@ -1,0 +1,92 @@
+#include "sweep/json_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pp::sweep {
+
+namespace {
+
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Finite numbers as shortest-ish decimal; NaN/inf as null (JSON has no
+/// non-finite numbers — this is the "absent measurement" encoding).
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void append_job(std::ostringstream& os, const JobResult& j) {
+  os << "{\"label\":\"" << escaped(j.label) << "\",\"ok\":"
+     << (j.ok ? "true" : "false") << ",\"wall_ms\":" << number(j.wall_ms);
+  if (!j.ok) {
+    os << ",\"error\":\"" << escaped(j.error) << "\"}";
+    return;
+  }
+  const netpipe::RunResult& r = j.result;
+  os << ",\"transport\":\"" << escaped(r.transport) << "\""
+     << ",\"points\":" << r.points.size()
+     << ",\"latency_us\":" << number(r.latency_us)
+     << ",\"max_mbps\":" << number(r.max_mbps)
+     << ",\"n_half_bytes\":" << r.half_performance_bytes
+     << ",\"saturation_bytes\":" << r.saturation_bytes << "}";
+}
+
+}  // namespace
+
+std::string JsonReporter::to_json(const std::vector<SweepResult>& sweeps) {
+  std::ostringstream os;
+  os << "{\"schema\":\"pp.sweep/1\"";
+  os << ",\"threads\":" << (sweeps.empty() ? 0 : sweeps.front().threads);
+  os << ",\"sweeps\":[";
+  for (std::size_t s = 0; s < sweeps.size(); ++s) {
+    const SweepResult& sw = sweeps[s];
+    if (s > 0) os << ",";
+    os << "{\"name\":\"" << escaped(sw.name) << "\""
+       << ",\"threads\":" << sw.threads
+       << ",\"wall_ms\":" << number(sw.wall_ms)
+       << ",\"serial_ms\":" << number(sw.serial_ms)
+       << ",\"speedup_vs_serial\":" << number(sw.speedup()) << ",\"jobs\":[";
+    for (std::size_t i = 0; i < sw.jobs.size(); ++i) {
+      if (i > 0) os << ",";
+      append_job(os, sw.jobs[i]);
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+void JsonReporter::write(const std::string& path,
+                         const std::vector<SweepResult>& sweeps) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("JsonReporter: cannot open " + path);
+  f << to_json(sweeps);
+  if (!f) throw std::runtime_error("JsonReporter: write failed for " + path);
+}
+
+}  // namespace pp::sweep

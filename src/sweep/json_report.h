@@ -1,0 +1,39 @@
+// Machine-readable sweep reports (the BENCH_sweep.json trajectory).
+//
+// Schema (version pp.sweep/1):
+//   {
+//     "schema": "pp.sweep/1",
+//     "threads": <pool size of the first sweep>,
+//     "sweeps": [
+//       { "name": ..., "threads": N,
+//         "wall_ms": ..., "serial_ms": ..., "speedup_vs_serial": ...,
+//         "jobs": [
+//           { "label": ..., "ok": true, "wall_ms": ...,
+//             "transport": ..., "points": <count>,
+//             "latency_us": <number or null>,   // null: not measured
+//             "max_mbps": ..., "n_half_bytes": ...,
+//             "saturation_bytes": ... }
+//           | { "label": ..., "ok": false, "wall_ms": ..., "error": ... }
+//         ] }
+//     ]
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sweep/sweep.h"
+
+namespace pp::sweep {
+
+class JsonReporter {
+ public:
+  /// Serializes the sweeps to the pp.sweep/1 schema.
+  static std::string to_json(const std::vector<SweepResult>& sweeps);
+
+  /// Writes to_json() to `path` (throws std::runtime_error on I/O error).
+  static void write(const std::string& path,
+                    const std::vector<SweepResult>& sweeps);
+};
+
+}  // namespace pp::sweep

@@ -1,0 +1,82 @@
+#include "sweep/sweep.h"
+
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "sweep/thread_pool.h"
+
+namespace pp::sweep {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  const auto d = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+}  // namespace
+
+const netpipe::RunResult& SweepResult::at(const std::string& label) const {
+  for (const auto& j : jobs) {
+    if (j.label != label) continue;
+    if (!j.ok) {
+      throw std::runtime_error("sweep '" + name + "' job '" + label +
+                               "' failed: " + j.error);
+    }
+    return j.result;
+  }
+  throw std::out_of_range("sweep '" + name + "' has no job labelled '" +
+                          label + "'");
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opt) {
+  SweepResult out;
+  out.name = spec.name;
+  out.jobs.resize(spec.jobs.size());
+
+  const unsigned threads = opt.threads > 0
+                               ? static_cast<unsigned>(opt.threads)
+                               : ThreadPool::default_threads();
+  out.threads = static_cast<int>(threads);
+
+  // Each worker writes only its own slot; the exception slots are
+  // likewise per-job, so the only cross-thread coordination lives inside
+  // the pool.
+  std::vector<std::exception_ptr> errors(spec.jobs.size());
+  const auto sweep_start = std::chrono::steady_clock::now();
+  {
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+      pool.submit([&spec, &out, &errors, i] {
+        JobResult& jr = out.jobs[i];
+        jr.label = spec.jobs[i].label;
+        const auto start = std::chrono::steady_clock::now();
+        try {
+          jr.result = spec.jobs[i].run();
+          jr.ok = true;
+        } catch (const std::exception& e) {
+          errors[i] = std::current_exception();
+          jr.error = e.what();
+        } catch (...) {
+          errors[i] = std::current_exception();
+          jr.error = "unknown exception";
+        }
+        jr.wall_ms = ms_since(start);
+      });
+    }
+    pool.wait_idle();
+  }
+  out.wall_ms = ms_since(sweep_start);
+  for (const auto& j : out.jobs) out.serial_ms += j.wall_ms;
+
+  if (!opt.keep_going) {
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);  // first failure in spec order
+    }
+  }
+  return out;
+}
+
+}  // namespace pp::sweep

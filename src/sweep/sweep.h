@@ -1,0 +1,81 @@
+// The parallel experiment-sweep executor.
+//
+// The paper's results are sweeps: the same NetPIPE measurement repeated
+// across libraries, NICs and tunables. Every job in a SweepSpec is an
+// independent, fully-isolated simulation — its factory constructs its own
+// sim::Simulator, cluster and transports, runs the measurement, and
+// returns the RunResult. run_sweep() fans the jobs out over a thread
+// pool and aggregates the results *in spec order*, regardless of
+// completion order, so a parallel sweep is bit-identical to a serial one
+// (the simulator itself is deterministic; see the threading contract in
+// simcore/simulator.h).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netpipe/runner.h"
+
+namespace pp::sweep {
+
+/// One independent measurement. `run` must be self-contained: it builds
+/// everything it needs (simulator, cluster, transports) and must not
+/// touch shared mutable state — it will be called from a worker thread.
+struct JobSpec {
+  std::string label;
+  std::function<netpipe::RunResult()> run;
+};
+
+/// A named, ordered collection of jobs (one figure, one tuning table
+/// section, one advisor sweep, ...).
+struct SweepSpec {
+  std::string name;
+  std::vector<JobSpec> jobs;
+
+  void add(std::string label, std::function<netpipe::RunResult()> run) {
+    jobs.push_back(JobSpec{std::move(label), std::move(run)});
+  }
+};
+
+struct JobResult {
+  std::string label;
+  netpipe::RunResult result;  ///< valid only when ok
+  double wall_ms = 0.0;       ///< host wall-clock spent in the job
+  bool ok = false;
+  std::string error;  ///< what() of the escaped exception when !ok
+};
+
+struct SweepResult {
+  std::string name;
+  std::vector<JobResult> jobs;  ///< always in SweepSpec order
+  int threads = 0;              ///< pool size used
+  double wall_ms = 0.0;         ///< whole-sweep wall clock
+  double serial_ms = 0.0;       ///< sum of per-job wall clocks
+
+  /// Wall-clock speedup versus running the same jobs back to back.
+  double speedup() const {
+    return wall_ms > 0.0 ? serial_ms / wall_ms : 0.0;
+  }
+
+  /// The successful result for `label`; throws std::out_of_range when no
+  /// such job exists and std::runtime_error (with the job's error) when
+  /// the job failed — a misconfigured sweep fails loudly, never as a
+  /// silent row of zeros.
+  const netpipe::RunResult& at(const std::string& label) const;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 means ThreadPool::default_threads().
+  int threads = 0;
+  /// When false (the default) the first failing job's exception is
+  /// rethrown — in spec order, deterministically — after all jobs have
+  /// finished. When true, failures are only recorded in JobResult.
+  bool keep_going = false;
+};
+
+/// Runs every job of `spec` on a thread pool and returns the results in
+/// spec order.
+SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opt = {});
+
+}  // namespace pp::sweep

@@ -1,0 +1,58 @@
+// A minimal fixed-size thread pool for the experiment-sweep executor.
+//
+// Workers drain a FIFO task queue; wait_idle() blocks the submitting
+// thread until every task submitted so far has *finished* (not merely
+// been dequeued). The pool is intentionally tiny: sweep jobs are coarse
+// (whole NetPIPE measurements, hundreds of milliseconds each), so a
+// mutex-guarded deque is nowhere near the bottleneck.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pp::sweep {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(unsigned threads);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues `task` for execution on some worker. Tasks must not throw:
+  /// wrap user work and capture errors on the caller's side (run_sweep
+  /// stores them per job).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void wait_idle();
+
+  /// Default worker count: the hardware concurrency, at least 1.
+  static unsigned default_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: "there is work (or stop)"
+  std::condition_variable idle_cv_;  // wait_idle: "everything finished"
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently running
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pp::sweep

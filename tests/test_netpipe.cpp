@@ -7,6 +7,7 @@
 
 #include "mp/testbed.h"
 #include "netpipe/breakdown.h"
+#include "simcore/sync.h"
 #include "netpipe/loggp.h"
 #include "netpipe/modules.h"
 #include "netpipe/report.h"
@@ -249,7 +250,8 @@ TEST(Breakdown, PciBoundWithJumboFramesOn32BitHost) {
       }(sb),
       "rx");
   bed.sim.run();
-  const BreakdownRow* hot = probe.finish().bottleneck();
+  const Breakdown b = probe.finish();
+  const BreakdownRow* hot = b.bottleneck();
   ASSERT_NE(hot, nullptr);
   EXPECT_NE(hot->resource.find("pci"), std::string::npos);
 }
@@ -303,6 +305,140 @@ TEST(LogGp, RendezvousDipShowsUpAsFitError) {
       fit_loggp(run_netpipe(tcp_bed.sim, ta, tb, o));
   EXPECT_LT(tcp_fit.rms_rel_error, 0.8);
   SUCCEED();
+}
+
+/// A transport pair with exact, asymmetric one-way delays — lets the
+/// timing tests know the true round trip to the nanosecond.
+class FixedDelayTransport final : public Transport {
+ public:
+  FixedDelayTransport(sim::Simulator& sim, sim::Channel<int>& tx,
+                      sim::Channel<int>& rx, sim::SimTime delay)
+      : sim_(sim), tx_(tx), rx_(rx), delay_(delay) {}
+  sim::Task<void> send(std::uint64_t) override {
+    co_await sim_.delay(delay_);
+    tx_.push_now(1);
+  }
+  sim::Task<void> recv(std::uint64_t) override { co_await rx_.pop(); }
+  std::string name() const override { return "fixed-delay"; }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Channel<int>& tx_;
+  sim::Channel<int>& rx_;
+  sim::SimTime delay_;
+};
+
+struct FakeFixture {
+  FakeFixture(sim::SimTime da, sim::SimTime db)
+      : a_to_b(sim), b_to_a(sim), ta(sim, a_to_b, b_to_a, da),
+        tb(sim, b_to_a, a_to_b, db) {}
+  sim::Simulator sim;
+  sim::Channel<int> a_to_b, b_to_a;
+  FixedDelayTransport ta, tb;
+};
+
+RunOptions one_point_opts(int repeats) {
+  RunOptions o;
+  o.schedule.min_bytes = 1;
+  o.schedule.max_bytes = 1;
+  o.schedule.perturbation = 0;
+  o.repeats = repeats;
+  o.warmup = 1;
+  return o;
+}
+
+TEST(Runner, PingPongOneWayTimeUsesASingleRoundedDivision) {
+  // Delays 3 ns out, 4 ns back; 3 repeats: total = 21 ns. The correct
+  // one-way time is round(21/6) = 4 ns. The old two-step integer
+  // division (21/3 = 7, then 7/2) truncated to 3 ns.
+  FakeFixture f(3, 4);
+  const RunResult r =
+      run_netpipe(f.sim, f.ta, f.tb, one_point_opts(/*repeats=*/3));
+  ASSERT_EQ(r.points.size(), 1u);
+  EXPECT_EQ(r.points[0].elapsed, 4);
+}
+
+TEST(Runner, PingPongTimingIsExactWhenTheTotalDividesEvenly) {
+  // 5 ns each way, 2 repeats: total = 20 ns, one-way exactly 5 ns.
+  FakeFixture f(5, 5);
+  const RunResult r =
+      run_netpipe(f.sim, f.ta, f.tb, one_point_opts(/*repeats=*/2));
+  ASSERT_EQ(r.points.size(), 1u);
+  EXPECT_EQ(r.points[0].elapsed, 5);
+}
+
+TEST(Runner, MbpsAtFailsLoudlyOnEmptyResultAndZeroBytes) {
+  RunResult empty;
+  EXPECT_THROW(empty.mbps_at(1024), std::logic_error);
+  RunResult one;
+  one.points.push_back({1024, sim::microseconds(10)});
+  EXPECT_THROW(one.mbps_at(0), std::invalid_argument);
+  EXPECT_GT(one.mbps_at(1024), 0.0);
+}
+
+TEST(Runner, StreamingModeLeavesLatencyAbsentNotZero) {
+  FakeFixture f(3, 3);
+  RunOptions o = one_point_opts(/*repeats=*/2);
+  o.streaming = true;
+  const RunResult r = run_netpipe(f.sim, f.ta, f.tb, o);
+  EXPECT_FALSE(r.has_latency());
+  EXPECT_TRUE(std::isnan(r.latency_us));
+  // Ping-pong on the same setup does measure a latency.
+  FakeFixture g(3, 3);
+  const RunResult rp =
+      run_netpipe(g.sim, g.ta, g.tb, one_point_opts(/*repeats=*/2));
+  EXPECT_TRUE(rp.has_latency());
+}
+
+TEST(Runner, EmptyScheduleIsAnErrorNotAnEmptyResult) {
+  FakeFixture f(1, 1);
+  RunOptions o;
+  o.schedule.min_bytes = 2048;
+  o.schedule.max_bytes = 1024;
+  EXPECT_THROW(run_netpipe(f.sim, f.ta, f.tb, o), std::invalid_argument);
+}
+
+TEST(Schedule, PointsPerDoublingZeroIsClampedToOne) {
+  ScheduleOptions one;
+  one.max_bytes = 1 << 12;
+  ScheduleOptions zero = one;
+  zero.points_per_doubling = 0;
+  EXPECT_EQ(make_schedule(zero), make_schedule(one));
+}
+
+TEST(Schedule, MinBytesAtOrBelowPerturbationNeverUnderflows) {
+  ScheduleOptions opt;
+  opt.min_bytes = 2;
+  opt.max_bytes = 64;
+  opt.perturbation = 3;
+  const auto sizes = make_schedule(opt);
+  ASSERT_FALSE(sizes.empty());
+  for (auto s : sizes) {
+    EXPECT_GE(s, opt.min_bytes);          // nothing below the floor
+    EXPECT_LE(s, opt.max_bytes + opt.perturbation);  // no wraparound
+  }
+  // The small bases survive even though base - perturbation would
+  // underflow: 2 and 4 must still be scheduled.
+  EXPECT_NE(std::find(sizes.begin(), sizes.end(), 2u), sizes.end());
+  EXPECT_NE(std::find(sizes.begin(), sizes.end(), 4u), sizes.end());
+}
+
+TEST(Schedule, FinalPerturbedPointStraddlesMaxBytes) {
+  ScheduleOptions opt;
+  opt.min_bytes = 1;
+  opt.max_bytes = 1024;
+  opt.perturbation = 3;
+  const auto sizes = make_schedule(opt);
+  ASSERT_FALSE(sizes.empty());
+  // The top base is included with both perturbations around it...
+  auto has = [&](std::uint64_t v) {
+    return std::find(sizes.begin(), sizes.end(), v) != sizes.end();
+  };
+  EXPECT_TRUE(has(1021));
+  EXPECT_TRUE(has(1024));
+  EXPECT_TRUE(has(1027));
+  // ...and nothing beyond max_bytes + perturbation is generated.
+  EXPECT_EQ(sizes.back(), opt.max_bytes + opt.perturbation);
 }
 
 }  // namespace

@@ -1,0 +1,287 @@
+// Tests for the parallel experiment-sweep executor (src/sweep): the
+// thread pool, deterministic spec-order aggregation, error handling, the
+// JSON reporter, and the Simulator threading contract it relies on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "mp/testbed.h"
+#include "netpipe/modules.h"
+#include "netpipe/runner.h"
+#include "simhw/presets.h"
+#include "sweep/json_report.h"
+#include "sweep/sweep.h"
+#include "sweep/thread_pool.h"
+
+namespace pp::sweep {
+namespace {
+
+namespace presets = hw::presets;
+
+netpipe::RunOptions tiny_opts() {
+  netpipe::RunOptions o;
+  o.schedule.max_bytes = 16 << 10;
+  o.repeats = 2;
+  return o;
+}
+
+/// A real (but small) NetPIPE measurement on a fresh raw-TCP bed.
+netpipe::RunResult tiny_measurement(std::uint32_t buf) {
+  mp::PairBed bed(presets::pentium4_pc(), presets::netgear_ga620(),
+                  tcp::Sysctl::tuned());
+  auto [sa, sb] = bed.socket_pair("sweep");
+  sa.set_send_buffer(buf);
+  sa.set_recv_buffer(buf);
+  sb.set_send_buffer(buf);
+  sb.set_recv_buffer(buf);
+  netpipe::TcpTransport ta(sa), tb(sb);
+  return netpipe::run_netpipe(bed.sim, ta, tb, tiny_opts());
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleWaitsForRunningTasksNotJustTheQueue) {
+  ThreadPool pool(2);
+  std::atomic<bool> finished{false};
+  pool.submit([&finished] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    finished.store(true);
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(finished.load());
+}
+
+TEST(ThreadPool, DefaultThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+}
+
+TEST(Sweep, ResultsAggregateInSpecOrderRegardlessOfCompletion) {
+  // Job 0 is the slowest; completion order is the reverse of spec order.
+  SweepSpec spec;
+  spec.name = "order";
+  for (int i = 0; i < 4; ++i) {
+    spec.jobs.push_back(JobSpec{
+        "job" + std::to_string(i), [i] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(40 - 10 * i));
+          netpipe::RunResult r;
+          r.transport = "fake";
+          r.max_mbps = 100.0 * (i + 1);
+          r.points.push_back({1u, 1});
+          return r;
+        }});
+  }
+  SweepOptions opt;
+  opt.threads = 4;
+  const SweepResult sr = run_sweep(spec, opt);
+  ASSERT_EQ(sr.jobs.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sr.jobs[i].label, "job" + std::to_string(i));
+    EXPECT_TRUE(sr.jobs[i].ok);
+    EXPECT_DOUBLE_EQ(sr.jobs[i].result.max_mbps, 100.0 * (i + 1));
+    EXPECT_GT(sr.jobs[i].wall_ms, 0.0);
+  }
+  EXPECT_GT(sr.wall_ms, 0.0);
+  EXPECT_GE(sr.serial_ms, sr.wall_ms);
+}
+
+TEST(Sweep, ParallelRunIsBitIdenticalToSerial) {
+  auto make_spec = [] {
+    SweepSpec spec;
+    spec.name = "determinism";
+    for (std::uint32_t buf : {32u << 10, 64u << 10, 128u << 10}) {
+      spec.jobs.push_back(
+          JobSpec{std::to_string(buf), [buf] { return tiny_measurement(buf); }});
+    }
+    return spec;
+  };
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions parallel;
+  parallel.threads = 4;
+  const SweepResult a = run_sweep(make_spec(), serial);
+  const SweepResult b = run_sweep(make_spec(), parallel);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    const auto& ra = a.jobs[j].result;
+    const auto& rb = b.jobs[j].result;
+    ASSERT_EQ(ra.points.size(), rb.points.size());
+    for (std::size_t i = 0; i < ra.points.size(); ++i) {
+      EXPECT_EQ(ra.points[i].bytes, rb.points[i].bytes);
+      EXPECT_EQ(ra.points[i].elapsed, rb.points[i].elapsed);
+    }
+    EXPECT_EQ(ra.max_mbps, rb.max_mbps);
+    EXPECT_EQ(ra.latency_us, rb.latency_us);
+    EXPECT_EQ(ra.saturation_bytes, rb.saturation_bytes);
+  }
+}
+
+netpipe::RunResult ok_result() {
+  netpipe::RunResult r;
+  r.transport = "fake";
+  r.points.push_back({1u, 1});
+  r.max_mbps = 1.0;
+  return r;
+}
+
+TEST(Sweep, FirstFailureInSpecOrderIsRethrown) {
+  SweepSpec spec;
+  spec.name = "errors";
+  spec.jobs.push_back(JobSpec{"fine", [] { return ok_result(); }});
+  spec.jobs.push_back(JobSpec{"boom", []() -> netpipe::RunResult {
+                                throw std::runtime_error("deliberate");
+                              }});
+  EXPECT_THROW(run_sweep(spec), std::runtime_error);
+}
+
+TEST(Sweep, KeepGoingRecordsTheFailureAndFinishesTheRest) {
+  SweepSpec spec;
+  spec.name = "errors";
+  spec.jobs.push_back(JobSpec{"boom", []() -> netpipe::RunResult {
+                                throw std::runtime_error("deliberate");
+                              }});
+  spec.jobs.push_back(JobSpec{"fine", [] { return ok_result(); }});
+  SweepOptions opt;
+  opt.keep_going = true;
+  const SweepResult sr = run_sweep(spec, opt);
+  ASSERT_EQ(sr.jobs.size(), 2u);
+  EXPECT_FALSE(sr.jobs[0].ok);
+  EXPECT_NE(sr.jobs[0].error.find("deliberate"), std::string::npos);
+  EXPECT_TRUE(sr.jobs[1].ok);
+  // at() fails loudly for the broken curve, works for the good one.
+  EXPECT_THROW(sr.at("boom"), std::runtime_error);
+  EXPECT_NO_THROW(sr.at("fine"));
+}
+
+TEST(Sweep, AtThrowsForUnknownLabel) {
+  SweepSpec spec;
+  spec.name = "lookup";
+  spec.jobs.push_back(JobSpec{"only", [] { return ok_result(); }});
+  const SweepResult sr = run_sweep(spec);
+  EXPECT_THROW(sr.at("missing"), std::out_of_range);
+}
+
+TEST(Json, ReportCarriesSchemaCurvesAndSpeedup) {
+  SweepSpec spec;
+  spec.name = "json";
+  spec.jobs.push_back(JobSpec{"curve", [] { return tiny_measurement(64 << 10); }});
+  const SweepResult sr = run_sweep(spec);
+  const std::string j = JsonReporter::to_json({sr});
+  EXPECT_NE(j.find("\"schema\":\"pp.sweep/1\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"json\""), std::string::npos);
+  EXPECT_NE(j.find("\"label\":\"curve\""), std::string::npos);
+  EXPECT_NE(j.find("\"latency_us\""), std::string::npos);
+  EXPECT_NE(j.find("\"max_mbps\""), std::string::npos);
+  EXPECT_NE(j.find("\"speedup_vs_serial\""), std::string::npos);
+  // A measured ping-pong run has a real latency, not null.
+  EXPECT_EQ(j.find("\"latency_us\":null"), std::string::npos);
+}
+
+TEST(Json, AbsentLatencySerializesAsNullNotZero) {
+  SweepSpec spec;
+  spec.name = "streaming";
+  spec.jobs.push_back(JobSpec{"stream", [] {
+                                netpipe::RunResult r;
+                                r.transport = "fake";
+                                r.points.push_back({1u, 1});
+                                return r;  // latency_us left NaN
+                              }});
+  const SweepResult sr = run_sweep(spec);
+  EXPECT_FALSE(sr.jobs[0].result.has_latency());
+  const std::string j = JsonReporter::to_json({sr});
+  EXPECT_NE(j.find("\"latency_us\":null"), std::string::npos);
+  EXPECT_EQ(j.find("nan"), std::string::npos);
+}
+
+TEST(Json, FailedJobSerializesErrorNotCurve) {
+  SweepSpec spec;
+  spec.name = "failure";
+  spec.jobs.push_back(JobSpec{"bad", []() -> netpipe::RunResult {
+                                throw std::runtime_error("no \"curve\"");
+                              }});
+  SweepOptions opt;
+  opt.keep_going = true;
+  const std::string j = JsonReporter::to_json({run_sweep(spec, opt)});
+  EXPECT_NE(j.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(j.find("\\\"curve\\\""), std::string::npos);  // escaped quotes
+  EXPECT_EQ(j.find("\"points\""), std::string::npos);
+}
+
+TEST(Json, WriteProducesAParsableFileOnDisk) {
+  SweepSpec spec;
+  spec.name = "disk";
+  spec.jobs.push_back(JobSpec{"j", [] { return ok_result(); }});
+  const SweepResult sr = run_sweep(spec);
+  const std::string path = "/tmp/pp_test_sweep.json";
+  JsonReporter::write(path, {sr});
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string all((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(all.front(), '{');
+  EXPECT_EQ(all.back(), '\n');
+  EXPECT_NE(all.find("pp.sweep/1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Simulator, RejectsUseFromASecondThread) {
+  sim::Simulator sim;
+  sim.spawn([](sim::Simulator& s) -> sim::Task<void> {
+    co_await s.delay(1);
+  }(sim), "pin");
+  sim.run();  // pins the instance to this thread
+  std::atomic<bool> threw{false};
+  std::thread other([&] {
+    try {
+      sim.run();
+    } catch (const std::logic_error&) {
+      threw.store(true);
+    }
+  });
+  other.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(Simulator, RejectsReentrantRunFromInsideTheLoop) {
+  sim::Simulator sim;
+  bool threw = false;
+  sim.call_at(10, [&] {
+    try {
+      sim.run();
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Simulator, EachJobOwnsItsInstance) {
+  // The sweep contract: simulators constructed inside worker threads are
+  // pinned there and never cross threads — N concurrent jobs are safe.
+  SweepSpec spec;
+  spec.name = "isolation";
+  for (int i = 0; i < 8; ++i) {
+    spec.jobs.push_back(JobSpec{
+        "iso" + std::to_string(i), [] { return tiny_measurement(64 << 10); }});
+  }
+  SweepOptions opt;
+  opt.threads = 4;
+  const SweepResult sr = run_sweep(spec, opt);
+  for (const auto& j : sr.jobs) EXPECT_TRUE(j.ok);
+}
+
+}  // namespace
+}  // namespace pp::sweep
