@@ -43,6 +43,9 @@ class HeldTransport final : public netpipe::Transport {
   sim::Task<void> recv(std::uint64_t b) override { return t_.recv(b); }
   hw::Node& node() { return t_.node(); }
   std::string name() const override { return t_.name(); }
+  netpipe::ProtocolCounters counters() const override {
+    return t_.counters();
+  }
 
  private:
   std::shared_ptr<void> keep_;

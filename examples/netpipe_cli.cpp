@@ -20,6 +20,10 @@
 //     -o file     also write a gnuplot-ready .dat file
 //     -q          quiet: summary line only
 //     -g          also print the fitted LogGP parameters
+//     --trace f   record every protocol event (TCP segments/ACKs/
+//                 retransmits, window counters, doorbells, rendezvous
+//                 phases, relay hops) and write Chrome trace-event JSON
+//                 to f — load in Perfetto or chrome://tracing
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +33,7 @@
 
 #include "bench/common.h"
 #include "netpipe/loggp.h"
+#include "simcore/tracing.h"
 #include "shmemsim/shmem.h"
 #include "gmsim/gm.h"
 #include "mp/gm_mpi.h"
@@ -53,13 +58,17 @@ struct CliOptions {
   std::uint32_t buffer = 512 << 10;
   netpipe::RunOptions run;
   std::string dat_file;
+  std::string trace_file;
   bool quiet = false;
   bool loggp = false;
+  /// Attached to each family's simulator when --trace is given.
+  sim::TraceRecorder* tracer = nullptr;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr, "usage: %s [module] [-H host] [-N nic] [-b bytes]"
-                       " [-u bytes] [-P n] [-r n] [-s] [-o file] [-q]\n",
+                       " [-u bytes] [-P n] [-r n] [-s] [-o file] [-q]"
+                       " [--trace file]\n",
                argv0);
   std::exit(2);
 }
@@ -88,6 +97,7 @@ netpipe::RunResult run_tcp_family(const CliOptions& o) {
   hw::NicConfig nic = nic_for(o);
   if (o.module == "ipgm") nic = hw::presets::myrinet_ip_over_gm();
   mp::PairBed bed(host, nic, sysctl);
+  bed.sim.set_tracer(o.tracer);
 
   auto run = [&](TransportPair pair) {
     return netpipe::run_netpipe(bed.sim, *pair.first, *pair.second, o.run);
@@ -130,6 +140,7 @@ netpipe::RunResult run_tcp_family(const CliOptions& o) {
 
 netpipe::RunResult run_gm_family(const CliOptions& o) {
   sim::Simulator s;
+  s.set_tracer(o.tracer);
   hw::Cluster c(s);
   auto& a = c.add_node(host_for(o));
   auto& b = c.add_node(host_for(o));
@@ -150,6 +161,7 @@ netpipe::RunResult run_gm_family(const CliOptions& o) {
 
 netpipe::RunResult run_via_family(const CliOptions& o) {
   sim::Simulator s;
+  s.set_tracer(o.tracer);
   hw::Cluster c(s);
   auto& a = c.add_node(host_for(o));
   auto& b = c.add_node(host_for(o));
@@ -202,6 +214,8 @@ int main(int argc, char** argv) {
       o.run.streaming = true;
     } else if (arg == "-o") {
       o.dat_file = next();
+    } else if (arg == "--trace") {
+      o.trace_file = next();
     } else if (arg == "-q") {
       o.quiet = true;
     } else if (arg == "-g") {
@@ -215,9 +229,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  sim::TraceRecorder recorder;
+  if (!o.trace_file.empty()) o.tracer = &recorder;
+
   netpipe::RunResult result;
   if (o.module == "shmem") {
     sim::Simulator s;
+    s.set_tracer(o.tracer);
     shmem::SmpConfig sc;
     if (o.host == "ds20") sc.copy_bandwidth = sim::Rate::megabytes(320);
     shmem::ShmemPair pair(s, sc);
@@ -253,5 +271,13 @@ int main(int argc, char** argv) {
                          netpipe::fit_loggp(result));
   }
   if (!o.dat_file.empty()) netpipe::write_dat(o.dat_file, result);
+  if (!o.trace_file.empty()) {
+    recorder.write_chrome_json(o.trace_file);
+    if (!o.quiet) {
+      std::printf("trace: %zu spans, %zu instants, %zu counter samples -> %s\n",
+                  recorder.span_count(), recorder.instant_count(),
+                  recorder.counter_count(), o.trace_file.c_str());
+    }
+  }
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "simcore/tracing.h"
+
 namespace pp::gm {
 
 GmPort::GmPort(sim::Simulator& sim, hw::Node& node, hw::PacketPipe& out,
@@ -18,8 +20,15 @@ GmPort::GmPort(sim::Simulator& sim, hw::Node& node, hw::PacketPipe& out,
   sim_.spawn_daemon(rx_daemon(), name_ + ".rx");
 }
 
+void GmPort::trace_instant(const char* what) {
+  if (sim::TraceRecorder* t = sim_.tracer()) {
+    t->record_instant(name_, what, sim_.now());
+  }
+}
+
 sim::Task<void> GmPort::send(std::uint64_t bytes, std::uint32_t tag) {
   co_await node_.cpu_cost(config_.api_send_cost);
+  trace_instant("doorbell");
   const std::uint32_t mtu = out_.nic().mtu;
   std::uint64_t left = bytes;
   bool first = true;
@@ -53,8 +62,10 @@ void GmPort::complete_message(std::uint32_t tag, std::uint64_t bytes) {
     posted_.erase(it);
     pr->completed = true;
     pr->staged = false;  // landed in the pre-posted buffer: zero-copy
+    trace_instant("complete");
     pr->done->set();
   } else {
+    trace_instant("unexpected");
     unexpected_.push_back(tag);
     arrivals_.notify_all();
   }
@@ -85,6 +96,7 @@ sim::Task<void> GmPort::recv(std::uint64_t bytes, std::uint32_t tag) {
     unexpected_.erase(uit);
     staged = true;  // had to be parked in a GM bounce buffer
   } else {
+    trace_instant("post-recv");
     PostedRecv pr;
     pr.tag = tag;
     pr.done = std::make_unique<sim::Trigger>(sim_);
@@ -105,7 +117,11 @@ sim::Task<void> GmPort::recv(std::uint64_t bytes, std::uint32_t tag) {
       co_await node_.cpu_cost(node_.config().wakeup_cost);
       break;
   }
-  if (staged) co_await node_.staging_copy(bytes);
+  if (staged) {
+    staged_bytes_ += bytes;
+    trace_instant("staging-copy");
+    co_await node_.staging_copy(bytes);
+  }
 }
 
 GmFabric::GmFabric(hw::Cluster& cluster, hw::Node& a, hw::Node& b,

@@ -63,6 +63,10 @@ class GmPort {
 
   std::uint64_t messages_received() const { return messages_received_; }
 
+  /// Bytes that landed unmatched and had to go through a GM bounce
+  /// buffer (each costs a staging copy on this node).
+  std::uint64_t staged_bytes() const { return staged_bytes_; }
+
  private:
   friend class GmFabric;
 
@@ -83,6 +87,7 @@ class GmPort {
 
   sim::Task<void> rx_daemon();
   void complete_message(std::uint32_t tag, std::uint64_t bytes);
+  void trace_instant(const char* what);
 
   sim::Simulator& sim_;
   hw::Node& node_;
@@ -100,6 +105,7 @@ class GmPort {
   std::deque<std::uint32_t> unexpected_;  // completed, unmatched tags
   sim::Signal arrivals_;
   std::uint64_t messages_received_ = 0;
+  std::uint64_t staged_bytes_ = 0;
 };
 
 /// Builds a Myrinet link between two nodes and a connected GM port pair.

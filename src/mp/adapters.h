@@ -22,6 +22,9 @@ class LibraryTransport final : public netpipe::Transport {
   }
   hw::Node& node() { return lib_.node(); }
   std::string name() const override { return lib_.name(); }
+  netpipe::ProtocolCounters counters() const override {
+    return lib_.protocol_counters();
+  }
 
  private:
   Library& lib_;

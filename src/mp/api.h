@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "netpipe/counters.h"
 #include "simcore/simulator.h"
 #include "simcore/task.h"
 #include "simhw/node.h"
@@ -52,6 +53,12 @@ class Library {
   virtual hw::Node& node() = 0;
   virtual int rank() const = 0;
   virtual std::string name() const = 0;
+
+  /// Protocol-event totals seen from this rank's side (TCP segments on
+  /// its sockets, its rendezvous handshakes, staging copies, relay
+  /// fragments it pushed). Summing both ranks of a pair covers every
+  /// socket end exactly once.
+  virtual netpipe::ProtocolCounters protocol_counters() const { return {}; }
 };
 
 }  // namespace pp::mp

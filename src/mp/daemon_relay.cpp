@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "simcore/tracing.h"
+
 namespace pp::mp {
+
+void RelayChannel::trace_instant(hw::Node& at, const char* what) {
+  if (sim::TraceRecorder* t = at.simulator().tracer()) {
+    t->record_instant(track_, what, at.simulator().now());
+  }
+}
 
 sim::Task<void> RelayChannel::send(std::uint64_t bytes) {
   const std::uint64_t frags = fragments_for(bytes);
@@ -17,6 +25,8 @@ sim::Task<void> RelayChannel::send(std::uint64_t bytes) {
         std::min<std::uint64_t>(left, opt_.fragment_payload);
     left -= frag;
     // Application -> local daemon IPC: syscall + copy + daemon wakeup.
+    fragments_relayed_ += 1;
+    trace_instant(src_, "relay-out");
     co_await src_.cpu_cost(src_.config().syscall_cost);
     co_await src_.staging_copy(frag);
     co_await src_.cpu_cost(opt_.daemon_service);
@@ -38,6 +48,7 @@ sim::Task<void> RelayChannel::recv(std::uint64_t bytes) {
     left -= frag;
     co_await dst_sock_.recv_exact(frag + opt_.fragment_header);
     // Remote daemon -> application IPC.
+    trace_instant(dst_, "relay-in");
     co_await dst_.cpu_cost(opt_.daemon_service);
     co_await dst_.staging_copy(frag);
     co_await dst_.cpu_cost(dst_.config().wakeup_cost);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "simcore/simulator.h"
 #include "simcore/task.h"
@@ -40,7 +41,9 @@ class RelayChannel {
         dst_(dst),
         src_sock_(std::move(src_sock)),
         dst_sock_(std::move(dst_sock)),
-        opt_(opt) {}
+        opt_(opt),
+        track_("relay@" + std::to_string(src.id()) + "->" +
+               std::to_string(dst.id())) {}
 
   /// Sends `bytes` from the source application through the daemons.
   /// Returns when the source daemon has received credit for everything.
@@ -51,7 +54,19 @@ class RelayChannel {
 
   const RelayOptions& options() const { return opt_; }
 
+  /// Fragments pushed into the daemon route by send() (each is one
+  /// app->daemon->daemon->app traversal).
+  std::uint64_t fragments_relayed() const { return fragments_relayed_; }
+
+  /// The daemon-connection socket ends, for per-side counter assembly: a
+  /// library reporting its relay_out's src plus its relay_in's dst covers
+  /// each of the four socket ends of a relayed pair exactly once.
+  const tcp::Socket& src_socket() const { return src_sock_; }
+  const tcp::Socket& dst_socket() const { return dst_sock_; }
+
  private:
+  void trace_instant(hw::Node& at, const char* what);
+
   std::uint64_t fragments_for(std::uint64_t bytes) const {
     if (bytes == 0) return 1;
     return (bytes + opt_.fragment_payload - 1) / opt_.fragment_payload;
@@ -62,6 +77,8 @@ class RelayChannel {
   tcp::Socket src_sock_;
   tcp::Socket dst_sock_;
   RelayOptions opt_;
+  std::string track_;
+  std::uint64_t fragments_relayed_ = 0;
 };
 
 }  // namespace pp::mp

@@ -43,6 +43,7 @@ class GmMpi final : public Library {
     if (bytes <= opt_.eager_max) {
       co_await port_.send(bytes, tag);
     } else {
+      rendezvous_count_ += 1;
       co_await port_.send(64, kCtlBase + tag);        // RTS
       co_await port_.recv(64, kCtlBase * 2 + tag);    // CTS
       co_await port_.send(bytes, tag);                // direct placement
@@ -59,6 +60,7 @@ class GmMpi final : public Library {
     if (bytes <= opt_.eager_max) {
       co_await port_.recv(bytes, tag);
       // Eager data sits in the GM buffer pool; copy out to the user.
+      staged_bytes_ += bytes;
       co_await port_.node().staging_copy(bytes);
     } else {
       co_await port_.recv(64, kCtlBase + tag);        // RTS
@@ -70,6 +72,14 @@ class GmMpi final : public Library {
   hw::Node& node() { return port_.node(); }
   int rank() const override { return rank_; }
   std::string name() const override { return opt_.name; }
+
+  netpipe::ProtocolCounters protocol_counters() const override {
+    netpipe::ProtocolCounters c;
+    c.rendezvous_handshakes = rendezvous_count_;
+    // Library eager copies plus GM-level unexpected-arrival staging.
+    c.staged_bytes = staged_bytes_ + port_.staged_bytes();
+    return c;
+  }
 
   static GmMpiOptions mpich_gm() { return GmMpiOptions{}; }
   static GmMpiOptions mpipro_gm() {
@@ -85,6 +95,8 @@ class GmMpi final : public Library {
   gm::GmPort& port_;
   int rank_;
   GmMpiOptions opt_;
+  std::uint64_t rendezvous_count_ = 0;
+  std::uint64_t staged_bytes_ = 0;
 };
 
 /// NetPIPE module for raw GM.
@@ -101,6 +113,11 @@ class GmTransport final : public netpipe::Transport {
   }
   hw::Node& node() { return port_.node(); }
   std::string name() const override { return name_; }
+  netpipe::ProtocolCounters counters() const override {
+    netpipe::ProtocolCounters c;
+    c.staged_bytes = port_.staged_bytes();
+    return c;
+  }
 
  private:
   gm::GmPort& port_;

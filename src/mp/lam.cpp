@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "netpipe/modules.h"
+
 namespace pp::mp {
 
 Lam::Lam(sim::Simulator& sim, int rank, hw::Node& node, LamOptions opt)
@@ -22,6 +24,15 @@ std::string Lam::name() const {
       return "LAM/MPI -O";
   }
   return "LAM/MPI";
+}
+
+netpipe::ProtocolCounters Lam::protocol_counters() const {
+  if (opt_.mode != LamMode::kLamd) return stream_->protocol_counters();
+  netpipe::ProtocolCounters c;
+  c.relay_fragments = relay_out_->fragments_relayed();
+  c += netpipe::tcp_socket_counters(relay_out_->src_socket());
+  c += netpipe::tcp_socket_counters(relay_in_->dst_socket());
+  return c;
 }
 
 StreamConfig Lam::make_stream_config(const LamOptions& opt) {

@@ -40,6 +40,7 @@ class Lam final : public Library {
   hw::Node& node() override { return node_; }
   int rank() const override { return rank_; }
   std::string name() const override;
+  netpipe::ProtocolCounters protocol_counters() const override;
 
   StreamLibrary* stream() { return stream_.get(); }
 

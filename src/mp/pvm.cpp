@@ -1,5 +1,7 @@
 #include "mp/pvm.h"
 
+#include "netpipe/modules.h"
+
 namespace pp::mp {
 
 Pvm::Pvm(sim::Simulator& sim, int rank, hw::Node& node, PvmOptions opt)
@@ -24,6 +26,17 @@ std::string Pvm::name() const {
       break;
   }
   return n;
+}
+
+netpipe::ProtocolCounters Pvm::protocol_counters() const {
+  if (opt_.route == PvmRoute::kDirect) return stream_->protocol_counters();
+  // Daemon route: this rank's outbound hop plus its inbound delivery end;
+  // the peer reports the opposite two socket ends.
+  netpipe::ProtocolCounters c;
+  c.relay_fragments = relay_out_->fragments_relayed();
+  c += netpipe::tcp_socket_counters(relay_out_->src_socket());
+  c += netpipe::tcp_socket_counters(relay_in_->dst_socket());
+  return c;
 }
 
 double Pvm::pack_factor() const {

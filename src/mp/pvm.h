@@ -40,6 +40,7 @@ class Pvm final : public Library {
   hw::Node& node() override { return node_; }
   int rank() const override { return rank_; }
   std::string name() const override;
+  netpipe::ProtocolCounters protocol_counters() const override;
 
   static std::pair<std::unique_ptr<Pvm>, std::unique_ptr<Pvm>> create_pair(
       PairBed& bed, PvmOptions opt = {});

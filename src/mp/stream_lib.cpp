@@ -4,6 +4,9 @@
 #include <cassert>
 #include <functional>
 
+#include "netpipe/modules.h"
+#include "simcore/tracing.h"
+
 namespace pp::mp {
 
 // ---------------------------------------------------------------------------
@@ -57,6 +60,23 @@ StreamLibrary::PeerChannel& StreamLibrary::channel(int peer) {
   auto it = peers_.find(peer);
   assert(it != peers_.end() && "no channel bound to that rank");
   return it->second;
+}
+
+netpipe::ProtocolCounters StreamLibrary::protocol_counters() const {
+  netpipe::ProtocolCounters c;
+  c.rendezvous_handshakes = rendezvous_count_;
+  c.staged_bytes = staged_bytes_;
+  for (const auto& [rank, ch] : peers_) {
+    if (ch.sock) c += netpipe::tcp_socket_counters(ch.sock);
+  }
+  return c;
+}
+
+void StreamLibrary::trace_instant(const char* what) {
+  if (sim::TraceRecorder* t = sim_.tracer()) {
+    t->record_instant(config_.name + "@" + std::to_string(rank_), what,
+                      sim_.now());
+  }
 }
 
 std::uint64_t StreamLibrary::payload_with_fragment_overhead(
@@ -133,6 +153,7 @@ sim::Task<void> StreamLibrary::read_one(PeerChannel& ch) {
                              });
       if (it != ch.posted.end()) {
         // A receive is already posted: clear the sender to transmit.
+        trace_instant("cts");
         co_await ch.tx_lock->acquire(1);
         co_await send_wire(ch, WireMeta{Kind::kCts, m.tag, m.bytes, false},
                            0);
@@ -237,12 +258,14 @@ sim::Task<void> StreamLibrary::send_message(PeerChannel& ch,
   } else {
     // Rendezvous: request-to-send, wait for clear-to-send, then the data.
     rendezvous_count_ += 1;
+    trace_instant("rts");
     co_await ch.tx_lock->acquire(1);
     co_await send_wire(ch, WireMeta{Kind::kRts, tag, bytes, false}, 0);
     ch.tx_lock->release(1);
     sim::Trigger cts(sim_);
     ch.cts_waiters.push_back(&cts);
     co_await drive_until(ch, [&] { return cts.is_set(); });
+    trace_instant("rendezvous-payload");
     co_await ch.tx_lock->acquire(1);
     co_await send_wire(ch, WireMeta{Kind::kData, tag, bytes, true},
                        payload_with_fragment_overhead(bytes));
@@ -307,6 +330,7 @@ sim::Task<void> StreamLibrary::recv_message(PeerChannel& ch,
     ch.posted.push_back(&pr);
     if (rit != ch.rts_pending.end()) {
       ch.rts_pending.erase(rit);
+      trace_instant("cts");
       co_await ch.tx_lock->acquire(1);
       co_await send_wire(ch, WireMeta{Kind::kCts, tag, bytes, false}, 0);
       ch.tx_lock->release(1);
@@ -318,6 +342,7 @@ sim::Task<void> StreamLibrary::recv_message(PeerChannel& ch,
   if (staged) {
     // Library buffer -> user buffer copy (the p4 penalty, and the cost of
     // unexpected arrivals for every library).
+    trace_instant("staging-copy");
     co_await node_.staging_copy(bytes);
   }
   if (config_.rx_conversion > 0.0) {

@@ -118,6 +118,8 @@ class StreamLibrary : public Library {
   /// Bytes that went through the library staging buffer (for tests).
   std::uint64_t staged_bytes() const { return staged_bytes_; }
 
+  netpipe::ProtocolCounters protocol_counters() const override;
+
  protected:
   enum class Kind : std::uint8_t { kData, kRts, kCts, kSyncAck };
 
@@ -167,6 +169,8 @@ class StreamLibrary : public Library {
   };
 
   PeerChannel& channel(int peer);
+  /// Instant event on this rank's library track (no-op untraced).
+  void trace_instant(const char* what);
   sim::Task<void> read_one(PeerChannel& ch);
   /// Participates in (or waits on) the inbound dispatcher until `done()`
   /// holds: the single-reader discipline every socket-based MPI uses.

@@ -44,6 +44,7 @@ class ViaMpi final : public Library {
       co_await end_.node().simulator().delay(opt_.thread_handoff);
     }
     if (!opt_.rput_support) {
+      staged_bytes_ += bytes;
       co_await end_.node().staging_copy(bytes);  // into the bounce buffer
     }
     co_await end_.send(bytes, tag);
@@ -58,6 +59,7 @@ class ViaMpi final : public Library {
     }
     co_await end_.recv(bytes, tag);
     if (!opt_.rput_support) {
+      staged_bytes_ += bytes;
       co_await end_.node().staging_copy(bytes);  // out of the bounce buffer
     }
   }
@@ -65,6 +67,14 @@ class ViaMpi final : public Library {
   hw::Node& node() { return end_.node(); }
   int rank() const override { return rank_; }
   std::string name() const override { return opt_.name; }
+
+  netpipe::ProtocolCounters protocol_counters() const override {
+    netpipe::ProtocolCounters c;
+    c.rdma_transfers = end_.rdma_transfers();
+    // Library bounce-buffer copies plus VIA-level unexpected staging.
+    c.staged_bytes = staged_bytes_ + end_.staged_bytes();
+    return c;
+  }
 
   static ViaMpiOptions mvich(bool rput = true) {
     ViaMpiOptions o;
@@ -89,6 +99,7 @@ class ViaMpi final : public Library {
   via::ViEndpoint& end_;
   int rank_;
   ViaMpiOptions opt_;
+  std::uint64_t staged_bytes_ = 0;
 };
 
 /// NetPIPE module for the raw VIA verbs.
@@ -105,6 +116,12 @@ class ViaTransport final : public netpipe::Transport {
   }
   hw::Node& node() { return end_.node(); }
   std::string name() const override { return name_; }
+  netpipe::ProtocolCounters counters() const override {
+    netpipe::ProtocolCounters c;
+    c.rdma_transfers = end_.rdma_transfers();
+    c.staged_bytes = end_.staged_bytes();
+    return c;
+  }
 
  private:
   via::ViEndpoint& end_;

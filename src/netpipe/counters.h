@@ -1,0 +1,42 @@
+// Per-run protocol-event totals: the numeric twin of the trace-event
+// instrumentation. Each transport reports the counters its layers can
+// see; run_netpipe() sums both ends of a measurement so a RunResult
+// carries connection-wide totals. Fields a layer has no mechanism for
+// stay zero (raw GM never retransmits, raw TCP never does rendezvous).
+#pragma once
+
+#include <cstdint>
+
+namespace pp::netpipe {
+
+struct ProtocolCounters {
+  // TCP layer (per-connection, both directions once summed).
+  std::uint64_t data_segments = 0;
+  std::uint64_t acks = 0;             ///< pure ACKs (no piggybacked data)
+  std::uint64_t retransmits = 0;      ///< go-back-N rewinds (incl. RTO)
+  std::uint64_t fast_retransmits = 0; ///< dup-ACK-triggered rewinds
+  // Hardware layer.
+  std::uint64_t wire_drops = 0;       ///< frames lost to fault injection
+  // Message-passing library layer.
+  std::uint64_t rendezvous_handshakes = 0;  ///< RTS/CTS exchanges
+  std::uint64_t staged_bytes = 0;     ///< bytes through library staging
+                                      ///< buffers (p4 copies, GM/VIA
+                                      ///< unexpected arrivals)
+  std::uint64_t relay_fragments = 0;  ///< daemon-route hops (pvmd, lamd)
+  std::uint64_t rdma_transfers = 0;   ///< VIA RDMA-write handshakes
+
+  ProtocolCounters& operator+=(const ProtocolCounters& o) {
+    data_segments += o.data_segments;
+    acks += o.acks;
+    retransmits += o.retransmits;
+    fast_retransmits += o.fast_retransmits;
+    wire_drops += o.wire_drops;
+    rendezvous_handshakes += o.rendezvous_handshakes;
+    staged_bytes += o.staged_bytes;
+    relay_fragments += o.relay_fragments;
+    rdma_transfers += o.rdma_transfers;
+    return *this;
+  }
+};
+
+}  // namespace pp::netpipe

@@ -10,6 +10,20 @@
 
 namespace pp::netpipe {
 
+/// Counter totals visible from one TCP socket end: its own direction's
+/// segments/ACKs/retransmits plus fault-injection drops on its outbound
+/// pipe. Summing both ends of a connection covers it exactly once.
+inline ProtocolCounters tcp_socket_counters(const tcp::Socket& s) {
+  ProtocolCounters c;
+  const tcp::SocketStats& st = s.stats();
+  c.data_segments = st.data_segments_sent;
+  c.acks = st.acks_sent;
+  c.retransmits = st.retransmits;
+  c.fast_retransmits = st.fast_retransmits;
+  c.wire_drops = s.wire_drops();
+  return c;
+}
+
 /// NetPIPE's TCP module: drives a raw socket.
 class TcpTransport final : public Transport {
  public:
@@ -24,6 +38,9 @@ class TcpTransport final : public Transport {
   }
   hw::Node& node() { return socket_.node(); }
   std::string name() const override { return name_; }
+  ProtocolCounters counters() const override {
+    return tcp_socket_counters(socket_);
+  }
 
   tcp::Socket& socket() { return socket_; }
 

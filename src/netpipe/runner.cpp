@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simcore/tracing.h"
+
 namespace pp::netpipe {
 
 double RunResult::mbps_at(std::uint64_t bytes) const {
@@ -29,6 +31,14 @@ double RunResult::mbps_at(std::uint64_t bytes) const {
 
 namespace {
 
+void mark_point(sim::Simulator& sim, const RunOptions& opt,
+                std::uint64_t size) {
+  if (!opt.mark_points) return;
+  if (sim::TraceRecorder* t = sim.tracer()) {
+    t->record_instant("netpipe", "size=" + std::to_string(size), sim.now());
+  }
+}
+
 sim::Task<void> pingpong_initiator(sim::Simulator& sim, Transport& t,
                                    const std::vector<std::uint64_t>& sizes,
                                    const RunOptions& opt,
@@ -38,6 +48,7 @@ sim::Task<void> pingpong_initiator(sim::Simulator& sim, Transport& t,
       co_await t.send(size);
       co_await t.recv(size);
     }
+    mark_point(sim, opt, size);
     const sim::SimTime t0 = sim.now();
     for (int r = 0; r < opt.repeats; ++r) {
       co_await t.send(size);
@@ -81,6 +92,7 @@ sim::Task<void> stream_receiver(sim::Simulator& sim, Transport& t,
                                 std::vector<DataPoint>& out) {
   for (std::uint64_t size : sizes) {
     for (int w = 0; w < opt.warmup; ++w) co_await t.recv(size);
+    mark_point(sim, opt, size);
     const sim::SimTime t0 = sim.now();
     for (int r = 0; r < opt.repeats; ++r) co_await t.recv(size);
     const sim::SimTime per = (sim.now() - t0) / opt.repeats;
@@ -115,6 +127,9 @@ RunResult run_netpipe(sim::Simulator& simulator, Transport& a, Transport& b,
     simulator.spawn(pingpong_responder(b, sizes, options), "np.pong");
   }
   simulator.run();
+
+  result.counters = a.counters();
+  result.counters += b.counters();
 
   // Latency: average one-way time of the small-message points. Streaming
   // mode measures throughput only, so latency_us stays NaN ("absent")

@@ -33,6 +33,11 @@ struct RunOptions {
   /// Streaming mode (NetPIPE -s): unidirectional flood instead of
   /// ping-pong.
   bool streaming = false;
+  /// When a TraceRecorder is attached to the simulator, drop an instant
+  /// on the "netpipe" track at the start of each size's timed phase so
+  /// protocol events can be correlated with the measured point. No
+  /// effect (and no cost) without a recorder.
+  bool mark_points = true;
 };
 
 struct DataPoint {
@@ -48,6 +53,10 @@ struct DataPoint {
 struct RunResult {
   std::string transport;
   std::vector<DataPoint> points;
+
+  /// Both transports' protocol-event totals, summed (whole-connection
+  /// view: each socket end / port reports its own direction once).
+  ProtocolCounters counters;
 
   /// Small-message latency: average one-way time for points <= cutoff.
   /// NaN when the run did not measure latency (streaming mode, or no

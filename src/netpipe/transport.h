@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "netpipe/counters.h"
 #include "simcore/task.h"
 
 namespace pp::netpipe {
@@ -24,6 +25,10 @@ class Transport {
   virtual sim::Task<void> recv(std::uint64_t bytes) = 0;
 
   virtual std::string name() const = 0;
+
+  /// Cumulative protocol-event totals seen from this end (read after a
+  /// run; run_netpipe sums both transports into RunResult::counters).
+  virtual ProtocolCounters counters() const { return {}; }
 };
 
 }  // namespace pp::netpipe

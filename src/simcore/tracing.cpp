@@ -54,7 +54,21 @@ std::string TraceRecorder::to_chrome_json() const {
                   tid_of(i.track), to_microseconds(i.at));
     emit(std::string(buf) + name + "\"}");
   }
-  // Thread-name metadata so the tracks are labelled.
+  // Counter tracks: events sharing a track name merge into one chart,
+  // one series per args key.
+  for (const auto& c : counters_) {
+    std::string track, series;
+    append_escaped(track, c.track);
+    append_escaped(series, c.series);
+    std::snprintf(buf, sizeof(buf), "{\"ph\":\"C\",\"pid\":0,\"ts\":%.3f,",
+                  to_microseconds(c.at));
+    char val[48];
+    std::snprintf(val, sizeof(val), "%.6g", c.value);
+    emit(std::string(buf) + "\"name\":\"" + track + "\",\"args\":{\"" +
+         series + "\":" + val + "}}");
+  }
+  // Thread-name metadata so the tracks are labelled, plus the optional
+  // per-track sort order.
   for (const auto& [track, tid] : tids) {
     std::string name;
     append_escaped(name, track);
@@ -63,6 +77,15 @@ std::string TraceRecorder::to_chrome_json() const {
                   "\"name\":\"thread_name\",\"args\":{\"name\":\"",
                   tid);
     emit(std::string(buf) + name + "\"}}");
+    auto sit = sort_index_.find(track);
+    if (sit != sort_index_.end()) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+                    "\"name\":\"thread_sort_index\","
+                    "\"args\":{\"sort_index\":%d}}",
+                    tid, sit->second);
+      emit(buf);
+    }
   }
   out += "\n]}\n";
   return out;

@@ -1,10 +1,18 @@
-// Timeline tracing: records resource occupancy spans and instant events
-// and writes them in the Chrome trace-event JSON format (load in
-// chrome://tracing or Perfetto). The visual counterpart of the paper's
-// "identify where the inefficiencies lie".
+// Timeline tracing: records resource occupancy spans, instant events and
+// counter samples and writes them in the Chrome trace-event JSON format
+// (load in chrome://tracing or Perfetto). The visual counterpart of the
+// paper's "identify where the inefficiencies lie".
+//
+// Attach a recorder with Simulator::set_tracer() before running; every
+// layer above the raw resources (TCP segments and windows, NIC interrupt
+// coalescing and drops, GM/VIA doorbells and completions, library
+// rendezvous handshakes and daemon-relay hops) emits events only while a
+// recorder is attached — with none attached the instrumentation is a
+// single pointer test and runs are bit-identical to untraced ones.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,8 +36,55 @@ class TraceRecorder {
     instants_.push_back(Instant{std::string(track), std::string(name), at});
   }
 
+  /// A counter sample: the value of `series` on counter track `track` at
+  /// time `at` (Chrome "C" events). Series sharing a track render as one
+  /// stacked chart — e.g. cwnd/rwnd/advertised per TCP endpoint.
+  void record_counter(std::string_view track, std::string_view series,
+                      SimTime at, double value) {
+    counters_.push_back(
+        Counter{std::string(track), std::string(series), at, value});
+  }
+
+  /// Per-track metadata: viewers order tracks by this index instead of
+  /// first-appearance order (thread_sort_index metadata events).
+  void set_track_sort_index(std::string_view track, int index) {
+    sort_index_[std::string(track)] = index;
+  }
+
   std::size_t span_count() const { return spans_.size(); }
   std::size_t instant_count() const { return instants_.size(); }
+  std::size_t counter_count() const { return counters_.size(); }
+
+  /// Number of instants on `track` named exactly `name` — the numeric
+  /// cross-check against protocol statistics (a run's retransmit
+  /// instants must equal its SocketStats::retransmits, etc.).
+  std::size_t instants_named(std::string_view track,
+                             std::string_view name) const {
+    std::size_t n = 0;
+    for (const auto& i : instants_) {
+      if (i.track == track && i.name == name) ++n;
+    }
+    return n;
+  }
+
+  /// Total instants named `name` across all tracks.
+  std::size_t instants_named(std::string_view name) const {
+    std::size_t n = 0;
+    for (const auto& i : instants_) {
+      if (i.name == name) ++n;
+    }
+    return n;
+  }
+
+  /// Counter samples recorded for (track, series).
+  std::size_t counter_samples(std::string_view track,
+                              std::string_view series) const {
+    std::size_t n = 0;
+    for (const auto& c : counters_) {
+      if (c.track == track && c.series == series) ++n;
+    }
+    return n;
+  }
 
   /// Serializes to Chrome trace-event JSON.
   std::string to_chrome_json() const;
@@ -49,9 +104,17 @@ class TraceRecorder {
     std::string name;
     SimTime at;
   };
+  struct Counter {
+    std::string track;
+    std::string series;
+    SimTime at;
+    double value;
+  };
 
   std::vector<Span> spans_;
   std::vector<Instant> instants_;
+  std::vector<Counter> counters_;
+  std::map<std::string, int> sort_index_;
 };
 
 }  // namespace pp::sim

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "simcore/tracing.h"
+
 namespace pp::hw {
 
 PacketPipe::PacketPipe(sim::Simulator& sim, Node& src, Node& dst,
@@ -80,6 +82,9 @@ sim::Task<void> PacketPipe::wire_pump() {
     if (loss_probability_ > 0.0 &&
         loss_rng_.uniform() < loss_probability_) {
       ++n_dropped_;
+      if (sim::TraceRecorder* t = sim_.tracer()) {
+        t->record_instant(name_, "drop", sim_.now());
+      }
       continue;
     }
     // Propagation does not occupy the wire; hand the frame to the receive
@@ -99,6 +104,11 @@ sim::Task<void> PacketPipe::rx_dma_pump() {
     // The frame now sits in host memory; the interrupt (possibly batched
     // by the mitigation timer) makes the host notice it.
     const sim::SimTime irq_at = coalescer_.interrupt_time(sim_.now());
+    if (sim::TraceRecorder* t = sim_.tracer()) {
+      // One "irq" per frame at the (possibly mitigation-delayed) time the
+      // host notices it; coalesced frames stack at the same timestamp.
+      t->record_instant(name_, "irq", irq_at);
+    }
     auto frame = std::make_shared<Packet>(std::move(p));
     sim_.call_at(irq_at, [this, frame]() mutable {
       rx_cpu_q_.push_now(std::move(*frame));

@@ -48,20 +48,30 @@ void append_job(std::ostringstream& os, const JobResult& j) {
     return;
   }
   const netpipe::RunResult& r = j.result;
+  const netpipe::ProtocolCounters& c = r.counters;
   os << ",\"transport\":\"" << escaped(r.transport) << "\""
      << ",\"points\":" << r.points.size()
      << ",\"latency_us\":" << number(r.latency_us)
      << ",\"max_mbps\":" << number(r.max_mbps)
      << ",\"n_half_bytes\":" << r.half_performance_bytes
-     << ",\"saturation_bytes\":" << r.saturation_bytes << "}";
+     << ",\"saturation_bytes\":" << r.saturation_bytes
+     << ",\"counters\":{"
+     << "\"data_segments\":" << c.data_segments
+     << ",\"acks\":" << c.acks
+     << ",\"retransmits\":" << c.retransmits
+     << ",\"fast_retransmits\":" << c.fast_retransmits
+     << ",\"wire_drops\":" << c.wire_drops
+     << ",\"rendezvous_handshakes\":" << c.rendezvous_handshakes
+     << ",\"staged_bytes\":" << c.staged_bytes
+     << ",\"relay_fragments\":" << c.relay_fragments
+     << ",\"rdma_transfers\":" << c.rdma_transfers << "}}";
 }
 
 }  // namespace
 
 std::string JsonReporter::to_json(const std::vector<SweepResult>& sweeps) {
   std::ostringstream os;
-  os << "{\"schema\":\"pp.sweep/1\"";
-  os << ",\"threads\":" << (sweeps.empty() ? 0 : sweeps.front().threads);
+  os << "{\"schema\":\"pp.sweep/2\"";
   os << ",\"sweeps\":[";
   for (std::size_t s = 0; s < sweeps.size(); ++s) {
     const SweepResult& sw = sweeps[s];

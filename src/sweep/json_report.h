@@ -1,9 +1,8 @@
 // Machine-readable sweep reports (the BENCH_sweep.json trajectory).
 //
-// Schema (version pp.sweep/1):
+// Schema (version pp.sweep/2):
 //   {
-//     "schema": "pp.sweep/1",
-//     "threads": <pool size of the first sweep>,
+//     "schema": "pp.sweep/2",
 //     "sweeps": [
 //       { "name": ..., "threads": N,
 //         "wall_ms": ..., "serial_ms": ..., "speedup_vs_serial": ...,
@@ -12,11 +11,21 @@
 //             "transport": ..., "points": <count>,
 //             "latency_us": <number or null>,   // null: not measured
 //             "max_mbps": ..., "n_half_bytes": ...,
-//             "saturation_bytes": ... }
+//             "saturation_bytes": ...,
+//             "counters": { "data_segments": ..., "acks": ...,
+//               "retransmits": ..., "fast_retransmits": ...,
+//               "wire_drops": ..., "rendezvous_handshakes": ...,
+//               "staged_bytes": ..., "relay_fragments": ...,
+//               "rdma_transfers": ... } }
 //           | { "label": ..., "ok": false, "wall_ms": ..., "error": ... }
 //         ] }
 //     ]
 //   }
+//
+// pp.sweep/2 drops pp.sweep/1's top-level "threads" (it was copied from
+// the first sweep only, misreporting mixed-thread-count reports; the
+// per-sweep "threads" is authoritative) and adds per-job protocol
+// counters.
 #pragma once
 
 #include <string>
@@ -28,7 +37,7 @@ namespace pp::sweep {
 
 class JsonReporter {
  public:
-  /// Serializes the sweeps to the pp.sweep/1 schema.
+  /// Serializes the sweeps to the pp.sweep/2 schema.
   static std::string to_json(const std::vector<SweepResult>& sweeps);
 
   /// Writes to_json() to `path` (throws std::runtime_error on I/O error).

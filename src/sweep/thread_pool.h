@@ -10,6 +10,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -32,12 +33,15 @@ class ThreadPool {
     return static_cast<unsigned>(workers_.size());
   }
 
-  /// Enqueues `task` for execution on some worker. Tasks must not throw:
-  /// wrap user work and capture errors on the caller's side (run_sweep
-  /// stores them per job).
+  /// Enqueues `task` for execution on some worker. A task that throws
+  /// does not kill the worker or strand the in-flight count: the first
+  /// escaped exception is captured and rethrown from wait_idle().
+  /// (run_sweep still wraps user jobs and records errors per job; this
+  /// guard is the backstop for bugs in the wrapper itself.)
   void submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and no task is running.
+  /// Blocks until the queue is empty and no task is running, then
+  /// rethrows the first exception that escaped a task (if any).
   void wait_idle();
 
   /// Default worker count: the hardware concurrency, at least 1.
@@ -51,6 +55,10 @@ class ThreadPool {
   std::condition_variable idle_cv_;  // wait_idle: "everything finished"
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;  // queued + currently running
+  /// First exception that escaped a task; rethrown by wait_idle(). An
+  /// error never retrieved is dropped at destruction (destructors must
+  /// not throw).
+  std::exception_ptr first_error_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

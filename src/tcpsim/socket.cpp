@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "simcore/sync.h"
+#include "simcore/tracing.h"
 
 namespace pp::tcp {
 
@@ -38,6 +39,30 @@ struct Endpoint {
   sim::Simulator& simulator() { return stack->node().simulator(); }
 
   std::uint32_t mss() const { return out->nic().mtu - kHeaderBytes; }
+
+  /// Instrumentation: one instant event on this endpoint's track. A
+  /// single pointer test when no recorder is attached.
+  void trace_instant(const char* what) {
+    if (sim::TraceRecorder* t = simulator().tracer()) {
+      t->record_instant(name, what, simulator().now());
+    }
+  }
+
+  /// Counter samples for the three windows that govern the sender: the
+  /// congestion window, the peer-granted send window and the window we
+  /// advertise to the peer.
+  void trace_windows() {
+    sim::TraceRecorder* t = simulator().tracer();
+    if (t == nullptr) return;
+    const sim::SimTime at = simulator().now();
+    if (stack->sysctl().congestion_control && cwnd > 0) {
+      t->record_counter(name, "cwnd", at, static_cast<double>(cwnd));
+    }
+    t->record_counter(name, "rwnd", at,
+                      static_cast<double>(rwnd_edge - snd_una));
+    t->record_counter(name, "advertised", at,
+                      static_cast<double>(advert_edge() - rcv_next));
+  }
 
   /// Highest stream offset the peer may send (our buffer's absolute edge).
   std::uint64_t advert_edge() const { return consumed + rcv_buf; }
@@ -121,6 +146,13 @@ struct Endpoint {
   std::vector<std::uint64_t> tokens_ready;
 
   SocketStats stats;
+
+  /// Liveness token for timer callbacks. Simulator::call_after timers
+  /// (delayed-ACK flush, RTO watchdog) can outlive a torn-down
+  /// connection — every sweep job destroys its stacks with timers still
+  /// queued — so callbacks capture only a weak handle to this token and
+  /// become no-ops once the endpoint is gone.
+  std::shared_ptr<char> alive = std::make_shared<char>(1);
 };
 
 /// A full-duplex connection: two endpoints referencing each other.
@@ -177,6 +209,7 @@ void Endpoint::inject_segment(std::uint32_t payload, std::uint64_t seq) {
 
 void Endpoint::send_pure_ack() {
   stats.acks_sent += 1;
+  trace_instant("ack");
   inject_segment(/*payload=*/0, /*seq=*/snd_next);
 }
 
@@ -202,6 +235,7 @@ void Endpoint::on_segment(const SegmentCtx& s) {
       // A gap: an earlier segment was lost. Go-back-N receiver: discard
       // and tell the sender where the stream stands (a duplicate ACK).
       stats.out_of_order_dropped += 1;
+      trace_instant("ooo-drop");
       send_pure_ack();
     } else {
       assert(rcv_next + s.payload <= advert_edge() &&
@@ -213,10 +247,18 @@ void Endpoint::on_segment(const SegmentCtx& s) {
       if (pending_acks >= 2) {
         send_pure_ack();
       } else {
-        // Delayed-ACK flush for an odd trailing segment.
+        // Delayed-ACK flush for an odd trailing segment. The callback
+        // holds a weak liveness handle: the connection may be torn down
+        // (and `this` freed) before the flush timer fires.
         Endpoint* self = this;
-        simulator().call_after(stack->sysctl().delayed_ack_timeout, [self] {
-          if (self->pending_acks > 0) self->send_pure_ack();
+        std::weak_ptr<char> guard = alive;
+        simulator().call_after(stack->sysctl().delayed_ack_timeout,
+                               [self, guard] {
+          if (guard.expired()) return;
+          if (self->pending_acks > 0) {
+            self->trace_instant("delayed-ack");
+            self->send_pure_ack();
+          }
         });
       }
     }
@@ -236,17 +278,20 @@ void Endpoint::on_segment(const SegmentCtx& s) {
         snd_una >= recover_until) {
       dupack_count = 0;
       stats.fast_retransmits += 1;
+      trace_instant("fast-retransmit");
       on_congestion(/*timeout=*/false);
       rewind_to_una();
     }
   }
   if (s.wnd_edge > rwnd_edge) rwnd_edge = s.wnd_edge;
+  trace_windows();
   tx_signal.notify_all();
 }
 
 void Endpoint::rewind_to_una() {
   if (snd_next == snd_una) return;
   stats.retransmits += 1;
+  trace_instant("retransmit");
   recover_until = snd_next;      // recovery completes when this is acked
   unsent += snd_next - snd_una;  // those bytes go back to the tx queue
   snd_next = snd_una;
@@ -258,11 +303,17 @@ void Endpoint::arm_rto() {
   rto_armed = true;
   const std::uint64_t epoch = snd_una;
   Endpoint* self = this;
-  simulator().call_after(stack->sysctl().retransmit_timeout, [self, epoch] {
+  // Weak liveness handle: the watchdog re-arms itself every RTO while
+  // data is in flight, so it routinely outlives torn-down connections.
+  std::weak_ptr<char> guard = alive;
+  simulator().call_after(stack->sysctl().retransmit_timeout,
+                         [self, guard, epoch] {
+    if (guard.expired()) return;
     self->rto_armed = false;
     if (self->snd_next == self->snd_una) return;  // everything acked
     if (self->snd_una == epoch) {
       // No progress for a whole RTO: resend from the last acked byte.
+      self->trace_instant("rto");
       self->on_congestion(/*timeout=*/true);
       self->rewind_to_una();
     }
@@ -287,6 +338,7 @@ sim::Task<void> Endpoint::tx_pump() {
     unsent -= seg;
     stats.data_segments_sent += 1;
     stats.bytes_sent += seg;
+    trace_instant("seg");
     const std::uint64_t seq = snd_next;
     snd_next += seg;
     inject_segment(seg, seq);
@@ -403,6 +455,8 @@ std::uint64_t Socket::available() const { return ep_->avail(); }
 const SocketStats& Socket::stats() const { return ep_->stats; }
 hw::Node& Socket::node() { return ep_->node(); }
 std::uint32_t Socket::mss() const { return ep_->mss(); }
+std::uint64_t Socket::wire_drops() const { return ep_->out->packets_dropped(); }
+const std::string& Socket::trace_track() const { return ep_->name; }
 
 std::pair<Socket, Socket> connect(TcpStack& a, TcpStack& b,
                                   hw::Cluster::Duplex& link,

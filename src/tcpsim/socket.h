@@ -11,9 +11,23 @@
 //    finding that socket buffer sizes dominate GigE performance.
 //  - Every user<->kernel crossing costs a syscall and a memcpy charged on
 //    the node's CPU resource.
-//  - No loss, no retransmission, no congestion control: the paper's
-//    back-to-back links are lossless, so throughput is governed purely by
-//    flow control and per-packet costs. Segments arrive in order.
+//  - Loss recovery is go-back-N: an out-of-order arrival is discarded
+//    with a duplicate ACK; `Sysctl::dupack_threshold` duplicates trigger
+//    one fast retransmit per window (NewReno-style recovery point), and
+//    an RTO with no ACK progress rewinds to the last acked byte with
+//    exponential-feeling backoff via re-arming. Frames are only actually
+//    lost when fault injection is enabled (`PacketPipe::set_loss`); the
+//    paper's back-to-back fabrics are configured lossless, so these paths
+//    stay cold there and throughput is governed purely by flow control
+//    and per-packet costs.
+//  - Reno-style congestion control (slow start, congestion avoidance,
+//    multiplicative decrease — the 2.4 kernel's behaviour) is on by
+//    default and can be disabled per stack to study pure flow control
+//    (`Sysctl::congestion_control`).
+//  - With a TraceRecorder attached to the Simulator, every segment send,
+//    pure ACK, retransmission and RTO/delayed-ACK timer fire is recorded
+//    as an instant event and the cwnd / peer-window / advertised-window
+//    values as counter tracks, one track per endpoint.
 #pragma once
 
 #include <cstdint>
@@ -112,6 +126,13 @@ class Socket {
   const SocketStats& stats() const;
   hw::Node& node();
   std::uint32_t mss() const;
+
+  /// Frames fault-injection dropped on this socket's outbound pipe (the
+  /// pipe is shared by every connection riding the same NIC).
+  std::uint64_t wire_drops() const;
+
+  /// Trace-event track name of this socket's endpoint (e.g. "tcp#0.a").
+  const std::string& trace_track() const;
 
   explicit operator bool() const noexcept { return ep_ != nullptr; }
 

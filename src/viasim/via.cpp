@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "simcore/tracing.h"
+
 namespace pp::via {
 
 ViaPersonality ViaPersonality::giganet() {
@@ -42,6 +44,12 @@ ViEndpoint::ViEndpoint(sim::Simulator& sim, hw::Node& node,
   sim_.spawn_daemon(rx_daemon(), name_ + ".rx");
 }
 
+void ViEndpoint::trace_instant(const char* what) {
+  if (sim::TraceRecorder* t = sim_.tracer()) {
+    t->record_instant(name_, what, sim_.now());
+  }
+}
+
 sim::Task<void> ViEndpoint::transmit(Kind kind, std::uint32_t tag,
                                      std::uint64_t bytes) {
   const std::uint32_t mtu = out_.nic().mtu;
@@ -78,8 +86,10 @@ void ViEndpoint::complete_message(std::uint32_t tag) {
     PostedRecv* pr = *it;
     posted_.erase(it);
     pr->completed = true;
+    trace_instant("complete");
     pr->done->set();
   } else {
+    trace_instant("unexpected");
     unexpected_.push_back(tag);
     arrivals_.notify_all();
   }
@@ -122,17 +132,20 @@ sim::Task<void> ViEndpoint::rx_daemon() {
 
 sim::Task<void> ViEndpoint::send(std::uint64_t bytes, std::uint32_t tag) {
   co_await node_.cpu_cost(config_.personality.doorbell_cost);
+  trace_instant("doorbell");
   if (bytes <= config_.rdma_threshold) {
     co_await transmit(Kind::kData, tag, bytes);
     co_return;
   }
   // RDMA write: exchange the target address, then place the data.
   rdma_transfers_ += 1;
+  trace_instant("rdma-req");
   sim::Trigger ack(sim_);
   rdma_ack_waiters_.push_back(&ack);
   co_await transmit(Kind::kRdmaReq, tag, config_.ctl_bytes);
   co_await ack.wait();
   co_await node_.cpu_cost(config_.personality.doorbell_cost);
+  trace_instant("doorbell");
   co_await transmit(Kind::kData, tag, bytes);
 }
 
@@ -149,10 +162,12 @@ sim::Task<void> ViEndpoint::recv(std::uint64_t bytes, std::uint32_t tag) {
       }
       co_await arrivals_.wait();
     }
+    trace_instant("post-recv");
     PostedRecv pr;
     pr.tag = tag;
     pr.done = std::make_unique<sim::Trigger>(sim_);
     posted_.push_back(&pr);
+    trace_instant("rdma-ack");
     co_await transmit(Kind::kRdmaAck, tag, config_.ctl_bytes);
     co_await pr.done->wait();
   } else {
@@ -161,6 +176,7 @@ sim::Task<void> ViEndpoint::recv(std::uint64_t bytes, std::uint32_t tag) {
       unexpected_.erase(uit);
       staged = true;  // arrived before a descriptor was posted
     } else {
+      trace_instant("post-recv");
       PostedRecv pr;
       pr.tag = tag;
       pr.done = std::make_unique<sim::Trigger>(sim_);
@@ -169,7 +185,11 @@ sim::Task<void> ViEndpoint::recv(std::uint64_t bytes, std::uint32_t tag) {
     }
   }
   co_await node_.cpu_cost(config_.personality.completion_cost);
-  if (staged) co_await node_.staging_copy(bytes);
+  if (staged) {
+    staged_bytes_ += bytes;
+    trace_instant("staging-copy");
+    co_await node_.staging_copy(bytes);
+  }
 }
 
 ViaFabric::ViaFabric(hw::Cluster& cluster, hw::Node& a, hw::Node& b,

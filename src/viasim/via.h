@@ -71,6 +71,10 @@ class ViEndpoint {
   const ViaConfig& config() const { return config_; }
   std::uint64_t rdma_transfers() const { return rdma_transfers_; }
 
+  /// Bytes that arrived before a descriptor was posted and paid a
+  /// staging copy out of the VIA bounce buffer.
+  std::uint64_t staged_bytes() const { return staged_bytes_; }
+
  private:
   friend class ViaFabric;
 
@@ -95,6 +99,7 @@ class ViEndpoint {
   sim::Task<void> transmit(Kind kind, std::uint32_t tag,
                            std::uint64_t bytes);
   void complete_message(std::uint32_t tag);
+  void trace_instant(const char* what);
 
   sim::Simulator& sim_;
   hw::Node& node_;
@@ -114,6 +119,7 @@ class ViEndpoint {
   std::deque<sim::Trigger*> rdma_ack_waiters_;
   sim::Signal arrivals_;
   std::uint64_t rdma_transfers_ = 0;
+  std::uint64_t staged_bytes_ = 0;
 };
 
 /// Builds a VIA link between two nodes and a connected endpoint pair.

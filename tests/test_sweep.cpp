@@ -68,6 +68,41 @@ TEST(ThreadPool, DefaultThreadsIsAtLeastOne) {
   EXPECT_GE(ThreadPool::default_threads(), 1u);
 }
 
+TEST(ThreadPool, ThrowingTaskSurfacesFromWaitIdleWithoutHangingThePool) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("job exploded"); });
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  // Every other job still runs, in_flight_ drains to zero (no hang), and
+  // the escaped exception is rethrown exactly once.
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle should rethrow the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("job exploded"), std::string::npos);
+  }
+  EXPECT_EQ(ran.load(), 20);
+  // The error was consumed: the pool is reusable and idles cleanly.
+  pool.submit([&ran] { ran.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(ran.load(), 21);
+}
+
+TEST(ThreadPool, OnlyTheFirstEscapedExceptionIsKept) {
+  ThreadPool pool(1);  // one worker => deterministic execution order
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::runtime_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle should rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
 TEST(Sweep, ResultsAggregateInSpecOrderRegardlessOfCompletion) {
   // Job 0 is the slowest; completion order is the reverse of spec order.
   SweepSpec spec;
@@ -179,7 +214,7 @@ TEST(Json, ReportCarriesSchemaCurvesAndSpeedup) {
   spec.jobs.push_back(JobSpec{"curve", [] { return tiny_measurement(64 << 10); }});
   const SweepResult sr = run_sweep(spec);
   const std::string j = JsonReporter::to_json({sr});
-  EXPECT_NE(j.find("\"schema\":\"pp.sweep/1\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema\":\"pp.sweep/2\""), std::string::npos);
   EXPECT_NE(j.find("\"name\":\"json\""), std::string::npos);
   EXPECT_NE(j.find("\"label\":\"curve\""), std::string::npos);
   EXPECT_NE(j.find("\"latency_us\""), std::string::npos);
@@ -187,6 +222,16 @@ TEST(Json, ReportCarriesSchemaCurvesAndSpeedup) {
   EXPECT_NE(j.find("\"speedup_vs_serial\""), std::string::npos);
   // A measured ping-pong run has a real latency, not null.
   EXPECT_EQ(j.find("\"latency_us\":null"), std::string::npos);
+  // pp.sweep/2: per-job protocol counters; a real TCP run moved data.
+  EXPECT_NE(j.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(j.find("\"data_segments\":"), std::string::npos);
+  EXPECT_EQ(j.find("\"data_segments\":0"), std::string::npos);
+  // pp.sweep/2 dropped the redundant top-level "threads" (it always
+  // mirrored the per-sweep value); only the per-sweep key remains.
+  const std::size_t sweeps_at = j.find("\"sweeps\"");
+  ASSERT_NE(sweeps_at, std::string::npos);
+  EXPECT_EQ(j.substr(0, sweeps_at).find("\"threads\""), std::string::npos);
+  EXPECT_NE(j.find("\"threads\"", sweeps_at), std::string::npos);
 }
 
 TEST(Json, AbsentLatencySerializesAsNullNotZero) {
@@ -232,7 +277,7 @@ TEST(Json, WriteProducesAParsableFileOnDisk) {
                   std::istreambuf_iterator<char>());
   EXPECT_EQ(all.front(), '{');
   EXPECT_EQ(all.back(), '\n');
-  EXPECT_NE(all.find("pp.sweep/1"), std::string::npos);
+  EXPECT_NE(all.find("pp.sweep/2"), std::string::npos);
   std::remove(path.c_str());
 }
 

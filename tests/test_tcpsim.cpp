@@ -587,6 +587,49 @@ TEST_P(PerNicProperties, LatencyBelowThroughputSaturationTime) {
   EXPECT_LT(done, sim::milliseconds(1));
 }
 
+// ---- Teardown: timer callbacks must not outlive their endpoints -----------
+
+TEST(TcpTeardown, PendingTimersAfterConnectionTeardownAreHarmless) {
+  sim::Simulator sim;
+  hw::Cluster cluster(sim);
+  hw::Node& a = cluster.add_node(presets::pentium4_pc());
+  hw::Node& b = cluster.add_node(presets::pentium4_pc());
+  hw::Cluster::Duplex link =
+      cluster.connect(a, b, presets::netgear_ga620(), presets::back_to_back());
+  {
+    tcp::TcpStack stack_a(a, tcp::Sysctl::tuned());
+    tcp::TcpStack stack_b(b, tcp::Sysctl::tuned());
+    auto [sa, sb] = tcp::connect(stack_a, stack_b, link);
+    bool sent = false, received = false;
+    sim.spawn(
+        [](tcp::Socket& s, bool& done) -> sim::Task<void> {
+          co_await s.send(1);
+          done = true;
+        }(sa, sent),
+        "sender");
+    sim.spawn(
+        [](tcp::Socket& s, bool& done) -> sim::Task<void> {
+          co_await s.recv_exact(1);
+          done = true;
+        }(sb, received),
+        "receiver");
+    // Stop after the transfer but while the sender's RTO watchdog
+    // (default 40 ms) and the receiver's delayed-ACK flush (300 us) are
+    // still queued.
+    const bool events_remain = sim.run_until(sim::microseconds(250));
+    ASSERT_TRUE(sent);
+    ASSERT_TRUE(received);
+    ASSERT_TRUE(events_remain);
+  }
+  // Sockets and stacks — the endpoints' owners — are gone; draining the
+  // queue now fires the orphaned timer callbacks. They must detect the
+  // teardown through their liveness guards instead of dereferencing the
+  // freed endpoints (ASan reports heap-use-after-free here without the
+  // guards).
+  sim.run();
+  SUCCEED();
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllNics, PerNicProperties,
     ::testing::Values(NicCase{"ga620", presets::netgear_ga620()},

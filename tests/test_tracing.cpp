@@ -1,0 +1,282 @@
+// End-to-end tests for protocol-level tracing: the counter-track and
+// metadata JSON emission, the numeric cross-checks between trace instants
+// and protocol statistics (TCP, GM, VIA, rendezvous, daemon relays), the
+// bit-identity of untraced runs, and the counters carried by
+// netpipe::RunResult / point marks on the "netpipe" track.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gmsim/gm.h"
+#include "mp/mpich.h"
+#include "mp/pvm.h"
+#include "mp/testbed.h"
+#include "netpipe/modules.h"
+#include "netpipe/runner.h"
+#include "simcore/tracing.h"
+#include "simhw/presets.h"
+#include "viasim/via.h"
+
+namespace pp {
+namespace {
+
+namespace presets = hw::presets;
+
+mp::PairBed make_bed() {
+  return mp::PairBed(presets::pentium4_pc(), presets::netgear_ga620(),
+                     tcp::Sysctl::tuned());
+}
+
+/// Sends `bytes` from socket a to b and runs the simulation to
+/// completion.
+void transfer(mp::PairBed& bed, tcp::Socket& sa, tcp::Socket& sb,
+              std::uint64_t bytes) {
+  bed.sim.spawn(
+      [](tcp::Socket& s, std::uint64_t n) -> sim::Task<void> {
+        co_await s.send(n, 1);
+      }(sa, bytes),
+      "sender");
+  bed.sim.spawn(
+      [](tcp::Socket& s, std::uint64_t n) -> sim::Task<void> {
+        co_await s.recv_exact(n);
+      }(sb, bytes),
+      "receiver");
+  bed.sim.run();
+}
+
+TEST(Tracing, CounterEventsAndSortIndexSerialize) {
+  sim::TraceRecorder t;
+  t.record_instant("tcp#0.a", "seg", sim::microseconds(1));
+  t.record_counter("tcp#0.a", "cwnd", sim::microseconds(1), 2920.0);
+  t.record_counter("tcp#0.a", "rwnd", sim::microseconds(2), 65536.0);
+  t.set_track_sort_index("tcp#0.a", 3);
+  EXPECT_EQ(t.counter_count(), 2u);
+  EXPECT_EQ(t.counter_samples("tcp#0.a", "cwnd"), 1u);
+  EXPECT_EQ(t.counter_samples("tcp#0.a", "rwnd"), 1u);
+  EXPECT_EQ(t.counter_samples("tcp#0.a", "nope"), 0u);
+  const std::string json = t.to_chrome_json();
+  // Counter samples are Chrome "C" events keyed by track name, one
+  // series per args key.
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"cwnd\":2920"), std::string::npos);
+  EXPECT_NE(json.find("\"rwnd\":65536"), std::string::npos);
+  // The sort index rides along as thread_sort_index metadata.
+  EXPECT_NE(json.find("\"thread_sort_index\""), std::string::npos);
+  EXPECT_NE(json.find("\"sort_index\":3"), std::string::npos);
+}
+
+TEST(Tracing, TcpInstantsEqualSocketStatsUnderLoss) {
+  auto bed = make_bed();
+  sim::TraceRecorder rec;
+  bed.sim.set_tracer(&rec);
+  bed.link.forward.set_loss(0.02, 7);
+  auto [sa, sb] = bed.socket_pair("lossy");
+  transfer(bed, sa, sb, 1 << 20);
+
+  const tcp::SocketStats& a = sa.stats();
+  const tcp::SocketStats& b = sb.stats();
+  ASSERT_GT(a.retransmits, 0u);  // the loss rate actually bit
+
+  // Every protocol statistic has a one-to-one trace-instant twin.
+  EXPECT_EQ(rec.instants_named("seg"),
+            a.data_segments_sent + b.data_segments_sent);
+  EXPECT_EQ(rec.instants_named("ack"), a.acks_sent + b.acks_sent);
+  EXPECT_EQ(rec.instants_named("retransmit"), a.retransmits + b.retransmits);
+  EXPECT_EQ(rec.instants_named("fast-retransmit"),
+            a.fast_retransmits + b.fast_retransmits);
+  EXPECT_EQ(rec.instants_named("ooo-drop"),
+            a.out_of_order_dropped + b.out_of_order_dropped);
+  EXPECT_EQ(rec.instants_named("drop"),
+            bed.link.forward.packets_dropped() +
+                bed.link.backward.packets_dropped());
+
+  // Per-endpoint attribution: the lossy direction's sender owns the
+  // retransmit instants.
+  EXPECT_EQ(rec.instants_named(sa.trace_track(), "retransmit"),
+            a.retransmits);
+  // Window counters sampled on the endpoint's own track.
+  EXPECT_GT(rec.counter_samples(sa.trace_track(), "rwnd"), 0u);
+  EXPECT_GT(rec.counter_samples(sa.trace_track(), "advertised"), 0u);
+  // NIC interrupts fired (coalescer instants on the rx pipe tracks).
+  EXPECT_GT(rec.instants_named("irq"), 0u);
+}
+
+TEST(Tracing, UntracedRunIsBitIdenticalToTracedRun) {
+  auto run_once = [](bool traced) {
+    auto bed = make_bed();
+    sim::TraceRecorder rec;
+    if (traced) bed.sim.set_tracer(&rec);
+    bed.link.forward.set_loss(0.05, 99);
+    auto [sa, sb] = bed.socket_pair("twin");
+    transfer(bed, sa, sb, 512 << 10);
+    return std::pair{bed.sim.now(), bed.sim.events_processed()};
+  };
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
+TEST(Tracing, GmDoorbellsAndCompletionsAreCounted) {
+  sim::Simulator sim;
+  sim::TraceRecorder rec;
+  sim.set_tracer(&rec);
+  hw::Cluster cluster(sim);
+  hw::Node& a = cluster.add_node(presets::pentium4_pc());
+  hw::Node& b = cluster.add_node(presets::pentium4_pc());
+  gm::GmFabric fabric(cluster, a, b, presets::myrinet_pci64a(),
+                      presets::back_to_back(), {});
+  constexpr int kReps = 3;
+  sim.spawn(
+      [](gm::GmPort& p) -> sim::Task<void> {
+        for (int i = 0; i < kReps; ++i) {
+          co_await p.send(100000, 1);
+          co_await p.recv(100000, 1);
+        }
+      }(fabric.port_a()),
+      "ping");
+  sim.spawn(
+      [](gm::GmPort& p) -> sim::Task<void> {
+        for (int i = 0; i < kReps; ++i) {
+          co_await p.recv(100000, 1);
+          co_await p.send(100000, 1);
+        }
+      }(fabric.port_b()),
+      "pong");
+  sim.run();
+  // One doorbell per gm_send; every message completes exactly once,
+  // either against a posted receive or via the unexpected/staging path.
+  EXPECT_EQ(rec.instants_named("doorbell"), 2u * kReps);
+  EXPECT_EQ(rec.instants_named("complete") + rec.instants_named("unexpected"),
+            2u * kReps);
+}
+
+TEST(Tracing, ViaRdmaInstantsMatchTransferCounts) {
+  sim::Simulator sim;
+  sim::TraceRecorder rec;
+  sim.set_tracer(&rec);
+  hw::Cluster cluster(sim);
+  hw::Node& a = cluster.add_node(presets::pentium4_pc());
+  hw::Node& b = cluster.add_node(presets::pentium4_pc());
+  via::ViaFabric fabric(cluster, a, b, presets::giganet_clan(),
+                        presets::switched(), {});
+  // 64 kB is above the default 16 kB RDMA-write threshold.
+  sim.spawn(
+      [](via::ViEndpoint& p) -> sim::Task<void> {
+        co_await p.send(64 << 10, 1);
+        co_await p.recv(64 << 10, 1);
+      }(fabric.end_a()),
+      "ping");
+  sim.spawn(
+      [](via::ViEndpoint& p) -> sim::Task<void> {
+        co_await p.recv(64 << 10, 1);
+        co_await p.send(64 << 10, 1);
+      }(fabric.end_b()),
+      "pong");
+  sim.run();
+  const std::uint64_t rdma =
+      fabric.end_a().rdma_transfers() + fabric.end_b().rdma_transfers();
+  EXPECT_GT(rdma, 0u);
+  EXPECT_EQ(rec.instants_named("rdma-req"), rdma);
+  EXPECT_GT(rec.instants_named("doorbell"), 0u);
+}
+
+TEST(Tracing, RendezvousInstantsMatchHandshakeCounters) {
+  auto bed = make_bed();
+  sim::TraceRecorder rec;
+  bed.sim.set_tracer(&rec);
+  auto [a, b] = mp::Mpich::create_pair(bed, {});
+  // 256 kB is above MPICH's 128 kB rendezvous cutoff.
+  bed.sim.spawn(
+      [](mp::Library& l) -> sim::Task<void> {
+        co_await l.send(1, 256 << 10, 1);
+      }(*a),
+      "send");
+  bed.sim.spawn(
+      [](mp::Library& l) -> sim::Task<void> {
+        co_await l.recv(0, 256 << 10, 1);
+      }(*b),
+      "recv");
+  bed.sim.run();
+  const std::uint64_t handshakes =
+      a->protocol_counters().rendezvous_handshakes +
+      b->protocol_counters().rendezvous_handshakes;
+  ASSERT_GT(handshakes, 0u);
+  // One RTS, one CTS and one payload phase per handshake.
+  EXPECT_EQ(rec.instants_named("rts"), handshakes);
+  EXPECT_EQ(rec.instants_named("cts"), handshakes);
+  EXPECT_EQ(rec.instants_named("rendezvous-payload"), handshakes);
+}
+
+TEST(Tracing, DaemonRelayHopsMatchFragmentCounters) {
+  auto bed = make_bed();
+  sim::TraceRecorder rec;
+  bed.sim.set_tracer(&rec);
+  mp::PvmOptions opt;
+  opt.route = mp::PvmRoute::kDaemon;
+  auto [a, b] = mp::Pvm::create_pair(bed, opt);
+  bed.sim.spawn(
+      [](mp::Library& l) -> sim::Task<void> {
+        co_await l.send(1, 100000, 1);
+        co_await l.recv(1, 100000, 1);
+      }(*a),
+      "ping");
+  bed.sim.spawn(
+      [](mp::Library& l) -> sim::Task<void> {
+        co_await l.recv(0, 100000, 1);
+        co_await l.send(0, 100000, 1);
+      }(*b),
+      "pong");
+  bed.sim.run();
+  const std::uint64_t fragments = a->protocol_counters().relay_fragments +
+                                  b->protocol_counters().relay_fragments;
+  ASSERT_GT(fragments, 0u);
+  EXPECT_EQ(rec.instants_named("relay-out"), fragments);
+  EXPECT_GT(rec.instants_named("relay-in"), 0u);
+}
+
+TEST(Tracing, RunResultCarriesCountersAndPointMarks) {
+  auto bed = make_bed();
+  sim::TraceRecorder rec;
+  bed.sim.set_tracer(&rec);
+  auto [sa, sb] = bed.socket_pair("np");
+  netpipe::TcpTransport ta(sa), tb(sb);
+  netpipe::RunOptions opt;
+  opt.schedule.max_bytes = 16 << 10;
+  opt.repeats = 2;
+  const netpipe::RunResult r = netpipe::run_netpipe(bed.sim, ta, tb, opt);
+
+  // The result's counters are the sum of both socket ends' stats.
+  EXPECT_EQ(r.counters.data_segments,
+            sa.stats().data_segments_sent + sb.stats().data_segments_sent);
+  EXPECT_EQ(r.counters.acks, sa.stats().acks_sent + sb.stats().acks_sent);
+  EXPECT_GT(r.counters.data_segments, 0u);
+  EXPECT_GT(r.counters.acks, 0u);
+  EXPECT_EQ(r.counters.rendezvous_handshakes, 0u);  // raw TCP transport
+
+  // One "size=N" mark per measured point on the "netpipe" track.
+  ASSERT_FALSE(r.points.empty());
+  for (const auto& p : r.points) {
+    EXPECT_EQ(rec.instants_named("netpipe",
+                                 "size=" + std::to_string(p.bytes)),
+              1u);
+  }
+}
+
+TEST(Tracing, PointMarksCanBeDisabled) {
+  auto bed = make_bed();
+  sim::TraceRecorder rec;
+  bed.sim.set_tracer(&rec);
+  auto [sa, sb] = bed.socket_pair("np");
+  netpipe::TcpTransport ta(sa), tb(sb);
+  netpipe::RunOptions opt;
+  opt.schedule.max_bytes = 4 << 10;
+  opt.mark_points = false;
+  const netpipe::RunResult r = netpipe::run_netpipe(bed.sim, ta, tb, opt);
+  ASSERT_FALSE(r.points.empty());
+  for (const auto& p : r.points) {
+    EXPECT_EQ(rec.instants_named("netpipe",
+                                 "size=" + std::to_string(p.bytes)),
+              0u);
+  }
+}
+
+}  // namespace
+}  // namespace pp
