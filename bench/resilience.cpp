@@ -1,0 +1,218 @@
+// resilience: throughput-vs-loss-rate curves per library.
+//
+// The paper measures lossless testbeds; this bench measures how each
+// protocol stack degrades when the fabric is not clean. Every library
+// is swept across Bernoulli frame-loss rates injected by a FaultPlan:
+// the TCP-based libraries recover through retransmission (go-back-N
+// rewinds, RTO backoff), GM and VIA through their delivery watchdogs.
+// Jobs run under the sweep watchdog with keep_going, so a configuration
+// that cannot converge degrades to a reported row instead of aborting
+// the bench. Results land in BENCH_resilience.json (schema pp.sweep/3).
+#include <cstdio>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "bench/figures.h"
+#include "faults/plan.h"
+#include "gmsim/gm.h"
+#include "mp/gm_mpi.h"
+#include "mp/lam.h"
+#include "mp/mpich.h"
+#include "mp/mplite.h"
+#include "mp/pvm.h"
+#include "mp/tcgmsg.h"
+#include "mp/via_mpi.h"
+#include "sweep/json_report.h"
+#include "sweep/sweep.h"
+#include "viasim/via.h"
+
+using namespace pp;
+using namespace pp::bench;
+
+namespace {
+
+const double kLossRates[] = {0.0, 0.001, 0.005, 0.01, 0.02, 0.05};
+
+netpipe::RunOptions resilience_run_options() {
+  netpipe::RunOptions o;
+  o.schedule.max_bytes = 512 << 10;
+  o.repeats = 1;
+  o.warmup = 0;
+  return o;
+}
+
+std::string job_label(const std::string& lib, double loss) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s @ %.3f", lib.c_str(), loss);
+  return buf;
+}
+
+/// A TCP-family measurement on a fresh bed with `plan` injected into the
+/// bed's cluster before any traffic flows.
+sweep::JobSpec bed_fault_job(std::string label, hw::HostConfig host,
+                             hw::NicConfig nic, tcp::Sysctl sysctl,
+                             std::function<TransportPair(mp::PairBed&)> make,
+                             faults::FaultPlan plan,
+                             netpipe::RunOptions opts) {
+  auto run = [host, nic, sysctl, make = std::move(make), plan, opts] {
+    mp::PairBed bed(host, nic, sysctl);
+    faults::apply(plan, bed.cluster);
+    auto [ta, tb] = make(bed);
+    return netpipe::run_netpipe(bed.sim, *ta, *tb, opts);
+  };
+  return sweep::JobSpec{std::move(label), std::move(run)};
+}
+
+sweep::JobSpec gm_fault_job(std::string label, faults::FaultPlan plan,
+                            netpipe::RunOptions opts) {
+  auto run = [plan, opts] {
+    sim::Simulator s;
+    hw::Cluster c(s);
+    auto& a = c.add_node(hw::presets::pentium4_pc());
+    auto& b = c.add_node(hw::presets::pentium4_pc());
+    gm::GmConfig gc;
+    // GM has no wire-level reliability of its own: under injected loss
+    // the delivery watchdog is what completes the messages.
+    if (!plan.empty()) gc.delivery_timeout = sim::microseconds(500.0);
+    gm::GmFabric fab(c, a, b, hw::presets::myrinet_pci64a(),
+                     hw::presets::back_to_back(), gc);
+    faults::apply(plan, c);
+    mp::GmTransport ta(fab.port_a()), tb(fab.port_b());
+    return netpipe::run_netpipe(s, ta, tb, opts);
+  };
+  return sweep::JobSpec{std::move(label), std::move(run)};
+}
+
+sweep::JobSpec via_fault_job(std::string label, faults::FaultPlan plan,
+                             netpipe::RunOptions opts) {
+  auto run = [plan, opts] {
+    sim::Simulator s;
+    hw::Cluster c(s);
+    auto& a = c.add_node(hw::presets::pentium4_pc());
+    auto& b = c.add_node(hw::presets::pentium4_pc());
+    via::ViaConfig vc;
+    if (!plan.empty()) vc.delivery_timeout = sim::microseconds(500.0);
+    via::ViaFabric fab(c, a, b, hw::presets::giganet_clan(),
+                       hw::presets::switched(), vc);
+    faults::apply(plan, c);
+    mp::ViaTransport ta(fab.end_a()), tb(fab.end_b());
+    return netpipe::run_netpipe(s, ta, tb, opts);
+  };
+  return sweep::JobSpec{std::move(label), std::move(run)};
+}
+
+struct LibRow {
+  std::string name;
+  std::function<sweep::JobSpec(double loss, std::uint64_t seed)> job;
+};
+
+}  // namespace
+
+int main() {
+  const auto opts = resilience_run_options();
+  const auto host = hw::presets::pentium4_pc();
+  const auto nic = hw::presets::netgear_ga620();
+  const auto sysctl = tcp::Sysctl::tuned();
+
+  auto tcp_row = [&](const std::string& name,
+                     std::function<TransportPair(mp::PairBed&)> make) {
+    return LibRow{name, [=](double loss, std::uint64_t seed) {
+                    return bed_fault_job(
+                        job_label(name, loss), host, nic, sysctl, make,
+                        faults::uniform_loss_plan(loss, seed), opts);
+                  }};
+  };
+
+  std::vector<LibRow> rows;
+  rows.push_back(tcp_row("raw TCP", [](mp::PairBed& bed) {
+    return raw_tcp_pair(bed, 512 << 10);
+  }));
+  rows.push_back(tcp_row("MPICH", [](mp::PairBed& bed) {
+    mp::MpichOptions o;
+    o.p4_sockbufsize = 256 << 10;
+    return hold_pair(mp::Mpich::create_pair(bed, o));
+  }));
+  rows.push_back(tcp_row("LAM/MPI -O", [](mp::PairBed& bed) {
+    mp::LamOptions o;
+    o.mode = mp::LamMode::kC2cO;
+    return hold_pair(mp::Lam::create_pair(bed, o));
+  }));
+  rows.push_back(tcp_row("MP_Lite", [](mp::PairBed& bed) {
+    return hold_pair(mp::MpLite::create_pair(bed));
+  }));
+  rows.push_back(tcp_row("PVM", [](mp::PairBed& bed) {
+    mp::PvmOptions o;
+    o.route = mp::PvmRoute::kDirect;
+    o.encoding = mp::PvmEncoding::kInPlace;
+    return hold_pair(mp::Pvm::create_pair(bed, o));
+  }));
+  rows.push_back(tcp_row("TCGMSG", [](mp::PairBed& bed) {
+    return hold_pair(mp::Tcgmsg::create_pair(bed, {}));
+  }));
+  rows.push_back(LibRow{"raw GM", [&](double loss, std::uint64_t seed) {
+                          return gm_fault_job(
+                              job_label("raw GM", loss),
+                              faults::uniform_loss_plan(loss, seed), opts);
+                        }});
+  rows.push_back(LibRow{"raw VIA", [&](double loss, std::uint64_t seed) {
+                          return via_fault_job(
+                              job_label("raw VIA", loss),
+                              faults::uniform_loss_plan(loss, seed), opts);
+                        }});
+
+  sweep::SweepSpec spec;
+  spec.name = "resilience";
+  std::uint64_t seed = 1;
+  for (const auto& row : rows) {
+    for (double loss : kLossRates) {
+      spec.jobs.push_back(row.job(loss, seed++));
+    }
+  }
+
+  sweep::SweepOptions sopt;
+  sopt.keep_going = true;
+  sopt.limits.sim_deadline = sim::seconds(120.0);
+  sopt.limits.event_budget = 1'000'000'000ull;
+  const sweep::SweepResult sr = run_sweep(spec, sopt);
+  print_sweep_stats(sr);
+
+  std::printf("\nthroughput (Mbps at 512 kB ping-pong) vs frame-loss rate\n");
+  std::printf("%-14s", "library");
+  for (double loss : kLossRates) std::printf(" %9.3f", loss);
+  std::printf("\n");
+  std::size_t j = 0;
+  for (const auto& row : rows) {
+    std::printf("%-14s", row.name.c_str());
+    for (std::size_t i = 0; i < std::size(kLossRates); ++i, ++j) {
+      const sweep::JobResult& jr = sr.jobs[j];
+      if (jr.ok) {
+        std::printf(" %9.0f", jr.result.max_mbps);
+      } else {
+        std::printf(" %9s", sweep::to_string(jr.status));
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nrecovery activity (retransmits+delivery retries at the"
+              " highest loss rate):\n");
+  j = 0;
+  for (const auto& row : rows) {
+    const sweep::JobResult& jr = sr.jobs[j + std::size(kLossRates) - 1];
+    j += std::size(kLossRates);
+    if (!jr.ok) continue;
+    const netpipe::ProtocolCounters& c = jr.result.counters;
+    std::printf("  %-14s wire_drops %8llu  retransmits %8llu"
+                "  delivery_failures %6llu\n",
+                row.name.c_str(),
+                static_cast<unsigned long long>(c.wire_drops),
+                static_cast<unsigned long long>(c.retransmits),
+                static_cast<unsigned long long>(c.delivery_failures));
+  }
+
+  sweep::JsonReporter::write("BENCH_resilience.json", {sr});
+  std::printf("\nwrote BENCH_resilience.json\n");
+  return 0;
+}

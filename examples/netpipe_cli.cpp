@@ -24,6 +24,16 @@
 //                 retransmits, window counters, doorbells, rendezvous
 //                 phases, relay hops) and write Chrome trace-event JSON
 //                 to f — load in Perfetto or chrome://tracing
+//     --loss p            inject Bernoulli frame loss with probability p
+//     --burst-loss p      inject Gilbert-Elliott burst loss (p = chance
+//                         per frame of entering a loss burst)
+//     --flap P:D          every P us of simulated time the link goes
+//                         down for D us (all frames in the window drop)
+//     --fault-seed n      seed for the fault plan (default 1)
+//
+//   Fault flags compose into one FaultPlan applied to the run's link.
+//   GM and VIA runs automatically enable their delivery watchdogs when a
+//   plan is present (lost fragments otherwise wedge the endpoint).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +42,7 @@
 #include <string>
 
 #include "bench/common.h"
+#include "faults/plan.h"
 #include "netpipe/loggp.h"
 #include "simcore/tracing.h"
 #include "shmemsim/shmem.h"
@@ -63,12 +74,16 @@ struct CliOptions {
   bool loggp = false;
   /// Attached to each family's simulator when --trace is given.
   sim::TraceRecorder* tracer = nullptr;
+  /// Built from --loss / --burst-loss / --flap; empty = clean run.
+  faults::FaultPlan plan;
+  faults::LinkFaultConfig link_faults;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr, "usage: %s [module] [-H host] [-N nic] [-b bytes]"
                        " [-u bytes] [-P n] [-r n] [-s] [-o file] [-q]"
-                       " [--trace file]\n",
+                       " [--trace file] [--loss p] [--burst-loss p]"
+                       " [--flap P:D] [--fault-seed n]\n",
                argv0);
   std::exit(2);
 }
@@ -98,6 +113,7 @@ netpipe::RunResult run_tcp_family(const CliOptions& o) {
   if (o.module == "ipgm") nic = hw::presets::myrinet_ip_over_gm();
   mp::PairBed bed(host, nic, sysctl);
   bed.sim.set_tracer(o.tracer);
+  faults::apply(o.plan, bed.cluster);
 
   auto run = [&](TransportPair pair) {
     return netpipe::run_netpipe(bed.sim, *pair.first, *pair.second, o.run);
@@ -146,8 +162,12 @@ netpipe::RunResult run_gm_family(const CliOptions& o) {
   auto& b = c.add_node(host_for(o));
   gm::GmConfig gc;
   if (o.module == "gm-blocking") gc.recv_mode = gm::RecvMode::kBlocking;
+  // Under fault injection GM needs its delivery watchdog: a lost
+  // fragment never completes otherwise.
+  if (!o.plan.empty()) gc.delivery_timeout = sim::microseconds(500.0);
   gm::GmFabric fab(c, a, b, hw::presets::myrinet_pci64a(),
                    hw::presets::back_to_back(), gc);
+  faults::apply(o.plan, c);
   if (o.module == "mpich-gm" || o.module == "mpipro-gm") {
     const auto lo = o.module == "mpich-gm" ? mp::GmMpi::mpich_gm()
                                            : mp::GmMpi::mpipro_gm();
@@ -169,10 +189,12 @@ netpipe::RunResult run_via_family(const CliOptions& o) {
   via::ViaConfig vc;
   vc.personality = mvia ? via::ViaPersonality::mvia_sk98lin()
                         : via::ViaPersonality::giganet();
+  if (!o.plan.empty()) vc.delivery_timeout = sim::microseconds(500.0);
   via::ViaFabric fab(
       c, a, b,
       mvia ? hw::presets::syskonnect_mvia() : hw::presets::giganet_clan(),
       mvia ? hw::presets::back_to_back() : hw::presets::switched(), vc);
+  faults::apply(o.plan, c);
   mp::ViaMpiOptions lo = mp::ViaMpi::mvich();
   if (o.module == "mvich-norput") lo = mp::ViaMpi::mvich(false);
   if (o.module == "mplite-via") lo = mp::ViaMpi::mplite_via();
@@ -216,6 +238,20 @@ int main(int argc, char** argv) {
       o.dat_file = next();
     } else if (arg == "--trace") {
       o.trace_file = next();
+    } else if (arg == "--loss") {
+      o.link_faults.loss = std::strtod(next(), nullptr);
+    } else if (arg == "--burst-loss") {
+      o.link_faults.ge_good_to_bad = std::strtod(next(), nullptr);
+    } else if (arg == "--flap") {
+      const char* v = next();
+      char* colon = nullptr;
+      const double period = std::strtod(v, &colon);
+      if (colon == nullptr || *colon != ':') usage(argv[0]);
+      const double down = std::strtod(colon + 1, nullptr);
+      o.link_faults.flap_period = sim::microseconds(period);
+      o.link_faults.flap_down = sim::microseconds(down);
+    } else if (arg == "--fault-seed") {
+      o.plan.seed = std::strtoull(next(), nullptr, 0);
     } else if (arg == "-q") {
       o.quiet = true;
     } else if (arg == "-g") {
@@ -228,6 +264,8 @@ int main(int argc, char** argv) {
       usage(argv[0]);
     }
   }
+
+  if (o.link_faults.any()) o.plan.add_link("", o.link_faults);
 
   sim::TraceRecorder recorder;
   if (!o.trace_file.empty()) o.tracer = &recorder;

@@ -37,6 +37,23 @@ sweep::JobSpec advisor_job(std::string label, hw::HostConfig host,
   return sweep::JobSpec{std::move(label), std::move(run)};
 }
 
+/// The advisor's scores assume clean curves. If any measurement saw
+/// frames dropped on the wire (fault injection, a lossy model), its
+/// throughput includes retransmission stalls and the recommendation is
+/// suspect — say so rather than silently recommending from bad data.
+void warn_if_lossy(const sweep::SweepResult& sr) {
+  std::uint64_t drops = 0;
+  for (const auto& j : sr.jobs) {
+    if (j.ok) drops += j.result.counters.wire_drops;
+  }
+  if (drops == 0) return;
+  std::printf("\nWARNING: %llu frames were dropped on the wire during "
+              "these measurements;\nthe curves include retransmission "
+              "stalls and the recommendation below may\nnot hold on a "
+              "clean network.\n",
+              static_cast<unsigned long long>(drops));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -73,6 +90,7 @@ int main(int argc, char** argv) {
                                       }));
     }
     const auto sr = sweep::run_sweep(spec);
+    warn_if_lossy(sr);
     double best = 0;
     std::uint64_t best_thr = 0;
     for (std::size_t i = 0; i < thresholds.size(); ++i) {
@@ -118,6 +136,7 @@ int main(int argc, char** argv) {
                                     sysctl, std::move(make)));
   }
   const auto sr = sweep::run_sweep(spec);
+  warn_if_lossy(sr);
 
   double best = 0;
   double default_mbps = sr.jobs.front().result.max_mbps;

@@ -1,0 +1,104 @@
+// Fault-injection knobs: plain config structs consumed by the hardware
+// layer (simhw) plus the seed-derivation helper that keeps every injector
+// deterministic yet decorrelated.
+//
+// This header is dependency-free (simcore only) so that simhw can include
+// it without a cycle; the declarative FaultPlan that *applies* these
+// configs to a built Cluster lives in faults/plan.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "simcore/time.h"
+
+namespace pp::faults {
+
+/// Deterministically derives an injector seed from a base seed and a
+/// stable string (a pipe name, a rule tag). Two pipes in one run must
+/// never share a drop sequence, and the same (base, name) pair must give
+/// the same stream on every run and thread — so the name is folded in
+/// FNV-1a style and finished with the SplitMix64 mix.
+inline std::uint64_t derive_seed(std::uint64_t base, std::string_view name) {
+  std::uint64_t h = 1469598103934665603ULL ^ base;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+/// Per-link (one PacketPipe direction) fault model. All probabilities are
+/// per-frame; everything defaults off, and an all-default config injects
+/// nothing (the pipe keeps its exact lossless behaviour).
+struct LinkFaultConfig {
+  /// Independent (Bernoulli) frame loss probability.
+  double loss = 0.0;
+
+  // Gilbert–Elliott burst loss: a two-state Markov chain stepped once per
+  // frame. Enabled when ge_good_to_bad > 0. The defaults model classic
+  // bursts — lossless in the good state, deaf in the bad state.
+  double ge_good_to_bad = 0.0;  ///< P(good -> bad) per frame; 0 disables GE
+  double ge_bad_to_good = 0.25; ///< P(bad -> good) per frame
+  double ge_loss_good = 0.0;    ///< loss probability while in the good state
+  double ge_loss_bad = 1.0;     ///< loss probability while in the bad state
+
+  /// Probability that a frame is delayed by `reorder_delay` extra
+  /// propagation, letting later frames overtake it.
+  double reorder = 0.0;
+  sim::SimTime reorder_delay = sim::microseconds(50);
+
+  /// Probability that a frame is duplicated (the copy is flagged
+  /// Packet::injected_dup so receivers can model hardware dedup).
+  double duplicate = 0.0;
+
+  /// Probability that a frame arrives bit-corrupted (Packet::corrupted);
+  /// checksumming receivers discard it on arrival.
+  double corrupt = 0.0;
+
+  /// Timed link flap: the link is deaf during the first `flap_down` of
+  /// every `flap_period` window (both must be > 0 to enable). A pure
+  /// function of simulated time, so flaps are reproducible by definition.
+  sim::SimTime flap_period = 0;
+  sim::SimTime flap_down = 0;
+
+  bool ge_enabled() const noexcept { return ge_good_to_bad > 0.0; }
+  bool flap_enabled() const noexcept {
+    return flap_period > 0 && flap_down > 0;
+  }
+  bool any() const noexcept {
+    return loss > 0.0 || ge_enabled() || reorder > 0.0 || duplicate > 0.0 ||
+           corrupt > 0.0 || flap_enabled();
+  }
+};
+
+/// Per-NIC (receive side of one pipe) fault model.
+struct NicFaultConfig {
+  /// Rx descriptor ring size: frames arriving while this many are already
+  /// queued for the host are dropped (ring overflow). 0 = unlimited.
+  std::size_t ring_slots = 0;
+
+  /// Probability that a receive interrupt is stalled by `irq_stall_time`
+  /// (models a masked/starved interrupt line).
+  double irq_stall = 0.0;
+  sim::SimTime irq_stall_time = sim::microseconds(200);
+
+  bool any() const noexcept { return ring_slots > 0 || irq_stall > 0.0; }
+};
+
+/// Host scheduler pauses: every `pause_period` the node's CPU is seized
+/// for `pause_duration`, freezing all protocol work pinned to that CPU
+/// (daemon housekeeping, a checkpoint stall, a noisy co-tenant).
+struct HostFaultConfig {
+  sim::SimTime pause_period = 0;    ///< 0 disables
+  sim::SimTime pause_duration = 0;  ///< 0 disables
+  sim::SimTime first_pause_at = 0;  ///< 0 = one full period in
+
+  bool any() const noexcept { return pause_period > 0 && pause_duration > 0; }
+};
+
+}  // namespace pp::faults

@@ -1,0 +1,91 @@
+#include "faults/plan.h"
+
+#include <string>
+
+#include "simcore/simulator.h"
+#include "simcore/task.h"
+#include "simcore/tracing.h"
+#include "simhw/cluster.h"
+#include "simhw/node.h"
+#include "simhw/pipe.h"
+
+namespace pp::faults {
+
+bool FaultPlan::empty() const noexcept {
+  for (const auto& r : links) {
+    if (r.cfg.any()) return false;
+  }
+  for (const auto& r : nics) {
+    if (r.cfg.any()) return false;
+  }
+  for (const auto& r : hosts) {
+    if (r.cfg.any()) return false;
+  }
+  return true;
+}
+
+FaultPlan uniform_loss_plan(double p, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  LinkFaultConfig cfg;
+  cfg.loss = p;
+  plan.add_link("", cfg);
+  return plan;
+}
+
+namespace {
+
+bool matches(const std::string& pipe_name, const std::string& pattern) {
+  return pattern.empty() || pipe_name.find(pattern) != std::string::npos;
+}
+
+// Seizes the node's CPU for cfg.pause_duration every cfg.pause_period,
+// freezing every coroutine charged to that CPU (protocol processing,
+// copies, driver work). A daemon, so it never counts as deadlocked — and
+// it retires itself once no real processes remain, so the event queue can
+// drain and run() can finish.
+sim::Task<void> pause_daemon(sim::Simulator& sim, hw::Node& node,
+                             HostFaultConfig cfg) {
+  const sim::SimTime first =
+      cfg.first_pause_at > 0 ? cfg.first_pause_at : cfg.pause_period;
+  co_await sim.delay(first);
+  for (;;) {
+    if (sim.live_processes() == 0) co_return;  // workload finished
+    if (sim::TraceRecorder* t = sim.tracer()) {
+      t->record_instant(node.cpu().name(), "host-pause", sim.now());
+    }
+    co_await node.cpu().occupy(cfg.pause_duration);
+    co_await sim.delay(cfg.pause_period > cfg.pause_duration
+                           ? cfg.pause_period - cfg.pause_duration
+                           : cfg.pause_period);
+  }
+}
+
+}  // namespace
+
+void apply(const FaultPlan& plan, hw::Cluster& cluster) {
+  for (hw::PacketPipe* pipe : cluster.pipes()) {
+    for (const auto& rule : plan.links) {
+      if (!rule.cfg.any() || !matches(pipe->name(), rule.pipe_match)) continue;
+      pipe->set_link_faults(rule.cfg,
+                            derive_seed(plan.seed, pipe->name() + "/link"));
+    }
+    for (const auto& rule : plan.nics) {
+      if (!rule.cfg.any() || !matches(pipe->name(), rule.pipe_match)) continue;
+      pipe->set_nic_faults(rule.cfg,
+                           derive_seed(plan.seed, pipe->name() + "/nic"));
+    }
+  }
+  for (const auto& rule : plan.hosts) {
+    if (!rule.cfg.any()) continue;
+    for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+      hw::Node& node = cluster.node(i);
+      if (rule.node >= 0 && rule.node != node.id()) continue;
+      cluster.simulator().spawn_daemon(
+          pause_daemon(cluster.simulator(), node, rule.cfg),
+          node.cpu().name() + ".pause");
+    }
+  }
+}
+
+}  // namespace pp::faults

@@ -1,0 +1,82 @@
+// Declarative fault plans.
+//
+// A FaultPlan is a seeded, composable description of every fault a run
+// should suffer: link rules (loss/burst-loss/reorder/duplicate/corrupt/
+// flap) and NIC rules matched against pipe names, plus host pause rules
+// matched by node id. apply() walks a built Cluster and arms the matching
+// injectors, deriving each injector's RNG stream from (plan seed, pipe
+// name) so the same plan + seed reproduces the same fault sequence on
+// every run and thread count, while no two pipes share a stream.
+//
+// An empty plan applied to a cluster changes nothing: runs stay
+// bit-identical to an unfaulted run (regression-tested in test_faults).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/config.h"
+
+namespace pp::hw {
+class Cluster;
+}
+
+namespace pp::faults {
+
+struct FaultPlan {
+  /// Base seed every injector stream derives from (mixed with the pipe
+  /// name via derive_seed, so this is the only knob runs need to vary).
+  std::uint64_t seed = 1;
+
+  /// Link/NIC rules match pipes whose name *contains* `pipe_match`
+  /// (empty matches every pipe). Pipe names look like "myri2000[0-1]>".
+  struct LinkRule {
+    std::string pipe_match;
+    LinkFaultConfig cfg;
+  };
+  struct NicRule {
+    std::string pipe_match;
+    NicFaultConfig cfg;
+  };
+  /// Host rules match by node id; node < 0 matches every node.
+  struct HostRule {
+    int node = -1;
+    HostFaultConfig cfg;
+  };
+
+  std::vector<LinkRule> links;
+  std::vector<NicRule> nics;
+  std::vector<HostRule> hosts;
+
+  FaultPlan& with_seed(std::uint64_t s) {
+    seed = s;
+    return *this;
+  }
+  FaultPlan& add_link(std::string pipe_match, LinkFaultConfig cfg) {
+    links.push_back({std::move(pipe_match), cfg});
+    return *this;
+  }
+  FaultPlan& add_nic(std::string pipe_match, NicFaultConfig cfg) {
+    nics.push_back({std::move(pipe_match), cfg});
+    return *this;
+  }
+  FaultPlan& add_host(int node, HostFaultConfig cfg) {
+    hosts.push_back({node, cfg});
+    return *this;
+  }
+
+  /// True when the plan arms nothing (rules whose configs are all-default
+  /// count as nothing — applying them is a no-op).
+  bool empty() const noexcept;
+};
+
+/// Convenience: a plan injecting Bernoulli loss `p` on every pipe.
+FaultPlan uniform_loss_plan(double p, std::uint64_t seed = 1);
+
+/// Arms every matching injector on `cluster`'s pipes and spawns host
+/// pause daemons on matching nodes. Call after the cluster's topology is
+/// built and before the run; applying an empty plan is a no-op.
+void apply(const FaultPlan& plan, hw::Cluster& cluster);
+
+}  // namespace pp::faults

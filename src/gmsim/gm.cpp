@@ -29,6 +29,19 @@ void GmPort::trace_instant(const char* what) {
 sim::Task<void> GmPort::send(std::uint64_t bytes, std::uint32_t tag) {
   co_await node_.cpu_cost(config_.api_send_cost);
   trace_instant("doorbell");
+  const std::uint64_t seq = next_msg_seq_++;
+  if (config_.delivery_timeout > 0) {
+    pending_[seq] =
+        PendingDelivery{bytes, tag, 0, config_.delivery_timeout};
+  }
+  co_await inject_fragments(seq, tag, bytes, 0);
+  arm_delivery_watchdog(seq);
+}
+
+sim::Task<void> GmPort::inject_fragments(std::uint64_t msg_seq,
+                                         std::uint32_t tag,
+                                         std::uint64_t bytes,
+                                         std::uint32_t attempt) {
   const std::uint32_t mtu = out_.nic().mtu;
   std::uint64_t left = bytes;
   bool first = true;
@@ -40,14 +53,68 @@ sim::Task<void> GmPort::send(std::uint64_t bytes, std::uint32_t tag) {
     auto ctx = std::make_shared<Frag>();
     ctx->dst = peer_;
     ctx->tag = tag;
+    ctx->msg_seq = msg_seq;
     ctx->msg_bytes = bytes;
     ctx->frag_bytes = frag;
-    ctx->last = (left == 0);
+    ctx->attempt = attempt;
     hw::Packet p;
     p.dma_bytes = frag + config_.frag_header;
     p.wire_bytes = frag + config_.frag_header + out_.nic().frame_overhead;
     p.ctx = std::move(ctx);
+    // If fault injection discards the fragment anywhere in the pipe, the
+    // send token it holds must come home or the port slowly strangles
+    // itself (and, with every token lost, deadlocks).
+    std::weak_ptr<char> guard = alive_;
+    p.on_drop = [this, guard] {
+      if (guard.expired()) return;
+      tokens_.release(1);
+      ++frags_lost_;
+      trace_instant("frag-drop");
+    };
     out_.inject(std::move(p));
+  }
+}
+
+sim::Task<void> GmPort::retry_message(std::uint64_t msg_seq) {
+  auto it = pending_.find(msg_seq);
+  if (it == pending_.end()) co_return;  // delivered while we were queued
+  const PendingDelivery p = it->second;
+  co_await inject_fragments(msg_seq, p.tag, p.bytes, p.attempt);
+  arm_delivery_watchdog(msg_seq);
+}
+
+void GmPort::arm_delivery_watchdog(std::uint64_t msg_seq) {
+  auto it = pending_.find(msg_seq);
+  if (it == pending_.end()) return;  // delivered (or watchdog disabled)
+  const std::uint32_t attempt = it->second.attempt;
+  std::weak_ptr<char> guard = alive_;
+  sim_.call_after(it->second.timeout, [this, guard, msg_seq, attempt] {
+    if (guard.expired()) return;
+    auto pit = pending_.find(msg_seq);
+    if (pit == pending_.end() || pit->second.attempt != attempt) return;
+    // No completion within the timeout: the whole message goes again as
+    // a new attempt, with the interval backed off up to the cap.
+    ++delivery_failures_;
+    trace_instant("delivery-retry");
+    pit->second.attempt += 1;
+    pit->second.timeout =
+        std::min(pit->second.timeout * 2, config_.delivery_timeout_max);
+    sim_.spawn(retry_message(msg_seq), name_ + ".retry");
+  });
+}
+
+void GmPort::prune_partials() {
+  // Completed markers are kept so late duplicate fragments of a delivered
+  // message cannot re-complete it; bound their number so long streaming
+  // runs do not accumulate one entry per message forever.
+  if (partial_.size() <= 4096) return;
+  for (auto it = partial_.begin();
+       it != partial_.end() && partial_.size() > 2048;) {
+    if (it->second.done) {
+      it = partial_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -76,13 +143,36 @@ sim::Task<void> GmPort::rx_daemon() {
     hw::Packet p = co_await in_.delivered().pop();
     auto frag = std::static_pointer_cast<Frag>(p.ctx);
     assert(frag && frag->dst == this && "foreign packet on GM pipe");
+    if (p.injected_dup) {
+      // NIC-level dedup: an injected duplicate never held a send token
+      // and must not touch protocol state.
+      trace_instant("dup-filtered");
+      continue;
+    }
     // The fragment has been deposited; return the sender's token.
     peer_->tokens_.release(1);
-    std::uint64_t& sofar = partial_[frag->tag];
-    sofar += frag->frag_bytes;
-    if (frag->last) {
-      assert(sofar == frag->msg_bytes && "fragment accounting broke");
-      partial_.erase(frag->tag);
+    if (p.corrupted) {
+      // CRC failure after the DMA: the fragment is discarded; the message
+      // completes via the sender's delivery watchdog.
+      trace_instant("crc-drop");
+      continue;
+    }
+    PartialMsg& pm = partial_[frag->msg_seq];
+    if (pm.done || frag->attempt < pm.attempt) continue;  // stale duplicate
+    if (frag->attempt > pm.attempt) {
+      // A retry superseded a partially-arrived attempt; start over.
+      pm.attempt = frag->attempt;
+      pm.sofar = 0;
+    }
+    pm.sofar += frag->frag_bytes;
+    if (pm.sofar == frag->msg_bytes) {
+      if (config_.delivery_timeout > 0) {
+        pm.done = true;
+        prune_partials();
+      } else {
+        partial_.erase(frag->msg_seq);
+      }
+      if (peer_) peer_->on_delivered(frag->msg_seq);
       complete_message(frag->tag, frag->msg_bytes);
     }
   }

@@ -41,6 +41,13 @@ struct GmConfig {
   sim::SimTime blocking_wakeup = sim::microseconds(20.0);
   /// GM packet header bytes per fragment on the wire.
   std::uint32_t frag_header = 8;
+  /// Delivery watchdog: when nonzero, a sender retransmits a message
+  /// whose remote delivery has not completed within this timeout
+  /// (doubling per retry up to delivery_timeout_max). 0 disables — the
+  /// right setting for the paper's lossless fabrics; enable it whenever a
+  /// FaultPlan can drop fragments, or a lost fragment deadlocks the port.
+  sim::SimTime delivery_timeout = 0;
+  sim::SimTime delivery_timeout_max = sim::milliseconds(10.0);
 };
 
 /// One GM port (endpoint). Create a connected pair with GmFabric.
@@ -67,15 +74,39 @@ class GmPort {
   /// buffer (each costs a staging copy on this node).
   std::uint64_t staged_bytes() const { return staged_bytes_; }
 
+  /// Delivery-watchdog retransmissions this port performed (lost
+  /// doorbells/completions recovered by timeout).
+  std::uint64_t delivery_failures() const { return delivery_failures_; }
+
+  /// Fragments of ours that fault injection discarded (tokens reclaimed).
+  std::uint64_t frags_lost() const { return frags_lost_; }
+
+  /// Frames dropped on this port's outbound pipe (all injection causes).
+  std::uint64_t wire_drops() const { return out_.packets_dropped(); }
+
  private:
   friend class GmFabric;
 
   struct Frag {
     GmPort* dst = nullptr;
     std::uint32_t tag = 0;
+    std::uint64_t msg_seq = 0;  ///< per-sender unique message number
     std::uint64_t msg_bytes = 0;
     std::uint64_t frag_bytes = 0;
-    bool last = false;
+    std::uint32_t attempt = 0;  ///< 0 = original send, else retry number
+  };
+
+  struct PartialMsg {
+    std::uint32_t attempt = 0;
+    std::uint64_t sofar = 0;
+    bool done = false;  ///< completed; late duplicates must be ignored
+  };
+
+  struct PendingDelivery {
+    std::uint64_t bytes = 0;
+    std::uint32_t tag = 0;
+    std::uint32_t attempt = 0;
+    sim::SimTime timeout = 0;  ///< next watchdog interval (backed off)
   };
 
   struct PostedRecv {
@@ -89,6 +120,16 @@ class GmPort {
   void complete_message(std::uint32_t tag, std::uint64_t bytes);
   void trace_instant(const char* what);
 
+  /// The token-paced fragment injection loop shared by send() and the
+  /// watchdog's retransmissions.
+  sim::Task<void> inject_fragments(std::uint64_t msg_seq, std::uint32_t tag,
+                                   std::uint64_t bytes, std::uint32_t attempt);
+  sim::Task<void> retry_message(std::uint64_t msg_seq);
+  void arm_delivery_watchdog(std::uint64_t msg_seq);
+  /// Peer-side notification that message `msg_seq` fully arrived.
+  void on_delivered(std::uint64_t msg_seq) { pending_.erase(msg_seq); }
+  void prune_partials();
+
   sim::Simulator& sim_;
   hw::Node& node_;
   hw::PacketPipe& out_;
@@ -99,13 +140,24 @@ class GmPort {
   sim::ByteSemaphore tokens_;
   GmPort* peer_ = nullptr;
 
+  // Send side.
+  std::uint64_t next_msg_seq_ = 0;
+  std::map<std::uint64_t, PendingDelivery> pending_;  // msg_seq -> watchdog
+  std::uint64_t delivery_failures_ = 0;
+  std::uint64_t frags_lost_ = 0;
+
   // Receive side.
-  std::map<std::uint32_t, std::uint64_t> partial_;  // tag -> bytes so far
+  std::map<std::uint64_t, PartialMsg> partial_;  // msg_seq -> progress
   std::deque<PostedRecv*> posted_;
   std::deque<std::uint32_t> unexpected_;  // completed, unmatched tags
   sim::Signal arrivals_;
   std::uint64_t messages_received_ = 0;
   std::uint64_t staged_bytes_ = 0;
+
+  /// Liveness token: watchdog timers and drop callbacks outlive torn-down
+  /// ports (sweep jobs destroy fabrics with timers queued), so they hold
+  /// only a weak handle and become no-ops once the port is gone.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(1);
 };
 
 /// Builds a Myrinet link between two nodes and a connected GM port pair.

@@ -78,6 +78,8 @@ class GmMpi final : public Library {
     c.rendezvous_handshakes = rendezvous_count_;
     // Library eager copies plus GM-level unexpected-arrival staging.
     c.staged_bytes = staged_bytes_ + port_.staged_bytes();
+    c.delivery_failures = port_.delivery_failures();
+    c.wire_drops = port_.wire_drops();
     return c;
   }
 
@@ -116,6 +118,8 @@ class GmTransport final : public netpipe::Transport {
   netpipe::ProtocolCounters counters() const override {
     netpipe::ProtocolCounters c;
     c.staged_bytes = port_.staged_bytes();
+    c.delivery_failures = port_.delivery_failures();
+    c.wire_drops = port_.wire_drops();
     return c;
   }
 

@@ -65,6 +65,7 @@ StreamLibrary::PeerChannel& StreamLibrary::channel(int peer) {
 netpipe::ProtocolCounters StreamLibrary::protocol_counters() const {
   netpipe::ProtocolCounters c;
   c.rendezvous_handshakes = rendezvous_count_;
+  c.rendezvous_retries = rendezvous_retries_;
   c.staged_bytes = staged_bytes_;
   for (const auto& [rank, ch] : peers_) {
     if (ch.sock) c += netpipe::tcp_socket_counters(ch.sock);
@@ -152,27 +153,49 @@ sim::Task<void> StreamLibrary::read_one(PeerChannel& ch) {
                                return !p->matched && p->tag == m.tag;
                              });
       if (it != ch.posted.end()) {
-        // A receive is already posted: clear the sender to transmit.
+        // A receive is already posted: clear the sender to transmit. A
+        // re-sent RTS whose first CTS was merely slow lands here too; the
+        // duplicate CTS is ignored by the sender's tag match.
         trace_instant("cts");
         co_await ch.tx_lock->acquire(1);
         co_await send_wire(ch, WireMeta{Kind::kCts, m.tag, m.bytes, false},
                            0);
         ch.tx_lock->release(1);
       } else {
+        auto dup = std::find_if(ch.rts_pending.begin(), ch.rts_pending.end(),
+                                [&](const UnexpectedMsg& u) {
+                                  return u.tag == m.tag;
+                                });
+        if (dup != ch.rts_pending.end()) {
+          // Watchdog re-send of a request we already queued.
+          trace_instant("dup-rts");
+          break;
+        }
         ch.rts_pending.push_back(UnexpectedMsg{m.tag, m.bytes});
         ch.reader_changed->notify_all();
       }
       break;
     }
     case Kind::kCts: {
-      assert(!ch.cts_waiters.empty() && "CTS with no rendezvous in flight");
-      sim::Trigger* t = ch.cts_waiters.front();
-      ch.cts_waiters.pop_front();
+      auto wit = std::find_if(ch.cts_waiters.begin(), ch.cts_waiters.end(),
+                              [&](const CtsWait& w) {
+                                return w.tag == m.tag;
+                              });
+      if (wit == ch.cts_waiters.end()) {
+        // Duplicate grant from a re-sent RTS: the handshake already won.
+        trace_instant("stale-cts");
+        break;
+      }
+      sim::Trigger* t = wit->trigger;
+      ch.cts_waiters.erase(wit);
       t->set();
       break;
     }
     case Kind::kSyncAck: {
-      assert(!ch.sync_waiters.empty() && "sync ACK with no waiting SND");
+      if (ch.sync_waiters.empty()) {
+        trace_instant("stale-sync-ack");
+        break;
+      }
       sim::Trigger* t = ch.sync_waiters.front();
       ch.sync_waiters.pop_front();
       t->set();
@@ -263,7 +286,9 @@ sim::Task<void> StreamLibrary::send_message(PeerChannel& ch,
     co_await send_wire(ch, WireMeta{Kind::kRts, tag, bytes, false}, 0);
     ch.tx_lock->release(1);
     sim::Trigger cts(sim_);
-    ch.cts_waiters.push_back(&cts);
+    ch.cts_waiters.push_back(
+        CtsWait{&cts, tag, bytes, 0, config_.rendezvous_timeout});
+    if (config_.rendezvous_timeout > 0) arm_rts_watchdog(ch, tag, 0);
     co_await drive_until(ch, [&] { return cts.is_set(); });
     trace_instant("rendezvous-payload");
     co_await ch.tx_lock->acquire(1);
@@ -277,6 +302,43 @@ sim::Task<void> StreamLibrary::send_message(PeerChannel& ch,
     ch.sync_waiters.push_back(&ack);
     co_await drive_until(ch, [&] { return ack.is_set(); });
   }
+}
+
+sim::Task<void> StreamLibrary::resend_rts(PeerChannel& ch, std::uint32_t tag,
+                                          std::uint64_t bytes,
+                                          std::uint32_t attempt) {
+  co_await ch.tx_lock->acquire(1);
+  co_await send_wire(ch, WireMeta{Kind::kRts, tag, bytes, false}, 0);
+  ch.tx_lock->release(1);
+  arm_rts_watchdog(ch, tag, attempt);
+}
+
+void StreamLibrary::arm_rts_watchdog(PeerChannel& ch, std::uint32_t tag,
+                                     std::uint32_t attempt) {
+  auto wit = std::find_if(ch.cts_waiters.begin(), ch.cts_waiters.end(),
+                          [&](const CtsWait& w) {
+                            return w.tag == tag && w.attempt == attempt;
+                          });
+  if (wit == ch.cts_waiters.end()) return;  // CTS already arrived
+  const int peer = ch.peer_rank;
+  std::weak_ptr<char> guard = alive_;
+  sim_.call_after(wit->timeout, [this, guard, peer, tag, attempt] {
+    if (guard.expired()) return;
+    auto pit = peers_.find(peer);
+    if (pit == peers_.end()) return;
+    PeerChannel& c = pit->second;
+    auto w = std::find_if(c.cts_waiters.begin(), c.cts_waiters.end(),
+                          [&](const CtsWait& cw) {
+                            return cw.tag == tag && cw.attempt == attempt;
+                          });
+    if (w == c.cts_waiters.end()) return;  // CTS arrived in the meantime
+    ++rendezvous_retries_;
+    trace_instant("rts-retry");
+    w->attempt += 1;
+    w->timeout = std::min(w->timeout * 2, config_.rendezvous_timeout_max);
+    sim_.spawn(resend_rts(c, tag, w->bytes, w->attempt),
+               config_.name + ".rts-retry");
+  });
 }
 
 sim::Task<void> StreamLibrary::recv(int src, std::uint64_t bytes,

@@ -87,6 +87,14 @@ struct StreamConfig {
   /// extra header each (PVM's ~4 kB fragments).
   std::uint32_t fragment_payload = 0;
   std::uint32_t fragment_header = 0;
+
+  /// Rendezvous watchdog: when nonzero, a sender whose RTS has drawn no
+  /// CTS within this interval re-sends it (doubling per retry up to
+  /// rendezvous_timeout_max). A lost handshake then stalls and recovers
+  /// instead of deadlocking both ranks. 0 disables (the clean default —
+  /// TCP below already repairs byte loss).
+  sim::SimTime rendezvous_timeout = 0;
+  sim::SimTime rendezvous_timeout_max = sim::milliseconds(10.0);
 };
 
 class StreamLibrary : public Library {
@@ -115,6 +123,8 @@ class StreamLibrary : public Library {
 
   /// Count of rendezvous handshakes performed (for tests).
   std::uint64_t rendezvous_count() const { return rendezvous_count_; }
+  /// RTS re-sends performed by the rendezvous watchdog (for tests).
+  std::uint64_t rendezvous_retries() const { return rendezvous_retries_; }
   /// Bytes that went through the library staging buffer (for tests).
   std::uint64_t staged_bytes() const { return staged_bytes_; }
 
@@ -146,6 +156,16 @@ class StreamLibrary : public Library {
     std::uint64_t bytes = 0;
   };
 
+  /// A rendezvous sender parked on its CTS; tag-matched so re-sent
+  /// handshakes cannot pair a CTS with the wrong waiter.
+  struct CtsWait {
+    sim::Trigger* trigger = nullptr;
+    std::uint32_t tag = 0;
+    std::uint64_t bytes = 0;
+    std::uint32_t attempt = 0;
+    sim::SimTime timeout = 0;  ///< next watchdog interval (backed off)
+  };
+
   struct PeerChannel {
     int peer_rank = -1;
     tcp::Socket sock;
@@ -160,8 +180,8 @@ class StreamLibrary : public Library {
     std::deque<UnexpectedMsg> unexpected;
     // Rendezvous requests that arrived before their receive was posted.
     std::deque<UnexpectedMsg> rts_pending;
-    // Rendezvous: senders waiting for CTS, FIFO per peer.
-    std::deque<sim::Trigger*> cts_waiters;
+    // Rendezvous: senders waiting for CTS, tag-matched per peer.
+    std::deque<CtsWait> cts_waiters;
     // Synchronous sends waiting for the receiver's completion ACK.
     std::deque<sim::Trigger*> sync_waiters;
     // Serializes whole messages on the outbound stream.
@@ -183,6 +203,11 @@ class StreamLibrary : public Library {
   sim::Task<void> recv_message(PeerChannel& ch, std::uint64_t bytes,
                                std::uint32_t tag, bool sync);
 
+  sim::Task<void> resend_rts(PeerChannel& ch, std::uint32_t tag,
+                             std::uint64_t bytes, std::uint32_t attempt);
+  void arm_rts_watchdog(PeerChannel& ch, std::uint32_t tag,
+                        std::uint32_t attempt);
+
   std::uint64_t payload_with_fragment_overhead(std::uint64_t bytes) const;
 
   sim::Simulator& sim_;
@@ -191,7 +216,11 @@ class StreamLibrary : public Library {
   StreamConfig config_;
   std::map<int, PeerChannel> peers_;
   std::uint64_t rendezvous_count_ = 0;
+  std::uint64_t rendezvous_retries_ = 0;
   std::uint64_t staged_bytes_ = 0;
+
+  /// Liveness token for watchdog timers outliving a torn-down library.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(1);
 
   friend void wire_pair(StreamLibrary& a, StreamLibrary& b, tcp::Socket sa,
                         tcp::Socket sb);

@@ -73,6 +73,8 @@ class ViaMpi final : public Library {
     c.rdma_transfers = end_.rdma_transfers();
     // Library bounce-buffer copies plus VIA-level unexpected staging.
     c.staged_bytes = staged_bytes_ + end_.staged_bytes();
+    c.delivery_failures = end_.delivery_failures();
+    c.wire_drops = end_.wire_drops();
     return c;
   }
 
@@ -120,6 +122,8 @@ class ViaTransport final : public netpipe::Transport {
     netpipe::ProtocolCounters c;
     c.rdma_transfers = end_.rdma_transfers();
     c.staged_bytes = end_.staged_bytes();
+    c.delivery_failures = end_.delivery_failures();
+    c.wire_drops = end_.wire_drops();
     return c;
   }
 

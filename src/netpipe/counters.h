@@ -15,10 +15,13 @@ struct ProtocolCounters {
   std::uint64_t acks = 0;             ///< pure ACKs (no piggybacked data)
   std::uint64_t retransmits = 0;      ///< go-back-N rewinds (incl. RTO)
   std::uint64_t fast_retransmits = 0; ///< dup-ACK-triggered rewinds
+  std::uint64_t checksum_drops = 0;   ///< corrupted segments discarded
   // Hardware layer.
   std::uint64_t wire_drops = 0;       ///< frames lost to fault injection
   // Message-passing library layer.
   std::uint64_t rendezvous_handshakes = 0;  ///< RTS/CTS exchanges
+  std::uint64_t rendezvous_retries = 0;     ///< RTS watchdog re-sends
+  std::uint64_t delivery_failures = 0;      ///< GM/VIA timeout retransmits
   std::uint64_t staged_bytes = 0;     ///< bytes through library staging
                                       ///< buffers (p4 copies, GM/VIA
                                       ///< unexpected arrivals)
@@ -30,8 +33,11 @@ struct ProtocolCounters {
     acks += o.acks;
     retransmits += o.retransmits;
     fast_retransmits += o.fast_retransmits;
+    checksum_drops += o.checksum_drops;
     wire_drops += o.wire_drops;
     rendezvous_handshakes += o.rendezvous_handshakes;
+    rendezvous_retries += o.rendezvous_retries;
+    delivery_failures += o.delivery_failures;
     staged_bytes += o.staged_bytes;
     relay_fragments += o.relay_fragments;
     rdma_transfers += o.rdma_transfers;

@@ -12,7 +12,8 @@ namespace pp::netpipe {
 
 /// Counter totals visible from one TCP socket end: its own direction's
 /// segments/ACKs/retransmits plus fault-injection drops on its outbound
-/// pipe. Summing both ends of a connection covers it exactly once.
+/// pipe (tx_wire_drops, NOT the connection-wide wire_drops — so summing
+/// both ends of a connection covers each direction exactly once).
 inline ProtocolCounters tcp_socket_counters(const tcp::Socket& s) {
   ProtocolCounters c;
   const tcp::SocketStats& st = s.stats();
@@ -20,7 +21,8 @@ inline ProtocolCounters tcp_socket_counters(const tcp::Socket& s) {
   c.acks = st.acks_sent;
   c.retransmits = st.retransmits;
   c.fast_retransmits = st.fast_retransmits;
-  c.wire_drops = s.wire_drops();
+  c.checksum_drops = st.checksum_drops;
+  c.wire_drops = s.tx_wire_drops();
   return c;
 }
 

@@ -5,6 +5,35 @@
 
 namespace pp::sim {
 
+namespace {
+// Ambient budgets installed by ScopedSimLimits: the values a Simulator
+// constructed on this thread adopts. 0 = "unlimited" in both slots.
+struct AmbientLimits {
+  SimTime time_limit = 0;
+  std::uint64_t event_limit = 0;
+};
+thread_local AmbientLimits g_ambient_limits;
+}  // namespace
+
+ScopedSimLimits::ScopedSimLimits(SimTime time_limit, std::uint64_t event_limit)
+    : prev_time_(g_ambient_limits.time_limit),
+      prev_events_(g_ambient_limits.event_limit) {
+  g_ambient_limits.time_limit = time_limit;
+  g_ambient_limits.event_limit = event_limit;
+}
+
+ScopedSimLimits::~ScopedSimLimits() {
+  g_ambient_limits.time_limit = prev_time_;
+  g_ambient_limits.event_limit = prev_events_;
+}
+
+Simulator::Simulator() {
+  if (g_ambient_limits.time_limit > 0) time_limit_ = g_ambient_limits.time_limit;
+  if (g_ambient_limits.event_limit > 0) {
+    event_limit_ = g_ambient_limits.event_limit;
+  }
+}
+
 std::string format_time(SimTime t) {
   char buf[64];
   const double abs_t = static_cast<double>(t < 0 ? -t : t);
@@ -154,14 +183,25 @@ struct RunningGuard {
 };
 }  // namespace
 
+void Simulator::check_budgets(SimTime next_at) const {
+  if (events_ >= event_limit_) {
+    throw BudgetExceededError(
+        BudgetExceededError::Kind::kEvents,
+        "simulator event limit exceeded (runaway protocol loop?)");
+  }
+  if (next_at > time_limit_) {
+    throw BudgetExceededError(
+        BudgetExceededError::Kind::kSimTime,
+        "simulated-time limit exceeded at " + format_time(next_at) +
+            " (limit " + format_time(time_limit_) + ")");
+  }
+}
+
 void Simulator::run() {
   check_thread();
   RunningGuard guard(running_);
   while (!queue_.empty()) {
-    if (events_ >= event_limit_) {
-      throw std::runtime_error(
-          "simulator event limit exceeded (runaway protocol loop?)");
-    }
+    check_budgets(queue_.top().at);
     Event ev = queue_.top();
     queue_.pop();
     step(ev);
@@ -177,10 +217,7 @@ bool Simulator::run_until(SimTime t) {
   check_thread();
   RunningGuard guard(running_);
   while (!queue_.empty() && queue_.top().at <= t) {
-    if (events_ >= event_limit_) {
-      throw std::runtime_error(
-          "simulator event limit exceeded (runaway protocol loop?)");
-    }
+    check_budgets(queue_.top().at);
     Event ev = queue_.top();
     queue_.pop();
     step(ev);

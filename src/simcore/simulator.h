@@ -34,6 +34,41 @@ class DeadlockError : public std::runtime_error {
   explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown by Simulator::run()/run_until() when a configured safety budget
+/// is exhausted: either the event-count limit (runaway protocol loop) or
+/// the simulated-time deadline (a run that made progress but never
+/// converged — e.g. a retry storm under heavy fault injection). The sweep
+/// runner catches this type specifically to degrade gracefully instead of
+/// aborting the whole sweep.
+class BudgetExceededError : public std::runtime_error {
+ public:
+  enum class Kind { kEvents, kSimTime };
+  BudgetExceededError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// RAII scope installing *ambient* budgets: any Simulator constructed on
+/// this thread while the scope is active starts with these limits (0 means
+/// "leave unlimited"). This is how the sweep runner imposes a per-job
+/// watchdog — jobs construct their own Simulator deep inside a factory
+/// closure the runner cannot reach, so the limits travel thread-locally.
+/// Scopes nest; the previous ambient values are restored on destruction.
+class ScopedSimLimits {
+ public:
+  ScopedSimLimits(SimTime time_limit, std::uint64_t event_limit);
+  ~ScopedSimLimits();
+  ScopedSimLimits(const ScopedSimLimits&) = delete;
+  ScopedSimLimits& operator=(const ScopedSimLimits&) = delete;
+
+ private:
+  SimTime prev_time_;
+  std::uint64_t prev_events_;
+};
+
 /// Completion handle returned by Simulator::spawn(). Other coroutines may
 /// co_await wait() to join the spawned process.
 class Completion {
@@ -77,7 +112,9 @@ class Completion {
 /// the event queue.
 class Simulator {
  public:
-  Simulator() = default;
+  /// Adopts any ambient ScopedSimLimits active on the constructing thread
+  /// (the sweep runner's per-job watchdog); otherwise starts unlimited.
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -130,9 +167,15 @@ class Simulator {
   std::uint64_t events_processed() const noexcept { return events_; }
   int live_processes() const noexcept { return live_; }
 
-  /// Safety valve against runaway protocol loops: run() throws once this
-  /// many events have been processed.
+  /// Safety valve against runaway protocol loops: run() throws
+  /// BudgetExceededError once this many events have been processed.
   void set_event_limit(std::uint64_t limit) noexcept { event_limit_ = limit; }
+
+  /// Simulated-time deadline: run()/run_until() throw BudgetExceededError
+  /// before executing any event scheduled past `t`. Unlike run_until(t)
+  /// (which stops cleanly), crossing the deadline is an error — it marks a
+  /// run that should have converged long ago.
+  void set_time_limit(SimTime t) noexcept { time_limit_ = t; }
 
   /// Optional structured trace recorder: resources record their busy
   /// spans when attached (see simcore/tracing.h).
@@ -190,10 +233,13 @@ class Simulator {
   // std::logic_error on use from any other thread.
   void check_thread();
 
+  void check_budgets(SimTime next_at) const;
+
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_ = 0;
   std::uint64_t event_limit_ = UINT64_MAX;
+  SimTime time_limit_ = kSimTimeMax;
   int live_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::vector<LiveProcess> processes_;  // slot -> process bookkeeping

@@ -13,6 +13,9 @@ namespace pp::sim {
 /// A point in (or duration of) simulated time, in nanoseconds.
 using SimTime = std::int64_t;
 
+/// The largest representable time; the Simulator's default time limit.
+inline constexpr SimTime kSimTimeMax = INT64_MAX;
+
 inline constexpr SimTime kNanosecond = 1;
 inline constexpr SimTime kMicrosecond = 1000;
 inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;

@@ -14,7 +14,12 @@ namespace pp::hw {
 
 class Cluster {
  public:
-  explicit Cluster(sim::Simulator& sim) : sim_(sim) {}
+  /// `seed` is the cluster run seed: every pipe built by connect() derives
+  /// its fault-injection stream from (seed, pipe name), so two pipes in
+  /// one run never share a drop sequence and the same seed reproduces the
+  /// same sequences on every run.
+  explicit Cluster(sim::Simulator& sim, std::uint64_t seed = 1)
+      : sim_(sim), seed_(seed) {}
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
@@ -41,15 +46,28 @@ class Cluster {
     pipes_.push_back(
         std::make_unique<PacketPipe>(sim_, b, a, nic, link, base + "<"));
     PacketPipe& bwd = *pipes_.back();
+    fwd.set_fault_seed(faults::derive_seed(seed_, fwd.name()));
+    bwd.set_fault_seed(faults::derive_seed(seed_, bwd.name()));
     return Duplex{fwd, bwd};
   }
 
   sim::Simulator& simulator() noexcept { return sim_; }
+  std::uint64_t seed() const noexcept { return seed_; }
   std::size_t node_count() const noexcept { return nodes_.size(); }
   Node& node(std::size_t i) { return *nodes_.at(i); }
 
+  /// All pipes in creation order (forward/backward pairs interleaved);
+  /// faults::apply() walks this to arm injectors by name match.
+  std::vector<PacketPipe*> pipes() {
+    std::vector<PacketPipe*> out;
+    out.reserve(pipes_.size());
+    for (auto& p : pipes_) out.push_back(p.get());
+    return out;
+  }
+
  private:
   sim::Simulator& sim_;
+  std::uint64_t seed_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<PacketPipe>> pipes_;
 };

@@ -23,11 +23,46 @@ PacketPipe::PacketPipe(sim::Simulator& sim, Node& src, Node& dst,
       rx_dma_q_(sim),
       rx_cpu_q_(sim),
       delivered_(sim) {
+  // Standalone pipes (built outside a Cluster) still get a per-name
+  // default stream; Cluster::connect overrides with its run-seed-derived
+  // value immediately after construction.
+  fault_seed_ = faults::derive_seed(0x70726f746f706970ULL /* "protopip" */,
+                                    name_);
   sim_.spawn_daemon(tx_cpu_pump(), name_ + ".txcpu");
   sim_.spawn_daemon(tx_dma_pump(), name_ + ".txdma");
   sim_.spawn_daemon(wire_pump(), name_ + ".wire");
   sim_.spawn_daemon(rx_dma_pump(), name_ + ".rxdma");
   sim_.spawn_daemon(rx_cpu_pump(), name_ + ".rxcpu");
+}
+
+void PacketPipe::set_link_faults(const faults::LinkFaultConfig& cfg,
+                                 std::uint64_t seed) {
+  if (!cfg.any()) {
+    link_faults_.reset();
+    return;
+  }
+  link_faults_ = std::make_unique<LinkFaults>();
+  link_faults_->cfg = cfg;
+  link_faults_->rng = sim::SplitMix64(seed);
+}
+
+void PacketPipe::set_nic_faults(const faults::NicFaultConfig& cfg,
+                                std::uint64_t seed) {
+  if (!cfg.any()) {
+    nic_faults_.reset();
+    return;
+  }
+  nic_faults_ = std::make_unique<NicFaults>();
+  nic_faults_->cfg = cfg;
+  nic_faults_->rng = sim::SplitMix64(seed);
+}
+
+void PacketPipe::drop_frame(Packet& p, const char* cause) {
+  ++n_dropped_;
+  if (sim::TraceRecorder* t = sim_.tracer()) {
+    t->record_instant(name_, cause, sim_.now());
+  }
+  if (p.on_drop) p.on_drop();
 }
 
 sim::SimTime PacketPipe::tx_cpu_cost() const {
@@ -77,23 +112,92 @@ sim::Task<void> PacketPipe::wire_pump() {
   for (;;) {
     Packet p = co_await wire_q_.pop();
     co_await wire_.transfer(p.wire_bytes);
-    // Fault injection: a corrupted frame still occupied the wire but
-    // never reaches the receiver.
-    if (loss_probability_ > 0.0 &&
-        loss_rng_.uniform() < loss_probability_) {
-      ++n_dropped_;
-      if (sim::TraceRecorder* t = sim_.tracer()) {
-        t->record_instant(name_, "drop", sim_.now());
+    sim::SimTime extra_delay = 0;
+    bool duplicate = false;
+    if (link_faults_) {
+      LinkFaults& f = *link_faults_;
+      // A flapped link is deaf: the frame occupied the wire but nothing
+      // is listening on the far end. Pure function of time, so flap
+      // windows reproduce exactly regardless of traffic.
+      if (f.cfg.flap_enabled() &&
+          sim_.now() % f.cfg.flap_period < f.cfg.flap_down) {
+        ++n_flap_drops_;
+        drop_frame(p, "flap-drop");
+        continue;
       }
-      continue;
+      // One RNG draw per *configured* feature per frame, in a fixed
+      // order, so each feature's sequence is independent of the others'
+      // outcomes and runs reproduce bit-exactly.
+      bool lost = false;
+      if (f.cfg.loss > 0.0 && f.rng.uniform() < f.cfg.loss) lost = true;
+      if (f.cfg.ge_enabled()) {
+        if (f.ge_bad) {
+          if (f.rng.uniform() < f.cfg.ge_bad_to_good) f.ge_bad = false;
+        } else {
+          if (f.rng.uniform() < f.cfg.ge_good_to_bad) f.ge_bad = true;
+        }
+        const double pl = f.ge_bad ? f.cfg.ge_loss_bad : f.cfg.ge_loss_good;
+        if (pl > 0.0 && f.rng.uniform() < pl) lost = true;
+      }
+      if (lost) {
+        drop_frame(p, "drop");
+        continue;
+      }
+      if (f.cfg.corrupt > 0.0 && f.rng.uniform() < f.cfg.corrupt) {
+        p.corrupted = true;
+        ++n_corrupted_;
+        if (sim::TraceRecorder* t = sim_.tracer()) {
+          t->record_instant(name_, "corrupt", sim_.now());
+        }
+      }
+      if (f.cfg.duplicate > 0.0 && !p.injected_dup &&
+          f.rng.uniform() < f.cfg.duplicate) {
+        duplicate = true;
+        ++n_duplicated_;
+        if (sim::TraceRecorder* t = sim_.tracer()) {
+          t->record_instant(name_, "dup", sim_.now());
+        }
+      }
+      if (f.cfg.reorder > 0.0 && f.rng.uniform() < f.cfg.reorder) {
+        extra_delay = f.cfg.reorder_delay;
+        ++n_reordered_;
+        if (sim::TraceRecorder* t = sim_.tracer()) {
+          t->record_instant(name_, "reorder", sim_.now());
+        }
+      }
+    }
+    if (duplicate) {
+      // The copy trails the original by one propagation "slot"; it never
+      // carries on_drop (the original owns any flow-control reclaim).
+      Packet copy = p;
+      copy.injected_dup = true;
+      copy.on_drop = nullptr;
+      auto dup_frame = std::make_shared<Packet>(std::move(copy));
+      sim_.call_after(link_.propagation + extra_delay + 1,
+                      [this, dup_frame]() mutable {
+                        deliver_to_rx(std::move(*dup_frame));
+                      });
     }
     // Propagation does not occupy the wire; hand the frame to the receive
     // side with a fire-and-forget timer so back-to-back frames pipeline.
     auto frame = std::make_shared<Packet>(std::move(p));
-    sim_.call_after(link_.propagation, [this, frame]() mutable {
-      rx_dma_q_.push_now(std::move(*frame));
+    sim_.call_after(link_.propagation + extra_delay, [this, frame]() mutable {
+      deliver_to_rx(std::move(*frame));
     });
   }
+}
+
+// Arrival at the receive NIC: the frame lands in the rx descriptor ring
+// (or overflows it, if a ring-size fault is armed).
+void PacketPipe::deliver_to_rx(Packet p) {
+  if (nic_faults_ && nic_faults_->cfg.ring_slots > 0 &&
+      rx_backlog_ >= nic_faults_->cfg.ring_slots) {
+    ++n_ring_drops_;
+    drop_frame(p, "ring-overflow");
+    return;
+  }
+  ++rx_backlog_;
+  rx_dma_q_.push_now(std::move(p));
 }
 
 sim::Task<void> PacketPipe::rx_dma_pump() {
@@ -103,7 +207,15 @@ sim::Task<void> PacketPipe::rx_dma_pump() {
         pci_effective_bytes(dst_, p.dma_bytes), nic_.nic_rx_cost);
     // The frame now sits in host memory; the interrupt (possibly batched
     // by the mitigation timer) makes the host notice it.
-    const sim::SimTime irq_at = coalescer_.interrupt_time(sim_.now());
+    sim::SimTime irq_at = coalescer_.interrupt_time(sim_.now());
+    if (nic_faults_ && nic_faults_->cfg.irq_stall > 0.0 &&
+        nic_faults_->rng.uniform() < nic_faults_->cfg.irq_stall) {
+      irq_at += nic_faults_->cfg.irq_stall_time;
+      ++n_irq_stalls_;
+      if (sim::TraceRecorder* t = sim_.tracer()) {
+        t->record_instant(name_, "irq-stall", sim_.now());
+      }
+    }
     if (sim::TraceRecorder* t = sim_.tracer()) {
       // One "irq" per frame at the (possibly mitigation-delayed) time the
       // host notices it; coalesced frames stack at the same timestamp.
@@ -119,6 +231,8 @@ sim::Task<void> PacketPipe::rx_dma_pump() {
 sim::Task<void> PacketPipe::rx_cpu_pump() {
   for (;;) {
     Packet p = co_await rx_cpu_q_.pop();
+    // The host has taken the frame out of the rx ring; its slot frees up.
+    if (rx_backlog_ > 0) --rx_backlog_;
     if (const sim::SimTime cost = rx_cpu_cost(); cost > 0) {
       co_await dst_.cpu_cost(cost);
     }

@@ -15,9 +15,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
+#include "faults/config.h"
 #include "simcore/random.h"
 #include "simcore/resource.h"
 #include "simcore/simulator.h"
@@ -35,6 +37,20 @@ struct Packet {
   std::uint64_t dma_bytes = 0;   ///< bytes crossing the PCI bus
   std::uint64_t wire_bytes = 0;  ///< bytes serialized on the wire
   std::shared_ptr<void> ctx;
+
+  /// Bit corruption was injected on the wire: the frame still arrives,
+  /// but a checksumming receiver must discard it.
+  bool corrupted = false;
+
+  /// This frame is an injected duplicate of another; OS-bypass receivers
+  /// filter these in "hardware" without touching protocol state.
+  bool injected_dup = false;
+
+  /// Invoked (at drop time, in sim context) if a fault injector discards
+  /// the frame anywhere in the pipe. Lets credit/token-based senders
+  /// reclaim flow-control units that would otherwise leak. Not copied to
+  /// injected duplicates.
+  std::function<void()> on_drop;
 };
 
 class PacketPipe {
@@ -54,19 +70,49 @@ class PacketPipe {
   sim::Channel<Packet>& delivered() noexcept { return delivered_; }
 
   const NicConfig& nic() const noexcept { return nic_; }
+  const std::string& name() const noexcept { return name_; }
   Node& src() noexcept { return src_; }
   Node& dst() noexcept { return dst_; }
   sim::RateResource& wire() noexcept { return wire_; }
   std::uint64_t packets_delivered() const noexcept { return n_delivered_; }
-  std::uint64_t packets_dropped() const noexcept { return n_dropped_; }
 
-  /// Fault injection: drop each frame with probability `p` (deterministic
-  /// given the seed). The paper's fabrics are lossless back-to-back
-  /// links; this exists to exercise the TCP retransmission machinery and
-  /// degraded-cable scenarios.
-  void set_loss(double p, std::uint64_t seed = 1) {
-    loss_probability_ = p;
-    loss_rng_ = sim::SplitMix64(seed);
+  /// Frames discarded by fault injection, all causes combined (random
+  /// loss, burst loss, link flaps, NIC ring overflow).
+  std::uint64_t packets_dropped() const noexcept { return n_dropped_; }
+  std::uint64_t packets_corrupted() const noexcept { return n_corrupted_; }
+  std::uint64_t packets_duplicated() const noexcept { return n_duplicated_; }
+  std::uint64_t packets_reordered() const noexcept { return n_reordered_; }
+  std::uint64_t flap_drops() const noexcept { return n_flap_drops_; }
+  std::uint64_t ring_overflow_drops() const noexcept { return n_ring_drops_; }
+  std::uint64_t irq_stalls() const noexcept { return n_irq_stalls_; }
+
+  /// Arms the link fault injector (loss, burst loss, reorder, duplicate,
+  /// corrupt, flap — see faults::LinkFaultConfig). `seed` initializes the
+  /// injector's private RNG stream; use faults::derive_seed so no two
+  /// pipes share a stream. Normally called via faults::apply().
+  void set_link_faults(const faults::LinkFaultConfig& cfg, std::uint64_t seed);
+
+  /// Arms the NIC receive-side injector (ring-overflow drops, interrupt
+  /// stalls). Same seeding contract as set_link_faults().
+  void set_nic_faults(const faults::NicFaultConfig& cfg, std::uint64_t seed);
+
+  /// Base seed for this pipe's legacy set_loss() streams. Cluster::connect
+  /// derives it from the cluster run seed and the pipe name; standalone
+  /// pipes get a name-derived default from the constructor.
+  void set_fault_seed(std::uint64_t seed) noexcept { fault_seed_ = seed; }
+  std::uint64_t fault_seed() const noexcept { return fault_seed_; }
+
+  /// Legacy shim: Bernoulli loss with probability `p`. With `seed == 0`
+  /// (the default) the RNG stream derives from this pipe's fault seed, so
+  /// two pipes in one run never share a drop sequence; a nonzero `seed`
+  /// selects a distinct reproducible stream *per pipe* (it is mixed with
+  /// the pipe's own seed, not used raw).
+  void set_loss(double p, std::uint64_t seed = 0) {
+    faults::LinkFaultConfig cfg;
+    cfg.loss = p;
+    set_link_faults(
+        cfg, seed == 0 ? fault_seed_
+                       : fault_seed_ ^ (seed * 0x9e3779b97f4a7c15ULL));
   }
 
   /// Host-side per-packet CPU charge on each side (useful to reason about
@@ -75,11 +121,27 @@ class PacketPipe {
   sim::SimTime rx_cpu_cost() const;
 
  private:
+  struct LinkFaults {
+    faults::LinkFaultConfig cfg;
+    sim::SplitMix64 rng{1};
+    bool ge_bad = false;  ///< Gilbert–Elliott chain state
+  };
+  struct NicFaults {
+    faults::NicFaultConfig cfg;
+    sim::SplitMix64 rng{1};
+  };
+
   sim::Task<void> tx_cpu_pump();
   sim::Task<void> tx_dma_pump();
   sim::Task<void> wire_pump();
   sim::Task<void> rx_dma_pump();
   sim::Task<void> rx_cpu_pump();
+
+  /// Discards a frame: counters, trace instant, on_drop notification.
+  void drop_frame(Packet& p, const char* cause);
+
+  /// Arrival at the receive NIC (post-propagation): rx-ring admission.
+  void deliver_to_rx(Packet p);
 
   /// PCI bytes inflated by the card's DMA efficiency and bus-width match,
   /// so the shared PCI resource sees the card's *effective* occupancy.
@@ -105,8 +167,16 @@ class PacketPipe {
 
   std::uint64_t n_delivered_ = 0;
   std::uint64_t n_dropped_ = 0;
-  double loss_probability_ = 0.0;
-  sim::SplitMix64 loss_rng_{1};
+  std::uint64_t n_corrupted_ = 0;
+  std::uint64_t n_duplicated_ = 0;
+  std::uint64_t n_reordered_ = 0;
+  std::uint64_t n_flap_drops_ = 0;
+  std::uint64_t n_ring_drops_ = 0;
+  std::uint64_t n_irq_stalls_ = 0;
+  std::uint64_t rx_backlog_ = 0;  ///< frames in the rx ring awaiting the host
+  std::uint64_t fault_seed_ = 1;
+  std::unique_ptr<LinkFaults> link_faults_;
+  std::unique_ptr<NicFaults> nic_faults_;
 };
 
 }  // namespace pp::hw

@@ -40,38 +40,54 @@ std::string number(double v) {
   return buf;
 }
 
+void append_counters(std::ostringstream& os,
+                     const netpipe::ProtocolCounters& c) {
+  os << "\"counters\":{"
+     << "\"data_segments\":" << c.data_segments
+     << ",\"acks\":" << c.acks
+     << ",\"retransmits\":" << c.retransmits
+     << ",\"fast_retransmits\":" << c.fast_retransmits
+     << ",\"checksum_drops\":" << c.checksum_drops
+     << ",\"wire_drops\":" << c.wire_drops
+     << ",\"rendezvous_handshakes\":" << c.rendezvous_handshakes
+     << ",\"rendezvous_retries\":" << c.rendezvous_retries
+     << ",\"delivery_failures\":" << c.delivery_failures
+     << ",\"staged_bytes\":" << c.staged_bytes
+     << ",\"relay_fragments\":" << c.relay_fragments
+     << ",\"rdma_transfers\":" << c.rdma_transfers << "}";
+}
+
 void append_job(std::ostringstream& os, const JobResult& j) {
   os << "{\"label\":\"" << escaped(j.label) << "\",\"ok\":"
-     << (j.ok ? "true" : "false") << ",\"wall_ms\":" << number(j.wall_ms);
+     << (j.ok ? "true" : "false")
+     << ",\"status\":\"" << to_string(j.status) << "\""
+     << ",\"retries\":" << j.retries
+     << ",\"wall_ms\":" << number(j.wall_ms);
   if (!j.ok) {
-    os << ",\"error\":\"" << escaped(j.error) << "\"}";
+    // Degraded run: no measurement, but the counters object stays (all
+    // zeros — the RunResult was never produced) so consumers can treat
+    // every job uniformly.
+    os << ",\"error\":\"" << escaped(j.error) << "\",";
+    append_counters(os, netpipe::ProtocolCounters{});
+    os << "}";
     return;
   }
   const netpipe::RunResult& r = j.result;
-  const netpipe::ProtocolCounters& c = r.counters;
   os << ",\"transport\":\"" << escaped(r.transport) << "\""
      << ",\"points\":" << r.points.size()
      << ",\"latency_us\":" << number(r.latency_us)
      << ",\"max_mbps\":" << number(r.max_mbps)
      << ",\"n_half_bytes\":" << r.half_performance_bytes
-     << ",\"saturation_bytes\":" << r.saturation_bytes
-     << ",\"counters\":{"
-     << "\"data_segments\":" << c.data_segments
-     << ",\"acks\":" << c.acks
-     << ",\"retransmits\":" << c.retransmits
-     << ",\"fast_retransmits\":" << c.fast_retransmits
-     << ",\"wire_drops\":" << c.wire_drops
-     << ",\"rendezvous_handshakes\":" << c.rendezvous_handshakes
-     << ",\"staged_bytes\":" << c.staged_bytes
-     << ",\"relay_fragments\":" << c.relay_fragments
-     << ",\"rdma_transfers\":" << c.rdma_transfers << "}}";
+     << ",\"saturation_bytes\":" << r.saturation_bytes << ",";
+  append_counters(os, r.counters);
+  os << "}";
 }
 
 }  // namespace
 
 std::string JsonReporter::to_json(const std::vector<SweepResult>& sweeps) {
   std::ostringstream os;
-  os << "{\"schema\":\"pp.sweep/2\"";
+  os << "{\"schema\":\"pp.sweep/3\"";
   os << ",\"sweeps\":[";
   for (std::size_t s = 0; s < sweeps.size(); ++s) {
     const SweepResult& sw = sweeps[s];

@@ -1,30 +1,40 @@
 // Machine-readable sweep reports (the BENCH_sweep.json trajectory).
 //
-// Schema (version pp.sweep/2):
+// Schema (version pp.sweep/3):
 //   {
-//     "schema": "pp.sweep/2",
+//     "schema": "pp.sweep/3",
 //     "sweeps": [
 //       { "name": ..., "threads": N,
 //         "wall_ms": ..., "serial_ms": ..., "speedup_vs_serial": ...,
 //         "jobs": [
-//           { "label": ..., "ok": true, "wall_ms": ...,
+//           { "label": ..., "ok": true|false,
+//             "status": "ok"|"error"|"watchdog",
+//             "retries": N,            // watchdog-triggered re-runs
+//             "wall_ms": ...,
+//             "error": ...,            // only when !ok
+//             // measurement fields, only when ok:
 //             "transport": ..., "points": <count>,
 //             "latency_us": <number or null>,   // null: not measured
 //             "max_mbps": ..., "n_half_bytes": ...,
 //             "saturation_bytes": ...,
+//             // always present (zeros for failed jobs):
 //             "counters": { "data_segments": ..., "acks": ...,
 //               "retransmits": ..., "fast_retransmits": ...,
-//               "wire_drops": ..., "rendezvous_handshakes": ...,
-//               "staged_bytes": ..., "relay_fragments": ...,
-//               "rdma_transfers": ... } }
-//           | { "label": ..., "ok": false, "wall_ms": ..., "error": ... }
+//               "checksum_drops": ..., "wire_drops": ...,
+//               "rendezvous_handshakes": ..., "rendezvous_retries": ...,
+//               "delivery_failures": ..., "staged_bytes": ...,
+//               "relay_fragments": ..., "rdma_transfers": ... } }
 //         ] }
 //     ]
 //   }
 //
-// pp.sweep/2 drops pp.sweep/1's top-level "threads" (it was copied from
-// the first sweep only, misreporting mixed-thread-count reports; the
-// per-sweep "threads" is authoritative) and adds per-job protocol
+// pp.sweep/3 adds per-job degraded-run reporting ("status", "retries")
+// and the fault/recovery counters (checksum_drops, rendezvous_retries,
+// delivery_failures); "counters" is now emitted for failed jobs too so a
+// watchdog-killed run still shows how far its recovery machinery got.
+// pp.sweep/2 dropped pp.sweep/1's top-level "threads" (it was copied
+// from the first sweep only, misreporting mixed-thread-count reports;
+// the per-sweep "threads" is authoritative) and added per-job protocol
 // counters.
 #pragma once
 
@@ -37,7 +47,7 @@ namespace pp::sweep {
 
 class JsonReporter {
  public:
-  /// Serializes the sweeps to the pp.sweep/2 schema.
+  /// Serializes the sweeps to the pp.sweep/3 schema.
   static std::string to_json(const std::vector<SweepResult>& sweeps);
 
   /// Writes to_json() to `path` (throws std::runtime_error on I/O error).

@@ -1,10 +1,13 @@
 #include "sweep/sweep.h"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "simcore/simulator.h"
 #include "sweep/thread_pool.h"
 
 namespace pp::sweep {
@@ -49,19 +52,51 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opt) {
   {
     ThreadPool pool(threads);
     for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
-      pool.submit([&spec, &out, &errors, i] {
+      pool.submit([&spec, &out, &errors, &opt, i] {
         JobResult& jr = out.jobs[i];
         jr.label = spec.jobs[i].label;
         const auto start = std::chrono::steady_clock::now();
-        try {
-          jr.result = spec.jobs[i].run();
-          jr.ok = true;
-        } catch (const std::exception& e) {
-          errors[i] = std::current_exception();
-          jr.error = e.what();
-        } catch (...) {
-          errors[i] = std::current_exception();
-          jr.error = "unknown exception";
+        const JobLimits& lim = opt.limits;
+        const int attempts =
+            lim.enabled() ? 1 + std::max(0, opt.watchdog_retries) : 1;
+        for (int attempt = 0; attempt < attempts; ++attempt) {
+          try {
+            // Budgets double per retry: a fault schedule may legitimately
+            // need longer to converge than the first guess allowed.
+            std::optional<sim::ScopedSimLimits> guard;
+            if (lim.enabled()) {
+              const auto scale = static_cast<std::uint64_t>(1) << attempt;
+              guard.emplace(lim.sim_deadline > 0
+                                ? lim.sim_deadline *
+                                      static_cast<sim::SimTime>(scale)
+                                : 0,
+                            lim.event_budget * scale);
+            }
+            jr.result = spec.jobs[i].run();
+            jr.ok = true;
+            jr.status = JobStatus::kOk;
+            break;
+          } catch (const sim::BudgetExceededError& e) {
+            // Watchdog kill: degrade, never abort the sweep. Retry with
+            // doubled budgets while attempts remain.
+            jr.status = JobStatus::kWatchdog;
+            jr.error = e.what();
+            if (attempt + 1 < attempts) {
+              jr.retries += 1;
+              continue;
+            }
+            break;
+          } catch (const std::exception& e) {
+            errors[i] = std::current_exception();
+            jr.status = JobStatus::kError;
+            jr.error = e.what();
+            break;
+          } catch (...) {
+            errors[i] = std::current_exception();
+            jr.status = JobStatus::kError;
+            jr.error = "unknown exception";
+            break;
+          }
         }
         jr.wall_ms = ms_since(start);
       });

@@ -11,11 +11,13 @@
 // simcore/simulator.h).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "netpipe/runner.h"
+#include "simcore/time.h"
 
 namespace pp::sweep {
 
@@ -38,11 +40,27 @@ struct SweepSpec {
   }
 };
 
+/// How one job ended. kWatchdog means every attempt (the original plus
+/// the bounded retries) blew its event or simulated-time budget; such
+/// jobs degrade to a reported failure and never abort the sweep.
+enum class JobStatus { kOk, kError, kWatchdog };
+
+inline const char* to_string(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kError: return "error";
+    case JobStatus::kWatchdog: return "watchdog";
+  }
+  return "unknown";
+}
+
 struct JobResult {
   std::string label;
   netpipe::RunResult result;  ///< valid only when ok
   double wall_ms = 0.0;       ///< host wall-clock spent in the job
   bool ok = false;
+  JobStatus status = JobStatus::kError;
+  int retries = 0;    ///< watchdog-triggered re-runs performed
   std::string error;  ///< what() of the escaped exception when !ok
 };
 
@@ -65,13 +83,30 @@ struct SweepResult {
   const netpipe::RunResult& at(const std::string& label) const;
 };
 
+/// Per-job runaway protection. Both budgets are adopted by every
+/// sim::Simulator a job's factory constructs (via ScopedSimLimits), so a
+/// wedged protocol — a retry loop that never converges, a deadlocked
+/// handshake — is cut off instead of hanging the sweep.
+struct JobLimits {
+  sim::SimTime sim_deadline = 0;   ///< simulated-time ceiling; 0 = none
+  std::uint64_t event_budget = 0;  ///< event-count ceiling; 0 = none
+  bool enabled() const { return sim_deadline > 0 || event_budget > 0; }
+};
+
 struct SweepOptions {
   /// Worker threads; 0 means ThreadPool::default_threads().
   int threads = 0;
   /// When false (the default) the first failing job's exception is
   /// rethrown — in spec order, deterministically — after all jobs have
   /// finished. When true, failures are only recorded in JobResult.
+  /// Watchdog (budget) kills are NEVER rethrown either way: they degrade
+  /// to a reported JobResult so one wedged job cannot abort a sweep.
   bool keep_going = false;
+  /// Watchdog budgets applied to every job; disabled by default.
+  JobLimits limits;
+  /// Extra attempts for a watchdog-killed job, each with doubled budgets
+  /// (some fault schedules legitimately need longer to converge).
+  int watchdog_retries = 2;
 };
 
 /// Runs every job of `spec` on a thread pool and returns the results in

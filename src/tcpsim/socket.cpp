@@ -102,6 +102,12 @@ struct Endpoint {
   int dupack_count = 0;
   std::uint64_t recover_until = 0;
   bool rto_armed = false;
+  /// Current (possibly backed-off) RTO; 0 = use the sysctl base value.
+  sim::SimTime cur_rto = 0;
+
+  sim::SimTime rto_interval() const {
+    return cur_rto > 0 ? cur_rto : stack->sysctl().retransmit_timeout;
+  }
   // Reno congestion state (bytes). cwnd is initialized on first use so
   // the MSS (which depends on the bound pipe) is known.
   std::uint64_t cwnd = 0;
@@ -268,6 +274,7 @@ void Endpoint::on_segment(const SegmentCtx& s) {
     snd_space.release(acked);
     snd_una = s.ack;
     dupack_count = 0;
+    cur_rto = 0;  // ACK progress collapses any RTO backoff
     on_ack_progress(acked);
   } else if (s.ack == snd_una && s.payload == 0 && snd_next > snd_una) {
     // A pure duplicate ACK while data is outstanding. Only one fast
@@ -306,14 +313,19 @@ void Endpoint::arm_rto() {
   // Weak liveness handle: the watchdog re-arms itself every RTO while
   // data is in flight, so it routinely outlives torn-down connections.
   std::weak_ptr<char> guard = alive;
-  simulator().call_after(stack->sysctl().retransmit_timeout,
-                         [self, guard, epoch] {
+  simulator().call_after(rto_interval(), [self, guard, epoch] {
     if (guard.expired()) return;
     self->rto_armed = false;
     if (self->snd_next == self->snd_una) return;  // everything acked
     if (self->snd_una == epoch) {
-      // No progress for a whole RTO: resend from the last acked byte.
+      // No progress for a whole RTO: resend from the last acked byte and
+      // double the timer (capped) — each barren interval backs off until
+      // an ACK finally moves snd_una and resets it.
+      self->stats.rto_timeouts += 1;
       self->trace_instant("rto");
+      const Sysctl& sc = self->stack->sysctl();
+      const sim::SimTime next = self->rto_interval() * 2;
+      self->cur_rto = std::min(next, sc.retransmit_timeout_max);
       self->on_congestion(/*timeout=*/true);
       self->rewind_to_una();
     }
@@ -408,6 +420,14 @@ sim::Task<void> TcpStack::demux(hw::PacketPipe& pipe) {
     hw::Packet p = co_await pipe.delivered().pop();
     auto seg = std::static_pointer_cast<SegmentCtx>(p.ctx);
     assert(seg && seg->dst && "non-TCP packet on a TCP-attached pipe");
+    if (p.corrupted) {
+      // The TCP checksum catches injected bit corruption: the segment is
+      // discarded before any protocol processing, and the sender's
+      // RTO/fast-retransmit machinery recovers as for a wire drop.
+      seg->dst->stats.checksum_drops += 1;
+      seg->dst->trace_instant("csum-drop");
+      continue;
+    }
     seg->dst->on_segment(*seg);
   }
 }
@@ -455,7 +475,12 @@ std::uint64_t Socket::available() const { return ep_->avail(); }
 const SocketStats& Socket::stats() const { return ep_->stats; }
 hw::Node& Socket::node() { return ep_->node(); }
 std::uint32_t Socket::mss() const { return ep_->mss(); }
-std::uint64_t Socket::wire_drops() const { return ep_->out->packets_dropped(); }
+std::uint64_t Socket::wire_drops() const {
+  return ep_->out->packets_dropped() + ep_->peer->out->packets_dropped();
+}
+std::uint64_t Socket::tx_wire_drops() const {
+  return ep_->out->packets_dropped();
+}
 const std::string& Socket::trace_track() const { return ep_->name; }
 
 std::pair<Socket, Socket> connect(TcpStack& a, TcpStack& b,

@@ -14,12 +14,16 @@
 //  - Loss recovery is go-back-N: an out-of-order arrival is discarded
 //    with a duplicate ACK; `Sysctl::dupack_threshold` duplicates trigger
 //    one fast retransmit per window (NewReno-style recovery point), and
-//    an RTO with no ACK progress rewinds to the last acked byte with
-//    exponential-feeling backoff via re-arming. Frames are only actually
-//    lost when fault injection is enabled (`PacketPipe::set_loss`); the
-//    paper's back-to-back fabrics are configured lossless, so these paths
-//    stay cold there and throughput is governed purely by flow control
-//    and per-packet costs.
+//    an RTO with no ACK progress rewinds to the last acked byte with true
+//    exponential backoff (doubled per barren interval, capped at
+//    `Sysctl::retransmit_timeout_max`, reset by ACK progress). Segments
+//    that arrive bit-corrupted (fault injection, `faults::FaultPlan`)
+//    fail the checksum and are dropped before protocol processing, so
+//    corruption recovers through the same retransmission machinery as
+//    loss. Frames are only actually lost/corrupted when fault injection
+//    is enabled; the paper's back-to-back fabrics are configured
+//    lossless, so these paths stay cold there and throughput is governed
+//    purely by flow control and per-packet costs.
 //  - Reno-style congestion control (slow start, congestion avoidance,
 //    multiplicative decrease — the 2.4 kernel's behaviour) is on by
 //    default and can be disabled per stack to study pure flow control
@@ -91,7 +95,9 @@ struct SocketStats {
   std::uint64_t acks_sent = 0;  ///< pure ACKs (no piggybacked data)
   std::uint64_t retransmits = 0;       ///< go-back-N rewinds
   std::uint64_t fast_retransmits = 0;  ///< triggered by duplicate ACKs
+  std::uint64_t rto_timeouts = 0;      ///< no-progress RTO fires
   std::uint64_t out_of_order_dropped = 0;
+  std::uint64_t checksum_drops = 0;  ///< corrupted segments discarded on rx
 };
 
 /// One side of an established connection. Cheap to copy (shared state).
@@ -127,9 +133,17 @@ class Socket {
   hw::Node& node();
   std::uint32_t mss() const;
 
-  /// Frames fault-injection dropped on this socket's outbound pipe (the
-  /// pipe is shared by every connection riding the same NIC).
+  /// Frames fault-injection dropped on the connection's pipes in *both*
+  /// directions — outbound data and the returning ACK path (the pipes are
+  /// shared by every connection riding the same NIC). Both ends of a
+  /// connection report the same connection-wide total, so do NOT sum the
+  /// two ends; use tx_wire_drops() for exactly-once per-end accounting.
   std::uint64_t wire_drops() const;
+
+  /// Drops on this end's outbound pipe only. Summing tx_wire_drops() over
+  /// both ends covers each direction exactly once (this is what
+  /// netpipe::tcp_socket_counters does).
+  std::uint64_t tx_wire_drops() const;
 
   /// Trace-event track name of this socket's endpoint (e.g. "tcp#0.a").
   const std::string& trace_track() const;

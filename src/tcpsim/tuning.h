@@ -20,6 +20,11 @@ struct Sysctl {
   /// Retransmission timeout (only matters on lossy links; the paper's
   /// back-to-back fabrics never drop).
   sim::SimTime retransmit_timeout = sim::milliseconds(40.0);
+  /// Exponential RTO backoff cap: each no-progress timeout doubles the
+  /// RTO up to this ceiling; ACK progress resets it to retransmit_timeout
+  /// (the kernel's bounded backoff, without which a flapped link turns
+  /// into a retransmit storm).
+  sim::SimTime retransmit_timeout_max = sim::milliseconds(640.0);
   /// Duplicate ACKs that trigger a fast retransmit.
   int dupack_threshold = 3;
   /// Reno-style congestion control (slow start, congestion avoidance,

@@ -51,7 +51,9 @@ void ViEndpoint::trace_instant(const char* what) {
 }
 
 sim::Task<void> ViEndpoint::transmit(Kind kind, std::uint32_t tag,
-                                     std::uint64_t bytes) {
+                                     std::uint64_t msg_seq,
+                                     std::uint64_t bytes,
+                                     std::uint32_t attempt) {
   const std::uint32_t mtu = out_.nic().mtu;
   std::uint64_t left = bytes;
   bool first = true;
@@ -67,14 +69,90 @@ sim::Task<void> ViEndpoint::transmit(Kind kind, std::uint32_t tag,
     ctx->dst = peer_;
     ctx->kind = kind;
     ctx->tag = tag;
+    ctx->msg_seq = msg_seq;
     ctx->msg_bytes = bytes;
     ctx->frag_bytes = frag;
-    ctx->last = (left == 0);
+    ctx->attempt = attempt;
     hw::Packet p;
     p.dma_bytes = frag + config_.frag_header;
     p.wire_bytes = frag + config_.frag_header + out_.nic().frame_overhead;
     p.ctx = std::move(ctx);
+    // A dropped fragment must return its descriptor credit, or the
+    // endpoint strangles itself one lost frame at a time.
+    std::weak_ptr<char> guard = alive_;
+    p.on_drop = [this, guard] {
+      if (guard.expired()) return;
+      credits_.release(1);
+      ++frags_lost_;
+      trace_instant("frag-drop");
+    };
     out_.inject(std::move(p));
+  }
+}
+
+sim::Task<void> ViEndpoint::retry_message(std::uint64_t msg_seq) {
+  auto it = pending_.find(msg_seq);
+  if (it == pending_.end()) co_return;  // delivered while we were queued
+  const PendingDelivery p = it->second;
+  co_await transmit(Kind::kData, p.tag, msg_seq, p.bytes, p.attempt);
+  arm_delivery_watchdog(msg_seq);
+}
+
+void ViEndpoint::arm_delivery_watchdog(std::uint64_t msg_seq) {
+  auto it = pending_.find(msg_seq);
+  if (it == pending_.end()) return;  // delivered (or watchdog disabled)
+  const std::uint32_t attempt = it->second.attempt;
+  std::weak_ptr<char> guard = alive_;
+  sim_.call_after(it->second.timeout, [this, guard, msg_seq, attempt] {
+    if (guard.expired()) return;
+    auto pit = pending_.find(msg_seq);
+    if (pit == pending_.end() || pit->second.attempt != attempt) return;
+    ++delivery_failures_;
+    trace_instant("delivery-retry");
+    pit->second.attempt += 1;
+    pit->second.timeout =
+        std::min(pit->second.timeout * 2, config_.delivery_timeout_max);
+    sim_.spawn(retry_message(msg_seq), name_ + ".retry");
+  });
+}
+
+sim::Task<void> ViEndpoint::retry_req(std::uint32_t tag) {
+  auto it = pending_reqs_.find(tag);
+  if (it == pending_reqs_.end()) co_return;  // acked while we were queued
+  const std::uint32_t attempt = it->second.attempt;
+  co_await transmit(Kind::kRdmaReq, tag, 0, config_.ctl_bytes, attempt);
+  arm_req_watchdog(tag);
+}
+
+void ViEndpoint::arm_req_watchdog(std::uint32_t tag) {
+  auto it = pending_reqs_.find(tag);
+  if (it == pending_reqs_.end()) return;  // acked (or watchdog disabled)
+  const std::uint32_t attempt = it->second.attempt;
+  std::weak_ptr<char> guard = alive_;
+  sim_.call_after(it->second.timeout, [this, guard, tag, attempt] {
+    if (guard.expired()) return;
+    auto rit = pending_reqs_.find(tag);
+    if (rit == pending_reqs_.end() || rit->second.attempt != attempt) return;
+    ++delivery_failures_;
+    trace_instant("req-retry");
+    rit->second.attempt += 1;
+    rit->second.timeout =
+        std::min(rit->second.timeout * 2, config_.delivery_timeout_max);
+    sim_.spawn(retry_req(tag), name_ + ".retry");
+  });
+}
+
+void ViEndpoint::prune_partials() {
+  // Completed markers are kept so late duplicates of a delivered message
+  // cannot re-complete it; bound their number for long streaming runs.
+  if (partial_.size() <= 4096) return;
+  for (auto it = partial_.begin();
+       it != partial_.end() && partial_.size() > 2048;) {
+    if (it->second.done) {
+      it = partial_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -100,27 +178,76 @@ sim::Task<void> ViEndpoint::rx_daemon() {
     hw::Packet p = co_await in_.delivered().pop();
     auto frag = std::static_pointer_cast<Frag>(p.ctx);
     assert(frag && frag->dst == this && "foreign packet on VIA pipe");
+    if (p.injected_dup) {
+      // NIC-level dedup: an injected duplicate never held a credit and
+      // must not touch protocol state.
+      trace_instant("dup-filtered");
+      continue;
+    }
     peer_->credits_.release(1);
+    if (p.corrupted) {
+      // CRC failure: the fragment is discarded; the message completes via
+      // the sender's delivery watchdog.
+      trace_instant("crc-drop");
+      continue;
+    }
     if (config_.personality.per_frag_host_cost > 0) {
       co_await node_.cpu_cost(config_.personality.per_frag_host_cost);
     }
     switch (frag->kind) {
       case Kind::kData: {
-        std::uint64_t& sofar = partial_[frag->tag];
-        sofar += frag->frag_bytes;
-        if (frag->last) {
-          assert(sofar == frag->msg_bytes && "fragment accounting broke");
-          partial_.erase(frag->tag);
+        PartialMsg& pm = partial_[frag->msg_seq];
+        if (pm.done || frag->attempt < pm.attempt) break;  // stale duplicate
+        if (frag->attempt > pm.attempt) {
+          // A retry superseded a partially-arrived attempt; start over.
+          pm.attempt = frag->attempt;
+          pm.sofar = 0;
+        }
+        pm.sofar += frag->frag_bytes;
+        if (pm.sofar == frag->msg_bytes) {
+          if (config_.delivery_timeout > 0) {
+            pm.done = true;
+            prune_partials();
+          } else {
+            partial_.erase(frag->msg_seq);
+          }
+          rdma_acked_.erase(frag->tag);
+          if (peer_) peer_->on_delivered(frag->msg_seq);
           complete_message(frag->tag);
         }
         break;
       }
       case Kind::kRdmaReq:
+        if (std::find(rdma_reqs_.begin(), rdma_reqs_.end(), frag->tag) !=
+            rdma_reqs_.end()) {
+          // Retransmitted request whose original is still queued.
+          trace_instant("dup-req");
+          break;
+        }
+        if (rdma_acked_.count(frag->tag) > 0) {
+          // We already answered this request but the ack was lost; answer
+          // again without re-posting the receive.
+          trace_instant("ack-resend");
+          sim_.spawn(
+              transmit(Kind::kRdmaAck, frag->tag, 0, config_.ctl_bytes, 0),
+              name_ + ".ack");
+          break;
+        }
         rdma_reqs_.push_back(frag->tag);
         arrivals_.notify_all();
         break;
       case Kind::kRdmaAck: {
-        assert(!rdma_ack_waiters_.empty() && "RDMA ack without a waiter");
+        if (config_.delivery_timeout > 0 &&
+            pending_reqs_.erase(frag->tag) == 0) {
+          // Duplicate ack for a request already answered; the FIFO waiter
+          // (if any) belongs to a different handshake.
+          trace_instant("stale-ack");
+          break;
+        }
+        if (rdma_ack_waiters_.empty()) {
+          trace_instant("stale-ack");
+          break;
+        }
         sim::Trigger* t = rdma_ack_waiters_.front();
         rdma_ack_waiters_.pop_front();
         t->set();
@@ -134,7 +261,13 @@ sim::Task<void> ViEndpoint::send(std::uint64_t bytes, std::uint32_t tag) {
   co_await node_.cpu_cost(config_.personality.doorbell_cost);
   trace_instant("doorbell");
   if (bytes <= config_.rdma_threshold) {
-    co_await transmit(Kind::kData, tag, bytes);
+    const std::uint64_t seq = next_msg_seq_++;
+    if (config_.delivery_timeout > 0) {
+      pending_[seq] =
+          PendingDelivery{bytes, tag, 0, config_.delivery_timeout};
+    }
+    co_await transmit(Kind::kData, tag, seq, bytes, 0);
+    arm_delivery_watchdog(seq);
     co_return;
   }
   // RDMA write: exchange the target address, then place the data.
@@ -142,11 +275,20 @@ sim::Task<void> ViEndpoint::send(std::uint64_t bytes, std::uint32_t tag) {
   trace_instant("rdma-req");
   sim::Trigger ack(sim_);
   rdma_ack_waiters_.push_back(&ack);
-  co_await transmit(Kind::kRdmaReq, tag, config_.ctl_bytes);
+  if (config_.delivery_timeout > 0) {
+    pending_reqs_[tag] = PendingReq{0, config_.delivery_timeout};
+  }
+  co_await transmit(Kind::kRdmaReq, tag, 0, config_.ctl_bytes, 0);
+  arm_req_watchdog(tag);
   co_await ack.wait();
   co_await node_.cpu_cost(config_.personality.doorbell_cost);
   trace_instant("doorbell");
-  co_await transmit(Kind::kData, tag, bytes);
+  const std::uint64_t seq = next_msg_seq_++;
+  if (config_.delivery_timeout > 0) {
+    pending_[seq] = PendingDelivery{bytes, tag, 0, config_.delivery_timeout};
+  }
+  co_await transmit(Kind::kData, tag, seq, bytes, 0);
+  arm_delivery_watchdog(seq);
 }
 
 sim::Task<void> ViEndpoint::recv(std::uint64_t bytes, std::uint32_t tag) {
@@ -168,7 +310,8 @@ sim::Task<void> ViEndpoint::recv(std::uint64_t bytes, std::uint32_t tag) {
     pr.done = std::make_unique<sim::Trigger>(sim_);
     posted_.push_back(&pr);
     trace_instant("rdma-ack");
-    co_await transmit(Kind::kRdmaAck, tag, config_.ctl_bytes);
+    rdma_acked_.insert(tag);  // until the data completes: lost-ack replay
+    co_await transmit(Kind::kRdmaAck, tag, 0, config_.ctl_bytes, 0);
     co_await pr.done->wait();
   } else {
     auto uit = std::find(unexpected_.begin(), unexpected_.end(), tag);

@@ -18,6 +18,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "simcore/simulator.h"
@@ -56,6 +57,13 @@ struct ViaConfig {
   std::uint32_t frag_header = 8;
   /// Bytes of the RDMA address-exchange control message.
   std::uint32_t ctl_bytes = 64;
+  /// Delivery watchdog: when nonzero, lost data fragments and lost RDMA
+  /// request/ack control messages are retransmitted after this timeout
+  /// (doubling per retry up to delivery_timeout_max). 0 disables — right
+  /// for the paper's lossless fabrics; enable under fault injection, or
+  /// one lost fragment wedges the endpoint.
+  sim::SimTime delivery_timeout = 0;
+  sim::SimTime delivery_timeout_max = sim::milliseconds(10.0);
 };
 
 /// One VI endpoint; create a connected pair with ViaFabric.
@@ -75,6 +83,16 @@ class ViEndpoint {
   /// staging copy out of the VIA bounce buffer.
   std::uint64_t staged_bytes() const { return staged_bytes_; }
 
+  /// Watchdog retransmissions (lost data messages or RDMA handshake
+  /// control frames recovered by timeout).
+  std::uint64_t delivery_failures() const { return delivery_failures_; }
+
+  /// Fragments of ours that fault injection discarded (credits reclaimed).
+  std::uint64_t frags_lost() const { return frags_lost_; }
+
+  /// Frames dropped on this endpoint's outbound pipe (all causes).
+  std::uint64_t wire_drops() const { return out_.packets_dropped(); }
+
  private:
   friend class ViaFabric;
 
@@ -84,9 +102,28 @@ class ViEndpoint {
     ViEndpoint* dst = nullptr;
     Kind kind = Kind::kData;
     std::uint32_t tag = 0;
+    std::uint64_t msg_seq = 0;  ///< per-sender unique data-message number
     std::uint64_t msg_bytes = 0;
     std::uint64_t frag_bytes = 0;
-    bool last = false;
+    std::uint32_t attempt = 0;  ///< 0 = original send, else retry number
+  };
+
+  struct PartialMsg {
+    std::uint32_t attempt = 0;
+    std::uint64_t sofar = 0;
+    bool done = false;  ///< completed; late duplicates must be ignored
+  };
+
+  struct PendingDelivery {
+    std::uint64_t bytes = 0;
+    std::uint32_t tag = 0;
+    std::uint32_t attempt = 0;
+    sim::SimTime timeout = 0;  ///< next watchdog interval (backed off)
+  };
+
+  struct PendingReq {
+    std::uint32_t attempt = 0;
+    sim::SimTime timeout = 0;
   };
 
   struct PostedRecv {
@@ -97,9 +134,18 @@ class ViEndpoint {
 
   sim::Task<void> rx_daemon();
   sim::Task<void> transmit(Kind kind, std::uint32_t tag,
-                           std::uint64_t bytes);
+                           std::uint64_t msg_seq, std::uint64_t bytes,
+                           std::uint32_t attempt);
   void complete_message(std::uint32_t tag);
   void trace_instant(const char* what);
+
+  sim::Task<void> retry_message(std::uint64_t msg_seq);
+  void arm_delivery_watchdog(std::uint64_t msg_seq);
+  sim::Task<void> retry_req(std::uint32_t tag);
+  void arm_req_watchdog(std::uint32_t tag);
+  /// Peer-side notification that data message `msg_seq` fully arrived.
+  void on_delivered(std::uint64_t msg_seq) { pending_.erase(msg_seq); }
+  void prune_partials();
 
   sim::Simulator& sim_;
   hw::Node& node_;
@@ -111,15 +157,31 @@ class ViEndpoint {
   sim::ByteSemaphore credits_;
   ViEndpoint* peer_ = nullptr;
 
-  std::map<std::uint32_t, std::uint64_t> partial_;
+  // Send side.
+  std::uint64_t next_msg_seq_ = 0;
+  std::map<std::uint64_t, PendingDelivery> pending_;  // msg_seq -> watchdog
+  std::map<std::uint32_t, PendingReq> pending_reqs_;  // tag -> req watchdog
+  std::uint64_t delivery_failures_ = 0;
+  std::uint64_t frags_lost_ = 0;
+
+  // Receive side.
+  std::map<std::uint64_t, PartialMsg> partial_;  // msg_seq -> progress
   std::deque<PostedRecv*> posted_;
   std::deque<std::uint32_t> unexpected_;
   // RDMA handshakes: requests seen / acks awaited, FIFO per endpoint.
   std::deque<std::uint32_t> rdma_reqs_;
   std::deque<sim::Trigger*> rdma_ack_waiters_;
+  /// Tags we have answered with an ack whose data has not yet completed;
+  /// a duplicate request for one of these means the ack was lost and is
+  /// simply re-sent.
+  std::set<std::uint32_t> rdma_acked_;
   sim::Signal arrivals_;
   std::uint64_t rdma_transfers_ = 0;
   std::uint64_t staged_bytes_ = 0;
+
+  /// Liveness token: watchdog timers and drop callbacks can outlive a
+  /// torn-down endpoint; they hold a weak handle and become no-ops.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(1);
 };
 
 /// Builds a VIA link between two nodes and a connected endpoint pair.

@@ -214,15 +214,18 @@ TEST(Json, ReportCarriesSchemaCurvesAndSpeedup) {
   spec.jobs.push_back(JobSpec{"curve", [] { return tiny_measurement(64 << 10); }});
   const SweepResult sr = run_sweep(spec);
   const std::string j = JsonReporter::to_json({sr});
-  EXPECT_NE(j.find("\"schema\":\"pp.sweep/2\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema\":\"pp.sweep/3\""), std::string::npos);
   EXPECT_NE(j.find("\"name\":\"json\""), std::string::npos);
   EXPECT_NE(j.find("\"label\":\"curve\""), std::string::npos);
+  // pp.sweep/3: per-job degraded-run reporting.
+  EXPECT_NE(j.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(j.find("\"retries\":0"), std::string::npos);
   EXPECT_NE(j.find("\"latency_us\""), std::string::npos);
   EXPECT_NE(j.find("\"max_mbps\""), std::string::npos);
   EXPECT_NE(j.find("\"speedup_vs_serial\""), std::string::npos);
   // A measured ping-pong run has a real latency, not null.
   EXPECT_EQ(j.find("\"latency_us\":null"), std::string::npos);
-  // pp.sweep/2: per-job protocol counters; a real TCP run moved data.
+  // Per-job protocol counters; a real TCP run moved data.
   EXPECT_NE(j.find("\"counters\":{"), std::string::npos);
   EXPECT_NE(j.find("\"data_segments\":"), std::string::npos);
   EXPECT_EQ(j.find("\"data_segments\":0"), std::string::npos);
@@ -260,8 +263,11 @@ TEST(Json, FailedJobSerializesErrorNotCurve) {
   opt.keep_going = true;
   const std::string j = JsonReporter::to_json({run_sweep(spec, opt)});
   EXPECT_NE(j.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(j.find("\"status\":\"error\""), std::string::npos);
   EXPECT_NE(j.find("\\\"curve\\\""), std::string::npos);  // escaped quotes
   EXPECT_EQ(j.find("\"points\""), std::string::npos);
+  // pp.sweep/3: failed jobs still carry a (zeroed) counters object.
+  EXPECT_NE(j.find("\"counters\":{"), std::string::npos);
 }
 
 TEST(Json, WriteProducesAParsableFileOnDisk) {
@@ -277,7 +283,7 @@ TEST(Json, WriteProducesAParsableFileOnDisk) {
                   std::istreambuf_iterator<char>());
   EXPECT_EQ(all.front(), '{');
   EXPECT_EQ(all.back(), '\n');
-  EXPECT_NE(all.find("pp.sweep/2"), std::string::npos);
+  EXPECT_NE(all.find("pp.sweep/3"), std::string::npos);
   std::remove(path.c_str());
 }
 
