@@ -7,6 +7,8 @@
 // digits reconstructed from the garbled source text (see DESIGN.md §1).
 #pragma once
 
+#include <cctype>
+#include <filesystem>
 #include <functional>
 #include <iostream>
 #include <memory>
@@ -126,6 +128,53 @@ inline const netpipe::RunResult& find(const std::vector<Curve>& curves,
   }
   std::cerr << "no curve labelled " << label << "\n";
   std::abort();
+}
+
+/// Where a bench drops its .dat curve files: `--out-dir <dir>` or
+/// `--out-dir=<dir>`, defaulting to build/figures/ so running a bench
+/// from the source root never litters the checkout with data files.
+inline std::string out_dir_from_args(int argc, char** argv,
+                                     std::string fallback = "build/figures") {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out-dir" && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind("--out-dir=", 0) == 0) {
+      return arg.substr(std::string("--out-dir=").size());
+    }
+  }
+  return fallback;
+}
+
+/// Curve label -> filename fragment: lowercase, every non-alphanumeric
+/// run collapsed to one '_', trimmed. Unique per label where the old
+/// first-3-letters scheme collided (MPICH vs MPI/Pro). The golden
+/// regression data under data/golden/ is named with the same slugs.
+inline std::string label_slug(const std::string& label) {
+  std::string out;
+  for (char ch : label) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+/// Writes every curve of a figure as `<dir>/<prefix>_<slug>.dat`,
+/// creating the directory as needed. Returns the directory used.
+inline std::string write_figure_dats(const std::string& dir,
+                                     const std::string& prefix,
+                                     const std::vector<Curve>& curves) {
+  std::filesystem::create_directories(dir);
+  for (const auto& c : curves) {
+    const auto path =
+        std::filesystem::path(dir) / (prefix + "_" + label_slug(c.label) +
+                                      ".dat");
+    netpipe::write_dat(path.string(), c.result);
+  }
+  return dir;
 }
 
 }  // namespace pp::bench

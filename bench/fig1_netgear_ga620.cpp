@@ -17,16 +17,16 @@
 using namespace pp;
 using namespace pp::bench;
 
-int main() {
+int main(int argc, char** argv) {
   const auto sr = sweep::run_sweep(fig1_spec());
   const std::vector<Curve> curves = curves_of(sr);
 
   print_figure("Figure 1: Netgear GA620 fiber GigE, two P4 PCs", curves);
   print_sweep_stats(sr);
 
-  for (const auto& c : curves) {
-    netpipe::write_dat("fig1_" + c.label.substr(0, 3) + ".dat", c.result);
-  }
+  const std::string dir =
+      write_figure_dats(out_dir_from_args(argc, argv), "fig1", curves);
+  std::cout << "curve data written to " << dir << "/\n";
 
   const auto& tcp_r = find(curves, "raw TCP");
   const auto& mpich = find(curves, "MPICH");

@@ -14,13 +14,17 @@
 using namespace pp;
 using namespace pp::bench;
 
-int main() {
+int main(int argc, char** argv) {
   const auto sr = sweep::run_sweep(fig2_spec());
   const std::vector<Curve> curves = curves_of(sr);
 
   print_figure("Figure 2: TrendNet TEG-PCITX copper GigE, two P4 PCs",
                curves);
   print_sweep_stats(sr);
+
+  const std::string dir =
+      write_figure_dats(out_dir_from_args(argc, argv), "fig2", curves);
+  std::cout << "curve data written to " << dir << "/\n";
 
   const auto& tcp_r = find(curves, "raw TCP");
   const auto& tcp_def = find(curves, "raw TCP default");

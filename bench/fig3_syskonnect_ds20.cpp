@@ -14,13 +14,17 @@
 using namespace pp;
 using namespace pp::bench;
 
-int main() {
+int main(int argc, char** argv) {
   const auto sr = sweep::run_sweep(fig3_spec());
   const std::vector<Curve> curves = curves_of(sr);
 
   print_figure(
       "Figure 3: SysKonnect SK-9843, 9000 B MTU, two Compaq DS20s", curves);
   print_sweep_stats(sr);
+
+  const std::string dir =
+      write_figure_dats(out_dir_from_args(argc, argv), "fig3", curves);
+  std::cout << "curve data written to " << dir << "/\n";
 
   const auto& tcp_r = find(curves, "raw TCP");
   const auto& mpich = find(curves, "MPICH");

@@ -16,12 +16,16 @@
 using namespace pp;
 using namespace pp::bench;
 
-int main() {
+int main(int argc, char** argv) {
   const auto sr = sweep::run_sweep(fig4_spec());
   const std::vector<Curve> curves = curves_of(sr, fig4_figure_curves());
 
   print_figure("Figure 4: Myrinet PCI64A-2, two P4 PCs", curves);
   print_sweep_stats(sr);
+
+  const std::string dir =
+      write_figure_dats(out_dir_from_args(argc, argv), "fig4", curves);
+  std::cout << "curve data written to " << dir << "/\n";
 
   const auto& raw = find(curves, "raw GM");
   const auto& mpich_r = find(curves, "MPICH-GM");

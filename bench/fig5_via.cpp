@@ -17,13 +17,17 @@
 using namespace pp;
 using namespace pp::bench;
 
-int main() {
+int main(int argc, char** argv) {
   const auto sr = sweep::run_sweep(fig5_spec());
   const std::vector<Curve> curves = curves_of(sr, fig5_figure_curves());
 
   print_figure("Figure 5: Giganet cLAN and M-VIA over SysKonnect, P4 PCs",
                curves);
   print_sweep_stats(sr);
+
+  const std::string dir =
+      write_figure_dats(out_dir_from_args(argc, argv), "fig5", curves);
+  std::cout << "curve data written to " << dir << "/\n";
 
   const auto& mv = find(curves, "MVICH Giganet");
   const auto& ml = find(curves, "MP_Lite Giganet");

@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include "mp/testbed.h"
+#include "simcore/event_queue.h"
+#include "simcore/random.h"
 #include "simcore/resource.h"
 #include "simcore/simulator.h"
 #include "simcore/sync.h"
@@ -14,7 +16,15 @@ namespace {
 
 using namespace pp;
 
+// range(1) selects the scheduler so the legacy heap and the calendar
+// queue appear side by side in one report.
+sim::SchedulerKind kind_of(const benchmark::State& state) {
+  return state.range(1) == 0 ? sim::SchedulerKind::kLegacyHeap
+                             : sim::SchedulerKind::kCalendar;
+}
+
 void BM_EventQueueThroughput(benchmark::State& state) {
+  sim::ScopedScheduler guard(kind_of(state));
   for (auto _ : state) {
     sim::Simulator s;
     const int n = static_cast<int>(state.range(0));
@@ -28,7 +38,29 @@ void BM_EventQueueThroughput(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_EventQueueThroughput)
+    ->ArgsProduct({{1000, 100000}, {0, 1}})
+    ->ArgNames({"n", "calendar"});
+
+void BM_RandomizedSchedule(benchmark::State& state) {
+  // Uniformly random deadlines: the pattern where a binary heap pays
+  // log(n) per op and the calendar queue stays O(1) per bucket.
+  sim::ScopedScheduler guard(kind_of(state));
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::SplitMix64 rng(42);
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      s.call_at(static_cast<sim::SimTime>(rng.below(1u << 24)), [] {});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RandomizedSchedule)
+    ->ArgsProduct({{100000}, {0, 1}})
+    ->ArgNames({"n", "calendar"});
 
 void BM_CoroutineCallChain(benchmark::State& state) {
   struct Helper {

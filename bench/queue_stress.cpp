@@ -1,0 +1,236 @@
+// Event-scheduler stress bench: legacy binary heap vs calendar queue.
+//
+// Runs the same four workloads once per SchedulerKind and reports
+// events/second from Simulator::events_processed() against host wall
+// clock. Results land in BENCH_simcore.json (schema pp.simcore/1) — the
+// before/after record for the event-loop overhaul. The workloads are
+// chosen to cover the queue's regimes:
+//
+//   spin_chain     dense same-delta rescheduling (the common case);
+//   timer_churn    randomized insert order across a wide time range
+//                  (worst case for a heap, bucket-spread for the wheel);
+//   callback_ring  many concurrent hot entities at staggered offsets;
+//   tcp_transfer   the real protocol stack end to end, including the
+//                  timer-wheel delack/RTO path.
+//
+// Usage: queue_stress [--out <path>] (default BENCH_simcore.json)
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mp/testbed.h"
+#include "simcore/event_queue.h"
+#include "simcore/random.h"
+#include "simcore/simulator.h"
+#include "simcore/task.h"
+#include "simhw/presets.h"
+#include "tcpsim/socket.h"
+
+namespace {
+
+using namespace pp;
+
+struct Measurement {
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+  double events_per_sec() const {
+    return wall_ms > 0.0 ? static_cast<double>(events) / (wall_ms / 1e3)
+                         : 0.0;
+  }
+};
+
+template <typename Fn>
+Measurement timed(Fn&& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t events = body();
+  const auto t1 = std::chrono::steady_clock::now();
+  Measurement m;
+  m.events = events;
+  m.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          t1 - t0)
+          .count();
+  return m;
+}
+
+std::uint64_t spin_chain() {
+  sim::Simulator s;
+  s.spawn(
+      [](sim::Simulator& s) -> sim::Task<void> {
+        for (int i = 0; i < 2'000'000; ++i) co_await s.delay(1);
+      }(s),
+      "spin");
+  s.run();
+  return s.events_processed();
+}
+
+std::uint64_t timer_churn() {
+  // Randomized deadlines over a wide range, inserted in waves so the
+  // queue stays large — the access pattern protocol timeouts used to
+  // impose on the global queue.
+  sim::Simulator s;
+  sim::SplitMix64 rng(1);
+  constexpr int kWaves = 200;
+  constexpr int kPerWave = 5000;
+  for (int w = 0; w < kWaves; ++w) {
+    const sim::SimTime base = static_cast<sim::SimTime>(w) * 40000;
+    for (int i = 0; i < kPerWave; ++i) {
+      s.call_at(base + static_cast<sim::SimTime>(rng.below(20'000'000)),
+                [] {});
+    }
+    s.run_until(base);
+  }
+  s.run();
+  return s.events_processed();
+}
+
+std::uint64_t callback_ring() {
+  // 512 self-rescheduling entities at staggered offsets: the queue holds
+  // a steady mid-size population with constant pop/push turnover.
+  sim::Simulator s;
+  struct Ring {
+    sim::Simulator* sim;
+    sim::SimTime period;
+    int remaining;
+    void fire() {
+      if (--remaining <= 0) return;
+      sim->call_after(period, [this] { fire(); });
+    }
+  };
+  std::vector<Ring> rings;
+  rings.reserve(512);
+  for (int i = 0; i < 512; ++i) {
+    rings.push_back(Ring{&s, static_cast<sim::SimTime>(97 + i % 61), 4000});
+  }
+  for (auto& r : rings) s.call_after(r.period, [&r] { r.fire(); });
+  s.run();
+  return s.events_processed();
+}
+
+std::uint64_t tcp_transfer() {
+  mp::PairBed bed(hw::presets::pentium4_pc(), hw::presets::netgear_ga620(),
+                  tcp::Sysctl::tuned());
+  auto [sa, sb] = bed.socket_pair("stress");
+  sa.set_send_buffer(512 << 10);
+  sb.set_recv_buffer(512 << 10);
+  const std::uint64_t bytes = 64ull << 20;
+  bed.sim.spawn(
+      [](tcp::Socket s, std::uint64_t n) -> sim::Task<void> {
+        co_await s.send(n);
+      }(sa, bytes),
+      "tx");
+  bed.sim.spawn(
+      [](tcp::Socket s, std::uint64_t n) -> sim::Task<void> {
+        co_await s.recv_exact(n);
+      }(sb, bytes),
+      "rx");
+  bed.sim.run();
+  return bed.sim.events_processed();
+}
+
+struct Workload {
+  const char* name;
+  std::uint64_t (*run)();
+  /// Queue-bound workloads spend their cycles in the scheduler itself;
+  /// tcp_transfer is the end-to-end macro check, where the protocol
+  /// model bounds the attainable speedup (Amdahl).
+  bool queue_bound;
+};
+
+void append_measurement(std::string& out, const char* key,
+                        const Measurement& m) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "\"%s\": {\"wall_ms\": %.2f, \"events_per_sec\": %.0f}", key,
+                m.wall_ms, m.events_per_sec());
+  out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_simcore.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
+  }
+
+  const Workload workloads[] = {
+      {"spin_chain", spin_chain, true},
+      {"timer_churn", timer_churn, true},
+      {"callback_ring", callback_ring, true},
+      {"tcp_transfer", tcp_transfer, false},
+  };
+
+  std::string json = "{\n  \"schema\": \"pp.simcore/1\",\n  \"workloads\": [";
+  bool first = true;
+  double geo_accum = 0.0;
+  int geo_n = 0;
+  double qb_accum = 0.0;
+  int qb_n = 0;
+  for (const auto& w : workloads) {
+    Measurement legacy, calendar;
+    {
+      sim::ScopedScheduler guard(sim::SchedulerKind::kLegacyHeap);
+      legacy = timed(w.run);
+    }
+    {
+      sim::ScopedScheduler guard(sim::SchedulerKind::kCalendar);
+      calendar = timed(w.run);
+    }
+    if (legacy.events != calendar.events) {
+      std::fprintf(stderr,
+                   "FATAL: %s processed %llu events under the legacy heap "
+                   "but %llu under the calendar queue — schedulers delivered "
+                   "different simulations\n",
+                   w.name, static_cast<unsigned long long>(legacy.events),
+                   static_cast<unsigned long long>(calendar.events));
+      return 1;
+    }
+    const double speedup = legacy.wall_ms > 0.0 && calendar.wall_ms > 0.0
+                               ? legacy.wall_ms / calendar.wall_ms
+                               : 0.0;
+    std::printf("%-14s %9llu events  legacy %8.0f ev/s  calendar %8.0f "
+                "ev/s  speedup %.2fx\n",
+                w.name, static_cast<unsigned long long>(legacy.events),
+                legacy.events_per_sec(), calendar.events_per_sec(), speedup);
+    geo_accum += std::log(speedup);
+    ++geo_n;
+    if (w.queue_bound) {
+      qb_accum += std::log(speedup);
+      ++qb_n;
+    }
+
+    if (!first) json += ",";
+    first = false;
+    json += "\n    {\"name\": \"";
+    json += w.name;
+    json += w.queue_bound ? "\", \"queue_bound\": true" :
+                            "\", \"queue_bound\": false";
+    json += ", \"events\": " + std::to_string(legacy.events) + ", ";
+    append_measurement(json, "legacy", legacy);
+    json += ", ";
+    append_measurement(json, "calendar", calendar);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ", \"speedup\": %.3f}", speedup);
+    json += buf;
+  }
+  const double geomean = geo_n > 0 ? std::exp(geo_accum / geo_n) : 0.0;
+  const double qb_geomean = qb_n > 0 ? std::exp(qb_accum / qb_n) : 0.0;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "\n  ],\n  \"queue_bound_geomean_speedup\": %.3f,"
+                "\n  \"geomean_speedup\": %.3f\n}\n",
+                qb_geomean, geomean);
+  json += buf;
+
+  std::ofstream f(out_path);
+  f << json;
+  std::printf("queue-bound geomean %.2fx, overall %.2fx -> %s\n", qb_geomean,
+              geomean, out_path.c_str());
+  return 0;
+}

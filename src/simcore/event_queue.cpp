@@ -1,0 +1,387 @@
+#include "simcore/event_queue.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdlib>
+#include <optional>
+
+namespace pp::sim {
+
+namespace {
+
+thread_local std::optional<SchedulerKind> g_ambient_scheduler;
+
+bool key_less(SimTime at_a, std::uint64_t seq_a, SimTime at_b,
+              std::uint64_t seq_b) {
+  return at_a != at_b ? at_a < at_b : seq_a < seq_b;
+}
+
+}  // namespace
+
+SchedulerKind default_scheduler() {
+  static const SchedulerKind kind = [] {
+    const char* v = std::getenv("PP_LEGACY_QUEUE");
+    const bool legacy = v != nullptr && v[0] != '\0' &&
+                        !(v[0] == '0' && v[1] == '\0');
+    return legacy ? SchedulerKind::kLegacyHeap : SchedulerKind::kCalendar;
+  }();
+  return kind;
+}
+
+ScopedScheduler::ScopedScheduler(SchedulerKind kind)
+    : prev_(SchedulerKind::kCalendar),
+      had_prev_(g_ambient_scheduler.has_value()) {
+  if (had_prev_) prev_ = *g_ambient_scheduler;
+  g_ambient_scheduler = kind;
+}
+
+ScopedScheduler::~ScopedScheduler() {
+  if (had_prev_) {
+    g_ambient_scheduler = prev_;
+  } else {
+    g_ambient_scheduler.reset();
+  }
+}
+
+SchedulerKind ambient_scheduler() {
+  return g_ambient_scheduler.value_or(default_scheduler());
+}
+
+// ---------------------------------------------------------------------
+// Slab pool
+// ---------------------------------------------------------------------
+
+EventQueue::EventQueue(SchedulerKind kind) : kind_(kind) {
+  wheel_end_ = slot_lo(cursor_ + kNumBuckets);
+}
+
+EventQueue::~EventQueue() {
+  // Pending nodes still hold live callbacks (captured shared_ptrs,
+  // moved packets); destroy them before the slabs go. Coroutine handles
+  // are NOT destroyed here — suspended frames belong to the Simulator's
+  // process bookkeeping, which reaps them.
+  if (kind_ == SchedulerKind::kCalendar) {
+    solo_active_ = false;  // the stashed SmallFn is a member; it
+                           // destroys itself with the queue
+    std::vector<EventNode*> all;
+    collect_all(all);
+    for (EventNode* n : all) n->~EventNode();
+  }
+  // Free-listed nodes were destroyed on release; the legacy tier's
+  // std::priority_queue destroys its own by-value events.
+}
+
+EventQueue::EventNode* EventQueue::alloc_node(SimTime at, std::uint64_t seq,
+                                              std::coroutine_handle<> h,
+                                              SmallFn cb) {
+  void* mem;
+  if (free_ != nullptr) {
+    mem = free_;
+    free_ = free_->next;
+  } else {
+    auto slab = std::make_unique<unsigned char[]>(sizeof(EventNode) *
+                                                  kSlabNodes);
+    unsigned char* base = slab.get();
+    slabs_.push_back(std::move(slab));
+    // Thread all but the first fresh node onto the free list. Fresh
+    // nodes are "raw storage" on the list: only their `next` slot is
+    // meaningful, exactly like released nodes after ~EventNode().
+    for (std::size_t i = 1; i < kSlabNodes; ++i) {
+      auto* raw = reinterpret_cast<EventNode*>(base + i * sizeof(EventNode));
+      raw->next = free_;
+      free_ = raw;
+    }
+    mem = base;
+  }
+  return ::new (mem) EventNode{at, seq, nullptr, h, std::move(cb)};
+}
+
+void EventQueue::release_node(EventNode* n) {
+  n->~EventNode();
+  n->next = free_;
+  free_ = n;
+}
+
+// ---------------------------------------------------------------------
+// Facade
+// ---------------------------------------------------------------------
+
+void EventQueue::push(SimTime at, std::uint64_t seq,
+                      std::coroutine_handle<> h, SmallFn cb) {
+  ++size_;
+  if (kind_ == SchedulerKind::kLegacyHeap) {
+    std::function<void()> fn;
+    if (cb) {
+      // std::function requires a copyable target; the move-only SmallFn
+      // rides behind a shared_ptr, mirroring the allocation the legacy
+      // implementation paid for every capturing callback.
+      fn = [sp = std::make_shared<SmallFn>(std::move(cb))] { (*sp)(); };
+    }
+    legacy_.push(LegacyEvent{at, seq, h, std::move(fn)});
+    return;
+  }
+  if (size_ == 1) {  // size_ already counts this event: queue was empty
+    solo_active_ = true;
+    solo_at_ = at;
+    solo_seq_ = seq;
+    solo_h_ = h;
+    solo_cb_ = std::move(cb);
+    return;
+  }
+  if (solo_active_) {
+    // Second pending event: demote the stash into the tiers first (they
+    // re-sort on open, so demotion order is irrelevant).
+    solo_active_ = false;
+    calendar_push(
+        alloc_node(solo_at_, solo_seq_, solo_h_, std::move(solo_cb_)));
+  }
+  calendar_push(alloc_node(at, seq, h, std::move(cb)));
+}
+
+SimTime EventQueue::front_time() {
+  assert(size_ > 0 && "front_time() on an empty queue");
+  if (kind_ == SchedulerKind::kLegacyHeap) return legacy_.top().at;
+  if (solo_active_) return solo_at_;
+  return calendar_front()->at;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  assert(size_ > 0 && "pop() on an empty queue");
+  --size_;
+  if (kind_ == SchedulerKind::kLegacyHeap) {
+    // By-value copy then pop, exactly as the seed implementation did.
+    LegacyEvent ev = legacy_.top();
+    legacy_.pop();
+    Fired f;
+    f.at = ev.at;
+    f.handle = ev.handle;
+    if (ev.callback) f.cb = std::move(ev.callback);
+    return f;
+  }
+  if (solo_active_) {
+    solo_active_ = false;
+    Fired f;
+    f.at = solo_at_;
+    f.handle = solo_h_;
+    f.cb = std::move(solo_cb_);
+    return f;
+  }
+  EventNode* n = calendar_take_front();
+  Fired f;
+  f.at = n->at;
+  f.handle = n->handle;
+  f.cb = std::move(n->cb);
+  release_node(n);
+  return f;
+}
+
+// ---------------------------------------------------------------------
+// Calendar tier
+// ---------------------------------------------------------------------
+
+void EventQueue::calendar_push(EventNode* n) {
+  const SimTime at = n->at;
+  if (fifo_pos_ < fifo_.size() && at == fifo_time_) {
+    // Same-timestamp append: seq is strictly increasing, so the FIFO
+    // stays ordered with no comparison at all. This is the hot path —
+    // zero delays, signal wakeups, same-tick protocol cascades.
+    fifo_.push_back(n);
+    return;
+  }
+  if (open_active_ && at >= open_lo_ && at < open_hi_) {
+    // Lands in the slot under the cursor: ordered insert into the
+    // still-unconsumed tail.
+    auto it = std::upper_bound(
+        open_.begin() + static_cast<std::ptrdiff_t>(open_pos_), open_.end(),
+        n, [](const EventNode* a, const EventNode* b) {
+          return key_less(a->at, a->seq, b->at, b->seq);
+        });
+    open_.insert(it, n);
+    return;
+  }
+  const SimTime floor = open_active_ ? open_hi_ : slot_lo(cursor_);
+  if (at >= floor && at < wheel_end_) {
+    bucket_insert(n);
+    return;
+  }
+  if (at >= wheel_end_) {
+    n->next = far_;
+    far_ = n;
+    ++far_count_;
+    return;
+  }
+  // Behind the cursor: only reachable by scheduling from outside the
+  // event loop after run_until() advanced past the cursor window.
+  rebuild(n);
+}
+
+void EventQueue::bucket_insert(EventNode* n) {
+  const std::size_t slot =
+      static_cast<std::size_t>(n->at >> shift_) & (kNumBuckets - 1);
+  n->next = bucket_[slot];
+  bucket_[slot] = n;
+  bitmap_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+}
+
+EventQueue::EventNode* EventQueue::calendar_front() {
+  if (fifo_pos_ < fifo_.size()) return fifo_[fifo_pos_];
+  ensure_open();
+  return open_[open_pos_];
+}
+
+EventQueue::EventNode* EventQueue::calendar_take_front() {
+  if (fifo_pos_ < fifo_.size()) {
+    EventNode* n = fifo_[fifo_pos_++];
+    if (fifo_pos_ == fifo_.size()) {
+      fifo_.clear();
+      fifo_pos_ = 0;
+    } else if (fifo_pos_ > 1024 && fifo_pos_ * 2 > fifo_.size()) {
+      // A same-timestamp cascade that keeps appending while consuming
+      // (zero-delay protocol loops) would otherwise grow the batch
+      // vector without bound; drop the consumed prefix occasionally.
+      fifo_.erase(fifo_.begin(),
+                  fifo_.begin() + static_cast<std::ptrdiff_t>(fifo_pos_));
+      fifo_pos_ = 0;
+    }
+    return n;
+  }
+  ensure_open();
+  // Move the whole batch sharing the next timestamp into the FIFO, so
+  // its siblings (and any events scheduled *at* that timestamp while it
+  // is being processed) pop with no further comparisons.
+  const SimTime t = open_[open_pos_]->at;
+  fifo_time_ = t;
+  while (open_pos_ < open_.size() && open_[open_pos_]->at == t) {
+    fifo_.push_back(open_[open_pos_++]);
+  }
+  if (open_pos_ == open_.size()) {
+    open_.clear();
+    open_pos_ = 0;
+  }
+  return fifo_[fifo_pos_++];
+}
+
+void EventQueue::ensure_open() {
+  if (open_pos_ < open_.size()) return;
+  for (;;) {
+    // Scan the wheel window from the slot after the cursor (or the
+    // cursor itself if nothing was opened yet) for a non-empty bucket.
+    std::int64_t abs = open_active_ ? cursor_ + 1 : cursor_;
+    const std::int64_t end_abs = (wheel_end_ - 1) >> shift_;
+    while (abs <= end_abs) {
+      const std::size_t slot =
+          static_cast<std::size_t>(abs) & (kNumBuckets - 1);
+      const std::size_t word = slot >> 6;
+      // Mask off bits below this slot within its word, then scan by
+      // whole words. Positions wrap modulo the wheel, but the window is
+      // injective, so a set bit identifies one absolute slot.
+      std::uint64_t bits = bitmap_[word] >> (slot & 63);
+      if (bits != 0) {
+        abs += std::countr_zero(bits);
+        break;
+      }
+      abs += 64 - static_cast<std::int64_t>(slot & 63);
+    }
+    if (abs <= end_abs) {
+      const std::size_t slot =
+          static_cast<std::size_t>(abs) & (kNumBuckets - 1);
+      cursor_ = abs;
+      open_active_ = true;
+      open_lo_ = slot_lo(abs);
+      open_hi_ = slot_lo(abs + 1);
+      for (EventNode* n = bucket_[slot]; n != nullptr;) {
+        EventNode* next = n->next;
+        open_.push_back(n);
+        n = next;
+      }
+      bucket_[slot] = nullptr;
+      bitmap_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+      std::sort(open_.begin(), open_.end(),
+                [](const EventNode* a, const EventNode* b) {
+                  return key_less(a->at, a->seq, b->at, b->seq);
+                });
+      if (!open_.empty()) return;
+      // A bucket can only be empty here if the bitmap lied; keep the
+      // invariant tight.
+      assert(false && "bitmap marked an empty bucket");
+      open_active_ = false;
+      continue;
+    }
+    // Wheel drained: everything pending sits in the far tier. Re-anchor
+    // the wheel around it (re-fitting the bucket width to the span).
+    assert(far_count_ > 0 && "ensure_open() with no pending events");
+    rebuild(nullptr);
+  }
+}
+
+void EventQueue::collect_all(std::vector<EventNode*>& out) {
+  // The solo stash never reaches here: a push demotes it before any
+  // tier insert, and rebuild/teardown only see tier-resident nodes (the
+  // stashed SmallFn is a member, destroyed with the queue).
+  assert(!solo_active_);
+  out.reserve(out.size() + size_);
+  for (std::size_t i = fifo_pos_; i < fifo_.size(); ++i) {
+    out.push_back(fifo_[i]);
+  }
+  fifo_.clear();
+  fifo_pos_ = 0;
+  for (std::size_t i = open_pos_; i < open_.size(); ++i) {
+    out.push_back(open_[i]);
+  }
+  open_.clear();
+  open_pos_ = 0;
+  for (auto& head : bucket_) {
+    for (EventNode* n = head; n != nullptr;) {
+      EventNode* next = n->next;
+      out.push_back(n);
+      n = next;
+    }
+    head = nullptr;
+  }
+  bitmap_.fill(0);
+  for (EventNode* n = far_; n != nullptr;) {
+    EventNode* next = n->next;
+    out.push_back(n);
+    n = next;
+  }
+  far_ = nullptr;
+  far_count_ = 0;
+}
+
+void EventQueue::rebuild(EventNode* extra) {
+  std::vector<EventNode*> all;
+  collect_all(all);
+  if (extra != nullptr) all.push_back(extra);
+  assert(!all.empty());
+
+  SimTime lo = all[0]->at, hi = all[0]->at;
+  for (const EventNode* n : all) {
+    lo = std::min(lo, n->at);
+    hi = std::max(hi, n->at);
+  }
+  // Fit the bucket width so the pending span maps across the wheel: one
+  // wheel lap should cover it, keeping both the far tier and the
+  // per-bucket sort small.
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo);
+  int shift = 0;
+  if (span >= kNumBuckets) {
+    shift = std::bit_width(span >> kBucketBits);
+  }
+  shift_ = std::min(shift, kMaxShift);
+  cursor_ = lo >> shift_;
+  wheel_end_ = slot_lo(cursor_ + kNumBuckets);
+  open_active_ = false;
+
+  for (EventNode* n : all) {
+    if (n->at < wheel_end_) {
+      bucket_insert(n);
+    } else {
+      n->next = far_;
+      far_ = n;
+      ++far_count_;
+    }
+  }
+}
+
+}  // namespace pp::sim

@@ -1,0 +1,186 @@
+// The simulator's pending-event set.
+//
+// Two interchangeable schedulers live behind one facade, both popping in
+// strict (time, insertion-seq) order so a run is bit-for-bit identical
+// under either:
+//
+//  - kCalendar (the default): a two-tier calendar/ladder queue. Tier one
+//    is a 1024-slot wheel of power-of-two-width buckets covering the
+//    near future; tier two is an unsorted overflow list for events past
+//    the wheel horizon, re-bucketed (with the bucket width re-fitted to
+//    the pending span) whenever the wheel drains. The slot under the
+//    cursor is sorted on open, and the batch of events sharing the next
+//    timestamp moves to a plain FIFO — the overwhelmingly common
+//    schedule-at-now path (zero delays, signal wakeups, same-tick
+//    protocol cascades) is an append and a pop, no comparisons, no
+//    rebalancing. Event nodes come from a slab free-list and carry the
+//    small-buffer callback slot (small_fn.h), so steady-state scheduling
+//    allocates nothing.
+//
+//  - kLegacyHeap: the seed implementation — std::priority_queue over
+//    by-value events with a std::function callback — kept as the
+//    baseline for bench/queue_stress's before/after numbers and for the
+//    differential determinism harness (tests/test_differential.cpp),
+//    which replays whole workloads under both schedulers and asserts
+//    identical results. Select it per scope with ScopedScheduler or
+//    process-wide with PP_LEGACY_QUEUE=1 in the environment.
+#pragma once
+
+#include <array>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "simcore/small_fn.h"
+#include "simcore/time.h"
+
+namespace pp::sim {
+
+enum class SchedulerKind { kCalendar, kLegacyHeap };
+
+/// Process-wide default: kLegacyHeap when PP_LEGACY_QUEUE is set to a
+/// non-empty, non-"0" value in the environment, else kCalendar.
+SchedulerKind default_scheduler();
+
+/// RAII scope overriding the scheduler every Simulator constructed on
+/// this thread adopts (the differential harness and the sweep runner
+/// install this around job factories). Scopes nest.
+class ScopedScheduler {
+ public:
+  explicit ScopedScheduler(SchedulerKind kind);
+  ~ScopedScheduler();
+  ScopedScheduler(const ScopedScheduler&) = delete;
+  ScopedScheduler& operator=(const ScopedScheduler&) = delete;
+
+ private:
+  SchedulerKind prev_;
+  bool had_prev_;
+};
+
+/// The scheduler a Simulator constructed right now would adopt.
+SchedulerKind ambient_scheduler();
+
+class EventQueue {
+ public:
+  explicit EventQueue(SchedulerKind kind);
+  ~EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  SchedulerKind kind() const noexcept { return kind_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  /// Exactly one of `h` / `cb` must be set. `seq` must be strictly
+  /// increasing across pushes (the Simulator's schedule counter) — it is
+  /// the insertion-order half of the (at, seq) total order.
+  void push(SimTime at, std::uint64_t seq, std::coroutine_handle<> h,
+            SmallFn cb);
+
+  /// Timestamp of the next event to pop. Requires !empty(). May
+  /// reorganize internal tiers but never changes the pop order.
+  SimTime front_time();
+
+  /// What pop() hands the event loop; the node is already recycled.
+  struct Fired {
+    SimTime at = 0;
+    std::coroutine_handle<> handle;
+    SmallFn cb;
+  };
+
+  /// Removes and returns the minimum-(at, seq) event. Requires !empty().
+  Fired pop();
+
+ private:
+  struct EventNode {
+    SimTime at;
+    std::uint64_t seq;
+    EventNode* next;  ///< slab free-list / bucket / far-tier link
+    std::coroutine_handle<> handle;
+    SmallFn cb;
+  };
+
+  // ---- calendar tier geometry ---------------------------------------
+  static constexpr int kBucketBits = 10;
+  static constexpr int kNumBuckets = 1 << kBucketBits;
+  static constexpr int kMaxShift = 44;  ///< keeps span arithmetic safe
+
+  EventNode* alloc_node(SimTime at, std::uint64_t seq,
+                        std::coroutine_handle<> h, SmallFn cb);
+  void release_node(EventNode* n);
+
+  void calendar_push(EventNode* n);
+  EventNode* calendar_front();  ///< min node, left in place
+  EventNode* calendar_take_front();
+
+  void bucket_insert(EventNode* n);
+  /// Makes open_ hold the next pending events (advancing the cursor and
+  /// re-bucketing the far tier as needed). Requires calendar size > 0.
+  void ensure_open();
+  /// Re-anchors the wheel around the current pending set (all tiers).
+  /// Triggered by a push behind the cursor — only possible through
+  /// external scheduling after run_until() advanced virtual time past
+  /// the cursor window — and by wheel drain.
+  void rebuild(EventNode* extra);
+  void collect_all(std::vector<EventNode*>& out);
+
+  SimTime slot_lo(std::int64_t abs_slot) const {
+    return static_cast<SimTime>(abs_slot) << shift_;
+  }
+
+  SchedulerKind kind_;
+  std::size_t size_ = 0;
+
+  // ---- slab pool -----------------------------------------------------
+  static constexpr std::size_t kSlabNodes = 256;
+  std::vector<std::unique_ptr<unsigned char[]>> slabs_;
+  EventNode* free_ = nullptr;
+
+  // ---- calendar state ------------------------------------------------
+  /// Singleton fast path: a push into an empty queue stashes the event
+  /// inline here — no node allocation, no tier bookkeeping. A queue
+  /// ping-ponging between empty and one pending event (a lone coroutine
+  /// awaiting delays — the NetPIPE inner loop's shape) never touches
+  /// the tiers. A second push demotes the stash into them. Invariant:
+  /// solo_active_ implies size_ == 1.
+  bool solo_active_ = false;
+  SimTime solo_at_ = 0;
+  std::uint64_t solo_seq_ = 0;
+  std::coroutine_handle<> solo_h_;
+  SmallFn solo_cb_;
+  int shift_ = 12;           ///< bucket width = 2^shift_ ns (~4 us)
+  SimTime wheel_end_ = 0;    ///< exclusive horizon of the wheel window
+  std::int64_t cursor_ = 0;  ///< absolute slot index under consumption
+  bool open_active_ = false;
+  SimTime open_lo_ = 0, open_hi_ = 0;  ///< window of the open slot
+  std::vector<EventNode*> open_;       ///< sorted ascending (at, seq)
+  std::size_t open_pos_ = 0;
+  std::vector<EventNode*> fifo_;  ///< batch sharing fifo_time_, seq order
+  std::size_t fifo_pos_ = 0;
+  SimTime fifo_time_ = -1;
+  std::array<EventNode*, kNumBuckets> bucket_{};
+  std::array<std::uint64_t, kNumBuckets / 64> bitmap_{};
+  EventNode* far_ = nullptr;
+  std::size_t far_count_ = 0;
+
+  // ---- legacy tier ---------------------------------------------------
+  struct LegacyEvent {
+    SimTime at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;  // exactly one of handle/callback set
+    std::function<void()> callback;
+  };
+  struct LegacyLater {
+    bool operator()(const LegacyEvent& a, const LegacyEvent& b) const
+        noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+  std::priority_queue<LegacyEvent, std::vector<LegacyEvent>, LegacyLater>
+      legacy_;
+};
+
+}  // namespace pp::sim

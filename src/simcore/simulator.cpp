@@ -147,23 +147,35 @@ std::shared_ptr<Completion> Simulator::spawn_daemon(Task<void> task,
   return spawn_impl(std::move(task), std::move(name), /*daemon=*/true);
 }
 
+namespace {
+// Scheduling horizon: timestamps are capped here (far beyond any real
+// workload — ~146 simulated years) so the calendar queue's slot
+// arithmetic can never overflow SimTime. Applied identically under both
+// schedulers, so capping cannot perturb the differential comparison.
+constexpr SimTime kMaxSchedulable = kSimTimeMax / 2;
+
+SimTime clamp_at(SimTime at, SimTime now) {
+  if (at < now) return now;
+  if (at > kMaxSchedulable) return kMaxSchedulable;
+  return at;
+}
+}  // namespace
+
 void Simulator::schedule(SimTime at, std::coroutine_handle<> h) {
-  if (at < now_) at = now_;
-  queue_.push(Event{at, seq_++, h, nullptr});
+  queue_.push(clamp_at(at, now_), seq_++, h, {});
 }
 
-void Simulator::call_at(SimTime at, std::function<void()> fn) {
-  if (at < now_) at = now_;
-  queue_.push(Event{at, seq_++, {}, std::move(fn)});
+void Simulator::call_at(SimTime at, SmallFn fn) {
+  queue_.push(clamp_at(at, now_), seq_++, {}, std::move(fn));
 }
 
-void Simulator::step(const Event& ev) {
+void Simulator::step(EventQueue::Fired&& ev) {
   now_ = ev.at;
   ++events_;
   if (ev.handle) {
     ev.handle.resume();
   } else {
-    ev.callback();
+    ev.cb();
   }
 }
 
@@ -201,10 +213,8 @@ void Simulator::run() {
   check_thread();
   RunningGuard guard(running_);
   while (!queue_.empty()) {
-    check_budgets(queue_.top().at);
-    Event ev = queue_.top();
-    queue_.pop();
-    step(ev);
+    check_budgets(queue_.front_time());
+    step(queue_.pop());
     if (pending_error_) {
       auto err = std::exchange(pending_error_, nullptr);
       std::rethrow_exception(err);
@@ -216,11 +226,9 @@ void Simulator::run() {
 bool Simulator::run_until(SimTime t) {
   check_thread();
   RunningGuard guard(running_);
-  while (!queue_.empty() && queue_.top().at <= t) {
-    check_budgets(queue_.top().at);
-    Event ev = queue_.top();
-    queue_.pop();
-    step(ev);
+  while (!queue_.empty() && queue_.front_time() <= t) {
+    check_budgets(queue_.front_time());
+    step(queue_.pop());
     if (pending_error_) {
       auto err = std::exchange(pending_error_, nullptr);
       std::rethrow_exception(err);

@@ -12,13 +12,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "simcore/event_queue.h"
+#include "simcore/small_fn.h"
 #include "simcore/task.h"
 #include "simcore/time.h"
 
@@ -113,7 +114,9 @@ class Completion {
 class Simulator {
  public:
   /// Adopts any ambient ScopedSimLimits active on the constructing thread
-  /// (the sweep runner's per-job watchdog); otherwise starts unlimited.
+  /// (the sweep runner's per-job watchdog) and the ambient SchedulerKind
+  /// (ScopedScheduler / PP_LEGACY_QUEUE); otherwise starts unlimited on
+  /// the calendar queue.
   Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -159,13 +162,19 @@ class Simulator {
 
   /// Runs `fn` at absolute time `at` without the overhead of spawning a
   /// process. Used for fire-and-forget actions such as wire propagation.
-  void call_at(SimTime at, std::function<void()> fn);
-  void call_after(SimTime d, std::function<void()> fn) {
+  /// The callable may be move-only; captures up to SmallFn::kInlineBytes
+  /// live inside the event node (no allocation).
+  void call_at(SimTime at, SmallFn fn);
+  void call_after(SimTime d, SmallFn fn) {
     call_at(now_ + (d > 0 ? d : 0), std::move(fn));
   }
 
   std::uint64_t events_processed() const noexcept { return events_; }
   int live_processes() const noexcept { return live_; }
+
+  /// Which pending-event scheduler this instance runs on (fixed at
+  /// construction from the ambient ScopedScheduler / PP_LEGACY_QUEUE).
+  SchedulerKind scheduler() const noexcept { return queue_.kind(); }
 
   /// Safety valve against runaway protocol loops: run() throws
   /// BudgetExceededError once this many events have been processed.
@@ -200,18 +209,6 @@ class Simulator {
     void await_resume() const noexcept {}
   };
 
-  struct Event {
-    SimTime at;
-    std::uint64_t seq;
-    std::coroutine_handle<> handle;   // exactly one of handle/callback set
-    std::function<void()> callback;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
-    }
-  };
-
   struct LiveProcess {
     std::string name;
     std::shared_ptr<Completion> completion;
@@ -226,7 +223,7 @@ class Simulator {
   std::shared_ptr<Completion> spawn_impl(Task<void> task, std::string name,
                                          bool daemon);
 
-  void step(const Event& ev);
+  void step(EventQueue::Fired&& ev);
   [[noreturn]] void throw_deadlock() const;
 
   // Pins the instance to the first thread that spawns or runs; throws
@@ -241,7 +238,7 @@ class Simulator {
   std::uint64_t event_limit_ = UINT64_MAX;
   SimTime time_limit_ = kSimTimeMax;
   int live_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  EventQueue queue_{ambient_scheduler()};
   std::vector<LiveProcess> processes_;  // slot -> process bookkeeping
   std::exception_ptr pending_error_;
   std::atomic<std::thread::id> owner_{};  // pinned on first spawn/run

@@ -1,0 +1,196 @@
+#include "simcore/timer_wheel.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <vector>
+
+#include "simcore/simulator.h"
+
+namespace pp::sim {
+
+// Shared between the TimerWheel facade, every Timer bound to it, and the
+// pending wake-up event (which holds only a weak_ptr, so a wake that
+// outlives all of them no-ops instead of touching freed buckets).
+struct TimerWheel::State {
+  static constexpr int kBuckets = 64;
+
+  Simulator* sim = nullptr;
+  int shift = 17;
+  std::array<Timer*, kBuckets> bucket{};
+  std::uint64_t bitmap = 0;  ///< bit b set <=> bucket[b] non-empty
+  std::size_t armed = 0;
+  std::uint64_t arm_seq = 0;  ///< stamps Timer::seq_ on every link
+
+  /// Deadline of the wake-up event currently pending in the Simulator
+  /// (kSimTimeMax when none). Invariant outside a fire pass: wake_at <=
+  /// every armed deadline, so a wake always pops exactly when the
+  /// earliest timer is due.
+  SimTime wake_at = kSimTimeMax;
+  std::uint64_t wake_gen = 0;  ///< superseded wakes no-op on mismatch
+
+  /// Due list of an in-progress fire pass; cancel() of a not-yet-fired
+  /// due timer nulls its slot here instead of leaving a dangling entry.
+  std::vector<Timer*>* firing = nullptr;
+  std::size_t firing_pos = 0;
+
+  static int bucket_of(SimTime at, int shift) {
+    return static_cast<int>((static_cast<std::uint64_t>(at) >> shift) &
+                            (kBuckets - 1));
+  }
+
+  void link(Timer* t) {
+    const int b = bucket_of(t->deadline_, shift);
+    t->seq_ = ++arm_seq;
+    t->prev_ = nullptr;
+    t->next_ = bucket[b];
+    if (t->next_ != nullptr) t->next_->prev_ = t;
+    bucket[b] = t;
+    bitmap |= std::uint64_t{1} << b;
+    ++armed;
+  }
+
+  void unlink(Timer* t) {
+    const int b = bucket_of(t->deadline_, shift);
+    if (t->prev_ != nullptr) {
+      t->prev_->next_ = t->next_;
+    } else {
+      bucket[b] = t->next_;
+      if (bucket[b] == nullptr) bitmap &= ~(std::uint64_t{1} << b);
+    }
+    if (t->next_ != nullptr) t->next_->prev_ = t->prev_;
+    t->prev_ = t->next_ = nullptr;
+    --armed;
+  }
+
+  SimTime min_deadline() const {
+    SimTime best = kSimTimeMax;
+    std::uint64_t bits = bitmap;
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      for (const Timer* t = bucket[b]; t != nullptr; t = t->next_) {
+        if (t->deadline_ < best) best = t->deadline_;
+      }
+    }
+    return best;
+  }
+
+  void schedule_wake(const std::shared_ptr<State>& self, SimTime at);
+  void fire(const std::shared_ptr<State>& self);
+};
+
+void TimerWheel::State::schedule_wake(const std::shared_ptr<State>& self,
+                                      SimTime at) {
+  wake_at = at;
+  const std::uint64_t gen = ++wake_gen;
+  sim->call_at(at, [w = std::weak_ptr<State>(self), gen] {
+    auto s = w.lock();
+    if (s && s->wake_gen == gen) s->fire(s);
+  });
+}
+
+void TimerWheel::State::fire(const std::shared_ptr<State>& self) {
+  wake_at = kSimTimeMax;  // this wake is consumed
+  const SimTime now = sim->now();
+
+  // Every armed deadline is >= now (the wake invariant), and all those
+  // == now share one bucket; later-lap residents of the same bucket are
+  // skipped by the deadline test.
+  std::vector<Timer*> due;
+  const int b = bucket_of(now, shift);
+  for (Timer* t = bucket[b]; t != nullptr;) {
+    Timer* next = t->next_;
+    if (t->deadline_ <= now) {
+      unlink(t);
+      t->armed_ = false;
+      t->pending_fire_ = true;
+      due.push_back(t);
+    }
+    t = next;
+  }
+
+  // Buckets are LIFO lists, so the scan yields reverse arm order; sort
+  // back to arm order so same-deadline timers fire exactly as the
+  // equivalent call_at events would ((time, insertion-order) semantics).
+  std::sort(due.begin(), due.end(), [](const Timer* a, const Timer* b) {
+    return a->seq_ < b->seq_;
+  });
+
+  // Fire with the due list published so a callback cancelling (or
+  // destroying) a sibling timer voids its pending slot. A callback may
+  // cancel or re-arm any timer, including its own; it must not destroy
+  // its own Timer object.
+  firing = &due;
+  for (firing_pos = 0; firing_pos < due.size(); ++firing_pos) {
+    Timer* t = due[firing_pos];
+    if (t == nullptr) continue;
+    t->pending_fire_ = false;
+    t->on_fire_();
+  }
+  firing = nullptr;
+
+  // Timers armed before this pass (deadlines past now) lost their wake
+  // when we consumed it; re-establish the invariant. Arms made by the
+  // callbacks above already scheduled their own wakes and lowered
+  // wake_at accordingly.
+  const SimTime next = min_deadline();
+  if (next < wake_at) schedule_wake(self, next);
+}
+
+TimerWheel::TimerWheel(Simulator& sim, int tick_shift)
+    : state_(std::make_shared<State>()) {
+  state_->sim = &sim;
+  state_->shift = tick_shift;
+}
+
+TimerWheel::~TimerWheel() = default;
+
+Simulator& TimerWheel::simulator() noexcept { return *state_->sim; }
+
+std::size_t TimerWheel::armed_count() const noexcept { return state_->armed; }
+
+Timer::~Timer() { cancel(); }
+
+void Timer::bind(TimerWheel& wheel, SmallFn on_fire) {
+  cancel();
+  state_ = wheel.state_;
+  on_fire_ = std::move(on_fire);
+}
+
+void Timer::arm(SimTime at) {
+  assert(state_ && "Timer::arm before bind");
+  cancel();
+  deadline_ = at;
+  armed_ = true;
+  state_->link(this);
+  if (at < state_->wake_at) state_->schedule_wake(state_, at);
+}
+
+void Timer::arm_after(SimTime d) {
+  assert(state_ && "Timer::arm_after before bind");
+  arm(state_->sim->now() + (d > 0 ? d : 0));
+}
+
+void Timer::cancel() {
+  if (armed_) {
+    state_->unlink(this);
+    armed_ = false;
+    return;
+  }
+  if (pending_fire_) {
+    // Mid-fire-pass: void the due-list slot instead of firing later.
+    auto& due = *state_->firing;
+    for (std::size_t i = state_->firing_pos; i < due.size(); ++i) {
+      if (due[i] == this) {
+        due[i] = nullptr;
+        break;
+      }
+    }
+    pending_fire_ = false;
+  }
+  // A cancelled min-deadline timer leaves its wake pending; the wake
+  // fires, finds nothing due, and reschedules from the surviving set.
+}
+
+}  // namespace pp::sim

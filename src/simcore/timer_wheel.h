@@ -1,0 +1,95 @@
+// An intrusive timer wheel for protocol timers that are armed, restarted
+// and cancelled far more often than they fire (TCP retransmission and
+// delayed-ACK timers are the canonical case).
+//
+// Scheduling a Simulator::call_after() per arm leaves a dead event in
+// the global queue for every cancel/restart, plus a liveness-guard
+// allocation so the orphaned callback can detect its owner died. A
+// Timer instead links itself into a bucket of its wheel: arm, restart
+// and cancel are O(1) pointer splices that never touch the global event
+// queue, and the Timer's destructor unlinks it, so a timer can never
+// fire after its owner is gone — no guard object needed.
+//
+// The wheel keeps exactly one pending wake-up event in the Simulator,
+// always at the *exact* earliest deadline (deadlines are not quantized
+// to the bucket width, so firing times are identical to what per-timer
+// call_after events would produce). Re-arming to an earlier deadline
+// supersedes the pending wake-up via a generation counter; the stale
+// event no-ops when it pops.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "simcore/small_fn.h"
+#include "simcore/time.h"
+
+namespace pp::sim {
+
+class Simulator;
+class Timer;
+
+class TimerWheel {
+ public:
+  /// `tick_shift` sets the bucket width (2^tick_shift ns); it only
+  /// affects how many timers share a bucket scan, never firing times.
+  /// The default (~131 us) puts TCP delayed-ACK and RTO deadlines a few
+  /// buckets apart.
+  explicit TimerWheel(Simulator& sim, int tick_shift = 17);
+  ~TimerWheel();
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  Simulator& simulator() noexcept;
+
+  /// Timers currently armed (tests / diagnostics).
+  std::size_t armed_count() const noexcept;
+
+ private:
+  friend class Timer;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// One intrusive timer. Bind it to a wheel and a callback once, then
+/// arm/cancel freely; destroying an armed Timer cancels it. A Timer
+/// shares ownership of its wheel's bucket state, so it may safely
+/// outlive the TimerWheel facade (cancel/destruction stays valid), but
+/// arming requires the wheel's Simulator to still be alive.
+class Timer {
+ public:
+  Timer() = default;
+  ~Timer();
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Binds to `wheel` with the callback invoked on expiry. The callback
+  /// may re-arm the timer. Must be called before arm(); rebinding while
+  /// armed cancels first.
+  void bind(TimerWheel& wheel, SmallFn on_fire);
+
+  /// Schedules (or reschedules) expiry at absolute simulated time `at`.
+  void arm(SimTime at);
+  /// Schedules expiry `d` nanoseconds from now.
+  void arm_after(SimTime d);
+
+  /// Unlinks without firing; no-op when idle.
+  void cancel();
+
+  bool armed() const noexcept { return armed_; }
+  SimTime deadline() const noexcept { return deadline_; }
+
+ private:
+  friend class TimerWheel;
+  std::shared_ptr<TimerWheel::State> state_;
+  SmallFn on_fire_;
+  Timer* prev_ = nullptr;
+  Timer* next_ = nullptr;
+  SimTime deadline_ = 0;
+  std::uint64_t seq_ = 0;  ///< arm order; breaks same-deadline ties
+  bool armed_ = false;
+  bool pending_fire_ = false;  ///< collected into an in-progress fire pass
+};
+
+}  // namespace pp::sim

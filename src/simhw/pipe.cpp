@@ -172,18 +172,19 @@ sim::Task<void> PacketPipe::wire_pump() {
       Packet copy = p;
       copy.injected_dup = true;
       copy.on_drop = nullptr;
-      auto dup_frame = std::make_shared<Packet>(std::move(copy));
       sim_.call_after(link_.propagation + extra_delay + 1,
-                      [this, dup_frame]() mutable {
-                        deliver_to_rx(std::move(*dup_frame));
+                      [this, dup = std::move(copy)]() mutable {
+                        deliver_to_rx(std::move(dup));
                       });
     }
     // Propagation does not occupy the wire; hand the frame to the receive
     // side with a fire-and-forget timer so back-to-back frames pipeline.
-    auto frame = std::make_shared<Packet>(std::move(p));
-    sim_.call_after(link_.propagation + extra_delay, [this, frame]() mutable {
-      deliver_to_rx(std::move(*frame));
-    });
+    // The move-only callback slot carries the Packet in the event node
+    // itself — no per-frame shared_ptr wrap.
+    sim_.call_after(link_.propagation + extra_delay,
+                    [this, frame = std::move(p)]() mutable {
+                      deliver_to_rx(std::move(frame));
+                    });
   }
 }
 
@@ -221,9 +222,8 @@ sim::Task<void> PacketPipe::rx_dma_pump() {
       // host notices it; coalesced frames stack at the same timestamp.
       t->record_instant(name_, "irq", irq_at);
     }
-    auto frame = std::make_shared<Packet>(std::move(p));
-    sim_.call_at(irq_at, [this, frame]() mutable {
-      rx_cpu_q_.push_now(std::move(*frame));
+    sim_.call_at(irq_at, [this, frame = std::move(p)]() mutable {
+      rx_cpu_q_.push_now(std::move(frame));
     });
   }
 }

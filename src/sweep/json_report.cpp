@@ -57,12 +57,13 @@ void append_counters(std::ostringstream& os,
      << ",\"rdma_transfers\":" << c.rdma_transfers << "}";
 }
 
-void append_job(std::ostringstream& os, const JobResult& j) {
+void append_job(std::ostringstream& os, const JobResult& j,
+                bool include_timing) {
   os << "{\"label\":\"" << escaped(j.label) << "\",\"ok\":"
      << (j.ok ? "true" : "false")
      << ",\"status\":\"" << to_string(j.status) << "\""
-     << ",\"retries\":" << j.retries
-     << ",\"wall_ms\":" << number(j.wall_ms);
+     << ",\"retries\":" << j.retries;
+  if (include_timing) os << ",\"wall_ms\":" << number(j.wall_ms);
   if (!j.ok) {
     // Degraded run: no measurement, but the counters object stays (all
     // zeros — the RunResult was never produced) so consumers can treat
@@ -85,21 +86,25 @@ void append_job(std::ostringstream& os, const JobResult& j) {
 
 }  // namespace
 
-std::string JsonReporter::to_json(const std::vector<SweepResult>& sweeps) {
+std::string JsonReporter::to_json(const std::vector<SweepResult>& sweeps,
+                                  const Options& options) {
   std::ostringstream os;
   os << "{\"schema\":\"pp.sweep/3\"";
   os << ",\"sweeps\":[";
   for (std::size_t s = 0; s < sweeps.size(); ++s) {
     const SweepResult& sw = sweeps[s];
     if (s > 0) os << ",";
-    os << "{\"name\":\"" << escaped(sw.name) << "\""
-       << ",\"threads\":" << sw.threads
-       << ",\"wall_ms\":" << number(sw.wall_ms)
-       << ",\"serial_ms\":" << number(sw.serial_ms)
-       << ",\"speedup_vs_serial\":" << number(sw.speedup()) << ",\"jobs\":[";
+    os << "{\"name\":\"" << escaped(sw.name) << "\"";
+    if (options.include_timing) {
+      os << ",\"threads\":" << sw.threads
+         << ",\"wall_ms\":" << number(sw.wall_ms)
+         << ",\"serial_ms\":" << number(sw.serial_ms)
+         << ",\"speedup_vs_serial\":" << number(sw.speedup());
+    }
+    os << ",\"jobs\":[";
     for (std::size_t i = 0; i < sw.jobs.size(); ++i) {
       if (i > 0) os << ",";
-      append_job(os, sw.jobs[i]);
+      append_job(os, sw.jobs[i], options.include_timing);
     }
     os << "]}";
   }
@@ -108,10 +113,11 @@ std::string JsonReporter::to_json(const std::vector<SweepResult>& sweeps) {
 }
 
 void JsonReporter::write(const std::string& path,
-                         const std::vector<SweepResult>& sweeps) {
+                         const std::vector<SweepResult>& sweeps,
+                         const Options& options) {
   std::ofstream f(path);
   if (!f) throw std::runtime_error("JsonReporter: cannot open " + path);
-  f << to_json(sweeps);
+  f << to_json(sweeps, options);
   if (!f) throw std::runtime_error("JsonReporter: write failed for " + path);
 }
 

@@ -28,6 +28,11 @@
 //     ]
 //   }
 //
+// With Options::include_timing = false, the host-timing fields
+// ("threads", "wall_ms", "serial_ms", "speedup_vs_serial", per-job
+// "wall_ms") are omitted entirely — the canonical form the determinism
+// tests compare byte-for-byte. Consumers must treat them as optional.
+//
 // pp.sweep/3 adds per-job degraded-run reporting ("status", "retries")
 // and the fault/recovery counters (checksum_drops, rendezvous_retries,
 // delivery_failures); "counters" is now emitted for failed jobs too so a
@@ -47,12 +52,32 @@ namespace pp::sweep {
 
 class JsonReporter {
  public:
+  struct Options {
+    /// When false, every host-timing-dependent field — per-sweep
+    /// "threads", "wall_ms", "serial_ms", "speedup_vs_serial" and
+    /// per-job "wall_ms" — is omitted. What remains is a pure function
+    /// of the simulation, so two runs of the same deterministic spec
+    /// produce byte-identical strings regardless of thread count or
+    /// host load. The determinism and differential test suites compare
+    /// reports in this form.
+    bool include_timing = true;
+  };
+
   /// Serializes the sweeps to the pp.sweep/3 schema.
-  static std::string to_json(const std::vector<SweepResult>& sweeps);
+  static std::string to_json(const std::vector<SweepResult>& sweeps,
+                             const Options& options);
+  static std::string to_json(const std::vector<SweepResult>& sweeps) {
+    return to_json(sweeps, Options{});
+  }
 
   /// Writes to_json() to `path` (throws std::runtime_error on I/O error).
   static void write(const std::string& path,
-                    const std::vector<SweepResult>& sweeps);
+                    const std::vector<SweepResult>& sweeps,
+                    const Options& options);
+  static void write(const std::string& path,
+                    const std::vector<SweepResult>& sweeps) {
+    write(path, sweeps, Options{});
+  }
 };
 
 }  // namespace pp::sweep

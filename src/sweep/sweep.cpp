@@ -59,6 +59,10 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opt) {
         const JobLimits& lim = opt.limits;
         const int attempts =
             lim.enabled() ? 1 + std::max(0, opt.watchdog_retries) : 1;
+        // Job factories construct their Simulators deep inside closures;
+        // the scheduler choice travels thread-locally like the budgets.
+        std::optional<sim::ScopedScheduler> sched_guard;
+        if (opt.scheduler) sched_guard.emplace(*opt.scheduler);
         for (int attempt = 0; attempt < attempts; ++attempt) {
           try {
             // Budgets double per retry: a fault schedule may legitimately

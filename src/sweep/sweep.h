@@ -13,10 +13,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "netpipe/runner.h"
+#include "simcore/event_queue.h"
 #include "simcore/time.h"
 
 namespace pp::sweep {
@@ -107,6 +109,11 @@ struct SweepOptions {
   /// Extra attempts for a watchdog-killed job, each with doubled budgets
   /// (some fault schedules legitimately need longer to converge).
   int watchdog_retries = 2;
+  /// Event scheduler every Simulator the jobs construct adopts (installed
+  /// thread-locally around each job, like `limits`). Unset: the ambient
+  /// default. The differential determinism harness runs the same spec
+  /// once per SchedulerKind and asserts identical results.
+  std::optional<sim::SchedulerKind> scheduler;
 };
 
 /// Runs every job of `spec` on a thread pool and returns the results in

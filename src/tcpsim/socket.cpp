@@ -33,7 +33,14 @@ struct Endpoint {
         name(std::move(nm)),
         snd_space(stack_in.node().simulator(), 0),
         tx_signal(stack_in.node().simulator()),
-        rx_signal(stack_in.node().simulator()) {}
+        rx_signal(stack_in.node().simulator()) {
+    // `this` is stable: Endpoints live as Connection members behind a
+    // shared_ptr and never move. The Timer destructor unlinks from the
+    // wheel, so a torn-down connection can never see a timer fire — the
+    // weak-handle dance the old per-timer call_after() needed is gone.
+    rto_timer.bind(stack->timers(), [this] { on_rto(); });
+    delack_timer.bind(stack->timers(), [this] { on_delack(); });
+  }
 
   hw::Node& node() { return stack->node(); }
   sim::Simulator& simulator() { return stack->node().simulator(); }
@@ -76,8 +83,10 @@ struct Endpoint {
   void maybe_window_update(std::uint64_t pre_recv_usable);
   /// Go-back-N: requeue everything after the last cumulative ACK.
   void rewind_to_una();
-  /// Arms (or keeps armed) the retransmission timer.
+  /// Arms the retransmission timer if it is not already running.
   void arm_rto();
+  void on_rto();
+  void on_delack();
 
   sim::Task<void> tx_pump();
   sim::Task<void> send(std::uint64_t bytes, std::uint64_t token);
@@ -101,7 +110,20 @@ struct Endpoint {
   std::uint64_t rwnd_edge = 0;   ///< absolute send limit from peer's window
   int dupack_count = 0;
   std::uint64_t recover_until = 0;
-  bool rto_armed = false;
+  /// Classic restart-on-progress RTO watchdog on the stack's timer
+  /// wheel: restarted by every ACK that advances snd_una, cancelled when
+  /// the window drains, so a fire always means a barren interval.
+  sim::Timer rto_timer;
+  /// Flush timer for an odd trailing segment's delayed ACK. The deadline
+  /// belongs to the FIRST deferred ack: later arrivals do not push it
+  /// back, and a segment sent meanwhile (which carries the cumulative
+  /// ACK) does not cancel it — the fire just finds nothing pending and
+  /// stands down, exactly like the 2.4 kernel's delack timer. Keeping
+  /// this flush on its original schedule matters: the stray pure ACK it
+  /// emits mid-exchange is what holds a loaded NIC's interrupt
+  /// mitigation in the slow regime (see hw::InterruptCoalescer), the
+  /// mechanism behind the paper's stop-and-wait small-buffer penalty.
+  sim::Timer delack_timer;
   /// Current (possibly backed-off) RTO; 0 = use the sysctl base value.
   sim::SimTime cur_rto = 0;
 
@@ -152,13 +174,6 @@ struct Endpoint {
   std::vector<std::uint64_t> tokens_ready;
 
   SocketStats stats;
-
-  /// Liveness token for timer callbacks. Simulator::call_after timers
-  /// (delayed-ACK flush, RTO watchdog) can outlive a torn-down
-  /// connection — every sweep job destroys its stacks with timers still
-  /// queued — so callbacks capture only a weak handle to this token and
-  /// become no-ops once the endpoint is gone.
-  std::shared_ptr<char> alive = std::make_shared<char>(1);
 };
 
 /// A full-duplex connection: two endpoints referencing each other.
@@ -206,6 +221,10 @@ void Endpoint::inject_segment(std::uint32_t payload, std::uint64_t seq) {
   ctx->wnd_edge = advert_edge();
   last_advertised_edge = ctx->wnd_edge;
   pending_acks = 0;  // any segment carries the latest cumulative ACK
+  // Deliberately NOT cancelling delack_timer: it no-ops when nothing is
+  // pending, and an odd segment arriving before its original deadline
+  // still gets flushed on the first deferred ack's schedule (see the
+  // member comment).
   hw::Packet p;
   p.dma_bytes = payload + kHeaderBytes;
   p.wire_bytes = payload + kHeaderBytes + out->nic().frame_overhead;
@@ -253,19 +272,12 @@ void Endpoint::on_segment(const SegmentCtx& s) {
       if (pending_acks >= 2) {
         send_pure_ack();
       } else {
-        // Delayed-ACK flush for an odd trailing segment. The callback
-        // holds a weak liveness handle: the connection may be torn down
-        // (and `this` freed) before the flush timer fires.
-        Endpoint* self = this;
-        std::weak_ptr<char> guard = alive;
-        simulator().call_after(stack->sysctl().delayed_ack_timeout,
-                               [self, guard] {
-          if (guard.expired()) return;
-          if (self->pending_acks > 0) {
-            self->trace_instant("delayed-ack");
-            self->send_pure_ack();
-          }
-        });
+        // Delayed-ACK flush for an odd trailing segment. Arm-if-idle:
+        // the deadline runs from the first deferred ack and is not
+        // reset by subsequent arrivals.
+        if (!delack_timer.armed()) {
+          delack_timer.arm_after(stack->sysctl().delayed_ack_timeout);
+        }
       }
     }
   }
@@ -275,6 +287,13 @@ void Endpoint::on_segment(const SegmentCtx& s) {
     snd_una = s.ack;
     dupack_count = 0;
     cur_rto = 0;  // ACK progress collapses any RTO backoff
+    // Restart the watchdog for the remaining flight (or stand down when
+    // everything is acked) — both O(1) splices on the timer wheel.
+    if (snd_next == snd_una) {
+      rto_timer.cancel();
+    } else {
+      rto_timer.arm_after(rto_interval());
+    }
     on_ack_progress(acked);
   } else if (s.ack == snd_una && s.payload == 0 && snd_next > snd_una) {
     // A pure duplicate ACK while data is outstanding. Only one fast
@@ -306,31 +325,28 @@ void Endpoint::rewind_to_una() {
 }
 
 void Endpoint::arm_rto() {
-  if (rto_armed) return;
-  rto_armed = true;
-  const std::uint64_t epoch = snd_una;
-  Endpoint* self = this;
-  // Weak liveness handle: the watchdog re-arms itself every RTO while
-  // data is in flight, so it routinely outlives torn-down connections.
-  std::weak_ptr<char> guard = alive;
-  simulator().call_after(rto_interval(), [self, guard, epoch] {
-    if (guard.expired()) return;
-    self->rto_armed = false;
-    if (self->snd_next == self->snd_una) return;  // everything acked
-    if (self->snd_una == epoch) {
-      // No progress for a whole RTO: resend from the last acked byte and
-      // double the timer (capped) — each barren interval backs off until
-      // an ACK finally moves snd_una and resets it.
-      self->stats.rto_timeouts += 1;
-      self->trace_instant("rto");
-      const Sysctl& sc = self->stack->sysctl();
-      const sim::SimTime next = self->rto_interval() * 2;
-      self->cur_rto = std::min(next, sc.retransmit_timeout_max);
-      self->on_congestion(/*timeout=*/true);
-      self->rewind_to_una();
-    }
-    self->arm_rto();  // keep watching until the window drains
-  });
+  if (!rto_timer.armed()) rto_timer.arm_after(rto_interval());
+}
+
+void Endpoint::on_rto() {
+  if (snd_next == snd_una) return;  // everything acked; stay idle
+  // The timer is restarted on every ACK that advances snd_una, so firing
+  // means a whole RTO passed with zero progress: resend from the last
+  // acked byte and double the timer (capped) — each barren interval
+  // backs off further until an ACK finally moves snd_una and resets it.
+  stats.rto_timeouts += 1;
+  trace_instant("rto");
+  cur_rto = std::min(rto_interval() * 2, stack->sysctl().retransmit_timeout_max);
+  on_congestion(/*timeout=*/true);
+  rewind_to_una();
+  rto_timer.arm_after(rto_interval());  // keep watching the rewound flight
+}
+
+void Endpoint::on_delack() {
+  if (pending_acks > 0) {
+    trace_instant("delayed-ack");
+    send_pure_ack();
+  }
 }
 
 sim::Task<void> Endpoint::tx_pump() {

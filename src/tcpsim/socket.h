@@ -43,6 +43,7 @@
 
 #include "simcore/simulator.h"
 #include "simcore/task.h"
+#include "simcore/timer_wheel.h"
 #include "simhw/cluster.h"
 #include "simhw/node.h"
 #include "simhw/pipe.h"
@@ -58,7 +59,7 @@ struct Endpoint;
 class TcpStack {
  public:
   TcpStack(hw::Node& node, Sysctl sysctl = {})
-      : node_(node), sysctl_(sysctl) {}
+      : node_(node), sysctl_(sysctl), timers_(node.simulator()) {}
 
   TcpStack(const TcpStack&) = delete;
   TcpStack& operator=(const TcpStack&) = delete;
@@ -66,6 +67,11 @@ class TcpStack {
   hw::Node& node() noexcept { return node_; }
   Sysctl& sysctl() noexcept { return sysctl_; }
   const Sysctl& sysctl() const noexcept { return sysctl_; }
+
+  /// Shared wheel for this stack's protocol timers (delayed-ACK flush,
+  /// RTO watchdog). Cancel/restart are O(1) list splices here instead of
+  /// dead events accumulating in the Simulator's global queue.
+  sim::TimerWheel& timers() noexcept { return timers_; }
 
   /// Starts demultiplexing an inbound pipe (idempotent per pipe). The pipe
   /// must terminate at this stack's node. Multiple connections share one
@@ -83,6 +89,7 @@ class TcpStack {
 
   hw::Node& node_;
   Sysctl sysctl_;
+  sim::TimerWheel timers_;
   std::vector<const hw::PacketPipe*> attached_;
   std::vector<std::shared_ptr<void>> retained_;
 };

@@ -1,0 +1,210 @@
+// Property-based determinism suite.
+//
+// The repo's core reproducibility claim: a sweep is a pure function of
+// its spec — same spec, same seeds, same results, bit for bit, no
+// matter how many worker threads run it or how many times it is
+// repeated. These tests generate randomized sweep specs from a seeded
+// SplitMix64 stream (hardware mix, socket buffers, message schedules,
+// fault plans) and assert that the canonical JSON report and every
+// ProtocolCounters field survive re-runs and thread-count changes
+// unchanged.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "faults/plan.h"
+#include "mp/mpich.h"
+#include "mp/mplite.h"
+#include "mp/testbed.h"
+#include "netpipe/runner.h"
+#include "simhw/presets.h"
+#include "sweep/json_report.h"
+#include "sweep/sweep.h"
+#include "tcpsim/socket.h"
+
+namespace {
+
+using namespace pp;
+
+// SplitMix64: tiny, seedable, and good enough to scatter job parameters.
+struct SplitMix64 {
+  std::uint64_t state;
+  explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform pick in [0, n).
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+};
+
+netpipe::RunOptions small_run_options(SplitMix64& rng) {
+  netpipe::RunOptions o;
+  o.schedule.max_bytes = 4096ull << rng.below(3);  // 4k / 8k / 16k
+  o.repeats = 1;
+  o.warmup = 0;
+  return o;
+}
+
+/// One randomized, self-contained NetPIPE job. Every parameter the
+/// closure needs is captured by value so the job can run on any thread.
+sweep::JobSpec random_job(SplitMix64& rng, int index) {
+  const bool use_ga620 = rng.below(2) == 0;
+  const hw::NicConfig nic = use_ga620 ? hw::presets::netgear_ga620()
+                                      : hw::presets::trendnet_teg_pcitx();
+  const std::uint32_t buf = 32u << (10 + rng.below(3));  // 32k/64k/128k
+  const bool use_mpich = rng.below(2) == 0;
+  const bool faulted = rng.below(2) == 0;
+  const double loss = faulted ? 0.005 * static_cast<double>(1 + rng.below(4))
+                              : 0.0;
+  const std::uint64_t fault_seed = rng.next();
+  const netpipe::RunOptions opts = small_run_options(rng);
+
+  const std::string label = "job" + std::to_string(index) +
+                            (use_mpich ? "_mpich" : "_tcp") +
+                            (faulted ? "_faulted" : "");
+  auto run = [nic, buf, use_mpich, loss, fault_seed, opts] {
+    mp::PairBed bed(hw::presets::pentium4_pc(), nic, tcp::Sysctl::tuned());
+    if (loss > 0.0) {
+      faults::apply(faults::uniform_loss_plan(loss, fault_seed),
+                    bed.cluster);
+    }
+    if (use_mpich) {
+      mp::MpichOptions mo;
+      mo.p4_sockbufsize = buf;
+      auto pair = bench::hold_pair(mp::Mpich::create_pair(bed, mo));
+      return netpipe::run_netpipe(bed.sim, *pair.first, *pair.second, opts);
+    }
+    auto pair = bench::raw_tcp_pair(bed, buf);
+    return netpipe::run_netpipe(bed.sim, *pair.first, *pair.second, opts);
+  };
+  return sweep::JobSpec{label, std::move(run)};
+}
+
+sweep::SweepSpec random_spec(std::uint64_t seed, int jobs) {
+  SplitMix64 rng(seed);
+  sweep::SweepSpec spec;
+  spec.name = "determinism_seed" + std::to_string(seed);
+  for (int i = 0; i < jobs; ++i) spec.jobs.push_back(random_job(rng, i));
+  return spec;
+}
+
+/// The canonical (host-timing-free) report: a pure function of the
+/// simulation, so equality here is bit-level reproducibility.
+std::string canonical(const sweep::SweepResult& sr) {
+  sweep::JsonReporter::Options o;
+  o.include_timing = false;
+  return sweep::JsonReporter::to_json({sr}, o);
+}
+
+void expect_counters_eq(const netpipe::ProtocolCounters& a,
+                        const netpipe::ProtocolCounters& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.data_segments, b.data_segments) << label;
+  EXPECT_EQ(a.acks, b.acks) << label;
+  EXPECT_EQ(a.retransmits, b.retransmits) << label;
+  EXPECT_EQ(a.fast_retransmits, b.fast_retransmits) << label;
+  EXPECT_EQ(a.checksum_drops, b.checksum_drops) << label;
+  EXPECT_EQ(a.wire_drops, b.wire_drops) << label;
+  EXPECT_EQ(a.rendezvous_handshakes, b.rendezvous_handshakes) << label;
+  EXPECT_EQ(a.rendezvous_retries, b.rendezvous_retries) << label;
+  EXPECT_EQ(a.delivery_failures, b.delivery_failures) << label;
+  EXPECT_EQ(a.staged_bytes, b.staged_bytes) << label;
+  EXPECT_EQ(a.relay_fragments, b.relay_fragments) << label;
+  EXPECT_EQ(a.rdma_transfers, b.rdma_transfers) << label;
+}
+
+void expect_results_eq(const sweep::SweepResult& a,
+                       const sweep::SweepResult& b) {
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const auto& ja = a.jobs[i];
+    const auto& jb = b.jobs[i];
+    EXPECT_EQ(ja.label, jb.label);
+    ASSERT_EQ(ja.ok, jb.ok) << ja.label;
+    expect_counters_eq(ja.result.counters, jb.result.counters, ja.label);
+    ASSERT_EQ(ja.result.points.size(), jb.result.points.size()) << ja.label;
+    for (std::size_t p = 0; p < ja.result.points.size(); ++p) {
+      EXPECT_EQ(ja.result.points[p].bytes, jb.result.points[p].bytes);
+      EXPECT_EQ(ja.result.points[p].elapsed, jb.result.points[p].elapsed)
+          << ja.label << " point " << p;
+    }
+  }
+}
+
+TEST(Determinism, RandomSpecsRepeatBitIdentically) {
+  // Same randomized spec, run twice back to back: the canonical report
+  // strings must match byte for byte.
+  for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const auto spec = random_spec(seed, 6);
+    const auto first = sweep::run_sweep(spec);
+    const auto second = sweep::run_sweep(spec);
+    EXPECT_EQ(canonical(first), canonical(second)) << "seed " << seed;
+    expect_results_eq(first, second);
+  }
+}
+
+TEST(Determinism, ThreadCountNeverChangesResults) {
+  // 1, 2 and 8 workers must produce identical canonical reports: job
+  // isolation plus spec-order aggregation hides completion order.
+  const auto spec = random_spec(1234, 8);
+  sweep::SweepOptions serial;
+  serial.threads = 1;
+  sweep::SweepOptions two;
+  two.threads = 2;
+  sweep::SweepOptions eight;
+  eight.threads = 8;
+
+  const auto r1 = sweep::run_sweep(spec, serial);
+  const auto r2 = sweep::run_sweep(spec, two);
+  const auto r8 = sweep::run_sweep(spec, eight);
+
+  EXPECT_EQ(canonical(r1), canonical(r2));
+  EXPECT_EQ(canonical(r1), canonical(r8));
+  expect_results_eq(r1, r2);
+  expect_results_eq(r1, r8);
+}
+
+TEST(Determinism, FaultPlansReplayUnderParallelism) {
+  // Fault schedules are seeded per plan, not per thread: a heavily
+  // faulted spec must still aggregate identically at any pool size.
+  SplitMix64 rng(99);
+  sweep::SweepSpec spec;
+  spec.name = "faulted";
+  for (int i = 0; i < 6; ++i) {
+    SplitMix64 job_rng(rng.next());
+    auto job = random_job(job_rng, i);
+    spec.jobs.push_back(std::move(job));
+  }
+  sweep::SweepOptions serial;
+  serial.threads = 1;
+  sweep::SweepOptions wide;
+  wide.threads = 8;
+  const auto a = sweep::run_sweep(spec, serial);
+  const auto b = sweep::run_sweep(spec, wide);
+  EXPECT_EQ(canonical(a), canonical(b));
+  expect_results_eq(a, b);
+}
+
+TEST(Determinism, CanonicalReportOmitsHostTiming) {
+  // Guard the canonical form itself: no host-timing keys may leak into
+  // the string the other tests compare.
+  const auto spec = random_spec(5, 2);
+  const auto sr = sweep::run_sweep(spec);
+  const std::string c = canonical(sr);
+  EXPECT_EQ(c.find("wall_ms"), std::string::npos);
+  EXPECT_EQ(c.find("serial_ms"), std::string::npos);
+  EXPECT_EQ(c.find("speedup_vs_serial"), std::string::npos);
+  EXPECT_EQ(c.find("\"threads\""), std::string::npos);
+  // While the full report still carries them.
+  const std::string full = sweep::JsonReporter::to_json({sr});
+  EXPECT_NE(full.find("wall_ms"), std::string::npos);
+  EXPECT_NE(full.find("\"threads\""), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,214 @@
+// Differential determinism harness: legacy heap scheduler vs the
+// calendar-queue scheduler.
+//
+// The event-queue overhaul (simcore/event_queue.h) replaced the seed's
+// std::priority_queue with a two-tier calendar queue, and the protocol
+// timers moved onto an intrusive timer wheel. Both must preserve the
+// strict (time, insertion-order) pop semantics EXACTLY — the proof is
+// running the paper's real workloads (figures 1-5, the MPICH mechanism
+// ablation, resilience-style faulted runs) once per SchedulerKind and
+// asserting bit-identical canonical reports, counters and traces. The
+// legacy scheduler stays selectable forever (PP_LEGACY_QUEUE=1, or
+// SweepOptions::scheduler) precisely so this comparison keeps running.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/figures.h"
+#include "faults/plan.h"
+#include "mp/mpich.h"
+#include "mp/testbed.h"
+#include "netpipe/runner.h"
+#include "simcore/event_queue.h"
+#include "simcore/tracing.h"
+#include "simhw/presets.h"
+#include "sweep/json_report.h"
+#include "sweep/sweep.h"
+
+namespace {
+
+using namespace pp;
+
+netpipe::RunOptions reduced_options() {
+  netpipe::RunOptions o;
+  o.schedule.max_bytes = 64 << 10;
+  o.repeats = 1;
+  o.warmup = 0;
+  return o;
+}
+
+std::string canonical(const sweep::SweepResult& sr) {
+  sweep::JsonReporter::Options o;
+  o.include_timing = false;
+  return sweep::JsonReporter::to_json({sr}, o);
+}
+
+/// Runs `spec` under both schedulers and asserts identical results,
+/// first as canonical JSON (cheap, catches everything the report
+/// serializes) and then field by field on the raw results (catches
+/// anything the report rounds).
+void expect_schedulers_agree(const sweep::SweepSpec& spec) {
+  sweep::SweepOptions legacy;
+  legacy.scheduler = sim::SchedulerKind::kLegacyHeap;
+  sweep::SweepOptions calendar;
+  calendar.scheduler = sim::SchedulerKind::kCalendar;
+
+  const auto lr = sweep::run_sweep(spec, legacy);
+  const auto cr = sweep::run_sweep(spec, calendar);
+
+  EXPECT_EQ(canonical(lr), canonical(cr)) << spec.name;
+
+  ASSERT_EQ(lr.jobs.size(), cr.jobs.size());
+  for (std::size_t i = 0; i < lr.jobs.size(); ++i) {
+    const auto& a = lr.jobs[i];
+    const auto& b = cr.jobs[i];
+    ASSERT_EQ(a.ok, b.ok) << spec.name << "/" << a.label;
+    if (!a.ok) continue;
+    ASSERT_EQ(a.result.points.size(), b.result.points.size()) << a.label;
+    for (std::size_t p = 0; p < a.result.points.size(); ++p) {
+      EXPECT_EQ(a.result.points[p].elapsed, b.result.points[p].elapsed)
+          << spec.name << "/" << a.label << " point " << p;
+    }
+    EXPECT_EQ(a.result.counters.data_segments, b.result.counters.data_segments)
+        << a.label;
+    EXPECT_EQ(a.result.counters.acks, b.result.counters.acks) << a.label;
+    EXPECT_EQ(a.result.counters.retransmits, b.result.counters.retransmits)
+        << a.label;
+    EXPECT_EQ(a.result.counters.wire_drops, b.result.counters.wire_drops)
+        << a.label;
+    EXPECT_EQ(a.result.counters.staged_bytes, b.result.counters.staged_bytes)
+        << a.label;
+  }
+}
+
+TEST(Differential, Figure1) {
+  expect_schedulers_agree(bench::fig1_spec(reduced_options()));
+}
+
+TEST(Differential, Figure2) {
+  expect_schedulers_agree(bench::fig2_spec(reduced_options()));
+}
+
+TEST(Differential, Figure3) {
+  expect_schedulers_agree(bench::fig3_spec(reduced_options()));
+}
+
+TEST(Differential, Figure4) {
+  expect_schedulers_agree(bench::fig4_spec(reduced_options()));
+}
+
+TEST(Differential, Figure5) {
+  expect_schedulers_agree(bench::fig5_spec(reduced_options()));
+}
+
+TEST(Differential, MpichMechanismAblation) {
+  // The ablation bench's MPICH variants: each stresses a different
+  // protocol path (rendezvous off, small buffers, MP_Lite channel).
+  const auto opts = reduced_options();
+  const auto host = hw::presets::pentium4_pc();
+  const auto nic = hw::presets::netgear_ga620();
+  const auto sysctl = tcp::Sysctl::tuned();
+
+  mp::MpichOptions stock;
+  stock.p4_sockbufsize = 256 << 10;
+  mp::MpichOptions no_rndv = stock;
+  no_rndv.rendezvous_cutoff = UINT64_MAX;
+  mp::MpichOptions small_buf = stock;
+  small_buf.p4_sockbufsize = 32 << 10;
+  mp::MpichOptions snw = small_buf;
+  snw.p4_stop_and_wait = true;
+
+  sweep::SweepSpec spec;
+  spec.name = "ablation";
+  auto add = [&](const std::string& label, mp::MpichOptions mo) {
+    spec.jobs.push_back(bench::bed_job(
+        label, host, nic, sysctl,
+        [mo](mp::PairBed& bed) {
+          return bench::hold_pair(mp::Mpich::create_pair(bed, mo));
+        },
+        opts));
+  };
+  add("stock", stock);
+  add("no-rendezvous", no_rndv);
+  add("32k-buffer", small_buf);
+  add("stop-and-wait", snw);
+  expect_schedulers_agree(spec);
+}
+
+TEST(Differential, FaultedResilienceRuns) {
+  // Resilience-style rows: raw TCP and MPICH under uniform frame loss.
+  // Faulted runs exercise the RTO/fast-retransmit paths where the timer
+  // wheel actually fires, not just arms and cancels.
+  const auto opts = reduced_options();
+  sweep::SweepSpec spec;
+  spec.name = "resilience";
+  std::uint64_t seed = 11;
+  for (double loss : {0.002, 0.01, 0.03}) {
+    for (bool mpich : {false, true}) {
+      const std::string label = (mpich ? "MPICH@" : "TCP@") +
+                                std::to_string(loss);
+      const std::uint64_t job_seed = seed++;
+      spec.jobs.push_back(sweep::JobSpec{
+          label, [loss, mpich, job_seed, opts] {
+            mp::PairBed bed(hw::presets::pentium4_pc(),
+                            hw::presets::netgear_ga620(),
+                            tcp::Sysctl::tuned());
+            faults::apply(faults::uniform_loss_plan(loss, job_seed),
+                          bed.cluster);
+            if (mpich) {
+              mp::MpichOptions mo;
+              mo.p4_sockbufsize = 256 << 10;
+              auto pair = bench::hold_pair(mp::Mpich::create_pair(bed, mo));
+              return netpipe::run_netpipe(bed.sim, *pair.first, *pair.second,
+                                          opts);
+            }
+            auto pair = bench::raw_tcp_pair(bed, 512 << 10);
+            return netpipe::run_netpipe(bed.sim, *pair.first, *pair.second,
+                                        opts);
+          }});
+    }
+  }
+  expect_schedulers_agree(spec);
+}
+
+TEST(Differential, TraceTimelinesMatchEventForEvent) {
+  // Stronger than counters: a full Chrome-JSON trace of a faulted MPICH
+  // transfer records the timestamp of every segment, irq, ack and timer
+  // fire. Both schedulers must produce the identical string.
+  auto traced_run = [](sim::SchedulerKind kind) {
+    sim::ScopedScheduler guard(kind);
+    mp::PairBed bed(hw::presets::pentium4_pc(),
+                    hw::presets::trendnet_teg_pcitx(), tcp::Sysctl::tuned());
+    faults::apply(faults::uniform_loss_plan(0.01, 3), bed.cluster);
+    sim::TraceRecorder rec;
+    bed.sim.set_tracer(&rec);
+    mp::MpichOptions mo;
+    mo.p4_sockbufsize = 32 << 10;
+    mo.p4_stop_and_wait = true;
+    auto pair = bench::hold_pair(mp::Mpich::create_pair(bed, mo));
+    auto opts = reduced_options();
+    opts.schedule.max_bytes = 32 << 10;
+    netpipe::run_netpipe(bed.sim, *pair.first, *pair.second, opts);
+    return rec.to_chrome_json();
+  };
+  const std::string legacy = traced_run(sim::SchedulerKind::kLegacyHeap);
+  const std::string calendar = traced_run(sim::SchedulerKind::kCalendar);
+  ASSERT_FALSE(legacy.empty());
+  EXPECT_EQ(legacy, calendar);
+}
+
+TEST(Differential, EnvironmentVariableSelectsLegacy) {
+  // PP_LEGACY_QUEUE=1 flips the ambient default; ScopedScheduler
+  // overrides it per thread. Both knobs must resolve to real kinds.
+  sim::ScopedScheduler legacy(sim::SchedulerKind::kLegacyHeap);
+  {
+    sim::Simulator s;
+    EXPECT_EQ(s.scheduler(), sim::SchedulerKind::kLegacyHeap);
+    sim::ScopedScheduler inner(sim::SchedulerKind::kCalendar);
+    sim::Simulator s2;
+    EXPECT_EQ(s2.scheduler(), sim::SchedulerKind::kCalendar);
+  }
+}
+
+}  // namespace

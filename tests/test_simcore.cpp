@@ -1,14 +1,20 @@
 // Unit and property tests for the discrete-event coroutine engine.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "simcore/event_queue.h"
 #include "simcore/random.h"
 #include "simcore/resource.h"
 #include "simcore/simulator.h"
+#include "simcore/small_fn.h"
 #include "simcore/sync.h"
+#include "simcore/timer_wheel.h"
 #include "simcore/tracing.h"
 
 namespace pp::sim {
@@ -547,6 +553,276 @@ TEST(Simulator, DaemonsDoNotCountAsDeadlock) {
       "producer");
   sim.run();  // must terminate despite the forever-waiting daemon
   SUCCEED();
+}
+
+// ---------------------------------------------------------------------
+// SmallFn: the small-buffer-optimized callback slot of the event queue.
+
+TEST(SmallFn, InlineCallableInvokesAndMoves) {
+  int hits = 0;
+  SmallFn f([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_EQ(hits, 1);
+  SmallFn g(std::move(f));
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  g();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFn, LargeCaptureFallsBackToHeap) {
+  // A capture bigger than the inline buffer must still work (and its
+  // destructor must run exactly once).
+  auto counter = std::make_shared<int>(0);
+  struct Big {
+    std::shared_ptr<int> c;
+    char pad[128];
+  };
+  Big big{counter, {}};
+  {
+    SmallFn f([big] { ++*big.c; });
+    EXPECT_EQ(counter.use_count(), 3);  // local + big.c + f's copy
+    f();
+    SmallFn g(std::move(f));
+    g();
+  }
+  EXPECT_EQ(*counter, 2);
+  EXPECT_EQ(counter.use_count(), 2);  // callables destroyed, no leak
+}
+
+TEST(SmallFn, MoveOnlyCapturesSupported) {
+  auto p = std::make_unique<int>(41);
+  SmallFn f([q = std::move(p)]() { ++*q; });
+  f();
+  SmallFn g;
+  EXPECT_FALSE(static_cast<bool>(g));
+  g = std::move(f);
+  g();
+}
+
+// ---------------------------------------------------------------------
+// EventQueue: both schedulers must agree on strict (time, seq) order.
+
+SchedulerKind both_kinds[] = {SchedulerKind::kCalendar,
+                              SchedulerKind::kLegacyHeap};
+
+TEST(EventQueue, OrderingPropertyHoldsUnderBothSchedulers) {
+  // A randomized blast of call_at()s, including same-timestamp ties and
+  // far-future outliers, must pop in exact (time, insertion) order
+  // under either scheduler.
+  for (SchedulerKind kind : both_kinds) {
+    ScopedScheduler guard(kind);
+    Simulator sim;
+    SplitMix64 rng(2024);
+    std::vector<std::pair<SimTime, int>> fired;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+      // Mix dense near-term times (calendar buckets), exact ties, and
+      // sparse far-tier times (beyond the wheel horizon).
+      SimTime at = static_cast<SimTime>(rng.below(1 << 14));
+      if (i % 7 == 0) at = 1000;                        // heavy tie pile
+      if (i % 31 == 0) at += (1ll << 50);               // far tier
+      sim.call_at(at, [&fired, at, i, &sim] {
+        fired.emplace_back(at, i);
+        EXPECT_EQ(sim.now(), at);
+      });
+    }
+    sim.run();
+    ASSERT_EQ(fired.size(), static_cast<std::size_t>(n)) << "kind";
+    for (std::size_t i = 1; i < fired.size(); ++i) {
+      const bool ordered =
+          fired[i - 1].first < fired[i].first ||
+          (fired[i - 1].first == fired[i].first &&
+           fired[i - 1].second < fired[i].second);
+      ASSERT_TRUE(ordered) << "inversion at " << i;
+    }
+  }
+}
+
+TEST(EventQueue, SameTimeCallbacksRunInInsertionOrder) {
+  for (SchedulerKind kind : both_kinds) {
+    ScopedScheduler guard(kind);
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 64; ++i) {
+      sim.call_at(5, [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    std::vector<int> expect(64);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(order, expect);
+  }
+}
+
+TEST(EventQueue, CallbacksScheduledMidRunKeepOrder) {
+  // Events scheduled from inside callbacks (including at the current
+  // time) land after already-queued same-time events — under both
+  // schedulers, which is what the differential harness relies on.
+  for (SchedulerKind kind : both_kinds) {
+    ScopedScheduler guard(kind);
+    Simulator sim;
+    std::vector<std::string> order;
+    sim.call_at(10, [&] {
+      order.push_back("a");
+      sim.call_at(10, [&] { order.push_back("a-child"); });
+      sim.call_at(12, [&] { order.push_back("late"); });
+    });
+    sim.call_at(10, [&] { order.push_back("b"); });
+    sim.call_at(11, [&] { order.push_back("mid"); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "a-child", "mid",
+                                               "late"}));
+  }
+}
+
+TEST(EventQueue, RunUntilThenFarFutureRebuilds) {
+  // run_until() leaves the cursor mid-stream; scheduling both before
+  // and after the calendar's current window afterwards must still pop
+  // in order (exercises the wheel's rebuild/re-anchor path).
+  for (SchedulerKind kind : both_kinds) {
+    ScopedScheduler guard(kind);
+    Simulator sim;
+    std::vector<SimTime> fired;
+    auto record = [&fired, &sim] { fired.push_back(sim.now()); };
+    for (SimTime t : {100, 200, 300, 400}) sim.call_at(t, record);
+    sim.run_until(250);
+    EXPECT_EQ(fired, (std::vector<SimTime>{100, 200}));
+    sim.call_at(260, record);
+    sim.call_at(1ll << 52, record);  // far beyond the wheel horizon
+    sim.call_at(350, record);
+    sim.run();
+    EXPECT_EQ(fired, (std::vector<SimTime>{100, 200, 260, 300, 350, 400,
+                                           1ll << 52}));
+  }
+}
+
+TEST(EventQueue, SchedulerKindIsObservable) {
+  ScopedScheduler a(SchedulerKind::kLegacyHeap);
+  Simulator s1;
+  EXPECT_EQ(s1.scheduler(), SchedulerKind::kLegacyHeap);
+  ScopedScheduler b(SchedulerKind::kCalendar);
+  Simulator s2;
+  EXPECT_EQ(s2.scheduler(), SchedulerKind::kCalendar);
+}
+
+// ---------------------------------------------------------------------
+// TimerWheel: the intrusive cancel/restart timers the TCP stack uses.
+
+TEST(TimerWheel, FiresAtExactDeadline) {
+  Simulator sim;
+  TimerWheel wheel(sim);
+  Timer t;
+  SimTime fired_at = -1;
+  t.bind(wheel, [&] { fired_at = sim.now(); });
+  t.arm(12345);
+  EXPECT_TRUE(t.armed());
+  EXPECT_EQ(t.deadline(), 12345);
+  sim.run();
+  EXPECT_EQ(fired_at, 12345);  // exact, not quantized to a wheel tick
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(TimerWheel, CancelAndRestartDoNotFireStaleDeadlines) {
+  Simulator sim;
+  TimerWheel wheel(sim);
+  Timer t;
+  int fires = 0;
+  SimTime fired_at = -1;
+  t.bind(wheel, [&] {
+    ++fires;
+    fired_at = sim.now();
+  });
+  // Arm/cancel/re-arm churn: only the final deadline may fire.
+  for (int i = 1; i <= 100; ++i) {
+    t.arm(static_cast<SimTime>(i) * 1000);
+    if (i < 100) t.cancel();
+  }
+  EXPECT_EQ(wheel.armed_count(), 1u);
+  sim.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(fired_at, 100000);
+}
+
+TEST(TimerWheel, CallbackMayRearmItself) {
+  Simulator sim;
+  TimerWheel wheel(sim);
+  Timer t;
+  int fires = 0;
+  t.bind(wheel, [&] {
+    if (++fires < 5) t.arm_after(100);
+  });
+  t.arm(50);
+  sim.run();
+  EXPECT_EQ(fires, 5);
+  EXPECT_EQ(sim.now(), 50 + 4 * 100);
+}
+
+TEST(TimerWheel, CallbackMayCancelAPeerDueAtTheSameTime) {
+  // Two timers due at the same instant; the first one's callback
+  // cancels the second — the second must not fire (the fire pass honors
+  // cancellation mid-batch).
+  Simulator sim;
+  TimerWheel wheel(sim);
+  Timer first, second;
+  int second_fires = 0;
+  first.bind(wheel, [&] { second.cancel(); });
+  second.bind(wheel, [&] { ++second_fires; });
+  first.arm(500);
+  second.arm(500);
+  sim.run();
+  EXPECT_EQ(second_fires, 0);
+  EXPECT_FALSE(second.armed());
+}
+
+TEST(TimerWheel, DestroyArmedTimerUnlinksCleanly) {
+  Simulator sim;
+  TimerWheel wheel(sim);
+  int fires = 0;
+  {
+    Timer t;
+    t.bind(wheel, [&] { ++fires; });
+    t.arm(1000);
+    EXPECT_EQ(wheel.armed_count(), 1u);
+  }  // destroyed while armed
+  EXPECT_EQ(wheel.armed_count(), 0u);
+  sim.run();  // the pending wake event must be a harmless no-op
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(TimerWheel, WheelOutlivedByNothingSurvivesQueuedWakes) {
+  // Destroy the whole wheel (and its timers) with wake events still in
+  // the simulator queue — the weak-handle wakes must no-op.
+  Simulator sim;
+  {
+    TimerWheel wheel(sim);
+    Timer t;
+    t.bind(wheel, [] {});
+    t.arm(777);
+  }
+  sim.run();
+  SUCCEED();
+}
+
+TEST(TimerWheel, ManyTimersFireInDeadlineOrder) {
+  Simulator sim;
+  TimerWheel wheel(sim);
+  constexpr int kN = 500;
+  std::vector<Timer> timers(kN);
+  std::vector<SimTime> fired;
+  SplitMix64 rng(7);
+  std::vector<SimTime> deadlines;
+  for (int i = 0; i < kN; ++i) {
+    // Spread across many wheel buckets and several wraps.
+    const SimTime at = static_cast<SimTime>(rng.below(1ull << 26)) + 1;
+    deadlines.push_back(at);
+    timers[i].bind(wheel, [&fired, &sim] { fired.push_back(sim.now()); });
+    timers[i].arm(at);
+  }
+  sim.run();
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(kN));
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  std::sort(deadlines.begin(), deadlines.end());
+  EXPECT_EQ(fired, deadlines);
 }
 
 }  // namespace
