@@ -1,32 +1,54 @@
-// Event-scheduler stress bench: legacy binary heap vs calendar queue.
+// Simcore stress bench: the seed's implementations vs the optimized
+// ones, across both overhaul axes at once.
 //
-// Runs the same four workloads once per SchedulerKind and reports
-// events/second from Simulator::events_processed() against host wall
-// clock. Results land in BENCH_simcore.json (schema pp.simcore/1) — the
-// before/after record for the event-loop overhaul. The workloads are
-// chosen to cover the queue's regimes:
+// Each workload runs once per leg and reports events/second from
+// Simulator::events_processed() against host wall clock. The legacy leg
+// is the seed configuration (binary-heap scheduler + per-message heap
+// packet descriptors); the modern leg is the shipped one (calendar
+// queue + arena packet path). Results land in BENCH_simcore.json
+// (schema pp.simcore/2) — the before/after record for the event-loop
+// and packet-path overhauls. The workloads cover the hot regimes:
 //
 //   spin_chain     dense same-delta rescheduling (the common case);
 //   timer_churn    randomized insert order across a wide time range
 //                  (worst case for a heap, bucket-spread for the wheel);
 //   callback_ring  many concurrent hot entities at staggered offsets;
+//   packet_path    the NIC/PCI/IRQ pipe moving descriptor-carrying
+//                  frames at wire rate (the arena's home turf);
 //   tcp_transfer   the real protocol stack end to end, including the
-//                  timer-wheel delack/RTO path.
+//                  timer-wheel delack/RTO path and per-segment
+//                  descriptors.
 //
-// Usage: queue_stress [--out <path>] (default BENCH_simcore.json)
+// Each leg is measured --reps times with the legs interleaved, and the
+// minimum wall time per leg is reported: on a shared host the minimum is
+// the least-preempted run, i.e. the closest observable to each leg's
+// true cost.
+//
+// Usage: queue_stress [--out <path>] [--packet-path] [--reps <n>]
+//   --out          output path (default BENCH_simcore.json)
+//   --packet-path  run only the packet-carrying workloads (packet_path,
+//                  tcp_transfer)
+//   --reps         measurements per leg, best-of (default 5)
+//   --matrix       diagnostic: instead of the two shipped legs, time all
+//                  four scheduler x packet-path combinations so a
+//                  regression can be attributed to one axis (no JSON)
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "mp/testbed.h"
 #include "simcore/event_queue.h"
+#include "simcore/packet_arena.h"
 #include "simcore/random.h"
 #include "simcore/simulator.h"
 #include "simcore/task.h"
+#include "simhw/cluster.h"
+#include "simhw/pipe.h"
 #include "simhw/presets.h"
 #include "tcpsim/socket.h"
 
@@ -111,6 +133,40 @@ std::uint64_t callback_ring() {
   return s.events_processed();
 }
 
+std::uint64_t packet_path() {
+  // 200k descriptor-carrying frames through the full DMA/wire/IRQ pipe,
+  // paced just under the wire's frame service time so the pipeline stays
+  // saturated without unbounded backlog. Every frame allocates (and
+  // releases) one descriptor — the per-frame cost the arena removes.
+  sim::Simulator s;
+  hw::Cluster c(s);
+  hw::Node& a = c.add_node(hw::presets::pentium4_pc());
+  hw::Node& b = c.add_node(hw::presets::pentium4_pc());
+  auto link = c.connect(a, b, hw::presets::netgear_ga620(),
+                        hw::presets::back_to_back());
+  constexpr int kFrames = 200'000;
+  s.spawn(
+      [](sim::Simulator& s, hw::PacketPipe& pipe) -> sim::Task<void> {
+        for (int i = 0; i < kFrames; ++i) {
+          hw::Packet p;
+          p.dma_bytes = 1500;
+          p.wire_bytes = 1538;
+          p.desc =
+              s.packet_arena().make<std::uint64_t>(static_cast<std::uint64_t>(i));
+          pipe.inject(std::move(p));
+          co_await s.delay(sim::microseconds(12.0));
+        }
+      }(s, link.forward),
+      "source");
+  s.spawn(
+      [](hw::PacketPipe& pipe) -> sim::Task<void> {
+        for (int i = 0; i < kFrames; ++i) (void)co_await pipe.delivered().pop();
+      }(link.forward),
+      "sink");
+  s.run();
+  return s.events_processed();
+}
+
 std::uint64_t tcp_transfer() {
   mp::PairBed bed(hw::presets::pentium4_pc(), hw::presets::netgear_ga620(),
                   tcp::Sysctl::tuned());
@@ -154,50 +210,107 @@ void append_measurement(std::string& out, const char* key,
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_simcore.json";
+  bool packet_only = false;
+  bool matrix = false;
+  int reps = 5;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
+    if (arg == "--packet-path") packet_only = true;
+    if (arg == "--matrix") matrix = true;
+    if (arg == "--reps" && i + 1 < argc) reps = std::atoi(argv[++i]);
   }
+  if (reps < 1) reps = 1;
 
-  const Workload workloads[] = {
+  const std::vector<Workload> all = {
       {"spin_chain", spin_chain, true},
       {"timer_churn", timer_churn, true},
       {"callback_ring", callback_ring, true},
+      {"packet_path", packet_path, false},
       {"tcp_transfer", tcp_transfer, false},
   };
+  std::vector<Workload> workloads;
+  for (const auto& w : all) {
+    if (!packet_only || !w.queue_bound) workloads.push_back(w);
+  }
 
-  std::string json = "{\n  \"schema\": \"pp.simcore/1\",\n  \"workloads\": [";
+  if (matrix) {
+    struct Cell {
+      const char* label;
+      sim::SchedulerKind sched;
+      sim::PacketPathKind packets;
+    };
+    const Cell cells[] = {
+        {"heap/heap ", sim::SchedulerKind::kLegacyHeap,
+         sim::PacketPathKind::kLegacyHeap},
+        {"heap/arena", sim::SchedulerKind::kLegacyHeap,
+         sim::PacketPathKind::kArena},
+        {"cal/heap  ", sim::SchedulerKind::kCalendar,
+         sim::PacketPathKind::kLegacyHeap},
+        {"cal/arena ", sim::SchedulerKind::kCalendar,
+         sim::PacketPathKind::kArena},
+    };
+    for (const auto& w : workloads) {
+      std::printf("%s:\n", w.name);
+      for (const Cell& c : cells) {
+        Measurement best;
+        for (int rep = 0; rep < reps; ++rep) {
+          sim::ScopedScheduler sched(c.sched);
+          sim::ScopedPacketPath packets(c.packets);
+          const Measurement m = timed(w.run);
+          if (rep == 0 || m.wall_ms < best.wall_ms) best = m;
+        }
+        std::printf("  %s %8.1f ms  %9.0f ev/s\n", c.label, best.wall_ms,
+                    best.events_per_sec());
+      }
+    }
+    return 0;
+  }
+
+  std::string json =
+      "{\n  \"schema\": \"pp.simcore/2\",\n"
+      "  \"legs\": {\"legacy\": \"binary-heap scheduler + per-message heap "
+      "packet descriptors (the seed)\", \"modern\": \"calendar queue + "
+      "arena packet path\"},\n"
+      "  \"workloads\": [";
   bool first = true;
   double geo_accum = 0.0;
   int geo_n = 0;
   double qb_accum = 0.0;
   int qb_n = 0;
   for (const auto& w : workloads) {
-    Measurement legacy, calendar;
-    {
-      sim::ScopedScheduler guard(sim::SchedulerKind::kLegacyHeap);
-      legacy = timed(w.run);
+    Measurement legacy, modern;
+    for (int rep = 0; rep < reps; ++rep) {
+      Measurement l, m;
+      {
+        sim::ScopedScheduler sched(sim::SchedulerKind::kLegacyHeap);
+        sim::ScopedPacketPath packets(sim::PacketPathKind::kLegacyHeap);
+        l = timed(w.run);
+      }
+      {
+        sim::ScopedScheduler sched(sim::SchedulerKind::kCalendar);
+        sim::ScopedPacketPath packets(sim::PacketPathKind::kArena);
+        m = timed(w.run);
+      }
+      if (rep == 0 || l.wall_ms < legacy.wall_ms) legacy = l;
+      if (rep == 0 || m.wall_ms < modern.wall_ms) modern = m;
     }
-    {
-      sim::ScopedScheduler guard(sim::SchedulerKind::kCalendar);
-      calendar = timed(w.run);
-    }
-    if (legacy.events != calendar.events) {
+    if (legacy.events != modern.events) {
       std::fprintf(stderr,
-                   "FATAL: %s processed %llu events under the legacy heap "
-                   "but %llu under the calendar queue — schedulers delivered "
+                   "FATAL: %s processed %llu events under the legacy leg "
+                   "but %llu under the modern leg — the legs delivered "
                    "different simulations\n",
                    w.name, static_cast<unsigned long long>(legacy.events),
-                   static_cast<unsigned long long>(calendar.events));
+                   static_cast<unsigned long long>(modern.events));
       return 1;
     }
-    const double speedup = legacy.wall_ms > 0.0 && calendar.wall_ms > 0.0
-                               ? legacy.wall_ms / calendar.wall_ms
+    const double speedup = legacy.wall_ms > 0.0 && modern.wall_ms > 0.0
+                               ? legacy.wall_ms / modern.wall_ms
                                : 0.0;
-    std::printf("%-14s %9llu events  legacy %8.0f ev/s  calendar %8.0f "
+    std::printf("%-14s %9llu events  legacy %8.0f ev/s  modern %8.0f "
                 "ev/s  speedup %.2fx\n",
                 w.name, static_cast<unsigned long long>(legacy.events),
-                legacy.events_per_sec(), calendar.events_per_sec(), speedup);
+                legacy.events_per_sec(), modern.events_per_sec(), speedup);
     geo_accum += std::log(speedup);
     ++geo_n;
     if (w.queue_bound) {
@@ -214,7 +327,7 @@ int main(int argc, char** argv) {
     json += ", \"events\": " + std::to_string(legacy.events) + ", ";
     append_measurement(json, "legacy", legacy);
     json += ", ";
-    append_measurement(json, "calendar", calendar);
+    append_measurement(json, "modern", modern);
     char buf[64];
     std::snprintf(buf, sizeof(buf), ", \"speedup\": %.3f}", speedup);
     json += buf;

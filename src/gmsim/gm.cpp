@@ -43,6 +43,27 @@ sim::Task<void> GmPort::inject_fragments(std::uint64_t msg_seq,
                                          std::uint64_t bytes,
                                          std::uint32_t attempt) {
   const std::uint32_t mtu = out_.nic().mtu;
+  // One arena descriptor per message attempt, shared by every fragment
+  // (a refcounted view, not a clone): the per-fragment byte count is
+  // recomputed on the receive side from the frame's own dma_bytes.
+  sim::PacketRef desc = sim_.packet_arena().make<Frag>();
+  Frag* f = desc.get<Frag>();
+  f->dst = peer_;
+  f->tag = tag;
+  f->msg_seq = msg_seq;
+  f->msg_bytes = bytes;
+  f->attempt = attempt;
+  // If fault injection discards a fragment anywhere in the pipe, the
+  // send token it holds must come home or the port slowly strangles
+  // itself (and, with every token lost, deadlocks). The hook lives once
+  // in the shared descriptor and fires once per dropped fragment.
+  std::weak_ptr<char> guard = alive_;
+  desc.set_drop([this, guard] {
+    if (guard.expired()) return;
+    tokens_.release(1);
+    ++frags_lost_;
+    trace_instant("frag-drop");
+  });
   std::uint64_t left = bytes;
   bool first = true;
   while (first || left > 0) {
@@ -50,27 +71,11 @@ sim::Task<void> GmPort::inject_fragments(std::uint64_t msg_seq,
     const std::uint64_t frag = std::min<std::uint64_t>(left, mtu);
     left -= frag;
     co_await tokens_.acquire(1);
-    auto ctx = std::make_shared<Frag>();
-    ctx->dst = peer_;
-    ctx->tag = tag;
-    ctx->msg_seq = msg_seq;
-    ctx->msg_bytes = bytes;
-    ctx->frag_bytes = frag;
-    ctx->attempt = attempt;
     hw::Packet p;
     p.dma_bytes = frag + config_.frag_header;
     p.wire_bytes = frag + config_.frag_header + out_.nic().frame_overhead;
-    p.ctx = std::move(ctx);
-    // If fault injection discards the fragment anywhere in the pipe, the
-    // send token it holds must come home or the port slowly strangles
-    // itself (and, with every token lost, deadlocks).
-    std::weak_ptr<char> guard = alive_;
-    p.on_drop = [this, guard] {
-      if (guard.expired()) return;
-      tokens_.release(1);
-      ++frags_lost_;
-      trace_instant("frag-drop");
-    };
+    p.desc = desc;
+    p.fire_drop = true;  // every fragment holds one send token
     out_.inject(std::move(p));
   }
 }
@@ -141,8 +146,9 @@ void GmPort::complete_message(std::uint32_t tag, std::uint64_t bytes) {
 sim::Task<void> GmPort::rx_daemon() {
   for (;;) {
     hw::Packet p = co_await in_.delivered().pop();
-    auto frag = std::static_pointer_cast<Frag>(p.ctx);
-    assert(frag && frag->dst == this && "foreign packet on GM pipe");
+    assert(p.desc && "foreign packet on GM pipe");
+    const Frag* frag = p.desc.get<Frag>();
+    assert(frag->dst == this && "foreign packet on GM pipe");
     if (p.injected_dup) {
       // NIC-level dedup: an injected duplicate never held a send token
       // and must not touch protocol state.
@@ -164,7 +170,7 @@ sim::Task<void> GmPort::rx_daemon() {
       pm.attempt = frag->attempt;
       pm.sofar = 0;
     }
-    pm.sofar += frag->frag_bytes;
+    pm.sofar += p.dma_bytes - config_.frag_header;
     if (pm.sofar == frag->msg_bytes) {
       if (config_.delivery_timeout > 0) {
         pm.done = true;

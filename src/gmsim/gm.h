@@ -87,13 +87,15 @@ class GmPort {
  private:
   friend class GmFabric;
 
+  /// Per-message descriptor, one arena slot shared by every fragment of
+  /// the attempt (the fragment's own byte count is derived from the
+  /// frame's dma_bytes on receive).
   struct Frag {
     GmPort* dst = nullptr;
     std::uint32_t tag = 0;
+    std::uint32_t attempt = 0;  ///< 0 = original send, else retry number
     std::uint64_t msg_seq = 0;  ///< per-sender unique message number
     std::uint64_t msg_bytes = 0;
-    std::uint64_t frag_bytes = 0;
-    std::uint32_t attempt = 0;  ///< 0 = original send, else retry number
   };
 
   struct PartialMsg {

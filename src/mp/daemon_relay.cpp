@@ -25,12 +25,19 @@ sim::Task<void> RelayChannel::send(std::uint64_t bytes) {
         std::min<std::uint64_t>(left, opt_.fragment_payload);
     left -= frag;
     // Application -> local daemon IPC: syscall + copy + daemon wakeup.
+    // On the zero-copy route the daemon is handed a refcounted payload
+    // buffer instead of a copy into daemon memory.
     fragments_relayed_ += 1;
     trace_instant(src_, "relay-out");
     co_await src_.cpu_cost(src_.config().syscall_cost);
-    co_await src_.staging_copy(frag);
+    if (!opt_.zero_copy) co_await src_.staging_copy(frag);
     co_await src_.cpu_cost(opt_.daemon_service);
-    co_await src_sock_.send(frag + opt_.fragment_header);
+    if (opt_.zero_copy) {
+      co_await src_sock_.send(frag + opt_.fragment_header,
+                              src_sock_.make_payload(frag));
+    } else {
+      co_await src_sock_.send(frag + opt_.fragment_header);
+    }
     ++outstanding;
   }
   while (outstanding > 0) {
@@ -47,10 +54,17 @@ sim::Task<void> RelayChannel::recv(std::uint64_t bytes) {
         std::min<std::uint64_t>(left, opt_.fragment_payload);
     left -= frag;
     co_await dst_sock_.recv_exact(frag + opt_.fragment_header);
-    // Remote daemon -> application IPC.
+    // Remote daemon -> application IPC. A captured payload view stands in
+    // for the final copy; anything not covered by a view is copied.
     trace_instant(dst_, "relay-in");
     co_await dst_.cpu_cost(opt_.daemon_service);
-    co_await dst_.staging_copy(frag);
+    sim::PacketRef view;
+    if (opt_.zero_copy) view = dst_sock_.take_rx_payload();
+    if (view) {
+      ++zero_copy_fragments_;
+    } else {
+      co_await dst_.staging_copy(frag);
+    }
     co_await dst_.cpu_cost(dst_.config().wakeup_cost);
     co_await dst_sock_.send(opt_.ack_bytes);
   }

@@ -27,6 +27,12 @@ struct RelayOptions {
   /// Daemon wakeup + dispatch cost per fragment per hop.
   sim::SimTime daemon_service = sim::microseconds(20.0);
   std::uint32_t ack_bytes = 8;
+  /// Zero-copy daemon route: the application hands the daemon a
+  /// refcounted arena payload buffer per fragment instead of copying
+  /// into daemon memory, and the far daemon delivers a view of the same
+  /// buffer (both IPC staging copies skipped; syscall/service costs
+  /// remain). Off by default — pvmd and lamd really copy.
+  bool zero_copy = false;
 };
 
 /// One direction of a relayed channel (data flows src-app -> src-daemon ->
@@ -43,7 +49,9 @@ class RelayChannel {
         dst_sock_(std::move(dst_sock)),
         opt_(opt),
         track_("relay@" + std::to_string(src.id()) + "->" +
-               std::to_string(dst.id())) {}
+               std::to_string(dst.id())) {
+    if (opt_.zero_copy) dst_sock_.enable_payload_capture();
+  }
 
   /// Sends `bytes` from the source application through the daemons.
   /// Returns when the source daemon has received credit for everything.
@@ -57,6 +65,10 @@ class RelayChannel {
   /// Fragments pushed into the daemon route by send() (each is one
   /// app->daemon->daemon->app traversal).
   std::uint64_t fragments_relayed() const { return fragments_relayed_; }
+
+  /// Fragments delivered at the destination via a zero-copy payload view
+  /// (only nonzero with RelayOptions::zero_copy).
+  std::uint64_t zero_copy_fragments() const { return zero_copy_fragments_; }
 
   /// The daemon-connection socket ends, for per-side counter assembly: a
   /// library reporting its relay_out's src plus its relay_in's dst covers
@@ -79,6 +91,7 @@ class RelayChannel {
   RelayOptions opt_;
   std::string track_;
   std::uint64_t fragments_relayed_ = 0;
+  std::uint64_t zero_copy_fragments_ = 0;
 };
 
 }  // namespace pp::mp

@@ -49,6 +49,8 @@ void StreamLibrary::bind_peer(int peer_rank, tcp::Socket socket) {
       break;
   }
 
+  if (config_.zero_copy_staging) ch.sock.enable_payload_capture();
+
   if (config_.progress == ProgressMode::kIndependent) {
     ch.reader_active = true;  // the progress engine owns the stream
     sim_.spawn_daemon(progress_daemon(ch),
@@ -91,7 +93,16 @@ std::uint64_t StreamLibrary::payload_with_fragment_overhead(
 sim::Task<void> StreamLibrary::send_wire(PeerChannel& ch, WireMeta meta,
                                          std::uint64_t payload_bytes) {
   ch.meta_out->push_back(meta);
-  co_await ch.sock.send(config_.header_bytes + payload_bytes);
+  if (config_.zero_copy_staging && meta.kind == Kind::kData &&
+      payload_bytes > 0) {
+    // Attach an arena payload buffer covering this data message; the
+    // peer's socket captures a refcounted view of it, letting the
+    // receive side skip the staging memcpy.
+    co_await ch.sock.send(config_.header_bytes + payload_bytes,
+                          ch.sock.make_payload(payload_bytes));
+  } else {
+    co_await ch.sock.send(config_.header_bytes + payload_bytes);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -117,6 +128,12 @@ sim::Task<void> StreamLibrary::read_one(PeerChannel& ch) {
         // Payload lands directly in the posted user buffer.
         pr->matched = true;
         co_await ch.sock.recv_exact(wire_payload);
+        // Consume the captured view (if any) to keep the per-message
+        // payload queue aligned; the direct path never copied anyway.
+        // Zero-byte messages carry no payload buffer, so nothing to take.
+        if (config_.zero_copy_staging && wire_payload > 0) {
+          (void)ch.sock.take_rx_payload();
+        }
         ch.posted.erase(std::find(ch.posted.begin(), ch.posted.end(), pr));
         pr->was_staged = false;
         pr->completed = true;
@@ -125,6 +142,10 @@ sim::Task<void> StreamLibrary::read_one(PeerChannel& ch) {
         // Payload goes to the library's staging buffer first.
         co_await ch.sock.recv_exact(wire_payload);
         staged_bytes_ += m.bytes;
+        sim::PacketRef view;
+        if (config_.zero_copy_staging && wire_payload > 0) {
+          view = ch.sock.take_rx_payload();
+        }
         if (pr == nullptr) {
           // A matching receive may have been posted while the payload was
           // in flight; match it now rather than parking the message.
@@ -139,9 +160,11 @@ sim::Task<void> StreamLibrary::read_one(PeerChannel& ch) {
           ch.posted.erase(std::find(ch.posted.begin(), ch.posted.end(), pr));
           pr->was_staged = true;
           pr->completed = true;
+          pr->view = std::move(view);
           pr->done->set();
         } else {
-          ch.unexpected.push_back(UnexpectedMsg{m.tag, m.bytes});
+          ch.unexpected.push_back(
+              UnexpectedMsg{m.tag, m.bytes, std::move(view)});
           ch.reader_changed->notify_all();
         }
       }
@@ -171,7 +194,7 @@ sim::Task<void> StreamLibrary::read_one(PeerChannel& ch) {
           trace_instant("dup-rts");
           break;
         }
-        ch.rts_pending.push_back(UnexpectedMsg{m.tag, m.bytes});
+        ch.rts_pending.push_back(UnexpectedMsg{m.tag, m.bytes, {}});
         ch.reader_changed->notify_all();
       }
       break;
@@ -372,11 +395,13 @@ sim::Task<void> StreamLibrary::recv_message(PeerChannel& ch,
                                             std::uint64_t bytes,
                                             std::uint32_t tag, bool sync) {
   bool staged = false;
+  sim::PacketRef view;
   // 1) Already in the unexpected queue?
   auto uit = std::find_if(ch.unexpected.begin(), ch.unexpected.end(),
                           [&](const UnexpectedMsg& u) { return u.tag == tag; });
   if (uit != ch.unexpected.end()) {
     assert(uit->bytes == bytes && "matched message has a different size");
+    view = std::move(uit->view);
     ch.unexpected.erase(uit);
     staged = true;
   } else {
@@ -399,13 +424,23 @@ sim::Task<void> StreamLibrary::recv_message(PeerChannel& ch,
     }
     co_await drive_until(ch, [&] { return pr.completed; });
     staged = pr.was_staged;
+    view = std::move(pr.view);
   }
 
   if (staged) {
-    // Library buffer -> user buffer copy (the p4 penalty, and the cost of
-    // unexpected arrivals for every library).
-    trace_instant("staging-copy");
-    co_await node_.staging_copy(bytes);
+    if (view) {
+      // A refcounted view of the sender's payload buffer covers this
+      // message: hand the reference over instead of draining the staging
+      // buffer through memcpy.
+      ++zero_copy_receives_;
+      zero_copy_bytes_ += bytes;
+      trace_instant("zero-copy-recv");
+    } else {
+      // Library buffer -> user buffer copy (the p4 penalty, and the cost
+      // of unexpected arrivals for every library).
+      trace_instant("staging-copy");
+      co_await node_.staging_copy(bytes);
+    }
   }
   if (config_.rx_conversion > 0.0) {
     co_await node_.cpu().occupy(static_cast<sim::SimTime>(

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "mp/api.h"
+#include "simcore/packet_arena.h"
 #include "simcore/sync.h"
 #include "tcpsim/socket.h"
 
@@ -95,6 +96,14 @@ struct StreamConfig {
   /// TCP below already repairs byte loss).
   sim::SimTime rendezvous_timeout = 0;
   sim::SimTime rendezvous_timeout_max = sim::milliseconds(10.0);
+
+  /// Zero-copy receive staging: each outbound data message carries an
+  /// arena-backed payload buffer, and the receiver takes a refcounted
+  /// view of it instead of paying the staging memcpy when the message
+  /// lands unexpected (or under stage_all_receives). Models page-flip /
+  /// shared-buffer delivery; off by default — every library the paper
+  /// measures really copies.
+  bool zero_copy_staging = false;
 };
 
 class StreamLibrary : public Library {
@@ -127,6 +136,10 @@ class StreamLibrary : public Library {
   std::uint64_t rendezvous_retries() const { return rendezvous_retries_; }
   /// Bytes that went through the library staging buffer (for tests).
   std::uint64_t staged_bytes() const { return staged_bytes_; }
+  /// Staged receives satisfied by a zero-copy payload view instead of a
+  /// memcpy (only nonzero with zero_copy_staging).
+  std::uint64_t zero_copy_receives() const { return zero_copy_receives_; }
+  std::uint64_t zero_copy_bytes() const { return zero_copy_bytes_; }
 
   netpipe::ProtocolCounters protocol_counters() const override;
 
@@ -149,11 +162,14 @@ class StreamLibrary : public Library {
     bool completed = false;
     bool was_staged = false;
     std::unique_ptr<sim::Trigger> done;
+    /// Zero-copy view of the staged payload, when capture produced one.
+    sim::PacketRef view;
   };
 
   struct UnexpectedMsg {
     std::uint32_t tag = 0;
     std::uint64_t bytes = 0;
+    sim::PacketRef view;
   };
 
   /// A rendezvous sender parked on its CTS; tag-matched so re-sent
@@ -218,6 +234,8 @@ class StreamLibrary : public Library {
   std::uint64_t rendezvous_count_ = 0;
   std::uint64_t rendezvous_retries_ = 0;
   std::uint64_t staged_bytes_ = 0;
+  std::uint64_t zero_copy_receives_ = 0;
+  std::uint64_t zero_copy_bytes_ = 0;
 
   /// Liveness token for watchdog timers outliving a torn-down library.
   std::shared_ptr<char> alive_ = std::make_shared<char>(1);

@@ -88,7 +88,7 @@ std::vector<Comm> Comm::split(const std::vector<Comm>& world,
 }
 
 sim::Task<void> Comm::combine(std::uint64_t bytes) {
-  return lib().node().staging_copy(bytes);
+  co_await lib().node().staging_copy(bytes);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,8 +1,9 @@
+// Slow paths of the calendar queue: slab refill, opening a wheel slot,
+// and re-anchoring the wheel. The per-event fast paths (push/pop/
+// front_time) are inline in event_queue.h.
 #include "simcore/event_queue.h"
 
-#include <algorithm>
 #include <bit>
-#include <cassert>
 #include <cstdlib>
 #include <optional>
 
@@ -11,11 +12,6 @@ namespace pp::sim {
 namespace {
 
 thread_local std::optional<SchedulerKind> g_ambient_scheduler;
-
-bool key_less(SimTime at_a, std::uint64_t seq_a, SimTime at_b,
-              std::uint64_t seq_b) {
-  return at_a != at_b ? at_a < at_b : seq_a < seq_b;
-}
 
 }  // namespace
 
@@ -72,198 +68,26 @@ EventQueue::~EventQueue() {
   // std::priority_queue destroys its own by-value events.
 }
 
-EventQueue::EventNode* EventQueue::alloc_node(SimTime at, std::uint64_t seq,
-                                              std::coroutine_handle<> h,
-                                              SmallFn cb) {
-  void* mem;
-  if (free_ != nullptr) {
-    mem = free_;
-    free_ = free_->next;
-  } else {
-    auto slab = std::make_unique<unsigned char[]>(sizeof(EventNode) *
-                                                  kSlabNodes);
-    unsigned char* base = slab.get();
-    slabs_.push_back(std::move(slab));
-    // Thread all but the first fresh node onto the free list. Fresh
-    // nodes are "raw storage" on the list: only their `next` slot is
-    // meaningful, exactly like released nodes after ~EventNode().
-    for (std::size_t i = 1; i < kSlabNodes; ++i) {
-      auto* raw = reinterpret_cast<EventNode*>(base + i * sizeof(EventNode));
-      raw->next = free_;
-      free_ = raw;
-    }
-    mem = base;
+void EventQueue::refill_free_list() {
+  auto slab = std::make_unique<unsigned char[]>(sizeof(EventNode) *
+                                                kSlabNodes);
+  unsigned char* base = slab.get();
+  slabs_.push_back(std::move(slab));
+  // Thread the fresh nodes onto the free list. Fresh nodes are "raw
+  // storage" on the list: only their `next` slot is meaningful, exactly
+  // like released nodes after ~EventNode().
+  for (std::size_t i = 0; i < kSlabNodes; ++i) {
+    auto* raw = reinterpret_cast<EventNode*>(base + i * sizeof(EventNode));
+    raw->next = free_;
+    free_ = raw;
   }
-  return ::new (mem) EventNode{at, seq, nullptr, h, std::move(cb)};
-}
-
-void EventQueue::release_node(EventNode* n) {
-  n->~EventNode();
-  n->next = free_;
-  free_ = n;
-}
-
-// ---------------------------------------------------------------------
-// Facade
-// ---------------------------------------------------------------------
-
-void EventQueue::push(SimTime at, std::uint64_t seq,
-                      std::coroutine_handle<> h, SmallFn cb) {
-  ++size_;
-  if (kind_ == SchedulerKind::kLegacyHeap) {
-    std::function<void()> fn;
-    if (cb) {
-      // std::function requires a copyable target; the move-only SmallFn
-      // rides behind a shared_ptr, mirroring the allocation the legacy
-      // implementation paid for every capturing callback.
-      fn = [sp = std::make_shared<SmallFn>(std::move(cb))] { (*sp)(); };
-    }
-    legacy_.push(LegacyEvent{at, seq, h, std::move(fn)});
-    return;
-  }
-  if (size_ == 1) {  // size_ already counts this event: queue was empty
-    solo_active_ = true;
-    solo_at_ = at;
-    solo_seq_ = seq;
-    solo_h_ = h;
-    solo_cb_ = std::move(cb);
-    return;
-  }
-  if (solo_active_) {
-    // Second pending event: demote the stash into the tiers first (they
-    // re-sort on open, so demotion order is irrelevant).
-    solo_active_ = false;
-    calendar_push(
-        alloc_node(solo_at_, solo_seq_, solo_h_, std::move(solo_cb_)));
-  }
-  calendar_push(alloc_node(at, seq, h, std::move(cb)));
-}
-
-SimTime EventQueue::front_time() {
-  assert(size_ > 0 && "front_time() on an empty queue");
-  if (kind_ == SchedulerKind::kLegacyHeap) return legacy_.top().at;
-  if (solo_active_) return solo_at_;
-  return calendar_front()->at;
-}
-
-EventQueue::Fired EventQueue::pop() {
-  assert(size_ > 0 && "pop() on an empty queue");
-  --size_;
-  if (kind_ == SchedulerKind::kLegacyHeap) {
-    // By-value copy then pop, exactly as the seed implementation did.
-    LegacyEvent ev = legacy_.top();
-    legacy_.pop();
-    Fired f;
-    f.at = ev.at;
-    f.handle = ev.handle;
-    if (ev.callback) f.cb = std::move(ev.callback);
-    return f;
-  }
-  if (solo_active_) {
-    solo_active_ = false;
-    Fired f;
-    f.at = solo_at_;
-    f.handle = solo_h_;
-    f.cb = std::move(solo_cb_);
-    return f;
-  }
-  EventNode* n = calendar_take_front();
-  Fired f;
-  f.at = n->at;
-  f.handle = n->handle;
-  f.cb = std::move(n->cb);
-  release_node(n);
-  return f;
 }
 
 // ---------------------------------------------------------------------
 // Calendar tier
 // ---------------------------------------------------------------------
 
-void EventQueue::calendar_push(EventNode* n) {
-  const SimTime at = n->at;
-  if (fifo_pos_ < fifo_.size() && at == fifo_time_) {
-    // Same-timestamp append: seq is strictly increasing, so the FIFO
-    // stays ordered with no comparison at all. This is the hot path —
-    // zero delays, signal wakeups, same-tick protocol cascades.
-    fifo_.push_back(n);
-    return;
-  }
-  if (open_active_ && at >= open_lo_ && at < open_hi_) {
-    // Lands in the slot under the cursor: ordered insert into the
-    // still-unconsumed tail.
-    auto it = std::upper_bound(
-        open_.begin() + static_cast<std::ptrdiff_t>(open_pos_), open_.end(),
-        n, [](const EventNode* a, const EventNode* b) {
-          return key_less(a->at, a->seq, b->at, b->seq);
-        });
-    open_.insert(it, n);
-    return;
-  }
-  const SimTime floor = open_active_ ? open_hi_ : slot_lo(cursor_);
-  if (at >= floor && at < wheel_end_) {
-    bucket_insert(n);
-    return;
-  }
-  if (at >= wheel_end_) {
-    n->next = far_;
-    far_ = n;
-    ++far_count_;
-    return;
-  }
-  // Behind the cursor: only reachable by scheduling from outside the
-  // event loop after run_until() advanced past the cursor window.
-  rebuild(n);
-}
-
-void EventQueue::bucket_insert(EventNode* n) {
-  const std::size_t slot =
-      static_cast<std::size_t>(n->at >> shift_) & (kNumBuckets - 1);
-  n->next = bucket_[slot];
-  bucket_[slot] = n;
-  bitmap_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
-}
-
-EventQueue::EventNode* EventQueue::calendar_front() {
-  if (fifo_pos_ < fifo_.size()) return fifo_[fifo_pos_];
-  ensure_open();
-  return open_[open_pos_];
-}
-
-EventQueue::EventNode* EventQueue::calendar_take_front() {
-  if (fifo_pos_ < fifo_.size()) {
-    EventNode* n = fifo_[fifo_pos_++];
-    if (fifo_pos_ == fifo_.size()) {
-      fifo_.clear();
-      fifo_pos_ = 0;
-    } else if (fifo_pos_ > 1024 && fifo_pos_ * 2 > fifo_.size()) {
-      // A same-timestamp cascade that keeps appending while consuming
-      // (zero-delay protocol loops) would otherwise grow the batch
-      // vector without bound; drop the consumed prefix occasionally.
-      fifo_.erase(fifo_.begin(),
-                  fifo_.begin() + static_cast<std::ptrdiff_t>(fifo_pos_));
-      fifo_pos_ = 0;
-    }
-    return n;
-  }
-  ensure_open();
-  // Move the whole batch sharing the next timestamp into the FIFO, so
-  // its siblings (and any events scheduled *at* that timestamp while it
-  // is being processed) pop with no further comparisons.
-  const SimTime t = open_[open_pos_]->at;
-  fifo_time_ = t;
-  while (open_pos_ < open_.size() && open_[open_pos_]->at == t) {
-    fifo_.push_back(open_[open_pos_++]);
-  }
-  if (open_pos_ == open_.size()) {
-    open_.clear();
-    open_pos_ = 0;
-  }
-  return fifo_[fifo_pos_++];
-}
-
-void EventQueue::ensure_open() {
-  if (open_pos_ < open_.size()) return;
+void EventQueue::open_next_slot() {
   for (;;) {
     // Scan the wheel window from the slot after the cursor (or the
     // cursor itself if nothing was opened yet) for a non-empty bucket.
@@ -297,10 +121,7 @@ void EventQueue::ensure_open() {
       }
       bucket_[slot] = nullptr;
       bitmap_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
-      std::sort(open_.begin(), open_.end(),
-                [](const EventNode* a, const EventNode* b) {
-                  return key_less(a->at, a->seq, b->at, b->seq);
-                });
+      std::sort(open_.begin(), open_.end(), node_less);
       if (!open_.empty()) return;
       // A bucket can only be empty here if the bitmap lied; keep the
       // invariant tight.
@@ -331,15 +152,24 @@ void EventQueue::collect_all(std::vector<EventNode*>& out) {
   }
   open_.clear();
   open_pos_ = 0;
-  for (auto& head : bucket_) {
-    for (EventNode* n = head; n != nullptr;) {
-      EventNode* next = n->next;
-      out.push_back(n);
-      n = next;
+  // Walk only the bitmap-marked slots: a sparse steady state re-anchors
+  // the wheel often, and scanning all kNumBuckets heads each time would
+  // dominate the rebuild.
+  for (std::size_t w = 0; w < bitmap_.size(); ++w) {
+    std::uint64_t bits = bitmap_[w];
+    bitmap_[w] = 0;
+    while (bits != 0) {
+      const std::size_t slot = w * 64 +
+                               static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      for (EventNode* n = bucket_[slot]; n != nullptr;) {
+        EventNode* next = n->next;
+        out.push_back(n);
+        n = next;
+      }
+      bucket_[slot] = nullptr;
     }
-    head = nullptr;
   }
-  bitmap_.fill(0);
   for (EventNode* n = far_; n != nullptr;) {
     EventNode* next = n->next;
     out.push_back(n);
@@ -350,7 +180,8 @@ void EventQueue::collect_all(std::vector<EventNode*>& out) {
 }
 
 void EventQueue::rebuild(EventNode* extra) {
-  std::vector<EventNode*> all;
+  std::vector<EventNode*>& all = rebuild_scratch_;
+  all.clear();
   collect_all(all);
   if (extra != nullptr) all.push_back(extra);
   assert(!all.empty());
@@ -360,13 +191,19 @@ void EventQueue::rebuild(EventNode* extra) {
     lo = std::min(lo, n->at);
     hi = std::max(hi, n->at);
   }
-  // Fit the bucket width so the pending span maps across the wheel: one
-  // wheel lap should cover it, keeping both the far tier and the
-  // per-bucket sort small.
+  // Fit the bucket width to roughly one event per bucket (floored at a
+  // 64-way split of the span). A dense population maps its whole span
+  // across one wheel lap, as before; a sparse one gets buckets much
+  // wider than its span/kNumBuckets, stretching the horizon so events
+  // that arrive as simulated time advances keep landing in-wheel instead
+  // of forcing a re-anchor every few pops. The divisor floor bounds the
+  // open-slot window (pushes into it are ordered vector inserts).
   const std::uint64_t span = static_cast<std::uint64_t>(hi - lo);
+  const std::uint64_t divisor = std::min<std::uint64_t>(
+      kNumBuckets, std::max<std::uint64_t>(64, all.size()));
   int shift = 0;
-  if (span >= kNumBuckets) {
-    shift = std::bit_width(span >> kBucketBits);
+  if (span >= divisor) {
+    shift = std::bit_width(span / divisor);
   }
   shift_ = std::min(shift, kMaxShift);
   cursor_ = lo >> shift_;

@@ -24,13 +24,20 @@
 //    which replays whole workloads under both schedulers and asserts
 //    identical results. Select it per scope with ScopedScheduler or
 //    process-wide with PP_LEGACY_QUEUE=1 in the environment.
+//
+// The push/pop/front_time fast paths are defined inline below the class:
+// the event loop crosses them once per event, and without LTO an
+// out-of-line call per hop costs more than the work the fast paths do.
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <new>
 #include <queue>
 #include <vector>
 
@@ -64,6 +71,9 @@ class ScopedScheduler {
 SchedulerKind ambient_scheduler();
 
 class EventQueue {
+ private:
+  struct EventNode;  // defined below; Fired holds a pointer to one
+
  public:
   explicit EventQueue(SchedulerKind kind);
   ~EventQueue();
@@ -80,19 +90,35 @@ class EventQueue {
   void push(SimTime at, std::uint64_t seq, std::coroutine_handle<> h,
             SmallFn cb);
 
+  /// Callback push constructing the callable directly in the event node
+  /// (no SmallFn relocate of the capture — often a whole hw::Packet —
+  /// between the call site and the node). Same (at, seq) semantics as
+  /// push().
+  template <typename F>
+  void push_cb(SimTime at, std::uint64_t seq, F&& fn);
+
   /// Timestamp of the next event to pop. Requires !empty(). May
   /// reorganize internal tiers but never changes the pop order.
   SimTime front_time();
 
-  /// What pop() hands the event loop; the node is already recycled.
+  /// What pop() hands the event loop. Calendar-popped callbacks stay in
+  /// their node (`node` set, invoke via run_cb()) so the capture state —
+  /// often a whole hw::Packet — is not relocated on every pop; legacy
+  /// and solo-stash pops carry the callable in `cb`.
   struct Fired {
     SimTime at = 0;
     std::coroutine_handle<> handle;
     SmallFn cb;
+    EventNode* node = nullptr;
   };
 
-  /// Removes and returns the minimum-(at, seq) event. Requires !empty().
+  /// Removes and returns the minimum-(at, seq) event.  Requires
+  /// !empty(). A callback-carrying Fired must be passed to run_cb()
+  /// (exactly once) to fire and recycle it.
   Fired pop();
+
+  /// Invokes the fired event's callback and recycles its node.
+  void run_cb(Fired& f);
 
  private:
   struct EventNode {
@@ -103,6 +129,14 @@ class EventQueue {
     SmallFn cb;
   };
 
+  static bool key_less(SimTime at_a, std::uint64_t seq_a, SimTime at_b,
+                       std::uint64_t seq_b) {
+    return at_a != at_b ? at_a < at_b : seq_a < seq_b;
+  }
+  static bool node_less(const EventNode* a, const EventNode* b) {
+    return key_less(a->at, a->seq, b->at, b->seq);
+  }
+
   // ---- calendar tier geometry ---------------------------------------
   static constexpr int kBucketBits = 10;
   static constexpr int kNumBuckets = 1 << kBucketBits;
@@ -110,6 +144,9 @@ class EventQueue {
 
   EventNode* alloc_node(SimTime at, std::uint64_t seq,
                         std::coroutine_handle<> h, SmallFn cb);
+  template <typename F>
+  EventNode* alloc_node_cb(SimTime at, std::uint64_t seq, F&& fn);
+  void refill_free_list();  ///< slow path: carve a fresh slab
   void release_node(EventNode* n);
 
   void calendar_push(EventNode* n);
@@ -117,9 +154,16 @@ class EventQueue {
   EventNode* calendar_take_front();
 
   void bucket_insert(EventNode* n);
-  /// Makes open_ hold the next pending events (advancing the cursor and
-  /// re-bucketing the far tier as needed). Requires calendar size > 0.
-  void ensure_open();
+  /// Makes open_ hold the next pending events. Inline early return: on
+  /// the steady state the open slot already has events, and front_time()
+  /// and pop() both land here once per non-FIFO event. Requires calendar
+  /// size > 0.
+  void ensure_open() {
+    if (open_pos_ >= open_.size()) open_next_slot();
+  }
+  /// Slow path: advances the cursor to the next non-empty bucket (and
+  /// re-buckets the far tier as needed).
+  void open_next_slot();
   /// Re-anchors the wheel around the current pending set (all tiers).
   /// Triggered by a push behind the cursor — only possible through
   /// external scheduling after run_until() advanced virtual time past
@@ -165,6 +209,9 @@ class EventQueue {
   std::array<std::uint64_t, kNumBuckets / 64> bitmap_{};
   EventNode* far_ = nullptr;
   std::size_t far_count_ = 0;
+  /// Scratch for rebuild(): retains its capacity so the re-anchoring a
+  /// sparse steady state performs per wheel lap never allocates.
+  std::vector<EventNode*> rebuild_scratch_;
 
   // ---- legacy tier ---------------------------------------------------
   struct LegacyEvent {
@@ -182,5 +229,233 @@ class EventQueue {
   std::priority_queue<LegacyEvent, std::vector<LegacyEvent>, LegacyLater>
       legacy_;
 };
+
+// ---------------------------------------------------------------------
+// Hot-path inline definitions
+// ---------------------------------------------------------------------
+
+inline EventQueue::EventNode* EventQueue::alloc_node(
+    SimTime at, std::uint64_t seq, std::coroutine_handle<> h, SmallFn cb) {
+  if (free_ == nullptr) refill_free_list();
+  EventNode* mem = free_;
+  free_ = free_->next;
+  return ::new (static_cast<void*>(mem))
+      EventNode{at, seq, nullptr, h, std::move(cb)};
+}
+
+template <typename F>
+EventQueue::EventNode* EventQueue::alloc_node_cb(SimTime at,
+                                                 std::uint64_t seq, F&& fn) {
+  if (free_ == nullptr) refill_free_list();
+  EventNode* mem = free_;
+  free_ = free_->next;
+  // The SmallFn member is copy-initialized from a prvalue, so the
+  // capture is constructed straight into the node (guaranteed elision).
+  return ::new (static_cast<void*>(mem))
+      EventNode{at, seq, nullptr, {}, SmallFn(std::forward<F>(fn))};
+}
+
+inline void EventQueue::release_node(EventNode* n) {
+  n->~EventNode();
+  n->next = free_;
+  free_ = n;
+}
+
+inline void EventQueue::bucket_insert(EventNode* n) {
+  const std::size_t slot =
+      static_cast<std::size_t>(n->at >> shift_) & (kNumBuckets - 1);
+  n->next = bucket_[slot];
+  bucket_[slot] = n;
+  bitmap_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+}
+
+inline void EventQueue::calendar_push(EventNode* n) {
+  const SimTime at = n->at;
+  if (fifo_pos_ < fifo_.size() && at == fifo_time_) {
+    // Same-timestamp append: seq is strictly increasing, so the FIFO
+    // stays ordered with no comparison at all. This is the hot path —
+    // zero delays, signal wakeups, same-tick protocol cascades.
+    fifo_.push_back(n);
+    return;
+  }
+  if (open_active_ && at >= open_lo_ && at < open_hi_) {
+    // Lands in the slot under the cursor: ordered insert into the
+    // still-unconsumed tail.
+    auto it = std::upper_bound(
+        open_.begin() + static_cast<std::ptrdiff_t>(open_pos_), open_.end(),
+        n, node_less);
+    open_.insert(it, n);
+    return;
+  }
+  const SimTime floor = open_active_ ? open_hi_ : slot_lo(cursor_);
+  if (at >= floor && at < wheel_end_) {
+    bucket_insert(n);
+    return;
+  }
+  if (at >= wheel_end_) {
+    n->next = far_;
+    far_ = n;
+    ++far_count_;
+    return;
+  }
+  // Behind the cursor: only reachable by scheduling from outside the
+  // event loop after run_until() advanced past the cursor window.
+  rebuild(n);
+}
+
+inline void EventQueue::push(SimTime at, std::uint64_t seq,
+                             std::coroutine_handle<> h, SmallFn cb) {
+  ++size_;
+  if (kind_ == SchedulerKind::kLegacyHeap) {
+    std::function<void()> fn;
+    if (cb) {
+      // std::function requires a copyable target; the move-only SmallFn
+      // rides behind a shared_ptr, mirroring the allocation the legacy
+      // implementation paid for every capturing callback.
+      fn = [sp = std::make_shared<SmallFn>(std::move(cb))] { (*sp)(); };
+    }
+    legacy_.push(LegacyEvent{at, seq, h, std::move(fn)});
+    return;
+  }
+  if (size_ == 1) {  // size_ already counts this event: queue was empty
+    solo_active_ = true;
+    solo_at_ = at;
+    solo_seq_ = seq;
+    solo_h_ = h;
+    solo_cb_ = std::move(cb);
+    return;
+  }
+  if (solo_active_) {
+    // Second pending event: demote the stash into the tiers first (they
+    // re-sort on open, so demotion order is irrelevant).
+    solo_active_ = false;
+    calendar_push(
+        alloc_node(solo_at_, solo_seq_, solo_h_, std::move(solo_cb_)));
+  }
+  calendar_push(alloc_node(at, seq, h, std::move(cb)));
+}
+
+template <typename F>
+void EventQueue::push_cb(SimTime at, std::uint64_t seq, F&& fn) {
+  ++size_;
+  if (kind_ == SchedulerKind::kLegacyHeap) {
+    // Same shared_ptr wrap as push(): one heap allocation per capturing
+    // callback, mirroring the seed's std::function storage.
+    legacy_.push(LegacyEvent{
+        at, seq, {},
+        [sp = std::make_shared<SmallFn>(std::forward<F>(fn))] { (*sp)(); }});
+    return;
+  }
+  if (size_ == 1) {  // size_ already counts this event: queue was empty
+    solo_active_ = true;
+    solo_at_ = at;
+    solo_seq_ = seq;
+    solo_h_ = {};
+    solo_cb_ = SmallFn(std::forward<F>(fn));
+    return;
+  }
+  if (solo_active_) {
+    solo_active_ = false;
+    calendar_push(
+        alloc_node(solo_at_, solo_seq_, solo_h_, std::move(solo_cb_)));
+  }
+  calendar_push(alloc_node_cb(at, seq, std::forward<F>(fn)));
+}
+
+inline EventQueue::EventNode* EventQueue::calendar_front() {
+  if (fifo_pos_ < fifo_.size()) return fifo_[fifo_pos_];
+  ensure_open();
+  return open_[open_pos_];
+}
+
+inline SimTime EventQueue::front_time() {
+  assert(size_ > 0 && "front_time() on an empty queue");
+  if (kind_ == SchedulerKind::kLegacyHeap) return legacy_.top().at;
+  if (solo_active_) return solo_at_;
+  return calendar_front()->at;
+}
+
+inline EventQueue::EventNode* EventQueue::calendar_take_front() {
+  if (fifo_pos_ < fifo_.size()) {
+    EventNode* n = fifo_[fifo_pos_++];
+    if (fifo_pos_ == fifo_.size()) {
+      fifo_.clear();
+      fifo_pos_ = 0;
+    } else if (fifo_pos_ > 1024 && fifo_pos_ * 2 > fifo_.size()) {
+      // A same-timestamp cascade that keeps appending while consuming
+      // (zero-delay protocol loops) would otherwise grow the batch
+      // vector without bound; drop the consumed prefix occasionally.
+      fifo_.erase(fifo_.begin(),
+                  fifo_.begin() + static_cast<std::ptrdiff_t>(fifo_pos_));
+      fifo_pos_ = 0;
+    }
+    return n;
+  }
+  ensure_open();
+  // Move the whole batch sharing the next timestamp into the FIFO, so
+  // its siblings (and any events scheduled *at* that timestamp while it
+  // is being processed) pop with no further comparisons.
+  const SimTime t = open_[open_pos_]->at;
+  fifo_time_ = t;
+  while (open_pos_ < open_.size() && open_[open_pos_]->at == t) {
+    fifo_.push_back(open_[open_pos_++]);
+  }
+  if (open_pos_ == open_.size()) {
+    open_.clear();
+    open_pos_ = 0;
+  }
+  return fifo_[fifo_pos_++];
+}
+
+inline EventQueue::Fired EventQueue::pop() {
+  assert(size_ > 0 && "pop() on an empty queue");
+  --size_;
+  if (kind_ == SchedulerKind::kLegacyHeap) {
+    // By-value copy then pop, exactly as the seed implementation did.
+    LegacyEvent ev = legacy_.top();
+    legacy_.pop();
+    Fired f;
+    f.at = ev.at;
+    f.handle = ev.handle;
+    if (ev.callback) f.cb = std::move(ev.callback);
+    return f;
+  }
+  if (solo_active_) {
+    solo_active_ = false;
+    Fired f;
+    f.at = solo_at_;
+    f.handle = solo_h_;
+    f.cb = std::move(solo_cb_);
+    return f;
+  }
+  EventNode* n = calendar_take_front();
+  Fired f;
+  f.at = n->at;
+  f.handle = n->handle;
+  if (f.handle) {
+    release_node(n);
+  } else {
+    f.node = n;  // callback fires in place via run_cb()
+  }
+  return f;
+}
+
+inline void EventQueue::run_cb(Fired& f) {
+  if (f.node != nullptr) {
+    EventNode* n = f.node;
+    f.node = nullptr;
+    // Recycle the node even if the callback throws: release_node runs
+    // ~EventNode, destroying the captures mid-unwind exactly as the
+    // moved-out path would have.
+    struct Recycle {
+      EventQueue& q;
+      EventNode* n;
+      ~Recycle() { q.release_node(n); }
+    } recycle{*this, n};
+    n->cb();
+    return;
+  }
+  f.cb();
+}
 
 }  // namespace pp::sim

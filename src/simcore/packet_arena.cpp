@@ -1,0 +1,74 @@
+#include "simcore/packet_arena.h"
+
+#include <cstdlib>
+#include <optional>
+
+namespace pp::sim {
+
+namespace {
+
+thread_local std::optional<PacketPathKind> g_ambient_packet_path;
+
+constexpr std::size_t kSlabSlots = 64;
+
+}  // namespace
+
+PacketPathKind default_packet_path() {
+  static const PacketPathKind kind = [] {
+    const char* v = std::getenv("PP_LEGACY_PACKETS");
+    const bool legacy = v != nullptr && v[0] != '\0' &&
+                        !(v[0] == '0' && v[1] == '\0');
+    return legacy ? PacketPathKind::kLegacyHeap : PacketPathKind::kArena;
+  }();
+  return kind;
+}
+
+ScopedPacketPath::ScopedPacketPath(PacketPathKind kind)
+    : prev_(PacketPathKind::kArena),
+      had_prev_(g_ambient_packet_path.has_value()) {
+  if (had_prev_) prev_ = *g_ambient_packet_path;
+  g_ambient_packet_path = kind;
+}
+
+ScopedPacketPath::~ScopedPacketPath() {
+  if (had_prev_) {
+    g_ambient_packet_path = prev_;
+  } else {
+    g_ambient_packet_path.reset();
+  }
+}
+
+PacketPathKind ambient_packet_path() {
+  return g_ambient_packet_path.value_or(default_packet_path());
+}
+
+PacketArena::~PacketArena() {
+  // Every layer that creates descriptors is destroyed before the arena
+  // (the Simulator reaps coroutine frames and the event queue destroys
+  // pending callbacks first), so a nonzero count here is a genuine leak.
+  assert(live_ == 0 && "packet descriptors leaked past arena teardown");
+}
+
+detail::PacketSlot* PacketArena::allocate_legacy() {
+  // One heap allocation per descriptor: the seed's per-message
+  // make_shared pattern, kept selectable for the differential harness
+  // and the before/after benchmark legs.
+  auto* slot = new detail::PacketSlot();
+  slot->from_heap = true;
+  slot->arena = this;
+  slot->refs = 1;
+  return slot;
+}
+
+void PacketArena::refill_free_list() {
+  auto slab = std::make_unique<detail::PacketSlot[]>(kSlabSlots);
+  for (std::size_t i = 0; i < kSlabSlots; ++i) {
+    detail::PacketSlot* s = &slab[i];
+    s->arena = this;
+    *reinterpret_cast<detail::PacketSlot**>(s->payload) = free_;
+    free_ = s;
+  }
+  slabs_.push_back(std::move(slab));
+}
+
+}  // namespace pp::sim

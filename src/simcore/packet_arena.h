@@ -1,0 +1,334 @@
+// Slab/arena-backed packet descriptors with intrusive refcounts.
+//
+// Every frame a protocol puts on a PacketPipe used to carry a
+// std::shared_ptr<void> descriptor plus a std::function drop hook — two
+// heap allocations and an atomic control block per message on the
+// steady-state path. PacketArena replaces both: descriptors live in
+// fixed-size slots handed out from slab storage, PacketRef is a
+// non-atomic intrusive refcount (the simulator is single-threaded by
+// contract), and the drop hook is a strictly-inline small-buffer
+// callable stored in the slot header. Refcount sharing is what makes
+// zero-copy views possible: a TCP retransmit, a fault-injected
+// duplicate and a receive-side staging view all point at the same slot
+// instead of cloning it.
+//
+// Two interchangeable backends live behind the same API, mirroring the
+// event queue's scheduler split:
+//
+//  - kArena (the default): slab slots on an intrusive free list; the
+//    steady state allocates nothing.
+//  - kLegacyHeap: one operator-new allocation per descriptor,
+//    reproducing the seed's per-message shared_ptr allocation pattern.
+//    Select it per scope with ScopedPacketPath or process-wide with
+//    PP_LEGACY_PACKETS=1; the differential harness replays whole
+//    workloads under both backends and asserts bit-identical results.
+//
+// Refcount rules (the contract every layer relies on):
+//  - make<T>() returns a PacketRef owning one reference.
+//  - Copying a PacketRef increments, destruction decrements; at zero the
+//    payload is destroyed, the drop hook is discarded and the slot goes
+//    back on the free list.
+//  - fire_drop() runs the hook without consuming it: a descriptor shared
+//    by many frames (GM/VIA fragments of one message) fires once per
+//    dropped frame.
+//  - Descriptors must not outlive the arena; the Simulator owns its
+//    arena and destroys it after the event queue and all coroutine
+//    frames, which is what makes that safe in practice.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pp::sim {
+
+enum class PacketPathKind { kArena, kLegacyHeap };
+
+/// Process-wide default: kLegacyHeap when PP_LEGACY_PACKETS is set to a
+/// non-empty, non-"0" value in the environment, else kArena.
+PacketPathKind default_packet_path();
+
+/// RAII scope overriding the packet path every Simulator constructed on
+/// this thread adopts (the differential harness installs this around
+/// job factories, exactly like ScopedScheduler). Scopes nest.
+class ScopedPacketPath {
+ public:
+  explicit ScopedPacketPath(PacketPathKind kind);
+  ~ScopedPacketPath();
+  ScopedPacketPath(const ScopedPacketPath&) = delete;
+  ScopedPacketPath& operator=(const ScopedPacketPath&) = delete;
+
+ private:
+  PacketPathKind prev_;
+  bool had_prev_;
+};
+
+/// The packet path a Simulator constructed right now would adopt.
+PacketPathKind ambient_packet_path();
+
+/// Move-only callable for the descriptor drop hook. Unlike SmallFn it is
+/// strictly inline: a capture that does not fit kInlineBytes is a
+/// compile error, never a hidden heap allocation — the whole point of
+/// the slot header is that steady-state frames do not allocate.
+class DropFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 24;
+
+  DropFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, DropFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  DropFn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors SmallFn
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kInlineBytes,
+                  "drop-hook capture exceeds the inline slot; shrink the "
+                  "capture (e.g. a raw pointer + weak liveness guard)");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t));
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    vt_ = &vtable<Fn>;
+  }
+
+  DropFn(DropFn&& other) noexcept { move_from(other); }
+  DropFn& operator=(DropFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  DropFn(const DropFn&) = delete;
+  DropFn& operator=(const DropFn&) = delete;
+
+  ~DropFn() { reset(); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  /// Runs the hook; the hook stays armed (shared descriptors fire once
+  /// per dropped frame).
+  void operator()() { vt_->invoke(buf_); }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr VTable vtable = {
+      [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+      [](void* dst, void* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); },
+  };
+
+  void move_from(DropFn& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+class PacketArena;
+class PacketRef;
+
+namespace detail {
+
+/// One descriptor slot: intrusive refcount + drop hook + payload bytes.
+/// Free slots thread the free list through their payload storage.
+struct PacketSlot {
+  static constexpr std::size_t kPayloadBytes = 64;
+
+  std::uint32_t refs = 0;
+  bool from_heap = false;
+  void (*destroy_payload)(void*) = nullptr;
+  PacketArena* arena = nullptr;
+  DropFn drop;
+  alignas(std::max_align_t) unsigned char payload[kPayloadBytes];
+};
+
+}  // namespace detail
+
+/// Refcounted handle to an arena descriptor. Copy = one more reference;
+/// the payload dies (and the slot is recycled) when the last reference
+/// drops. get<T>() is unchecked — the caller knows the protocol that
+/// built the frame, exactly as with the shared_ptr<void> it replaces.
+class PacketRef {
+ public:
+  PacketRef() = default;
+  PacketRef(const PacketRef& other) noexcept : slot_(other.slot_) {
+    if (slot_ != nullptr) ++slot_->refs;
+  }
+  PacketRef(PacketRef&& other) noexcept : slot_(other.slot_) {
+    other.slot_ = nullptr;
+  }
+  PacketRef& operator=(const PacketRef& other) noexcept {
+    PacketRef tmp(other);
+    std::swap(slot_, tmp.slot_);
+    return *this;
+  }
+  PacketRef& operator=(PacketRef&& other) noexcept {
+    if (this != &other) {
+      reset();
+      slot_ = other.slot_;
+      other.slot_ = nullptr;
+    }
+    return *this;
+  }
+  ~PacketRef() { reset(); }
+
+  explicit operator bool() const noexcept { return slot_ != nullptr; }
+
+  template <typename T>
+  T* get() const noexcept {
+    assert(slot_ != nullptr);
+    return std::launder(reinterpret_cast<T*>(slot_->payload));
+  }
+
+  std::uint32_t use_count() const noexcept {
+    return slot_ == nullptr ? 0 : slot_->refs;
+  }
+
+  /// Installs the drop hook (replacing any previous one).
+  void set_drop(DropFn fn) {
+    assert(slot_ != nullptr);
+    slot_->drop = std::move(fn);
+  }
+
+  /// Runs the drop hook if one is armed; see DropFn::operator().
+  void fire_drop() const {
+    if (slot_ != nullptr && slot_->drop) slot_->drop();
+  }
+
+  void reset() noexcept;
+
+ private:
+  friend class PacketArena;
+  explicit PacketRef(detail::PacketSlot* slot) noexcept : slot_(slot) {}
+
+  detail::PacketSlot* slot_ = nullptr;
+};
+
+/// Identity of one zero-copy payload buffer. Senders allocate one per
+/// message (Socket::make_payload); segment views, retransmits and
+/// receive-side staging all share the slot, so `id` is what receivers
+/// use to recognize "I have seen this buffer already".
+struct PayloadBuffer {
+  std::uint64_t id = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// The allocator. One per Simulator; strictly single-threaded.
+class PacketArena {
+ public:
+  static constexpr std::size_t kPayloadBytes = detail::PacketSlot::kPayloadBytes;
+
+  explicit PacketArena(PacketPathKind kind = ambient_packet_path())
+      : kind_(kind) {}
+  ~PacketArena();
+  PacketArena(const PacketArena&) = delete;
+  PacketArena& operator=(const PacketArena&) = delete;
+
+  PacketPathKind kind() const noexcept { return kind_; }
+
+  /// Allocates a descriptor slot and constructs a T in it. T must fit
+  /// kPayloadBytes; keep descriptors lean (pointers + scalars + at most
+  /// a PacketRef view or two).
+  template <typename T, typename... Args>
+  PacketRef make(Args&&... args) {
+    static_assert(sizeof(T) <= kPayloadBytes,
+                  "packet descriptor exceeds the arena slot");
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+    detail::PacketSlot* slot = allocate();
+    ::new (static_cast<void*>(slot->payload)) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      slot->destroy_payload = [](void* p) {
+        std::launder(reinterpret_cast<T*>(p))->~T();
+      };
+    }
+    return PacketRef(slot);
+  }
+
+  /// Allocates a PayloadBuffer descriptor with a deterministic id (the
+  /// arena's allocation counter, unique within a run).
+  PacketRef make_payload(std::uint64_t bytes) {
+    return make<PayloadBuffer>(PayloadBuffer{total_allocated_ + 1, bytes});
+  }
+
+  /// Descriptors currently alive. Returns to zero after every clean
+  /// simulation teardown; the leak tests assert exactly that.
+  std::uint64_t live() const noexcept { return live_; }
+  std::uint64_t total_allocated() const noexcept { return total_allocated_; }
+  std::size_t slab_count() const noexcept { return slabs_.size(); }
+
+ private:
+  friend class PacketRef;
+
+  /// Fast path inline: one descriptor per frame/segment makes this a
+  /// per-packet cost; the slab refill and the legacy-heap leg stay out
+  /// of line.
+  detail::PacketSlot* allocate() {
+    ++live_;
+    ++total_allocated_;
+    if (kind_ == PacketPathKind::kLegacyHeap) return allocate_legacy();
+    if (free_ == nullptr) refill_free_list();
+    detail::PacketSlot* slot = free_;
+    free_ = *reinterpret_cast<detail::PacketSlot**>(slot->payload);
+    slot->refs = 1;
+    return slot;
+  }
+  detail::PacketSlot* allocate_legacy();
+  void refill_free_list();
+
+  void release(detail::PacketSlot* slot) noexcept {
+    if (slot->destroy_payload != nullptr) {
+      slot->destroy_payload(slot->payload);
+      slot->destroy_payload = nullptr;
+    }
+    slot->drop.reset();
+    --live_;
+    if (slot->from_heap) {
+      delete slot;
+      return;
+    }
+    *reinterpret_cast<detail::PacketSlot**>(slot->payload) = free_;
+    free_ = slot;
+  }
+
+  PacketPathKind kind_;
+  detail::PacketSlot* free_ = nullptr;
+  std::vector<std::unique_ptr<detail::PacketSlot[]>> slabs_;
+  std::uint64_t live_ = 0;
+  std::uint64_t total_allocated_ = 0;
+};
+
+inline void PacketRef::reset() noexcept {
+  if (slot_ == nullptr) return;
+  detail::PacketSlot* s = slot_;
+  slot_ = nullptr;
+  if (--s->refs == 0) s->arena->release(s);
+}
+
+}  // namespace pp::sim

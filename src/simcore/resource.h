@@ -65,15 +65,16 @@ class RateResource {
     return per_op_ + rate_.time_for(bytes);
   }
 
-  /// Occupies the server for `bytes` and completes when the transfer has
-  /// fully passed through. FIFO with respect to other transfer() calls.
-  Task<void> transfer(std::uint64_t bytes) {
-    return transfer_with_overhead(bytes, 0);
-  }
-
   /// transfer() with an additional caller-specific fixed overhead (e.g. a
   /// NIC processor's per-packet cost on the shared I/O path).
-  Task<void> transfer_with_overhead(std::uint64_t bytes, SimTime extra) {
+  ///
+  /// The reservation (queue position, stats, trace span) is taken at the
+  /// call, and the returned value is the Simulator's plain delay awaiter
+  /// for the completion time — not a coroutine. These run once per
+  /// segment/frame on the hot path, and a full coroutine frame per call
+  /// just to sleep until `done` is measurable; co_await the result at
+  /// the call site, as every user does.
+  auto transfer_with_overhead(std::uint64_t bytes, SimTime extra) {
     const SimTime arrival = sim_.now();
     const SimTime start = arrival > next_free_ ? arrival : next_free_;
     const SimTime done =
@@ -87,12 +88,19 @@ class RateResource {
       t->record_span(name_, "xfer " + std::to_string(bytes) + "B", start,
                      done - start);
     }
-    co_await sim_.delay_until(done);
+    return sim_.delay_until(done);
+  }
+
+  /// Occupies the server for `bytes` and completes when the transfer has
+  /// fully passed through. FIFO with respect to other transfer() calls.
+  auto transfer(std::uint64_t bytes) {
+    return transfer_with_overhead(bytes, 0);
   }
 
   /// Occupies the server for a fixed duration (e.g. per-packet protocol
-  /// processing on a CPU). FIFO with transfer() calls.
-  Task<void> occupy(SimTime duration) {
+  /// processing on a CPU). FIFO with transfer() calls; same
+  /// reserve-then-await shape as transfer().
+  auto occupy(SimTime duration) {
     const SimTime arrival = sim_.now();
     const SimTime start = arrival > next_free_ ? arrival : next_free_;
     const SimTime done = start + (duration > 0 ? duration : 0);
@@ -103,7 +111,7 @@ class RateResource {
     if (TraceRecorder* t = sim_.tracer()) {
       t->record_span(name_, "work", start, done - start);
     }
-    co_await sim_.delay_until(done);
+    return sim_.delay_until(done);
   }
 
   /// Fraction of [0, now] the server spent busy.

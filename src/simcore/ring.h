@@ -1,0 +1,129 @@
+// Grow-only power-of-two ring buffer with deque ends.
+//
+// std::deque is the natural container for the sync primitives' FIFO
+// queues, but libstdc++'s implementation allocates and frees a map
+// chunk roughly every 16 elements — which means a steady-state packet
+// flow through a Channel churns the heap even though the queue depth
+// never grows. RingDeque keeps one contiguous power-of-two buffer that
+// only ever grows: once a workload's peak depth has been seen, pushes
+// and pops allocate nothing. Element order and the push/pop API mirror
+// the std::deque subset the primitives use, so swapping it in is
+// behavior-neutral.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace pp::sim {
+
+template <typename T>
+class RingDeque {
+ public:
+  RingDeque() = default;
+  RingDeque(RingDeque&& other) noexcept
+      : buf_(other.buf_), cap_(other.cap_), head_(other.head_),
+        size_(other.size_) {
+    other.buf_ = nullptr;
+    other.cap_ = 0;
+    other.head_ = 0;
+    other.size_ = 0;
+  }
+  RingDeque& operator=(RingDeque&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      buf_ = other.buf_;
+      cap_ = other.cap_;
+      head_ = other.head_;
+      size_ = other.size_;
+      other.buf_ = nullptr;
+      other.cap_ = 0;
+      other.head_ = 0;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  RingDeque(const RingDeque&) = delete;
+  RingDeque& operator=(const RingDeque&) = delete;
+
+  ~RingDeque() { destroy(); }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  T& front() noexcept {
+    assert(size_ > 0);
+    return *slot(0);
+  }
+  const T& front() const noexcept {
+    assert(size_ > 0);
+    return *slot(0);
+  }
+  T& back() noexcept {
+    assert(size_ > 0);
+    return *slot(size_ - 1);
+  }
+  const T& back() const noexcept {
+    assert(size_ > 0);
+    return *slot(size_ - 1);
+  }
+
+  void push_back(T value) {
+    if (size_ == cap_) grow();
+    ::new (static_cast<void*>(raw(size_))) T(std::move(value));
+    ++size_;
+  }
+
+  void pop_front() noexcept {
+    assert(size_ > 0);
+    slot(0)->~T();
+    head_ = (head_ + 1) & (cap_ - 1);
+    --size_;
+  }
+
+  void clear() noexcept {
+    while (size_ > 0) pop_front();
+  }
+
+ private:
+  T* slot(std::size_t i) const noexcept {
+    return std::launder(reinterpret_cast<T*>(raw(i)));
+  }
+  void* raw(std::size_t i) const noexcept {
+    return buf_ + ((head_ + i) & (cap_ - 1)) * sizeof(T);
+  }
+
+  void grow() {
+    const std::size_t next = cap_ == 0 ? 8 : cap_ * 2;
+    auto* nb = static_cast<unsigned char*>(
+        ::operator new(next * sizeof(T), std::align_val_t(alignof(T))));
+    for (std::size_t i = 0; i < size_; ++i) {
+      T* s = slot(i);
+      ::new (static_cast<void*>(nb + i * sizeof(T))) T(std::move(*s));
+      s->~T();
+    }
+    if (buf_ != nullptr) {
+      ::operator delete(buf_, std::align_val_t(alignof(T)));
+    }
+    buf_ = nb;
+    cap_ = next;
+    head_ = 0;
+  }
+
+  void destroy() noexcept {
+    clear();
+    if (buf_ != nullptr) {
+      ::operator delete(buf_, std::align_val_t(alignof(T)));
+      buf_ = nullptr;
+      cap_ = 0;
+    }
+  }
+
+  unsigned char* buf_ = nullptr;
+  std::size_t cap_ = 0;   // always a power of two (or zero)
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pp::sim

@@ -147,35 +147,13 @@ std::shared_ptr<Completion> Simulator::spawn_daemon(Task<void> task,
   return spawn_impl(std::move(task), std::move(name), /*daemon=*/true);
 }
 
-namespace {
-// Scheduling horizon: timestamps are capped here (far beyond any real
-// workload — ~146 simulated years) so the calendar queue's slot
-// arithmetic can never overflow SimTime. Applied identically under both
-// schedulers, so capping cannot perturb the differential comparison.
-constexpr SimTime kMaxSchedulable = kSimTimeMax / 2;
-
-SimTime clamp_at(SimTime at, SimTime now) {
-  if (at < now) return now;
-  if (at > kMaxSchedulable) return kMaxSchedulable;
-  return at;
-}
-}  // namespace
-
-void Simulator::schedule(SimTime at, std::coroutine_handle<> h) {
-  queue_.push(clamp_at(at, now_), seq_++, h, {});
-}
-
-void Simulator::call_at(SimTime at, SmallFn fn) {
-  queue_.push(clamp_at(at, now_), seq_++, {}, std::move(fn));
-}
-
 void Simulator::step(EventQueue::Fired&& ev) {
   now_ = ev.at;
   ++events_;
   if (ev.handle) {
     ev.handle.resume();
   } else {
-    ev.cb();
+    queue_.run_cb(ev);
   }
 }
 
@@ -195,18 +173,16 @@ struct RunningGuard {
 };
 }  // namespace
 
-void Simulator::check_budgets(SimTime next_at) const {
+void Simulator::throw_budget_exceeded(SimTime next_at) const {
   if (events_ >= event_limit_) {
     throw BudgetExceededError(
         BudgetExceededError::Kind::kEvents,
         "simulator event limit exceeded (runaway protocol loop?)");
   }
-  if (next_at > time_limit_) {
-    throw BudgetExceededError(
-        BudgetExceededError::Kind::kSimTime,
-        "simulated-time limit exceeded at " + format_time(next_at) +
-            " (limit " + format_time(time_limit_) + ")");
-  }
+  throw BudgetExceededError(
+      BudgetExceededError::Kind::kSimTime,
+      "simulated-time limit exceeded at " + format_time(next_at) +
+          " (limit " + format_time(time_limit_) + ")");
 }
 
 void Simulator::run() {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "simcore/event_queue.h"
+#include "simcore/packet_arena.h"
 #include "simcore/small_fn.h"
 #include "simcore/task.h"
 #include "simcore/time.h"
@@ -157,16 +158,27 @@ class Simulator {
 
   /// Low-level: schedule `h` to resume at absolute time `at` (clamped to
   /// now()). Used by the synchronization primitives and resources.
-  void schedule(SimTime at, std::coroutine_handle<> h);
+  /// Inline (as is call_at): these cross from every awaiter into the
+  /// queue once per event, and the fast path is a handful of stores.
+  void schedule(SimTime at, std::coroutine_handle<> h) {
+    queue_.push(clamp_at(at), seq_++, h, {});
+  }
   void schedule_now(std::coroutine_handle<> h) { schedule(now_, h); }
 
   /// Runs `fn` at absolute time `at` without the overhead of spawning a
   /// process. Used for fire-and-forget actions such as wire propagation.
   /// The callable may be move-only; captures up to SmallFn::kInlineBytes
-  /// live inside the event node (no allocation).
-  void call_at(SimTime at, SmallFn fn);
-  void call_after(SimTime d, SmallFn fn) {
-    call_at(now_ + (d > 0 ? d : 0), std::move(fn));
+  /// live inside the event node (no allocation). Templated so the
+  /// capture is constructed directly in the node instead of relocating
+  /// through a SmallFn parameter — wire propagation captures a whole
+  /// hw::Packet per frame.
+  template <typename F>
+  void call_at(SimTime at, F&& fn) {
+    queue_.push_cb(clamp_at(at), seq_++, std::forward<F>(fn));
+  }
+  template <typename F>
+  void call_after(SimTime d, F&& fn) {
+    call_at(now_ + (d > 0 ? d : 0), std::forward<F>(fn));
   }
 
   std::uint64_t events_processed() const noexcept { return events_; }
@@ -175,6 +187,12 @@ class Simulator {
   /// Which pending-event scheduler this instance runs on (fixed at
   /// construction from the ambient ScopedScheduler / PP_LEGACY_QUEUE).
   SchedulerKind scheduler() const noexcept { return queue_.kind(); }
+
+  /// The packet-descriptor allocator every pipe and protocol on this
+  /// simulator draws from (fixed at construction from the ambient
+  /// ScopedPacketPath / PP_LEGACY_PACKETS).
+  PacketArena& packet_arena() noexcept { return packet_arena_; }
+  PacketPathKind packet_path() const noexcept { return packet_arena_.kind(); }
 
   /// Safety valve against runaway protocol loops: run() throws
   /// BudgetExceededError once this many events have been processed.
@@ -230,7 +248,23 @@ class Simulator {
   // std::logic_error on use from any other thread.
   void check_thread();
 
-  void check_budgets(SimTime next_at) const;
+  /// Inline compare pair on the per-event loop path; the throw itself is
+  /// out of line.
+  void check_budgets(SimTime next_at) const {
+    if (events_ >= event_limit_ || next_at > time_limit_) {
+      throw_budget_exceeded(next_at);
+    }
+  }
+  [[noreturn]] void throw_budget_exceeded(SimTime next_at) const;
+
+  /// Events cannot land in the past (before now_) nor so far out that
+  /// span arithmetic in the calendar tiers could overflow.
+  static constexpr SimTime kMaxSchedulable = kSimTimeMax / 2;
+  SimTime clamp_at(SimTime at) const {
+    if (at < now_) return now_;
+    if (at > kMaxSchedulable) return kMaxSchedulable;
+    return at;
+  }
 
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
@@ -238,6 +272,10 @@ class Simulator {
   std::uint64_t event_limit_ = UINT64_MAX;
   SimTime time_limit_ = kSimTimeMax;
   int live_ = 0;
+  // Declared before queue_: pending events may hold packet descriptors,
+  // so the arena must be destroyed after the event queue (and after the
+  // coroutine frames ~Simulator reaps in its body).
+  PacketArena packet_arena_;
   EventQueue queue_{ambient_scheduler()};
   std::vector<LiveProcess> processes_;  // slot -> process bookkeeping
   std::exception_ptr pending_error_;

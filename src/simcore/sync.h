@@ -8,11 +8,11 @@
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "simcore/ring.h"
 #include "simcore/simulator.h"
 
 namespace pp::sim {
@@ -60,8 +60,10 @@ class Signal {
   explicit Signal(Simulator& sim) : sim_(sim) {}
 
   void notify_all() {
-    for (auto h : waiters_) sim_.schedule_now(h);
-    waiters_.clear();
+    while (!waiters_.empty()) {
+      sim_.schedule_now(waiters_.front());
+      waiters_.pop_front();
+    }
   }
 
   void notify_one() {
@@ -86,7 +88,7 @@ class Signal {
 
  private:
   Simulator& sim_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  RingDeque<std::coroutine_handle<>> waiters_;
 };
 
 /// Counting semaphore with FIFO waiters and *bulk* acquire, used to model
@@ -131,12 +133,8 @@ class ByteSemaphore {
   /// stays behind them even if its own amount would fit.
   auto acquire(std::uint64_t n) { return Acquire{*this, n}; }
 
- private:
-  struct Waiter {
-    std::uint64_t amount;
-    std::coroutine_handle<> handle;
-  };
-
+  /// The acquire() awaiter, public so Channel can embed it in its own
+  /// flat pop()/push() awaiters.
   struct Acquire {
     ByteSemaphore& s;
     std::uint64_t n;
@@ -155,6 +153,12 @@ class ByteSemaphore {
     }
   };
 
+ private:
+  struct Waiter {
+    std::uint64_t amount;
+    std::coroutine_handle<> handle;
+  };
+
   void grant() {
     while (!waiters_.empty() && available_ >= waiters_.front().amount) {
       Waiter w = waiters_.front();
@@ -166,7 +170,7 @@ class ByteSemaphore {
 
   Simulator& sim_;
   std::uint64_t available_;
-  std::deque<Waiter> waiters_;
+  RingDeque<Waiter> waiters_;
 };
 
 /// FIFO message queue between simulated processes. Unbounded by default;
@@ -187,17 +191,44 @@ class Channel {
     items_.release(1);
   }
 
-  Task<void> push(T value) {
-    if (bound_ != 0) co_await space_.acquire(1);
-    push_now(std::move(value));
+  /// Awaitable push. Flat awaiters, not coroutines: channels sit on the
+  /// per-frame hot path (five pipe hops per packet), and a coroutine
+  /// frame per hop just to park on a semaphore is measurable. The parked
+  /// handle is the caller's own, so the wakeup event sequence is
+  /// identical to what a forwarding coroutine would produce.
+  auto push(T value) {
+    struct Awaiter {
+      Channel& c;
+      ByteSemaphore::Acquire inner;
+      T value;
+      bool await_ready() const noexcept {
+        return c.bound_ == 0 || inner.await_ready();
+      }
+      void await_suspend(std::coroutine_handle<> h) { inner.await_suspend(h); }
+      void await_resume() {
+        if (c.bound_ != 0) inner.await_resume();
+        c.push_now(std::move(value));
+      }
+    };
+    return Awaiter{*this, space_.acquire(1), std::move(value)};
   }
 
-  Task<T> pop() {
-    co_await items_.acquire(1);
-    T value = std::move(queue_.front());
-    queue_.pop_front();
-    if (bound_ != 0) space_.release(1);
-    co_return value;
+  /// Awaitable pop; see push() for why this is a flat awaiter.
+  auto pop() {
+    struct Awaiter {
+      Channel& c;
+      ByteSemaphore::Acquire inner;
+      bool await_ready() const noexcept { return inner.await_ready(); }
+      void await_suspend(std::coroutine_handle<> h) { inner.await_suspend(h); }
+      T await_resume() {
+        inner.await_resume();
+        T value = std::move(c.queue_.front());
+        c.queue_.pop_front();
+        if (c.bound_ != 0) c.space_.release(1);
+        return value;
+      }
+    };
+    return Awaiter{*this, items_.acquire(1)};
   }
 
   std::optional<T> try_pop() {
@@ -213,7 +244,7 @@ class Channel {
   std::size_t bound_;
   ByteSemaphore space_;
   ByteSemaphore items_;
-  std::deque<T> queue_;
+  RingDeque<T> queue_;
 };
 
 }  // namespace pp::sim

@@ -4,10 +4,19 @@
 // Simulator). When the coroutine finishes, control transfers symmetrically
 // back to the awaiting coroutine, so arbitrarily deep call chains run
 // without growing the native stack.
+//
+// Coroutine frames come from a thread-local size-bucketed free list
+// (FramePool below): the steady-state packet path creates and destroys
+// the same few coroutine shapes (RateResource::transfer/occupy, protocol
+// helpers) once or more per frame, and recycling their frames is what
+// keeps that path free of heap allocations.
 #pragma once
 
+#include <array>
 #include <coroutine>
+#include <cstddef>
 #include <exception>
+#include <new>
 #include <utility>
 #include <variant>
 
@@ -18,7 +27,70 @@ class [[nodiscard]] Task;
 
 namespace detail {
 
+/// Thread-local frame recycler. Sizes are rounded up to 64-byte buckets;
+/// frames up to 4 KiB are pooled (every Task coroutine in the codebase
+/// fits comfortably), larger ones fall through to the global heap. Freed
+/// frames stay cached for the thread's lifetime — bounded by the peak
+/// number of simultaneously live coroutines — and are returned to the
+/// heap when the thread exits.
+class FramePool {
+ public:
+  static void* alloc(std::size_t n) {
+    const std::size_t b = bucket(n);
+    if (b >= kBuckets) return ::operator new(n);
+    void*& head = lists().heads[b];
+    if (head != nullptr) {
+      void* p = head;
+      head = *static_cast<void**>(p);
+      return p;
+    }
+    return ::operator new(b * kGranularity);
+  }
+
+  static void free(void* p, std::size_t n) noexcept {
+    const std::size_t b = bucket(n);
+    if (b >= kBuckets) {
+      ::operator delete(p);
+      return;
+    }
+    void*& head = lists().heads[b];
+    *static_cast<void**>(p) = head;
+    head = p;
+  }
+
+ private:
+  static constexpr std::size_t kGranularity = 64;
+  static constexpr std::size_t kBuckets = 64;  ///< pools sizes < 4 KiB
+
+  static std::size_t bucket(std::size_t n) noexcept {
+    return (n + kGranularity - 1) / kGranularity;
+  }
+
+  struct Lists {
+    std::array<void*, kBuckets> heads{};
+    ~Lists() {
+      for (void* h : heads) {
+        while (h != nullptr) {
+          void* next = *static_cast<void**>(h);
+          ::operator delete(h);
+          h = next;
+        }
+      }
+    }
+  };
+
+  static Lists& lists() noexcept {
+    thread_local Lists l;
+    return l;
+  }
+};
+
 struct PromiseBase {
+  static void* operator new(std::size_t n) { return FramePool::alloc(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    FramePool::free(p, n);
+  }
+
   std::coroutine_handle<> continuation;
   std::exception_ptr error;
 

@@ -9,7 +9,21 @@
 //    path, so a large busy delay inflates the effective RTT and makes
 //    throughput socket-buffer-limited: the paper's TrendNet story.
 //
-// Delivery order is clamped to be FIFO regardless of the regime mix.
+// Which frames advance the regime (the fault-injection contract): the
+// coalescer is driven by every frame that completes receive DMA — that
+// includes fault-injected duplicates and corrupted frames, which are
+// physical frames the NIC DMAs and raises an interrupt for just like any
+// other. Frames refused at rx-ring admission (ring-overflow drops) never
+// reach the DMA engine and must NOT touch dense_count_/last_arrival_:
+// a dropped frame generates no interrupt, so it cannot shift the
+// mitigation regime of the surviving traffic.
+//
+// Delivery order is clamped to be FIFO regardless of the regime mix,
+// *including* fault-injected interrupt stalls: a stall is folded into the
+// clamp (not added after it), so a stalled frame delays every later
+// frame's interrupt past its own instead of being overtaken. Batched
+// rx delivery (simhw/pipe.cpp) relies on the returned times being
+// non-decreasing.
 #pragma once
 
 #include "simcore/time.h"
@@ -26,8 +40,10 @@ class RxCoalescer {
         burst_threshold_(nic.busy_burst_threshold) {}
 
   /// Time the host notices a frame that finished DMA at `arrival`.
-  /// Monotone non-decreasing for non-decreasing arrivals.
-  sim::SimTime interrupt_time(sim::SimTime arrival) {
+  /// `stall` is an extra injected interrupt delay (fault injection) that
+  /// participates in the FIFO clamp. Monotone non-decreasing for
+  /// non-decreasing arrivals.
+  sim::SimTime interrupt_time(sim::SimTime arrival, sim::SimTime stall = 0) {
     if (last_arrival_ < 0 || arrival - last_arrival_ >= idle_gap_) {
       dense_count_ = 0;  // link went idle; the loaded regime resets
     } else {
@@ -35,7 +51,8 @@ class RxCoalescer {
     }
     last_arrival_ = arrival;
     const bool loaded = dense_count_ >= burst_threshold_;
-    sim::SimTime fire = arrival + (loaded ? busy_delay_ : sparse_delay_);
+    sim::SimTime fire = arrival + (loaded ? busy_delay_ : sparse_delay_) +
+                        stall;
     if (fire < last_fire_) fire = last_fire_;  // FIFO
     last_fire_ = fire;
     return fire;

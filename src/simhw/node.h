@@ -38,10 +38,12 @@ class Node {
 
   /// A memory-to-memory copy of `bytes` performed by this node's CPU
   /// (user<->kernel crossing copies, library staging copies, ...).
-  sim::Task<void> copy(std::uint64_t bytes) { return cpu_.transfer(bytes); }
+  /// Reserves the CPU immediately and returns the completion awaiter
+  /// (see RateResource::transfer) — co_await it at the call site.
+  auto copy(std::uint64_t bytes) { return cpu_.transfer(bytes); }
 
   /// Fixed CPU work (syscall entry, per-packet protocol processing, ...).
-  sim::Task<void> cpu_cost(sim::SimTime t) { return cpu_.occupy(t); }
+  auto cpu_cost(sim::SimTime t) { return cpu_.occupy(t); }
 
   /// Time one staging-copy pass over `bytes` takes: small buffers are
   /// cache-resident, large ones stream from cold memory.
@@ -54,7 +56,7 @@ class Node {
 
   /// A library staging copy (unexpected-queue drain, eager-buffer copy,
   /// pack/unpack pass). Uses the size-dependent rate above.
-  sim::Task<void> staging_copy(std::uint64_t bytes) {
+  auto staging_copy(std::uint64_t bytes) {
     return cpu_.occupy(staging_copy_time(bytes));
   }
 

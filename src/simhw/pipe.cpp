@@ -35,6 +35,22 @@ PacketPipe::PacketPipe(sim::Simulator& sim, Node& src, Node& dst,
   sim_.spawn_daemon(rx_cpu_pump(), name_ + ".rxcpu");
 }
 
+PacketPipe::~PacketPipe() {
+  // Frames still in flight hold arena descriptors. The channel members
+  // would release them on destruction anyway, but draining explicitly
+  // here keeps the contract visible and also covers the batches parked
+  // between their DMA completion and their interrupt flush. (Frames
+  // riding pending propagation events are released by the event queue,
+  // which the arena outlives.)
+  while (tx_cpu_q_.try_pop()) {}
+  while (tx_dma_q_.try_pop()) {}
+  while (wire_q_.try_pop()) {}
+  while (rx_dma_q_.try_pop()) {}
+  while (rx_cpu_q_.try_pop()) {}
+  while (delivered_.try_pop()) {}
+  rx_pending_.clear();
+}
+
 void PacketPipe::set_link_faults(const faults::LinkFaultConfig& cfg,
                                  std::uint64_t seed) {
   if (!cfg.any()) {
@@ -62,7 +78,7 @@ void PacketPipe::drop_frame(Packet& p, const char* cause) {
   if (sim::TraceRecorder* t = sim_.tracer()) {
     t->record_instant(name_, cause, sim_.now());
   }
-  if (p.on_drop) p.on_drop();
+  if (p.fire_drop) p.desc.fire_drop();
 }
 
 sim::SimTime PacketPipe::tx_cpu_cost() const {
@@ -167,11 +183,12 @@ sim::Task<void> PacketPipe::wire_pump() {
       }
     }
     if (duplicate) {
-      // The copy trails the original by one propagation "slot"; it never
-      // carries on_drop (the original owns any flow-control reclaim).
+      // The copy trails the original by one propagation "slot". It
+      // shares the descriptor (a zero-copy view, not a clone) but never
+      // fires the drop hook: the original owns any flow-control reclaim.
       Packet copy = p;
       copy.injected_dup = true;
-      copy.on_drop = nullptr;
+      copy.fire_drop = false;
       sim_.call_after(link_.propagation + extra_delay + 1,
                       [this, dup = std::move(copy)]() mutable {
                         deliver_to_rx(std::move(dup));
@@ -207,37 +224,72 @@ sim::Task<void> PacketPipe::rx_dma_pump() {
     co_await dst_.pci().transfer_with_overhead(
         pci_effective_bytes(dst_, p.dma_bytes), nic_.nic_rx_cost);
     // The frame now sits in host memory; the interrupt (possibly batched
-    // by the mitigation timer) makes the host notice it.
-    sim::SimTime irq_at = coalescer_.interrupt_time(sim_.now());
+    // by the mitigation timer) makes the host notice it. An injected
+    // interrupt stall is folded into the coalescer's FIFO clamp so a
+    // stalled frame cannot be overtaken — which also keeps the batch
+    // queue's interrupt times non-decreasing.
+    sim::SimTime stall = 0;
     if (nic_faults_ && nic_faults_->cfg.irq_stall > 0.0 &&
         nic_faults_->rng.uniform() < nic_faults_->cfg.irq_stall) {
-      irq_at += nic_faults_->cfg.irq_stall_time;
+      stall = nic_faults_->cfg.irq_stall_time;
       ++n_irq_stalls_;
       if (sim::TraceRecorder* t = sim_.tracer()) {
         t->record_instant(name_, "irq-stall", sim_.now());
       }
     }
+    const sim::SimTime irq_at = coalescer_.interrupt_time(sim_.now(), stall);
     if (sim::TraceRecorder* t = sim_.tracer()) {
       // One "irq" per frame at the (possibly mitigation-delayed) time the
       // host notices it; coalesced frames stack at the same timestamp.
       t->record_instant(name_, "irq", irq_at);
     }
-    sim_.call_at(irq_at, [this, frame = std::move(p)]() mutable {
-      rx_cpu_q_.push_now(std::move(frame));
-    });
+    enqueue_rx_frame(irq_at, std::move(p));
   }
+}
+
+void PacketPipe::enqueue_rx_frame(sim::SimTime irq_at, Packet p) {
+  if (!rx_pending_.empty() && rx_pending_.back().at == irq_at) {
+    // Rides the interrupt already scheduled for this batch.
+    rx_pending_.back().frames.push_back(std::move(p));
+    return;
+  }
+  assert(rx_pending_.empty() || irq_at > rx_pending_.back().at);
+  RxBatch b;
+  b.at = irq_at;
+  if (!batch_pool_.empty()) {
+    b.frames = std::move(batch_pool_.back());
+    batch_pool_.pop_back();
+  }
+  b.frames.push_back(std::move(p));
+  rx_pending_.push_back(std::move(b));
+  sim_.call_at(irq_at, [this] { flush_rx_batch(); });
+}
+
+void PacketPipe::flush_rx_batch() {
+  assert(!rx_pending_.empty());
+  RxBatch b = std::move(rx_pending_.front());
+  rx_pending_.pop_front();
+  rx_cpu_q_.push_now(std::move(b.frames));
 }
 
 sim::Task<void> PacketPipe::rx_cpu_pump() {
   for (;;) {
-    Packet p = co_await rx_cpu_q_.pop();
-    // The host has taken the frame out of the rx ring; its slot frees up.
-    if (rx_backlog_ > 0) --rx_backlog_;
-    if (const sim::SimTime cost = rx_cpu_cost(); cost > 0) {
-      co_await dst_.cpu_cost(cost);
+    FrameBatch batch = co_await rx_cpu_q_.pop();
+    for (Packet& p : batch) {
+      // The host takes the frame out of the rx ring; its slot frees up.
+      // The increment at admission and this decrement pair exactly
+      // (overflow drops are refused before the increment), so underflow
+      // is impossible by construction.
+      assert(rx_backlog_ > 0);
+      --rx_backlog_;
+      if (const sim::SimTime cost = rx_cpu_cost(); cost > 0) {
+        co_await dst_.cpu_cost(cost);
+      }
+      ++n_delivered_;
+      delivered_.push_now(std::move(p));
     }
-    ++n_delivered_;
-    delivered_.push_now(std::move(p));
+    batch.clear();
+    if (batch_pool_.size() < 64) batch_pool_.push_back(std::move(batch));
   }
 }
 

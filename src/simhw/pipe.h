@@ -14,14 +14,17 @@
 // path falls out of this sharing.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "faults/config.h"
+#include "simcore/packet_arena.h"
 #include "simcore/random.h"
 #include "simcore/resource.h"
+#include "simcore/ring.h"
 #include "simcore/simulator.h"
 #include "simcore/sync.h"
 #include "simcore/task.h"
@@ -31,12 +34,23 @@
 
 namespace pp::hw {
 
-/// One frame in flight. The pipe only looks at the byte counts; `ctx`
-/// carries the protocol descriptor (TCP segment, GM message, ...).
+/// One frame in flight. The pipe itself only reads the byte counts and
+/// the fault flags; `desc` is the protocol descriptor (TCP segment
+/// context, GM/VIA fragment header, ...) handed out by the simulator's
+/// PacketArena (sim::PacketRef, an intrusive refcount — copying the
+/// Packet shares the descriptor instead of cloning it). The struct is
+/// 32 bytes by design: a propagation event's [this, frame] capture fits
+/// SmallFn's inline buffer, so a steady-state frame crosses the whole
+/// pipe without a single heap allocation.
 struct Packet {
   std::uint64_t dma_bytes = 0;   ///< bytes crossing the PCI bus
   std::uint64_t wire_bytes = 0;  ///< bytes serialized on the wire
-  std::shared_ptr<void> ctx;
+
+  /// Protocol descriptor (arena slot). Read it back on the receive side
+  /// with desc.get<T>() for the T the injecting protocol constructed.
+  /// Retransmits, injected duplicates and zero-copy views all share the
+  /// slot; the descriptor dies with its last reference.
+  sim::PacketRef desc;
 
   /// Bit corruption was injected on the wire: the frame still arrives,
   /// but a checksumming receiver must discard it.
@@ -46,12 +60,20 @@ struct Packet {
   /// filter these in "hardware" without touching protocol state.
   bool injected_dup = false;
 
-  /// Invoked (at drop time, in sim context) if a fault injector discards
-  /// the frame anywhere in the pipe. Lets credit/token-based senders
-  /// reclaim flow-control units that would otherwise leak. Not copied to
-  /// injected duplicates.
-  std::function<void()> on_drop;
+  /// Drop-hook contract: when a fault injector discards this frame
+  /// anywhere in the pipe, the pipe calls desc.fire_drop() iff this flag
+  /// is set, letting credit/token-based senders reclaim flow-control
+  /// units that would otherwise leak. The hook lives in the descriptor
+  /// (one per message); the flag says which frames own a reclaim unit.
+  /// Injected duplicates share `desc` but carry fire_drop == false (the
+  /// original owns the reclaim); GM/VIA fragments of one message share
+  /// one descriptor and all carry fire_drop == true, so the hook fires
+  /// once per dropped fragment.
+  bool fire_drop = false;
 };
+
+static_assert(sizeof(Packet) <= 32, "Packet must stay within SmallFn's "
+              "inline budget for [this, frame] event captures");
 
 class PacketPipe {
  public:
@@ -60,6 +82,10 @@ class PacketPipe {
 
   PacketPipe(const PacketPipe&) = delete;
   PacketPipe& operator=(const PacketPipe&) = delete;
+
+  /// Drains every stage queue so frames still in flight release their
+  /// arena descriptors at teardown instead of leaking live slots.
+  ~PacketPipe();
 
   /// Hands a packet to the transmit path. Never blocks; upper layers pace
   /// themselves (TCP by its window, GM/VIA by their credits).
@@ -85,6 +111,12 @@ class PacketPipe {
   std::uint64_t flap_drops() const noexcept { return n_flap_drops_; }
   std::uint64_t ring_overflow_drops() const noexcept { return n_ring_drops_; }
   std::uint64_t irq_stalls() const noexcept { return n_irq_stalls_; }
+
+  /// Frames admitted to the rx ring and not yet taken by the host CPU.
+  /// Admission increments, host-side take decrements; the pairing is
+  /// exact (ring-overflow drops are refused *before* the increment), so
+  /// this returns to zero whenever the pipe goes quiet.
+  std::uint64_t rx_backlog() const noexcept { return rx_backlog_; }
 
   /// Arms the link fault injector (loss, burst loss, reorder, duplicate,
   /// corrupt, flap — see faults::LinkFaultConfig). `seed` initializes the
@@ -131,17 +163,31 @@ class PacketPipe {
     sim::SplitMix64 rng{1};
   };
 
+  /// Frames matured by one coalesced interrupt, delivered to the host in
+  /// a single rx_cpu_pump wakeup.
+  using FrameBatch = std::vector<Packet>;
+  struct RxBatch {
+    sim::SimTime at = 0;
+    FrameBatch frames;
+  };
+
   sim::Task<void> tx_cpu_pump();
   sim::Task<void> tx_dma_pump();
   sim::Task<void> wire_pump();
   sim::Task<void> rx_dma_pump();
   sim::Task<void> rx_cpu_pump();
 
-  /// Discards a frame: counters, trace instant, on_drop notification.
+  /// Discards a frame: counters, trace instant, drop-hook notification.
   void drop_frame(Packet& p, const char* cause);
 
   /// Arrival at the receive NIC (post-propagation): rx-ring admission.
   void deliver_to_rx(Packet p);
+
+  /// Appends a DMA-complete frame to the interrupt batch maturing at
+  /// `irq_at` (opening a new batch — and scheduling its flush — when the
+  /// interrupt time advances).
+  void enqueue_rx_frame(sim::SimTime irq_at, Packet p);
+  void flush_rx_batch();
 
   /// PCI bytes inflated by the card's DMA efficiency and bus-width match,
   /// so the shared PCI resource sees the card's *effective* occupancy.
@@ -162,8 +208,15 @@ class PacketPipe {
   sim::Channel<Packet> tx_dma_q_;
   sim::Channel<Packet> wire_q_;
   sim::Channel<Packet> rx_dma_q_;
-  sim::Channel<Packet> rx_cpu_q_;
+  sim::Channel<FrameBatch> rx_cpu_q_;
   sim::Channel<Packet> delivered_;
+
+  /// Interrupt batches awaiting their flush event, in strictly
+  /// increasing `at` order (the coalescer's FIFO clamp guarantees
+  /// non-decreasing interrupt times; equal times merge into one batch).
+  sim::RingDeque<RxBatch> rx_pending_;
+  /// Recycled batch vectors so steady-state delivery allocates nothing.
+  std::vector<FrameBatch> batch_pool_;
 
   std::uint64_t n_delivered_ = 0;
   std::uint64_t n_dropped_ = 0;

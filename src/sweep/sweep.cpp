@@ -63,6 +63,8 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opt) {
         // the scheduler choice travels thread-locally like the budgets.
         std::optional<sim::ScopedScheduler> sched_guard;
         if (opt.scheduler) sched_guard.emplace(*opt.scheduler);
+        std::optional<sim::ScopedPacketPath> packets_guard;
+        if (opt.packet_path) packets_guard.emplace(*opt.packet_path);
         for (int attempt = 0; attempt < attempts; ++attempt) {
           try {
             // Budgets double per retry: a fault schedule may legitimately

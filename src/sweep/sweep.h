@@ -19,6 +19,7 @@
 
 #include "netpipe/runner.h"
 #include "simcore/event_queue.h"
+#include "simcore/packet_arena.h"
 #include "simcore/time.h"
 
 namespace pp::sweep {
@@ -114,6 +115,11 @@ struct SweepOptions {
   /// default. The differential determinism harness runs the same spec
   /// once per SchedulerKind and asserts identical results.
   std::optional<sim::SchedulerKind> scheduler;
+  /// Packet-descriptor backend every Simulator the jobs construct adopts
+  /// (installed thread-locally around each job, like `scheduler`). Unset:
+  /// the ambient default. The differential harness runs the same spec
+  /// once per PacketPathKind and asserts identical results.
+  std::optional<sim::PacketPathKind> packet_path;
 };
 
 /// Runs every job of `spec` on a thread pool and returns the results in

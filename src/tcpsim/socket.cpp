@@ -15,13 +15,25 @@ constexpr std::uint32_t kHeaderBytes = 40;
 
 }  // namespace
 
-/// Descriptor travelling as a pipe packet's ctx.
+/// Descriptor travelling as a pipe packet's `desc` (one arena slot per
+/// segment).
 struct SegmentCtx {
   Endpoint* dst = nullptr;    ///< receiving endpoint
   std::uint64_t seq = 0;      ///< first payload byte's stream offset
   std::uint32_t payload = 0;  ///< 0 for a pure ACK
   std::uint64_t ack = 0;      ///< cumulative ACK (bytes received in order)
   std::uint64_t wnd_edge = 0; ///< absolute highest stream offset permitted
+  /// Zero-copy view of the application payload buffer covering `seq`
+  /// (null for pure ACKs and plain sends). Retransmitted segments attach
+  /// the same reference — the buffer is shared, never cloned.
+  sim::PacketRef view;
+};
+
+/// Stream-offset range [begin, end) backed by one payload buffer.
+struct PayloadSpan {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  sim::PacketRef buf;
 };
 
 /// One directed half of a connection plus the receive state for the
@@ -89,7 +101,8 @@ struct Endpoint {
   void on_delack();
 
   sim::Task<void> tx_pump();
-  sim::Task<void> send(std::uint64_t bytes, std::uint64_t token);
+  sim::Task<void> send(std::uint64_t bytes, std::uint64_t token,
+                       sim::PacketRef payload);
   sim::Task<std::uint64_t> recv(std::uint64_t max);
 
   TcpStack* stack;
@@ -173,6 +186,19 @@ struct Endpoint {
   std::deque<std::pair<std::uint64_t, std::uint64_t>> send_marks;
   std::vector<std::uint64_t> tokens_ready;
 
+  // --- zero-copy payload views ---------------------------------------------
+  /// Sender: buffers backing in-flight stream ranges, front-sorted by
+  /// offset; segments covering a span attach its buffer, and spans are
+  /// retired by cumulative-ACK progress (a retransmit therefore re-attaches
+  /// the *same* buffer).
+  std::deque<PayloadSpan> payload_spans;
+  /// Receiver (only populated when the peer sends payloads and capture is
+  /// enabled here): spans awaiting in-order completion, then the completed
+  /// buffers in stream order.
+  bool capture_rx_payloads = false;
+  std::deque<PayloadSpan> rx_payload_pending;
+  std::deque<sim::PacketRef> rx_payloads;
+
   SocketStats stats;
 };
 
@@ -213,12 +239,26 @@ class Connection {
 // --------------------------------------------------------------------------
 
 void Endpoint::inject_segment(std::uint32_t payload, std::uint64_t seq) {
-  auto ctx = std::make_shared<SegmentCtx>();
+  sim::PacketRef desc = simulator().packet_arena().make<SegmentCtx>();
+  SegmentCtx* ctx = desc.get<SegmentCtx>();
   ctx->dst = peer;
   ctx->seq = seq;
   ctx->payload = payload;
   ctx->ack = rcv_next;
   ctx->wnd_edge = advert_edge();
+  if (payload > 0) {
+    // Attach the view of the buffer backing this segment's first byte.
+    // Spans are offset-sorted and retired by ACK progress, so the scan
+    // only walks the in-flight window's few spans.
+    for (const PayloadSpan& sp : payload_spans) {
+      if (seq < sp.begin) break;
+      if (seq < sp.end) {
+        ctx->view = sp.buf;
+        stats.payload_views += 1;
+        break;
+      }
+    }
+  }
   last_advertised_edge = ctx->wnd_edge;
   pending_acks = 0;  // any segment carries the latest cumulative ACK
   // Deliberately NOT cancelling delack_timer: it no-ops when nothing is
@@ -228,7 +268,7 @@ void Endpoint::inject_segment(std::uint32_t payload, std::uint64_t seq) {
   hw::Packet p;
   p.dma_bytes = payload + kHeaderBytes;
   p.wire_bytes = payload + kHeaderBytes + out->nic().frame_overhead;
-  p.ctx = std::move(ctx);
+  p.desc = std::move(desc);
   out->inject(std::move(p));
 }
 
@@ -267,6 +307,13 @@ void Endpoint::on_segment(const SegmentCtx& s) {
              "peer violated the advertised window");
       rcv_next += s.payload;
       stats.bytes_received += s.payload;
+      // Promote payload buffers whose stream range just completed; they
+      // become available to take_rx_payload() in sender order.
+      while (!rx_payload_pending.empty() &&
+             rx_payload_pending.front().end <= rcv_next) {
+        rx_payloads.push_back(std::move(rx_payload_pending.front().buf));
+        rx_payload_pending.pop_front();
+      }
       rx_signal.notify_all();
       pending_acks += 1;
       if (pending_acks >= 2) {
@@ -285,6 +332,11 @@ void Endpoint::on_segment(const SegmentCtx& s) {
     const std::uint64_t acked = s.ack - snd_una;
     snd_space.release(acked);
     snd_una = s.ack;
+    // Fully-acked payload spans can no longer be retransmitted; release
+    // our reference (the buffer itself lives on in any receiver view).
+    while (!payload_spans.empty() && payload_spans.front().end <= snd_una) {
+      payload_spans.pop_front();
+    }
     dupack_count = 0;
     cur_rto = 0;  // ACK progress collapses any RTO backoff
     // Restart the watchdog for the remaining flight (or stand down when
@@ -376,8 +428,21 @@ sim::Task<void> Endpoint::tx_pump() {
   }
 }
 
-sim::Task<void> Endpoint::send(std::uint64_t bytes, std::uint64_t token) {
+sim::Task<void> Endpoint::send(std::uint64_t bytes, std::uint64_t token,
+                               sim::PacketRef payload) {
   start_traffic();
+  if (payload && bytes > 0) {
+    // Record the span before the first suspension so the tx pump finds
+    // it for every segment of this write. Sends on one socket are
+    // sequential (the send_marks bookkeeping already relies on that), so
+    // `submitted` is this write's first stream offset.
+    if (peer->capture_rx_payloads) {
+      peer->rx_payload_pending.push_back(
+          PayloadSpan{submitted, submitted + bytes, payload});
+    }
+    payload_spans.push_back(
+        PayloadSpan{submitted, submitted + bytes, std::move(payload)});
+  }
   co_await node().cpu_cost(node().config().syscall_cost);
   std::uint64_t left = bytes;
   while (left > 0) {
@@ -434,8 +499,9 @@ void TcpStack::attach_rx_pipe(hw::PacketPipe& pipe) {
 sim::Task<void> TcpStack::demux(hw::PacketPipe& pipe) {
   for (;;) {
     hw::Packet p = co_await pipe.delivered().pop();
-    auto seg = std::static_pointer_cast<SegmentCtx>(p.ctx);
-    assert(seg && seg->dst && "non-TCP packet on a TCP-attached pipe");
+    assert(p.desc && "non-TCP packet on a TCP-attached pipe");
+    SegmentCtx* seg = p.desc.get<SegmentCtx>();
+    assert(seg->dst != nullptr);
     if (p.corrupted) {
       // The TCP checksum catches injected bit corruption: the segment is
       // discarded before any protocol processing, and the sender's
@@ -471,7 +537,27 @@ std::uint32_t Socket::send_buffer() const { return ep_->snd_buf; }
 std::uint32_t Socket::recv_buffer() const { return ep_->rcv_buf; }
 
 sim::Task<void> Socket::send(std::uint64_t bytes, std::uint64_t token) {
-  return ep_->send(bytes, token);
+  return ep_->send(bytes, token, sim::PacketRef{});
+}
+
+sim::Task<void> Socket::send(std::uint64_t bytes, sim::PacketRef payload,
+                             std::uint64_t token) {
+  return ep_->send(bytes, token, std::move(payload));
+}
+
+sim::PacketRef Socket::make_payload(std::uint64_t bytes) {
+  return ep_->simulator().packet_arena().make_payload(bytes);
+}
+
+void Socket::enable_payload_capture() {
+  ep_->capture_rx_payloads = true;
+}
+
+sim::PacketRef Socket::take_rx_payload() {
+  if (ep_->rx_payloads.empty()) return {};
+  sim::PacketRef r = std::move(ep_->rx_payloads.front());
+  ep_->rx_payloads.pop_front();
+  return r;
 }
 
 sim::Task<std::uint64_t> Socket::recv(std::uint64_t max) {

@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "simcore/packet_arena.h"
 #include "simcore/simulator.h"
 #include "simcore/task.h"
 #include "simcore/timer_wheel.h"
@@ -105,6 +106,10 @@ struct SocketStats {
   std::uint64_t rto_timeouts = 0;      ///< no-progress RTO fires
   std::uint64_t out_of_order_dropped = 0;
   std::uint64_t checksum_drops = 0;  ///< corrupted segments discarded on rx
+  /// Segments that carried a zero-copy payload view. Retransmits re-attach
+  /// the same buffer, so this exceeding the buffer count is the sharing
+  /// (not cloning) of one arena slot across wire copies.
+  std::uint64_t payload_views = 0;
 };
 
 /// One side of an established connection. Cheap to copy (shared state).
@@ -123,6 +128,27 @@ class Socket {
   /// into the send buffer (standard blocking-socket semantics). `token`
   /// marks the end of this write in the byte stream for integrity tests.
   sim::Task<void> send(std::uint64_t bytes, std::uint64_t token = 0);
+
+  /// Zero-copy variant: `payload` (from make_payload) identifies the
+  /// message's buffer. Segments covering these stream bytes carry a
+  /// refcounted view of the buffer (retransmits and injected duplicates
+  /// share it rather than cloning), and a capture-enabled receiver is
+  /// handed the same reference once the bytes arrive in order.
+  sim::Task<void> send(std::uint64_t bytes, sim::PacketRef payload,
+                       std::uint64_t token = 0);
+
+  /// Allocates a zero-copy payload-buffer descriptor (sim::PayloadBuffer)
+  /// in the simulator's packet arena.
+  sim::PacketRef make_payload(std::uint64_t bytes);
+
+  /// Makes this (receiving) end collect payload-buffer references as
+  /// their stream bytes complete in order; drain with take_rx_payload().
+  /// Purely an accounting channel — enabling it never changes timing.
+  void enable_payload_capture();
+
+  /// Oldest fully-arrived captured payload buffer, or a null ref. Buffers
+  /// complete in stream order, i.e. in the order the peer sent them.
+  sim::PacketRef take_rx_payload();
 
   /// Blocking receive: waits for at least one byte, consumes up to `max`.
   sim::Task<std::uint64_t> recv(std::uint64_t max);

@@ -55,6 +55,27 @@ sim::Task<void> ViEndpoint::transmit(Kind kind, std::uint32_t tag,
                                      std::uint64_t bytes,
                                      std::uint32_t attempt) {
   const std::uint32_t mtu = out_.nic().mtu;
+  // One arena descriptor per message attempt, shared by every fragment
+  // (a refcounted view, not a clone); the fragment's own byte count is
+  // derived from the frame's dma_bytes on receive.
+  sim::PacketRef desc = sim_.packet_arena().make<Frag>();
+  Frag* f = desc.get<Frag>();
+  f->dst = peer_;
+  f->kind = kind;
+  f->tag = tag;
+  f->msg_seq = msg_seq;
+  f->msg_bytes = bytes;
+  f->attempt = attempt;
+  // A dropped fragment must return its descriptor credit, or the
+  // endpoint strangles itself one lost frame at a time. The hook lives
+  // once in the shared descriptor and fires once per dropped fragment.
+  std::weak_ptr<char> guard = alive_;
+  desc.set_drop([this, guard] {
+    if (guard.expired()) return;
+    credits_.release(1);
+    ++frags_lost_;
+    trace_instant("frag-drop");
+  });
   std::uint64_t left = bytes;
   bool first = true;
   while (first || left > 0) {
@@ -65,27 +86,11 @@ sim::Task<void> ViEndpoint::transmit(Kind kind, std::uint32_t tag,
     if (config_.personality.per_frag_host_cost > 0) {
       co_await node_.cpu_cost(config_.personality.per_frag_host_cost);
     }
-    auto ctx = std::make_shared<Frag>();
-    ctx->dst = peer_;
-    ctx->kind = kind;
-    ctx->tag = tag;
-    ctx->msg_seq = msg_seq;
-    ctx->msg_bytes = bytes;
-    ctx->frag_bytes = frag;
-    ctx->attempt = attempt;
     hw::Packet p;
     p.dma_bytes = frag + config_.frag_header;
     p.wire_bytes = frag + config_.frag_header + out_.nic().frame_overhead;
-    p.ctx = std::move(ctx);
-    // A dropped fragment must return its descriptor credit, or the
-    // endpoint strangles itself one lost frame at a time.
-    std::weak_ptr<char> guard = alive_;
-    p.on_drop = [this, guard] {
-      if (guard.expired()) return;
-      credits_.release(1);
-      ++frags_lost_;
-      trace_instant("frag-drop");
-    };
+    p.desc = desc;
+    p.fire_drop = true;  // every fragment holds one descriptor credit
     out_.inject(std::move(p));
   }
 }
@@ -176,8 +181,9 @@ void ViEndpoint::complete_message(std::uint32_t tag) {
 sim::Task<void> ViEndpoint::rx_daemon() {
   for (;;) {
     hw::Packet p = co_await in_.delivered().pop();
-    auto frag = std::static_pointer_cast<Frag>(p.ctx);
-    assert(frag && frag->dst == this && "foreign packet on VIA pipe");
+    assert(p.desc && "foreign packet on VIA pipe");
+    const Frag* frag = p.desc.get<Frag>();
+    assert(frag->dst == this && "foreign packet on VIA pipe");
     if (p.injected_dup) {
       // NIC-level dedup: an injected duplicate never held a credit and
       // must not touch protocol state.
@@ -203,7 +209,7 @@ sim::Task<void> ViEndpoint::rx_daemon() {
           pm.attempt = frag->attempt;
           pm.sofar = 0;
         }
-        pm.sofar += frag->frag_bytes;
+        pm.sofar += p.dma_bytes - config_.frag_header;
         if (pm.sofar == frag->msg_bytes) {
           if (config_.delivery_timeout > 0) {
             pm.done = true;

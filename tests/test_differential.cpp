@@ -1,15 +1,18 @@
-// Differential determinism harness: legacy heap scheduler vs the
-// calendar-queue scheduler.
+// Differential determinism harness: legacy implementations vs their
+// optimized replacements.
 //
-// The event-queue overhaul (simcore/event_queue.h) replaced the seed's
-// std::priority_queue with a two-tier calendar queue, and the protocol
-// timers moved onto an intrusive timer wheel. Both must preserve the
-// strict (time, insertion-order) pop semantics EXACTLY — the proof is
-// running the paper's real workloads (figures 1-5, the MPICH mechanism
-// ablation, resilience-style faulted runs) once per SchedulerKind and
-// asserting bit-identical canonical reports, counters and traces. The
-// legacy scheduler stays selectable forever (PP_LEGACY_QUEUE=1, or
-// SweepOptions::scheduler) precisely so this comparison keeps running.
+// Two axes, same proof technique. The event-queue overhaul
+// (simcore/event_queue.h) replaced the seed's std::priority_queue with a
+// two-tier calendar queue and moved protocol timers onto an intrusive
+// timer wheel; the packet-path overhaul (simcore/packet_arena.h)
+// replaced per-message shared_ptr descriptors with arena slots. Both
+// must preserve observable behaviour EXACTLY — the proof is running the
+// paper's real workloads (figures 1-5, the MPICH mechanism ablation,
+// resilience-style faulted runs) once per SchedulerKind /
+// PacketPathKind and asserting bit-identical canonical reports,
+// counters and traces. The legacy variants stay selectable forever
+// (PP_LEGACY_QUEUE=1 / PP_LEGACY_PACKETS=1, or the SweepOptions knobs)
+// precisely so these comparisons keep running.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -21,6 +24,7 @@
 #include "mp/testbed.h"
 #include "netpipe/runner.h"
 #include "simcore/event_queue.h"
+#include "simcore/packet_arena.h"
 #include "simcore/tracing.h"
 #include "simhw/presets.h"
 #include "sweep/json_report.h"
@@ -44,18 +48,15 @@ std::string canonical(const sweep::SweepResult& sr) {
   return sweep::JsonReporter::to_json({sr}, o);
 }
 
-/// Runs `spec` under both schedulers and asserts identical results,
+/// Runs `spec` under both option sets and asserts identical results,
 /// first as canonical JSON (cheap, catches everything the report
 /// serializes) and then field by field on the raw results (catches
 /// anything the report rounds).
-void expect_schedulers_agree(const sweep::SweepSpec& spec) {
-  sweep::SweepOptions legacy;
-  legacy.scheduler = sim::SchedulerKind::kLegacyHeap;
-  sweep::SweepOptions calendar;
-  calendar.scheduler = sim::SchedulerKind::kCalendar;
-
+void expect_runs_agree(const sweep::SweepSpec& spec,
+                       const sweep::SweepOptions& legacy,
+                       const sweep::SweepOptions& modern) {
   const auto lr = sweep::run_sweep(spec, legacy);
-  const auto cr = sweep::run_sweep(spec, calendar);
+  const auto cr = sweep::run_sweep(spec, modern);
 
   EXPECT_EQ(canonical(lr), canonical(cr)) << spec.name;
 
@@ -80,6 +81,24 @@ void expect_schedulers_agree(const sweep::SweepSpec& spec) {
     EXPECT_EQ(a.result.counters.staged_bytes, b.result.counters.staged_bytes)
         << a.label;
   }
+}
+
+void expect_schedulers_agree(const sweep::SweepSpec& spec) {
+  sweep::SweepOptions legacy;
+  legacy.scheduler = sim::SchedulerKind::kLegacyHeap;
+  sweep::SweepOptions calendar;
+  calendar.scheduler = sim::SchedulerKind::kCalendar;
+  expect_runs_agree(spec, legacy, calendar);
+}
+
+/// The packet-path axis: per-message heap descriptors vs arena slots.
+/// Descriptor storage must be invisible to every simulated observable.
+void expect_packet_paths_agree(const sweep::SweepSpec& spec) {
+  sweep::SweepOptions legacy;
+  legacy.packet_path = sim::PacketPathKind::kLegacyHeap;
+  sweep::SweepOptions arena;
+  arena.packet_path = sim::PacketPathKind::kArena;
+  expect_runs_agree(spec, legacy, arena);
 }
 
 TEST(Differential, Figure1) {
@@ -136,11 +155,11 @@ TEST(Differential, MpichMechanismAblation) {
   expect_schedulers_agree(spec);
 }
 
-TEST(Differential, FaultedResilienceRuns) {
-  // Resilience-style rows: raw TCP and MPICH under uniform frame loss.
-  // Faulted runs exercise the RTO/fast-retransmit paths where the timer
-  // wheel actually fires, not just arms and cancels.
-  const auto opts = reduced_options();
+/// Resilience-style rows: raw TCP and MPICH under uniform frame loss.
+/// Faulted runs exercise the RTO/fast-retransmit paths where the timer
+/// wheel actually fires (not just arms and cancels) and where dropped
+/// frames run descriptor drop hooks.
+sweep::SweepSpec resilience_spec(const netpipe::RunOptions& opts) {
   sweep::SweepSpec spec;
   spec.name = "resilience";
   std::uint64_t seed = 11;
@@ -169,7 +188,64 @@ TEST(Differential, FaultedResilienceRuns) {
           }});
     }
   }
-  expect_schedulers_agree(spec);
+  return spec;
+}
+
+TEST(Differential, FaultedResilienceRuns) {
+  expect_schedulers_agree(resilience_spec(reduced_options()));
+}
+
+// ---- Packet-path axis: arena descriptors vs per-message heap ---------------
+
+TEST(PacketPathDifferential, Figure1) {
+  expect_packet_paths_agree(bench::fig1_spec(reduced_options()));
+}
+
+TEST(PacketPathDifferential, Figure2) {
+  expect_packet_paths_agree(bench::fig2_spec(reduced_options()));
+}
+
+TEST(PacketPathDifferential, Figure3) {
+  expect_packet_paths_agree(bench::fig3_spec(reduced_options()));
+}
+
+TEST(PacketPathDifferential, Figure4) {
+  expect_packet_paths_agree(bench::fig4_spec(reduced_options()));
+}
+
+TEST(PacketPathDifferential, Figure5) {
+  expect_packet_paths_agree(bench::fig5_spec(reduced_options()));
+}
+
+TEST(PacketPathDifferential, FaultedResilienceRuns) {
+  // Loss, drop hooks and retransmission under both descriptor backends:
+  // the strongest case for refcount-lifetime equivalence, since dropped
+  // and re-sent frames are exactly where the arena shares slots the
+  // legacy path used to clone.
+  expect_packet_paths_agree(resilience_spec(reduced_options()));
+}
+
+TEST(PacketPathDifferential, TraceTimelinesMatchEventForEvent) {
+  auto traced_run = [](sim::PacketPathKind kind) {
+    sim::ScopedPacketPath guard(kind);
+    mp::PairBed bed(hw::presets::pentium4_pc(),
+                    hw::presets::trendnet_teg_pcitx(), tcp::Sysctl::tuned());
+    faults::apply(faults::uniform_loss_plan(0.01, 3), bed.cluster);
+    sim::TraceRecorder rec;
+    bed.sim.set_tracer(&rec);
+    mp::MpichOptions mo;
+    mo.p4_sockbufsize = 32 << 10;
+    mo.p4_stop_and_wait = true;
+    auto pair = bench::hold_pair(mp::Mpich::create_pair(bed, mo));
+    auto opts = reduced_options();
+    opts.schedule.max_bytes = 32 << 10;
+    netpipe::run_netpipe(bed.sim, *pair.first, *pair.second, opts);
+    return rec.to_chrome_json();
+  };
+  const std::string legacy = traced_run(sim::PacketPathKind::kLegacyHeap);
+  const std::string arena = traced_run(sim::PacketPathKind::kArena);
+  ASSERT_FALSE(legacy.empty());
+  EXPECT_EQ(legacy, arena);
 }
 
 TEST(Differential, TraceTimelinesMatchEventForEvent) {

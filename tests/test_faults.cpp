@@ -264,6 +264,45 @@ TEST(FaultPlan, EmptyPlanLeavesRunsBitIdentical) {
   EXPECT_EQ(run(false), run(true));
 }
 
+TEST(FaultPlan, ArmedButNeverFiringFaultsAreBitIdentical) {
+  // Satellite regression: arming an injector must not itself perturb the
+  // run. Probabilities are armed (so the per-frame RNG draws all happen)
+  // but astronomically unlikely to fire, and the rx ring is far larger
+  // than any backlog the workload can build — the run must be
+  // bit-identical to one with no plan at all. In particular the armed
+  // ring-slots/irq-stall path must not advance the RxCoalescer regime or
+  // shift interrupt times when nothing fires.
+  auto run = [](bool with_plan) {
+    Pair p;
+    if (with_plan) {
+      faults::LinkFaultConfig lf;
+      lf.duplicate = 1e-12;
+      faults::NicFaultConfig nf;
+      nf.ring_slots = 1 << 20;
+      nf.irq_stall = 1e-12;
+      faults::FaultPlan plan;
+      plan.seed = 71;
+      plan.add_link("", lf);
+      plan.add_nic("", nf);
+      EXPECT_FALSE(plan.empty());
+      faults::apply(plan, p.cluster);
+    }
+    const sim::SimTime done = p.transfer(512 << 10);
+    return std::tuple(done, p.link.forward.packets_delivered(),
+                      p.link.forward.packets_dropped(),
+                      p.link.forward.packets_duplicated(),
+                      p.link.forward.irq_stalls(),
+                      p.link.forward.ring_overflow_drops(),
+                      p.sock_a.stats().retransmits,
+                      p.sock_b.stats().bytes_received);
+  };
+  const auto armed = run(true);
+  EXPECT_EQ(run(false), armed);
+  EXPECT_EQ(std::get<3>(armed), 0u);  // nothing actually fired
+  EXPECT_EQ(std::get<4>(armed), 0u);
+  EXPECT_EQ(std::get<5>(armed), 0u);
+}
+
 TEST(FaultPlan, SameSeedReproducesAcrossThreadCounts) {
   // The same plan + seed must give the same fault sequence regardless of
   // sweep parallelism: run three faulted NetPIPE jobs on 1 thread and on

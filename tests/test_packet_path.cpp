@@ -1,0 +1,574 @@
+// Tests for the arena-backed packet path (simcore/packet_arena.h) and
+// the zero-copy machinery layered on it: PacketArena/PacketRef refcount
+// semantics, the legacy-heap parity backend, descriptor-leak checks
+// after faulted runs and mid-flight teardowns, the rx-ring backlog
+// accounting regression, TCP payload views, the stream library's
+// zero-copy staging and the daemon relay's zero-copy route — plus the
+// flagship claim: the steady-state per-frame path performs zero heap
+// allocations. That last test works by replacing the global allocator
+// with a counting one, so every allocation in this binary is counted.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "faults/config.h"
+#include "faults/plan.h"
+#include "gmsim/gm.h"
+#include "mp/daemon_relay.h"
+#include "mp/stream_lib.h"
+#include "mp/testbed.h"
+#include "simcore/event_queue.h"
+#include "simcore/packet_arena.h"
+#include "simcore/simulator.h"
+#include "simhw/cluster.h"
+#include "simhw/pipe.h"
+#include "simhw/presets.h"
+#include "tcpsim/socket.h"
+
+// ---- Counting global allocator ---------------------------------------------
+//
+// Counts every operator-new entry in the process. The zero-alloc test
+// warms a pipe workload up (growing slabs, rings and pools), snapshots
+// the counter, and asserts the steady-state window allocates nothing.
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* counted_alloc(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc_aligned(std::size_t n, std::size_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, n != 0 ? n : 1) == 0) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace pp {
+namespace {
+
+namespace presets = hw::presets;
+using sim::microseconds;
+using sim::milliseconds;
+
+// ---- Fixtures --------------------------------------------------------------
+
+/// Two nodes, one duplex link, one connected TCP socket pair.
+struct Pair {
+  explicit Pair(const tcp::Sysctl& sysctl = tcp::Sysctl::tuned())
+      : cluster(sim),
+        a(cluster.add_node(presets::pentium4_pc())),
+        b(cluster.add_node(presets::pentium4_pc())),
+        link(cluster.connect(a, b, presets::netgear_ga620(),
+                             presets::back_to_back())),
+        stack_a(a, sysctl),
+        stack_b(b, sysctl) {
+    auto [sa, sb] = tcp::connect(stack_a, stack_b, link);
+    sock_a = sa;
+    sock_b = sb;
+  }
+
+  /// One-way transfer of `bytes` from a to b; returns the finish time.
+  sim::SimTime transfer(std::uint64_t bytes) {
+    sim::SimTime done = 0;
+    sim.spawn(
+        [](Pair& f, std::uint64_t n) -> sim::Task<void> {
+          co_await f.sock_a.send(n, 42);
+        }(*this, bytes),
+        "sender");
+    sim.spawn(
+        [](Pair& f, std::uint64_t n, sim::SimTime& out) -> sim::Task<void> {
+          co_await f.sock_b.recv_exact(n);
+          out = f.sim.now();
+        }(*this, bytes, done),
+        "receiver");
+    sim.run();
+    return done;
+  }
+
+  sim::Simulator sim;
+  hw::Cluster cluster;
+  hw::Node& a;
+  hw::Node& b;
+  hw::Cluster::Duplex link;
+  tcp::TcpStack stack_a;
+  tcp::TcpStack stack_b;
+  tcp::Socket sock_a;
+  tcp::Socket sock_b;
+};
+
+// ---- PacketArena unit tests ------------------------------------------------
+
+TEST(PacketArena, RefcountSharingAndSlotReuse) {
+  sim::Simulator s;
+  sim::PacketArena& arena = s.packet_arena();
+  EXPECT_EQ(arena.live(), 0u);
+
+  sim::PacketRef r = arena.make<int>(7);
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(*r.get<int>(), 7);
+  EXPECT_EQ(arena.live(), 1u);
+  EXPECT_EQ(r.use_count(), 1u);
+
+  sim::PacketRef shared = r;  // a view, not a clone
+  EXPECT_EQ(r.use_count(), 2u);
+  EXPECT_EQ(arena.live(), 1u);
+  EXPECT_EQ(shared.get<int>(), r.get<int>());
+
+  r.reset();
+  EXPECT_EQ(shared.use_count(), 1u);
+  EXPECT_EQ(arena.live(), 1u);
+  shared.reset();
+  EXPECT_EQ(arena.live(), 0u);
+
+  // The freed slot is recycled: allocating again grows nothing.
+  const std::size_t slabs = arena.slab_count();
+  const std::uint64_t total = arena.total_allocated();
+  sim::PacketRef again = arena.make<int>(9);
+  EXPECT_EQ(arena.slab_count(), slabs);
+  EXPECT_EQ(arena.total_allocated(), total + 1);
+}
+
+TEST(PacketArena, DropHookFiresPerFrameWithoutConsuming) {
+  sim::Simulator s;
+  int fired = 0;
+  sim::PacketRef desc = s.packet_arena().make<int>(0);
+  desc.set_drop([&fired] { ++fired; });
+  // A descriptor shared by many fragments fires once per dropped frame.
+  desc.fire_drop();
+  desc.fire_drop();
+  desc.fire_drop();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PacketArena, PayloadDestructorRunsOnLastRelease) {
+  sim::Simulator s;
+  struct Probe {
+    int* flag;
+    explicit Probe(int* f) : flag(f) {}
+    ~Probe() { *flag += 1; }
+  };
+  int destroyed = 0;
+  {
+    sim::PacketRef r = s.packet_arena().make<Probe>(&destroyed);
+    sim::PacketRef shared = r;
+    r.reset();
+    EXPECT_EQ(destroyed, 0);  // one reference still alive
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(PacketArena, LegacyHeapBackendIsApiIdentical) {
+  sim::ScopedPacketPath scope(sim::PacketPathKind::kLegacyHeap);
+  sim::Simulator s;
+  EXPECT_EQ(s.packet_path(), sim::PacketPathKind::kLegacyHeap);
+  sim::PacketArena& arena = s.packet_arena();
+  sim::PacketRef r = arena.make<int>(3);
+  sim::PacketRef shared = r;
+  EXPECT_EQ(arena.live(), 1u);
+  EXPECT_EQ(r.use_count(), 2u);
+  int fired = 0;
+  r.set_drop([&fired] { ++fired; });
+  shared.fire_drop();
+  EXPECT_EQ(fired, 1);
+  r.reset();
+  shared.reset();
+  EXPECT_EQ(arena.live(), 0u);
+  EXPECT_EQ(arena.slab_count(), 0u);  // legacy never builds slabs
+}
+
+TEST(PacketArena, ScopedPacketPathNestsAndRestores) {
+  const sim::PacketPathKind ambient = sim::ambient_packet_path();
+  {
+    sim::ScopedPacketPath outer(sim::PacketPathKind::kLegacyHeap);
+    EXPECT_EQ(sim::ambient_packet_path(), sim::PacketPathKind::kLegacyHeap);
+    {
+      sim::ScopedPacketPath inner(sim::PacketPathKind::kArena);
+      EXPECT_EQ(sim::ambient_packet_path(), sim::PacketPathKind::kArena);
+    }
+    EXPECT_EQ(sim::ambient_packet_path(), sim::PacketPathKind::kLegacyHeap);
+  }
+  EXPECT_EQ(sim::ambient_packet_path(), ambient);
+}
+
+TEST(PacketArena, AmbientPathSelectsTheSimulatorBackend) {
+  // PP_LEGACY_PACKETS=1 flips the ambient default (resolved once per
+  // process, so not togglable here); ScopedPacketPath overrides it per
+  // thread. Both knobs must resolve to real kinds, and a Simulator
+  // constructed under a scope must adopt it.
+  EXPECT_EQ(sim::default_packet_path(), sim::PacketPathKind::kArena);
+  sim::ScopedPacketPath legacy(sim::PacketPathKind::kLegacyHeap);
+  {
+    sim::Simulator s;
+    EXPECT_EQ(s.packet_path(), sim::PacketPathKind::kLegacyHeap);
+    sim::ScopedPacketPath inner(sim::PacketPathKind::kArena);
+    sim::Simulator s2;
+    EXPECT_EQ(s2.packet_path(), sim::PacketPathKind::kArena);
+  }
+}
+
+TEST(PacketArena, MakePayloadIdsAreUniqueAndDeterministic) {
+  sim::Simulator s;
+  sim::PacketRef p1 = s.packet_arena().make_payload(4096);
+  sim::PacketRef p2 = s.packet_arena().make_payload(8192);
+  EXPECT_NE(p1.get<sim::PayloadBuffer>()->id, p2.get<sim::PayloadBuffer>()->id);
+  EXPECT_EQ(p1.get<sim::PayloadBuffer>()->bytes, 4096u);
+  EXPECT_EQ(p2.get<sim::PayloadBuffer>()->bytes, 8192u);
+
+  sim::Simulator s2;  // a fresh run reproduces the same id sequence
+  EXPECT_EQ(s2.packet_arena().make_payload(4096).get<sim::PayloadBuffer>()->id,
+            p1.get<sim::PayloadBuffer>()->id);
+}
+
+// ---- Descriptor-leak checks (satellite: teardown drains) -------------------
+
+TEST(PacketArena, FaultedGmRunLeavesNoLiveDescriptors) {
+  gm::GmConfig cfg;
+  cfg.delivery_timeout = microseconds(500.0);
+  sim::Simulator s;
+  hw::Cluster cluster(s);
+  hw::Node& a = cluster.add_node(presets::pentium4_pc());
+  hw::Node& b = cluster.add_node(presets::pentium4_pc());
+  gm::GmFabric fabric(cluster, a, b, presets::myrinet_pci64a(),
+                      presets::back_to_back(), cfg);
+  faults::apply(faults::uniform_loss_plan(0.05, 41), cluster);
+  s.spawn(
+      [](gm::GmPort& p) -> sim::Task<void> {
+        for (int i = 0; i < 3; ++i) {
+          co_await p.send(64 << 10, 1);
+          co_await p.recv(64 << 10, 1);
+        }
+      }(fabric.port_a()),
+      "ping");
+  s.spawn(
+      [](gm::GmPort& p) -> sim::Task<void> {
+        for (int i = 0; i < 3; ++i) {
+          co_await p.recv(64 << 10, 1);
+          co_await p.send(64 << 10, 1);
+        }
+      }(fabric.port_b()),
+      "pong");
+  s.run();
+  EXPECT_GT(fabric.port_a().frags_lost() + fabric.port_b().frags_lost(), 0u);
+  // Every descriptor — including those of dropped and duplicate frames —
+  // must have come home once the run drains.
+  EXPECT_EQ(s.packet_arena().live(), 0u);
+  EXPECT_GT(s.packet_arena().total_allocated(), 0u);
+}
+
+TEST(PacketArena, FaultedTcpRunLeavesNoLiveDescriptors) {
+  Pair p;
+  p.link.forward.set_loss(0.02);
+  p.link.backward.set_loss(0.02);
+  p.transfer(1 << 20);
+  EXPECT_GT(p.sock_a.stats().retransmits, 0u);
+  EXPECT_EQ(p.sim.packet_arena().live(), 0u);
+}
+
+TEST(PacketArena, MidFlightTeardownReleasesEveryDescriptor) {
+  // Cut a faulted transfer off with frames still queued in the pipe
+  // stages, then tear everything down. ~PacketPipe drains its queues and
+  // ~Simulator reaps parked coroutine frames before the arena dies; the
+  // arena's own destructor asserts live() == 0, so a leak aborts here.
+  for (int i = 0; i < 3; ++i) {
+    Pair p;
+    p.link.forward.set_loss(0.01);
+    p.sim.spawn(
+        [](Pair& f) -> sim::Task<void> {
+          co_await f.sock_a.send(1 << 20, 42);
+        }(p),
+        "sender");
+    p.sim.spawn(
+        [](Pair& f) -> sim::Task<void> {
+          co_await f.sock_b.recv_exact(1 << 20);
+        }(p),
+        "receiver");
+    // Stop mid-transfer at staggered points to vary what is in flight.
+    p.sim.run_until(milliseconds(0.5) * (i + 1));
+    EXPECT_GT(p.sim.packet_arena().live(), 0u) << "nothing was in flight";
+  }
+  SUCCEED();
+}
+
+// ---- Rx-ring backlog accounting (satellite regression) ---------------------
+
+TEST(RxBacklog, ReturnsToZeroAfterRingOverflowRun) {
+  // The old code guarded the decrement with `if (rx_backlog_ > 0)`,
+  // masking any pairing bug as a slow undercount that made the armed
+  // ring look emptier than it was. The guard is gone; the counter must
+  // pair exactly and land on zero once the run drains.
+  Pair p;
+  faults::NicFaultConfig nf;
+  nf.ring_slots = 2;
+  nf.irq_stall = 0.3;
+  faults::FaultPlan plan;
+  plan.seed = 61;
+  plan.add_nic("", nf);
+  faults::apply(plan, p.cluster);
+  const sim::SimTime done = p.transfer(1 << 20);
+  EXPECT_GT(done, 0u);
+  EXPECT_GT(p.link.forward.ring_overflow_drops(), 0u);
+  EXPECT_EQ(p.link.forward.rx_backlog(), 0u);
+  EXPECT_EQ(p.link.backward.rx_backlog(), 0u);
+}
+
+TEST(RxBacklog, ReturnsToZeroAfterLossyDuplicatingRun) {
+  Pair p;
+  faults::LinkFaultConfig lf;
+  lf.loss = 0.01;
+  lf.duplicate = 0.02;
+  lf.corrupt = 0.01;
+  faults::FaultPlan plan;
+  plan.seed = 67;
+  plan.add_link("", lf);
+  faults::apply(plan, p.cluster);
+  const sim::SimTime done = p.transfer(1 << 20);
+  EXPECT_GT(done, 0u);
+  EXPECT_EQ(p.link.forward.rx_backlog(), 0u);
+  EXPECT_EQ(p.link.backward.rx_backlog(), 0u);
+}
+
+// ---- TCP zero-copy payload views -------------------------------------------
+
+TEST(ZeroCopy, CapturedPayloadArrivesInSendOrder) {
+  Pair p;
+  p.sock_b.enable_payload_capture();
+  p.sim.spawn(
+      [](Pair& f) -> sim::Task<void> {
+        co_await f.sock_a.send(32 << 10, f.sock_a.make_payload(32 << 10));
+        co_await f.sock_a.send(8 << 10, f.sock_a.make_payload(8 << 10));
+      }(p),
+      "sender");
+  std::uint64_t first_id = 0, second_id = 0;
+  std::uint64_t first_bytes = 0, second_bytes = 0;
+  p.sim.spawn(
+      [](Pair& f, std::uint64_t& id1, std::uint64_t& b1, std::uint64_t& id2,
+         std::uint64_t& b2) -> sim::Task<void> {
+        co_await f.sock_b.recv_exact(40 << 10);
+        sim::PacketRef v1 = f.sock_b.take_rx_payload();
+        sim::PacketRef v2 = f.sock_b.take_rx_payload();
+        if (v1) {
+          id1 = v1.get<sim::PayloadBuffer>()->id;
+          b1 = v1.get<sim::PayloadBuffer>()->bytes;
+        }
+        if (v2) {
+          id2 = v2.get<sim::PayloadBuffer>()->id;
+          b2 = v2.get<sim::PayloadBuffer>()->bytes;
+        }
+      }(p, first_id, first_bytes, second_id, second_bytes),
+      "receiver");
+  p.sim.run();
+  EXPECT_EQ(first_bytes, 32u << 10);
+  EXPECT_EQ(second_bytes, 8u << 10);
+  EXPECT_NE(first_id, second_id);
+  EXPECT_GT(p.sock_a.stats().payload_views, 0u);
+  EXPECT_EQ(p.sim.packet_arena().live(), 0u);  // views released
+}
+
+TEST(ZeroCopy, RetransmitsShareTheBufferInsteadOfCloning) {
+  auto run = [](double loss) {
+    Pair p;
+    p.sock_b.enable_payload_capture();
+    if (loss > 0.0) p.link.forward.set_loss(loss);
+    p.sim.spawn(
+        [](Pair& f) -> sim::Task<void> {
+          co_await f.sock_a.send(256 << 10, f.sock_a.make_payload(256 << 10));
+        }(p),
+        "sender");
+    p.sim.spawn(
+        [](Pair& f) -> sim::Task<void> {
+          co_await f.sock_b.recv_exact(256 << 10);
+          (void)f.sock_b.take_rx_payload();
+        }(p),
+        "receiver");
+    p.sim.run();
+    return std::tuple(p.sock_a.stats().payload_views,
+                      p.sock_a.stats().retransmits,
+                      p.sim.packet_arena().total_allocated());
+  };
+  const auto clean = run(0.0);
+  const auto lossy = run(0.03);
+  EXPECT_EQ(std::get<1>(clean), 0u);
+  EXPECT_GT(std::get<1>(lossy), 0u);
+  // Retransmitted segments re-attach views of the one payload buffer:
+  // more views under loss, from the same single buffer allocation.
+  EXPECT_GT(std::get<0>(lossy), std::get<0>(clean));
+}
+
+TEST(ZeroCopy, StreamLibraryStagedReceivesSkipTheCopy) {
+  auto run = [](bool zero_copy) {
+    mp::PairBed bed(presets::pentium4_pc(), presets::netgear_ga620(),
+                    tcp::Sysctl::tuned());
+    mp::StreamConfig cfg;
+    cfg.name = "zc-test";
+    cfg.stage_all_receives = true;  // every payload goes through staging
+    cfg.zero_copy_staging = zero_copy;
+    mp::StreamLibrary a(bed.sim, 0, bed.node_a, cfg);
+    mp::StreamLibrary b(bed.sim, 1, bed.node_b, cfg);
+    auto [sa, sb] = bed.socket_pair("zc");
+    mp::wire_pair(a, b, std::move(sa), std::move(sb));
+    sim::SimTime done = 0;
+    bed.sim.spawn(
+        [](mp::StreamLibrary& l, sim::Simulator& s,
+           sim::SimTime& out) -> sim::Task<void> {
+          for (int i = 0; i < 4; ++i) {
+            co_await l.send(1, 128 << 10, 1);
+            co_await l.recv(1, 128 << 10, 1);
+          }
+          out = s.now();
+        }(a, bed.sim, done),
+        "ping");
+    bed.sim.spawn(
+        [](mp::StreamLibrary& l) -> sim::Task<void> {
+          for (int i = 0; i < 4; ++i) {
+            co_await l.recv(0, 128 << 10, 1);
+            co_await l.send(0, 128 << 10, 1);
+          }
+        }(b),
+        "pong");
+    bed.sim.run();
+    return std::tuple(done, a.staged_bytes(), a.zero_copy_receives(),
+                      a.zero_copy_bytes());
+  };
+  const auto copied = run(false);
+  const auto zero = run(true);
+  ASSERT_GT(std::get<0>(copied), 0u);
+  ASSERT_GT(std::get<0>(zero), 0u);
+  // Both modes stage every receive; zero-copy satisfies them with views.
+  EXPECT_GT(std::get<1>(zero), 0u);
+  EXPECT_EQ(std::get<2>(copied), 0u);
+  EXPECT_EQ(std::get<2>(zero), 4u);
+  EXPECT_EQ(std::get<3>(zero), 4u * (128u << 10));
+  // Skipping four 128 kB staging memcpys must make the exchange faster.
+  EXPECT_LT(std::get<0>(zero), std::get<0>(copied));
+}
+
+TEST(ZeroCopy, DaemonRelaySkipsBothStagingHops) {
+  auto run = [](bool zero_copy) {
+    mp::PairBed bed(presets::pentium4_pc(), presets::netgear_ga620(),
+                    tcp::Sysctl::tuned());
+    auto [sa, sb] = bed.socket_pair("relay");
+    mp::RelayOptions opt;
+    opt.window = 4;
+    opt.zero_copy = zero_copy;
+    mp::RelayChannel relay(bed.node_a, bed.node_b, std::move(sa),
+                           std::move(sb), opt);
+    sim::SimTime done = 0;
+    bed.sim.spawn(
+        [](mp::RelayChannel& r) -> sim::Task<void> {
+          co_await r.send(256 << 10);
+        }(relay),
+        "sender");
+    bed.sim.spawn(
+        [](mp::RelayChannel& r, sim::Simulator& s,
+           sim::SimTime& out) -> sim::Task<void> {
+          co_await r.recv(256 << 10);
+          out = s.now();
+        }(relay, bed.sim, done),
+        "receiver");
+    bed.sim.run();
+    return std::tuple(done, relay.fragments_relayed(),
+                      relay.zero_copy_fragments());
+  };
+  const auto copied = run(false);
+  const auto zero = run(true);
+  ASSERT_GT(std::get<0>(copied), 0u);
+  ASSERT_GT(std::get<0>(zero), 0u);
+  EXPECT_EQ(std::get<2>(copied), 0u);
+  // Every fragment of the zero-copy route is delivered by reference.
+  EXPECT_EQ(std::get<2>(zero), std::get<1>(zero));
+  EXPECT_GT(std::get<1>(zero), 0u);
+  // Two skipped staging copies per fragment must show up in the time.
+  EXPECT_LT(std::get<0>(zero), std::get<0>(copied));
+}
+
+// ---- Zero heap allocations per frame in steady state -----------------------
+
+TEST(ZeroAlloc, SteadyStatePacketPathNeverTouchesTheHeap) {
+  sim::ScopedScheduler sched(sim::SchedulerKind::kCalendar);
+  sim::ScopedPacketPath packets(sim::PacketPathKind::kArena);
+  sim::Simulator s;
+  hw::Cluster c(s);
+  hw::Node& a = c.add_node(presets::pentium4_pc());
+  hw::Node& b = c.add_node(presets::pentium4_pc());
+  auto link = c.connect(a, b, presets::netgear_ga620(),
+                        presets::back_to_back());
+  std::uint64_t delivered = 0;
+  s.spawn_daemon(
+      [](hw::PacketPipe& pipe, std::uint64_t& n) -> sim::Task<void> {
+        for (;;) {
+          (void)co_await pipe.delivered().pop();
+          ++n;
+        }
+      }(link.forward, delivered),
+      "sink");
+  // Paced injection: the 50 us gap comfortably exceeds the ~13 us
+  // service time of a 1538-byte frame on gigabit, so queue depths (and
+  // with them ring, pool and slab sizes) stay at their warmed-up values.
+  s.spawn_daemon(
+      [](sim::Simulator& s, hw::PacketPipe& pipe) -> sim::Task<void> {
+        for (std::uint64_t i = 0;; ++i) {
+          hw::Packet p;
+          p.dma_bytes = 1500;
+          p.wire_bytes = 1538;
+          p.desc = s.packet_arena().make<std::uint64_t>(i);
+          p.fire_drop = false;
+          pipe.inject(std::move(p));
+          co_await s.delay(microseconds(50.0));
+        }
+      }(s, link.forward),
+      "source");
+
+  // Warmup: grow arena slabs, ring deques, event-node slabs, coroutine
+  // frame pools and the batch vector pool to steady-state size.
+  s.run_until(milliseconds(20.0));
+  const std::uint64_t warmed = delivered;
+  ASSERT_GT(warmed, 100u);
+
+  const std::uint64_t allocs_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  s.run_until(milliseconds(100.0));
+  const std::uint64_t allocs_after =
+      g_heap_allocs.load(std::memory_order_relaxed);
+
+  ASSERT_GT(delivered, warmed + 1000u);
+  EXPECT_EQ(allocs_after - allocs_before, 0u)
+      << "steady-state frames hit the heap " << (allocs_after - allocs_before)
+      << " times across " << (delivered - warmed) << " deliveries";
+  EXPECT_EQ(s.packet_arena().slab_count(), 1u);  // bounded in-flight set
+}
+
+}  // namespace
+}  // namespace pp

@@ -79,6 +79,17 @@ TEST(RxCoalescer, DeliveryIsFifoAcrossRegimeChanges) {
   }
 }
 
+TEST(RxCoalescer, InjectedStallParticipatesInFifoClamp) {
+  RxCoalescer c(test_nic());
+  // A fault-injected stall folds into the interrupt time BEFORE the FIFO
+  // clamp, so a later frame's unstalled interrupt cannot overtake it.
+  const sim::SimTime stalled =
+      c.interrupt_time(microseconds(100), microseconds(40));
+  EXPECT_EQ(stalled, microseconds(150));  // arrival + sparse 10 + stall 40
+  const sim::SimTime next = c.interrupt_time(microseconds(101));
+  EXPECT_EQ(next, stalled);  // clamped up to the stalled predecessor
+}
+
 TEST(Node, StagingCopyUsesCachedRateForSmallBuffers) {
   sim::Simulator s;
   HostConfig h = presets::pentium4_pc();
@@ -102,14 +113,14 @@ TEST(PacketPipe, DeliversInOrderWithCorrectCount) {
     Packet p;
     p.dma_bytes = 1000;
     p.wire_bytes = 1040;
-    p.ctx = std::make_shared<int>(i);
+    p.desc = s.packet_arena().make<int>(i);
     link.forward.inject(std::move(p));
   }
   s.spawn(
       [](PacketPipe& pipe, std::vector<int>& out) -> sim::Task<void> {
         for (int i = 0; i < 10; ++i) {
           Packet p = co_await pipe.delivered().pop();
-          out.push_back(*std::static_pointer_cast<int>(p.ctx));
+          out.push_back(*p.desc.get<int>());
         }
       }(link.forward, order),
       "sink");
