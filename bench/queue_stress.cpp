@@ -6,8 +6,13 @@
 // is the seed configuration (binary-heap scheduler + per-message heap
 // packet descriptors); the modern leg is the shipped one (calendar
 // queue + arena packet path). Results land in BENCH_simcore.json
-// (schema pp.simcore/2) — the before/after record for the event-loop
-// and packet-path overhauls. The workloads cover the hot regimes:
+// (schema pp.simcore/3) — the before/after record for the event-loop
+// and packet-path overhauls, plus the shard_scaling section: one big
+// 64-node relay-ring simulation run serially and split across
+// conservative shards, with wall time per shard count, the host's CPU
+// count (speedup is bounded by the cores actually present) and a
+// checksum proving every shard count computed the same simulation.
+// The per-leg workloads cover the hot regimes:
 //
 //   spin_chain     dense same-delta rescheduling (the common case);
 //   timer_churn    randomized insert order across a wide time range
@@ -29,6 +34,8 @@
 //   --packet-path  run only the packet-carrying workloads (packet_path,
 //                  tcp_transfer)
 //   --reps         measurements per leg, best-of (default 5)
+//   --shards       comma-separated shard counts for the shard_scaling
+//                  section (default "1,2,4,8"; "0" skips the section)
 //   --matrix       diagnostic: instead of the two shipped legs, time all
 //                  four scheduler x packet-path combinations so a
 //                  regression can be attributed to one axis (no JSON)
@@ -39,6 +46,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mp/testbed.h"
@@ -50,6 +58,7 @@
 #include "simhw/cluster.h"
 #include "simhw/pipe.h"
 #include "simhw/presets.h"
+#include "simhw/relay_ring.h"
 #include "tcpsim/socket.h"
 
 namespace {
@@ -197,6 +206,52 @@ struct Workload {
   bool queue_bound;
 };
 
+std::vector<int> parse_shard_list(const std::string& csv) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok = csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const int n = std::atoi(tok.c_str());
+    if (n > 0) out.push_back(n);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// One big simulation — a 64-node token relay ring — partitioned over
+/// `shards` conservative shards. Returns the wall time, the total
+/// events processed across all shards, and the result checksum (which
+/// must not depend on the shard count).
+struct ShardRun {
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t checksum = 0;
+};
+
+ShardRun shard_scaling_run(int shards) {
+  const auto t0 = std::chrono::steady_clock::now();
+  hw::RelayRingOptions opt;  // 64 nodes (the default ring size)
+  opt.tokens_per_node = 16;  // heavy enough that barrier overhead
+  opt.hops = 64;             // amortizes: ~65k token hops per run
+  opt.shards = shards;
+  hw::RelayRing ring(opt);
+  const hw::RelayRingResult r = ring.run();
+  ShardRun out;
+  for (int i = 0; i < ring.group().shards(); ++i) {
+    out.events += ring.group().shard(i).events_processed();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          t1 - t0)
+          .count();
+  out.checksum = r.checksum;
+  return out;
+}
+
 void append_measurement(std::string& out, const char* key,
                         const Measurement& m) {
   char buf[160];
@@ -213,14 +268,17 @@ int main(int argc, char** argv) {
   bool packet_only = false;
   bool matrix = false;
   int reps = 5;
+  std::string shard_csv = "1,2,4,8";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
     if (arg == "--packet-path") packet_only = true;
     if (arg == "--matrix") matrix = true;
     if (arg == "--reps" && i + 1 < argc) reps = std::atoi(argv[++i]);
+    if (arg == "--shards" && i + 1 < argc) shard_csv = argv[++i];
   }
   if (reps < 1) reps = 1;
+  const std::vector<int> shard_counts = parse_shard_list(shard_csv);
 
   const std::vector<Workload> all = {
       {"spin_chain", spin_chain, true},
@@ -268,7 +326,7 @@ int main(int argc, char** argv) {
   }
 
   std::string json =
-      "{\n  \"schema\": \"pp.simcore/2\",\n"
+      "{\n  \"schema\": \"pp.simcore/3\",\n"
       "  \"legs\": {\"legacy\": \"binary-heap scheduler + per-message heap "
       "packet descriptors (the seed)\", \"modern\": \"calendar queue + "
       "arena packet path\"},\n"
@@ -334,9 +392,64 @@ int main(int argc, char** argv) {
   }
   const double geomean = geo_n > 0 ? std::exp(geo_accum / geo_n) : 0.0;
   const double qb_geomean = qb_n > 0 ? std::exp(qb_accum / qb_n) : 0.0;
+  json += "\n  ],";
+
+  if (!shard_counts.empty()) {
+    // One big simulation across conservative shards. Serial first: the
+    // shards=1 wall time is the speedup baseline even when the caller's
+    // list omits it.
+    const unsigned host_cpus =
+        std::max(std::thread::hardware_concurrency(), 1u);
+    ShardRun serial;
+    std::vector<ShardRun> runs(shard_counts.size());
+    for (int rep = 0; rep < reps; ++rep) {
+      const ShardRun s = shard_scaling_run(1);
+      if (rep == 0 || s.wall_ms < serial.wall_ms) serial = s;
+      for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+        const ShardRun r = shard_scaling_run(shard_counts[i]);
+        if (rep == 0 || r.wall_ms < runs[i].wall_ms) runs[i] = r;
+      }
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\n  \"shard_scaling\": {\n"
+                  "    \"workload\": \"relay_ring: 64 nodes, 16 tokens/node,"
+                  " 64 hops, 4096-byte payloads\",\n"
+                  "    \"host_cpus\": %u,\n"
+                  "    \"checksum\": %llu,\n    \"runs\": [",
+                  host_cpus,
+                  static_cast<unsigned long long>(serial.checksum));
+    json += buf;
+    std::printf("shard_scaling (relay_ring64, host_cpus=%u):\n", host_cpus);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      if (runs[i].checksum != serial.checksum) {
+        std::fprintf(stderr,
+                     "FATAL: shards=%d produced checksum %llu but the "
+                     "serial run produced %llu — sharding changed the "
+                     "simulation\n",
+                     shard_counts[i],
+                     static_cast<unsigned long long>(runs[i].checksum),
+                     static_cast<unsigned long long>(serial.checksum));
+        return 1;
+      }
+      const double speedup =
+          runs[i].wall_ms > 0.0 ? serial.wall_ms / runs[i].wall_ms : 0.0;
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n      {\"shards\": %d, \"wall_ms\": %.2f, "
+                    "\"events\": %llu, \"speedup_vs_serial\": %.3f}",
+                    i > 0 ? "," : "", shard_counts[i], runs[i].wall_ms,
+                    static_cast<unsigned long long>(runs[i].events),
+                    speedup);
+      json += buf;
+      std::printf("  shards=%-2d %8.1f ms  speedup %.2fx\n", shard_counts[i],
+                  runs[i].wall_ms, speedup);
+    }
+    json += "\n    ]\n  },";
+  }
+
   char buf[128];
   std::snprintf(buf, sizeof(buf),
-                "\n  ],\n  \"queue_bound_geomean_speedup\": %.3f,"
+                "\n  \"queue_bound_geomean_speedup\": %.3f,"
                 "\n  \"geomean_speedup\": %.3f\n}\n",
                 qb_geomean, geomean);
   json += buf;

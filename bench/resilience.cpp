@@ -7,7 +7,7 @@
 // rewinds, RTO backoff), GM and VIA through their delivery watchdogs.
 // Jobs run under the sweep watchdog with keep_going, so a configuration
 // that cannot converge degrades to a reported row instead of aborting
-// the bench. Results land in BENCH_resilience.json (schema pp.sweep/3).
+// the bench. Results land in BENCH_resilience.json (schema pp.sweep/4).
 #include <cstdio>
 #include <iterator>
 #include <string>

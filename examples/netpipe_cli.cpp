@@ -24,6 +24,12 @@
 //                 retransmits, window counters, doorbells, rendezvous
 //                 phases, relay hops) and write Chrome trace-event JSON
 //                 to f — load in Perfetto or chrome://tracing
+//     --shards n  run under ambient shard count n (the same knob as
+//                 SweepOptions::shards). A 2-node NetPIPE pair shares
+//                 protocol state and a possibly-zero-latency link, so
+//                 it is co-located on one shard — the listing must be
+//                 bit-identical for every n, which this flag lets you
+//                 demonstrate from the command line.
 //     --loss p            inject Bernoulli frame loss with probability p
 //     --burst-loss p      inject Gilbert-Elliott burst loss (p = chance
 //                         per frame of entering a loss burst)
@@ -41,9 +47,12 @@
 #include <memory>
 #include <string>
 
+#include <optional>
+
 #include "bench/common.h"
 #include "faults/plan.h"
 #include "netpipe/loggp.h"
+#include "simcore/shard.h"
 #include "simcore/tracing.h"
 #include "shmemsim/shmem.h"
 #include "gmsim/gm.h"
@@ -72,6 +81,8 @@ struct CliOptions {
   std::string trace_file;
   bool quiet = false;
   bool loggp = false;
+  /// Ambient shard count installed around the run (0 = leave untouched).
+  int shards = 0;
   /// Attached to each family's simulator when --trace is given.
   sim::TraceRecorder* tracer = nullptr;
   /// Built from --loss / --burst-loss / --flap; empty = clean run.
@@ -82,8 +93,8 @@ struct CliOptions {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr, "usage: %s [module] [-H host] [-N nic] [-b bytes]"
                        " [-u bytes] [-P n] [-r n] [-s] [-o file] [-q]"
-                       " [--trace file] [--loss p] [--burst-loss p]"
-                       " [--flap P:D] [--fault-seed n]\n",
+                       " [--shards n] [--trace file] [--loss p]"
+                       " [--burst-loss p] [--flap P:D] [--fault-seed n]\n",
                argv0);
   std::exit(2);
 }
@@ -236,6 +247,9 @@ int main(int argc, char** argv) {
       o.run.streaming = true;
     } else if (arg == "-o") {
       o.dat_file = next();
+    } else if (arg == "--shards") {
+      o.shards = std::atoi(next());
+      if (o.shards < 1) usage(argv[0]);
     } else if (arg == "--trace") {
       o.trace_file = next();
     } else if (arg == "--loss") {
@@ -269,6 +283,13 @@ int main(int argc, char** argv) {
 
   sim::TraceRecorder recorder;
   if (!o.trace_file.empty()) o.tracer = &recorder;
+
+  // Same semantics as SweepOptions::shards: install the ambient shard
+  // count around the whole run. The 2-node pair stays co-located, so
+  // the listing is identical for every value — that invariance is the
+  // point of exposing the knob here.
+  std::optional<sim::ScopedShards> shard_guard;
+  if (o.shards > 0) shard_guard.emplace(o.shards);
 
   netpipe::RunResult result;
   if (o.module == "shmem") {

@@ -68,6 +68,28 @@ EventQueue::~EventQueue() {
   // std::priority_queue destroys its own by-value events.
 }
 
+void EventQueue::clear() {
+  if (kind_ == SchedulerKind::kLegacyHeap) {
+    legacy_ = {};
+    size_ = 0;
+    return;
+  }
+  if (solo_active_) {
+    solo_active_ = false;
+    solo_h_ = {};
+    solo_cb_ = SmallFn{};
+  }
+  std::vector<EventNode*> all;
+  collect_all(all);
+  for (EventNode* n : all) release_node(n);
+  // Leave the wheel geometry conservative: the next push either lands
+  // ahead of the stale cursor (bucket/far insert) or behind it, which
+  // triggers a rebuild — both correct.
+  open_active_ = false;
+  fifo_time_ = -1;
+  size_ = 0;
+}
+
 void EventQueue::refill_free_list() {
   auto slab = std::make_unique<unsigned char[]>(sizeof(EventNode) *
                                                 kSlabNodes);

@@ -48,6 +48,27 @@ namespace pp::sim {
 
 enum class SchedulerKind { kCalendar, kLegacyHeap };
 
+/// Ordering tag of plain (non-arrival) events. Events pop in strict
+/// (at, sched, tag, seq) order:
+///
+///   at    - the event's firing time;
+///   sched - virtual time at which the event was scheduled. For local
+///           pushes this never changes the order (seq already respects
+///           it); it exists so a cross-shard arrival can be merged at
+///           the exact position its send time dictates;
+///   tag   - kLocalEventTag for ordinary events; pipe arrivals carry a
+///           pipe-stable tag (see simhw::PacketPipe) so simultaneous
+///           arrivals from different links merge in a shard-independent
+///           order;
+///   seq   - the Simulator's push counter for local events, the pipe's
+///           per-link arrival counter for tagged ones.
+///
+/// The rule is what makes conservative sharding bit-identical to the
+/// single-threaded scheduler: every component of an arrival's key is
+/// computed on the *sending* side, so the merged order cannot depend on
+/// which shard ran first (DESIGN.md section 10).
+inline constexpr std::uint64_t kLocalEventTag = ~std::uint64_t{0};
+
 /// Process-wide default: kLegacyHeap when PP_LEGACY_QUEUE is set to a
 /// non-empty, non-"0" value in the environment, else kCalendar.
 SchedulerKind default_scheduler();
@@ -85,17 +106,27 @@ class EventQueue {
   std::size_t size() const noexcept { return size_; }
 
   /// Exactly one of `h` / `cb` must be set. `seq` must be strictly
-  /// increasing across pushes (the Simulator's schedule counter) — it is
-  /// the insertion-order half of the (at, seq) total order.
-  void push(SimTime at, std::uint64_t seq, std::coroutine_handle<> h,
-            SmallFn cb);
+  /// increasing across pushes (the Simulator's schedule counter) and
+  /// `sched` non-decreasing (the Simulator's clock at push time); they
+  /// form the local half of the (at, sched, tag, seq) total order (tag
+  /// is kLocalEventTag here).
+  void push(SimTime at, SimTime sched, std::uint64_t seq,
+            std::coroutine_handle<> h, SmallFn cb);
 
   /// Callback push constructing the callable directly in the event node
   /// (no SmallFn relocate of the capture — often a whole hw::Packet —
-  /// between the call site and the node). Same (at, seq) semantics as
-  /// push().
+  /// between the call site and the node). Same key semantics as push().
   template <typename F>
-  void push_cb(SimTime at, std::uint64_t seq, F&& fn);
+  void push_cb(SimTime at, SimTime sched, std::uint64_t seq, F&& fn);
+
+  /// Arrival push carrying an explicit shard-stable (sched, tag, seq)
+  /// key computed on the sending side. Unlike push()/push_cb(), the key
+  /// may sort *below* already-pending events at the same timestamp (a
+  /// zero-latency link's arrival, a cross-shard merge); the queue
+  /// inserts it at the position the key dictates.
+  template <typename F>
+  void push_cb_tagged(SimTime at, SimTime sched, std::uint64_t tag,
+                      std::uint64_t seq, F&& fn);
 
   /// Timestamp of the next event to pop. Requires !empty(). May
   /// reorganize internal tiers but never changes the pop order.
@@ -112,29 +143,43 @@ class EventQueue {
     EventNode* node = nullptr;
   };
 
-  /// Removes and returns the minimum-(at, seq) event.  Requires
-  /// !empty(). A callback-carrying Fired must be passed to run_cb()
-  /// (exactly once) to fire and recycle it.
+  /// Removes and returns the minimum-(at, sched, tag, seq) event.
+  /// Requires !empty(). A callback-carrying Fired must be passed to
+  /// run_cb() (exactly once) to fire and recycle it.
   Fired pop();
 
   /// Invokes the fired event's callback and recycles its node.
   void run_cb(Fired& f);
 
+  /// Discards every pending event without firing it: callbacks (and
+  /// their captures — packets, refs) are destroyed, coroutine handles
+  /// are dropped (their frames belong to the Simulator's process
+  /// bookkeeping). Used by Simulator::abort_pending() so a shard group
+  /// can tear down cross-referencing simulators in a safe order.
+  void clear();
+
  private:
   struct EventNode {
     SimTime at;
+    SimTime sched;      ///< virtual time the push happened (send time)
+    std::uint64_t tag;  ///< kLocalEventTag, or a pipe's arrival tag
     std::uint64_t seq;
     EventNode* next;  ///< slab free-list / bucket / far-tier link
     std::coroutine_handle<> handle;
     SmallFn cb;
   };
 
-  static bool key_less(SimTime at_a, std::uint64_t seq_a, SimTime at_b,
-                       std::uint64_t seq_b) {
-    return at_a != at_b ? at_a < at_b : seq_a < seq_b;
+  static bool key_less(SimTime at_a, SimTime sched_a, std::uint64_t tag_a,
+                       std::uint64_t seq_a, SimTime at_b, SimTime sched_b,
+                       std::uint64_t tag_b, std::uint64_t seq_b) {
+    if (at_a != at_b) return at_a < at_b;
+    if (sched_a != sched_b) return sched_a < sched_b;
+    if (tag_a != tag_b) return tag_a < tag_b;
+    return seq_a < seq_b;
   }
   static bool node_less(const EventNode* a, const EventNode* b) {
-    return key_less(a->at, a->seq, b->at, b->seq);
+    return key_less(a->at, a->sched, a->tag, a->seq, b->at, b->sched, b->tag,
+                    b->seq);
   }
 
   // ---- calendar tier geometry ---------------------------------------
@@ -142,10 +187,12 @@ class EventQueue {
   static constexpr int kNumBuckets = 1 << kBucketBits;
   static constexpr int kMaxShift = 44;  ///< keeps span arithmetic safe
 
-  EventNode* alloc_node(SimTime at, std::uint64_t seq,
-                        std::coroutine_handle<> h, SmallFn cb);
+  EventNode* alloc_node(SimTime at, SimTime sched, std::uint64_t tag,
+                        std::uint64_t seq, std::coroutine_handle<> h,
+                        SmallFn cb);
   template <typename F>
-  EventNode* alloc_node_cb(SimTime at, std::uint64_t seq, F&& fn);
+  EventNode* alloc_node_cb(SimTime at, SimTime sched, std::uint64_t tag,
+                           std::uint64_t seq, F&& fn);
   void refill_free_list();  ///< slow path: carve a fresh slab
   void release_node(EventNode* n);
 
@@ -192,6 +239,8 @@ class EventQueue {
   /// solo_active_ implies size_ == 1.
   bool solo_active_ = false;
   SimTime solo_at_ = 0;
+  SimTime solo_sched_ = 0;
+  std::uint64_t solo_tag_ = kLocalEventTag;
   std::uint64_t solo_seq_ = 0;
   std::coroutine_handle<> solo_h_;
   SmallFn solo_cb_;
@@ -200,9 +249,9 @@ class EventQueue {
   std::int64_t cursor_ = 0;  ///< absolute slot index under consumption
   bool open_active_ = false;
   SimTime open_lo_ = 0, open_hi_ = 0;  ///< window of the open slot
-  std::vector<EventNode*> open_;       ///< sorted ascending (at, seq)
+  std::vector<EventNode*> open_;       ///< sorted ascending by key
   std::size_t open_pos_ = 0;
-  std::vector<EventNode*> fifo_;  ///< batch sharing fifo_time_, seq order
+  std::vector<EventNode*> fifo_;  ///< batch sharing fifo_time_, key order
   std::size_t fifo_pos_ = 0;
   SimTime fifo_time_ = -1;
   std::array<EventNode*, kNumBuckets> bucket_{};
@@ -216,6 +265,8 @@ class EventQueue {
   // ---- legacy tier ---------------------------------------------------
   struct LegacyEvent {
     SimTime at;
+    SimTime sched;
+    std::uint64_t tag;
     std::uint64_t seq;
     std::coroutine_handle<> handle;  // exactly one of handle/callback set
     std::function<void()> callback;
@@ -223,7 +274,8 @@ class EventQueue {
   struct LegacyLater {
     bool operator()(const LegacyEvent& a, const LegacyEvent& b) const
         noexcept {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+      return key_less(b.at, b.sched, b.tag, b.seq, a.at, a.sched, a.tag,
+                      a.seq);
     }
   };
   std::priority_queue<LegacyEvent, std::vector<LegacyEvent>, LegacyLater>
@@ -235,16 +287,18 @@ class EventQueue {
 // ---------------------------------------------------------------------
 
 inline EventQueue::EventNode* EventQueue::alloc_node(
-    SimTime at, std::uint64_t seq, std::coroutine_handle<> h, SmallFn cb) {
+    SimTime at, SimTime sched, std::uint64_t tag, std::uint64_t seq,
+    std::coroutine_handle<> h, SmallFn cb) {
   if (free_ == nullptr) refill_free_list();
   EventNode* mem = free_;
   free_ = free_->next;
   return ::new (static_cast<void*>(mem))
-      EventNode{at, seq, nullptr, h, std::move(cb)};
+      EventNode{at, sched, tag, seq, nullptr, h, std::move(cb)};
 }
 
 template <typename F>
-EventQueue::EventNode* EventQueue::alloc_node_cb(SimTime at,
+EventQueue::EventNode* EventQueue::alloc_node_cb(SimTime at, SimTime sched,
+                                                 std::uint64_t tag,
                                                  std::uint64_t seq, F&& fn) {
   if (free_ == nullptr) refill_free_list();
   EventNode* mem = free_;
@@ -252,7 +306,7 @@ EventQueue::EventNode* EventQueue::alloc_node_cb(SimTime at,
   // The SmallFn member is copy-initialized from a prvalue, so the
   // capture is constructed straight into the node (guaranteed elision).
   return ::new (static_cast<void*>(mem))
-      EventNode{at, seq, nullptr, {}, SmallFn(std::forward<F>(fn))};
+      EventNode{at, sched, tag, seq, nullptr, {}, SmallFn(std::forward<F>(fn))};
 }
 
 inline void EventQueue::release_node(EventNode* n) {
@@ -272,10 +326,21 @@ inline void EventQueue::bucket_insert(EventNode* n) {
 inline void EventQueue::calendar_push(EventNode* n) {
   const SimTime at = n->at;
   if (fifo_pos_ < fifo_.size() && at == fifo_time_) {
-    // Same-timestamp append: seq is strictly increasing, so the FIFO
-    // stays ordered with no comparison at all. This is the hot path —
-    // zero delays, signal wakeups, same-tick protocol cascades.
-    fifo_.push_back(n);
+    // Same-timestamp push. Local pushes always key above the batch tail
+    // (their sched is the current instant and their tag the local
+    // maximum), so the hot path — zero delays, signal wakeups, same-tick
+    // protocol cascades — is one compare and an append. Only a tagged
+    // arrival from a zero-latency pipe can key below pending entries; it
+    // inserts into the still-unconsumed tail at the position its
+    // send-side key dictates.
+    if (!node_less(n, fifo_.back())) {
+      fifo_.push_back(n);
+    } else {
+      auto it = std::upper_bound(
+          fifo_.begin() + static_cast<std::ptrdiff_t>(fifo_pos_), fifo_.end(),
+          n, node_less);
+      fifo_.insert(it, n);
+    }
     return;
   }
   if (open_active_ && at >= open_lo_ && at < open_hi_) {
@@ -303,7 +368,7 @@ inline void EventQueue::calendar_push(EventNode* n) {
   rebuild(n);
 }
 
-inline void EventQueue::push(SimTime at, std::uint64_t seq,
+inline void EventQueue::push(SimTime at, SimTime sched, std::uint64_t seq,
                              std::coroutine_handle<> h, SmallFn cb) {
   ++size_;
   if (kind_ == SchedulerKind::kLegacyHeap) {
@@ -314,12 +379,14 @@ inline void EventQueue::push(SimTime at, std::uint64_t seq,
       // implementation paid for every capturing callback.
       fn = [sp = std::make_shared<SmallFn>(std::move(cb))] { (*sp)(); };
     }
-    legacy_.push(LegacyEvent{at, seq, h, std::move(fn)});
+    legacy_.push(LegacyEvent{at, sched, kLocalEventTag, seq, h, std::move(fn)});
     return;
   }
   if (size_ == 1) {  // size_ already counts this event: queue was empty
     solo_active_ = true;
     solo_at_ = at;
+    solo_sched_ = sched;
+    solo_tag_ = kLocalEventTag;
     solo_seq_ = seq;
     solo_h_ = h;
     solo_cb_ = std::move(cb);
@@ -329,26 +396,35 @@ inline void EventQueue::push(SimTime at, std::uint64_t seq,
     // Second pending event: demote the stash into the tiers first (they
     // re-sort on open, so demotion order is irrelevant).
     solo_active_ = false;
-    calendar_push(
-        alloc_node(solo_at_, solo_seq_, solo_h_, std::move(solo_cb_)));
+    calendar_push(alloc_node(solo_at_, solo_sched_, solo_tag_, solo_seq_,
+                             solo_h_, std::move(solo_cb_)));
   }
-  calendar_push(alloc_node(at, seq, h, std::move(cb)));
+  calendar_push(alloc_node(at, sched, kLocalEventTag, seq, h, std::move(cb)));
 }
 
 template <typename F>
-void EventQueue::push_cb(SimTime at, std::uint64_t seq, F&& fn) {
+void EventQueue::push_cb(SimTime at, SimTime sched, std::uint64_t seq,
+                         F&& fn) {
+  push_cb_tagged(at, sched, kLocalEventTag, seq, std::forward<F>(fn));
+}
+
+template <typename F>
+void EventQueue::push_cb_tagged(SimTime at, SimTime sched, std::uint64_t tag,
+                                std::uint64_t seq, F&& fn) {
   ++size_;
   if (kind_ == SchedulerKind::kLegacyHeap) {
     // Same shared_ptr wrap as push(): one heap allocation per capturing
     // callback, mirroring the seed's std::function storage.
     legacy_.push(LegacyEvent{
-        at, seq, {},
+        at, sched, tag, seq, {},
         [sp = std::make_shared<SmallFn>(std::forward<F>(fn))] { (*sp)(); }});
     return;
   }
   if (size_ == 1) {  // size_ already counts this event: queue was empty
     solo_active_ = true;
     solo_at_ = at;
+    solo_sched_ = sched;
+    solo_tag_ = tag;
     solo_seq_ = seq;
     solo_h_ = {};
     solo_cb_ = SmallFn(std::forward<F>(fn));
@@ -356,10 +432,10 @@ void EventQueue::push_cb(SimTime at, std::uint64_t seq, F&& fn) {
   }
   if (solo_active_) {
     solo_active_ = false;
-    calendar_push(
-        alloc_node(solo_at_, solo_seq_, solo_h_, std::move(solo_cb_)));
+    calendar_push(alloc_node(solo_at_, solo_sched_, solo_tag_, solo_seq_,
+                             solo_h_, std::move(solo_cb_)));
   }
-  calendar_push(alloc_node_cb(at, seq, std::forward<F>(fn)));
+  calendar_push(alloc_node_cb(at, sched, tag, seq, std::forward<F>(fn)));
 }
 
 inline EventQueue::EventNode* EventQueue::calendar_front() {

@@ -43,10 +43,40 @@ PacketPathKind ambient_packet_path() {
 }
 
 PacketArena::~PacketArena() {
+  // Slots released from the far side of a shard boundary may still sit
+  // on the remote list; fold them back before the slabs go so the leak
+  // check below sees the true count.
+  drain_remote_free_list();
   // Every layer that creates descriptors is destroyed before the arena
   // (the Simulator reaps coroutine frames and the event queue destroys
   // pending callbacks first), so a nonzero count here is a genuine leak.
-  assert(live_ == 0 && "packet descriptors leaked past arena teardown");
+  assert(live() == 0 && "packet descriptors leaked past arena teardown");
+}
+
+void PacketArena::release_remote(detail::PacketSlot* slot) noexcept {
+  // Cross-shard release: the payload and drop hook are already
+  // destroyed (release() runs them on the releasing thread); only the
+  // raw slot travels back to the owner. Rare enough — one per
+  // descriptor that crossed a shard boundary — that a mutex is fine.
+  std::lock_guard<std::mutex> lock(remote_mu_);
+  *reinterpret_cast<detail::PacketSlot**>(slot->payload) = remote_free_;
+  remote_free_ = slot;
+}
+
+void PacketArena::drain_remote_free_list() {
+  detail::PacketSlot* head = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(remote_mu_);
+    head = remote_free_;
+    remote_free_ = nullptr;
+  }
+  while (head != nullptr) {
+    detail::PacketSlot* next =
+        *reinterpret_cast<detail::PacketSlot**>(head->payload);
+    *reinterpret_cast<detail::PacketSlot**>(head->payload) = free_;
+    free_ = head;
+    head = next;
+  }
 }
 
 detail::PacketSlot* PacketArena::allocate_legacy() {
@@ -61,6 +91,9 @@ detail::PacketSlot* PacketArena::allocate_legacy() {
 }
 
 void PacketArena::refill_free_list() {
+  // Recycle shard-crossed slots before paying for fresh storage.
+  drain_remote_free_list();
+  if (free_ != nullptr) return;
   auto slab = std::make_unique<detail::PacketSlot[]>(kSlabSlots);
   for (std::size_t i = 0; i < kSlabSlots; ++i) {
     detail::PacketSlot* s = &slab[i];

@@ -36,11 +36,14 @@
 //    frames, which is what makes that safe in practice.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <new>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -161,7 +164,12 @@ namespace detail {
 struct PacketSlot {
   static constexpr std::size_t kPayloadBytes = 64;
 
-  std::uint32_t refs = 0;
+  /// Atomic because a descriptor that crossed a shard boundary is
+  /// released on the receiving shard's thread while the owning shard
+  /// keeps allocating. Uncontended fetch_add/fetch_sub on a line only
+  /// this descriptor touches — the serial fast path stays allocation-
+  /// and fence-free.
+  std::atomic<std::uint32_t> refs{0};
   bool from_heap = false;
   void (*destroy_payload)(void*) = nullptr;
   PacketArena* arena = nullptr;
@@ -179,7 +187,9 @@ class PacketRef {
  public:
   PacketRef() = default;
   PacketRef(const PacketRef& other) noexcept : slot_(other.slot_) {
-    if (slot_ != nullptr) ++slot_->refs;
+    if (slot_ != nullptr) {
+      slot_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   PacketRef(PacketRef&& other) noexcept : slot_(other.slot_) {
     other.slot_ = nullptr;
@@ -208,7 +218,8 @@ class PacketRef {
   }
 
   std::uint32_t use_count() const noexcept {
-    return slot_ == nullptr ? 0 : slot_->refs;
+    return slot_ == nullptr ? 0
+                            : slot_->refs.load(std::memory_order_relaxed);
   }
 
   /// Installs the drop hook (replacing any previous one).
@@ -279,28 +290,41 @@ class PacketArena {
 
   /// Descriptors currently alive. Returns to zero after every clean
   /// simulation teardown; the leak tests assert exactly that.
-  std::uint64_t live() const noexcept { return live_; }
+  std::uint64_t live() const noexcept {
+    return live_.load(std::memory_order_relaxed);
+  }
   std::uint64_t total_allocated() const noexcept { return total_allocated_; }
   std::size_t slab_count() const noexcept { return slabs_.size(); }
+
+  /// The thread whose releases recycle straight onto the local free
+  /// list. Set by Simulator::check_thread() whenever the instance is
+  /// (re)pinned; releases from any other thread — the other side of a
+  /// shard boundary — park the slot on the mutex-guarded remote list,
+  /// which the owner drains before carving a fresh slab.
+  void set_owner(std::thread::id tid) noexcept {
+    owner_.store(tid, std::memory_order_relaxed);
+  }
 
  private:
   friend class PacketRef;
 
   /// Fast path inline: one descriptor per frame/segment makes this a
   /// per-packet cost; the slab refill and the legacy-heap leg stay out
-  /// of line.
+  /// of line. Owner thread only (allocation is a Simulator-pinned
+  /// operation; only releases cross threads).
   detail::PacketSlot* allocate() {
-    ++live_;
+    live_.fetch_add(1, std::memory_order_relaxed);
     ++total_allocated_;
     if (kind_ == PacketPathKind::kLegacyHeap) return allocate_legacy();
     if (free_ == nullptr) refill_free_list();
     detail::PacketSlot* slot = free_;
     free_ = *reinterpret_cast<detail::PacketSlot**>(slot->payload);
-    slot->refs = 1;
+    slot->refs.store(1, std::memory_order_relaxed);
     return slot;
   }
   detail::PacketSlot* allocate_legacy();
   void refill_free_list();
+  void drain_remote_free_list();
 
   void release(detail::PacketSlot* slot) noexcept {
     if (slot->destroy_payload != nullptr) {
@@ -308,27 +332,39 @@ class PacketArena {
       slot->destroy_payload = nullptr;
     }
     slot->drop.reset();
-    --live_;
+    live_.fetch_sub(1, std::memory_order_relaxed);
     if (slot->from_heap) {
-      delete slot;
+      delete slot;  // operator delete is thread-safe; no list involved
       return;
     }
-    *reinterpret_cast<detail::PacketSlot**>(slot->payload) = free_;
-    free_ = slot;
+    if (owner_.load(std::memory_order_relaxed) == std::this_thread::get_id()) {
+      *reinterpret_cast<detail::PacketSlot**>(slot->payload) = free_;
+      free_ = slot;
+      return;
+    }
+    release_remote(slot);
   }
+  void release_remote(detail::PacketSlot* slot) noexcept;
 
   PacketPathKind kind_;
   detail::PacketSlot* free_ = nullptr;
   std::vector<std::unique_ptr<detail::PacketSlot[]>> slabs_;
-  std::uint64_t live_ = 0;
+  std::atomic<std::uint64_t> live_{0};
   std::uint64_t total_allocated_ = 0;
+  std::atomic<std::thread::id> owner_{std::this_thread::get_id()};
+  std::mutex remote_mu_;
+  detail::PacketSlot* remote_free_ = nullptr;  // guarded by remote_mu_
 };
 
 inline void PacketRef::reset() noexcept {
   if (slot_ == nullptr) return;
   detail::PacketSlot* s = slot_;
   slot_ = nullptr;
-  if (--s->refs == 0) s->arena->release(s);
+  // acq_rel: the thread that takes the count to zero must observe every
+  // other thread's writes to the payload before destroying it.
+  if (s->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    s->arena->release(s);
+  }
 }
 
 }  // namespace pp::sim

@@ -1,0 +1,208 @@
+#include "simcore/shard.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pp::sim {
+
+namespace {
+
+thread_local std::optional<int> g_ambient_shards;
+
+int default_shards() {
+  static const int n = [] {
+    const char* v = std::getenv("PP_SHARDS");
+    if (v == nullptr || v[0] == '\0') return 0;
+    const long parsed = std::strtol(v, nullptr, 10);
+    return parsed > 0 ? static_cast<int>(parsed) : 0;
+  }();
+  return n;
+}
+
+}  // namespace
+
+ScopedShards::ScopedShards(int shards)
+    : prev_(0), had_prev_(g_ambient_shards.has_value()) {
+  if (had_prev_) prev_ = *g_ambient_shards;
+  g_ambient_shards = shards;
+}
+
+ScopedShards::~ScopedShards() {
+  if (had_prev_) {
+    g_ambient_shards = prev_;
+  } else {
+    g_ambient_shards.reset();
+  }
+}
+
+int ambient_shards() { return g_ambient_shards.value_or(default_shards()); }
+
+ShardGroup::ShardGroup(int shards) {
+  if (shards < 1) {
+    throw std::invalid_argument("ShardGroup requires at least one shard");
+  }
+  sims_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    sims_.push_back(std::make_unique<Simulator>());
+    sims_.back()->set_shard(this, i);
+  }
+  mailbox_.resize(static_cast<std::size_t>(shards));
+  errors_.resize(static_cast<std::size_t>(shards));
+}
+
+ShardGroup::~ShardGroup() {
+  // Undelivered cross-shard callbacks hold packets; drop them first,
+  // then neutralize every shard before any one is destroyed — a frame
+  // on shard A may hold a descriptor living in shard B's arena, and an
+  // arena asserts it has no live descriptors when it dies.
+  for (auto& box : mailbox_) box.clear();
+  for (auto& sim : sims_) sim->abort_pending();
+}
+
+void ShardGroup::register_link(SimTime propagation) {
+  if (propagation <= 0) {
+    throw std::invalid_argument(
+        "cross-shard pipe with zero propagation delay: a same-host/shmem "
+        "link has no lookahead to give the conservative window; assign "
+        "both endpoints to the same shard");
+  }
+  lookahead_ = std::min(lookahead_, propagation);
+}
+
+void ShardGroup::post(int src_shard, int dst_shard, SimTime at, SimTime sched,
+                      std::uint64_t tag, std::uint64_t seq, SmallFn fn) {
+  assert(src_shard >= 0 && src_shard < shards());
+  assert(dst_shard >= 0 && dst_shard < shards());
+  mailbox_[static_cast<std::size_t>(src_shard)].push_back(
+      CrossMsg{dst_shard, at, sched, tag, seq, std::move(fn)});
+}
+
+void ShardGroup::drain_mailboxes(SimTime horizon) {
+  // Injection order across mailboxes is irrelevant: the queue orders by
+  // the (at, sched, tag, seq) key, and keys are unique (tag is per-pipe,
+  // seq a per-pipe counter). Source-index order keeps it deterministic
+  // anyway.
+  for (auto& box : mailbox_) {
+    for (CrossMsg& m : box) {
+      // The conservative guarantee: nothing posted during a window may
+      // land inside it.
+      assert(m.at >= horizon && "cross-shard arrival inside its own window");
+      (void)horizon;
+      sims_[static_cast<std::size_t>(m.dst)]->call_at_tagged(
+          m.at, m.sched, m.tag, m.seq, std::move(m.fn));
+    }
+    box.clear();
+  }
+}
+
+void ShardGroup::worker_loop(int index) {
+  Simulator& sim = *sims_[static_cast<std::size_t>(index)];
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return epoch_ != seen || stop_; });
+    if (stop_) return;
+    seen = epoch_;
+    const SimTime target = target_;
+    lk.unlock();
+    try {
+      sim.run_until(target);
+    } catch (...) {
+      errors_[static_cast<std::size_t>(index)] = std::current_exception();
+    }
+    lk.lock();
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+}
+
+void ShardGroup::run() {
+  windows_ = 0;
+  if (shards() == 1) {
+    sims_[0]->run();
+    return;
+  }
+  run_parallel();
+}
+
+void ShardGroup::run_parallel() {
+  // Hand each shard to its worker: the sims were built (and their node
+  // processes spawned) on this thread; the first run_until() in a
+  // worker re-pins them.
+  for (auto& sim : sims_) sim->detach_thread();
+  std::fill(errors_.begin(), errors_.end(), nullptr);
+  stop_ = false;
+  epoch_ = 0;
+
+  std::vector<std::thread> workers;
+  workers.reserve(sims_.size());
+  for (int i = 0; i < shards(); ++i) {
+    workers.emplace_back([this, i] { worker_loop(i); });
+  }
+
+  std::exception_ptr first_error;
+  for (;;) {
+    // Workers are parked (epoch unchanged), so reading the queues and
+    // mailboxes from here is ordered by the barrier mutex.
+    SimTime t_min = kSimTimeMax;
+    for (auto& sim : sims_) t_min = std::min(t_min, sim->next_event_time());
+    if (t_min == kSimTimeMax) break;
+
+    const SimTime horizon =
+        lookahead_ > kSimTimeMax - t_min ? kSimTimeMax : t_min + lookahead_;
+    const SimTime target = horizon == kSimTimeMax ? kSimTimeMax : horizon - 1;
+    ++windows_;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      target_ = target;
+      remaining_ = shards();
+      ++epoch_;
+      cv_.notify_all();
+      cv_.wait(lk, [&] { return remaining_ == 0; });
+    }
+    for (auto& err : errors_) {
+      if (err) {
+        first_error = err;
+        break;
+      }
+    }
+    if (first_error) break;
+    drain_mailboxes(horizon);
+  }
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    stop_ = true;
+    cv_.notify_all();
+  }
+  for (auto& w : workers) w.join();
+  // Hand the shards back to the controlling thread (post-run queries,
+  // another run(), destruction of workload state that spawns cleanup).
+  for (auto& sim : sims_) sim->detach_thread();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  int live = 0;
+  for (auto& sim : sims_) live += sim->live_processes();
+  if (live > 0) {
+    std::string msg = "sharded ";
+    msg += std::to_string(live);
+    msg += "-process deadlock across ";
+    msg += std::to_string(shards());
+    msg += " shard(s):";
+    for (int i = 0; i < shards(); ++i) {
+      if (sims_[static_cast<std::size_t>(i)]->live_processes() == 0) continue;
+      msg += " [shard ";
+      msg += std::to_string(i);
+      msg += "] ";
+      msg += sims_[static_cast<std::size_t>(i)]->deadlock_message();
+    }
+    throw DeadlockError(msg);
+  }
+}
+
+}  // namespace pp::sim

@@ -1,0 +1,150 @@
+// Conservative parallel discrete-event sharding (Chandy–Misra style,
+// barrier-window synchronization).
+//
+// A ShardGroup owns N Simulators, one per shard, each pinned to its own
+// worker thread for the duration of run(). The workload partitions its
+// hw::Nodes across the shards (Cluster::add_node with an explicit
+// simulator); a PacketPipe whose endpoints live on different shards
+// turns its wire exit into a timestamped message posted to the group,
+// injected into the destination shard at the next window barrier.
+//
+// Synchronization is the textbook conservative scheme with the minimum
+// cross-shard link propagation delay as lookahead L:
+//
+//   T       = min over shards of next_event_time()
+//   horizon = T + L
+//   every shard runs its events with timestamp < horizon in parallel;
+//   an event executing at time t >= T can only produce a cross-shard
+//   arrival at t + prop >= T + L, i.e. at or past the horizon — so no
+//   shard can receive a message for a window it already executed.
+//
+// Bit-identity with the serial run is NOT a property of the barrier —
+// it falls out of the event key. Every arrival is pushed with the
+// (at, sched, tag, seq) key computed on the *sending* side (see
+// EventQueue), and the pipe uses the same tagged push whether its
+// endpoints share a simulator or not, so the merged event order at
+// every node is the same in every shard configuration, including
+// shards=1 and the plain unsharded serial run. DESIGN.md section 10.
+//
+// Constraints enforced here and in simhw:
+//  - a cross-shard pipe must have propagation delay > 0 (zero-latency
+//    links defeat lookahead; co-locate those endpoints on one shard);
+//  - TCP endpoints mutate peer state directly and must be co-located
+//    (raw PacketPipe traffic is the only thing that may cross shards);
+//  - rx-side drop hooks that reach back into tx-side state fire on the
+//    receiving shard's thread and are unsupported across a boundary.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "simcore/simulator.h"
+#include "simcore/small_fn.h"
+#include "simcore/time.h"
+
+namespace pp::sim {
+
+/// RAII scope setting the ambient shard count workload factories read
+/// (SweepOptions::shards installs this around job factories, exactly
+/// like ScopedScheduler). 0 means "unsharded serial". Scopes nest.
+class ScopedShards {
+ public:
+  explicit ScopedShards(int shards);
+  ~ScopedShards();
+  ScopedShards(const ScopedShards&) = delete;
+  ScopedShards& operator=(const ScopedShards&) = delete;
+
+ private:
+  int prev_;
+  bool had_prev_;
+};
+
+/// The shard count a workload constructed right now should use: the
+/// innermost ScopedShards, else PP_SHARDS from the environment, else 0
+/// (serial).
+int ambient_shards();
+
+class ShardGroup {
+ public:
+  /// Constructs `shards` simulators (>= 1), each adopting the ambient
+  /// scheduler/packet-path/limits of the constructing thread.
+  explicit ShardGroup(int shards);
+
+  /// Tears the shards down in a safe order: every shard's suspended
+  /// frames and pending events are destroyed before any shard's packet
+  /// arena (frames may hold descriptors that live in a sibling's arena).
+  ~ShardGroup();
+
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  int shards() const noexcept { return static_cast<int>(sims_.size()); }
+  Simulator& shard(int i) { return *sims_[static_cast<std::size_t>(i)]; }
+
+  /// Registers a cross-shard link's propagation delay; the group's
+  /// lookahead is the minimum over all registered links. PacketPipe
+  /// calls this when its endpoints land on different shards. Throws
+  /// std::invalid_argument for propagation <= 0 — a zero-latency link
+  /// has no lookahead to give and must be co-located instead.
+  void register_link(SimTime propagation);
+
+  /// The current lookahead (kSimTimeMax when no cross-shard link is
+  /// registered — shards then run to completion in one window).
+  SimTime lookahead() const noexcept { return lookahead_; }
+
+  /// Posts a cross-shard arrival: `fn` will run on shard `dst_shard` at
+  /// time `at` under the shard-stable (at, sched, tag, seq) key the
+  /// sender computed. Called by the posting shard's own worker during a
+  /// window (each shard writes only its own mailbox — no locking);
+  /// injection happens at the next barrier.
+  void post(int src_shard, int dst_shard, SimTime at, SimTime sched,
+            std::uint64_t tag, std::uint64_t seq, SmallFn fn);
+
+  /// Runs all shards to completion under the conservative window loop.
+  /// Throws the first (lowest shard index) exception a shard's event
+  /// loop produced, or a DeadlockError aggregating every shard's
+  /// suspended processes when all queues drain with work outstanding.
+  /// With shards == 1 this is exactly Simulator::run().
+  void run();
+
+  /// Windows executed by the last run() (diagnostics / tests).
+  std::uint64_t windows() const noexcept { return windows_; }
+
+ private:
+  struct CrossMsg {
+    int dst;
+    SimTime at;
+    SimTime sched;
+    std::uint64_t tag;
+    std::uint64_t seq;
+    SmallFn fn;
+  };
+
+  void run_parallel();
+  void worker_loop(int index);
+  void drain_mailboxes(SimTime horizon);
+
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  std::vector<std::vector<CrossMsg>> mailbox_;  // indexed by source shard
+  SimTime lookahead_ = kSimTimeMax;
+  std::uint64_t windows_ = 0;
+
+  // Window barrier. The coordinator publishes a target and bumps the
+  // epoch; workers run their shard to the target and decrement
+  // remaining_. All cross-thread visibility (queue state, mailboxes)
+  // rides on this mutex.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t epoch_ = 0;
+  int remaining_ = 0;
+  SimTime target_ = 0;
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace pp::sim

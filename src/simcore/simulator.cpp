@@ -102,13 +102,24 @@ void Simulator::check_thread() {
   std::thread::id expected{};
   if (owner_.compare_exchange_strong(expected, self,
                                      std::memory_order_relaxed)) {
-    return;  // first use: this thread now owns the instance
+    // First use (or first after detach_thread()): this thread now owns
+    // the instance, and with it the arena's local free list.
+    packet_arena_.set_owner(self);
+    return;
   }
   if (expected != self) {
     throw std::logic_error(
         "Simulator used from two threads; each sweep/measurement job must "
         "construct and run its own Simulator on one thread");
   }
+}
+
+void Simulator::detach_thread() {
+  if (running_) {
+    throw std::logic_error(
+        "Simulator::detach_thread() called from inside the event loop");
+  }
+  owner_.store(std::thread::id{}, std::memory_order_relaxed);
 }
 
 std::shared_ptr<Completion> Simulator::spawn_impl(Task<void> task,
@@ -135,6 +146,20 @@ Simulator::~Simulator() {
   for (auto it = processes_.rbegin(); it != processes_.rend(); ++it) {
     if (it->root && !it->completion->done()) it->root.destroy();
   }
+}
+
+void Simulator::abort_pending() {
+  if (running_) {
+    throw std::logic_error(
+        "Simulator::abort_pending() called from inside the event loop");
+  }
+  for (auto it = processes_.rbegin(); it != processes_.rend(); ++it) {
+    if (it->root && !it->completion->done()) {
+      it->root.destroy();
+      it->root = {};  // keep ~Simulator from destroying it twice
+    }
+  }
+  queue_.clear();
 }
 
 std::shared_ptr<Completion> Simulator::spawn(Task<void> task,
@@ -214,7 +239,7 @@ bool Simulator::run_until(SimTime t) {
   return !queue_.empty();
 }
 
-void Simulator::throw_deadlock() const {
+std::string Simulator::deadlock_message() const {
   std::string msg = "simulation deadlock: ";
   msg += std::to_string(live_);
   msg += " process(es) still suspended with an empty event queue;";
@@ -230,7 +255,9 @@ void Simulator::throw_deadlock() const {
       }
     }
   }
-  throw DeadlockError(msg);
+  return msg;
 }
+
+void Simulator::throw_deadlock() const { throw DeadlockError(deadlock_message()); }
 
 }  // namespace pp::sim

@@ -28,6 +28,7 @@ namespace pp::sim {
 
 class Simulator;
 class TraceRecorder;
+class ShardGroup;
 
 /// Thrown by Simulator::run() when the event queue drains while spawned
 /// processes are still suspended (a classic distributed-protocol deadlock).
@@ -161,7 +162,7 @@ class Simulator {
   /// Inline (as is call_at): these cross from every awaiter into the
   /// queue once per event, and the fast path is a handful of stores.
   void schedule(SimTime at, std::coroutine_handle<> h) {
-    queue_.push(clamp_at(at), seq_++, h, {});
+    queue_.push(clamp_at(at), now_, seq_++, h, {});
   }
   void schedule_now(std::coroutine_handle<> h) { schedule(now_, h); }
 
@@ -174,15 +175,66 @@ class Simulator {
   /// hw::Packet per frame.
   template <typename F>
   void call_at(SimTime at, F&& fn) {
-    queue_.push_cb(clamp_at(at), seq_++, std::forward<F>(fn));
+    queue_.push_cb(clamp_at(at), now_, seq_++, std::forward<F>(fn));
   }
   template <typename F>
   void call_after(SimTime d, F&& fn) {
     call_at(now_ + (d > 0 ? d : 0), std::forward<F>(fn));
   }
 
+  /// Arrival push carrying an explicit shard-stable (sched, tag, seq)
+  /// key computed by the *sender* (a PacketPipe's wire exit). This is
+  /// what makes sharded runs bit-identical to serial ones: the pipe uses
+  /// this same entry point in both configurations, so the merged event
+  /// order never depends on which shard ran first. See
+  /// EventQueue::push_cb_tagged and DESIGN.md section 10.
+  template <typename F>
+  void call_at_tagged(SimTime at, SimTime sched, std::uint64_t tag,
+                      std::uint64_t seq, F&& fn) {
+    queue_.push_cb_tagged(clamp_at(at), sched, tag, seq, std::forward<F>(fn));
+  }
+
+  /// Timestamp of the next pending event, or kSimTimeMax when the queue
+  /// is empty. The shard coordinator polls this across shards to pick
+  /// the conservative window floor.
+  SimTime next_event_time() {
+    return queue_.empty() ? kSimTimeMax : queue_.front_time();
+  }
+
   std::uint64_t events_processed() const noexcept { return events_; }
   int live_processes() const noexcept { return live_; }
+
+  /// Human-readable description of the processes still suspended (the
+  /// body of the DeadlockError run() would throw). The shard coordinator
+  /// aggregates these across shards into one message.
+  std::string deadlock_message() const;
+
+  /// Destroys the frames of still-suspended processes and discards every
+  /// pending event, exactly as ~Simulator would, leaving the instance
+  /// alive but inert. ShardGroup calls this on every shard before any
+  /// Simulator is destroyed: after an aborted sharded run one shard's
+  /// frames or pending events may hold packet descriptors whose slots
+  /// live in *another* shard's arena, so all holders must die before
+  /// any arena does.
+  void abort_pending();
+
+  /// Releases the thread pin so the *next* thread that spawns or runs
+  /// becomes the owner. Only legal between runs (never from inside the
+  /// event loop); the ShardGroup uses it to hand a shard's simulator —
+  /// built and populated on the controlling thread — to its worker, and
+  /// back again after the parallel run.
+  void detach_thread();
+
+  /// Conservative-sharding membership, set by ShardGroup::attach. Null
+  /// group means "not sharded" (the common serial case). PacketPipe
+  /// consults this at wire exit to route cross-simulator arrivals
+  /// through the group's merge mailbox.
+  void set_shard(ShardGroup* group, int index) noexcept {
+    shard_group_ = group;
+    shard_index_ = index;
+  }
+  ShardGroup* shard_group() const noexcept { return shard_group_; }
+  int shard_index() const noexcept { return shard_index_; }
 
   /// Which pending-event scheduler this instance runs on (fixed at
   /// construction from the ambient ScopedScheduler / PP_LEGACY_QUEUE).
@@ -281,6 +333,8 @@ class Simulator {
   std::exception_ptr pending_error_;
   std::atomic<std::thread::id> owner_{};  // pinned on first spawn/run
   bool running_ = false;                  // guards nested run()/run_until()
+  ShardGroup* shard_group_ = nullptr;
+  int shard_index_ = 0;
   TraceRecorder* tracer_ = nullptr;
   std::function<void(SimTime, std::string_view)> trace_sink_;
 };

@@ -161,6 +161,14 @@ void Timer::bind(TimerWheel& wheel, SmallFn on_fire) {
 void Timer::arm(SimTime at) {
   assert(state_ && "Timer::arm before bind");
   cancel();
+  // Clamp a past deadline to now (matching arm_after's negative-delay
+  // clamp). Without this the timer links into bucket_of(at) while the
+  // wake invariant ("every armed deadline >= now") says the fire pass
+  // only ever scans bucket_of(now): a stale-bucket timer is skipped,
+  // and the end-of-pass rescue keeps rescheduling a wake at the past
+  // deadline forever.
+  const SimTime now = state_->sim->now();
+  if (at < now) at = now;
   deadline_ = at;
   armed_ = true;
   state_->link(this);

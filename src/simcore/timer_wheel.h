@@ -69,7 +69,8 @@ class Timer {
   /// armed cancels first.
   void bind(TimerWheel& wheel, SmallFn on_fire);
 
-  /// Schedules (or reschedules) expiry at absolute simulated time `at`.
+  /// Schedules (or reschedules) expiry at absolute simulated time `at`
+  /// (clamped to now: a past deadline fires at the current instant).
   void arm(SimTime at);
   /// Schedules expiry `d` nanoseconds from now.
   void arm_after(SimTime d);

@@ -25,8 +25,16 @@ class Cluster {
   Cluster& operator=(const Cluster&) = delete;
 
   Node& add_node(const HostConfig& config) {
-    nodes_.push_back(std::make_unique<Node>(
-        sim_, static_cast<int>(nodes_.size()), config));
+    return add_node(config, sim_);
+  }
+
+  /// Shard-aware overload: builds the node on an explicit simulator (one
+  /// shard of a sim::ShardGroup). Pipes connected later derive each
+  /// side's simulator from its node, so a link between nodes on
+  /// different shards automatically becomes a cross-shard link.
+  Node& add_node(const HostConfig& config, sim::Simulator& sim) {
+    nodes_.push_back(
+        std::make_unique<Node>(sim, static_cast<int>(nodes_.size()), config));
     return *nodes_.back();
   }
 
@@ -40,11 +48,14 @@ class Cluster {
                  const LinkConfig& link = {}) {
     const std::string base = nic.name + "[" + std::to_string(a.id()) + "-" +
                              std::to_string(b.id()) + "]";
-    pipes_.push_back(
-        std::make_unique<PacketPipe>(sim_, a, b, nic, link, base + ">"));
+    // Each pipe's driving simulator is its *source* node's: on a
+    // sharded cluster the two directions of one duplex link may run on
+    // different shards.
+    pipes_.push_back(std::make_unique<PacketPipe>(a.simulator(), a, b, nic,
+                                                  link, base + ">"));
     PacketPipe& fwd = *pipes_.back();
-    pipes_.push_back(
-        std::make_unique<PacketPipe>(sim_, b, a, nic, link, base + "<"));
+    pipes_.push_back(std::make_unique<PacketPipe>(b.simulator(), b, a, nic,
+                                                  link, base + "<"));
     PacketPipe& bwd = *pipes_.back();
     fwd.set_fault_seed(faults::derive_seed(seed_, fwd.name()));
     bwd.set_fault_seed(faults::derive_seed(seed_, bwd.name()));

@@ -1,15 +1,18 @@
 #include "simhw/pipe.h"
 
 #include <cmath>
+#include <stdexcept>
 #include <utility>
 
+#include "simcore/shard.h"
 #include "simcore/tracing.h"
 
 namespace pp::hw {
 
 PacketPipe::PacketPipe(sim::Simulator& sim, Node& src, Node& dst,
                        NicConfig nic, LinkConfig link, std::string name)
-    : sim_(sim),
+    : src_sim_(sim),
+      dst_sim_(dst.simulator()),
       src_(src),
       dst_(dst),
       nic_(std::move(nic)),
@@ -20,19 +23,40 @@ PacketPipe::PacketPipe(sim::Simulator& sim, Node& src, Node& dst,
       tx_cpu_q_(sim),
       tx_dma_q_(sim),
       wire_q_(sim),
-      rx_dma_q_(sim),
-      rx_cpu_q_(sim),
-      delivered_(sim) {
+      rx_dma_q_(dst_sim_),
+      rx_cpu_q_(dst_sim_),
+      delivered_(dst_sim_) {
+  assert(&src_sim_ == &src.simulator() &&
+         "PacketPipe's simulator must be the source node's");
+  cross_shard_ = &src_sim_ != &dst_sim_;
+  // The ordering tag depends on the pipe *name* only: it must be the
+  // same value in every shard layout (and in the serial run) for the
+  // merged arrival order to be layout-independent. Reserve the local
+  // sentinel.
+  order_tag_ =
+      faults::derive_seed(0x736861726474616bULL /* "shardtag" */, name_);
+  if (order_tag_ == sim::kLocalEventTag) --order_tag_;
   // Standalone pipes (built outside a Cluster) still get a per-name
   // default stream; Cluster::connect overrides with its run-seed-derived
   // value immediately after construction.
   fault_seed_ = faults::derive_seed(0x70726f746f706970ULL /* "protopip" */,
                                     name_);
-  sim_.spawn_daemon(tx_cpu_pump(), name_ + ".txcpu");
-  sim_.spawn_daemon(tx_dma_pump(), name_ + ".txdma");
-  sim_.spawn_daemon(wire_pump(), name_ + ".wire");
-  sim_.spawn_daemon(rx_dma_pump(), name_ + ".rxdma");
-  sim_.spawn_daemon(rx_cpu_pump(), name_ + ".rxcpu");
+  if (cross_shard_) {
+    sim::ShardGroup* group = src_sim_.shard_group();
+    if (group == nullptr || group != dst_sim_.shard_group()) {
+      throw std::logic_error(
+          "pipe '" + name_ +
+          "' spans two simulators that are not shards of one ShardGroup");
+    }
+    // Registers this link's propagation as a lookahead bound; throws
+    // std::invalid_argument for a zero-latency cross-shard link.
+    group->register_link(link_.propagation);
+  }
+  src_sim_.spawn_daemon(tx_cpu_pump(), name_ + ".txcpu");
+  src_sim_.spawn_daemon(tx_dma_pump(), name_ + ".txdma");
+  src_sim_.spawn_daemon(wire_pump(), name_ + ".wire");
+  dst_sim_.spawn_daemon(rx_dma_pump(), name_ + ".rxdma");
+  dst_sim_.spawn_daemon(rx_cpu_pump(), name_ + ".rxcpu");
 }
 
 PacketPipe::~PacketPipe() {
@@ -73,12 +97,34 @@ void PacketPipe::set_nic_faults(const faults::NicFaultConfig& cfg,
   nic_faults_->rng = sim::SplitMix64(seed);
 }
 
-void PacketPipe::drop_frame(Packet& p, const char* cause) {
-  ++n_dropped_;
-  if (sim::TraceRecorder* t = sim_.tracer()) {
-    t->record_instant(name_, cause, sim_.now());
+void PacketPipe::drop_frame(Packet& p, const char* cause, bool rx_side) {
+  // Per-side counter and clock: tx-stage drops happen on the source
+  // shard's thread, rx-stage drops on the destination's. A drop hook
+  // fired on the rx side runs on the destination shard — hooks that
+  // reach back into tx-side state are unsupported across a boundary.
+  sim::Simulator& side = rx_side ? dst_sim_ : src_sim_;
+  ++(rx_side ? n_rx_dropped_ : n_tx_dropped_);
+  if (sim::TraceRecorder* t = side.tracer()) {
+    t->record_instant(name_, cause, side.now());
   }
   if (p.fire_drop) p.desc.fire_drop();
+}
+
+void PacketPipe::schedule_arrival(sim::SimTime delay, Packet p) {
+  const sim::SimTime send = src_sim_.now();
+  const std::uint64_t seq = arrival_seq_++;
+  if (!cross_shard_) {
+    dst_sim_.call_at_tagged(send + delay, send, order_tag_, seq,
+                            [this, frame = std::move(p)]() mutable {
+                              deliver_to_rx(std::move(frame));
+                            });
+    return;
+  }
+  src_sim_.shard_group()->post(
+      src_sim_.shard_index(), dst_sim_.shard_index(), send + delay, send,
+      order_tag_, seq, sim::SmallFn([this, frame = std::move(p)]() mutable {
+        deliver_to_rx(std::move(frame));
+      }));
 }
 
 sim::SimTime PacketPipe::tx_cpu_cost() const {
@@ -136,9 +182,9 @@ sim::Task<void> PacketPipe::wire_pump() {
       // is listening on the far end. Pure function of time, so flap
       // windows reproduce exactly regardless of traffic.
       if (f.cfg.flap_enabled() &&
-          sim_.now() % f.cfg.flap_period < f.cfg.flap_down) {
+          src_sim_.now() % f.cfg.flap_period < f.cfg.flap_down) {
         ++n_flap_drops_;
-        drop_frame(p, "flap-drop");
+        drop_frame(p, "flap-drop", /*rx_side=*/false);
         continue;
       }
       // One RNG draw per *configured* feature per frame, in a fixed
@@ -156,29 +202,29 @@ sim::Task<void> PacketPipe::wire_pump() {
         if (pl > 0.0 && f.rng.uniform() < pl) lost = true;
       }
       if (lost) {
-        drop_frame(p, "drop");
+        drop_frame(p, "drop", /*rx_side=*/false);
         continue;
       }
       if (f.cfg.corrupt > 0.0 && f.rng.uniform() < f.cfg.corrupt) {
         p.corrupted = true;
         ++n_corrupted_;
-        if (sim::TraceRecorder* t = sim_.tracer()) {
-          t->record_instant(name_, "corrupt", sim_.now());
+        if (sim::TraceRecorder* t = src_sim_.tracer()) {
+          t->record_instant(name_, "corrupt", src_sim_.now());
         }
       }
       if (f.cfg.duplicate > 0.0 && !p.injected_dup &&
           f.rng.uniform() < f.cfg.duplicate) {
         duplicate = true;
         ++n_duplicated_;
-        if (sim::TraceRecorder* t = sim_.tracer()) {
-          t->record_instant(name_, "dup", sim_.now());
+        if (sim::TraceRecorder* t = src_sim_.tracer()) {
+          t->record_instant(name_, "dup", src_sim_.now());
         }
       }
       if (f.cfg.reorder > 0.0 && f.rng.uniform() < f.cfg.reorder) {
         extra_delay = f.cfg.reorder_delay;
         ++n_reordered_;
-        if (sim::TraceRecorder* t = sim_.tracer()) {
-          t->record_instant(name_, "reorder", sim_.now());
+        if (sim::TraceRecorder* t = src_sim_.tracer()) {
+          t->record_instant(name_, "reorder", src_sim_.now());
         }
       }
     }
@@ -189,19 +235,13 @@ sim::Task<void> PacketPipe::wire_pump() {
       Packet copy = p;
       copy.injected_dup = true;
       copy.fire_drop = false;
-      sim_.call_after(link_.propagation + extra_delay + 1,
-                      [this, dup = std::move(copy)]() mutable {
-                        deliver_to_rx(std::move(dup));
-                      });
+      schedule_arrival(link_.propagation + extra_delay + 1, std::move(copy));
     }
     // Propagation does not occupy the wire; hand the frame to the receive
-    // side with a fire-and-forget timer so back-to-back frames pipeline.
-    // The move-only callback slot carries the Packet in the event node
-    // itself — no per-frame shared_ptr wrap.
-    sim_.call_after(link_.propagation + extra_delay,
-                    [this, frame = std::move(p)]() mutable {
-                      deliver_to_rx(std::move(frame));
-                    });
+    // side under the shard-stable arrival key so back-to-back frames
+    // pipeline. The move-only callback slot carries the Packet in the
+    // event node itself — no per-frame shared_ptr wrap.
+    schedule_arrival(link_.propagation + extra_delay, std::move(p));
   }
 }
 
@@ -211,7 +251,7 @@ void PacketPipe::deliver_to_rx(Packet p) {
   if (nic_faults_ && nic_faults_->cfg.ring_slots > 0 &&
       rx_backlog_ >= nic_faults_->cfg.ring_slots) {
     ++n_ring_drops_;
-    drop_frame(p, "ring-overflow");
+    drop_frame(p, "ring-overflow", /*rx_side=*/true);
     return;
   }
   ++rx_backlog_;
@@ -233,12 +273,13 @@ sim::Task<void> PacketPipe::rx_dma_pump() {
         nic_faults_->rng.uniform() < nic_faults_->cfg.irq_stall) {
       stall = nic_faults_->cfg.irq_stall_time;
       ++n_irq_stalls_;
-      if (sim::TraceRecorder* t = sim_.tracer()) {
-        t->record_instant(name_, "irq-stall", sim_.now());
+      if (sim::TraceRecorder* t = dst_sim_.tracer()) {
+        t->record_instant(name_, "irq-stall", dst_sim_.now());
       }
     }
-    const sim::SimTime irq_at = coalescer_.interrupt_time(sim_.now(), stall);
-    if (sim::TraceRecorder* t = sim_.tracer()) {
+    const sim::SimTime irq_at =
+        coalescer_.interrupt_time(dst_sim_.now(), stall);
+    if (sim::TraceRecorder* t = dst_sim_.tracer()) {
       // One "irq" per frame at the (possibly mitigation-delayed) time the
       // host notices it; coalesced frames stack at the same timestamp.
       t->record_instant(name_, "irq", irq_at);
@@ -262,10 +303,18 @@ void PacketPipe::enqueue_rx_frame(sim::SimTime irq_at, Packet p) {
   }
   b.frames.push_back(std::move(p));
   rx_pending_.push_back(std::move(b));
-  sim_.call_at(irq_at, [this] { flush_rx_batch(); });
+  dst_sim_.call_at(irq_at, [this] { flush_rx_batch(); });
 }
 
 void PacketPipe::flush_rx_batch() {
+  // Verdict-at-acceptance contract: every fault decision for these
+  // frames was recorded when the frame entered its stage — flap at wire
+  // exit, ring overflow at ring admission (deliver_to_rx), irq stall at
+  // DMA completion (enqueue_rx_frame). The flush consults NO fault
+  // state: a link flap or ring reconfiguration landing inside the
+  // coalescing window can neither retro-drop an accepted frame nor
+  // revive a refused one. test_faults pins this with a flap falling
+  // between acceptance and flush.
   assert(!rx_pending_.empty());
   RxBatch b = std::move(rx_pending_.front());
   rx_pending_.pop_front();

@@ -75,8 +75,23 @@ struct Packet {
 static_assert(sizeof(Packet) <= 32, "Packet must stay within SmallFn's "
               "inline budget for [this, frame] event captures");
 
+/// The pipe is *two-sided*: the transmit stages (tx cpu, tx DMA, wire
+/// serialization, fault injection) run on the source node's simulator,
+/// the receive stages (rx DMA, interrupt coalescing, rx cpu, delivery)
+/// on the destination node's. In the common serial case both nodes
+/// share one simulator and nothing changes; when a ShardGroup workload
+/// places the endpoints on different shards, the wire exit becomes a
+/// timestamped cross-shard message carrying the shard-stable
+/// (at, sched, tag, seq) arrival key (see DESIGN.md section 10). A
+/// cross-shard pipe must have propagation > 0 (its delay is the
+/// conservative lookahead) and must not use rx-side drop hooks that
+/// reach back into tx-side state.
 class PacketPipe {
  public:
+  /// `sim` must be the source node's simulator (it drives the transmit
+  /// stages); the destination side runs on dst.simulator(). Throws
+  /// std::invalid_argument if the endpoints sit on different shards and
+  /// the link has zero propagation delay.
   PacketPipe(sim::Simulator& sim, Node& src, Node& dst, NicConfig nic,
              LinkConfig link, std::string name);
 
@@ -103,8 +118,12 @@ class PacketPipe {
   std::uint64_t packets_delivered() const noexcept { return n_delivered_; }
 
   /// Frames discarded by fault injection, all causes combined (random
-  /// loss, burst loss, link flaps, NIC ring overflow).
-  std::uint64_t packets_dropped() const noexcept { return n_dropped_; }
+  /// loss, burst loss, link flaps, NIC ring overflow). Stored per side
+  /// (tx-stage drops and rx-stage drops are counted by different shards
+  /// when the pipe crosses a boundary); read only after the run.
+  std::uint64_t packets_dropped() const noexcept {
+    return n_tx_dropped_ + n_rx_dropped_;
+  }
   std::uint64_t packets_corrupted() const noexcept { return n_corrupted_; }
   std::uint64_t packets_duplicated() const noexcept { return n_duplicated_; }
   std::uint64_t packets_reordered() const noexcept { return n_reordered_; }
@@ -178,7 +197,17 @@ class PacketPipe {
   sim::Task<void> rx_cpu_pump();
 
   /// Discards a frame: counters, trace instant, drop-hook notification.
-  void drop_frame(Packet& p, const char* cause);
+  /// `rx_side` selects the counter slot and the simulator whose clock /
+  /// tracer the event belongs to.
+  void drop_frame(Packet& p, const char* cause, bool rx_side);
+
+  /// Hands a wire-exited frame to the receive side `delay` ns from now,
+  /// under the shard-stable arrival key (send time, this pipe's order
+  /// tag, the per-pipe arrival counter). Same-simulator pipes push the
+  /// tagged event directly; cross-shard pipes post it to the group for
+  /// injection at the window barrier. Using one entry point for both is
+  /// what makes every shard layout pop events in the same order.
+  void schedule_arrival(sim::SimTime delay, Packet p);
 
   /// Arrival at the receive NIC (post-propagation): rx-ring admission.
   void deliver_to_rx(Packet p);
@@ -194,12 +223,18 @@ class PacketPipe {
   std::uint64_t pci_effective_bytes(const Node& host,
                                     std::uint64_t bytes) const;
 
-  sim::Simulator& sim_;
+  sim::Simulator& src_sim_;  ///< drives the transmit stages
+  sim::Simulator& dst_sim_;  ///< drives the receive stages
   Node& src_;
   Node& dst_;
   NicConfig nic_;
   LinkConfig link_;
   std::string name_;
+  bool cross_shard_ = false;
+  /// Shard-stable ordering tag for arrivals (derived from the pipe name,
+  /// never kLocalEventTag); see EventQueue's key documentation.
+  std::uint64_t order_tag_ = 0;
+  std::uint64_t arrival_seq_ = 0;  ///< per-pipe arrival counter (tx side)
 
   sim::RateResource wire_;
   RxCoalescer coalescer_;
@@ -219,7 +254,8 @@ class PacketPipe {
   std::vector<FrameBatch> batch_pool_;
 
   std::uint64_t n_delivered_ = 0;
-  std::uint64_t n_dropped_ = 0;
+  std::uint64_t n_tx_dropped_ = 0;  ///< wire-stage drops (source shard)
+  std::uint64_t n_rx_dropped_ = 0;  ///< ring-stage drops (destination shard)
   std::uint64_t n_corrupted_ = 0;
   std::uint64_t n_duplicated_ = 0;
   std::uint64_t n_reordered_ = 0;

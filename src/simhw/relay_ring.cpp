@@ -1,0 +1,169 @@
+#include "simhw/relay_ring.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "faults/config.h"
+#include "simcore/random.h"
+#include "simcore/task.h"
+
+namespace pp::hw {
+
+namespace {
+
+/// The relayed descriptor. Allocated fresh from the *relaying* node's
+/// arena at every hop — the frame that crossed a shard boundary holds
+/// the only reference into the upstream shard's arena, and it dies on
+/// this side of the hop.
+struct Token {
+  std::uint32_t origin = 0;
+  std::uint32_t id = 0;
+  std::int32_t hops_left = 0;
+};
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+struct RelayRing::State {
+  std::vector<std::uint64_t> node_retired;  ///< per node, owner-shard writes
+  std::vector<sim::SimTime> shard_last;     ///< per shard, own-slot writes
+};
+
+namespace {
+
+Packet make_token_frame(sim::Simulator& sim, std::uint64_t payload_bytes,
+                        Token tok) {
+  Packet p;
+  p.dma_bytes = payload_bytes;
+  p.wire_bytes = payload_bytes;
+  p.desc = sim.packet_arena().make<Token>(tok);
+  return p;
+}
+
+/// Per-node token origin: `tokens` injections into the node's outgoing
+/// pipe, jittered by a stream derived from (run seed, node id) — the
+/// stream never depends on the shard count.
+sim::Task<void> token_source(Node& node, PacketPipe& out,
+                             const RelayRingOptions opt) {
+  sim::Simulator& sim = node.simulator();
+  sim::SplitMix64 rng(faults::derive_seed(
+      opt.seed, std::string("relay.src#") + std::to_string(node.id())));
+  const auto gap = static_cast<std::uint64_t>(opt.inject_gap);
+  sim::SimTime next = 0;
+  for (int t = 0; t < opt.tokens_per_node; ++t) {
+    next += static_cast<sim::SimTime>(gap / 2 + rng.below(gap + 1));
+    co_await sim.delay_until(next);
+    const std::int32_t hops = opt.hops > 0 ? opt.hops - 1 : 0;
+    out.inject(make_token_frame(sim, opt.payload_bytes,
+                                Token{static_cast<std::uint32_t>(node.id()),
+                                      static_cast<std::uint32_t>(t), hops}));
+  }
+}
+
+/// Per-node relay: takes frames off the incoming pipe, does the relay's
+/// staging copy on the local CPU, and either retires the token or
+/// re-injects a locally-allocated copy one hop onward.
+sim::Task<void> relay_pump(RelayRing::State& st, Node& node, PacketPipe& in,
+                           PacketPipe& out, int shard,
+                           std::uint64_t payload_bytes) {
+  sim::Simulator& sim = node.simulator();
+  for (;;) {
+    Packet p = co_await in.delivered().pop();
+    Token tok = *p.desc.get<Token>();
+    // Drop the upstream reference before the copy stalls us: the frame's
+    // descriptor belongs to the sending shard's arena.
+    p.desc.reset();
+    co_await node.staging_copy(payload_bytes);
+    if (tok.hops_left <= 0) {
+      ++st.node_retired[static_cast<std::size_t>(node.id())];
+      st.shard_last[static_cast<std::size_t>(shard)] =
+          std::max(st.shard_last[static_cast<std::size_t>(shard)], sim.now());
+      continue;
+    }
+    --tok.hops_left;
+    out.inject(make_token_frame(sim, payload_bytes, tok));
+  }
+}
+
+}  // namespace
+
+RelayRing::RelayRing(const RelayRingOptions& opt)
+    : opt_(opt), group_(opt.shards) {
+  if (opt_.nodes < 2) throw std::invalid_argument("RelayRing: nodes < 2");
+  if (opt_.shards < 1) throw std::invalid_argument("RelayRing: shards < 1");
+  if (opt_.shards > opt_.nodes) {
+    throw std::invalid_argument("RelayRing: more shards than nodes");
+  }
+
+  // The cluster is anchored on shard 0's simulator, but every node is
+  // placed explicitly on its own shard; only node placement decides
+  // which links cross a boundary.
+  cluster_ = std::make_unique<Cluster>(group_.shard(0), opt_.seed);
+  HostConfig host;
+  host.name = "relay";
+  for (int i = 0; i < opt_.nodes; ++i) {
+    cluster_->add_node(host, group_.shard(shard_of(i)));
+  }
+  for (int i = 0; i < opt_.nodes; ++i) {
+    cluster_->connect(cluster_->node(static_cast<std::size_t>(i)),
+                      cluster_->node(static_cast<std::size_t>((i + 1) %
+                                                              opt_.nodes)),
+                      opt_.nic, opt_.link);
+  }
+
+  state_ = std::make_unique<State>();
+  state_->node_retired.assign(static_cast<std::size_t>(opt_.nodes), 0);
+  state_->shard_last.assign(static_cast<std::size_t>(opt_.shards), 0);
+
+  for (int i = 0; i < opt_.nodes; ++i) {
+    Node& node = cluster_->node(static_cast<std::size_t>(i));
+    // connect() pushes the forward pipe first: node i's outgoing ring
+    // pipe is pipes()[2*i], its incoming one pipes()[2*((i-1+N)%N)].
+    PacketPipe& out = *cluster_->pipes()[static_cast<std::size_t>(2 * i)];
+    PacketPipe& in = *cluster_->pipes()[static_cast<std::size_t>(
+        2 * ((i - 1 + opt_.nodes) % opt_.nodes))];
+    node.simulator().spawn_daemon(
+        relay_pump(*state_, node, in, out, shard_of(i), opt_.payload_bytes),
+        std::string("relay#") + std::to_string(i));
+    node.simulator().spawn(token_source(node, out, opt_),
+                           std::string("src#") + std::to_string(i));
+  }
+}
+
+RelayRing::~RelayRing() = default;
+
+RelayRingResult RelayRing::run() {
+  group_.run();
+
+  RelayRingResult r;
+  r.per_node_retired = state_->node_retired;
+  for (std::uint64_t n : r.per_node_retired) r.tokens_retired += n;
+  for (sim::SimTime t : state_->shard_last) {
+    r.completion_time = std::max(r.completion_time, t);
+  }
+  for (PacketPipe* p : cluster_->pipes()) {
+    r.per_pipe_delivered.push_back(p->packets_delivered());
+    r.per_pipe_dropped.push_back(p->packets_dropped());
+    r.hops_total += p->packets_delivered();
+  }
+
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a(h, r.tokens_retired);
+  h = fnv1a(h, r.hops_total);
+  h = fnv1a(h, static_cast<std::uint64_t>(r.completion_time));
+  for (std::uint64_t v : r.per_node_retired) h = fnv1a(h, v);
+  for (std::uint64_t v : r.per_pipe_delivered) h = fnv1a(h, v);
+  for (std::uint64_t v : r.per_pipe_dropped) h = fnv1a(h, v);
+  r.checksum = h;
+  return r;
+}
+
+}  // namespace pp::hw

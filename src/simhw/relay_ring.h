@@ -1,0 +1,97 @@
+// A shardable cluster-scale workload: a token-relay ring over raw
+// packet pipes.
+//
+// N nodes form a unidirectional ring. Each node originates a number of
+// tokens (with per-node deterministic jitter between injections); every
+// token is relayed hop by hop for a fixed hop count, then retires at
+// whichever node it lands on. All traffic is raw PacketPipe frames — no
+// TCP — so the ring can be partitioned across a sim::ShardGroup at any
+// contiguous block boundary (TCP endpoints mutate peer state directly
+// and must stay co-located; the relay ring exists precisely to give the
+// sharding machinery a 64+-node workload it can cut anywhere).
+//
+// The result struct is canonical (per-node and per-pipe vectors in
+// index order, one order-independent checksum), so the determinism
+// suite can assert bit-identity across shard counts {1, 2, 8}, fault
+// plans included.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "simcore/shard.h"
+#include "simcore/simulator.h"
+#include "simhw/cluster.h"
+#include "simhw/config.h"
+
+namespace pp::hw {
+
+struct RelayRingOptions {
+  int nodes = 64;
+  /// Shards to partition the ring across (contiguous blocks). 1 runs the
+  /// whole ring on a single simulator — the serial reference.
+  int shards = 1;
+  int tokens_per_node = 4;
+  /// Hops each token travels before retiring.
+  int hops = 8;
+  std::uint64_t payload_bytes = 4096;
+  /// Cluster run seed: per-node injection jitter and every pipe's fault
+  /// streams derive from it (shard-count-independent).
+  std::uint64_t seed = 1;
+  /// Mean gap between a node's token injections (jittered per node).
+  sim::SimTime inject_gap = sim::microseconds(50);
+  NicConfig nic;
+  LinkConfig link;  ///< propagation must be > 0 when shards > 1
+};
+
+struct RelayRingResult {
+  std::uint64_t tokens_retired = 0;
+  std::uint64_t hops_total = 0;  ///< frames delivered across all pipes
+  /// Virtual time of the last token retirement (max over shards —
+  /// order-independent, so shard-layout-stable).
+  sim::SimTime completion_time = 0;
+  std::vector<std::uint64_t> per_node_retired;    ///< node index order
+  std::vector<std::uint64_t> per_pipe_delivered;  ///< pipe index order
+  std::vector<std::uint64_t> per_pipe_dropped;    ///< pipe index order
+  /// FNV-1a fold of everything above, in index order: one word to
+  /// compare across shard counts / schedulers / packet paths.
+  std::uint64_t checksum = 0;
+};
+
+/// Builds the ring on construction (nodes partitioned across the shard
+/// group, relay daemons and token sources spawned), runs on demand.
+/// Tests may attach per-shard tracers or apply fault plans between
+/// construction and run().
+class RelayRing {
+ public:
+  struct State;  ///< internal per-run counters (defined in relay_ring.cpp)
+
+  explicit RelayRing(const RelayRingOptions& opt);
+  ~RelayRing();
+  RelayRing(const RelayRing&) = delete;
+  RelayRing& operator=(const RelayRing&) = delete;
+
+  sim::ShardGroup& group() noexcept { return group_; }
+  Cluster& cluster() noexcept { return *cluster_; }
+
+  /// Shard owning node `i` (contiguous block partition).
+  int shard_of(int node) const noexcept {
+    return static_cast<int>(static_cast<long long>(node) * opt_.shards /
+                            opt_.nodes);
+  }
+
+  /// Runs the ring to completion (ShardGroup::run) and returns the
+  /// canonical result.
+  RelayRingResult run();
+
+ private:
+  RelayRingOptions opt_;
+  sim::ShardGroup group_;
+  // Destroyed before group_'s simulators: pipes and rings hold packet
+  // descriptors that must die before any shard's arena.
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace pp::hw

@@ -89,14 +89,15 @@ void append_job(std::ostringstream& os, const JobResult& j,
 std::string JsonReporter::to_json(const std::vector<SweepResult>& sweeps,
                                   const Options& options) {
   std::ostringstream os;
-  os << "{\"schema\":\"pp.sweep/3\"";
+  os << "{\"schema\":\"pp.sweep/4\"";
   os << ",\"sweeps\":[";
   for (std::size_t s = 0; s < sweeps.size(); ++s) {
     const SweepResult& sw = sweeps[s];
     if (s > 0) os << ",";
     os << "{\"name\":\"" << escaped(sw.name) << "\"";
     if (options.include_timing) {
-      os << ",\"threads\":" << sw.threads
+      os << ",\"shards\":" << sw.shards
+         << ",\"threads\":" << sw.threads
          << ",\"wall_ms\":" << number(sw.wall_ms)
          << ",\"serial_ms\":" << number(sw.serial_ms)
          << ",\"speedup_vs_serial\":" << number(sw.speedup());

@@ -1,10 +1,10 @@
 // Machine-readable sweep reports (the BENCH_sweep.json trajectory).
 //
-// Schema (version pp.sweep/3):
+// Schema (version pp.sweep/4):
 //   {
-//     "schema": "pp.sweep/3",
+//     "schema": "pp.sweep/4",
 //     "sweeps": [
-//       { "name": ..., "threads": N,
+//       { "name": ..., "shards": N, "threads": N,
 //         "wall_ms": ..., "serial_ms": ..., "speedup_vs_serial": ...,
 //         "jobs": [
 //           { "label": ..., "ok": true|false,
@@ -33,7 +33,14 @@
 // "wall_ms") are omitted entirely — the canonical form the determinism
 // tests compare byte-for-byte. Consumers must treat them as optional.
 //
-// pp.sweep/3 adds per-job degraded-run reporting ("status", "retries")
+// pp.sweep/4 adds the per-sweep "shards" field (the ambient shard count
+// SweepOptions::shards installed around the jobs; 0 = jobs ran with the
+// ambient default). Like "threads" it describes how the sweep was
+// executed, not what it measured — sharded runs are bit-identical to
+// serial ones — so it lives with the host-timing fields and is omitted
+// from the canonical form, which therefore stays byte-identical across
+// shard counts (the shard-determinism suite asserts exactly that).
+// pp.sweep/3 added per-job degraded-run reporting ("status", "retries")
 // and the fault/recovery counters (checksum_drops, rendezvous_retries,
 // delivery_failures); "counters" is now emitted for failed jobs too so a
 // watchdog-killed run still shows how far its recovery machinery got.
@@ -53,9 +60,9 @@ namespace pp::sweep {
 class JsonReporter {
  public:
   struct Options {
-    /// When false, every host-timing-dependent field — per-sweep
-    /// "threads", "wall_ms", "serial_ms", "speedup_vs_serial" and
-    /// per-job "wall_ms" — is omitted. What remains is a pure function
+    /// When false, every execution-dependent field — per-sweep
+    /// "shards", "threads", "wall_ms", "serial_ms", "speedup_vs_serial"
+    /// and per-job "wall_ms" — is omitted. What remains is a pure function
     /// of the simulation, so two runs of the same deterministic spec
     /// produce byte-identical strings regardless of thread count or
     /// host load. The determinism and differential test suites compare
@@ -63,7 +70,7 @@ class JsonReporter {
     bool include_timing = true;
   };
 
-  /// Serializes the sweeps to the pp.sweep/3 schema.
+  /// Serializes the sweeps to the pp.sweep/4 schema.
   static std::string to_json(const std::vector<SweepResult>& sweeps,
                              const Options& options);
   static std::string to_json(const std::vector<SweepResult>& sweeps) {

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "simcore/shard.h"
 #include "simcore/simulator.h"
 #include "sweep/thread_pool.h"
 
@@ -43,6 +44,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opt) {
                                ? static_cast<unsigned>(opt.threads)
                                : ThreadPool::default_threads();
   out.threads = static_cast<int>(threads);
+  out.shards = opt.shards;
 
   // Each worker writes only its own slot; the exception slots are
   // likewise per-job, so the only cross-thread coordination lives inside
@@ -65,6 +67,17 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opt) {
         if (opt.scheduler) sched_guard.emplace(*opt.scheduler);
         std::optional<sim::ScopedPacketPath> packets_guard;
         if (opt.packet_path) packets_guard.emplace(*opt.packet_path);
+        std::optional<sim::ScopedShards> shards_guard;
+        if (opt.shards > 0) shards_guard.emplace(opt.shards);
+        // Never invoke the spec's own closure: std::function's const
+        // operator() still reaches `mutable` captured state (consumed
+        // RNG engines, partially-applied fault plans), so a watchdog
+        // retry through the same object would resume from whatever the
+        // aborted attempt left behind. Each attempt gets a fresh copy of
+        // this pristine closure — per-run state is re-derived from the
+        // original spec and a retried job is bit-identical to a clean
+        // first run at the doubled budget.
+        const std::function<netpipe::RunResult()> pristine = spec.jobs[i].run;
         for (int attempt = 0; attempt < attempts; ++attempt) {
           try {
             // Budgets double per retry: a fault schedule may legitimately
@@ -78,9 +91,11 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opt) {
                                 : 0,
                             lim.event_budget * scale);
             }
-            jr.result = spec.jobs[i].run();
+            std::function<netpipe::RunResult()> fresh = pristine;
+            jr.result = fresh();
             jr.ok = true;
             jr.status = JobStatus::kOk;
+            jr.error.clear();  // drop the kept watchdog message on a retry
             break;
           } catch (const sim::BudgetExceededError& e) {
             // Watchdog kill: degrade, never abort the sweep. Retry with

@@ -71,6 +71,7 @@ struct SweepResult {
   std::string name;
   std::vector<JobResult> jobs;  ///< always in SweepSpec order
   int threads = 0;              ///< pool size used
+  int shards = 0;               ///< SweepOptions::shards the jobs saw
   double wall_ms = 0.0;         ///< whole-sweep wall clock
   double serial_ms = 0.0;       ///< sum of per-job wall clocks
 
@@ -120,6 +121,12 @@ struct SweepOptions {
   /// the ambient default. The differential harness runs the same spec
   /// once per PacketPathKind and asserts identical results.
   std::optional<sim::PacketPathKind> packet_path;
+  /// Ambient shard count (sim::ScopedShards) installed around each job,
+  /// for factories that build shard-aware workloads via ambient_shards().
+  /// 0 (the default) leaves the ambient value untouched. Sharded runs
+  /// are bit-identical to serial ones, so this only changes how a job
+  /// spends host cores, never what it measures.
+  int shards = 0;
 };
 
 /// Runs every job of `spec` on a thread pool and returns the results in

@@ -20,7 +20,10 @@
 #include "mp/mplite.h"
 #include "mp/testbed.h"
 #include "netpipe/runner.h"
+#include "simcore/shard.h"
+#include "simcore/time.h"
 #include "simhw/presets.h"
+#include "simhw/relay_ring.h"
 #include "sweep/json_report.h"
 #include "sweep/sweep.h"
 #include "tcpsim/socket.h"
@@ -201,10 +204,83 @@ TEST(Determinism, CanonicalReportOmitsHostTiming) {
   EXPECT_EQ(c.find("serial_ms"), std::string::npos);
   EXPECT_EQ(c.find("speedup_vs_serial"), std::string::npos);
   EXPECT_EQ(c.find("\"threads\""), std::string::npos);
+  EXPECT_EQ(c.find("\"shards\""), std::string::npos);
   // While the full report still carries them.
   const std::string full = sweep::JsonReporter::to_json({sr});
   EXPECT_NE(full.find("wall_ms"), std::string::npos);
   EXPECT_NE(full.find("\"threads\""), std::string::npos);
+  EXPECT_NE(full.find("\"shards\""), std::string::npos);
+}
+
+// ---- Sharded execution -----------------------------------------------------
+
+/// A cluster-scale relay-ring job whose workload partitions itself over
+/// the ambient shard count (SweepOptions::shards → ScopedShards). The
+/// RelayRingResult is folded into the RunResult so the canonical JSON
+/// captures every counter bit.
+sweep::JobSpec relay_ring_job(int index, double loss, std::uint64_t seed) {
+  const std::string label = "relay" + std::to_string(index) +
+                            (loss > 0.0 ? "_faulted" : "");
+  auto run = [loss, seed] {
+    hw::RelayRingOptions opt;
+    opt.nodes = 16;
+    opt.shards = std::max(1, sim::ambient_shards());
+    opt.tokens_per_node = 2;
+    opt.hops = 4;
+    opt.seed = seed;
+    hw::RelayRing ring(opt);
+    if (loss > 0.0) {
+      for (hw::PacketPipe* p : ring.cluster().pipes()) p->set_loss(loss);
+    }
+    const hw::RelayRingResult r = ring.run();
+    netpipe::RunResult out;
+    out.transport = "relay_ring16";
+    out.latency_us = sim::to_microseconds(r.completion_time);
+    out.max_mbps = static_cast<double>(r.checksum % 1000003);
+    out.half_performance_bytes = r.tokens_retired;
+    out.saturation_bytes = r.hops_total;
+    out.counters.data_segments = r.tokens_retired;
+    out.counters.relay_fragments = r.hops_total;
+    out.counters.staged_bytes = r.checksum;
+    std::uint64_t drops = 0;
+    for (std::uint64_t d : r.per_pipe_dropped) drops += d;
+    out.counters.wire_drops = drops;
+    out.points.push_back({r.tokens_retired, r.completion_time});
+    return out;
+  };
+  return sweep::JobSpec{label, std::move(run)};
+}
+
+sweep::SweepSpec relay_ring_spec() {
+  sweep::SweepSpec spec;
+  spec.name = "shard_determinism";
+  spec.jobs.push_back(relay_ring_job(0, 0.0, 11));
+  spec.jobs.push_back(relay_ring_job(1, 0.0, 22));
+  spec.jobs.push_back(relay_ring_job(2, 0.03, 33));
+  spec.jobs.push_back(relay_ring_job(3, 0.03, 44));
+  return spec;
+}
+
+TEST(Determinism, ShardCountNeverChangesResults) {
+  // The tentpole claim: partitioning one big simulation across worker
+  // threads is invisible — canonical JSON (counters, checksums and
+  // completion times included) is byte-identical for shards 1, 2 and 8,
+  // with fault plans armed, and matches the unsharded serial run.
+  sweep::SweepOptions serial;
+  serial.threads = 2;  // thread-pool parallelism on top, as in real use
+  const auto baseline = sweep::run_sweep(relay_ring_spec(), serial);
+  const std::string canon = canonical(baseline);
+  EXPECT_GT(baseline.jobs[2].result.counters.wire_drops, 0u)
+      << "faulted job injected nothing";
+
+  for (int shards : {1, 2, 8}) {
+    sweep::SweepOptions opt;
+    opt.threads = 2;
+    opt.shards = shards;
+    const auto got = sweep::run_sweep(relay_ring_spec(), opt);
+    EXPECT_EQ(canonical(got), canon) << "shards=" << shards;
+    expect_results_eq(baseline, got);
+  }
 }
 
 }  // namespace

@@ -25,8 +25,11 @@
 #include "netpipe/runner.h"
 #include "simcore/event_queue.h"
 #include "simcore/packet_arena.h"
+#include "simcore/shard.h"
+#include "simcore/time.h"
 #include "simcore/tracing.h"
 #include "simhw/presets.h"
+#include "simhw/relay_ring.h"
 #include "sweep/json_report.h"
 #include "sweep/sweep.h"
 
@@ -272,6 +275,79 @@ TEST(Differential, TraceTimelinesMatchEventForEvent) {
   const std::string calendar = traced_run(sim::SchedulerKind::kCalendar);
   ASSERT_FALSE(legacy.empty());
   EXPECT_EQ(legacy, calendar);
+}
+
+// ---- Shard axis: conservative parallel execution vs serial -----------------
+
+/// A relay-ring sweep whose jobs partition themselves over the ambient
+/// shard count (installed by SweepOptions::shards).
+sweep::SweepSpec sharded_relay_spec() {
+  sweep::SweepSpec spec;
+  spec.name = "sharded_relay";
+  std::uint64_t seed = 7;
+  for (double loss : {0.0, 0.02}) {
+    const std::uint64_t job_seed = seed++;
+    const std::string label =
+        loss > 0.0 ? "ring16_faulted" : "ring16_clean";
+    spec.jobs.push_back(sweep::JobSpec{label, [loss, job_seed] {
+      hw::RelayRingOptions opt;
+      opt.nodes = 16;
+      opt.shards = std::max(1, sim::ambient_shards());
+      opt.tokens_per_node = 2;
+      opt.hops = 4;
+      opt.seed = job_seed;
+      hw::RelayRing ring(opt);
+      if (loss > 0.0) {
+        for (hw::PacketPipe* p : ring.cluster().pipes()) p->set_loss(loss);
+      }
+      const hw::RelayRingResult r = ring.run();
+      netpipe::RunResult out;
+      out.transport = "relay_ring16";
+      out.latency_us = sim::to_microseconds(r.completion_time);
+      out.max_mbps = static_cast<double>(r.checksum % 1000003);
+      out.half_performance_bytes = r.tokens_retired;
+      out.saturation_bytes = r.hops_total;
+      out.counters.data_segments = r.tokens_retired;
+      out.counters.relay_fragments = r.hops_total;
+      out.counters.staged_bytes = r.checksum;
+      for (std::uint64_t d : r.per_pipe_dropped)
+        out.counters.wire_drops += d;
+      out.points.push_back({r.tokens_retired, r.completion_time});
+      return out;
+    }});
+  }
+  return spec;
+}
+
+TEST(ShardDifferential, SchedulersAgreeAtEveryShardCount) {
+  // Two independent axes crossed: the event-queue backend must not care
+  // whether the ring runs serially or split across 2 or 8 shards, and
+  // the sharding must not care which queue backend each shard runs.
+  for (int shards : {1, 2, 8}) {
+    sweep::SweepOptions legacy;
+    legacy.scheduler = sim::SchedulerKind::kLegacyHeap;
+    legacy.shards = shards;
+    sweep::SweepOptions calendar;
+    calendar.scheduler = sim::SchedulerKind::kCalendar;
+    calendar.shards = shards;
+    expect_runs_agree(sharded_relay_spec(), legacy, calendar);
+  }
+}
+
+TEST(ShardDifferential, ShardedRunMatchesSerialUnderBothPacketPaths) {
+  // The packet-path axis at shards=2: arena slots hop between per-shard
+  // arenas on cross-shard links, the legacy path clones heap
+  // descriptors — both must match their own serial run and each other.
+  for (auto kind :
+       {sim::PacketPathKind::kLegacyHeap, sim::PacketPathKind::kArena}) {
+    sweep::SweepOptions serial;
+    serial.packet_path = kind;
+    serial.shards = 1;
+    sweep::SweepOptions sharded;
+    sharded.packet_path = kind;
+    sharded.shards = 2;
+    expect_runs_agree(sharded_relay_spec(), serial, sharded);
+  }
 }
 
 TEST(Differential, EnvironmentVariableSelectsLegacy) {

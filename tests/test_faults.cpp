@@ -452,6 +452,55 @@ TEST(TcpRecovery, WireDropsCountBothDirections) {
             p.sock_a.tx_wire_drops() + p.sock_b.tx_wire_drops());
 }
 
+// Regression for the batched-rx fault contract: the flap verdict is
+// recorded when the frame exits the wire, NOT when its coalesced
+// interrupt batch flushes. A frame accepted while the link was up must
+// deliver even if a flap lands inside the coalescing window, and a
+// frame that hit a down window stays dropped even when the flush
+// happens after the link came back. Evaluating any fault state at
+// flush time would retro-drop (or revive) across the window.
+TEST(LinkFaults, FlapInsideCoalescingWindowCannotRetroDropOrRevive) {
+  sim::Simulator sim;
+  hw::Cluster cluster(sim, 5);
+  auto& a = cluster.add_node(presets::pentium4_pc());
+  auto& b = cluster.add_node(presets::pentium4_pc());
+  hw::NicConfig nic = presets::netgear_ga620();
+  // Stretch the coalescing window so the interrupt flush trails the
+  // wire exit by ~5 ms — far across a flap edge.
+  nic.sparse_irq_delay = sim::milliseconds(5.0);
+  nic.busy_irq_delay = sim::milliseconds(5.0);
+  auto link = cluster.connect(a, b, nic, presets::back_to_back());
+
+  // Link deaf during [0, 1ms) of every 4 ms: down windows at [0, 1),
+  // [4, 5), [8, 9) ms ...
+  faults::LinkFaultConfig cfg;
+  cfg.flap_period = sim::milliseconds(4.0);
+  cfg.flap_down = sim::milliseconds(1.0);
+  link.forward.set_link_faults(cfg, link.forward.fault_seed());
+
+  auto inject_at = [&](sim::SimTime at) {
+    sim.call_at(at, [&] {
+      hw::Packet p;
+      p.dma_bytes = 64;
+      p.wire_bytes = 64;
+      p.desc = sim.packet_arena().make_payload(64);
+      link.forward.inject(std::move(p));
+    });
+  };
+  // Exits the wire ~3.5 ms (link up); its flush lands ~8.5 ms — inside
+  // the [8, 9) down window. Must deliver anyway.
+  inject_at(sim::milliseconds(3.5));
+  // Exits the wire ~12.2 ms — inside the [12, 13) down window; its
+  // flush would land ~17.2 ms with the link back up. Must stay dropped.
+  inject_at(sim::milliseconds(12.2));
+  sim.run();
+
+  EXPECT_EQ(link.forward.packets_delivered(), 1u);
+  EXPECT_EQ(link.forward.flap_drops(), 1u);
+  EXPECT_EQ(link.forward.packets_dropped(), 1u);
+  EXPECT_EQ(link.forward.rx_backlog(), 0u);
+}
+
 // ---- OS-bypass fabric recovery ---------------------------------------------
 
 TEST(GmRecovery, DeliveryWatchdogCompletesPingpongUnderLoss) {
@@ -618,7 +667,7 @@ TEST(SweepWatchdog, HungJobDegradesToAReportedRow) {
   EXPECT_EQ(sr.jobs[1].status, sweep::JobStatus::kOk);
 
   const std::string j = sweep::JsonReporter::to_json({sr});
-  EXPECT_NE(j.find("pp.sweep/3"), std::string::npos);
+  EXPECT_NE(j.find("pp.sweep/4"), std::string::npos);
   EXPECT_NE(j.find("\"status\":\"watchdog\""), std::string::npos);
   EXPECT_NE(j.find("\"retries\":1"), std::string::npos);
 }

@@ -1,0 +1,231 @@
+// Conservative-sharding suite: bit-identity of sharded runs against the
+// serial reference, shard-boundary edge cases (zero-latency links, timer
+// wheels under different node placements, trace/counter merging), and
+// the ShardGroup deadlock aggregation. Runs under both sanitizer labels:
+// tsan exercises the window barrier and the cross-arena release path.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "faults/config.h"
+#include "simcore/shard.h"
+#include "simcore/simulator.h"
+#include "simcore/sync.h"
+#include "simcore/task.h"
+#include "simcore/timer_wheel.h"
+#include "simcore/tracing.h"
+#include "simhw/cluster.h"
+#include "simhw/relay_ring.h"
+
+namespace pp::hw {
+namespace {
+
+using sim::microseconds;
+
+RelayRingOptions small_ring(int shards) {
+  RelayRingOptions opt;
+  opt.nodes = 16;
+  opt.shards = shards;
+  opt.tokens_per_node = 3;
+  opt.hops = 5;
+  opt.payload_bytes = 2048;
+  opt.seed = 42;
+  return opt;
+}
+
+void expect_same_result(const RelayRingResult& a, const RelayRingResult& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.tokens_retired, b.tokens_retired) << what;
+  EXPECT_EQ(a.hops_total, b.hops_total) << what;
+  EXPECT_EQ(a.completion_time, b.completion_time) << what;
+  EXPECT_EQ(a.per_node_retired, b.per_node_retired) << what;
+  EXPECT_EQ(a.per_pipe_delivered, b.per_pipe_delivered) << what;
+  EXPECT_EQ(a.per_pipe_dropped, b.per_pipe_dropped) << what;
+  EXPECT_EQ(a.checksum, b.checksum) << what;
+}
+
+TEST(ShardGroup, AmbientShardsScopesNest) {
+  EXPECT_EQ(sim::ambient_shards(), 0);
+  {
+    sim::ScopedShards outer(4);
+    EXPECT_EQ(sim::ambient_shards(), 4);
+    {
+      sim::ScopedShards inner(2);
+      EXPECT_EQ(sim::ambient_shards(), 2);
+    }
+    EXPECT_EQ(sim::ambient_shards(), 4);
+  }
+  EXPECT_EQ(sim::ambient_shards(), 0);
+}
+
+TEST(ShardGroup, RelayRingBitIdenticalAcrossShardCounts) {
+  RelayRing serial(small_ring(1));
+  const RelayRingResult reference = serial.run();
+  EXPECT_EQ(reference.tokens_retired, 16u * 3u);
+  EXPECT_EQ(reference.hops_total, reference.tokens_retired * 5u);
+  EXPECT_GT(reference.completion_time, 0);
+
+  for (int shards : {2, 8}) {
+    RelayRing ring(small_ring(shards));
+    const RelayRingResult got = ring.run();
+    expect_same_result(reference, got,
+                       "shards=" + std::to_string(shards));
+    // The conservative loop actually windowed (lookahead is the 0.5us
+    // link propagation, far below the run length).
+    EXPECT_GT(ring.group().windows(), 1u) << shards;
+  }
+}
+
+TEST(ShardGroup, RelayRingWithFaultPlanBitIdentical) {
+  auto run_with_faults = [](int shards) {
+    RelayRing ring(small_ring(shards));
+    for (PacketPipe* p : ring.cluster().pipes()) {
+      p->set_loss(0.05);
+    }
+    // One flapping link on top: drops are a pure function of wire-exit
+    // time, so they must replay identically under any partitioning.
+    PacketPipe* flappy = ring.cluster().pipes()[4];
+    faults::LinkFaultConfig cfg;
+    cfg.loss = 0.05;
+    cfg.flap_period = microseconds(400);
+    cfg.flap_down = microseconds(60);
+    flappy->set_link_faults(cfg, flappy->fault_seed());
+    return ring.run();
+  };
+
+  const RelayRingResult reference = run_with_faults(1);
+  std::uint64_t dropped = 0;
+  for (std::uint64_t d : reference.per_pipe_dropped) dropped += d;
+  EXPECT_GT(dropped, 0u) << "fault plan injected nothing";
+
+  for (int shards : {2, 8}) {
+    expect_same_result(reference, run_with_faults(shards),
+                       "faulted shards=" + std::to_string(shards));
+  }
+}
+
+TEST(ShardGroup, ZeroLatencyLinkMustBeColocated) {
+  sim::ShardGroup group(2);
+  Cluster cluster(group.shard(0), 7);
+  HostConfig host;
+  Node& n0 = cluster.add_node(host, group.shard(0));
+  Node& n1 = cluster.add_node(host, group.shard(1));
+  Node& n2 = cluster.add_node(host, group.shard(1));
+
+  NicConfig nic;
+  LinkConfig same_host;
+  same_host.propagation = 0;
+  // Cross-shard with zero propagation: no lookahead to give, rejected.
+  EXPECT_THROW(cluster.connect(n0, n1, nic, same_host),
+               std::invalid_argument);
+  // Same zero-latency link between co-located nodes is fine.
+  EXPECT_NO_THROW(cluster.connect(n1, n2, nic, same_host));
+  // And a positive-latency cross-shard link is fine and sets lookahead.
+  LinkConfig wire;
+  wire.propagation = microseconds(2);
+  EXPECT_NO_THROW(cluster.connect(n0, n1, nic, wire));
+  EXPECT_EQ(group.lookahead(), microseconds(2));
+}
+
+// A timer wheel rides its owner node's simulator. Re-partitioning the
+// cluster moves the wheel to a different shard; its firing schedule —
+// local events keyed (at, sched, kLocalEventTag, seq) — must not change.
+TEST(ShardGroup, TimerWheelOwnerMigratesShardsUnchanged) {
+  auto fire_times = [](int shards, int probe_node) {
+    RelayRing ring(small_ring(shards));
+    sim::Simulator& owner =
+        ring.cluster().node(static_cast<std::size_t>(probe_node)).simulator();
+    struct Probe {
+      sim::TimerWheel wheel;
+      sim::Timer timer;
+      sim::Simulator& sim;
+      std::vector<sim::SimTime> fires;
+      int remaining;
+      explicit Probe(sim::Simulator& s) : wheel(s), sim(s), remaining(40) {
+        timer.bind(wheel, [this] {
+          fires.push_back(sim.now());
+          if (--remaining > 0) timer.arm(sim.now() + microseconds(37));
+        });
+        timer.arm(microseconds(37));
+      }
+    } probe(owner);
+    ring.run();
+    return probe.fires;
+  };
+
+  // Node 11 lives on shard 0 when shards=1, shard 1 when shards=2,
+  // shard 5 when shards=8.
+  const std::vector<sim::SimTime> reference = fire_times(1, 11);
+  EXPECT_EQ(reference.size(), 40u);
+  EXPECT_EQ(fire_times(2, 11), reference);
+  EXPECT_EQ(fire_times(8, 11), reference);
+}
+
+// Each shard records its own trace; the merged view must carry exactly
+// the serial run's events (same spans, instants and counter samples —
+// merging is by timestamp with the shard index as tiebreak, and every
+// track lives wholly on one shard, so per-name totals are invariant).
+TEST(ShardGroup, CrossShardTraceAndCounterMergeMatchesSerial) {
+  auto trace_counts = [](int shards) {
+    RelayRing ring(small_ring(shards));
+    std::vector<sim::TraceRecorder> recorders(
+        static_cast<std::size_t>(shards));
+    for (int i = 0; i < shards; ++i) {
+      ring.group().shard(i).set_tracer(&recorders[static_cast<std::size_t>(i)]);
+    }
+    ring.run();
+    std::size_t spans = 0;
+    std::size_t instants = 0;
+    std::size_t counters = 0;
+    std::size_t drops = 0;
+    for (const auto& r : recorders) {
+      spans += r.span_count();
+      instants += r.instant_count();
+      counters += r.counter_count();
+      drops += r.instants_named("drop");
+    }
+    return std::vector<std::size_t>{spans, instants, counters, drops};
+  };
+
+  const auto reference = trace_counts(1);
+  EXPECT_GT(reference[0] + reference[1], 0u) << "tracing emitted nothing";
+  EXPECT_EQ(trace_counts(2), reference);
+  EXPECT_EQ(trace_counts(8), reference);
+}
+
+sim::Task<void> wait_forever(sim::Channel<int>& ch) {
+  co_await ch.pop();
+}
+
+TEST(ShardGroup, DeadlockAggregatesEveryShard) {
+  sim::ShardGroup group(2);
+  sim::Channel<int> a(group.shard(0));
+  sim::Channel<int> b(group.shard(1));
+  group.shard(0).spawn(wait_forever(a), "stuck-a");
+  group.shard(1).spawn(wait_forever(b), "stuck-b");
+  try {
+    group.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const sim::DeadlockError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("[shard 0]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[shard 1]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("stuck-a"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("stuck-b"), std::string::npos) << msg;
+  }
+}
+
+TEST(ShardGroup, RejectsBadConfigurations) {
+  EXPECT_THROW(sim::ShardGroup(0), std::invalid_argument);
+  RelayRingOptions opt = small_ring(2);
+  opt.nodes = 1;
+  EXPECT_THROW(RelayRing{opt}, std::invalid_argument);
+  opt = small_ring(2);
+  opt.shards = 32;  // more shards than the 16 nodes
+  EXPECT_THROW(RelayRing{opt}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pp::hw

@@ -80,7 +80,7 @@ TEST(Simulator, EventsAtSameTimeRunInScheduleOrder) {
           co_await s.delay(microseconds(1));
           ord.push_back(id);
         }(sim, order, i),
-        "p" + std::to_string(i));
+        std::string("p") + std::to_string(i));
   }
   sim.run();
   std::vector<int> expect(8);
@@ -228,7 +228,7 @@ TEST(Signal, NotifyOneWakesInFifoOrder) {
           co_await s->wait();
           ord.push_back(id);
         }(sig, order, i),
-        "w" + std::to_string(i));
+        std::string("w") + std::to_string(i));
   }
   sim.spawn(
       [](Simulator& s, std::shared_ptr<Signal> sig) -> Task<void> {
@@ -741,6 +741,29 @@ TEST(TimerWheel, CancelAndRestartDoNotFireStaleDeadlines) {
   sim.run();
   EXPECT_EQ(fires, 1);
   EXPECT_EQ(fired_at, 100000);
+}
+
+// Regression: arm(at) with `at` already in the past used to link the
+// timer into a stale wheel bucket (breaking the "every armed deadline
+// >= now" wake invariant), so the fire pass could walk right past it
+// and the run would end with the timer still armed. A past deadline
+// must clamp to now — same contract as arm_after's negative-delay
+// clamp — and fire at the current instant.
+TEST(TimerWheel, ArmInThePastClampsToNowAndStillFires) {
+  Simulator sim;
+  TimerWheel wheel(sim);
+  Timer t;
+  SimTime fired_at = -1;
+  t.bind(wheel, [&] { fired_at = sim.now(); });
+  // Advance virtual time far enough that a past deadline lands in a
+  // different wheel bucket (buckets are 2^17 ns wide; 3 ms back is ~22
+  // buckets behind now).
+  const SimTime now = milliseconds(50);
+  sim.call_at(now, [&] { t.arm(now - milliseconds(3)); });
+  sim.run();
+  EXPECT_EQ(fired_at, now);     // fired at the clamped deadline...
+  EXPECT_FALSE(t.armed());      // ...and the run drained; no stale timer
+  EXPECT_EQ(t.deadline(), now); // deadline() reports the clamped value
 }
 
 TEST(TimerWheel, CallbackMayRearmItself) {

@@ -13,6 +13,8 @@
 #include "mp/testbed.h"
 #include "netpipe/modules.h"
 #include "netpipe/runner.h"
+#include "simcore/random.h"
+#include "simcore/shard.h"
 #include "simhw/presets.h"
 #include "sweep/json_report.h"
 #include "sweep/sweep.h"
@@ -208,16 +210,97 @@ TEST(Sweep, AtThrowsForUnknownLabel) {
   EXPECT_THROW(sr.at("missing"), std::out_of_range);
 }
 
+/// A synthetic budgeted job: processes exactly 800 events, and its
+/// "measurement" is a pure function of the first draw from the RNG the
+/// closure captured. The `mutable` capture is the point — it models the
+/// per-run fault-plan/RNG state a real job factory might hold, which a
+/// watchdog retry must re-derive from the original spec, never consume
+/// further.
+netpipe::RunResult draw_dependent_job(sim::SplitMix64& rng) {
+  const std::uint64_t draw = rng.next();
+  sim::Simulator s;  // adopts the ambient (sweep-installed) budgets
+  for (int i = 0; i < 800; ++i) {
+    s.call_at(sim::microseconds(i + 1), [] {});
+  }
+  s.run();
+  netpipe::RunResult r;
+  r.transport = "synthetic";
+  r.max_mbps = static_cast<double>(draw % 100000);
+  r.points.push_back({1u, 1});
+  return r;
+}
+
+TEST(Sweep, WatchdogRetryIsBitIdenticalToACleanRunAtTheLargerBudget) {
+  auto make_spec = [] {
+    SweepSpec spec;
+    spec.name = "retry";
+    spec.jobs.push_back(JobSpec{
+        "draw", [rng = sim::SplitMix64(99)]() mutable {
+          return draw_dependent_job(rng);
+        }});
+    return spec;
+  };
+
+  // 500-event budget kills the 800-event job; the doubled 1000-event
+  // retry completes.
+  SweepOptions retried;
+  retried.threads = 1;
+  retried.keep_going = true;
+  retried.limits.event_budget = 500;
+  retried.watchdog_retries = 2;
+  const SweepResult a = run_sweep(make_spec(), retried);
+  ASSERT_TRUE(a.jobs[0].ok);
+  EXPECT_EQ(a.jobs[0].status, JobStatus::kOk);
+  EXPECT_EQ(a.jobs[0].retries, 1);
+  EXPECT_TRUE(a.jobs[0].error.empty()) << a.jobs[0].error;
+
+  // A clean first run at the budget the retry ended up with.
+  SweepOptions clean;
+  clean.threads = 1;
+  clean.limits.event_budget = 1000;
+  clean.watchdog_retries = 0;
+  const SweepResult b = run_sweep(make_spec(), clean);
+  ASSERT_TRUE(b.jobs[0].ok);
+  EXPECT_EQ(b.jobs[0].retries, 0);
+
+  // Bit-identical: the retry re-derived the closure's RNG state from
+  // the spec instead of resuming the aborted attempt's mutated copy.
+  EXPECT_DOUBLE_EQ(a.jobs[0].result.max_mbps, b.jobs[0].result.max_mbps);
+}
+
+TEST(Sweep, ShardsOptionInstallsTheAmbientShardCount) {
+  SweepSpec spec;
+  spec.name = "shards";
+  spec.jobs.push_back(JobSpec{"probe", [] {
+    netpipe::RunResult r;
+    r.transport = "probe";
+    r.max_mbps = static_cast<double>(sim::ambient_shards());
+    r.points.push_back({1u, 1});
+    return r;
+  }});
+  SweepOptions opt;
+  opt.threads = 1;
+  opt.shards = 3;
+  const SweepResult sr = run_sweep(spec, opt);
+  ASSERT_TRUE(sr.jobs[0].ok);
+  EXPECT_DOUBLE_EQ(sr.jobs[0].result.max_mbps, 3.0);
+  EXPECT_EQ(sr.shards, 3);
+  // Outside the sweep the ambient value is untouched.
+  EXPECT_EQ(sim::ambient_shards(), 0);
+}
+
 TEST(Json, ReportCarriesSchemaCurvesAndSpeedup) {
   SweepSpec spec;
   spec.name = "json";
   spec.jobs.push_back(JobSpec{"curve", [] { return tiny_measurement(64 << 10); }});
   const SweepResult sr = run_sweep(spec);
   const std::string j = JsonReporter::to_json({sr});
-  EXPECT_NE(j.find("\"schema\":\"pp.sweep/3\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema\":\"pp.sweep/4\""), std::string::npos);
   EXPECT_NE(j.find("\"name\":\"json\""), std::string::npos);
+  // pp.sweep/4: the sweep records the ambient shard count it installed.
+  EXPECT_NE(j.find("\"shards\":0"), std::string::npos);
   EXPECT_NE(j.find("\"label\":\"curve\""), std::string::npos);
-  // pp.sweep/3: per-job degraded-run reporting.
+  // pp.sweep/4: per-job degraded-run reporting.
   EXPECT_NE(j.find("\"status\":\"ok\""), std::string::npos);
   EXPECT_NE(j.find("\"retries\":0"), std::string::npos);
   EXPECT_NE(j.find("\"latency_us\""), std::string::npos);
@@ -266,7 +349,7 @@ TEST(Json, FailedJobSerializesErrorNotCurve) {
   EXPECT_NE(j.find("\"status\":\"error\""), std::string::npos);
   EXPECT_NE(j.find("\\\"curve\\\""), std::string::npos);  // escaped quotes
   EXPECT_EQ(j.find("\"points\""), std::string::npos);
-  // pp.sweep/3: failed jobs still carry a (zeroed) counters object.
+  // pp.sweep/4: failed jobs still carry a (zeroed) counters object.
   EXPECT_NE(j.find("\"counters\":{"), std::string::npos);
 }
 
@@ -283,7 +366,7 @@ TEST(Json, WriteProducesAParsableFileOnDisk) {
                   std::istreambuf_iterator<char>());
   EXPECT_EQ(all.front(), '{');
   EXPECT_EQ(all.back(), '\n');
-  EXPECT_NE(all.find("pp.sweep/3"), std::string::npos);
+  EXPECT_NE(all.find("pp.sweep/4"), std::string::npos);
   std::remove(path.c_str());
 }
 
