@@ -1,0 +1,117 @@
+// chaos: randomized fault-plan sweep across every protocol scenario.
+//
+// Hundreds of seeded random plans (crashes, loss, bursts, flaps, NIC
+// trouble) run against raw TCP, MPICH, GM and VIA, under both shard
+// counts {1, 2} and both packet-descriptor paths — the matrix the
+// recovery machinery must survive. Every run is classified
+// (clean | recovered | degraded | failed | hung | error) and the
+// verdicts land in BENCH_chaos.json (schema pp.sweep/5). `hung` and
+// `error` verdicts are bugs by definition: the bench exits nonzero when
+// it finds any, and the failing plan is printed as pp.faultplan/1 text
+// ready for tools/minimize_plan.
+//
+//   chaos [--plans N] [--out FILE]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.h"
+#include "faults/plan_io.h"
+#include "sweep/json_report.h"
+#include "sweep/sweep.h"
+
+using namespace pp;
+
+int main(int argc, char** argv) {
+  int plans = 250;
+  std::string out = "BENCH_chaos.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--plans") == 0 && i + 1 < argc) {
+      plans = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--plans N] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Warm the per-scenario baselines before fanning out (classification
+  // compares against them; computing them inside worker threads would
+  // serialize on the once-flags anyway).
+  for (chaos::Scenario sc : chaos::kScenarios) chaos::baseline_mbps(sc);
+
+  const struct {
+    const char* name;
+    int shards;
+    sim::PacketPathKind path;
+  } kMatrix[] = {
+      {"chaos shards=1 arena", 1, sim::PacketPathKind::kArena},
+      {"chaos shards=2 arena", 2, sim::PacketPathKind::kArena},
+      {"chaos shards=1 heap", 1, sim::PacketPathKind::kLegacyHeap},
+      {"chaos shards=2 heap", 2, sim::PacketPathKind::kLegacyHeap},
+  };
+
+  std::vector<sweep::SweepResult> results;
+  std::map<std::string, int> histogram;
+  int bad = 0;
+  for (const auto& cell : kMatrix) {
+    sweep::SweepSpec spec;
+    spec.name = cell.name;
+    std::vector<faults::FaultPlan> specs_plans;
+    for (int p = 0; p < plans; ++p) {
+      const auto seed = static_cast<std::uint64_t>(p + 1);
+      const faults::FaultPlan plan = chaos::random_plan(seed);
+      for (chaos::Scenario sc : chaos::kScenarios) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "%s seed=%llu",
+                      chaos::to_string(sc),
+                      static_cast<unsigned long long>(seed));
+        spec.jobs.push_back(chaos::scenario_job(sc, label, plan));
+        specs_plans.push_back(plan);
+      }
+    }
+
+    sweep::SweepOptions opt = chaos::chaos_sweep_options();
+    opt.shards = cell.shards;
+    opt.packet_path = cell.path;
+    sweep::SweepResult sr = run_sweep(spec, opt);
+
+    for (std::size_t j = 0; j < sr.jobs.size(); ++j) {
+      const auto sc = chaos::kScenarios[j % std::size(chaos::kScenarios)];
+      const chaos::Verdict v =
+          chaos::classify(sr.jobs[j], chaos::baseline_mbps(sc));
+      sr.jobs[j].verdict = chaos::to_string(v);
+      histogram[sr.jobs[j].verdict] += 1;
+      if (!chaos::acceptable(v)) {
+        ++bad;
+        std::printf("\nBAD RUN (%s): %s verdict=%s error=%s\n"
+                    "fault plan:\n%s",
+                    cell.name, sr.jobs[j].label.c_str(), chaos::to_string(v),
+                    sr.jobs[j].error.c_str(),
+                    faults::to_text(specs_plans[j]).c_str());
+      }
+    }
+    std::printf("%-22s %4zu runs, %6.1f ms wall (%.1fx)\n", cell.name,
+                sr.jobs.size(), sr.wall_ms, sr.speedup());
+    results.push_back(std::move(sr));
+  }
+
+  std::printf("\nverdicts over %d plans x %zu scenarios x %zu matrix cells:\n",
+              plans, std::size(chaos::kScenarios), std::size(kMatrix));
+  for (const auto& [verdict, count] : histogram) {
+    std::printf("  %-10s %6d\n", verdict.c_str(), count);
+  }
+
+  sweep::JsonReporter::write(out, results);
+  std::printf("\nwrote %s\n", out.c_str());
+  if (bad > 0) {
+    std::printf("%d hung/error run(s): shrink with tools/minimize_plan\n",
+                bad);
+    return 1;
+  }
+  return 0;
+}

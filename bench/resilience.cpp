@@ -1,13 +1,22 @@
-// resilience: throughput-vs-loss-rate curves per library.
+// resilience: throughput-vs-loss-rate and crash-recovery curves.
 //
 // The paper measures lossless testbeds; this bench measures how each
-// protocol stack degrades when the fabric is not clean. Every library
-// is swept across Bernoulli frame-loss rates injected by a FaultPlan:
-// the TCP-based libraries recover through retransmission (go-back-N
-// rewinds, RTO backoff), GM and VIA through their delivery watchdogs.
+// protocol stack degrades when the fabric is not clean. Three sweeps:
+//
+//   1. Every library across Bernoulli frame-loss rates: the TCP-based
+//      libraries recover through retransmission (go-back-N rewinds, RTO
+//      backoff), GM and VIA through their delivery watchdogs.
+//   2. A 100% loss blackout per library with the give-up caps armed:
+//      the stack must *decide* it cannot complete (status=failed,
+//      throughput reported 0.0), never hang or emit NaN/inf.
+//   3. Crash-recovery curves for the raw stacks: node 1 crashes 1 ms
+//      into the run and reboots after {1, 5, 20, 50} ms (or never) —
+//      throughput vs downtime shows what a reboot costs each protocol,
+//      and the permanent column shows the give-up caps working.
+//
 // Jobs run under the sweep watchdog with keep_going, so a configuration
 // that cannot converge degrades to a reported row instead of aborting
-// the bench. Results land in BENCH_resilience.json (schema pp.sweep/4).
+// the bench. Results land in BENCH_resilience.json (schema pp.sweep/5).
 #include <cstdio>
 #include <iterator>
 #include <string>
@@ -65,9 +74,12 @@ sweep::JobSpec bed_fault_job(std::string label, hw::HostConfig host,
   return sweep::JobSpec{std::move(label), std::move(run)};
 }
 
+/// `max_attempts` > 0 arms the delivery-attempt cap so a dead peer ends
+/// the run with a decision (status=failed) instead of retrying forever.
 sweep::JobSpec gm_fault_job(std::string label, faults::FaultPlan plan,
-                            netpipe::RunOptions opts) {
-  auto run = [plan, opts] {
+                            netpipe::RunOptions opts,
+                            std::uint32_t max_attempts = 0) {
+  auto run = [plan, opts, max_attempts] {
     sim::Simulator s;
     hw::Cluster c(s);
     auto& a = c.add_node(hw::presets::pentium4_pc());
@@ -76,6 +88,7 @@ sweep::JobSpec gm_fault_job(std::string label, faults::FaultPlan plan,
     // GM has no wire-level reliability of its own: under injected loss
     // the delivery watchdog is what completes the messages.
     if (!plan.empty()) gc.delivery_timeout = sim::microseconds(500.0);
+    gc.max_delivery_attempts = max_attempts;
     gm::GmFabric fab(c, a, b, hw::presets::myrinet_pci64a(),
                      hw::presets::back_to_back(), gc);
     faults::apply(plan, c);
@@ -86,14 +99,16 @@ sweep::JobSpec gm_fault_job(std::string label, faults::FaultPlan plan,
 }
 
 sweep::JobSpec via_fault_job(std::string label, faults::FaultPlan plan,
-                             netpipe::RunOptions opts) {
-  auto run = [plan, opts] {
+                             netpipe::RunOptions opts,
+                             std::uint32_t max_attempts = 0) {
+  auto run = [plan, opts, max_attempts] {
     sim::Simulator s;
     hw::Cluster c(s);
     auto& a = c.add_node(hw::presets::pentium4_pc());
     auto& b = c.add_node(hw::presets::pentium4_pc());
     via::ViaConfig vc;
     if (!plan.empty()) vc.delivery_timeout = sim::microseconds(500.0);
+    vc.max_delivery_attempts = max_attempts;
     via::ViaFabric fab(c, a, b, hw::presets::giganet_clan(),
                        hw::presets::switched(), vc);
     faults::apply(plan, c);
@@ -103,10 +118,70 @@ sweep::JobSpec via_fault_job(std::string label, faults::FaultPlan plan,
   return sweep::JobSpec{std::move(label), std::move(run)};
 }
 
+/// Give-up caps for runs whose plan can kill a node for good: without
+/// them a permanently dead peer means retrying forever (a hang), with
+/// them it means status=failed — the outcome the blackout and
+/// permanent-crash rows assert.
+tcp::Sysctl armed_sysctl() {
+  tcp::Sysctl s = tcp::Sysctl::tuned();
+  s.rto_give_up = 6;
+  // The failure detector must outlast the longest reboot in the crash
+  // sweep (50 ms): 5 missed probes at 20 ms declare the peer dead at
+  // ~120 ms, so every restarting node comes back inside the horizon and
+  // only the permanent column fails.
+  s.keepalive_interval = sim::milliseconds(20.0);
+  return s;
+}
+
+/// One 512 kB ping-pong, no warmup: the whole run is the one transfer
+/// the crash interrupts, so its throughput *is* the recovery curve
+/// (the standard schedule's peak would shrug off a 1 ms crash).
+netpipe::RunOptions crash_run_options() {
+  netpipe::RunOptions o;
+  o.schedule.min_bytes = 512 << 10;
+  o.schedule.max_bytes = 512 << 10;
+  o.schedule.perturbation = 0;
+  o.repeats = 1;
+  o.warmup = 0;
+  return o;
+}
+
+/// Node 1 loses power 1 ms into the run; `downtime` 0 = never reboots.
+faults::FaultPlan crash_plan(sim::SimTime downtime, std::uint64_t seed) {
+  faults::HostCrashConfig cc;
+  cc.at = sim::milliseconds(1.0);
+  if (downtime > 0) {
+    cc.downtime = downtime;
+  } else {
+    cc.mode = faults::HostCrashConfig::Mode::kPermanent;
+  }
+  faults::FaultPlan plan;
+  plan.seed = seed;
+  plan.add_crash(1, cc);
+  return plan;
+}
+
 struct LibRow {
   std::string name;
-  std::function<sweep::JobSpec(double loss, std::uint64_t seed)> job;
+  /// `armed` selects the give-up-cap configuration (blackout/crash
+  /// rows); loss-curve rows run the plain tuned stack.
+  std::function<sweep::JobSpec(faults::FaultPlan plan, bool armed,
+                               std::string label, netpipe::RunOptions opts)>
+      job;
 };
+
+/// Throughput cell for recovery tables: failed rows print 0.0 (the
+/// stack decided it cannot complete — that *is* its throughput), other
+/// non-ok rows print their status.
+void print_mbps_cell(const sweep::JobResult& jr) {
+  if (jr.ok) {
+    std::printf(" %11.1f", jr.result.max_mbps);
+  } else if (jr.status == sweep::JobStatus::kFailed) {
+    std::printf(" %11.1f", 0.0);
+  } else {
+    std::printf(" %11s", sweep::to_string(jr.status));
+  }
+}
 
 }  // namespace
 
@@ -118,10 +193,11 @@ int main() {
 
   auto tcp_row = [&](const std::string& name,
                      std::function<TransportPair(mp::PairBed&)> make) {
-    return LibRow{name, [=](double loss, std::uint64_t seed) {
-                    return bed_fault_job(
-                        job_label(name, loss), host, nic, sysctl, make,
-                        faults::uniform_loss_plan(loss, seed), opts);
+    return LibRow{name, [=](faults::FaultPlan plan, bool armed,
+                            std::string label, netpipe::RunOptions ro) {
+                    return bed_fault_job(std::move(label), host, nic,
+                                         armed ? armed_sysctl() : sysctl,
+                                         make, std::move(plan), ro);
                   }};
   };
 
@@ -151,23 +227,27 @@ int main() {
   rows.push_back(tcp_row("TCGMSG", [](mp::PairBed& bed) {
     return hold_pair(mp::Tcgmsg::create_pair(bed, {}));
   }));
-  rows.push_back(LibRow{"raw GM", [&](double loss, std::uint64_t seed) {
-                          return gm_fault_job(
-                              job_label("raw GM", loss),
-                              faults::uniform_loss_plan(loss, seed), opts);
-                        }});
-  rows.push_back(LibRow{"raw VIA", [&](double loss, std::uint64_t seed) {
-                          return via_fault_job(
-                              job_label("raw VIA", loss),
-                              faults::uniform_loss_plan(loss, seed), opts);
-                        }});
+  rows.push_back(
+      LibRow{"raw GM", [&](faults::FaultPlan plan, bool armed,
+                           std::string label, netpipe::RunOptions ro) {
+               return gm_fault_job(std::move(label), std::move(plan), ro,
+                                   armed ? 10u : 0u);
+             }});
+  rows.push_back(
+      LibRow{"raw VIA", [&](faults::FaultPlan plan, bool armed,
+                            std::string label, netpipe::RunOptions ro) {
+               return via_fault_job(std::move(label), std::move(plan), ro,
+                                    armed ? 10u : 0u);
+             }});
 
   sweep::SweepSpec spec;
   spec.name = "resilience";
   std::uint64_t seed = 1;
   for (const auto& row : rows) {
     for (double loss : kLossRates) {
-      spec.jobs.push_back(row.job(loss, seed++));
+      spec.jobs.push_back(row.job(faults::uniform_loss_plan(loss, seed++),
+                                  /*armed=*/false, job_label(row.name, loss),
+                                  opts));
     }
   }
 
@@ -212,7 +292,62 @@ int main() {
                 static_cast<unsigned long long>(c.delivery_failures));
   }
 
-  sweep::JsonReporter::write("BENCH_resilience.json", {sr});
+  // ---- Blackout: 100% loss with the give-up caps armed ---------------------
+  sweep::SweepSpec blackout;
+  blackout.name = "resilience-blackout";
+  for (const auto& row : rows) {
+    blackout.jobs.push_back(row.job(faults::uniform_loss_plan(1.0, seed++),
+                                    /*armed=*/true,
+                                    row.name + " @ blackout", opts));
+  }
+  const sweep::SweepResult bl = run_sweep(blackout, sopt);
+  std::printf("\n100%% loss blackout (armed give-up caps: must fail by"
+              " decision, 0.0 Mbps)\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::printf("%-14s %-8s", rows[i].name.c_str(),
+                sweep::to_string(bl.jobs[i].status));
+    print_mbps_cell(bl.jobs[i]);
+    std::printf("\n");
+  }
+
+  // ---- Crash-recovery curves: throughput vs reboot downtime ----------------
+  const struct {
+    const char* name;
+    sim::SimTime downtime;  // 0 = permanent
+  } kDowntimes[] = {{"1ms", sim::milliseconds(1.0)},
+                    {"5ms", sim::milliseconds(5.0)},
+                    {"20ms", sim::milliseconds(20.0)},
+                    {"50ms", sim::milliseconds(50.0)},
+                    {"permanent", 0}};
+  const char* kCrashRows[] = {"raw TCP", "raw GM", "raw VIA"};
+  sweep::SweepSpec crash;
+  crash.name = "resilience-crash";
+  for (const char* name : kCrashRows) {
+    for (const auto& row : rows) {
+      if (row.name != name) continue;
+      for (const auto& d : kDowntimes) {
+        crash.jobs.push_back(row.job(crash_plan(d.downtime, seed++),
+                                     /*armed=*/true,
+                                     row.name + " crash down=" + d.name,
+                                     crash_run_options()));
+      }
+    }
+  }
+  const sweep::SweepResult cr = run_sweep(crash, sopt);
+  std::printf("\nthroughput (Mbps at 512 kB ping-pong) vs crash downtime"
+              " (node 1 dies at 1 ms)\n%-14s", "library");
+  for (const auto& d : kDowntimes) std::printf(" %11s", d.name);
+  std::printf("\n");
+  j = 0;
+  for (const char* name : kCrashRows) {
+    std::printf("%-14s", name);
+    for (std::size_t i = 0; i < std::size(kDowntimes); ++i, ++j) {
+      print_mbps_cell(cr.jobs[j]);
+    }
+    std::printf("\n");
+  }
+
+  sweep::JsonReporter::write("BENCH_resilience.json", {sr, bl, cr});
   std::printf("\nwrote BENCH_resilience.json\n");
   return 0;
 }

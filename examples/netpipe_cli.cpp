@@ -35,11 +35,23 @@
 //                         per frame of entering a loss burst)
 //     --flap P:D          every P us of simulated time the link goes
 //                         down for D us (all frames in the window drop)
+//     --crash AT:DOWN     crash the second node AT us into the run; it
+//                         reboots DOWN us later under a new power epoch
+//                         and the protocols re-establish their sessions.
+//                         DOWN = 0 means a permanent crash: the
+//                         survivor's give-up caps end the run with
+//                         "connection failed" instead of hanging
+//     --fault-plan f      load a pp.faultplan/1 file (as written by the
+//                         chaos sweep or tools/minimize_plan) as the
+//                         base plan; later fault flags add to it
 //     --fault-seed n      seed for the fault plan (default 1)
 //
 //   Fault flags compose into one FaultPlan applied to the run's link.
 //   GM and VIA runs automatically enable their delivery watchdogs when a
-//   plan is present (lost fragments otherwise wedge the endpoint).
+//   plan is present (lost fragments otherwise wedge the endpoint), and
+//   plans containing a crash rule arm the give-up caps (TCP rto_give_up
+//   + keepalive, GM/VIA delivery-attempt limit) so a permanently dead
+//   peer yields a clean failure.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,9 +60,11 @@
 #include <string>
 
 #include <optional>
+#include <stdexcept>
 
 #include "bench/common.h"
 #include "faults/plan.h"
+#include "faults/plan_io.h"
 #include "netpipe/loggp.h"
 #include "simcore/shard.h"
 #include "simcore/tracing.h"
@@ -94,7 +108,8 @@ struct CliOptions {
   std::fprintf(stderr, "usage: %s [module] [-H host] [-N nic] [-b bytes]"
                        " [-u bytes] [-P n] [-r n] [-s] [-o file] [-q]"
                        " [--shards n] [--trace file] [--loss p]"
-                       " [--burst-loss p] [--flap P:D] [--fault-seed n]\n",
+                       " [--burst-loss p] [--flap P:D] [--crash AT:DOWN]"
+                       " [--fault-plan file] [--fault-seed n]\n",
                argv0);
   std::exit(2);
 }
@@ -117,9 +132,23 @@ hw::NicConfig nic_for(const CliOptions& o) {
   std::exit(2);
 }
 
+bool plan_has_crash(const faults::FaultPlan& p) {
+  for (const auto& r : p.crashes) {
+    if (r.cfg.any()) return true;
+  }
+  return false;
+}
+
 netpipe::RunResult run_tcp_family(const CliOptions& o) {
   const auto host = host_for(o);
-  const tcp::Sysctl sysctl = tcp::Sysctl::tuned();
+  tcp::Sysctl sysctl = tcp::Sysctl::tuned();
+  if (plan_has_crash(o.plan)) {
+    // A permanently dead peer must end the run, not hang it: cap the
+    // RTO retries and probe idle connections (a blocked receiver has
+    // nothing in flight, so no RTO will ever fire for it).
+    sysctl.rto_give_up = 6;
+    sysctl.keepalive_interval = sim::milliseconds(5.0);
+  }
   hw::NicConfig nic = nic_for(o);
   if (o.module == "ipgm") nic = hw::presets::myrinet_ip_over_gm();
   mp::PairBed bed(host, nic, sysctl);
@@ -176,6 +205,7 @@ netpipe::RunResult run_gm_family(const CliOptions& o) {
   // Under fault injection GM needs its delivery watchdog: a lost
   // fragment never completes otherwise.
   if (!o.plan.empty()) gc.delivery_timeout = sim::microseconds(500.0);
+  if (plan_has_crash(o.plan)) gc.max_delivery_attempts = 10;
   gm::GmFabric fab(c, a, b, hw::presets::myrinet_pci64a(),
                    hw::presets::back_to_back(), gc);
   faults::apply(o.plan, c);
@@ -201,6 +231,7 @@ netpipe::RunResult run_via_family(const CliOptions& o) {
   vc.personality = mvia ? via::ViaPersonality::mvia_sk98lin()
                         : via::ViaPersonality::giganet();
   if (!o.plan.empty()) vc.delivery_timeout = sim::microseconds(500.0);
+  if (plan_has_crash(o.plan)) vc.max_delivery_attempts = 10;
   via::ViaFabric fab(
       c, a, b,
       mvia ? hw::presets::syskonnect_mvia() : hw::presets::giganet_clan(),
@@ -264,6 +295,29 @@ int main(int argc, char** argv) {
       const double down = std::strtod(colon + 1, nullptr);
       o.link_faults.flap_period = sim::microseconds(period);
       o.link_faults.flap_down = sim::microseconds(down);
+    } else if (arg == "--crash") {
+      const char* v = next();
+      char* colon = nullptr;
+      const double at = std::strtod(v, &colon);
+      if (colon == nullptr || *colon != ':' || at <= 0) usage(argv[0]);
+      const double down = std::strtod(colon + 1, nullptr);
+      faults::HostCrashConfig cc;
+      cc.at = sim::microseconds(at);
+      if (down > 0) {
+        cc.downtime = sim::microseconds(down);
+      } else {
+        cc.mode = faults::HostCrashConfig::Mode::kPermanent;
+      }
+      o.plan.add_crash(1, cc);
+    } else if (arg == "--fault-plan") {
+      // The file becomes the base plan; flags parsed later add to it.
+      const char* path = next();
+      try {
+        o.plan = faults::read_file(path);
+      } catch (const std::runtime_error& e) {
+        std::fprintf(stderr, "--fault-plan %s: %s\n", path, e.what());
+        std::exit(1);
+      }
     } else if (arg == "--fault-seed") {
       o.plan.seed = std::strtoull(next(), nullptr, 0);
     } else if (arg == "-q") {
@@ -292,23 +346,31 @@ int main(int argc, char** argv) {
   if (o.shards > 0) shard_guard.emplace(o.shards);
 
   netpipe::RunResult result;
-  if (o.module == "shmem") {
-    sim::Simulator s;
-    s.set_tracer(o.tracer);
-    shmem::SmpConfig sc;
-    if (o.host == "ds20") sc.copy_bandwidth = sim::Rate::megabytes(320);
-    shmem::ShmemPair pair(s, sc);
-    shmem::ShmemTransport ta(pair.pe0()), tb(pair.pe1());
-    result = netpipe::run_netpipe(s, ta, tb, o.run);
-  } else if (o.module == "gm" || o.module == "gm-blocking" ||
-      o.module == "mpich-gm" || o.module == "mpipro-gm") {
-    result = run_gm_family(o);
-  } else if (o.module == "via" || o.module == "mvich" ||
-             o.module == "mvich-norput" || o.module == "mplite-via" ||
-             o.module == "mpipro-via" || o.module == "mvia") {
-    result = run_via_family(o);
-  } else {
-    result = run_tcp_family(o);
+  try {
+    if (o.module == "shmem") {
+      sim::Simulator s;
+      s.set_tracer(o.tracer);
+      shmem::SmpConfig sc;
+      if (o.host == "ds20") sc.copy_bandwidth = sim::Rate::megabytes(320);
+      shmem::ShmemPair pair(s, sc);
+      shmem::ShmemTransport ta(pair.pe0()), tb(pair.pe1());
+      result = netpipe::run_netpipe(s, ta, tb, o.run);
+    } else if (o.module == "gm" || o.module == "gm-blocking" ||
+               o.module == "mpich-gm" || o.module == "mpipro-gm") {
+      result = run_gm_family(o);
+    } else if (o.module == "via" || o.module == "mvich" ||
+               o.module == "mvich-norput" || o.module == "mplite-via" ||
+               o.module == "mpipro-via" || o.module == "mvia") {
+      result = run_via_family(o);
+    } else {
+      result = run_tcp_family(o);
+    }
+  } catch (const sim::ProtocolFailure& e) {
+    // The stack decided it cannot complete (give-up caps under a
+    // permanent crash): the right outcome for the run, not a crash of
+    // the tool.
+    std::fprintf(stderr, "%s: run failed: %s\n", o.module.c_str(), e.what());
+    return 1;
   }
 
   if (o.quiet) {

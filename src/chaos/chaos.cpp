@@ -1,0 +1,330 @@
+#include "chaos/chaos.h"
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "faults/config.h"
+#include "gmsim/gm.h"
+#include "mp/adapters.h"
+#include "mp/gm_mpi.h"
+#include "mp/mpich.h"
+#include "mp/testbed.h"
+#include "mp/via_mpi.h"
+#include "netpipe/modules.h"
+#include "simhw/presets.h"
+#include "viasim/via.h"
+
+namespace pp::chaos {
+
+namespace {
+
+/// SplitMix64 stream for plan generation. Not shared with any injector:
+/// the plan's rules derive their own streams from the plan seed at
+/// apply() time, so generating a plan never perturbs its execution.
+struct SplitMix64 {
+  std::uint64_t x;
+
+  std::uint64_t next() {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+  double in(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  std::uint64_t range(std::uint64_t n) { return next() % n; }
+};
+
+/// Keeps a library pair alive for the duration of a measurement while
+/// exposing one endpoint as a NetPIPE transport (the bench harness has
+/// its own copy; this one keeps src/ free of bench includes).
+class HeldLib final : public netpipe::Transport {
+ public:
+  HeldLib(std::shared_ptr<void> keep, mp::Library& lib, int peer)
+      : keep_(std::move(keep)), t_(lib, peer) {}
+
+  sim::Task<void> send(std::uint64_t b) override { return t_.send(b); }
+  sim::Task<void> recv(std::uint64_t b) override { return t_.recv(b); }
+  std::string name() const override { return t_.name(); }
+  netpipe::ProtocolCounters counters() const override {
+    return t_.counters();
+  }
+
+ private:
+  std::shared_ptr<void> keep_;
+  mp::LibraryTransport t_;
+};
+
+netpipe::RunResult run_tcp(const faults::FaultPlan& plan,
+                           const netpipe::RunOptions& opts) {
+  mp::PairBed bed(hw::presets::pentium4_pc(), hw::presets::netgear_ga620(),
+                  chaos_sysctl(!plan.empty()));
+  faults::apply(plan, bed.cluster);
+  auto [sa, sb] = bed.socket_pair("chaos");
+  for (tcp::Socket* s : {&sa, &sb}) {
+    s->set_send_buffer(256 << 10);
+    s->set_recv_buffer(256 << 10);
+  }
+  netpipe::TcpTransport ta(sa, "tcp"), tb(sb, "tcp");
+  return netpipe::run_netpipe(bed.sim, ta, tb, opts);
+}
+
+netpipe::RunResult run_mpich(const faults::FaultPlan& plan,
+                             const netpipe::RunOptions& opts) {
+  mp::PairBed bed(hw::presets::pentium4_pc(), hw::presets::netgear_ga620(),
+                  chaos_sysctl(!plan.empty()));
+  faults::apply(plan, bed.cluster);
+  mp::MpichOptions o;
+  o.p4_sockbufsize = 256 << 10;
+  auto pair = mp::Mpich::create_pair(bed, o);
+  auto shared = std::make_shared<decltype(pair)>(std::move(pair));
+  HeldLib ta(shared, *shared->first, 1), tb(shared, *shared->second, 0);
+  return netpipe::run_netpipe(bed.sim, ta, tb, opts);
+}
+
+netpipe::RunResult run_gm(const faults::FaultPlan& plan,
+                          const netpipe::RunOptions& opts) {
+  sim::Simulator s;
+  hw::Cluster c(s);
+  auto& a = c.add_node(hw::presets::pentium4_pc());
+  auto& b = c.add_node(hw::presets::pentium4_pc());
+  gm::GmConfig gc;
+  if (!plan.empty()) {
+    gc.delivery_timeout = sim::microseconds(500.0);
+    gc.max_delivery_attempts = 10;
+  }
+  gm::GmFabric fab(c, a, b, hw::presets::myrinet_pci64a(),
+                   hw::presets::back_to_back(), gc);
+  faults::apply(plan, c);
+  mp::GmTransport ta(fab.port_a()), tb(fab.port_b());
+  return netpipe::run_netpipe(s, ta, tb, opts);
+}
+
+netpipe::RunResult run_via(const faults::FaultPlan& plan,
+                           const netpipe::RunOptions& opts) {
+  sim::Simulator s;
+  hw::Cluster c(s);
+  auto& a = c.add_node(hw::presets::pentium4_pc());
+  auto& b = c.add_node(hw::presets::pentium4_pc());
+  via::ViaConfig vc;
+  if (!plan.empty()) {
+    vc.delivery_timeout = sim::microseconds(500.0);
+    vc.max_delivery_attempts = 10;
+  }
+  via::ViaFabric fab(c, a, b, hw::presets::giganet_clan(),
+                     hw::presets::switched(), vc);
+  faults::apply(plan, c);
+  mp::ViaTransport ta(fab.end_a()), tb(fab.end_b());
+  return netpipe::run_netpipe(s, ta, tb, opts);
+}
+
+}  // namespace
+
+const char* to_string(Scenario s) {
+  switch (s) {
+    case Scenario::kTcp: return "tcp";
+    case Scenario::kMpich: return "mpich";
+    case Scenario::kGm: return "gm";
+    case Scenario::kVia: return "via";
+  }
+  return "unknown";
+}
+
+bool scenario_from_string(const std::string& name, Scenario& out) {
+  for (Scenario s : kScenarios) {
+    if (name == to_string(s)) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kClean: return "clean";
+    case Verdict::kRecovered: return "recovered";
+    case Verdict::kDegraded: return "degraded";
+    case Verdict::kFailed: return "failed";
+    case Verdict::kHung: return "hung";
+    case Verdict::kError: return "error";
+  }
+  return "unknown";
+}
+
+netpipe::RunOptions chaos_run_options() {
+  netpipe::RunOptions o;
+  o.schedule.max_bytes = 16 << 10;
+  o.repeats = 1;
+  o.warmup = 0;
+  return o;
+}
+
+sweep::SweepOptions chaos_sweep_options() {
+  sweep::SweepOptions o;
+  o.keep_going = true;
+  // Generous on purpose: a worst-case flap+corruption plan pays one RTO
+  // (up to 640 ms backed off) per flap-window drop, which legitimately
+  // stretches a ping-pong schedule to tens of simulated seconds. Slow
+  // progress must classify degraded, not hung; a genuine livelock still
+  // hits this deadline within milliseconds of host time (timer-loop
+  // events are cheap), and a runaway event storm hits the event budget.
+  o.limits.sim_deadline = sim::seconds(120.0);
+  o.limits.event_budget = 200'000'000ull;
+  // A budget blowout IS the hung verdict; retrying with doubled budgets
+  // would only delay (or mask) it. Every recovery path is bounded well
+  // under these limits, so there are no legitimate slow convergers.
+  o.watchdog_retries = 0;
+  return o;
+}
+
+tcp::Sysctl chaos_sysctl(bool armed) {
+  tcp::Sysctl s = tcp::Sysctl::tuned();
+  if (armed) {
+    // rto_give_up: ~1.9 s of barren exponential backoff before giving
+    // up — far beyond any restart downtime chaos generates (<= 10 ms),
+    // so only a permanently dark peer trips it. The keepalive covers
+    // the complementary hole: a receiver parked with nothing in flight.
+    s.rto_give_up = 6;
+    s.keepalive_interval = sim::milliseconds(5.0);
+    s.keepalive_probes = 5;
+  }
+  return s;
+}
+
+faults::FaultPlan random_plan(std::uint64_t seed) {
+  SplitMix64 rng{faults::derive_seed(seed, "chaos-plan")};
+  faults::FaultPlan plan;
+  plan.seed = seed;
+  const int nrules = 1 + static_cast<int>(rng.range(3));
+  bool have_permanent = false;
+  for (int i = 0; i < nrules; ++i) {
+    switch (rng.range(6)) {
+      case 0:
+      case 1: {  // crash/restart — the tentpole fault, drawn twice as often
+        faults::HostCrashConfig c;
+        c.at = static_cast<sim::SimTime>(rng.in(100e3, 2e6));  // 0.1–2 ms
+        c.downtime =
+            static_cast<sim::SimTime>(rng.in(200e3, 10e6));  // 0.2–10 ms
+        if (!have_permanent && rng.uniform() < 0.25) {
+          // At most one permanent crash: with both nodes dark nothing
+          // can make progress or fail, by construction.
+          c.mode = faults::HostCrashConfig::Mode::kPermanent;
+          have_permanent = true;
+        }
+        plan.add_crash(static_cast<int>(rng.range(2)), c);
+        break;
+      }
+      case 2: {  // frame loss: Bernoulli or Gilbert–Elliott bursts
+        faults::LinkFaultConfig c;
+        if (rng.uniform() < 0.5) {
+          c.loss = rng.in(0.001, 0.05);
+        } else {
+          c.ge_good_to_bad = rng.in(1e-4, 5e-3);
+          c.ge_bad_to_good = rng.in(0.05, 0.5);
+        }
+        plan.add_link("", c);
+        break;
+      }
+      case 3: {  // timed link flap
+        faults::LinkFaultConfig c;
+        c.flap_period = static_cast<sim::SimTime>(rng.in(1e6, 5e6));
+        c.flap_down = static_cast<sim::SimTime>(
+            static_cast<double>(c.flap_period) * rng.in(0.1, 0.3));
+        plan.add_link("", c);
+        break;
+      }
+      case 4: {  // NIC trouble: tiny rx ring or stalled interrupts
+        faults::NicFaultConfig c;
+        if (rng.uniform() < 0.5) {
+          constexpr std::size_t kRings[] = {8, 16, 32};
+          c.ring_slots = kRings[rng.range(3)];
+        } else {
+          c.irq_stall = rng.in(0.005, 0.05);
+          c.irq_stall_time = static_cast<sim::SimTime>(rng.in(100e3, 500e3));
+        }
+        plan.add_nic("", c);
+        break;
+      }
+      default: {  // corruption / reorder / duplication grab-bag
+        faults::LinkFaultConfig c;
+        const double which = rng.uniform();
+        if (which < 0.34) {
+          c.corrupt = rng.in(0.001, 0.02);
+        } else if (which < 0.67) {
+          c.reorder = rng.in(0.01, 0.1);
+        } else {
+          c.duplicate = rng.in(0.01, 0.1);
+        }
+        plan.add_link("", c);
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+sweep::JobSpec scenario_job(Scenario sc, std::string label,
+                            faults::FaultPlan plan) {
+  const netpipe::RunOptions opts = chaos_run_options();
+  auto run = [sc, plan = std::move(plan), opts] {
+    switch (sc) {
+      case Scenario::kTcp: return run_tcp(plan, opts);
+      case Scenario::kMpich: return run_mpich(plan, opts);
+      case Scenario::kGm: return run_gm(plan, opts);
+      case Scenario::kVia: return run_via(plan, opts);
+    }
+    return run_tcp(plan, opts);  // unreachable
+  };
+  return sweep::JobSpec{std::move(label), std::move(run)};
+}
+
+double baseline_mbps(Scenario sc) {
+  // One fault-free run per scenario, cached: the simulator is
+  // deterministic, so a single measurement is exact and thread-safe to
+  // share (call_once guards the sweep's worker threads).
+  static std::array<double, 4> cache{};
+  static std::array<std::once_flag, 4> flags;
+  const auto i = static_cast<std::size_t>(sc);
+  std::call_once(flags[i], [&] {
+    const sweep::JobSpec job = scenario_job(sc, "baseline", {});
+    cache[i] = job.run().max_mbps;
+  });
+  return cache[i];
+}
+
+Verdict classify(const sweep::JobResult& jr, double baseline) {
+  if (!jr.ok) {
+    switch (jr.status) {
+      case sweep::JobStatus::kFailed: return Verdict::kFailed;
+      case sweep::JobStatus::kWatchdog: return Verdict::kHung;
+      default: return Verdict::kError;
+    }
+  }
+  if (baseline > 0.0 && jr.result.max_mbps < 0.5 * baseline) {
+    return Verdict::kDegraded;
+  }
+  const netpipe::ProtocolCounters& c = jr.result.counters;
+  const bool touched = c.retransmits > 0 || c.fast_retransmits > 0 ||
+                       c.reconnects > 0 || c.wire_drops > 0 ||
+                       c.checksum_drops > 0 || c.rendezvous_retries > 0 ||
+                       c.delivery_failures > 0;
+  return touched ? Verdict::kRecovered : Verdict::kClean;
+}
+
+Verdict run_verdict(Scenario sc, const faults::FaultPlan& plan, int shards) {
+  sweep::SweepSpec spec;
+  spec.name = "chaos-oracle";
+  spec.jobs.push_back(scenario_job(sc, to_string(sc), plan));
+  sweep::SweepOptions opt = chaos_sweep_options();
+  opt.threads = 1;
+  opt.shards = shards;
+  const sweep::SweepResult sr = run_sweep(spec, opt);
+  return classify(sr.jobs[0], baseline_mbps(sc));
+}
+
+}  // namespace pp::chaos

@@ -1,0 +1,103 @@
+// Chaos harness: randomized fault plans, protocol scenarios and verdict
+// classification.
+//
+// The recovery machinery (TCP epoch re-handshakes, GM/VIA port
+// re-registration, stream-library session fencing) is only trustworthy
+// if it survives faults it was not hand-tuned for. This library generates
+// seeded random fault plans — crashes, loss, burst loss, flaps, NIC
+// trouble — runs them against each protocol stack and classifies every
+// run:
+//
+//   clean      completed, no recovery machinery engaged
+//   recovered  completed after engaging recovery (retransmits,
+//              reconnects, delivery retries, rendezvous replays)
+//   degraded   completed but below half the fault-free throughput
+//   failed     the stack *decided* it cannot complete (give-up caps
+//              exhausted — the correct outcome for a permanent crash)
+//   hung       watchdog kill: the stack neither completed nor failed.
+//              Always a bug; the chaos tier asserts zero of these.
+//   error      unexpected exception (deadlock, assertion) — also a bug
+//
+// bench/chaos sweeps hundreds of plans; tools/minimize_plan shrinks a
+// failing one to a 1-minimal reproducer via faults::minimize. The same
+// scenario runners back both, so a verdict reproduces outside the sweep.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "faults/plan.h"
+#include "netpipe/runner.h"
+#include "sweep/sweep.h"
+#include "tcpsim/tuning.h"
+
+namespace pp::chaos {
+
+/// Protocol stack under test. kTcp is a raw tuned socket pair; kMpich
+/// adds the stream library's rendezvous protocol on top of TCP; kGm and
+/// kVia are the OS-bypass fabrics with their delivery watchdogs.
+enum class Scenario { kTcp, kMpich, kGm, kVia };
+
+inline constexpr Scenario kScenarios[] = {Scenario::kTcp, Scenario::kMpich,
+                                          Scenario::kGm, Scenario::kVia};
+
+const char* to_string(Scenario s);
+
+/// Parses a scenario name ("tcp", "mpich", "gm", "via") for CLI use.
+bool scenario_from_string(const std::string& name, Scenario& out);
+
+enum class Verdict { kClean, kRecovered, kDegraded, kFailed, kHung, kError };
+
+const char* to_string(Verdict v);
+
+/// A verdict the chaos tier tolerates: every run must either complete or
+/// fail by decision. Hung/error runs are bugs by definition.
+inline bool acceptable(Verdict v) {
+  return v != Verdict::kHung && v != Verdict::kError;
+}
+
+/// Chaos measurements are small (64 kB ping-pong, one repeat): the point
+/// is surviving faults, not measuring bandwidth precisely.
+netpipe::RunOptions chaos_run_options();
+
+/// Sweep options for chaos fan-out: keep_going with watchdog budgets so
+/// a wedged plan degrades to a `hung` verdict instead of blocking.
+sweep::SweepOptions chaos_sweep_options();
+
+/// The sysctl chaos TCP scenarios run under. Armed runs (non-empty plan)
+/// cap recovery so a permanently dead peer yields `failed`, never a
+/// hang: rto_give_up plus a keepalive for survivors with nothing in
+/// flight. Unarmed runs keep the defaults (retry forever) so the null
+/// plan stays bit-identical to a faultless run.
+tcp::Sysctl chaos_sysctl(bool armed);
+
+/// Deterministic random plan for `seed`: 1–3 rules drawn from crashes
+/// (weighted highest — they are the tentpole fault), Bernoulli and
+/// Gilbert–Elliott loss, link flaps, NIC ring-overflow/IRQ-stall and
+/// corrupt/reorder/duplicate rules. At most one *permanent* crash per
+/// plan (both nodes permanently dark cannot make progress by
+/// construction). Same seed, same plan, on every platform.
+faults::FaultPlan random_plan(std::uint64_t seed);
+
+/// A self-contained sweep job running `plan` against scenario `sc` on a
+/// fresh simulator. Non-empty plans arm the scenario's give-up caps
+/// (chaos_sysctl, GM/VIA delivery watchdog + attempt cap).
+sweep::JobSpec scenario_job(Scenario sc, std::string label,
+                            faults::FaultPlan plan);
+
+/// Fault-free throughput of `sc` under chaos_run_options (cached after
+/// the first call; the simulator is deterministic, so one run is exact).
+double baseline_mbps(Scenario sc);
+
+/// Classifies a finished job against the scenario's fault-free
+/// throughput (pass 0 to skip the degraded check).
+Verdict classify(const sweep::JobResult& jr, double baseline);
+
+/// Runs one scenario+plan synchronously under the chaos watchdog and
+/// classifies the outcome. `shards` >= 2 exercises the sharded event
+/// loop (bit-identical, but a different host-side execution). This is
+/// the oracle building block for tools/minimize_plan.
+Verdict run_verdict(Scenario sc, const faults::FaultPlan& plan,
+                    int shards = 1);
+
+}  // namespace pp::chaos

@@ -76,6 +76,31 @@ struct LinkFaultConfig {
   }
 };
 
+/// The Gilbert–Elliott chain stepper shared by the wire fault injector
+/// and the statistical tests: one transition draw per frame, then a loss
+/// draw only when the current state's loss probability is nonzero. The
+/// draw order is part of the determinism contract — changing it would
+/// shift every downstream feature's RNG stream — so both consumers step
+/// through this one implementation. Steady state: P(bad) =
+/// g2b / (g2b + b2g); with ge_loss_bad = 1 the mean burst length is
+/// 1 / ge_bad_to_good frames.
+struct GilbertElliott {
+  bool bad = false;
+
+  /// Steps the chain once for one frame; returns true if the frame is
+  /// lost. `rng.uniform()` must yield doubles in [0, 1).
+  template <typename Rng>
+  bool step(const LinkFaultConfig& cfg, Rng& rng) {
+    if (bad) {
+      if (rng.uniform() < cfg.ge_bad_to_good) bad = false;
+    } else {
+      if (rng.uniform() < cfg.ge_good_to_bad) bad = true;
+    }
+    const double pl = bad ? cfg.ge_loss_bad : cfg.ge_loss_good;
+    return pl > 0.0 && rng.uniform() < pl;
+  }
+};
+
 /// Per-NIC (receive side of one pipe) fault model.
 struct NicFaultConfig {
   /// Rx descriptor ring size: frames arriving while this many are already
@@ -99,6 +124,23 @@ struct HostFaultConfig {
   sim::SimTime first_pause_at = 0;  ///< 0 = one full period in
 
   bool any() const noexcept { return pause_period > 0 && pause_duration > 0; }
+};
+
+/// Host crash/restart: at `at` the node loses power — every in-flight
+/// frame on its NICs is dropped with a crash verdict, protocol state on
+/// the node is gone. With mode kRestart the node reboots `downtime`
+/// later under a new power epoch and the protocol stacks re-establish
+/// their sessions; kPermanent leaves it dark (survivors' give-up caps
+/// turn that into a clean `failed` verdict instead of a hang).
+struct HostCrashConfig {
+  enum class Mode { kRestart, kPermanent };
+
+  sim::SimTime at = 0;  ///< crash instant; 0 disables the rule
+  sim::SimTime downtime = sim::milliseconds(1.0);
+  Mode mode = Mode::kRestart;
+
+  bool any() const noexcept { return at > 0; }
+  bool restarts() const noexcept { return any() && mode == Mode::kRestart; }
 };
 
 }  // namespace pp::faults

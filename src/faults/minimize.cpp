@@ -1,0 +1,111 @@
+#include "faults/minimize.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace pp::faults {
+
+namespace {
+
+/// A rule's address in the original plan: which vector, which slot.
+struct RuleRef {
+  int kind = 0;  ///< 0=link 1=nic 2=host 3=crash
+  std::size_t idx = 0;
+};
+
+FaultPlan build(const FaultPlan& base, const std::vector<RuleRef>& rules) {
+  FaultPlan p;
+  p.seed = base.seed;
+  for (const RuleRef& r : rules) {
+    switch (r.kind) {
+      case 0: p.links.push_back(base.links[r.idx]); break;
+      case 1: p.nics.push_back(base.nics[r.idx]); break;
+      case 2: p.hosts.push_back(base.hosts[r.idx]); break;
+      case 3: p.crashes.push_back(base.crashes[r.idx]); break;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+MinimizeResult minimize(const FaultPlan& failing, const Oracle& still_fails) {
+  std::vector<RuleRef> rules;
+  for (std::size_t i = 0; i < failing.links.size(); ++i) {
+    rules.push_back({0, i});
+  }
+  for (std::size_t i = 0; i < failing.nics.size(); ++i) {
+    rules.push_back({1, i});
+  }
+  for (std::size_t i = 0; i < failing.hosts.size(); ++i) {
+    rules.push_back({2, i});
+  }
+  for (std::size_t i = 0; i < failing.crashes.size(); ++i) {
+    rules.push_back({3, i});
+  }
+
+  MinimizeResult out;
+  out.initial_rules = rules.size();
+
+  const auto probe = [&](const std::vector<RuleRef>& subset) {
+    ++out.probes;
+    return still_fails(build(failing, subset));
+  };
+
+  if (!probe(rules)) {
+    throw std::invalid_argument(
+        "faults::minimize: the input plan does not fail the oracle");
+  }
+
+  // ddmin proper: split into n chunks; try each chunk alone, then each
+  // complement; refine granularity when neither reduces.
+  std::size_t n = 2;
+  while (rules.size() >= 2) {
+    const std::size_t chunk = (rules.size() + n - 1) / n;
+    bool reduced = false;
+
+    for (std::size_t i = 0; i < rules.size() && !reduced; i += chunk) {
+      const std::size_t end = std::min(i + chunk, rules.size());
+      std::vector<RuleRef> subset(rules.begin() + static_cast<long>(i),
+                                  rules.begin() + static_cast<long>(end));
+      if (subset.size() == rules.size()) continue;
+      if (probe(subset)) {
+        rules = std::move(subset);
+        n = 2;
+        reduced = true;
+      }
+    }
+    if (reduced) continue;
+
+    if (n > 2) {
+      // Complements only matter past binary granularity (at n = 2 each
+      // complement *is* the other chunk, already probed above).
+      for (std::size_t i = 0; i < rules.size() && !reduced; i += chunk) {
+        const std::size_t end = std::min(i + chunk, rules.size());
+        std::vector<RuleRef> complement;
+        complement.reserve(rules.size() - (end - i));
+        complement.insert(complement.end(), rules.begin(),
+                          rules.begin() + static_cast<long>(i));
+        complement.insert(complement.end(),
+                          rules.begin() + static_cast<long>(end),
+                          rules.end());
+        if (probe(complement)) {
+          rules = std::move(complement);
+          n = std::max<std::size_t>(n - 1, 2);
+          reduced = true;
+        }
+      }
+    }
+    if (reduced) continue;
+
+    if (n >= rules.size()) break;  // single-rule granularity exhausted
+    n = std::min(rules.size(), n * 2);
+  }
+
+  out.plan = build(failing, rules);
+  out.final_rules = rules.size();
+  return out;
+}
+
+}  // namespace pp::faults

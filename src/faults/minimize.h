@@ -1,0 +1,41 @@
+// Delta-debugging (ddmin) minimization of failing fault plans.
+//
+// A chaos sweep hands back a randomly generated plan that makes a run
+// fail; with half a dozen overlapping rules that plan says little about
+// *why*. minimize() shrinks it to a 1-minimal reproducer: a plan that
+// still fails the caller's oracle but from which no single rule can be
+// removed. The classic Zeller/Hildebrandt ddmin over the flattened rule
+// list (links + nics + hosts + crashes, in that order); the seed is
+// carried unchanged since the surviving rules' injector streams derive
+// from it.
+//
+// The oracle must be deterministic — the simulator guarantees that, so
+// any oracle that just runs a simulation and classifies the outcome
+// qualifies. Probe count is O(rules^2) in the worst case, fine for the
+// handful of rules chaos plans carry.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "faults/plan.h"
+
+namespace pp::faults {
+
+/// Returns true when the candidate plan still reproduces the failure.
+using Oracle = std::function<bool(const FaultPlan&)>;
+
+struct MinimizeResult {
+  FaultPlan plan;                 ///< 1-minimal failing plan
+  int probes = 0;                 ///< oracle invocations performed
+  std::size_t initial_rules = 0;  ///< rule count going in
+  std::size_t final_rules = 0;    ///< rule count surviving
+};
+
+/// Shrinks `failing` to a 1-minimal plan under `still_fails`. Throws
+/// std::invalid_argument when the input plan does not fail the oracle
+/// (the first probe re-checks it — a minimizer fed a passing plan would
+/// otherwise "minimize" it to garbage).
+MinimizeResult minimize(const FaultPlan& failing, const Oracle& still_fails);
+
+}  // namespace pp::faults

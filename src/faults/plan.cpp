@@ -21,6 +21,9 @@ bool FaultPlan::empty() const noexcept {
   for (const auto& r : hosts) {
     if (r.cfg.any()) return false;
   }
+  for (const auto& r : crashes) {
+    if (r.cfg.any()) return false;
+  }
   return true;
 }
 
@@ -84,6 +87,20 @@ void apply(const FaultPlan& plan, hw::Cluster& cluster) {
       cluster.simulator().spawn_daemon(
           pause_daemon(cluster.simulator(), node, rule.cfg),
           node.cpu().name() + ".pause");
+    }
+  }
+  for (const auto& rule : plan.crashes) {
+    if (!rule.cfg.any()) continue;
+    for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+      hw::Node& node = cluster.node(i);
+      if (rule.node >= 0 && rule.node != node.id()) continue;
+      // Scheduled on the node's own simulator so a sharded cluster
+      // crashes each node on the shard that owns its state.
+      node.simulator().call_at(rule.cfg.at, [&node] { node.crash(); });
+      if (rule.cfg.restarts()) {
+        node.simulator().call_at(rule.cfg.at + rule.cfg.downtime,
+                                 [&node] { node.restart(); });
+      }
     }
   }
 }

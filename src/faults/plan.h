@@ -44,10 +44,17 @@ struct FaultPlan {
     int node = -1;
     HostFaultConfig cfg;
   };
+  /// Crash rules match by node id; node < 0 matches every node (a
+  /// whole-cluster blackout — only useful with mode kRestart).
+  struct CrashRule {
+    int node = -1;
+    HostCrashConfig cfg;
+  };
 
   std::vector<LinkRule> links;
   std::vector<NicRule> nics;
   std::vector<HostRule> hosts;
+  std::vector<CrashRule> crashes;
 
   FaultPlan& with_seed(std::uint64_t s) {
     seed = s;
@@ -63,6 +70,10 @@ struct FaultPlan {
   }
   FaultPlan& add_host(int node, HostFaultConfig cfg) {
     hosts.push_back({node, cfg});
+    return *this;
+  }
+  FaultPlan& add_crash(int node, HostCrashConfig cfg) {
+    crashes.push_back({node, cfg});
     return *this;
   }
 

@@ -1,0 +1,279 @@
+#include "faults/plan_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace pp::faults {
+
+namespace {
+
+constexpr const char* kMagic = "# pp.faultplan/1";
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string fmt_match(const std::string& m) { return m.empty() ? "*" : m; }
+
+std::string fmt_node(int node) {
+  return node < 0 ? "*" : std::to_string(node);
+}
+
+void append_link(std::ostringstream& os, const FaultPlan::LinkRule& r) {
+  os << "link " << fmt_match(r.pipe_match);
+  const LinkFaultConfig& c = r.cfg;
+  if (c.loss > 0.0) os << " loss=" << fmt_double(c.loss);
+  if (c.ge_enabled()) {
+    os << " ge=" << fmt_double(c.ge_good_to_bad) << ":"
+       << fmt_double(c.ge_bad_to_good) << ":" << fmt_double(c.ge_loss_good)
+       << ":" << fmt_double(c.ge_loss_bad);
+  }
+  if (c.reorder > 0.0) {
+    os << " reorder=" << fmt_double(c.reorder) << ":" << c.reorder_delay;
+  }
+  if (c.duplicate > 0.0) os << " dup=" << fmt_double(c.duplicate);
+  if (c.corrupt > 0.0) os << " corrupt=" << fmt_double(c.corrupt);
+  if (c.flap_enabled()) {
+    os << " flap=" << c.flap_period << ":" << c.flap_down;
+  }
+  os << "\n";
+}
+
+void append_nic(std::ostringstream& os, const FaultPlan::NicRule& r) {
+  os << "nic " << fmt_match(r.pipe_match);
+  const NicFaultConfig& c = r.cfg;
+  if (c.ring_slots > 0) os << " ring=" << c.ring_slots;
+  if (c.irq_stall > 0.0) {
+    os << " stall=" << fmt_double(c.irq_stall) << ":" << c.irq_stall_time;
+  }
+  os << "\n";
+}
+
+void append_host(std::ostringstream& os, const FaultPlan::HostRule& r) {
+  os << "host " << fmt_node(r.node);
+  const HostFaultConfig& c = r.cfg;
+  if (c.pause_period > 0 || c.pause_duration > 0 || c.first_pause_at > 0) {
+    os << " pause=" << c.pause_period << ":" << c.pause_duration << ":"
+       << c.first_pause_at;
+  }
+  os << "\n";
+}
+
+void append_crash(std::ostringstream& os, const FaultPlan::CrashRule& r) {
+  os << "crash " << fmt_node(r.node) << " at=" << r.cfg.at
+     << " down=" << r.cfg.downtime << " mode="
+     << (r.cfg.mode == HostCrashConfig::Mode::kRestart ? "restart"
+                                                       : "permanent")
+     << "\n";
+}
+
+[[noreturn]] void fail(int line_no, const std::string& what) {
+  throw std::runtime_error("pp.faultplan line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+/// Splits "a:b:c" into fields; every parser below checks the count.
+std::vector<std::string> split_fields(const std::string& v) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t colon = v.find(':', start);
+    if (colon == std::string::npos) {
+      out.push_back(v.substr(start));
+      return out;
+    }
+    out.push_back(v.substr(start, colon - start));
+    start = colon + 1;
+  }
+}
+
+double parse_double(const std::string& s, int line_no) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') fail(line_no, "bad number '" + s + "'");
+  return v;
+}
+
+std::int64_t parse_i64(const std::string& s, int line_no) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    fail(line_no, "bad integer '" + s + "'");
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& s, int line_no) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    fail(line_no, "bad integer '" + s + "'");
+  }
+  return v;
+}
+
+/// Splits "key=value"; returns false when no '=' is present.
+bool split_kv(const std::string& tok, std::string& key, std::string& val) {
+  const std::size_t eq = tok.find('=');
+  if (eq == std::string::npos) return false;
+  key = tok.substr(0, eq);
+  val = tok.substr(eq + 1);
+  return true;
+}
+
+}  // namespace
+
+std::string to_text(const FaultPlan& plan) {
+  std::ostringstream os;
+  os << kMagic << "\n";
+  os << "seed " << plan.seed << "\n";
+  for (const auto& r : plan.links) append_link(os, r);
+  for (const auto& r : plan.nics) append_nic(os, r);
+  for (const auto& r : plan.hosts) append_host(os, r);
+  for (const auto& r : plan.crashes) append_crash(os, r);
+  return os.str();
+}
+
+FaultPlan from_text(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> toks = tokenize(line);
+    if (toks.empty()) continue;
+    const std::string& kind = toks[0];
+
+    if (kind == "seed") {
+      if (toks.size() != 2) fail(line_no, "seed wants one value");
+      plan.seed = parse_u64(toks[1], line_no);
+      continue;
+    }
+    if (toks.size() < 2) fail(line_no, kind + " rule wants a match token");
+    const std::string match = toks[1] == "*" ? "" : toks[1];
+
+    std::string key, val;
+    if (kind == "link") {
+      LinkFaultConfig c;
+      for (std::size_t i = 2; i < toks.size(); ++i) {
+        if (!split_kv(toks[i], key, val)) fail(line_no, "expected key=value");
+        const std::vector<std::string> f = split_fields(val);
+        if (key == "loss" && f.size() == 1) {
+          c.loss = parse_double(f[0], line_no);
+        } else if (key == "ge" && f.size() == 4) {
+          c.ge_good_to_bad = parse_double(f[0], line_no);
+          c.ge_bad_to_good = parse_double(f[1], line_no);
+          c.ge_loss_good = parse_double(f[2], line_no);
+          c.ge_loss_bad = parse_double(f[3], line_no);
+        } else if (key == "reorder" && f.size() == 2) {
+          c.reorder = parse_double(f[0], line_no);
+          c.reorder_delay = parse_i64(f[1], line_no);
+        } else if (key == "dup" && f.size() == 1) {
+          c.duplicate = parse_double(f[0], line_no);
+        } else if (key == "corrupt" && f.size() == 1) {
+          c.corrupt = parse_double(f[0], line_no);
+        } else if (key == "flap" && f.size() == 2) {
+          c.flap_period = parse_i64(f[0], line_no);
+          c.flap_down = parse_i64(f[1], line_no);
+        } else {
+          fail(line_no, "unknown link key '" + toks[i] + "'");
+        }
+      }
+      plan.add_link(match, c);
+    } else if (kind == "nic") {
+      NicFaultConfig c;
+      for (std::size_t i = 2; i < toks.size(); ++i) {
+        if (!split_kv(toks[i], key, val)) fail(line_no, "expected key=value");
+        const std::vector<std::string> f = split_fields(val);
+        if (key == "ring" && f.size() == 1) {
+          c.ring_slots =
+              static_cast<std::size_t>(parse_u64(f[0], line_no));
+        } else if (key == "stall" && f.size() == 2) {
+          c.irq_stall = parse_double(f[0], line_no);
+          c.irq_stall_time = parse_i64(f[1], line_no);
+        } else {
+          fail(line_no, "unknown nic key '" + toks[i] + "'");
+        }
+      }
+      plan.add_nic(match, c);
+    } else if (kind == "host") {
+      const int node =
+          toks[1] == "*" ? -1
+                         : static_cast<int>(parse_i64(toks[1], line_no));
+      HostFaultConfig c;
+      for (std::size_t i = 2; i < toks.size(); ++i) {
+        if (!split_kv(toks[i], key, val)) fail(line_no, "expected key=value");
+        const std::vector<std::string> f = split_fields(val);
+        if (key == "pause" && f.size() == 3) {
+          c.pause_period = parse_i64(f[0], line_no);
+          c.pause_duration = parse_i64(f[1], line_no);
+          c.first_pause_at = parse_i64(f[2], line_no);
+        } else {
+          fail(line_no, "unknown host key '" + toks[i] + "'");
+        }
+      }
+      plan.add_host(node, c);
+    } else if (kind == "crash") {
+      const int node =
+          toks[1] == "*" ? -1
+                         : static_cast<int>(parse_i64(toks[1], line_no));
+      HostCrashConfig c;
+      for (std::size_t i = 2; i < toks.size(); ++i) {
+        if (!split_kv(toks[i], key, val)) fail(line_no, "expected key=value");
+        if (key == "at") {
+          c.at = parse_i64(val, line_no);
+        } else if (key == "down") {
+          c.downtime = parse_i64(val, line_no);
+        } else if (key == "mode") {
+          if (val == "restart") {
+            c.mode = HostCrashConfig::Mode::kRestart;
+          } else if (val == "permanent") {
+            c.mode = HostCrashConfig::Mode::kPermanent;
+          } else {
+            fail(line_no, "unknown crash mode '" + val + "'");
+          }
+        } else {
+          fail(line_no, "unknown crash key '" + toks[i] + "'");
+        }
+      }
+      plan.add_crash(node, c);
+    } else {
+      fail(line_no, "unknown rule kind '" + kind + "'");
+    }
+  }
+  return plan;
+}
+
+FaultPlan read_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("fault plan: cannot open " + path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return from_text(os.str());
+}
+
+void write_file(const std::string& path, const FaultPlan& plan) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("fault plan: cannot open " + path);
+  f << to_text(plan);
+  if (!f) throw std::runtime_error("fault plan: write failed for " + path);
+}
+
+}  // namespace pp::faults

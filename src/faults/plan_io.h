@@ -1,0 +1,42 @@
+// FaultPlan serialization: the `pp.faultplan/1` text format.
+//
+// One rule per line, whitespace-delimited, `#` comments:
+//
+//   # pp.faultplan/1
+//   seed 42
+//   link myri loss=0.01 ge=0.001:0.25:0:1 reorder=0.02:50000 dup=0.01
+//   link * corrupt=0.001 flap=1000000:200000
+//   nic eth ring=32 stall=0.01:200000
+//   host 1 pause=1000000:100000:0
+//   crash 0 at=500000 down=1000000 mode=restart
+//
+// The match token is a pipe-name substring (link/nic) or a node id
+// (host/crash); `*` means match-everything (empty substring / node -1).
+// Times are raw sim::SimTime integers (nanoseconds); probabilities are
+// doubles printed with enough digits to round-trip exactly. Key groups a
+// rule leaves at their defaults are omitted on write and optional on
+// read, so a minimized reproducer is as short as its surviving knobs.
+//
+// This is the interchange format between the chaos sweep (which writes
+// the failing plan), the ddmin minimizer (which shrinks it) and
+// `netpipe_cli --fault-plan` (which replays it).
+#pragma once
+
+#include <string>
+
+#include "faults/plan.h"
+
+namespace pp::faults {
+
+/// Serializes `plan` to pp.faultplan/1 text (ends with a newline).
+std::string to_text(const FaultPlan& plan);
+
+/// Parses pp.faultplan/1 text. Throws std::runtime_error with a
+/// line-numbered message on malformed input.
+FaultPlan from_text(const std::string& text);
+
+/// File convenience wrappers (throw std::runtime_error on I/O error).
+FaultPlan read_file(const std::string& path);
+void write_file(const std::string& path, const FaultPlan& plan);
+
+}  // namespace pp::faults

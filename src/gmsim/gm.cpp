@@ -16,8 +16,70 @@ GmPort::GmPort(sim::Simulator& sim, hw::Node& node, hw::PacketPipe& out,
       config_(config),
       name_(std::move(name)),
       tokens_(sim, static_cast<std::uint64_t>(config.send_tokens)),
-      arrivals_(sim) {
+      arrivals_(sim),
+      epoch_(node.power_epoch()) {
   sim_.spawn_daemon(rx_daemon(), name_ + ".rx");
+  // Crash/restart hooks; a run that never crashes only pays the push.
+  node_.add_power_listener([this](hw::PowerEvent e) {
+    if (e == hw::PowerEvent::kCrash) {
+      on_node_crash();
+    } else {
+      on_node_restart();
+    }
+  });
+}
+
+void GmPort::on_node_crash() {
+  // The LANai's SRAM state dies with the host: partially-assembled
+  // messages and staged-but-unconsumed arrivals are gone. Senders whose
+  // messages were parked here must resume replaying them.
+  trace_instant("port-crash");
+  for (const UnexpectedMsg& u : unexpected_) {
+    if (peer_) peer_->on_unstaged(u.msg_seq);
+  }
+  unexpected_.clear();
+  partial_.clear();
+  // posted_ survives: the library re-registers its pre-posted receive
+  // buffers at restart (counted below). Send tokens survive too — every
+  // in-flight fragment returns its token through the pipe drop hooks.
+}
+
+void GmPort::on_node_restart() {
+  // Re-register the port under the node's new power epoch: fragments
+  // stamped with the old epoch are rejected on arrival from now on.
+  epoch_ = node_.power_epoch();
+  reposts_ += posted_.size();
+  trace_instant("port-restart");
+}
+
+void GmPort::on_staged(std::uint64_t msg_seq) {
+  auto it = pending_.find(msg_seq);
+  if (it != pending_.end()) it->second.staged = true;
+}
+
+void GmPort::on_unstaged(std::uint64_t msg_seq) {
+  auto it = pending_.find(msg_seq);
+  if (it == pending_.end() || !it->second.staged) return;
+  it->second.staged = false;
+  it->second.timeout = config_.delivery_timeout;  // fresh situation
+  arm_delivery_watchdog(msg_seq);
+}
+
+void GmPort::fail_pair(const char* reason) {
+  GmPort* const ports[2] = {this, peer_};
+  for (GmPort* p : ports) {
+    if (p == nullptr || p->failed_) continue;
+    p->failed_ = true;
+    p->fail_reason_ = p->name_ + ": " + reason;
+    p->trace_instant("port-failed");
+    // Wake everything parked on this port: senders blocked on tokens get
+    // a poisoned grant, posted receives fire their triggers; both re-check
+    // failed_ and raise DeliveryFailed.
+    p->tokens_.release(1ull << 32);
+    for (PostedRecv* pr : p->posted_) pr->done->set();
+    p->posted_.clear();
+    p->arrivals_.notify_all();
+  }
 }
 
 void GmPort::trace_instant(const char* what) {
@@ -27,14 +89,19 @@ void GmPort::trace_instant(const char* what) {
 }
 
 sim::Task<void> GmPort::send(std::uint64_t bytes, std::uint32_t tag) {
+  if (failed_) throw DeliveryFailed(fail_reason_);
   co_await node_.cpu_cost(config_.api_send_cost);
   trace_instant("doorbell");
   const std::uint64_t seq = next_msg_seq_++;
   if (config_.delivery_timeout > 0) {
+    // Each new message starts from the BASE timeout: watchdog backoff is
+    // per-message state, never inherited from an earlier message's bad
+    // luck.
     pending_[seq] =
-        PendingDelivery{bytes, tag, 0, config_.delivery_timeout};
+        PendingDelivery{bytes, tag, 0, config_.delivery_timeout, false};
   }
   co_await inject_fragments(seq, tag, bytes, 0);
+  if (failed_) throw DeliveryFailed(fail_reason_);
   arm_delivery_watchdog(seq);
 }
 
@@ -53,6 +120,7 @@ sim::Task<void> GmPort::inject_fragments(std::uint64_t msg_seq,
   f->msg_seq = msg_seq;
   f->msg_bytes = bytes;
   f->attempt = attempt;
+  f->dst_epoch = peer_ != nullptr ? peer_->epoch_ : 0;
   // If fault injection discards a fragment anywhere in the pipe, the
   // send token it holds must come home or the port slowly strangles
   // itself (and, with every token lost, deadlocks). The hook lives once
@@ -71,6 +139,7 @@ sim::Task<void> GmPort::inject_fragments(std::uint64_t msg_seq,
     const std::uint64_t frag = std::min<std::uint64_t>(left, mtu);
     left -= frag;
     co_await tokens_.acquire(1);
+    if (failed_) co_return;  // poisoned grant from fail_pair()
     hw::Packet p;
     p.dma_bytes = frag + config_.frag_header;
     p.wire_bytes = frag + config_.frag_header + out_.nic().frame_overhead;
@@ -94,9 +163,17 @@ void GmPort::arm_delivery_watchdog(std::uint64_t msg_seq) {
   const std::uint32_t attempt = it->second.attempt;
   std::weak_ptr<char> guard = alive_;
   sim_.call_after(it->second.timeout, [this, guard, msg_seq, attempt] {
-    if (guard.expired()) return;
+    if (guard.expired() || failed_) return;
     auto pit = pending_.find(msg_seq);
     if (pit == pending_.end() || pit->second.attempt != attempt) return;
+    // Parked in the peer's unexpected queue: a slow consumer is not a
+    // delivery failure. Stand down; a receiver crash re-arms us.
+    if (pit->second.staged) return;
+    if (config_.max_delivery_attempts > 0 &&
+        pit->second.attempt + 1 >= config_.max_delivery_attempts) {
+      fail_pair("delivery-attempts-exhausted");
+      return;
+    }
     // No completion within the timeout: the whole message goes again as
     // a new attempt, with the interval backed off up to the cap.
     ++delivery_failures_;
@@ -123,7 +200,8 @@ void GmPort::prune_partials() {
   }
 }
 
-void GmPort::complete_message(std::uint32_t tag, std::uint64_t bytes) {
+void GmPort::complete_message(std::uint32_t tag, std::uint64_t bytes,
+                              std::uint64_t msg_seq) {
   (void)bytes;
   ++messages_received_;
   auto it = std::find_if(posted_.begin(), posted_.end(), [&](PostedRecv* p) {
@@ -135,10 +213,14 @@ void GmPort::complete_message(std::uint32_t tag, std::uint64_t bytes) {
     pr->completed = true;
     pr->staged = false;  // landed in the pre-posted buffer: zero-copy
     trace_instant("complete");
+    if (peer_) peer_->on_delivered(msg_seq);
     pr->done->set();
   } else {
     trace_instant("unexpected");
-    unexpected_.push_back(tag);
+    unexpected_.push_back(UnexpectedMsg{tag, msg_seq});
+    // Staged, not consumed: the sender's watchdog stands down but keeps
+    // the message replayable should this node crash before recv().
+    if (peer_) peer_->on_staged(msg_seq);
     arrivals_.notify_all();
   }
 }
@@ -157,6 +239,14 @@ sim::Task<void> GmPort::rx_daemon() {
     }
     // The fragment has been deposited; return the sender's token.
     peer_->tokens_.release(1);
+    if (frag->dst_epoch != epoch_) {
+      // Addressed to a previous power epoch of this port: the state it
+      // belonged to died with the node. The token already went home; the
+      // sender's watchdog replays the message under the current epoch.
+      ++stale_epoch_drops_;
+      trace_instant("stale-epoch");
+      continue;
+    }
     if (p.corrupted) {
       // CRC failure after the DMA: the fragment is discarded; the message
       // completes via the sender's delivery watchdog.
@@ -178,17 +268,21 @@ sim::Task<void> GmPort::rx_daemon() {
       } else {
         partial_.erase(frag->msg_seq);
       }
-      if (peer_) peer_->on_delivered(frag->msg_seq);
-      complete_message(frag->tag, frag->msg_bytes);
+      complete_message(frag->tag, frag->msg_bytes, frag->msg_seq);
     }
   }
 }
 
 sim::Task<void> GmPort::recv(std::uint64_t bytes, std::uint32_t tag) {
+  if (failed_) throw DeliveryFailed(fail_reason_);
   co_await node_.cpu_cost(config_.api_recv_cost);
   bool staged = false;
-  auto uit = std::find(unexpected_.begin(), unexpected_.end(), tag);
+  auto uit =
+      std::find_if(unexpected_.begin(), unexpected_.end(),
+                   [&](const UnexpectedMsg& u) { return u.tag == tag; });
   if (uit != unexpected_.end()) {
+    // Now the message is truly consumed: the sender may forget it.
+    if (peer_) peer_->on_delivered(uit->msg_seq);
     unexpected_.erase(uit);
     staged = true;  // had to be parked in a GM bounce buffer
   } else {
@@ -198,6 +292,7 @@ sim::Task<void> GmPort::recv(std::uint64_t bytes, std::uint32_t tag) {
     pr.done = std::make_unique<sim::Trigger>(sim_);
     posted_.push_back(&pr);
     co_await pr.done->wait();
+    if (failed_) throw DeliveryFailed(fail_reason_);
     staged = pr.staged;
   }
   switch (config_.recv_mode) {

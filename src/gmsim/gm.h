@@ -48,6 +48,22 @@ struct GmConfig {
   /// FaultPlan can drop fragments, or a lost fragment deadlocks the port.
   sim::SimTime delivery_timeout = 0;
   sim::SimTime delivery_timeout_max = sim::milliseconds(10.0);
+  /// Delivery attempts (original send + watchdog retries) per message
+  /// before the port pair is declared failed and blocked send()/recv()
+  /// calls raise DeliveryFailed. 0 = retry forever — the right setting
+  /// when the peer is guaranteed to come back; chaos/resilience runs set
+  /// a cap so a permanently dead peer yields a clean `failed` verdict.
+  std::uint32_t max_delivery_attempts = 0;
+};
+
+/// Raised by send()/recv() once a port pair exhausted
+/// `GmConfig::max_delivery_attempts` (e.g. the peer crashed permanently).
+/// Derives from sim::ProtocolFailure so sweep executors classify the run
+/// `failed` rather than errored or hung.
+class DeliveryFailed : public sim::ProtocolFailure {
+ public:
+  explicit DeliveryFailed(const std::string& what)
+      : sim::ProtocolFailure(what) {}
 };
 
 /// One GM port (endpoint). Create a connected pair with GmFabric.
@@ -84,6 +100,21 @@ class GmPort {
   /// Frames dropped on this port's outbound pipe (all injection causes).
   std::uint64_t wire_drops() const { return out_.packets_dropped(); }
 
+  /// Power epoch this port is registered under (tracks the node's; every
+  /// fragment is stamped with the destination's epoch and stale-epoch
+  /// arrivals are rejected after their token is returned).
+  std::uint32_t epoch() const { return epoch_; }
+
+  /// Pre-posted receive buffers re-registered across restarts.
+  std::uint64_t reposts() const { return reposts_; }
+
+  /// Fragments rejected because they were addressed to a previous power
+  /// epoch of this port.
+  std::uint64_t stale_epoch_drops() const { return stale_epoch_drops_; }
+
+  /// True once the pair exhausted max_delivery_attempts.
+  bool failed() const { return failed_; }
+
  private:
   friend class GmFabric;
 
@@ -96,6 +127,10 @@ class GmPort {
     std::uint32_t attempt = 0;  ///< 0 = original send, else retry number
     std::uint64_t msg_seq = 0;  ///< per-sender unique message number
     std::uint64_t msg_bytes = 0;
+    /// Destination port's power epoch at injection time; the receiver
+    /// rejects fragments stamped with a dead epoch (its pre-crash state
+    /// is gone, the sender's watchdog replays under the new epoch).
+    std::uint32_t dst_epoch = 0;
   };
 
   struct PartialMsg {
@@ -109,6 +144,11 @@ class GmPort {
     std::uint32_t tag = 0;
     std::uint32_t attempt = 0;
     sim::SimTime timeout = 0;  ///< next watchdog interval (backed off)
+    /// The message reached the peer's unexpected queue but has not been
+    /// consumed by recv() yet: the watchdog stands down (a slow consumer
+    /// is not a delivery failure), but the entry stays so a receiver
+    /// crash can un-stage it and resume replaying.
+    bool staged = false;
   };
 
   struct PostedRecv {
@@ -118,8 +158,15 @@ class GmPort {
     std::unique_ptr<sim::Trigger> done;
   };
 
+  /// An arrival staged in the unexpected queue (completed, unmatched).
+  struct UnexpectedMsg {
+    std::uint32_t tag = 0;
+    std::uint64_t msg_seq = 0;
+  };
+
   sim::Task<void> rx_daemon();
-  void complete_message(std::uint32_t tag, std::uint64_t bytes);
+  void complete_message(std::uint32_t tag, std::uint64_t bytes,
+                        std::uint64_t msg_seq);
   void trace_instant(const char* what);
 
   /// The token-paced fragment injection loop shared by send() and the
@@ -128,8 +175,17 @@ class GmPort {
                                    std::uint64_t bytes, std::uint32_t attempt);
   sim::Task<void> retry_message(std::uint64_t msg_seq);
   void arm_delivery_watchdog(std::uint64_t msg_seq);
-  /// Peer-side notification that message `msg_seq` fully arrived.
+  /// Peer-side notification that message `msg_seq` was consumed (matched
+  /// a posted receive, or recv() drained it from the unexpected queue).
   void on_delivered(std::uint64_t msg_seq) { pending_.erase(msg_seq); }
+  /// Peer-side notification that `msg_seq` is parked in the peer's
+  /// unexpected queue: stop retrying, but keep the entry replayable.
+  void on_staged(std::uint64_t msg_seq);
+  /// The peer crashed with `msg_seq` still staged: resume the watchdog.
+  void on_unstaged(std::uint64_t msg_seq);
+  void fail_pair(const char* reason);
+  void on_node_crash();
+  void on_node_restart();
   void prune_partials();
 
   sim::Simulator& sim_;
@@ -151,10 +207,17 @@ class GmPort {
   // Receive side.
   std::map<std::uint64_t, PartialMsg> partial_;  // msg_seq -> progress
   std::deque<PostedRecv*> posted_;
-  std::deque<std::uint32_t> unexpected_;  // completed, unmatched tags
+  std::deque<UnexpectedMsg> unexpected_;  // completed, unmatched
   sim::Signal arrivals_;
   std::uint64_t messages_received_ = 0;
   std::uint64_t staged_bytes_ = 0;
+
+  // Crash/restart state.
+  std::uint32_t epoch_ = 1;  ///< synced to the node's power epoch
+  std::uint64_t reposts_ = 0;
+  std::uint64_t stale_epoch_drops_ = 0;
+  bool failed_ = false;
+  std::string fail_reason_;
 
   /// Liveness token: watchdog timers and drop callbacks outlive torn-down
   /// ports (sweep jobs destroy fabrics with timers queued), so they hold

@@ -33,6 +33,7 @@ void StreamLibrary::bind_peer(int peer_rank, tcp::Socket socket) {
   ch.sock = std::move(socket);
   ch.reader_changed = std::make_unique<sim::Signal>(sim_);
   ch.tx_lock = std::make_unique<sim::ByteSemaphore>(sim_, 1);
+  ch.last_epoch = ch.sock.connection_epoch();
 
   switch (config_.buffer_policy) {
     case BufferPolicy::kOsDefault:
@@ -105,12 +106,55 @@ sim::Task<void> StreamLibrary::send_wire(PeerChannel& ch, WireMeta meta,
   }
 }
 
+sim::Task<void> StreamLibrary::send_locked(PeerChannel& ch, WireMeta meta,
+                                           std::uint64_t payload_bytes) {
+  co_await ch.tx_lock->acquire(1);
+  try {
+    co_await send_wire(ch, meta, payload_bytes);
+  } catch (const sim::ProtocolFailure&) {
+    ch.tx_lock->release(1);
+    fail_channel(ch);
+    throw;
+  }
+  ch.tx_lock->release(1);
+}
+
+// ---------------------------------------------------------------------------
+// Crash fencing
+// ---------------------------------------------------------------------------
+
+void StreamLibrary::refence_channel(PeerChannel& ch) {
+  const std::uint32_t ep = ch.sock.connection_epoch();
+  if (ep == ch.last_epoch) return;
+  ch.last_epoch = ep;
+  ++sessions_refenced_;
+  trace_instant("session-refence");
+  // Replay the rendezvous handshake of every parked sender: the RTS (or
+  // its CTS answer) may have evaporated with the crashed endpoint's
+  // state, and the duplicate-RTS / stale-CTS guards make replays safe.
+  for (CtsWait& w : ch.cts_waiters) {
+    w.attempt += 1;
+    w.timeout = config_.rendezvous_timeout;
+    sim_.spawn(resend_rts(ch, w.tag, w.bytes, w.attempt),
+               config_.name + ".rts-refence");
+  }
+}
+
+void StreamLibrary::fail_channel(PeerChannel& ch) {
+  if (ch.conn_failed) return;
+  ch.conn_failed = true;
+  trace_instant("channel-failed");
+  ch.reader_changed->notify_all();
+}
+
 // ---------------------------------------------------------------------------
 // The inbound dispatcher
 // ---------------------------------------------------------------------------
 
 sim::Task<void> StreamLibrary::read_one(PeerChannel& ch) {
+  refence_channel(ch);
   co_await ch.sock.recv_exact(config_.header_bytes);
+  refence_channel(ch);  // a crash may have struck while we were parked
   assert(!ch.meta_in->empty() && "header bytes arrived without metadata");
   const WireMeta m = ch.meta_in->front();
   ch.meta_in->pop_front();
@@ -180,10 +224,8 @@ sim::Task<void> StreamLibrary::read_one(PeerChannel& ch) {
         // re-sent RTS whose first CTS was merely slow lands here too; the
         // duplicate CTS is ignored by the sender's tag match.
         trace_instant("cts");
-        co_await ch.tx_lock->acquire(1);
-        co_await send_wire(ch, WireMeta{Kind::kCts, m.tag, m.bytes, false},
-                           0);
-        ch.tx_lock->release(1);
+        co_await send_locked(ch, WireMeta{Kind::kCts, m.tag, m.bytes, false},
+                             0);
       } else {
         auto dup = std::find_if(ch.rts_pending.begin(), ch.rts_pending.end(),
                                 [&](const UnexpectedMsg& u) {
@@ -230,6 +272,11 @@ sim::Task<void> StreamLibrary::read_one(PeerChannel& ch) {
 sim::Task<void> StreamLibrary::drive_until(PeerChannel& ch,
                                            std::function<bool()> done) {
   while (!done()) {
+    if (ch.conn_failed) {
+      throw tcp::ConnectionFailed(config_.name + "@" +
+                                  std::to_string(rank_) +
+                                  ": channel failed");
+    }
     if (!ch.reader_active) {
       ch.reader_active = true;
       if (done()) {  // re-check: a previous reader may have finished us
@@ -237,7 +284,15 @@ sim::Task<void> StreamLibrary::drive_until(PeerChannel& ch,
         ch.reader_changed->notify_all();
         break;
       }
-      co_await read_one(ch);
+      try {
+        co_await read_one(ch);
+      } catch (const sim::ProtocolFailure&) {
+        // The transport died for good: release the reader role and wake
+        // every parked waiter so they raise instead of waiting forever.
+        ch.reader_active = false;
+        fail_channel(ch);
+        throw;
+      }
       ch.reader_active = false;
       ch.reader_changed->notify_all();
     } else {
@@ -248,7 +303,14 @@ sim::Task<void> StreamLibrary::drive_until(PeerChannel& ch,
 
 sim::Task<void> StreamLibrary::progress_daemon(PeerChannel& ch) {
   for (;;) {
-    co_await read_one(ch);
+    try {
+      co_await read_one(ch);
+    } catch (const sim::ProtocolFailure&) {
+      // Exit the daemon; waiters wake via fail_channel and raise from
+      // their own drive_until passes.
+      fail_channel(ch);
+      co_return;
+    }
     ch.reader_changed->notify_all();
   }
 }
@@ -286,7 +348,12 @@ sim::Task<void> StreamLibrary::send(int dst, std::uint64_t bytes,
     if (config_.synchronous_send) {
       sim::Trigger ack(sim_);
       ch.sync_waiters.push_back(&ack);
-      co_await drive_until(ch, [&] { return ack.is_set(); });
+      try {
+        co_await drive_until(ch, [&] { return ack.is_set(); });
+      } catch (...) {
+        std::erase(ch.sync_waiters, &ack);
+        throw;
+      }
     }
     co_return;
   }
@@ -297,43 +364,54 @@ sim::Task<void> StreamLibrary::send_message(PeerChannel& ch,
                                             std::uint64_t bytes,
                                             std::uint32_t tag, bool sync) {
   if (bytes <= config_.eager_max) {
-    co_await ch.tx_lock->acquire(1);
-    co_await send_wire(ch, WireMeta{Kind::kData, tag, bytes, false},
-                       payload_with_fragment_overhead(bytes));
-    ch.tx_lock->release(1);
+    co_await send_locked(ch, WireMeta{Kind::kData, tag, bytes, false},
+                         payload_with_fragment_overhead(bytes));
   } else {
     // Rendezvous: request-to-send, wait for clear-to-send, then the data.
     rendezvous_count_ += 1;
     trace_instant("rts");
-    co_await ch.tx_lock->acquire(1);
-    co_await send_wire(ch, WireMeta{Kind::kRts, tag, bytes, false}, 0);
-    ch.tx_lock->release(1);
+    co_await send_locked(ch, WireMeta{Kind::kRts, tag, bytes, false}, 0);
     sim::Trigger cts(sim_);
     ch.cts_waiters.push_back(
         CtsWait{&cts, tag, bytes, 0, config_.rendezvous_timeout});
     if (config_.rendezvous_timeout > 0) arm_rts_watchdog(ch, tag, 0);
-    co_await drive_until(ch, [&] { return cts.is_set(); });
+    try {
+      co_await drive_until(ch, [&] { return cts.is_set(); });
+    } catch (...) {
+      // Scrub the stack-allocated trigger from the waiter queue.
+      auto wit = std::find_if(ch.cts_waiters.begin(), ch.cts_waiters.end(),
+                              [&](const CtsWait& w) {
+                                return w.trigger == &cts;
+                              });
+      if (wit != ch.cts_waiters.end()) ch.cts_waiters.erase(wit);
+      throw;
+    }
     trace_instant("rendezvous-payload");
-    co_await ch.tx_lock->acquire(1);
-    co_await send_wire(ch, WireMeta{Kind::kData, tag, bytes, true},
-                       payload_with_fragment_overhead(bytes));
-    ch.tx_lock->release(1);
+    co_await send_locked(ch, WireMeta{Kind::kData, tag, bytes, true},
+                         payload_with_fragment_overhead(bytes));
   }
 
   if (sync) {
     sim::Trigger ack(sim_);
     ch.sync_waiters.push_back(&ack);
-    co_await drive_until(ch, [&] { return ack.is_set(); });
+    try {
+      co_await drive_until(ch, [&] { return ack.is_set(); });
+    } catch (...) {
+      std::erase(ch.sync_waiters, &ack);
+      throw;
+    }
   }
 }
 
 sim::Task<void> StreamLibrary::resend_rts(PeerChannel& ch, std::uint32_t tag,
                                           std::uint64_t bytes,
                                           std::uint32_t attempt) {
-  co_await ch.tx_lock->acquire(1);
-  co_await send_wire(ch, WireMeta{Kind::kRts, tag, bytes, false}, 0);
-  ch.tx_lock->release(1);
-  arm_rts_watchdog(ch, tag, attempt);
+  try {
+    co_await send_locked(ch, WireMeta{Kind::kRts, tag, bytes, false}, 0);
+  } catch (const sim::ProtocolFailure&) {
+    co_return;  // the parked sender raises from its own drive_until
+  }
+  if (config_.rendezvous_timeout > 0) arm_rts_watchdog(ch, tag, attempt);
 }
 
 void StreamLibrary::arm_rts_watchdog(PeerChannel& ch, std::uint32_t tag,
@@ -382,9 +460,7 @@ sim::Task<void> StreamLibrary::recv(int src, std::uint64_t bytes,
       co_await recv_message(ch, chunk, tag, /*sync=*/true);
     }
     if (config_.synchronous_send) {
-      co_await ch.tx_lock->acquire(1);
-      co_await send_wire(ch, WireMeta{Kind::kSyncAck, tag, 0, false}, 0);
-      ch.tx_lock->release(1);
+      co_await send_locked(ch, WireMeta{Kind::kSyncAck, tag, 0, false}, 0);
     }
     co_return;
   }
@@ -418,11 +494,21 @@ sim::Task<void> StreamLibrary::recv_message(PeerChannel& ch,
     if (rit != ch.rts_pending.end()) {
       ch.rts_pending.erase(rit);
       trace_instant("cts");
-      co_await ch.tx_lock->acquire(1);
-      co_await send_wire(ch, WireMeta{Kind::kCts, tag, bytes, false}, 0);
-      ch.tx_lock->release(1);
+      try {
+        co_await send_locked(ch, WireMeta{Kind::kCts, tag, bytes, false},
+                             0);
+      } catch (...) {
+        std::erase(ch.posted, &pr);
+        throw;
+      }
     }
-    co_await drive_until(ch, [&] { return pr.completed; });
+    try {
+      co_await drive_until(ch, [&] { return pr.completed; });
+    } catch (...) {
+      // Scrub the stack-allocated descriptor from the posted queue.
+      std::erase(ch.posted, &pr);
+      throw;
+    }
     staged = pr.was_staged;
     view = std::move(pr.view);
   }
@@ -448,9 +534,7 @@ sim::Task<void> StreamLibrary::recv_message(PeerChannel& ch,
         config_.rx_conversion));
   }
   if (sync) {
-    co_await ch.tx_lock->acquire(1);
-    co_await send_wire(ch, WireMeta{Kind::kSyncAck, tag, 0, false}, 0);
-    ch.tx_lock->release(1);
+    co_await send_locked(ch, WireMeta{Kind::kSyncAck, tag, 0, false}, 0);
   }
 }
 

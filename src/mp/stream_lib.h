@@ -15,6 +15,13 @@
 //  - a choice of progress engine: on-call (progress only inside library
 //    calls) or an independent reader (MPI/Pro's progress thread,
 //    MP_Lite's SIGIO handler)
+//  - crash fencing: every dispatcher pass compares the socket's
+//    connection epoch against the channel's last-seen value; a bump means
+//    the transport crashed and reconnected underneath us, so in-flight
+//    rendezvous handshakes are replayed (RTS re-sent for every parked
+//    CTS waiter). A permanently failed socket raises
+//    tcp::ConnectionFailed out of every blocked call instead of
+//    deadlocking the single-reader discipline.
 //
 // Each concrete library is a thin configuration of this engine plus, for
 // PVM and LAM's lamd mode, the DaemonRelay path.
@@ -140,6 +147,9 @@ class StreamLibrary : public Library {
   /// memcpy (only nonzero with zero_copy_staging).
   std::uint64_t zero_copy_receives() const { return zero_copy_receives_; }
   std::uint64_t zero_copy_bytes() const { return zero_copy_bytes_; }
+  /// Connection-epoch bumps observed (transport crash/reconnect cycles
+  /// the library re-fenced by replaying its rendezvous handshakes).
+  std::uint64_t sessions_refenced() const { return sessions_refenced_; }
 
   netpipe::ProtocolCounters protocol_counters() const override;
 
@@ -202,6 +212,13 @@ class StreamLibrary : public Library {
     std::deque<sim::Trigger*> sync_waiters;
     // Serializes whole messages on the outbound stream.
     std::unique_ptr<sim::ByteSemaphore> tx_lock;
+
+    /// Socket connection epoch as of the last dispatcher pass; a bump
+    /// means the transport reconnected and rendezvous sessions replay.
+    std::uint32_t last_epoch = 0;
+    /// The socket failed permanently (SYN retries / RTO give-up): every
+    /// blocked call on this channel raises instead of waiting forever.
+    bool conn_failed = false;
   };
 
   PeerChannel& channel(int peer);
@@ -214,6 +231,15 @@ class StreamLibrary : public Library {
   sim::Task<void> progress_daemon(PeerChannel& ch);
   sim::Task<void> send_wire(PeerChannel& ch, WireMeta meta,
                             std::uint64_t payload_bytes);
+  /// send_wire under the channel's tx lock, releasing it even when the
+  /// socket raises ConnectionFailed mid-message.
+  sim::Task<void> send_locked(PeerChannel& ch, WireMeta meta,
+                              std::uint64_t payload_bytes);
+  /// Adopts a bumped connection epoch: replays the RTS of every parked
+  /// CTS waiter so rendezvous handshakes survive a crash/reconnect.
+  void refence_channel(PeerChannel& ch);
+  /// Marks the channel failed and wakes every parked waiter.
+  void fail_channel(PeerChannel& ch);
   sim::Task<void> send_message(PeerChannel& ch, std::uint64_t bytes,
                                std::uint32_t tag, bool sync);
   sim::Task<void> recv_message(PeerChannel& ch, std::uint64_t bytes,
@@ -236,6 +262,7 @@ class StreamLibrary : public Library {
   std::uint64_t staged_bytes_ = 0;
   std::uint64_t zero_copy_receives_ = 0;
   std::uint64_t zero_copy_bytes_ = 0;
+  std::uint64_t sessions_refenced_ = 0;
 
   /// Liveness token for watchdog timers outliving a torn-down library.
   std::shared_ptr<char> alive_ = std::make_shared<char>(1);

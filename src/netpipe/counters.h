@@ -16,6 +16,9 @@ struct ProtocolCounters {
   std::uint64_t retransmits = 0;      ///< go-back-N rewinds (incl. RTO)
   std::uint64_t fast_retransmits = 0; ///< dup-ACK-triggered rewinds
   std::uint64_t checksum_drops = 0;   ///< corrupted segments discarded
+  std::uint64_t reconnects = 0;       ///< crash/restart sessions
+                                      ///< re-established (SYN handshakes
+                                      ///< completed after the first)
   // Hardware layer.
   std::uint64_t wire_drops = 0;       ///< frames lost to fault injection
   // Message-passing library layer.
@@ -34,6 +37,7 @@ struct ProtocolCounters {
     retransmits += o.retransmits;
     fast_retransmits += o.fast_retransmits;
     checksum_drops += o.checksum_drops;
+    reconnects += o.reconnects;
     wire_drops += o.wire_drops;
     rendezvous_handshakes += o.rendezvous_handshakes;
     rendezvous_retries += o.rendezvous_retries;

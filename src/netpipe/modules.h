@@ -22,6 +22,7 @@ inline ProtocolCounters tcp_socket_counters(const tcp::Socket& s) {
   c.retransmits = st.retransmits;
   c.fast_retransmits = st.fast_retransmits;
   c.checksum_drops = st.checksum_drops;
+  c.reconnects = st.reconnects;
   c.wire_drops = s.tx_wire_drops();
   return c;
 }

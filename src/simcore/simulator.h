@@ -54,6 +54,18 @@ class BudgetExceededError : public std::runtime_error {
   Kind kind_;
 };
 
+/// Thrown by protocol stacks (TCP reconnect, GM/VIA delivery sessions)
+/// when recovery machinery gives up for good: retry caps exhausted, the
+/// peer permanently dead. Distinct from BudgetExceededError — the run did
+/// not wedge, a protocol *decided* it cannot complete. The sweep runner
+/// maps it to JobStatus::kFailed ("failed" in pp.sweep/5 reports) so a
+/// chaos run distinguishes a clean give-up from a hang.
+class ProtocolFailure : public std::runtime_error {
+ public:
+  explicit ProtocolFailure(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 /// RAII scope installing *ambient* budgets: any Simulator constructed on
 /// this thread while the scope is active starts with these limits (0 means
 /// "leave unlimited"). This is how the sweep runner imposes a per-job

@@ -5,15 +5,24 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "simcore/resource.h"
 #include "simcore/simulator.h"
 #include "simcore/task.h"
+#include "simcore/tracing.h"
 #include "simhw/config.h"
 
 namespace pp::hw {
+
+/// Power-state transition delivered to Node power listeners.
+enum class PowerEvent {
+  kCrash,    ///< the node lost power: all in-flight state is gone
+  kRestart,  ///< the node rebooted under a new power epoch
+};
 
 class Node {
  public:
@@ -60,12 +69,61 @@ class Node {
     return cpu_.occupy(staging_copy_time(bytes));
   }
 
+  // --- Power state (crash/restart fault class) -----------------------------
+  //
+  // A node is born up in power epoch 1. crash() powers it off: listeners
+  // (NIC pipes, protocol endpoints pinned to this host) tear down their
+  // in-flight state with crash verdicts. restart() powers it back on
+  // under the next epoch; listeners re-register their sessions. Both are
+  // idempotent, and a run that never crashes pays nothing — registration
+  // only appends to a vector, no events, no RNG.
+
+  bool is_up() const noexcept { return up_; }
+  std::uint32_t power_epoch() const noexcept { return power_epoch_; }
+  std::uint64_t crash_count() const noexcept { return crash_count_; }
+
+  using PowerListener = std::function<void(PowerEvent)>;
+
+  /// Registers `fn` to run on every crash/restart of this node, in
+  /// registration order (hardware registers before protocols, so pipes
+  /// drain their rings before endpoints inspect them). Listeners must
+  /// outlive the node's last power event — in practice, the run.
+  void add_power_listener(PowerListener fn) {
+    power_listeners_.push_back(std::move(fn));
+  }
+
+  /// Powers the node off, dropping all in-flight state via listeners.
+  void crash() {
+    if (!up_) return;
+    up_ = false;
+    ++crash_count_;
+    if (sim::TraceRecorder* t = sim_.tracer()) {
+      t->record_instant(cpu_.name(), "crash", sim_.now());
+    }
+    for (auto& fn : power_listeners_) fn(PowerEvent::kCrash);
+  }
+
+  /// Powers the node back on under the next power epoch.
+  void restart() {
+    if (up_) return;
+    up_ = true;
+    ++power_epoch_;
+    if (sim::TraceRecorder* t = sim_.tracer()) {
+      t->record_instant(cpu_.name(), "restart", sim_.now());
+    }
+    for (auto& fn : power_listeners_) fn(PowerEvent::kRestart);
+  }
+
  private:
   sim::Simulator& sim_;
   int id_;
   HostConfig config_;
   sim::RateResource cpu_;
   sim::RateResource pci_;
+  bool up_ = true;
+  std::uint32_t power_epoch_ = 1;
+  std::uint64_t crash_count_ = 0;
+  std::vector<PowerListener> power_listeners_;
 };
 
 }  // namespace pp::hw

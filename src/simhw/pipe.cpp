@@ -57,6 +57,15 @@ PacketPipe::PacketPipe(sim::Simulator& sim, Node& src, Node& dst,
   src_sim_.spawn_daemon(wire_pump(), name_ + ".wire");
   dst_sim_.spawn_daemon(rx_dma_pump(), name_ + ".rxdma");
   dst_sim_.spawn_daemon(rx_cpu_pump(), name_ + ".rxcpu");
+  // Crash teardown: each side drains on its own node's power-off, on its
+  // own shard's thread (the listener runs inside Node::crash(), which a
+  // FaultPlan schedules on the node's simulator).
+  src_.add_power_listener([this](PowerEvent e) {
+    if (e == PowerEvent::kCrash) drain_tx_on_crash();
+  });
+  dst_.add_power_listener([this](PowerEvent e) {
+    if (e == PowerEvent::kCrash) drain_rx_on_crash();
+  });
 }
 
 PacketPipe::~PacketPipe() {
@@ -110,6 +119,60 @@ void PacketPipe::drop_frame(Packet& p, const char* cause, bool rx_side) {
   if (p.fire_drop) p.desc.fire_drop();
 }
 
+void PacketPipe::drain_tx_on_crash() {
+  while (auto p = tx_cpu_q_.try_pop()) {
+    ++n_crash_drops_;
+    drop_frame(*p, "crash-drop", /*rx_side=*/false);
+  }
+  while (auto p = tx_dma_q_.try_pop()) {
+    ++n_crash_drops_;
+    drop_frame(*p, "crash-drop", /*rx_side=*/false);
+  }
+  while (auto p = wire_q_.try_pop()) {
+    ++n_crash_drops_;
+    drop_frame(*p, "crash-drop", /*rx_side=*/false);
+  }
+}
+
+void PacketPipe::drain_rx_on_crash() {
+  while (auto p = rx_dma_q_.try_pop()) {
+    assert(rx_backlog_ > 0);
+    --rx_backlog_;
+    ++n_crash_drops_;
+    drop_frame(*p, "crash-drop", /*rx_side=*/true);
+  }
+  while (auto b = rx_cpu_q_.try_pop()) {
+    for (Packet& p : *b) {
+      assert(rx_backlog_ > 0);
+      --rx_backlog_;
+      ++n_crash_drops_;
+      drop_frame(p, "crash-drop", /*rx_side=*/true);
+    }
+  }
+  // Parked interrupt batches lose their frames but keep their RxBatch
+  // entries: each has a flush event already scheduled, and flush pairs
+  // with batches positionally (pop-front). An emptied batch flushes a
+  // zero-frame FrameBatch, which rx_cpu_pump skips over.
+  for (std::size_t i = rx_pending_.size(); i > 0; --i) {
+    RxBatch b = std::move(rx_pending_.front());
+    rx_pending_.pop_front();
+    for (Packet& p : b.frames) {
+      assert(rx_backlog_ > 0);
+      --rx_backlog_;
+      ++n_crash_drops_;
+      drop_frame(p, "crash-drop", /*rx_side=*/true);
+    }
+    b.frames.clear();
+    rx_pending_.push_back(std::move(b));
+  }
+  while (auto p = delivered_.try_pop()) {
+    // Already taken out of the ring by the host CPU (backlog was
+    // decremented in rx_cpu_pump); the protocol just never saw it.
+    ++n_crash_drops_;
+    drop_frame(*p, "crash-drop", /*rx_side=*/true);
+  }
+}
+
 void PacketPipe::schedule_arrival(sim::SimTime delay, Packet p) {
   const sim::SimTime send = src_sim_.now();
   const std::uint64_t seq = arrival_seq_++;
@@ -152,6 +215,13 @@ std::uint64_t PacketPipe::pci_effective_bytes(const Node& host,
 sim::Task<void> PacketPipe::tx_cpu_pump() {
   for (;;) {
     Packet p = co_await tx_cpu_q_.pop();
+    // A powered-off host's NIC accepts no doorbells: frames injected by
+    // coroutines that outlived their host's crash die right here.
+    if (!src_.is_up()) {
+      ++n_crash_drops_;
+      drop_frame(p, "down-drop", /*rx_side=*/false);
+      continue;
+    }
     // A zero cost must not even queue on the CPU: an OS-bypass NIC's DMA
     // engine proceeds regardless of what the host CPU is doing.
     if (const sim::SimTime cost = tx_cpu_cost(); cost > 0) {
@@ -174,6 +244,14 @@ sim::Task<void> PacketPipe::wire_pump() {
   for (;;) {
     Packet p = co_await wire_q_.pop();
     co_await wire_.transfer(p.wire_bytes);
+    // A frame still in the NIC when the host lost power never makes it
+    // out (the crash drain caught queued frames; this catches the one a
+    // pump stage was holding mid-transfer).
+    if (!src_.is_up()) {
+      ++n_crash_drops_;
+      drop_frame(p, "down-drop", /*rx_side=*/false);
+      continue;
+    }
     sim::SimTime extra_delay = 0;
     bool duplicate = false;
     if (link_faults_) {
@@ -193,13 +271,9 @@ sim::Task<void> PacketPipe::wire_pump() {
       bool lost = false;
       if (f.cfg.loss > 0.0 && f.rng.uniform() < f.cfg.loss) lost = true;
       if (f.cfg.ge_enabled()) {
-        if (f.ge_bad) {
-          if (f.rng.uniform() < f.cfg.ge_bad_to_good) f.ge_bad = false;
-        } else {
-          if (f.rng.uniform() < f.cfg.ge_good_to_bad) f.ge_bad = true;
-        }
-        const double pl = f.ge_bad ? f.cfg.ge_loss_bad : f.cfg.ge_loss_good;
-        if (pl > 0.0 && f.rng.uniform() < pl) lost = true;
+        // The chain steps even for frames the Bernoulli draw already
+        // lost: every configured feature consumes its draws every frame.
+        if (f.ge.step(f.cfg, f.rng)) lost = true;
       }
       if (lost) {
         drop_frame(p, "drop", /*rx_side=*/false);
@@ -248,6 +322,13 @@ sim::Task<void> PacketPipe::wire_pump() {
 // Arrival at the receive NIC: the frame lands in the rx descriptor ring
 // (or overflows it, if a ring-size fault is armed).
 void PacketPipe::deliver_to_rx(Packet p) {
+  // Nothing is listening on a powered-off receiver: frames that were on
+  // the wire when it crashed (or arrive during its downtime) vanish.
+  if (!dst_.is_up()) {
+    ++n_crash_drops_;
+    drop_frame(p, "down-drop", /*rx_side=*/true);
+    return;
+  }
   if (nic_faults_ && nic_faults_->cfg.ring_slots > 0 &&
       rx_backlog_ >= nic_faults_->cfg.ring_slots) {
     ++n_ring_drops_;
@@ -263,6 +344,15 @@ sim::Task<void> PacketPipe::rx_dma_pump() {
     Packet p = co_await rx_dma_q_.pop();
     co_await dst_.pci().transfer_with_overhead(
         pci_effective_bytes(dst_, p.dma_bytes), nic_.nic_rx_cost);
+    // The frame the DMA engine held when the host crashed was out of the
+    // drain's reach; it dies here instead of raising an interrupt.
+    if (!dst_.is_up()) {
+      assert(rx_backlog_ > 0);
+      --rx_backlog_;
+      ++n_crash_drops_;
+      drop_frame(p, "down-drop", /*rx_side=*/true);
+      continue;
+    }
     // The frame now sits in host memory; the interrupt (possibly batched
     // by the mitigation timer) makes the host notice it. An injected
     // interrupt stall is folded into the coalescer's FIFO clamp so a
@@ -331,6 +421,14 @@ sim::Task<void> PacketPipe::rx_cpu_pump() {
       // is impossible by construction.
       assert(rx_backlog_ > 0);
       --rx_backlog_;
+      // Mid-batch crash: frames behind the one being processed when the
+      // power went were still local variables here, out of the drain's
+      // reach — they die at this check instead of being delivered.
+      if (!dst_.is_up()) {
+        ++n_crash_drops_;
+        drop_frame(p, "down-drop", /*rx_side=*/true);
+        continue;
+      }
       if (const sim::SimTime cost = rx_cpu_cost(); cost > 0) {
         co_await dst_.cpu_cost(cost);
       }

@@ -131,6 +131,13 @@ class PacketPipe {
   std::uint64_t ring_overflow_drops() const noexcept { return n_ring_drops_; }
   std::uint64_t irq_stalls() const noexcept { return n_irq_stalls_; }
 
+  /// Frames discarded because an endpoint host was powered off: the
+  /// crash-instant drains of the staged queues and rx ring, plus frames
+  /// that reached a stage boundary while the host was down. Each fires
+  /// the descriptor's drop hook (fire_drop permitting) so token/credit
+  /// senders reclaim their units — crashing must never leak flow control.
+  std::uint64_t crash_drops() const noexcept { return n_crash_drops_; }
+
   /// Frames admitted to the rx ring and not yet taken by the host CPU.
   /// Admission increments, host-side take decrements; the pairing is
   /// exact (ring-overflow drops are refused *before* the increment), so
@@ -175,7 +182,7 @@ class PacketPipe {
   struct LinkFaults {
     faults::LinkFaultConfig cfg;
     sim::SplitMix64 rng{1};
-    bool ge_bad = false;  ///< Gilbert–Elliott chain state
+    faults::GilbertElliott ge;  ///< burst-loss chain state
   };
   struct NicFaults {
     faults::NicFaultConfig cfg;
@@ -211,6 +218,16 @@ class PacketPipe {
 
   /// Arrival at the receive NIC (post-propagation): rx-ring admission.
   void deliver_to_rx(Packet p);
+
+  /// Crash teardown, run as Node power listeners (registered in the
+  /// constructor). The source-side drain discards everything queued in
+  /// the transmit stages; the destination-side drain empties the rx DMA
+  /// queue, the parked interrupt batches (their RxBatch entries stay so
+  /// already-scheduled flush events still pair up — they flush empty)
+  /// and the delivered queue, with the rx-ring backlog decremented per
+  /// admitted frame. Each runs on its own side's simulator thread.
+  void drain_tx_on_crash();
+  void drain_rx_on_crash();
 
   /// Appends a DMA-complete frame to the interrupt batch maturing at
   /// `irq_at` (opening a new batch — and scheduling its flush — when the
@@ -262,6 +279,7 @@ class PacketPipe {
   std::uint64_t n_flap_drops_ = 0;
   std::uint64_t n_ring_drops_ = 0;
   std::uint64_t n_irq_stalls_ = 0;
+  std::uint64_t n_crash_drops_ = 0;
   std::uint64_t rx_backlog_ = 0;  ///< frames in the rx ring awaiting the host
   std::uint64_t fault_seed_ = 1;
   std::unique_ptr<LinkFaults> link_faults_;

@@ -48,6 +48,7 @@ void append_counters(std::ostringstream& os,
      << ",\"retransmits\":" << c.retransmits
      << ",\"fast_retransmits\":" << c.fast_retransmits
      << ",\"checksum_drops\":" << c.checksum_drops
+     << ",\"reconnects\":" << c.reconnects
      << ",\"wire_drops\":" << c.wire_drops
      << ",\"rendezvous_handshakes\":" << c.rendezvous_handshakes
      << ",\"rendezvous_retries\":" << c.rendezvous_retries
@@ -63,6 +64,9 @@ void append_job(std::ostringstream& os, const JobResult& j,
      << (j.ok ? "true" : "false")
      << ",\"status\":\"" << to_string(j.status) << "\""
      << ",\"retries\":" << j.retries;
+  if (!j.verdict.empty()) {
+    os << ",\"verdict\":\"" << escaped(j.verdict) << "\"";
+  }
   if (include_timing) os << ",\"wall_ms\":" << number(j.wall_ms);
   if (!j.ok) {
     // Degraded run: no measurement, but the counters object stays (all
@@ -89,7 +93,7 @@ void append_job(std::ostringstream& os, const JobResult& j,
 std::string JsonReporter::to_json(const std::vector<SweepResult>& sweeps,
                                   const Options& options) {
   std::ostringstream os;
-  os << "{\"schema\":\"pp.sweep/4\"";
+  os << "{\"schema\":\"pp.sweep/5\"";
   os << ",\"sweeps\":[";
   for (std::size_t s = 0; s < sweeps.size(); ++s) {
     const SweepResult& sw = sweeps[s];

@@ -1,15 +1,16 @@
 // Machine-readable sweep reports (the BENCH_sweep.json trajectory).
 //
-// Schema (version pp.sweep/4):
+// Schema (version pp.sweep/5):
 //   {
-//     "schema": "pp.sweep/4",
+//     "schema": "pp.sweep/5",
 //     "sweeps": [
 //       { "name": ..., "shards": N, "threads": N,
 //         "wall_ms": ..., "serial_ms": ..., "speedup_vs_serial": ...,
 //         "jobs": [
 //           { "label": ..., "ok": true|false,
-//             "status": "ok"|"error"|"watchdog",
+//             "status": "ok"|"error"|"watchdog"|"failed",
 //             "retries": N,            // watchdog-triggered re-runs
+//             "verdict": ...,          // only when a harness stamped one
 //             "wall_ms": ...,
 //             "error": ...,            // only when !ok
 //             // measurement fields, only when ok:
@@ -20,7 +21,8 @@
 //             // always present (zeros for failed jobs):
 //             "counters": { "data_segments": ..., "acks": ...,
 //               "retransmits": ..., "fast_retransmits": ...,
-//               "checksum_drops": ..., "wire_drops": ...,
+//               "checksum_drops": ..., "reconnects": ...,
+//               "wire_drops": ...,
 //               "rendezvous_handshakes": ..., "rendezvous_retries": ...,
 //               "delivery_failures": ..., "staged_bytes": ...,
 //               "relay_fragments": ..., "rdma_transfers": ... } }
@@ -33,7 +35,15 @@
 // "wall_ms") are omitted entirely — the canonical form the determinism
 // tests compare byte-for-byte. Consumers must treat them as optional.
 //
-// pp.sweep/4 adds the per-sweep "shards" field (the ambient shard count
+// pp.sweep/5 adds the "failed" job status (the run's protocol stack
+// raised sim::ProtocolFailure — a deliberate give-up under fault
+// injection, distinct from an error or a watchdog hang) and the optional
+// per-job "verdict" string chaos harnesses stamp after classifying each
+// run (clean | recovered | degraded | failed | hung). "verdict" is part
+// of the canonical form: it is a function of the simulation, not of how
+// the sweep was executed. pp.sweep/5 also adds "counters.reconnects"
+// (TCP sessions re-established after a crash/restart).
+// pp.sweep/4 added the per-sweep "shards" field (the ambient shard count
 // SweepOptions::shards installed around the jobs; 0 = jobs ran with the
 // ambient default). Like "threads" it describes how the sweep was
 // executed, not what it measured — sharded runs are bit-identical to
@@ -70,7 +80,7 @@ class JsonReporter {
     bool include_timing = true;
   };
 
-  /// Serializes the sweeps to the pp.sweep/4 schema.
+  /// Serializes the sweeps to the pp.sweep/5 schema.
   static std::string to_json(const std::vector<SweepResult>& sweeps,
                              const Options& options);
   static std::string to_json(const std::vector<SweepResult>& sweeps) {

@@ -107,6 +107,13 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opt) {
               continue;
             }
             break;
+          } catch (const sim::ProtocolFailure& e) {
+            // The protocol stack gave up deliberately (retry caps
+            // exhausted under fault injection). Expected under chaos:
+            // report, don't retry, never rethrow.
+            jr.status = JobStatus::kFailed;
+            jr.error = e.what();
+            break;
           } catch (const std::exception& e) {
             errors[i] = std::current_exception();
             jr.status = JobStatus::kError;

@@ -46,13 +46,19 @@ struct SweepSpec {
 /// How one job ended. kWatchdog means every attempt (the original plus
 /// the bounded retries) blew its event or simulated-time budget; such
 /// jobs degrade to a reported failure and never abort the sweep.
-enum class JobStatus { kOk, kError, kWatchdog };
+/// kFailed means the job raised sim::ProtocolFailure — its protocol
+/// stack *decided* it cannot complete (retry caps exhausted, the peer
+/// permanently dead). Like watchdog kills, protocol failures are an
+/// expected outcome under fault injection: they are reported, never
+/// retried, and never rethrown regardless of keep_going.
+enum class JobStatus { kOk, kError, kWatchdog, kFailed };
 
 inline const char* to_string(JobStatus s) {
   switch (s) {
     case JobStatus::kOk: return "ok";
     case JobStatus::kError: return "error";
     case JobStatus::kWatchdog: return "watchdog";
+    case JobStatus::kFailed: return "failed";
   }
   return "unknown";
 }
@@ -65,6 +71,10 @@ struct JobResult {
   JobStatus status = JobStatus::kError;
   int retries = 0;    ///< watchdog-triggered re-runs performed
   std::string error;  ///< what() of the escaped exception when !ok
+  /// Optional run classification stamped by chaos-style harnesses after
+  /// the sweep (recovered | degraded | failed | hung | clean); emitted
+  /// in pp.sweep/5 reports when non-empty.
+  std::string verdict;
 };
 
 struct SweepResult {

@@ -15,6 +15,17 @@ constexpr std::uint32_t kHeaderBytes = 40;
 
 }  // namespace
 
+/// Segment kinds. Control segments (everything but kData) drive the
+/// post-crash re-handshake; a run without crashes only ever sends kData.
+enum class SegKind : std::uint8_t {
+  kData = 0,  ///< data or pure ACK (the entire pre-crash protocol)
+  kSyn,       ///< reconnect request, ack = sender's rcv_next resync point
+  kSynAck,    ///< reconnect accept, same resync payload as kSyn
+  kRst,       ///< "your epoch is dead" — answer to stale traffic
+  kProbe,     ///< keepalive probe for an idle connection
+  kProbeAck,  ///< keepalive answer ("still here")
+};
+
 /// Descriptor travelling as a pipe packet's `desc` (one arena slot per
 /// segment).
 struct SegmentCtx {
@@ -23,6 +34,8 @@ struct SegmentCtx {
   std::uint32_t payload = 0;  ///< 0 for a pure ACK
   std::uint64_t ack = 0;      ///< cumulative ACK (bytes received in order)
   std::uint64_t wnd_edge = 0; ///< absolute highest stream offset permitted
+  std::uint32_t epoch = 0;    ///< sender's connection epoch
+  SegKind kind = SegKind::kData;
   /// Zero-copy view of the application payload buffer covering `seq`
   /// (null for pure ACKs and plain sends). Retransmitted segments attach
   /// the same reference — the buffer is shared, never cloned.
@@ -52,6 +65,8 @@ struct Endpoint {
     // weak-handle dance the old per-timer call_after() needed is gone.
     rto_timer.bind(stack->timers(), [this] { on_rto(); });
     delack_timer.bind(stack->timers(), [this] { on_delack(); });
+    syn_timer.bind(stack->timers(), [this] { on_syn_timer(); });
+    ka_timer.bind(stack->timers(), [this] { on_keepalive(); });
   }
 
   hw::Node& node() { return stack->node(); }
@@ -89,7 +104,8 @@ struct Endpoint {
 
   void start_traffic() { traffic_started = true; }
 
-  void inject_segment(std::uint32_t payload, std::uint64_t seq);
+  void inject_segment(std::uint32_t payload, std::uint64_t seq,
+                      SegKind kind = SegKind::kData);
   void send_pure_ack();
   void on_segment(const SegmentCtx& s);
   void maybe_window_update(std::uint64_t pre_recv_usable);
@@ -99,6 +115,30 @@ struct Endpoint {
   void arm_rto();
   void on_rto();
   void on_delack();
+  void on_keepalive();
+
+  // --- crash/restart recovery ----------------------------------------------
+  void on_control(const SegmentCtx& s);
+  /// Adopts the control segment's epoch, resynchronizes the tx stream to
+  /// the peer's cumulative ACK and (re-)establishes the connection.
+  void establish(const SegmentCtx& s);
+  /// Rewinds/advances the tx stream to absolute offset `pos` (the peer's
+  /// authoritative rcv_next) and resets loss-recovery/congestion state.
+  void resync_tx(std::uint64_t pos, std::uint64_t wnd);
+  /// High-water send-buffer release: frees bytes only when snd_una first
+  /// exceeds the released watermark, so a post-crash rewind below an
+  /// already-released offset cannot double-release buffer space.
+  void sync_space_to_una();
+  void begin_reconnect();
+  void send_syn();
+  void on_syn_timer();
+  void send_synack();
+  void send_rst();
+  /// Marks BOTH endpoints failed and wakes every parked coroutine; they
+  /// observe conn_failed and raise ConnectionFailed.
+  void fail_connection(const char* reason);
+  void on_node_crash();
+  void on_node_restart();
 
   sim::Task<void> tx_pump();
   sim::Task<void> send(std::uint64_t bytes, std::uint64_t token,
@@ -113,6 +153,55 @@ struct Endpoint {
   std::uint32_t snd_buf = 0;
   std::uint32_t rcv_buf = 0;
   bool traffic_started = false;
+
+  // --- connection/session state (crash recovery) ---------------------------
+  /// Session epoch stamped into every segment. Both ends start at 0 and a
+  /// run without crashes never leaves it; each re-establishment adopts a
+  /// strictly larger value, so stale in-flight traffic is identifiable.
+  std::uint32_t epoch = 0;
+  bool established = true;
+  bool conn_failed = false;
+  std::string fail_reason;
+  int syn_attempts = 0;
+  /// Current (backed-off) SYN retry interval; 0 = use the sysctl base.
+  sim::SimTime cur_syn_interval = 0;
+  sim::Timer syn_timer;
+  /// High-water mark of send-buffer bytes released back to the app (equals
+  /// snd_una except transiently after a post-crash rewind).
+  std::uint64_t space_released = 0;
+  int consecutive_rtos = 0;
+  /// Keepalive (Sysctl::keepalive_interval): probes the peer while a
+  /// receiver is parked with nothing available — the one state that can
+  /// wait forever on a dead peer without any other timer running (a
+  /// blocked sender always has data in flight, which the RTO watchdog
+  /// covers). `ka_misses` counts interval fires since the last evidence
+  /// the peer is alive. Scoping the timer to blocked receivers (instead
+  /// of running it for the connection's lifetime) lets a finished run
+  /// drain its event queue instead of probing forever — Simulator::run()
+  /// returns when the queue empties. Disabled by default; chaos runs arm
+  /// it so a permanently dead peer fails an idle survivor instead of
+  /// deadlocking the simulation.
+  sim::Timer ka_timer;
+  int ka_misses = 0;
+  int ka_waiters = 0;
+
+  void ka_block_enter() {
+    const sim::SimTime iv = stack->sysctl().keepalive_interval;
+    if (iv <= 0) return;
+    ka_waiters += 1;
+    if (!ka_timer.armed()) {
+      ka_misses = 0;
+      ka_timer.arm_after(iv);
+    }
+  }
+
+  void ka_block_exit() {
+    if (stack->sysctl().keepalive_interval <= 0) return;
+    if (--ka_waiters == 0) {
+      ka_timer.cancel();
+      ka_misses = 0;
+    }
+  }
 
   // --- transmit state -----------------------------------------------------
   sim::ByteSemaphore snd_space;  ///< free bytes in the send buffer
@@ -216,12 +305,28 @@ class Connection {
     b_.rwnd_edge = a_.rcv_buf;
     a_.simulator().spawn_daemon(a_.tx_pump(), name + ".a.tx");
     b_.simulator().spawn_daemon(b_.tx_pump(), name + ".b.tx");
+    // Crash/restart recovery hooks. Registration is a vector push — a run
+    // that never crashes pays nothing. Pipes registered their listeners at
+    // cluster construction, so on a crash the NIC rings drain before the
+    // endpoint reacts.
+    register_power(a_);
+    register_power(b_);
   }
 
   Endpoint& a() { return a_; }
   Endpoint& b() { return b_; }
 
  private:
+  static void register_power(Endpoint& e) {
+    e.node().add_power_listener([ep = &e](hw::PowerEvent ev) {
+      if (ev == hw::PowerEvent::kCrash) {
+        ep->on_node_crash();
+      } else {
+        ep->on_node_restart();
+      }
+    });
+  }
+
   static void init_endpoint(Endpoint& e, TcpStack& stack) {
     const Sysctl& s = stack.sysctl();
     e.snd_buf = std::min(s.wmem_default, s.wmem_max);
@@ -238,7 +343,8 @@ class Connection {
 // Endpoint implementation
 // --------------------------------------------------------------------------
 
-void Endpoint::inject_segment(std::uint32_t payload, std::uint64_t seq) {
+void Endpoint::inject_segment(std::uint32_t payload, std::uint64_t seq,
+                              SegKind kind) {
   sim::PacketRef desc = simulator().packet_arena().make<SegmentCtx>();
   SegmentCtx* ctx = desc.get<SegmentCtx>();
   ctx->dst = peer;
@@ -246,6 +352,8 @@ void Endpoint::inject_segment(std::uint32_t payload, std::uint64_t seq) {
   ctx->payload = payload;
   ctx->ack = rcv_next;
   ctx->wnd_edge = advert_edge();
+  ctx->epoch = epoch;
+  ctx->kind = kind;
   if (payload > 0) {
     // Attach the view of the buffer backing this segment's first byte.
     // Spans are offset-sorted and retired by ACK progress, so the scan
@@ -295,6 +403,19 @@ void Endpoint::maybe_window_update(std::uint64_t pre_recv_usable) {
 
 void Endpoint::on_segment(const SegmentCtx& s) {
   traffic_started = true;
+  if (s.kind != SegKind::kData) {
+    on_control(s);
+    return;
+  }
+  if (s.epoch != epoch || !established) {
+    // Data from a dead epoch: tell the sender its session is gone so it
+    // reconnects instead of retransmitting forever. Same-epoch data
+    // racing ahead of our handshake is silently dropped — the resync
+    // replays it.
+    if (s.epoch < epoch) send_rst();
+    return;
+  }
+  ka_misses = 0;  // any live-epoch arrival proves the peer is up
   if (s.payload > 0) {
     if (s.seq != rcv_next) {
       // A gap: an earlier segment was lost. Go-back-N receiver: discard
@@ -330,8 +451,8 @@ void Endpoint::on_segment(const SegmentCtx& s) {
   }
   if (s.ack > snd_una) {
     const std::uint64_t acked = s.ack - snd_una;
-    snd_space.release(acked);
     snd_una = s.ack;
+    sync_space_to_una();
     // Fully-acked payload spans can no longer be retransmitted; release
     // our reference (the buffer itself lives on in any receiver view).
     while (!payload_spans.empty() && payload_spans.front().end <= snd_una) {
@@ -339,6 +460,7 @@ void Endpoint::on_segment(const SegmentCtx& s) {
     }
     dupack_count = 0;
     cur_rto = 0;  // ACK progress collapses any RTO backoff
+    consecutive_rtos = 0;
     // Restart the watchdog for the remaining flight (or stand down when
     // everything is acked) — both O(1) splices on the timer wheel.
     if (snd_next == snd_una) {
@@ -381,6 +503,7 @@ void Endpoint::arm_rto() {
 }
 
 void Endpoint::on_rto() {
+  if (!established || conn_failed) return;  // reconnect machinery owns us
   if (snd_next == snd_una) return;  // everything acked; stay idle
   // The timer is restarted on every ACK that advances snd_una, so firing
   // means a whole RTO passed with zero progress: resend from the last
@@ -388,6 +511,11 @@ void Endpoint::on_rto() {
   // backs off further until an ACK finally moves snd_una and resets it.
   stats.rto_timeouts += 1;
   trace_instant("rto");
+  const int give_up = stack->sysctl().rto_give_up;
+  if (give_up > 0 && ++consecutive_rtos >= give_up) {
+    fail_connection("rto-give-up");
+    return;
+  }
   cur_rto = std::min(rto_interval() * 2, stack->sysctl().retransmit_timeout_max);
   on_congestion(/*timeout=*/true);
   rewind_to_una();
@@ -395,10 +523,235 @@ void Endpoint::on_rto() {
 }
 
 void Endpoint::on_delack() {
+  if (conn_failed) return;
   if (pending_acks > 0) {
     trace_instant("delayed-ack");
     send_pure_ack();
   }
+}
+
+void Endpoint::on_keepalive() {
+  const sim::SimTime iv = stack->sysctl().keepalive_interval;
+  if (conn_failed || iv <= 0 || ka_waiters == 0) return;
+  if (established) {
+    // One miss per barren interval; arrivals reset the count, so hitting
+    // the cap means keepalive_probes consecutive probes went unanswered.
+    if (++ka_misses > stack->sysctl().keepalive_probes) {
+      fail_connection("keepalive-timeout");
+      return;
+    }
+    stats.keepalive_probes += 1;
+    trace_instant("keepalive");
+    inject_segment(/*payload=*/0, /*seq=*/snd_una, SegKind::kProbe);
+  }
+  // Keep ticking through a re-handshake too (the SYN machinery owns
+  // give-up while !established; probing resumes once re-established).
+  ka_timer.arm_after(iv);
+}
+
+// --------------------------------------------------------------------------
+// Crash/restart recovery
+// --------------------------------------------------------------------------
+
+void Endpoint::on_control(const SegmentCtx& s) {
+  if (conn_failed) return;
+  switch (s.kind) {
+    case SegKind::kSyn:
+      if (s.epoch > epoch || (s.epoch == epoch && !established)) {
+        // A (re)connect for a newer session, or the handshake we were
+        // waiting for: adopt it and answer.
+        establish(s);
+        send_synack();
+      } else if (s.epoch == epoch && established) {
+        // Duplicate SYN — our SYNACK was lost. Answer again, but do not
+        // resync (we may have made progress since establishing).
+        send_synack();
+      } else {
+        send_rst();  // SYN from a dead epoch
+      }
+      return;
+    case SegKind::kSynAck:
+      if (!established && s.epoch >= epoch) establish(s);
+      return;
+    case SegKind::kRst:
+      // Only a strictly newer epoch tears us down: an equal-epoch RST
+      // predates our own adoption of that epoch and is stale.
+      if (s.epoch > epoch) {
+        epoch = s.epoch;
+        trace_instant("rst-reconnect");
+        begin_reconnect();
+      }
+      return;
+    case SegKind::kProbe:
+      if (s.epoch == epoch && established) {
+        ka_misses = 0;
+        inject_segment(/*payload=*/0, /*seq=*/snd_una, SegKind::kProbeAck);
+      } else if (s.epoch < epoch) {
+        // A probe from a session the prober does not know is dead —
+        // e.g. we restarted while the peer sat idle. Kick off its
+        // reconnect just like stale data would.
+        send_rst();
+      }
+      return;
+    case SegKind::kProbeAck:
+      if (s.epoch == epoch) ka_misses = 0;
+      return;
+    case SegKind::kData:
+      break;  // unreachable: on_segment dispatched here for controls only
+  }
+}
+
+void Endpoint::establish(const SegmentCtx& s) {
+  epoch = s.epoch;
+  resync_tx(s.ack, s.wnd_edge);
+  if (!established) {
+    established = true;
+    stats.reconnects += 1;
+    trace_instant("reconnected");
+  }
+  syn_timer.cancel();
+  syn_attempts = 0;
+  cur_syn_interval = 0;
+  ka_misses = 0;
+  // A receiver that was parked through our crash/reconnect window needs
+  // its dead-peer watchdog back (on_node_crash cancelled it).
+  const sim::SimTime ka = stack->sysctl().keepalive_interval;
+  if (ka > 0 && ka_waiters > 0 && !ka_timer.armed()) ka_timer.arm_after(ka);
+  trace_windows();
+  tx_signal.notify_all();
+}
+
+void Endpoint::resync_tx(std::uint64_t pos, std::uint64_t wnd) {
+  // `pos` is the peer's rcv_next: everything below it arrived, everything
+  // from it on must be (re)sent. It can sit below snd_una (the peer
+  // crashed and lost receive state back to its consumed mark) or above
+  // snd_next (we crashed and lost track of delivered-but-unacked bytes).
+  const std::uint64_t copied = snd_next + unsent;
+  assert(pos <= copied && "peer claims bytes beyond what was ever buffered");
+  snd_una = pos;
+  snd_next = pos;
+  unsent = copied - pos;
+  sync_space_to_una();
+  while (!payload_spans.empty() && payload_spans.front().end <= snd_una) {
+    payload_spans.pop_front();
+  }
+  rwnd_edge = wnd;
+  dupack_count = 0;
+  recover_until = 0;
+  cur_rto = 0;
+  consecutive_rtos = 0;
+  cwnd = 0;  // re-enters slow start lazily, like a fresh connection
+  ssthresh = UINT64_MAX;
+  rto_timer.cancel();
+}
+
+void Endpoint::sync_space_to_una() {
+  if (snd_una > space_released) {
+    snd_space.release(snd_una - space_released);
+    space_released = snd_una;
+  }
+}
+
+void Endpoint::begin_reconnect() {
+  established = false;
+  rto_timer.cancel();
+  delack_timer.cancel();
+  dupack_count = 0;
+  pending_acks = 0;
+  syn_attempts = 0;
+  cur_syn_interval = 0;
+  send_syn();
+}
+
+void Endpoint::send_syn() {
+  if (conn_failed) return;
+  syn_attempts += 1;
+  stats.syn_sent += 1;
+  trace_instant("syn");
+  inject_segment(/*payload=*/0, /*seq=*/snd_una, SegKind::kSyn);
+  const sim::SimTime iv = cur_syn_interval > 0
+                              ? cur_syn_interval
+                              : stack->sysctl().syn_retry_interval;
+  cur_syn_interval =
+      std::min(iv * 2, stack->sysctl().retransmit_timeout_max);
+  syn_timer.arm_after(iv);
+}
+
+void Endpoint::on_syn_timer() {
+  if (established || conn_failed) return;
+  const int cap = stack->sysctl().syn_retries;
+  if (cap > 0 && syn_attempts >= cap) {
+    fail_connection("syn-retries-exhausted");
+    return;
+  }
+  send_syn();
+}
+
+void Endpoint::send_synack() {
+  trace_instant("synack");
+  inject_segment(/*payload=*/0, /*seq=*/snd_una, SegKind::kSynAck);
+}
+
+void Endpoint::send_rst() {
+  stats.rsts_sent += 1;
+  trace_instant("rst");
+  inject_segment(/*payload=*/0, /*seq=*/snd_una, SegKind::kRst);
+}
+
+void Endpoint::fail_connection(const char* reason) {
+  if (conn_failed) return;
+  trace_instant("conn-failed");
+  Endpoint* const eps[2] = {this, peer};
+  for (Endpoint* e : eps) {
+    e->conn_failed = true;
+    e->fail_reason = e->name + ": " + reason;
+    e->established = false;
+    e->rto_timer.cancel();
+    e->delack_timer.cancel();
+    e->syn_timer.cancel();
+    e->ka_timer.cancel();
+    // Wake every parked coroutine: senders blocked on buffer space get a
+    // poisoned grant, receivers and the tx pump re-check and observe
+    // conn_failed.
+    e->snd_space.release(1ull << 62);
+    e->tx_signal.notify_all();
+    e->rx_signal.notify_all();
+  }
+}
+
+void Endpoint::on_node_crash() {
+  // The kernel socket dies with the node. Stop every timer and all
+  // transmission; state is reconciled at restart (nothing reads it while
+  // the node is down — the pipes drop everything addressed to it).
+  established = false;
+  rto_timer.cancel();
+  delack_timer.cancel();
+  syn_timer.cancel();
+  ka_timer.cancel();
+  ka_misses = 0;
+  dupack_count = 0;
+  pending_acks = 0;
+  trace_instant("ep-crash");
+}
+
+void Endpoint::on_node_restart() {
+  if (conn_failed) return;
+  // Unconsumed receive data and in-flight transmit state died with the
+  // node; the stream itself survives in the peer's state and our send
+  // buffer. Adopt a fresh epoch and re-handshake — the SYN carries our
+  // rewound rcv_next so the peer replays what we lost.
+  epoch = std::max(epoch, peer->epoch) + 1;
+  rcv_next = consumed;
+  rx_payload_pending.clear();
+  unsent += snd_next - snd_una;
+  snd_next = snd_una;
+  recover_until = 0;
+  cwnd = 0;
+  ssthresh = UINT64_MAX;
+  cur_rto = 0;
+  consecutive_rtos = 0;
+  trace_instant("ep-restart");
+  begin_reconnect();
 }
 
 sim::Task<void> Endpoint::tx_pump() {
@@ -406,6 +759,7 @@ sim::Task<void> Endpoint::tx_pump() {
     // Sender-side SWS avoidance: send a full MSS or the final tail of the
     // buffered data, never a runt forced by a fragmented window.
     const auto sendable = [this]() -> std::uint64_t {
+      if (!established || conn_failed) return 0;  // gated until re-handshake
       const std::uint64_t edge = send_edge();
       if (unsent == 0 || snd_next >= edge) return 0;
       const std::uint64_t want = std::min<std::uint64_t>(unsent, mss());
@@ -431,6 +785,7 @@ sim::Task<void> Endpoint::tx_pump() {
 sim::Task<void> Endpoint::send(std::uint64_t bytes, std::uint64_t token,
                                sim::PacketRef payload) {
   start_traffic();
+  if (conn_failed) throw ConnectionFailed(fail_reason);
   if (payload && bytes > 0) {
     // Record the span before the first suspension so the tx pump finds
     // it for every segment of this write. Sends on one socket are
@@ -450,6 +805,7 @@ sim::Task<void> Endpoint::send(std::uint64_t bytes, std::uint64_t token,
     // one MSS-sized chunk at a time.
     const std::uint64_t chunk = std::min<std::uint64_t>(left, mss());
     co_await snd_space.acquire(chunk);
+    if (conn_failed) throw ConnectionFailed(fail_reason);
     co_await node().copy(chunk);
     unsent += chunk;
     left -= chunk;
@@ -463,9 +819,13 @@ sim::Task<std::uint64_t> Endpoint::recv(std::uint64_t max) {
   start_traffic();
   co_await node().cpu_cost(node().config().syscall_cost);
   if (avail() == 0) {
+    if (conn_failed) throw ConnectionFailed(fail_reason);
+    ka_block_enter();
     do {
       co_await rx_signal.wait();
-    } while (avail() == 0);
+    } while (avail() == 0 && !conn_failed);
+    ka_block_exit();
+    if (conn_failed && avail() == 0) throw ConnectionFailed(fail_reason);
     co_await node().cpu_cost(node().config().wakeup_cost);
   }
   // What the sender could still send before this recv() freed space.
@@ -583,6 +943,8 @@ std::uint64_t Socket::wire_drops() const {
 std::uint64_t Socket::tx_wire_drops() const {
   return ep_->out->packets_dropped();
 }
+std::uint32_t Socket::connection_epoch() const { return ep_->epoch; }
+bool Socket::failed() const { return ep_->conn_failed; }
 const std::string& Socket::trace_track() const { return ep_->name; }
 
 std::pair<Socket, Socket> connect(TcpStack& a, TcpStack& b,

@@ -28,6 +28,19 @@
 //    multiplicative decrease — the 2.4 kernel's behaviour) is on by
 //    default and can be disabled per stack to study pure flow control
 //    (`Sysctl::congestion_control`).
+//  - Crash/restart recovery (fault injection, `faults::HostCrashConfig`):
+//    every segment is stamped with a connection *epoch*. A host crash
+//    tears the endpoint down; on restart it bumps the epoch and
+//    re-handshakes (SYN -> SYNACK with exponential backoff), both sides
+//    resynchronize their streams from the peer's cumulative ACK, and
+//    traffic from a dead epoch is answered with an RST that tells the
+//    stale sender to reconnect. `Sysctl::syn_retries` and
+//    `Sysctl::rto_give_up` bound recovery: exceeding either marks the
+//    connection failed and blocked send()/recv() calls raise
+//    ConnectionFailed (a sim::ProtocolFailure) instead of hanging.
+//    `Sysctl::keepalive_interval` adds idle-connection probing so a
+//    survivor with nothing in flight still detects a permanently dead
+//    peer (off by default; chaos runs arm it).
 //  - With a TraceRecorder attached to the Simulator, every segment send,
 //    pure ACK, retransmission and RTO/delayed-ACK timer fire is recorded
 //    as an instant event and the cwnd / peer-window / advertised-window
@@ -54,6 +67,16 @@ namespace pp::tcp {
 
 class Connection;
 struct Endpoint;
+
+/// Raised by send()/recv() once a connection has exhausted its recovery
+/// budget (`Sysctl::syn_retries` / `Sysctl::rto_give_up`) — e.g. the peer
+/// crashed permanently. Derives from sim::ProtocolFailure so sweep
+/// executors classify the run `failed` rather than errored or hung.
+class ConnectionFailed : public sim::ProtocolFailure {
+ public:
+  explicit ConnectionFailed(const std::string& what)
+      : sim::ProtocolFailure(what) {}
+};
 
 /// Per-node TCP stack: owns the sysctl settings and demultiplexes frames
 /// arriving on the node's NICs to connection endpoints.
@@ -106,6 +129,10 @@ struct SocketStats {
   std::uint64_t rto_timeouts = 0;      ///< no-progress RTO fires
   std::uint64_t out_of_order_dropped = 0;
   std::uint64_t checksum_drops = 0;  ///< corrupted segments discarded on rx
+  std::uint64_t syn_sent = 0;   ///< SYNs sent while re-establishing
+  std::uint64_t rsts_sent = 0;  ///< RSTs answering dead-epoch traffic
+  std::uint64_t reconnects = 0; ///< successful post-crash re-establishments
+  std::uint64_t keepalive_probes = 0;  ///< idle-connection probes sent
   /// Segments that carried a zero-copy payload view. Retransmits re-attach
   /// the same buffer, so this exceeding the buffer count is the sharing
   /// (not cloning) of one arena slot across wire copies.
@@ -177,6 +204,14 @@ class Socket {
   /// both ends covers each direction exactly once (this is what
   /// netpipe::tcp_socket_counters does).
   std::uint64_t tx_wire_drops() const;
+
+  /// Current connection epoch (0 until a crash forces a re-handshake;
+  /// each re-establishment adopts a strictly larger epoch).
+  std::uint32_t connection_epoch() const;
+
+  /// True once the connection exhausted its recovery budget; further
+  /// send()/recv() calls raise ConnectionFailed immediately.
+  bool failed() const;
 
   /// Trace-event track name of this socket's endpoint (e.g. "tcp#0.a").
   const std::string& trace_track() const;

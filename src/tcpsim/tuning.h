@@ -33,6 +33,28 @@ struct Sysctl {
   bool congestion_control = true;
   /// Initial congestion window, in segments (Linux 2.4: 2).
   int initial_cwnd_segments = 2;
+  /// Crash recovery: a reconnecting endpoint retransmits its SYN with
+  /// exponential backoff starting from this interval (doubled per
+  /// unanswered attempt, capped at retransmit_timeout_max).
+  sim::SimTime syn_retry_interval = sim::milliseconds(1.0);
+  /// SYN attempts before the connection is declared failed (the peer is
+  /// presumed permanently dead). 0 = retry forever.
+  int syn_retries = 6;
+  /// Consecutive no-progress RTOs before the connection is declared
+  /// failed. 0 = retry forever — the default keeps pre-crash behaviour,
+  /// where a lossy-but-alive link never gives up; chaos/resilience runs
+  /// set a cap so a permanently dark peer yields a clean `failed`
+  /// verdict instead of an endless retransmit loop.
+  int rto_give_up = 0;
+  /// Keepalive probing for *idle* established connections: every interval
+  /// with no traffic the endpoint sends a probe the peer must answer.
+  /// `keepalive_probes` consecutive unanswered probes declare the
+  /// connection failed. 0 disables (the default — the paper's benchmarks
+  /// never idle). Without it a survivor parked in recv() with nothing in
+  /// flight has no armed timer and a permanently dead peer deadlocks the
+  /// simulation instead of failing the run; chaos scenarios arm it.
+  sim::SimTime keepalive_interval = 0;
+  int keepalive_probes = 5;
 
   /// The paper's recommended tuning: raise the caps so applications (or
   /// libraries like MP_Lite) can ask for gigabit-sized buffers.

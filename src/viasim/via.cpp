@@ -40,8 +40,89 @@ ViEndpoint::ViEndpoint(sim::Simulator& sim, hw::Node& node,
       credits_(sim, static_cast<std::uint64_t>(
                    config.credits > 0 ? config.credits
                                       : config.personality.default_credits)),
-      arrivals_(sim) {
+      arrivals_(sim),
+      epoch_(node.power_epoch()) {
   sim_.spawn_daemon(rx_daemon(), name_ + ".rx");
+  // Crash/restart hooks; a run that never crashes only pays the push.
+  node_.add_power_listener([this](hw::PowerEvent e) {
+    if (e == hw::PowerEvent::kCrash) {
+      on_node_crash();
+    } else {
+      on_node_restart();
+    }
+  });
+}
+
+void ViEndpoint::on_node_crash() {
+  // NIC and bounce-buffer state dies with the host: partial reassembly,
+  // staged arrivals, queued RDMA requests and the lost-ack replay set are
+  // gone. Senders whose messages/requests were parked here must resume
+  // replaying them; pre-posted descriptors and our own send-side pending
+  // logs survive (the library re-registers them at restart).
+  trace_instant("vi-crash");
+  for (const UnexpectedMsg& u : unexpected_) {
+    if (peer_) peer_->on_unstaged(u.msg_seq);
+  }
+  unexpected_.clear();
+  for (const std::uint32_t tag : rdma_reqs_) {
+    if (peer_) peer_->on_req_unstaged(tag);
+  }
+  rdma_reqs_.clear();
+  rdma_acked_.clear();
+  partial_.clear();
+}
+
+void ViEndpoint::on_node_restart() {
+  // Re-register under the node's new power epoch: fragments stamped with
+  // the old epoch are rejected on arrival from now on.
+  epoch_ = node_.power_epoch();
+  reposts_ += posted_.size();
+  trace_instant("vi-restart");
+}
+
+void ViEndpoint::on_staged(std::uint64_t msg_seq) {
+  auto it = pending_.find(msg_seq);
+  if (it != pending_.end()) it->second.staged = true;
+}
+
+void ViEndpoint::on_unstaged(std::uint64_t msg_seq) {
+  auto it = pending_.find(msg_seq);
+  if (it == pending_.end() || !it->second.staged) return;
+  it->second.staged = false;
+  it->second.timeout = config_.delivery_timeout;  // fresh situation
+  arm_delivery_watchdog(msg_seq);
+}
+
+void ViEndpoint::on_req_staged(std::uint32_t tag) {
+  auto it = pending_reqs_.find(tag);
+  if (it != pending_reqs_.end()) it->second.staged = true;
+}
+
+void ViEndpoint::on_req_unstaged(std::uint32_t tag) {
+  auto it = pending_reqs_.find(tag);
+  if (it == pending_reqs_.end() || !it->second.staged) return;
+  it->second.staged = false;
+  it->second.timeout = config_.delivery_timeout;
+  arm_req_watchdog(tag);
+}
+
+void ViEndpoint::fail_pair(const char* reason) {
+  ViEndpoint* const ends[2] = {this, peer_};
+  for (ViEndpoint* e : ends) {
+    if (e == nullptr || e->failed_) continue;
+    e->failed_ = true;
+    e->fail_reason_ = e->name_ + ": " + reason;
+    e->trace_instant("vi-failed");
+    // Wake everything parked on this endpoint: senders blocked on
+    // credits or an RDMA ack, posted receives, request waiters. All
+    // re-check failed_ and raise DeliveryFailed.
+    e->credits_.release(1ull << 32);
+    for (PostedRecv* pr : e->posted_) pr->done->set();
+    e->posted_.clear();
+    for (sim::Trigger* t : e->rdma_ack_waiters_) t->set();
+    e->rdma_ack_waiters_.clear();
+    e->arrivals_.notify_all();
+  }
 }
 
 void ViEndpoint::trace_instant(const char* what) {
@@ -66,6 +147,7 @@ sim::Task<void> ViEndpoint::transmit(Kind kind, std::uint32_t tag,
   f->msg_seq = msg_seq;
   f->msg_bytes = bytes;
   f->attempt = attempt;
+  f->dst_epoch = peer_ != nullptr ? peer_->epoch_ : 0;
   // A dropped fragment must return its descriptor credit, or the
   // endpoint strangles itself one lost frame at a time. The hook lives
   // once in the shared descriptor and fires once per dropped fragment.
@@ -83,6 +165,7 @@ sim::Task<void> ViEndpoint::transmit(Kind kind, std::uint32_t tag,
     const std::uint64_t frag = std::min<std::uint64_t>(left, mtu);
     left -= frag;
     co_await credits_.acquire(1);
+    if (failed_) co_return;  // poisoned grant from fail_pair()
     if (config_.personality.per_frag_host_cost > 0) {
       co_await node_.cpu_cost(config_.personality.per_frag_host_cost);
     }
@@ -109,9 +192,15 @@ void ViEndpoint::arm_delivery_watchdog(std::uint64_t msg_seq) {
   const std::uint32_t attempt = it->second.attempt;
   std::weak_ptr<char> guard = alive_;
   sim_.call_after(it->second.timeout, [this, guard, msg_seq, attempt] {
-    if (guard.expired()) return;
+    if (guard.expired() || failed_) return;
     auto pit = pending_.find(msg_seq);
     if (pit == pending_.end() || pit->second.attempt != attempt) return;
+    if (pit->second.staged) return;  // parked at the peer; re-armed on crash
+    if (config_.max_delivery_attempts > 0 &&
+        pit->second.attempt + 1 >= config_.max_delivery_attempts) {
+      fail_pair("delivery-attempts-exhausted");
+      return;
+    }
     ++delivery_failures_;
     trace_instant("delivery-retry");
     pit->second.attempt += 1;
@@ -135,9 +224,15 @@ void ViEndpoint::arm_req_watchdog(std::uint32_t tag) {
   const std::uint32_t attempt = it->second.attempt;
   std::weak_ptr<char> guard = alive_;
   sim_.call_after(it->second.timeout, [this, guard, tag, attempt] {
-    if (guard.expired()) return;
+    if (guard.expired() || failed_) return;
     auto rit = pending_reqs_.find(tag);
     if (rit == pending_reqs_.end() || rit->second.attempt != attempt) return;
+    if (rit->second.staged) return;  // parked at the peer; re-armed on crash
+    if (config_.max_delivery_attempts > 0 &&
+        rit->second.attempt + 1 >= config_.max_delivery_attempts) {
+      fail_pair("rdma-req-attempts-exhausted");
+      return;
+    }
     ++delivery_failures_;
     trace_instant("req-retry");
     rit->second.attempt += 1;
@@ -161,7 +256,7 @@ void ViEndpoint::prune_partials() {
   }
 }
 
-void ViEndpoint::complete_message(std::uint32_t tag) {
+void ViEndpoint::complete_message(std::uint32_t tag, std::uint64_t msg_seq) {
   auto it = std::find_if(posted_.begin(), posted_.end(), [&](PostedRecv* p) {
     return !p->completed && p->tag == tag;
   });
@@ -170,10 +265,14 @@ void ViEndpoint::complete_message(std::uint32_t tag) {
     posted_.erase(it);
     pr->completed = true;
     trace_instant("complete");
+    if (peer_) peer_->on_delivered(msg_seq);
     pr->done->set();
   } else {
     trace_instant("unexpected");
-    unexpected_.push_back(tag);
+    unexpected_.push_back(UnexpectedMsg{tag, msg_seq});
+    // Staged, not consumed: the sender's watchdog stands down but keeps
+    // the message replayable should this node crash before recv().
+    if (peer_) peer_->on_staged(msg_seq);
     arrivals_.notify_all();
   }
 }
@@ -191,6 +290,14 @@ sim::Task<void> ViEndpoint::rx_daemon() {
       continue;
     }
     peer_->credits_.release(1);
+    if (frag->dst_epoch != epoch_) {
+      // Addressed to a previous power epoch of this endpoint: the state
+      // it belonged to died with the node. The credit already went home;
+      // the sender's watchdogs replay under the current epoch.
+      ++stale_epoch_drops_;
+      trace_instant("stale-epoch");
+      continue;
+    }
     if (p.corrupted) {
       // CRC failure: the fragment is discarded; the message completes via
       // the sender's delivery watchdog.
@@ -218,8 +325,7 @@ sim::Task<void> ViEndpoint::rx_daemon() {
             partial_.erase(frag->msg_seq);
           }
           rdma_acked_.erase(frag->tag);
-          if (peer_) peer_->on_delivered(frag->msg_seq);
-          complete_message(frag->tag);
+          complete_message(frag->tag, frag->msg_seq);
         }
         break;
       }
@@ -239,7 +345,25 @@ sim::Task<void> ViEndpoint::rx_daemon() {
               name_ + ".ack");
           break;
         }
+        if (node_.crash_count() > 0 &&
+            std::find_if(posted_.begin(), posted_.end(),
+                         [&](PostedRecv* pr) {
+                           return !pr->completed && pr->tag == frag->tag;
+                         }) != posted_.end()) {
+          // A crash wiped the lost-ack replay set, but the posted receive
+          // proves this handshake already advanced past the request on
+          // our side: our ack (or its memory) died with the node. Re-ack.
+          trace_instant("ack-resend");
+          rdma_acked_.insert(frag->tag);
+          sim_.spawn(
+              transmit(Kind::kRdmaAck, frag->tag, 0, config_.ctl_bytes, 0),
+              name_ + ".ack");
+          break;
+        }
         rdma_reqs_.push_back(frag->tag);
+        // Parked until recv() consumes it; the sender's request watchdog
+        // stands down meanwhile (re-armed on consumption or our crash).
+        if (peer_) peer_->on_req_staged(frag->tag);
         arrivals_.notify_all();
         break;
       case Kind::kRdmaAck: {
@@ -264,15 +388,19 @@ sim::Task<void> ViEndpoint::rx_daemon() {
 }
 
 sim::Task<void> ViEndpoint::send(std::uint64_t bytes, std::uint32_t tag) {
+  if (failed_) throw DeliveryFailed(fail_reason_);
   co_await node_.cpu_cost(config_.personality.doorbell_cost);
   trace_instant("doorbell");
   if (bytes <= config_.rdma_threshold) {
     const std::uint64_t seq = next_msg_seq_++;
     if (config_.delivery_timeout > 0) {
+      // Each new message starts from the BASE timeout: backoff is
+      // per-message state, never inherited across messages.
       pending_[seq] =
-          PendingDelivery{bytes, tag, 0, config_.delivery_timeout};
+          PendingDelivery{bytes, tag, 0, config_.delivery_timeout, false};
     }
     co_await transmit(Kind::kData, tag, seq, bytes, 0);
+    if (failed_) throw DeliveryFailed(fail_reason_);
     arm_delivery_watchdog(seq);
     co_return;
   }
@@ -282,22 +410,26 @@ sim::Task<void> ViEndpoint::send(std::uint64_t bytes, std::uint32_t tag) {
   sim::Trigger ack(sim_);
   rdma_ack_waiters_.push_back(&ack);
   if (config_.delivery_timeout > 0) {
-    pending_reqs_[tag] = PendingReq{0, config_.delivery_timeout};
+    pending_reqs_[tag] = PendingReq{0, config_.delivery_timeout, false};
   }
   co_await transmit(Kind::kRdmaReq, tag, 0, config_.ctl_bytes, 0);
   arm_req_watchdog(tag);
   co_await ack.wait();
+  if (failed_) throw DeliveryFailed(fail_reason_);
   co_await node_.cpu_cost(config_.personality.doorbell_cost);
   trace_instant("doorbell");
   const std::uint64_t seq = next_msg_seq_++;
   if (config_.delivery_timeout > 0) {
-    pending_[seq] = PendingDelivery{bytes, tag, 0, config_.delivery_timeout};
+    pending_[seq] =
+        PendingDelivery{bytes, tag, 0, config_.delivery_timeout, false};
   }
   co_await transmit(Kind::kData, tag, seq, bytes, 0);
+  if (failed_) throw DeliveryFailed(fail_reason_);
   arm_delivery_watchdog(seq);
 }
 
 sim::Task<void> ViEndpoint::recv(std::uint64_t bytes, std::uint32_t tag) {
+  if (failed_) throw DeliveryFailed(fail_reason_);
   co_await node_.cpu_cost(config_.personality.doorbell_cost);
   bool staged = false;
   if (bytes > config_.rdma_threshold) {
@@ -306,8 +438,12 @@ sim::Task<void> ViEndpoint::recv(std::uint64_t bytes, std::uint32_t tag) {
       auto rit = std::find(rdma_reqs_.begin(), rdma_reqs_.end(), tag);
       if (rit != rdma_reqs_.end()) {
         rdma_reqs_.erase(rit);
+        // The request leaves its parking spot: the sender's watchdog
+        // takes over again (covers a lost ack below).
+        if (peer_) peer_->on_req_unstaged(tag);
         break;
       }
+      if (failed_) throw DeliveryFailed(fail_reason_);
       co_await arrivals_.wait();
     }
     trace_instant("post-recv");
@@ -319,9 +455,14 @@ sim::Task<void> ViEndpoint::recv(std::uint64_t bytes, std::uint32_t tag) {
     rdma_acked_.insert(tag);  // until the data completes: lost-ack replay
     co_await transmit(Kind::kRdmaAck, tag, 0, config_.ctl_bytes, 0);
     co_await pr.done->wait();
+    if (failed_) throw DeliveryFailed(fail_reason_);
   } else {
-    auto uit = std::find(unexpected_.begin(), unexpected_.end(), tag);
+    auto uit =
+        std::find_if(unexpected_.begin(), unexpected_.end(),
+                     [&](const UnexpectedMsg& u) { return u.tag == tag; });
     if (uit != unexpected_.end()) {
+      // Now the message is truly consumed: the sender may forget it.
+      if (peer_) peer_->on_delivered(uit->msg_seq);
       unexpected_.erase(uit);
       staged = true;  // arrived before a descriptor was posted
     } else {
@@ -331,6 +472,7 @@ sim::Task<void> ViEndpoint::recv(std::uint64_t bytes, std::uint32_t tag) {
       pr.done = std::make_unique<sim::Trigger>(sim_);
       posted_.push_back(&pr);
       co_await pr.done->wait();
+      if (failed_) throw DeliveryFailed(fail_reason_);
     }
   }
   co_await node_.cpu_cost(config_.personality.completion_cost);

@@ -64,6 +64,20 @@ struct ViaConfig {
   /// one lost fragment wedges the endpoint.
   sim::SimTime delivery_timeout = 0;
   sim::SimTime delivery_timeout_max = sim::milliseconds(10.0);
+  /// Delivery attempts (original + watchdog retries) per message or RDMA
+  /// handshake before the endpoint pair is declared failed and blocked
+  /// send()/recv() calls raise DeliveryFailed. 0 = retry forever.
+  std::uint32_t max_delivery_attempts = 0;
+};
+
+/// Raised by send()/recv() once an endpoint pair exhausted
+/// `ViaConfig::max_delivery_attempts` (e.g. the peer crashed permanently).
+/// Derives from sim::ProtocolFailure so sweep executors classify the run
+/// `failed` rather than errored or hung.
+class DeliveryFailed : public sim::ProtocolFailure {
+ public:
+  explicit DeliveryFailed(const std::string& what)
+      : sim::ProtocolFailure(what) {}
 };
 
 /// One VI endpoint; create a connected pair with ViaFabric.
@@ -93,6 +107,19 @@ class ViEndpoint {
   /// Frames dropped on this endpoint's outbound pipe (all causes).
   std::uint64_t wire_drops() const { return out_.packets_dropped(); }
 
+  /// Power epoch this endpoint is registered under (tracks the node's;
+  /// stale-epoch arrivals are rejected after their credit is returned).
+  std::uint32_t epoch() const { return epoch_; }
+
+  /// Pre-posted receive descriptors re-registered across restarts.
+  std::uint64_t reposts() const { return reposts_; }
+
+  /// Fragments rejected for carrying a previous power epoch.
+  std::uint64_t stale_epoch_drops() const { return stale_epoch_drops_; }
+
+  /// True once the pair exhausted max_delivery_attempts.
+  bool failed() const { return failed_; }
+
  private:
   friend class ViaFabric;
 
@@ -108,6 +135,9 @@ class ViEndpoint {
     std::uint32_t attempt = 0;  ///< 0 = original send, else retry number
     std::uint64_t msg_seq = 0;  ///< per-sender unique data-message number
     std::uint64_t msg_bytes = 0;
+    /// Destination endpoint's power epoch at injection time; stale-epoch
+    /// fragments are rejected (the watchdog replays under the new epoch).
+    std::uint32_t dst_epoch = 0;
   };
 
   struct PartialMsg {
@@ -121,11 +151,18 @@ class ViEndpoint {
     std::uint32_t tag = 0;
     std::uint32_t attempt = 0;
     sim::SimTime timeout = 0;  ///< next watchdog interval (backed off)
+    /// Parked in the peer's unexpected queue: stand the watchdog down
+    /// (slow consumer != delivery failure) but keep the entry replayable
+    /// should the peer crash before consuming it.
+    bool staged = false;
   };
 
   struct PendingReq {
     std::uint32_t attempt = 0;
     sim::SimTime timeout = 0;
+    /// Parked in the peer's request queue awaiting its recv(); see
+    /// PendingDelivery::staged.
+    bool staged = false;
   };
 
   struct PostedRecv {
@@ -134,19 +171,33 @@ class ViEndpoint {
     std::unique_ptr<sim::Trigger> done;
   };
 
+  /// An arrival staged in the unexpected queue (completed, unmatched).
+  struct UnexpectedMsg {
+    std::uint32_t tag = 0;
+    std::uint64_t msg_seq = 0;
+  };
+
   sim::Task<void> rx_daemon();
   sim::Task<void> transmit(Kind kind, std::uint32_t tag,
                            std::uint64_t msg_seq, std::uint64_t bytes,
                            std::uint32_t attempt);
-  void complete_message(std::uint32_t tag);
+  void complete_message(std::uint32_t tag, std::uint64_t msg_seq);
   void trace_instant(const char* what);
 
   sim::Task<void> retry_message(std::uint64_t msg_seq);
   void arm_delivery_watchdog(std::uint64_t msg_seq);
   sim::Task<void> retry_req(std::uint32_t tag);
   void arm_req_watchdog(std::uint32_t tag);
-  /// Peer-side notification that data message `msg_seq` fully arrived.
+  /// Peer-side notification that data message `msg_seq` was consumed.
   void on_delivered(std::uint64_t msg_seq) { pending_.erase(msg_seq); }
+  /// Peer-side staging notifications; see PendingDelivery::staged.
+  void on_staged(std::uint64_t msg_seq);
+  void on_unstaged(std::uint64_t msg_seq);
+  void on_req_staged(std::uint32_t tag);
+  void on_req_unstaged(std::uint32_t tag);
+  void fail_pair(const char* reason);
+  void on_node_crash();
+  void on_node_restart();
   void prune_partials();
 
   sim::Simulator& sim_;
@@ -169,7 +220,7 @@ class ViEndpoint {
   // Receive side.
   std::map<std::uint64_t, PartialMsg> partial_;  // msg_seq -> progress
   std::deque<PostedRecv*> posted_;
-  std::deque<std::uint32_t> unexpected_;
+  std::deque<UnexpectedMsg> unexpected_;
   // RDMA handshakes: requests seen / acks awaited, FIFO per endpoint.
   std::deque<std::uint32_t> rdma_reqs_;
   std::deque<sim::Trigger*> rdma_ack_waiters_;
@@ -180,6 +231,13 @@ class ViEndpoint {
   sim::Signal arrivals_;
   std::uint64_t rdma_transfers_ = 0;
   std::uint64_t staged_bytes_ = 0;
+
+  // Crash/restart state.
+  std::uint32_t epoch_ = 1;  ///< synced to the node's power epoch
+  std::uint64_t reposts_ = 0;
+  std::uint64_t stale_epoch_drops_ = 0;
+  bool failed_ = false;
+  std::string fail_reason_;
 
   /// Liveness token: watchdog timers and drop callbacks can outlive a
   /// torn-down endpoint; they hold a weak handle and become no-ops.

@@ -1,0 +1,217 @@
+// Tests for the chaos harness (src/chaos): deterministic random plan
+// generation, the smoke sweep acceptance gate (no run may ever hang or
+// error — slow recovery must classify degraded/failed instead), the
+// crash+restart recovered-verdict JSON contract, and the full
+// catch-a-bug pipeline: a deliberately broken recovery configuration
+// must be flagged unacceptable and auto-minimized to the one fault rule
+// that kills it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.h"
+#include "faults/minimize.h"
+#include "faults/plan.h"
+#include "faults/plan_io.h"
+#include "mp/testbed.h"
+#include "netpipe/modules.h"
+#include "netpipe/runner.h"
+#include "simhw/presets.h"
+#include "sweep/json_report.h"
+#include "sweep/sweep.h"
+#include "tcpsim/tuning.h"
+
+namespace pp {
+namespace {
+
+namespace presets = hw::presets;
+
+std::size_t rule_count(const faults::FaultPlan& p) {
+  return p.links.size() + p.nics.size() + p.hosts.size() + p.crashes.size();
+}
+
+TEST(ChaosPlans, RandomPlansAreDeterministicAndBounded) {
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const faults::FaultPlan plan = chaos::random_plan(seed);
+    // Same seed, same plan — serialized text is the canonical identity.
+    EXPECT_EQ(faults::to_text(plan), faults::to_text(chaos::random_plan(seed)));
+    const std::size_t rules = rule_count(plan);
+    EXPECT_GE(rules, 1u) << "seed " << seed;
+    EXPECT_LE(rules, 3u) << "seed " << seed;
+    // At most one permanent crash: two permanently dark nodes cannot
+    // make progress by construction, which would be an unfair plan.
+    int permanent = 0;
+    for (const auto& c : plan.crashes) {
+      if (c.cfg.any() && !c.cfg.restarts()) ++permanent;
+    }
+    EXPECT_LE(permanent, 1) << "seed " << seed;
+  }
+}
+
+// The acceptance gate: hundreds of random plans across every scenario,
+// both shard counts and both packet paths. Every run must complete or
+// fail by decision — a hung or error verdict is a recovery bug. The
+// verdicts must also be identical across the execution matrix (sharding
+// and the packet-descriptor path are host-side concerns; simulated
+// behaviour is bit-identical by contract).
+TEST(ChaosSweep, SmokeSweepHasNoHungOrErrorRuns) {
+  constexpr int kPlans = 200;
+  for (chaos::Scenario sc : chaos::kScenarios) chaos::baseline_mbps(sc);
+
+  const struct {
+    int shards;
+    sim::PacketPathKind path;
+  } kMatrix[] = {
+      {1, sim::PacketPathKind::kArena},
+      {2, sim::PacketPathKind::kArena},
+      {1, sim::PacketPathKind::kLegacyHeap},
+      {2, sim::PacketPathKind::kLegacyHeap},
+  };
+
+  std::vector<std::string> first_verdicts;
+  for (const auto& cell : kMatrix) {
+    sweep::SweepSpec spec;
+    spec.name = "chaos-smoke";
+    for (int p = 0; p < kPlans; ++p) {
+      const faults::FaultPlan plan =
+          chaos::random_plan(static_cast<std::uint64_t>(p + 1));
+      for (chaos::Scenario sc : chaos::kScenarios) {
+        spec.jobs.push_back(chaos::scenario_job(
+            sc, std::string(chaos::to_string(sc)) + " seed=" +
+                    std::to_string(p + 1),
+            plan));
+      }
+    }
+    sweep::SweepOptions opt = chaos::chaos_sweep_options();
+    opt.shards = cell.shards;
+    opt.packet_path = cell.path;
+    const sweep::SweepResult sr = run_sweep(spec, opt);
+
+    ASSERT_EQ(sr.jobs.size(), static_cast<std::size_t>(kPlans) *
+                                  std::size(chaos::kScenarios));
+    std::vector<std::string> verdicts;
+    verdicts.reserve(sr.jobs.size());
+    for (std::size_t j = 0; j < sr.jobs.size(); ++j) {
+      const auto sc = chaos::kScenarios[j % std::size(chaos::kScenarios)];
+      const chaos::Verdict v =
+          chaos::classify(sr.jobs[j], chaos::baseline_mbps(sc));
+      EXPECT_TRUE(chaos::acceptable(v))
+          << sr.jobs[j].label << " shards=" << cell.shards
+          << " verdict=" << chaos::to_string(v)
+          << " error=" << sr.jobs[j].error;
+      verdicts.emplace_back(chaos::to_string(v));
+    }
+    if (first_verdicts.empty()) {
+      first_verdicts = std::move(verdicts);
+    } else {
+      EXPECT_EQ(verdicts, first_verdicts)
+          << "verdicts changed across the execution matrix";
+    }
+  }
+}
+
+// Tentpole acceptance: a crash+restart TCP run completes with verdict
+// `recovered`, and the verdict lands in the pp.sweep/5 JSON.
+TEST(ChaosSweep, CrashRestartTcpRunIsRecoveredInSweepJson) {
+  faults::HostCrashConfig cc;
+  cc.at = sim::milliseconds(1.0);
+  cc.downtime = sim::milliseconds(2.0);
+  faults::FaultPlan plan;
+  plan.add_crash(1, cc);
+
+  sweep::SweepSpec spec;
+  spec.name = "crash-restart";
+  spec.jobs.push_back(chaos::scenario_job(chaos::Scenario::kTcp,
+                                          "tcp crash-restart", plan));
+  sweep::SweepResult sr = run_sweep(spec, chaos::chaos_sweep_options());
+  ASSERT_EQ(sr.jobs.size(), 1u);
+  ASSERT_TRUE(sr.jobs[0].ok) << sr.jobs[0].error;
+  EXPECT_GE(sr.jobs[0].result.counters.reconnects, 1u);
+
+  const chaos::Verdict v = chaos::classify(
+      sr.jobs[0], chaos::baseline_mbps(chaos::Scenario::kTcp));
+  EXPECT_EQ(v, chaos::Verdict::kRecovered);
+  sr.jobs[0].verdict = chaos::to_string(v);
+
+  const std::string j = sweep::JsonReporter::to_json({sr});
+  EXPECT_NE(j.find("pp.sweep/5"), std::string::npos);
+  EXPECT_NE(j.find("\"verdict\":\"recovered\""), std::string::npos);
+  EXPECT_NE(j.find("\"reconnects\":"), std::string::npos);
+}
+
+// The full catch-a-bug pipeline, on a real injected recovery bug: a TCP
+// stack with its give-up caps disarmed (no rto_give_up, no keepalive —
+// exactly the configuration chaos_sysctl exists to prevent) cannot
+// detect a permanently dead peer. The harness must flag the run
+// unacceptable, and ddmin must shrink the noisy 5-rule plan to just the
+// crash rule that triggers the bug.
+TEST(ChaosSweep, InjectedRecoveryBugIsCaughtAndMinimized) {
+  const auto buggy_verdict = [](const faults::FaultPlan& plan) {
+    sweep::SweepSpec spec;
+    spec.name = "buggy-tcp";
+    spec.jobs.push_back(sweep::JobSpec{"buggy", [plan] {
+      // tuned() but NOT chaos_sysctl(armed): retries forever.
+      mp::PairBed bed(presets::pentium4_pc(), presets::netgear_ga620(),
+                      tcp::Sysctl::tuned());
+      faults::apply(plan, bed.cluster);
+      auto [sa, sb] = bed.socket_pair("buggy");
+      netpipe::TcpTransport ta(sa), tb(sb);
+      return netpipe::run_netpipe(bed.sim, ta, tb, chaos::chaos_run_options());
+    }});
+    const sweep::SweepResult sr = run_sweep(spec, chaos::chaos_sweep_options());
+    return chaos::classify(sr.jobs[0], /*baseline=*/0.0);
+  };
+
+  // A permanent crash buried in harmless noise rules.
+  faults::FaultPlan plan;
+  plan.seed = 7;
+  faults::LinkFaultConfig loss;
+  loss.loss = 0.01;
+  plan.add_link("", loss);
+  faults::LinkFaultConfig dup;
+  dup.duplicate = 0.02;
+  plan.add_link("", dup);
+  faults::NicFaultConfig nf;
+  nf.ring_slots = 64;
+  plan.add_nic("", nf);
+  faults::HostFaultConfig hf;
+  hf.pause_period = sim::milliseconds(1.0);
+  hf.pause_duration = sim::microseconds(50.0);
+  plan.add_host(-1, hf);
+  faults::HostCrashConfig cc;
+  cc.at = sim::microseconds(500.0);
+  cc.mode = faults::HostCrashConfig::Mode::kPermanent;
+  plan.add_crash(0, cc);
+
+  const chaos::Verdict got = buggy_verdict(plan);
+  EXPECT_FALSE(chaos::acceptable(got))
+      << "the disarmed stack should hang on a permanent crash, got "
+      << chaos::to_string(got);
+
+  const faults::MinimizeResult r = faults::minimize(
+      plan, [&](const faults::FaultPlan& candidate) {
+        return !chaos::acceptable(buggy_verdict(candidate));
+      });
+  EXPECT_LE(r.final_rules, 3u);  // acceptance bound
+  ASSERT_EQ(r.plan.crashes.size(), 1u);  // the reproducer pins the crash
+  EXPECT_EQ(r.final_rules, 1u);          // and nothing else survives
+  // The minimal reproducer round-trips through pp.faultplan/1, ready
+  // for `netpipe_cli --fault-plan`.
+  const faults::FaultPlan reread = faults::from_text(faults::to_text(r.plan));
+  EXPECT_EQ(faults::to_text(reread), faults::to_text(r.plan));
+}
+
+// The sanity direction of the same pipeline: run_verdict must call an
+// unfaulted scenario clean, making it a sound ddmin oracle.
+TEST(ChaosSweep, NullPlanRunsClassifyClean) {
+  for (chaos::Scenario sc : chaos::kScenarios) {
+    EXPECT_EQ(chaos::run_verdict(sc, faults::FaultPlan{}),
+              chaos::Verdict::kClean)
+        << chaos::to_string(sc);
+  }
+}
+
+}  // namespace
+}  // namespace pp

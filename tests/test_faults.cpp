@@ -3,16 +3,22 @@
 // null-plan bit-identity guarantee, TCP retransmission/backoff/checksum
 // recovery under injected faults for every stream library, the GM and
 // VIA delivery watchdogs, the rendezvous handshake watchdog, NIC and
-// host injectors, and the sweep runner's degraded-job reporting.
+// host injectors, crash/restart recovery with epoch fencing and TCP
+// keepalive, pp.faultplan/1 serialization, the ddmin plan minimizer,
+// and the sweep runner's degraded-job reporting.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "faults/config.h"
+#include "faults/minimize.h"
 #include "faults/plan.h"
+#include "faults/plan_io.h"
 #include "gmsim/gm.h"
 #include "mp/lam.h"
 #include "mp/mpich.h"
@@ -252,6 +258,7 @@ TEST(FaultPlan, EmptyPlanLeavesRunsBitIdentical) {
       plan.add_link("", faults::LinkFaultConfig{});
       plan.add_nic("", faults::NicFaultConfig{});
       plan.add_host(-1, faults::HostFaultConfig{});
+      plan.add_crash(-1, faults::HostCrashConfig{});  // at=0: disarmed
       EXPECT_TRUE(plan.empty());
       faults::apply(plan, p.cluster);
     }
@@ -634,6 +641,312 @@ TEST(HostFaults, PauseWindowsSlowTheRunDown) {
   EXPECT_EQ(p.sock_b.stats().bytes_received, 512u << 10);
 }
 
+// ---- Crash/restart recovery (tentpole) -------------------------------------
+
+TEST(CrashRecovery, TcpTransferSurvivesCrashRestartOfEitherEnd) {
+  // 1 MB takes ~9 ms fault-free, so a crash at 1 ms lands mid-transfer.
+  // Whichever end dies, the restarted node re-handshakes under the new
+  // power epoch and the transfer must still complete end to end.
+  for (const int victim : {0, 1}) {
+    Pair p;
+    faults::HostCrashConfig cc;
+    cc.at = sim::milliseconds(1.0);
+    cc.downtime = sim::milliseconds(2.0);
+    faults::FaultPlan plan;
+    plan.add_crash(victim, cc);
+    faults::apply(plan, p.cluster);
+    const sim::SimTime done = p.transfer(1 << 20);
+    EXPECT_GT(done, cc.at + cc.downtime) << "victim node " << victim;
+    EXPECT_EQ(p.cluster.node(static_cast<std::size_t>(victim)).crash_count(),
+              1u);
+    EXPECT_GE(p.sock_a.stats().reconnects + p.sock_b.stats().reconnects, 1u)
+        << "victim node " << victim;
+  }
+}
+
+TEST(CrashRecovery, CrashRestartRunsAreDeterministic) {
+  auto run = [] {
+    Pair p;
+    faults::HostCrashConfig cc;
+    cc.at = sim::milliseconds(1.0);
+    cc.downtime = sim::milliseconds(2.0);
+    faults::FaultPlan plan;
+    plan.add_crash(1, cc);
+    faults::apply(plan, p.cluster);
+    const sim::SimTime done = p.transfer(1 << 20);
+    return std::tuple(done, p.sock_a.stats().retransmits,
+                      p.sock_a.stats().reconnects + p.sock_b.stats().reconnects,
+                      p.link.forward.packets_dropped());
+  };
+  const auto first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_GT(std::get<0>(first), 0u);
+}
+
+TEST(CrashRecovery, KeepaliveFailsTheSurvivorOfAPermanentCrash) {
+  // The sender dies for good at 1 ms. The receiver ends up parked in
+  // recv() with nothing in flight — no RTO will ever fire for it — so
+  // only the keepalive probes can discover the peer is gone and turn a
+  // would-be hang into a clean ConnectionFailed.
+  tcp::Sysctl sysctl = tcp::Sysctl::tuned();
+  sysctl.keepalive_interval = sim::milliseconds(5.0);
+  Pair p(sysctl);
+  faults::HostCrashConfig cc;
+  cc.at = sim::milliseconds(1.0);
+  cc.mode = faults::HostCrashConfig::Mode::kPermanent;
+  faults::FaultPlan plan;
+  plan.add_crash(0, cc);
+  faults::apply(plan, p.cluster);
+  EXPECT_THROW(p.transfer(1 << 20), tcp::ConnectionFailed);
+  EXPECT_GT(p.sock_b.stats().keepalive_probes, 0u);
+  EXPECT_TRUE(p.sock_b.failed());
+}
+
+// ---- Gilbert–Elliott statistics (satellite) --------------------------------
+
+TEST(FaultStats, GilbertElliottMatchesSteadyStateTheory) {
+  // 1e6 chain steps against the closed-form answers: steady-state loss
+  // P(bad) = g2b / (g2b + b2g) for a deaf bad state, mean burst length
+  // 1 / b2g frames (geometric sojourn).
+  struct Rng {
+    std::uint64_t s = 0x853c49e6748fea9bULL;
+    double uniform() {
+      s += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = s;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      z ^= z >> 31;
+      return static_cast<double>(z >> 11) * 0x1.0p-53;
+    }
+  } rng;
+  faults::LinkFaultConfig cfg;
+  cfg.ge_good_to_bad = 0.01;  // defaults: b2g = 0.25, deaf bad state
+  faults::GilbertElliott ge;
+  const int kTrials = 1'000'000;
+  std::int64_t losses = 0, bursts = 0;
+  bool in_burst = false;
+  for (int i = 0; i < kTrials; ++i) {
+    const bool lost = ge.step(cfg, rng);
+    losses += lost ? 1 : 0;
+    if (lost && !in_burst) ++bursts;
+    in_burst = lost;
+  }
+  const double expected = 0.01 / (0.01 + 0.25);
+  EXPECT_NEAR(static_cast<double>(losses) / kTrials, expected,
+              0.10 * expected);
+  ASSERT_GT(bursts, 0);
+  EXPECT_NEAR(static_cast<double>(losses) / static_cast<double>(bursts),
+              1.0 / 0.25, 0.5);
+}
+
+// ---- Delivery watchdog resets per message (satellite regression) -----------
+
+// Regression for the sticky-backoff bug: a message that needed watchdog
+// retries must not bequeath its escalated timeout to the *next* message.
+// Two beds run the same two-message schedule under the same link flap;
+// in one the first message has to retry through a flap window (backing
+// its timeout off), in the other it goes out on a quiet link. Message 2
+// is sent at the identical instant in both, and the retry machinery is
+// RNG-free, so if each message starts from the base timeout the second
+// exchange finishes at the *exact same* simulated time in both beds.
+sim::SimTime gm_second_exchange_done(sim::SimTime first_at) {
+  gm::GmConfig cfg;
+  cfg.delivery_timeout = sim::microseconds(500.0);
+  GmBed bed(cfg);
+  faults::LinkFaultConfig lf;
+  lf.flap_period = sim::milliseconds(50.0);
+  lf.flap_down = sim::milliseconds(2.0);  // deaf in [0, 2) and [50, 52) ms
+  faults::FaultPlan plan;
+  plan.add_link("", lf);
+  faults::apply(plan, bed.cluster);
+  sim::SimTime done = 0;
+  bed.sim.spawn(
+      [](GmBed& b, sim::SimTime first_at, sim::SimTime& out)
+          -> sim::Task<void> {
+        gm::GmPort& p = b.fabric.port_a();
+        co_await b.sim.delay_until(first_at);
+        co_await p.send(4096, 1);
+        co_await p.recv(4096, 1);
+        co_await b.sim.delay_until(sim::milliseconds(50.0) +
+                                   sim::microseconds(100.0));
+        co_await p.send(4096, 2);
+        co_await p.recv(4096, 2);
+        out = b.sim.now();
+      }(bed, first_at, done),
+      "ping");
+  bed.sim.spawn(
+      [](GmBed& b) -> sim::Task<void> {
+        gm::GmPort& p = b.fabric.port_b();
+        co_await p.recv(4096, 1);
+        co_await p.send(4096, 1);
+        co_await p.recv(4096, 2);
+        co_await p.send(4096, 2);
+      }(bed),
+      "pong");
+  bed.sim.run();
+  return done;
+}
+
+TEST(GmRecovery, DeliveryTimeoutResetsToBaseForEachNewMessage) {
+  const sim::SimTime backed_off = gm_second_exchange_done(0);
+  const sim::SimTime quiet = gm_second_exchange_done(sim::milliseconds(10.0));
+  EXPECT_GT(backed_off, 0u);
+  EXPECT_EQ(backed_off, quiet);
+}
+
+sim::SimTime via_second_exchange_done(sim::SimTime first_at) {
+  via::ViaConfig cfg;
+  cfg.delivery_timeout = sim::microseconds(500.0);
+  ViaBed bed(cfg);
+  faults::LinkFaultConfig lf;
+  lf.flap_period = sim::milliseconds(50.0);
+  lf.flap_down = sim::milliseconds(2.0);
+  faults::FaultPlan plan;
+  plan.add_link("", lf);
+  faults::apply(plan, bed.cluster);
+  sim::SimTime done = 0;
+  bed.sim.spawn(
+      [](ViaBed& b, sim::SimTime first_at, sim::SimTime& out)
+          -> sim::Task<void> {
+        via::ViEndpoint& p = b.fabric.end_a();
+        co_await b.sim.delay_until(first_at);
+        co_await p.send(4096, 1);
+        co_await p.recv(4096, 1);
+        co_await b.sim.delay_until(sim::milliseconds(50.0) +
+                                   sim::microseconds(100.0));
+        co_await p.send(4096, 2);
+        co_await p.recv(4096, 2);
+        out = b.sim.now();
+      }(bed, first_at, done),
+      "ping");
+  bed.sim.spawn(
+      [](ViaBed& b) -> sim::Task<void> {
+        via::ViEndpoint& p = b.fabric.end_b();
+        co_await p.recv(4096, 1);
+        co_await p.send(4096, 1);
+        co_await p.recv(4096, 2);
+        co_await p.send(4096, 2);
+      }(bed),
+      "pong");
+  bed.sim.run();
+  return done;
+}
+
+TEST(ViaRecovery, DeliveryTimeoutResetsToBaseForEachNewMessage) {
+  const sim::SimTime backed_off = via_second_exchange_done(0);
+  const sim::SimTime quiet = via_second_exchange_done(sim::milliseconds(10.0));
+  EXPECT_GT(backed_off, 0u);
+  EXPECT_EQ(backed_off, quiet);
+}
+
+// ---- pp.faultplan/1 serialization ------------------------------------------
+
+TEST(PlanIo, RoundTripsEveryRuleKind) {
+  faults::FaultPlan plan;
+  plan.seed = 42;
+  faults::LinkFaultConfig lf;
+  lf.loss = 0.017;
+  lf.ge_good_to_bad = 0.003;
+  lf.ge_bad_to_good = 0.21;
+  lf.reorder = 0.02;
+  lf.reorder_delay = sim::microseconds(75.0);
+  lf.duplicate = 0.01;
+  lf.corrupt = 1.0 / 3.0;  // not exactly representable in short decimal
+  lf.flap_period = sim::milliseconds(3.0);
+  lf.flap_down = sim::microseconds(250.0);
+  plan.add_link("myri", lf);
+  faults::LinkFaultConfig sparse;
+  sparse.loss = 0.05;
+  plan.add_link("", sparse);
+  faults::NicFaultConfig nf;
+  nf.ring_slots = 16;
+  nf.irq_stall = 0.05;
+  plan.add_nic("eth", nf);
+  faults::HostFaultConfig hf;
+  hf.pause_period = sim::milliseconds(1.0);
+  hf.pause_duration = sim::microseconds(100.0);
+  plan.add_host(1, hf);
+  faults::HostCrashConfig restart;
+  restart.at = sim::microseconds(500.0);
+  restart.downtime = sim::milliseconds(2.0);
+  plan.add_crash(0, restart);
+  faults::HostCrashConfig permanent;
+  permanent.at = sim::milliseconds(1.0);
+  permanent.mode = faults::HostCrashConfig::Mode::kPermanent;
+  plan.add_crash(-1, permanent);
+
+  const std::string text = faults::to_text(plan);
+  const faults::FaultPlan parsed = faults::from_text(text);
+  EXPECT_EQ(faults::to_text(parsed), text);  // fixed point after one trip
+  EXPECT_EQ(parsed.seed, 42u);
+  ASSERT_EQ(parsed.links.size(), 2u);
+  EXPECT_EQ(parsed.links[0].pipe_match, "myri");
+  EXPECT_EQ(parsed.links[0].cfg.corrupt, 1.0 / 3.0);  // bit-exact doubles
+  EXPECT_EQ(parsed.links[0].cfg.reorder_delay, sim::microseconds(75.0));
+  EXPECT_EQ(parsed.links[1].pipe_match, "");
+  ASSERT_EQ(parsed.nics.size(), 1u);
+  EXPECT_EQ(parsed.nics[0].cfg.ring_slots, 16u);
+  ASSERT_EQ(parsed.hosts.size(), 1u);
+  EXPECT_EQ(parsed.hosts[0].node, 1);
+  ASSERT_EQ(parsed.crashes.size(), 2u);
+  EXPECT_TRUE(parsed.crashes[0].cfg.restarts());
+  EXPECT_EQ(parsed.crashes[1].node, -1);
+  EXPECT_FALSE(parsed.crashes[1].cfg.restarts());
+}
+
+TEST(PlanIo, RejectsMalformedInput) {
+  EXPECT_THROW(faults::from_text("frob *\n"), std::runtime_error);
+  EXPECT_THROW(faults::from_text("link\n"), std::runtime_error);
+  EXPECT_THROW(faults::from_text("link * loss=notanumber\n"),
+               std::runtime_error);
+  EXPECT_THROW(faults::from_text("crash 0 at=oops\n"), std::runtime_error);
+  EXPECT_THROW(faults::from_text("seed\n"), std::runtime_error);
+}
+
+// ---- ddmin plan minimization -----------------------------------------------
+
+TEST(Minimize, ShrinksToTheMinimalFailingCore) {
+  faults::FaultPlan plan;
+  plan.seed = 9;
+  for (int i = 0; i < 5; ++i) {
+    faults::LinkFaultConfig c;
+    c.loss = 0.01 * (i + 1);
+    plan.add_link("pipe" + std::to_string(i), c);
+  }
+  faults::NicFaultConfig nf;
+  nf.ring_slots = 8;
+  plan.add_nic("nic", nf);
+  faults::HostCrashConfig cc;
+  cc.at = sim::milliseconds(1.0);
+  plan.add_crash(1, cc);
+
+  // The "failure" needs exactly the pipe3 loss rule plus the crash.
+  int probes = 0;
+  const faults::Oracle oracle = [&probes](const faults::FaultPlan& c) {
+    ++probes;
+    bool has_pipe3 = false;
+    for (const auto& l : c.links) has_pipe3 |= l.pipe_match == "pipe3";
+    return has_pipe3 && !c.crashes.empty();
+  };
+  const faults::MinimizeResult r = faults::minimize(plan, oracle);
+  EXPECT_EQ(r.initial_rules, 7u);
+  EXPECT_EQ(r.final_rules, 2u);
+  EXPECT_EQ(r.probes, probes);
+  EXPECT_EQ(r.plan.seed, 9u);  // the seed rides along unchanged
+  ASSERT_EQ(r.plan.links.size(), 1u);
+  EXPECT_EQ(r.plan.links[0].pipe_match, "pipe3");
+  EXPECT_TRUE(r.plan.nics.empty());
+  ASSERT_EQ(r.plan.crashes.size(), 1u);
+}
+
+TEST(Minimize, RejectsAPlanThatDoesNotFail) {
+  const faults::FaultPlan plan = faults::uniform_loss_plan(0.01);
+  EXPECT_THROW(
+      faults::minimize(plan,
+                       [](const faults::FaultPlan&) { return false; }),
+      std::invalid_argument);
+}
+
 // ---- Sweep watchdog: degrade, never abort ----------------------------------
 
 TEST(SweepWatchdog, HungJobDegradesToAReportedRow) {
@@ -667,7 +980,7 @@ TEST(SweepWatchdog, HungJobDegradesToAReportedRow) {
   EXPECT_EQ(sr.jobs[1].status, sweep::JobStatus::kOk);
 
   const std::string j = sweep::JsonReporter::to_json({sr});
-  EXPECT_NE(j.find("pp.sweep/4"), std::string::npos);
+  EXPECT_NE(j.find("pp.sweep/5"), std::string::npos);
   EXPECT_NE(j.find("\"status\":\"watchdog\""), std::string::npos);
   EXPECT_NE(j.find("\"retries\":1"), std::string::npos);
 }

@@ -1,0 +1,100 @@
+// minimize_plan: shrinks a failing fault plan to a 1-minimal reproducer.
+//
+// Feed it a pp.faultplan/1 file that makes a chaos scenario fail (the
+// chaos sweep writes these for every bad run) and it ddmin-minimizes the
+// rule list while the failure verdict reproduces, then writes the
+// minimal plan — ready for `netpipe_cli --fault-plan`.
+//
+//   minimize_plan --scenario tcp --plan failing.plan [--out minimal.plan]
+//                 [--verdict failed|hung|error|degraded] [--shards N]
+//
+// Without --verdict the target is whatever verdict the input plan
+// produces (it must be a bad one: failed, hung, error or degraded).
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "chaos/chaos.h"
+#include "faults/minimize.h"
+#include "faults/plan_io.h"
+
+using namespace pp;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --scenario <tcp|mpich|gm|via> --plan <file>\n"
+               "          [--out <file>] [--verdict <name>] [--shards N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_name, plan_path, out_path, verdict_name;
+  int shards = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--scenario" && has_value) {
+      scenario_name = argv[++i];
+    } else if (arg == "--plan" && has_value) {
+      plan_path = argv[++i];
+    } else if (arg == "--out" && has_value) {
+      out_path = argv[++i];
+    } else if (arg == "--verdict" && has_value) {
+      verdict_name = argv[++i];
+    } else if (arg == "--shards" && has_value) {
+      shards = std::atoi(argv[++i]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (scenario_name.empty() || plan_path.empty()) return usage(argv[0]);
+
+  chaos::Scenario sc;
+  if (!chaos::scenario_from_string(scenario_name, sc)) {
+    std::fprintf(stderr, "unknown scenario '%s'\n", scenario_name.c_str());
+    return 2;
+  }
+  if (out_path.empty()) out_path = plan_path + ".min";
+
+  faults::FaultPlan plan;
+  try {
+    plan = faults::read_file(plan_path);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "--plan %s: %s\n", plan_path.c_str(), e.what());
+    return 2;
+  }
+  const chaos::Verdict got = chaos::run_verdict(sc, plan, shards);
+  std::printf("input plan: %zu rule(s), verdict %s\n",
+              plan.links.size() + plan.nics.size() + plan.hosts.size() +
+                  plan.crashes.size(),
+              chaos::to_string(got));
+  if (verdict_name.empty()) {
+    if (got == chaos::Verdict::kClean || got == chaos::Verdict::kRecovered) {
+      std::fprintf(stderr,
+                   "nothing to minimize: the plan does not make the "
+                   "scenario fail (verdict %s)\n",
+                   chaos::to_string(got));
+      return 1;
+    }
+    verdict_name = chaos::to_string(got);
+  }
+
+  const faults::Oracle oracle = [&](const faults::FaultPlan& candidate) {
+    return verdict_name ==
+           chaos::to_string(chaos::run_verdict(sc, candidate, shards));
+  };
+
+  const faults::MinimizeResult r = faults::minimize(plan, oracle);
+  std::printf("minimized %zu -> %zu rule(s) in %d probe(s)\n",
+              r.initial_rules, r.final_rules, r.probes);
+  faults::write_file(out_path, r.plan);
+  std::printf("wrote %s:\n%s", out_path.c_str(),
+              faults::to_text(r.plan).c_str());
+  return 0;
+}
