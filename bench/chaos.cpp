@@ -5,19 +5,28 @@
 // counts {1, 2} and both packet-descriptor paths — the matrix the
 // recovery machinery must survive. Every run is classified
 // (clean | recovered | degraded | failed | hung | error) and the
-// verdicts land in BENCH_chaos.json (schema pp.sweep/5). `hung` and
+// verdicts land in BENCH_chaos.json (schema pp.sweep/6). `hung` and
 // `error` verdicts are bugs by definition: the bench exits nonzero when
 // it finds any, and the failing plan is printed as pp.faultplan/1 text
 // ready for tools/minimize_plan.
 //
-//   chaos [--plans N] [--out FILE]
+// With --audit every job also runs under the delivery oracle
+// (audit/audit.h): message conservation, integrity, FIFO and epoch
+// fencing are checked end to end, any violation upgrades the verdict to
+// `error`, and each job's accounting lands in the JSON's per-job
+// "audit" block. The oracle is observe-only, so audited verdicts match
+// unaudited ones unless a violation was found.
+//
+//   chaos [--plans N] [--out FILE] [--audit]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "audit/audit.h"
 #include "chaos/chaos.h"
 #include "faults/plan_io.h"
 #include "sweep/json_report.h"
@@ -28,13 +37,17 @@ using namespace pp;
 int main(int argc, char** argv) {
   int plans = 250;
   std::string out = "BENCH_chaos.json";
+  bool audit_on = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--plans") == 0 && i + 1 < argc) {
       plans = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
+    } else if (std::strcmp(argv[i], "--audit") == 0) {
+      audit_on = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--plans N] [--out FILE]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--plans N] [--out FILE] [--audit]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -57,11 +70,13 @@ int main(int argc, char** argv) {
 
   std::vector<sweep::SweepResult> results;
   std::map<std::string, int> histogram;
+  std::uint64_t violations_total = 0;
   int bad = 0;
   for (const auto& cell : kMatrix) {
     sweep::SweepSpec spec;
     spec.name = cell.name;
     std::vector<faults::FaultPlan> specs_plans;
+    std::vector<std::shared_ptr<audit::Summary>> sinks;
     for (int p = 0; p < plans; ++p) {
       const auto seed = static_cast<std::uint64_t>(p + 1);
       const faults::FaultPlan plan = chaos::random_plan(seed);
@@ -70,8 +85,11 @@ int main(int argc, char** argv) {
         std::snprintf(label, sizeof(label), "%s seed=%llu",
                       chaos::to_string(sc),
                       static_cast<unsigned long long>(seed));
-        spec.jobs.push_back(chaos::scenario_job(sc, label, plan));
+        std::shared_ptr<audit::Summary> sink;
+        if (audit_on) sink = std::make_shared<audit::Summary>();
+        spec.jobs.push_back(chaos::scenario_job(sc, label, plan, sink));
         specs_plans.push_back(plan);
+        sinks.push_back(std::move(sink));
       }
     }
 
@@ -82,9 +100,14 @@ int main(int argc, char** argv) {
 
     for (std::size_t j = 0; j < sr.jobs.size(); ++j) {
       const auto sc = chaos::kScenarios[j % std::size(chaos::kScenarios)];
+      const audit::Summary* aud = audit_on ? sinks[j].get() : nullptr;
       const chaos::Verdict v =
-          chaos::classify(sr.jobs[j], chaos::baseline_mbps(sc));
+          chaos::classify(sr.jobs[j], chaos::baseline_mbps(sc), aud);
       sr.jobs[j].verdict = chaos::to_string(v);
+      if (aud != nullptr) {
+        sr.jobs[j].audit = sinks[j];
+        violations_total += aud->violations;
+      }
       histogram[sr.jobs[j].verdict] += 1;
       if (!chaos::acceptable(v)) {
         ++bad;
@@ -93,6 +116,9 @@ int main(int argc, char** argv) {
                     cell.name, sr.jobs[j].label.c_str(), chaos::to_string(v),
                     sr.jobs[j].error.c_str(),
                     faults::to_text(specs_plans[j]).c_str());
+        if (aud != nullptr && aud->has_violations()) {
+          std::printf("%s", audit::report_text(*aud).c_str());
+        }
       }
     }
     std::printf("%-22s %4zu runs, %6.1f ms wall (%.1fx)\n", cell.name,
@@ -104,6 +130,10 @@ int main(int argc, char** argv) {
               plans, std::size(chaos::kScenarios), std::size(kMatrix));
   for (const auto& [verdict, count] : histogram) {
     std::printf("  %-10s %6d\n", verdict.c_str(), count);
+  }
+  if (audit_on) {
+    std::printf("audit: %llu violation(s) across all runs\n",
+                static_cast<unsigned long long>(violations_total));
   }
 
   sweep::JsonReporter::write(out, results);

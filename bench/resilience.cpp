@@ -16,7 +16,7 @@
 //
 // Jobs run under the sweep watchdog with keep_going, so a configuration
 // that cannot converge degrades to a reported row instead of aborting
-// the bench. Results land in BENCH_resilience.json (schema pp.sweep/5).
+// the bench. Results land in BENCH_resilience.json (schema pp.sweep/6).
 #include <cstdio>
 #include <iterator>
 #include <string>

@@ -45,6 +45,17 @@
 //                         chaos sweep or tools/minimize_plan) as the
 //                         base plan; later fault flags add to it
 //     --fault-seed n      seed for the fault plan (default 1)
+//     --audit             attach the delivery oracle (audit/audit.h):
+//                         every message is checked for intact,
+//                         exactly-once, FIFO delivery and end-of-run
+//                         conservation; the accounting summary is
+//                         printed and any violation exits nonzero
+//
+//   Exit status: 0 success; 1 the protocol stack decided it cannot
+//   complete (ConnectionFailed / delivery-attempt caps — the `failed`
+//   chaos verdict); 2 usage error; 3 an unexpected error ended the run
+//   (budget/deadlock — the `hung`/`error` verdicts); 4 the run finished
+//   but the delivery oracle found violations.
 //
 //   Fault flags compose into one FaultPlan applied to the run's link.
 //   GM and VIA runs automatically enable their delivery watchdogs when a
@@ -62,6 +73,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "audit/audit.h"
 #include "bench/common.h"
 #include "faults/plan.h"
 #include "faults/plan_io.h"
@@ -99,6 +111,9 @@ struct CliOptions {
   int shards = 0;
   /// Attached to each family's simulator when --trace is given.
   sim::TraceRecorder* tracer = nullptr;
+  /// Attached to each family's simulator when --audit is given.
+  audit::Auditor* auditor = nullptr;
+  bool audit = false;
   /// Built from --loss / --burst-loss / --flap; empty = clean run.
   faults::FaultPlan plan;
   faults::LinkFaultConfig link_faults;
@@ -109,7 +124,7 @@ struct CliOptions {
                        " [-u bytes] [-P n] [-r n] [-s] [-o file] [-q]"
                        " [--shards n] [--trace file] [--loss p]"
                        " [--burst-loss p] [--flap P:D] [--crash AT:DOWN]"
-                       " [--fault-plan file] [--fault-seed n]\n",
+                       " [--fault-plan file] [--fault-seed n] [--audit]\n",
                argv0);
   std::exit(2);
 }
@@ -153,6 +168,7 @@ netpipe::RunResult run_tcp_family(const CliOptions& o) {
   if (o.module == "ipgm") nic = hw::presets::myrinet_ip_over_gm();
   mp::PairBed bed(host, nic, sysctl);
   bed.sim.set_tracer(o.tracer);
+  if (o.auditor) bed.sim.set_auditor(o.auditor);
   faults::apply(o.plan, bed.cluster);
 
   auto run = [&](TransportPair pair) {
@@ -197,6 +213,7 @@ netpipe::RunResult run_tcp_family(const CliOptions& o) {
 netpipe::RunResult run_gm_family(const CliOptions& o) {
   sim::Simulator s;
   s.set_tracer(o.tracer);
+  if (o.auditor) s.set_auditor(o.auditor);
   hw::Cluster c(s);
   auto& a = c.add_node(host_for(o));
   auto& b = c.add_node(host_for(o));
@@ -223,6 +240,7 @@ netpipe::RunResult run_gm_family(const CliOptions& o) {
 netpipe::RunResult run_via_family(const CliOptions& o) {
   sim::Simulator s;
   s.set_tracer(o.tracer);
+  if (o.auditor) s.set_auditor(o.auditor);
   hw::Cluster c(s);
   auto& a = c.add_node(host_for(o));
   auto& b = c.add_node(host_for(o));
@@ -320,6 +338,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--fault-seed") {
       o.plan.seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--audit") {
+      o.audit = true;
     } else if (arg == "-q") {
       o.quiet = true;
     } else if (arg == "-g") {
@@ -345,6 +365,30 @@ int main(int argc, char** argv) {
   std::optional<sim::ScopedShards> shard_guard;
   if (o.shards > 0) shard_guard.emplace(o.shards);
 
+  audit::Auditor auditor(o.plan.seed + 1);
+  if (o.audit) {
+    o.auditor = &auditor;
+    if (!o.plan.empty()) auditor.set_fault_plan(faults::to_text(o.plan));
+  }
+
+  // Closes the oracle's ledger on an exception exit and prints what it
+  // found; the outcome decides how outstanding messages are judged.
+  auto audit_failure = [&](audit::RunOutcome outcome) {
+    if (!o.auditor) return;
+    const audit::Summary& s = o.auditor->finalize(outcome);
+    std::fprintf(stderr,
+                 "audit: outcome=%s injected=%llu delivered=%llu "
+                 "failed_by_decision=%llu violations=%llu\n",
+                 audit::to_string(s.outcome),
+                 static_cast<unsigned long long>(s.injected),
+                 static_cast<unsigned long long>(s.delivered),
+                 static_cast<unsigned long long>(s.failed_by_decision),
+                 static_cast<unsigned long long>(s.violations));
+    if (s.has_violations()) {
+      std::fprintf(stderr, "%s", audit::report_text(s).c_str());
+    }
+  };
+
   netpipe::RunResult result;
   try {
     if (o.module == "shmem") {
@@ -368,9 +412,16 @@ int main(int argc, char** argv) {
   } catch (const sim::ProtocolFailure& e) {
     // The stack decided it cannot complete (give-up caps under a
     // permanent crash): the right outcome for the run, not a crash of
-    // the tool.
+    // the tool — but still a nonzero exit, like a `failed` chaos verdict.
     std::fprintf(stderr, "%s: run failed: %s\n", o.module.c_str(), e.what());
+    audit_failure(audit::RunOutcome::kFailed);
     return 1;
+  } catch (const std::exception& e) {
+    // Budget blowout, deadlock or any other escape: the `hung`/`error`
+    // verdicts of the chaos tier. Always a bug, always nonzero.
+    std::fprintf(stderr, "%s: run error: %s\n", o.module.c_str(), e.what());
+    audit_failure(audit::RunOutcome::kAborted);
+    return 3;
   }
 
   if (o.quiet) {
@@ -398,6 +449,20 @@ int main(int argc, char** argv) {
       std::printf("trace: %zu spans, %zu instants, %zu counter samples -> %s\n",
                   recorder.span_count(), recorder.instant_count(),
                   recorder.counter_count(), o.trace_file.c_str());
+    }
+  }
+  if (o.auditor && result.audit) {
+    const audit::Summary& s = *result.audit;
+    std::printf("audit: %llu stream(s), %llu message(s) (%llu bytes) "
+                "injected, %llu delivered, %llu violation(s)\n",
+                static_cast<unsigned long long>(s.streams),
+                static_cast<unsigned long long>(s.injected),
+                static_cast<unsigned long long>(s.injected_bytes),
+                static_cast<unsigned long long>(s.delivered),
+                static_cast<unsigned long long>(s.violations));
+    if (s.has_violations()) {
+      std::fprintf(stderr, "%s", audit::report_text(s).c_str());
+      return 4;
     }
   }
   return 0;

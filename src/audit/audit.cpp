@@ -1,0 +1,256 @@
+#include "audit/audit.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <tuple>
+#include <utility>
+
+namespace pp::audit {
+
+namespace {
+
+/// splitmix64 finalizer — the same cheap, well-mixed hash the fault
+/// subsystem uses for per-rule seed derivation.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kChecksumMismatch: return "checksum-mismatch";
+    case ViolationKind::kSizeMismatch: return "size-mismatch";
+    case ViolationKind::kDuplicateDelivery: return "duplicate-delivery";
+    case ViolationKind::kFifoViolation: return "fifo-violation";
+    case ViolationKind::kCorruptAccepted: return "corrupt-accepted";
+    case ViolationKind::kStaleEpochDelivery: return "stale-epoch-delivery";
+    case ViolationKind::kSequenceRegression: return "sequence-regression";
+    case ViolationKind::kCompletionAfterTeardown:
+      return "completion-after-teardown";
+    case ViolationKind::kUnaccounted: return "unaccounted";
+  }
+  return "?";
+}
+
+const char* to_string(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kCompleted: return "completed";
+    case RunOutcome::kFailed: return "failed";
+    case RunOutcome::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+std::string to_string(const Violation& v) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "audit violation: %s stream=%" PRIu32 " (%s) seq=%" PRIu64
+                " expected=%" PRIu64 " actual=%" PRIu64,
+                to_string(v.kind), v.stream, v.detail.c_str(), v.seq,
+                v.expected, v.actual);
+  return buf;
+}
+
+std::string report_text(const Summary& s) {
+  if (!s.has_violations()) return {};
+  std::string out;
+  for (const Violation& v : s.reports) {
+    out += to_string(v);
+    out += '\n';
+  }
+  if (s.violations > s.reports.size()) {
+    out += "... and " +
+           std::to_string(s.violations - s.reports.size()) +
+           " more violation(s)\n";
+  }
+  if (!s.fault_plan.empty()) {
+    out += "fault plan:\n";
+    out += s.fault_plan;
+    if (out.back() != '\n') out += '\n';
+  }
+  return out;
+}
+
+void Auditor::set_fault_plan(std::string text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_plan_ = std::move(text);
+}
+
+std::uint32_t Auditor::register_stream(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  streams_.push_back(Stream{std::move(name), 0, 0, {}});
+  return static_cast<std::uint32_t>(streams_.size());
+}
+
+std::uint64_t Auditor::checksum(std::uint32_t stream, std::uint64_t seq,
+                                std::uint64_t bytes) const noexcept {
+  // A synthetic payload checksum: the simulation carries byte *counts*,
+  // not byte *contents*, so "the payload" of message (stream, seq) is by
+  // definition this seeded mix. Comparing it at consumption catches any
+  // misalignment between the identity a receiver consumed and the
+  // message the sender injected (crossed metadata, resurrected entries,
+  // wrong-length completion) — exactly what a real checksum would flag.
+  return mix64(seed_ ^ mix64((static_cast<std::uint64_t>(stream) << 32) ^
+                             mix64(seq) ^ (bytes * 0x100000001b3ull)));
+}
+
+void Auditor::record(Violation v) {
+  violations_ += 1;
+  if (reports_.size() < kMaxReports) reports_.push_back(std::move(v));
+}
+
+MsgTag Auditor::on_inject(std::uint32_t stream, std::uint64_t bytes) {
+  if (stream == 0) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  Stream& s = streams_.at(stream - 1);
+  MsgTag tag;
+  tag.stream = stream;
+  tag.seq = s.next_seq++;
+  tag.check = checksum(stream, tag.seq, bytes);
+  s.outstanding.emplace(tag.seq, Entry{bytes, tag.check});
+  injected_ += 1;
+  injected_bytes_ += bytes;
+  return tag;
+}
+
+void Auditor::deliver_locked(const MsgTag& tag, bool verify_payload,
+                             std::uint64_t bytes, bool after_teardown) {
+  Stream& s = streams_.at(tag.stream - 1);
+  const auto it = s.outstanding.find(tag.seq);
+  if (it == s.outstanding.end()) {
+    // Never injected, or already consumed. Seqs are dense from 0, so a
+    // seq below the injection counter was consumed before: a duplicate.
+    record(Violation{ViolationKind::kDuplicateDelivery, tag.stream, tag.seq,
+                     0, 1, s.name});
+    return;
+  }
+  if (after_teardown) {
+    record(Violation{ViolationKind::kCompletionAfterTeardown, tag.stream,
+                     tag.seq, 0, 1, s.name});
+  }
+  if (tag.seq < s.watermark) {
+    // Consumed behind a later message of the same stream: out of order.
+    record(Violation{ViolationKind::kFifoViolation, tag.stream, tag.seq,
+                     s.watermark, tag.seq, s.name});
+  }
+  if (verify_payload) {
+    if (bytes != it->second.bytes) {
+      record(Violation{ViolationKind::kSizeMismatch, tag.stream, tag.seq,
+                       it->second.bytes, bytes, s.name});
+    }
+    if (tag.check != it->second.check) {
+      record(Violation{ViolationKind::kChecksumMismatch, tag.stream, tag.seq,
+                       it->second.check, tag.check, s.name});
+    }
+  }
+  s.watermark = std::max(s.watermark, tag.seq + 1);
+  s.outstanding.erase(it);
+  delivered_ += 1;
+}
+
+void Auditor::on_deliver(const MsgTag& tag, std::uint64_t bytes,
+                         bool after_teardown) {
+  if (tag.stream == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  deliver_locked(tag, /*verify_payload=*/true, bytes, after_teardown);
+}
+
+void Auditor::on_tcp_token(std::uint64_t token, bool after_teardown) {
+  MsgTag tag;
+  tag.stream = static_cast<std::uint32_t>(token >> 40);
+  tag.seq = token & ((1ull << 40) - 1);
+  if (tag.stream == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // The byte stream carries no per-message identity beyond the token
+  // position itself; exactly-once, FIFO and conservation still apply.
+  deliver_locked(tag, /*verify_payload=*/false, 0, after_teardown);
+}
+
+void Auditor::on_accept_fragment(const MsgTag& tag, std::uint32_t frag_epoch,
+                                 std::uint32_t rx_epoch, bool corrupted) {
+  if (tag.stream == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const Stream& s = streams_.at(tag.stream - 1);
+  if (frag_epoch != rx_epoch) {
+    record(Violation{ViolationKind::kStaleEpochDelivery, tag.stream, tag.seq,
+                     rx_epoch, frag_epoch, s.name});
+  }
+  if (corrupted) {
+    record(Violation{ViolationKind::kCorruptAccepted, tag.stream, tag.seq,
+                     0, 1, s.name});
+  }
+}
+
+void Auditor::on_tcp_accept(const std::string& endpoint, std::uint32_t epoch,
+                            std::uint64_t seq, std::uint64_t payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TcpWatch& w = tcp_[endpoint];
+  if (!w.seen || w.epoch != epoch) {
+    // A new connection epoch legitimately resynchronizes the stream
+    // position (a restarted receiver rewinds to its consumed mark).
+    w.seen = true;
+    w.epoch = epoch;
+    w.expect = seq + payload;
+    return;
+  }
+  if (seq != w.expect) {
+    record(Violation{ViolationKind::kSequenceRegression, 0, seq, w.expect,
+                     seq, endpoint});
+  }
+  w.expect = std::max(w.expect, seq + payload);
+}
+
+const Summary& Auditor::finalize(RunOutcome outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finalized_) return summary_;
+  finalized_ = true;
+  summary_.outcome = outcome;
+  std::uint64_t outstanding = 0;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    Stream& s = streams_[i];
+    outstanding += s.outstanding.size();
+    if (outcome == RunOutcome::kCompleted) {
+      // A run that ended normally has no excuse: every injected message
+      // must have been consumed. Anything left is unaccounted bytes.
+      for (const auto& [seq, e] : s.outstanding) {
+        record(Violation{ViolationKind::kUnaccounted,
+                         static_cast<std::uint32_t>(i + 1), seq, e.bytes, 0,
+                         s.name});
+      }
+    }
+  }
+  if (outcome == RunOutcome::kCompleted) {
+    summary_.unaccounted = outstanding;
+  } else if (outcome == RunOutcome::kFailed) {
+    // The run ended in a deliberate protocol decision (ConnectionFailed,
+    // max_delivery_attempts): in-flight messages were failed by that
+    // decision, which is a legal terminal state of the ledger.
+    summary_.failed_by_decision = outstanding;
+  }
+  // kAborted (hang / budget / deadlock): the run was cut mid-flight, so
+  // conservation is indeterminate — only in-run violations stand.
+  summary_.streams = streams_.size();
+  summary_.injected = injected_;
+  summary_.injected_bytes = injected_bytes_;
+  summary_.delivered = delivered_;
+  summary_.violations = violations_;
+  std::sort(reports_.begin(), reports_.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::make_tuple(static_cast<int>(a.kind), a.stream,
+                                     a.seq, a.detail, a.expected, a.actual) <
+                     std::make_tuple(static_cast<int>(b.kind), b.stream,
+                                     b.seq, b.detail, b.expected, b.actual);
+            });
+  summary_.reports = std::move(reports_);
+  summary_.fault_plan = fault_plan_;
+  return summary_;
+}
+
+const Summary& Auditor::summary() { return finalize(RunOutcome::kCompleted); }
+
+}  // namespace pp::audit

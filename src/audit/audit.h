@@ -1,0 +1,239 @@
+// End-to-end delivery oracles and a conservation ledger for chaos runs.
+//
+// The chaos tier (src/chaos) judges runs by counters and throughput —
+// verdicts that cannot see a stack silently corrupting, duplicating,
+// reordering or ghost-delivering a message across a crash epoch. This
+// layer closes that gap: an opt-in, observe-only Auditor attached to the
+// Simulator (mirroring TraceRecorder) that
+//
+//  (a) tags every library-level message at injection with a seeded
+//      identity (stream id, seq, payload checksum) and verifies at the
+//      moment of *consumption* that it arrives intact (size + checksum),
+//      exactly once, and FIFO per stream;
+//  (b) keeps a conservation ledger: at end of run every injected message
+//      must be accounted for exactly once — delivered-intact, or (when
+//      the run ended in a ProtocolFailure such as ConnectionFailed /
+//      max_delivery_attempts) failed-by-decision. Any message still
+//      outstanding after a *completed* run is an unaccounted-bytes
+//      violation;
+//  (c) checks protocol invariants independently of the stacks' own
+//      logic: TCP sequence-space contiguity per connection epoch, GM/VIA
+//      epoch fencing (no fragment accepted from a stale power epoch),
+//      and no descriptor consumption after connection teardown.
+//
+// Contract: the layer is zero-cost when off (every hook sits behind one
+// `simulator.auditor()` pointer test, exactly like tracing) and
+// bit-identity-preserving when on — hooks only read protocol state, never
+// write it, so audited runs produce identical event sequences, counters
+// and traces (asserted by the differential suite). Violations carry a
+// structured report (stream, seq, expected/actual, fault-plan echo) and
+// upgrade the chaos verdict to `error` regardless of counters, feeding
+// `faults::minimize` the same way hangs do.
+//
+// Delivery is counted at *consumption* (the receive call that hands the
+// message to the application), not at staging: a message parked in an
+// unexpected queue can be legitimately wiped by a receiver crash and
+// re-delivered by the sender's watchdog under a new epoch, which is
+// correct protocol behaviour, not a duplicate.
+//
+// Thread safety: one simulation may span several shard worker threads
+// (src/simcore/shard), and a VIA switched link can place the two ends of
+// a stream on different shards — every public hook takes an internal
+// mutex. The mutex is host-side bookkeeping only and never perturbs
+// simulation event order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pp::audit {
+
+/// Message identity carried alongside (never inside) protocol state:
+/// WireMeta for the stream libraries, Frag descriptor fields for GM/VIA,
+/// the send-token side channel for raw TCP. `stream == 0` means untagged
+/// (no auditor attached when the message was injected) and every hook
+/// ignores it.
+struct MsgTag {
+  std::uint32_t stream = 0;  ///< registered stream handle; 0 = untagged
+  std::uint64_t seq = 0;     ///< dense per-stream injection index
+  std::uint64_t check = 0;   ///< seeded payload checksum (see Auditor)
+};
+
+enum class ViolationKind {
+  kChecksumMismatch,        ///< payload checksum differs from injection
+  kSizeMismatch,            ///< delivered byte count differs
+  kDuplicateDelivery,       ///< message consumed more than once
+  kFifoViolation,           ///< consumed behind the stream's watermark
+  kCorruptAccepted,         ///< corrupted fragment passed a receiver's CRC
+  kStaleEpochDelivery,      ///< fragment accepted from a dead power epoch
+  kSequenceRegression,      ///< TCP accepted non-contiguous in-epoch bytes
+  kCompletionAfterTeardown, ///< consumption after the pair was failed
+  kUnaccounted,             ///< injected, run completed, never consumed
+};
+
+const char* to_string(ViolationKind kind);
+
+/// One structured oracle failure. `expected`/`actual` are the compared
+/// quantities for the kind (checksum values, byte counts, seq numbers);
+/// `detail` names the endpoint or stream involved.
+struct Violation {
+  ViolationKind kind{};
+  std::uint32_t stream = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t expected = 0;
+  std::uint64_t actual = 0;
+  std::string detail;
+};
+
+/// Multi-line human-readable report (one line per violation, prefixed
+/// with the fault plan when the auditor was given one).
+std::string to_string(const Violation& v);
+
+/// How the run under audit ended — determines how the conservation
+/// ledger closes at finalize().
+enum class RunOutcome {
+  kCompleted,  ///< run_netpipe returned: everything must be consumed
+  kFailed,     ///< ProtocolFailure: outstanding = failed-by-decision
+  kAborted,    ///< hang/budget/deadlock: conservation is indeterminate
+};
+
+const char* to_string(RunOutcome outcome);
+
+/// End-of-run accounting. `injected == delivered + failed_by_decision`
+/// exactly when `violations == 0` and the outcome was not kAborted.
+struct Summary {
+  RunOutcome outcome = RunOutcome::kCompleted;
+  std::uint64_t streams = 0;
+  std::uint64_t injected = 0;             ///< messages tagged at injection
+  std::uint64_t injected_bytes = 0;
+  std::uint64_t delivered = 0;            ///< consumed intact, exactly once
+  std::uint64_t failed_by_decision = 0;   ///< outstanding in a kFailed run
+  std::uint64_t unaccounted = 0;          ///< outstanding in a kCompleted run
+  std::uint64_t violations = 0;           ///< total, may exceed reports.size()
+  std::vector<Violation> reports;         ///< first kMaxReports, sorted
+  std::string fault_plan;                 ///< pp.faultplan/1 echo (optional)
+
+  bool has_violations() const noexcept { return violations != 0; }
+};
+
+/// Renders the summary's violation reports (empty string when clean).
+std::string report_text(const Summary& s);
+
+/// The oracle itself. Create one per run, attach with
+/// `Simulator::set_auditor` *before* constructing protocol objects
+/// (streams register in constructors), run, then `finalize()` with the
+/// observed outcome. All hooks are no-ops on tags with stream == 0.
+class Auditor {
+ public:
+  /// Violation reports kept verbatim; past this only the count grows.
+  static constexpr std::size_t kMaxReports = 64;
+
+  explicit Auditor(std::uint64_t seed = 1) : seed_(seed) {}
+  Auditor(const Auditor&) = delete;
+  Auditor& operator=(const Auditor&) = delete;
+
+  /// Attaches the pp.faultplan/1 text echoed into violation reports.
+  void set_fault_plan(std::string text);
+
+  // --- registration --------------------------------------------------------
+
+  /// Registers a message stream (one per directed sender->receiver
+  /// library channel). Handles start at 1; 0 stays "untagged".
+  std::uint32_t register_stream(std::string name);
+
+  // --- message lifecycle ---------------------------------------------------
+
+  /// Called by the sending library once per message, before the first
+  /// fragment/segment leaves: assigns the next dense seq and the seeded
+  /// payload checksum, and opens a ledger entry.
+  MsgTag on_inject(std::uint32_t stream, std::uint64_t bytes);
+
+  /// Called at the single point where the receiving library hands the
+  /// message to the application. `after_teardown` reports consumption on
+  /// a pair that was already failed (kCompletionAfterTeardown).
+  void on_deliver(const MsgTag& tag, std::uint64_t bytes,
+                  bool after_teardown = false);
+
+  // --- protocol invariant hooks -------------------------------------------
+
+  /// Called by a GM/VIA rx daemon at the moment it *accepts* a data
+  /// fragment into a partial message (after its own fencing/CRC ladder).
+  /// An accepted fragment stamped with a foreign power epoch is a fencing
+  /// violation; an accepted corrupted fragment is a CRC violation.
+  void on_accept_fragment(const MsgTag& tag, std::uint32_t frag_epoch,
+                          std::uint32_t rx_epoch, bool corrupted);
+
+  /// Called by a TCP endpoint when it accepts in-order payload bytes.
+  /// Verifies sequence-space contiguity within a connection epoch
+  /// (epoch changes legitimately resynchronize the stream).
+  void on_tcp_accept(const std::string& endpoint, std::uint32_t epoch,
+                     std::uint64_t seq, std::uint64_t payload);
+
+  // --- raw-TCP token side channel ------------------------------------------
+
+  /// Packs a tag into a nonzero Socket::send token (raw TCP carries no
+  /// per-message metadata; the token rides the existing integrity-test
+  /// side channel). Stream handles and seqs are both far below the
+  /// packing limits for any simulated run.
+  static std::uint64_t pack_token(const MsgTag& tag) noexcept {
+    return (static_cast<std::uint64_t>(tag.stream) << 40) |
+           (tag.seq & ((1ull << 40) - 1));
+  }
+
+  /// Consumption hook for tokens drained via Socket::take_tokens().
+  /// Size/checksum are vouched for by the ledger entry itself (byte-
+  /// stream integrity is TCP's checksum machinery, audited separately by
+  /// on_tcp_accept contiguity).
+  void on_tcp_token(std::uint64_t token, bool after_teardown = false);
+
+  // --- end of run ----------------------------------------------------------
+
+  /// Closes the ledger. Idempotent: the first call fixes the summary
+  /// (later calls return the cached result). Reports are sorted by
+  /// (kind, stream, seq, detail) so multi-shard runs stay deterministic.
+  const Summary& finalize(RunOutcome outcome);
+
+  /// Finalized summary; finalize(kCompleted) is implied if never called.
+  const Summary& summary();
+
+ private:
+  struct Entry {
+    std::uint64_t bytes = 0;
+    std::uint64_t check = 0;
+  };
+  struct Stream {
+    std::string name;
+    std::uint64_t next_seq = 0;   ///< next injection index
+    std::uint64_t watermark = 0;  ///< lowest seq not yet consumed in order
+    std::map<std::uint64_t, Entry> outstanding;
+  };
+  struct TcpWatch {
+    bool seen = false;
+    std::uint32_t epoch = 0;
+    std::uint64_t expect = 0;
+  };
+
+  std::uint64_t checksum(std::uint32_t stream, std::uint64_t seq,
+                         std::uint64_t bytes) const noexcept;
+  void record(Violation v);  // requires mu_ held
+  void deliver_locked(const MsgTag& tag, bool verify_payload,
+                      std::uint64_t bytes, bool after_teardown);
+
+  std::uint64_t seed_;
+  std::mutex mu_;
+  std::vector<Stream> streams_;          // index = handle - 1
+  std::map<std::string, TcpWatch> tcp_;  // per-endpoint contiguity watch
+  std::uint64_t injected_ = 0;
+  std::uint64_t injected_bytes_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t violations_ = 0;
+  std::vector<Violation> reports_;
+  std::string fault_plan_;
+  bool finalized_ = false;
+  Summary summary_;
+};
+
+}  // namespace pp::audit

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "faults/config.h"
+#include "faults/plan_io.h"
 #include "gmsim/gm.h"
 #include "mp/adapters.h"
 #include "mp/gm_mpi.h"
@@ -60,9 +61,11 @@ class HeldLib final : public netpipe::Transport {
 };
 
 netpipe::RunResult run_tcp(const faults::FaultPlan& plan,
-                           const netpipe::RunOptions& opts) {
+                           const netpipe::RunOptions& opts,
+                           audit::Auditor* aud) {
   mp::PairBed bed(hw::presets::pentium4_pc(), hw::presets::netgear_ga620(),
                   chaos_sysctl(!plan.empty()));
+  if (aud) bed.sim.set_auditor(aud);
   faults::apply(plan, bed.cluster);
   auto [sa, sb] = bed.socket_pair("chaos");
   for (tcp::Socket* s : {&sa, &sb}) {
@@ -74,9 +77,11 @@ netpipe::RunResult run_tcp(const faults::FaultPlan& plan,
 }
 
 netpipe::RunResult run_mpich(const faults::FaultPlan& plan,
-                             const netpipe::RunOptions& opts) {
+                             const netpipe::RunOptions& opts,
+                             audit::Auditor* aud) {
   mp::PairBed bed(hw::presets::pentium4_pc(), hw::presets::netgear_ga620(),
                   chaos_sysctl(!plan.empty()));
+  if (aud) bed.sim.set_auditor(aud);
   faults::apply(plan, bed.cluster);
   mp::MpichOptions o;
   o.p4_sockbufsize = 256 << 10;
@@ -87,8 +92,10 @@ netpipe::RunResult run_mpich(const faults::FaultPlan& plan,
 }
 
 netpipe::RunResult run_gm(const faults::FaultPlan& plan,
-                          const netpipe::RunOptions& opts) {
+                          const netpipe::RunOptions& opts,
+                          audit::Auditor* aud) {
   sim::Simulator s;
+  if (aud) s.set_auditor(aud);
   hw::Cluster c(s);
   auto& a = c.add_node(hw::presets::pentium4_pc());
   auto& b = c.add_node(hw::presets::pentium4_pc());
@@ -105,8 +112,10 @@ netpipe::RunResult run_gm(const faults::FaultPlan& plan,
 }
 
 netpipe::RunResult run_via(const faults::FaultPlan& plan,
-                           const netpipe::RunOptions& opts) {
+                           const netpipe::RunOptions& opts,
+                           audit::Auditor* aud) {
   sim::Simulator s;
+  if (aud) s.set_auditor(aud);
   hw::Cluster c(s);
   auto& a = c.add_node(hw::presets::pentium4_pc());
   auto& b = c.add_node(hw::presets::pentium4_pc());
@@ -268,17 +277,51 @@ faults::FaultPlan random_plan(std::uint64_t seed) {
   return plan;
 }
 
+namespace {
+
+netpipe::RunResult run_scenario(Scenario sc, const faults::FaultPlan& plan,
+                                const netpipe::RunOptions& opts,
+                                audit::Auditor* aud) {
+  switch (sc) {
+    case Scenario::kTcp: return run_tcp(plan, opts, aud);
+    case Scenario::kMpich: return run_mpich(plan, opts, aud);
+    case Scenario::kGm: return run_gm(plan, opts, aud);
+    case Scenario::kVia: return run_via(plan, opts, aud);
+  }
+  return run_tcp(plan, opts, aud);  // unreachable
+}
+
+}  // namespace
+
 sweep::JobSpec scenario_job(Scenario sc, std::string label,
-                            faults::FaultPlan plan) {
+                            faults::FaultPlan plan,
+                            std::shared_ptr<audit::Summary> audit_sink) {
   const netpipe::RunOptions opts = chaos_run_options();
-  auto run = [sc, plan = std::move(plan), opts] {
-    switch (sc) {
-      case Scenario::kTcp: return run_tcp(plan, opts);
-      case Scenario::kMpich: return run_mpich(plan, opts);
-      case Scenario::kGm: return run_gm(plan, opts);
-      case Scenario::kVia: return run_via(plan, opts);
+  auto run = [sc, plan = std::move(plan), opts,
+              sink = std::move(audit_sink)] {
+    if (!sink) return run_scenario(sc, plan, opts, nullptr);
+    // One oracle per run, seeded from the plan so repeated runs of the
+    // same plan produce identical ledgers. The ledger is closed on every
+    // exit path: the sweep executor swallows/records the exceptions, so
+    // this wrapper is the last code guaranteed to see them.
+    auto aud =
+        std::make_unique<audit::Auditor>(faults::derive_seed(plan.seed,
+                                                             "audit"));
+    aud->set_fault_plan(faults::to_text(plan));
+    try {
+      netpipe::RunResult r = run_scenario(sc, plan, opts, aud.get());
+      // run_netpipe already finalized kCompleted and stamped r.audit.
+      if (r.audit) *sink = *r.audit;
+      return r;
+    } catch (const sim::ProtocolFailure&) {
+      *sink = aud->finalize(audit::RunOutcome::kFailed);
+      throw;
+    } catch (...) {
+      // Watchdog kill (budget/deadline) or a genuine error: the run was
+      // cut mid-flight, conservation is indeterminate.
+      *sink = aud->finalize(audit::RunOutcome::kAborted);
+      throw;
     }
-    return run_tcp(plan, opts);  // unreachable
   };
   return sweep::JobSpec{std::move(label), std::move(run)};
 }
@@ -297,7 +340,12 @@ double baseline_mbps(Scenario sc) {
   return cache[i];
 }
 
-Verdict classify(const sweep::JobResult& jr, double baseline) {
+Verdict classify(const sweep::JobResult& jr, double baseline,
+                 const audit::Summary* audit) {
+  // Oracle violations trump everything: the counters can look like a
+  // textbook recovery while the stack quietly corrupted or lost a
+  // message. That is a bug — the verdict the chaos tier asserts against.
+  if (audit != nullptr && audit->has_violations()) return Verdict::kError;
   if (!jr.ok) {
     switch (jr.status) {
       case sweep::JobStatus::kFailed: return Verdict::kFailed;
@@ -325,6 +373,20 @@ Verdict run_verdict(Scenario sc, const faults::FaultPlan& plan, int shards) {
   opt.shards = shards;
   const sweep::SweepResult sr = run_sweep(spec, opt);
   return classify(sr.jobs[0], baseline_mbps(sc));
+}
+
+Verdict run_verdict_audited(Scenario sc, const faults::FaultPlan& plan,
+                            int shards, audit::Summary* out) {
+  auto sink = std::make_shared<audit::Summary>();
+  sweep::SweepSpec spec;
+  spec.name = "chaos-oracle";
+  spec.jobs.push_back(scenario_job(sc, to_string(sc), plan, sink));
+  sweep::SweepOptions opt = chaos_sweep_options();
+  opt.threads = 1;
+  opt.shards = shards;
+  const sweep::SweepResult sr = run_sweep(spec, opt);
+  if (out != nullptr) *out = *sink;
+  return classify(sr.jobs[0], baseline_mbps(sc), sink.get());
 }
 
 }  // namespace pp::chaos

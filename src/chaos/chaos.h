@@ -24,8 +24,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "audit/audit.h"
 #include "faults/plan.h"
 #include "netpipe/runner.h"
 #include "sweep/sweep.h"
@@ -82,16 +84,29 @@ faults::FaultPlan random_plan(std::uint64_t seed);
 /// A self-contained sweep job running `plan` against scenario `sc` on a
 /// fresh simulator. Non-empty plans arm the scenario's give-up caps
 /// (chaos_sysctl, GM/VIA delivery watchdog + attempt cap).
+///
+/// When `audit_sink` is non-null the job attaches a delivery-oracle
+/// Auditor (audit/audit.h, seeded from the plan) to its simulator and
+/// writes the finalized accounting into the sink on every exit path: a
+/// normal return finalizes kCompleted, a ProtocolFailure kFailed, and a
+/// watchdog kill (budget/deadline/deadlock) kAborted. The oracle is
+/// observe-only, so the measured run is bit-identical either way.
 sweep::JobSpec scenario_job(Scenario sc, std::string label,
-                            faults::FaultPlan plan);
+                            faults::FaultPlan plan,
+                            std::shared_ptr<audit::Summary> audit_sink =
+                                nullptr);
 
 /// Fault-free throughput of `sc` under chaos_run_options (cached after
 /// the first call; the simulator is deterministic, so one run is exact).
 double baseline_mbps(Scenario sc);
 
 /// Classifies a finished job against the scenario's fault-free
-/// throughput (pass 0 to skip the degraded check).
-Verdict classify(const sweep::JobResult& jr, double baseline);
+/// throughput (pass 0 to skip the degraded check). When `audit` is
+/// given, any oracle violation upgrades the verdict to kError regardless
+/// of counters — a run that "completed" while corrupting, duplicating or
+/// losing messages unaccounted is a bug, not a recovery.
+Verdict classify(const sweep::JobResult& jr, double baseline,
+                 const audit::Summary* audit = nullptr);
 
 /// Runs one scenario+plan synchronously under the chaos watchdog and
 /// classifies the outcome. `shards` >= 2 exercises the sharded event
@@ -99,5 +114,12 @@ Verdict classify(const sweep::JobResult& jr, double baseline);
 /// the oracle building block for tools/minimize_plan.
 Verdict run_verdict(Scenario sc, const faults::FaultPlan& plan,
                     int shards = 1);
+
+/// run_verdict with the delivery oracle attached: audit violations
+/// upgrade the verdict to kError, so `faults::minimize` can ddmin a
+/// violating plan exactly as it shrinks a hang. `out` (optional)
+/// receives the finalized accounting summary.
+Verdict run_verdict_audited(Scenario sc, const faults::FaultPlan& plan,
+                            int shards = 1, audit::Summary* out = nullptr);
 
 }  // namespace pp::chaos

@@ -18,6 +18,12 @@ GmPort::GmPort(sim::Simulator& sim, hw::Node& node, hw::PacketPipe& out,
       tokens_(sim, static_cast<std::uint64_t>(config.send_tokens)),
       arrivals_(sim),
       epoch_(node.power_epoch()) {
+  // Delivery-oracle stream: one directed channel per sending port. The
+  // auditor must be attached before the fabric is built (see
+  // Simulator::set_auditor); untagged messages stay stream 0.
+  if (audit::Auditor* aud = sim_.auditor()) {
+    audit_stream_ = aud->register_stream(name_);
+  }
   sim_.spawn_daemon(rx_daemon(), name_ + ".rx");
   // Crash/restart hooks; a run that never crashes only pays the push.
   node_.add_power_listener([this](hw::PowerEvent e) {
@@ -93,14 +99,18 @@ sim::Task<void> GmPort::send(std::uint64_t bytes, std::uint32_t tag) {
   co_await node_.cpu_cost(config_.api_send_cost);
   trace_instant("doorbell");
   const std::uint64_t seq = next_msg_seq_++;
+  audit::MsgTag atag;
+  if (audit::Auditor* aud = sim_.auditor()) {
+    atag = aud->on_inject(audit_stream_, bytes);
+  }
   if (config_.delivery_timeout > 0) {
     // Each new message starts from the BASE timeout: watchdog backoff is
     // per-message state, never inherited from an earlier message's bad
     // luck.
     pending_[seq] =
-        PendingDelivery{bytes, tag, 0, config_.delivery_timeout, false};
+        PendingDelivery{bytes, tag, 0, config_.delivery_timeout, false, atag};
   }
-  co_await inject_fragments(seq, tag, bytes, 0);
+  co_await inject_fragments(seq, tag, bytes, 0, atag);
   if (failed_) throw DeliveryFailed(fail_reason_);
   arm_delivery_watchdog(seq);
 }
@@ -108,7 +118,8 @@ sim::Task<void> GmPort::send(std::uint64_t bytes, std::uint32_t tag) {
 sim::Task<void> GmPort::inject_fragments(std::uint64_t msg_seq,
                                          std::uint32_t tag,
                                          std::uint64_t bytes,
-                                         std::uint32_t attempt) {
+                                         std::uint32_t attempt,
+                                         const audit::MsgTag& atag) {
   const std::uint32_t mtu = out_.nic().mtu;
   // One arena descriptor per message attempt, shared by every fragment
   // (a refcounted view, not a clone): the per-fragment byte count is
@@ -121,6 +132,7 @@ sim::Task<void> GmPort::inject_fragments(std::uint64_t msg_seq,
   f->msg_bytes = bytes;
   f->attempt = attempt;
   f->dst_epoch = peer_ != nullptr ? peer_->epoch_ : 0;
+  f->audit = atag;
   // If fault injection discards a fragment anywhere in the pipe, the
   // send token it holds must come home or the port slowly strangles
   // itself (and, with every token lost, deadlocks). The hook lives once
@@ -153,7 +165,7 @@ sim::Task<void> GmPort::retry_message(std::uint64_t msg_seq) {
   auto it = pending_.find(msg_seq);
   if (it == pending_.end()) co_return;  // delivered while we were queued
   const PendingDelivery p = it->second;
-  co_await inject_fragments(msg_seq, p.tag, p.bytes, p.attempt);
+  co_await inject_fragments(msg_seq, p.tag, p.bytes, p.attempt, p.audit);
   arm_delivery_watchdog(msg_seq);
 }
 
@@ -201,8 +213,8 @@ void GmPort::prune_partials() {
 }
 
 void GmPort::complete_message(std::uint32_t tag, std::uint64_t bytes,
-                              std::uint64_t msg_seq) {
-  (void)bytes;
+                              std::uint64_t msg_seq,
+                              const audit::MsgTag& atag) {
   ++messages_received_;
   auto it = std::find_if(posted_.begin(), posted_.end(), [&](PostedRecv* p) {
     return !p->completed && p->tag == tag;
@@ -213,13 +225,21 @@ void GmPort::complete_message(std::uint32_t tag, std::uint64_t bytes,
     pr->completed = true;
     pr->staged = false;  // landed in the pre-posted buffer: zero-copy
     trace_instant("complete");
+    // Consumption point (pre-posted buffer): the oracle verifies
+    // intact/exactly-once/FIFO here. A completion into a posted buffer
+    // on an already-failed pair is a teardown violation.
+    if (audit::Auditor* aud = sim_.auditor()) {
+      aud->on_deliver(atag, bytes, /*after_teardown=*/failed_);
+    }
     if (peer_) peer_->on_delivered(msg_seq);
     pr->done->set();
   } else {
     trace_instant("unexpected");
-    unexpected_.push_back(UnexpectedMsg{tag, msg_seq});
+    unexpected_.push_back(UnexpectedMsg{tag, msg_seq, bytes, atag});
     // Staged, not consumed: the sender's watchdog stands down but keeps
-    // the message replayable should this node crash before recv().
+    // the message replayable should this node crash before recv(). The
+    // oracle deliberately does NOT count staging as delivery — a crash
+    // may wipe this queue and the replay is correct, not a duplicate.
     if (peer_) peer_->on_staged(msg_seq);
     arrivals_.notify_all();
   }
@@ -239,7 +259,7 @@ sim::Task<void> GmPort::rx_daemon() {
     }
     // The fragment has been deposited; return the sender's token.
     peer_->tokens_.release(1);
-    if (frag->dst_epoch != epoch_) {
+    if (frag->dst_epoch != epoch_ && !config_.unsafe_skip_epoch_fence) {
       // Addressed to a previous power epoch of this port: the state it
       // belonged to died with the node. The token already went home; the
       // sender's watchdog replays the message under the current epoch.
@@ -260,6 +280,13 @@ sim::Task<void> GmPort::rx_daemon() {
       pm.attempt = frag->attempt;
       pm.sofar = 0;
     }
+    // Fencing/CRC oracle: this fragment is being ACCEPTED into a partial
+    // message. With the rejection ladder intact neither condition can
+    // hold; an epoch-fence or checksum bug upstream trips it.
+    if (audit::Auditor* aud = sim_.auditor()) {
+      aud->on_accept_fragment(frag->audit, frag->dst_epoch, epoch_,
+                              p.corrupted);
+    }
     pm.sofar += p.dma_bytes - config_.frag_header;
     if (pm.sofar == frag->msg_bytes) {
       if (config_.delivery_timeout > 0) {
@@ -268,7 +295,8 @@ sim::Task<void> GmPort::rx_daemon() {
       } else {
         partial_.erase(frag->msg_seq);
       }
-      complete_message(frag->tag, frag->msg_bytes, frag->msg_seq);
+      complete_message(frag->tag, frag->msg_bytes, frag->msg_seq,
+                       frag->audit);
     }
   }
 }
@@ -282,6 +310,9 @@ sim::Task<void> GmPort::recv(std::uint64_t bytes, std::uint32_t tag) {
                    [&](const UnexpectedMsg& u) { return u.tag == tag; });
   if (uit != unexpected_.end()) {
     // Now the message is truly consumed: the sender may forget it.
+    if (audit::Auditor* aud = sim_.auditor()) {
+      aud->on_deliver(uit->audit, uit->bytes, /*after_teardown=*/failed_);
+    }
     if (peer_) peer_->on_delivered(uit->msg_seq);
     unexpected_.erase(uit);
     staged = true;  // had to be parked in a GM bounce buffer

@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "audit/audit.h"
 #include "simcore/simulator.h"
 #include "simcore/sync.h"
 #include "simcore/task.h"
@@ -54,6 +55,10 @@ struct GmConfig {
   /// when the peer is guaranteed to come back; chaos/resilience runs set
   /// a cap so a permanently dead peer yields a clean `failed` verdict.
   std::uint32_t max_delivery_attempts = 0;
+  /// TEST ONLY: disables the receive-side power-epoch fence so fragments
+  /// from a dead epoch are accepted — the deliberate protocol bug the
+  /// audit oracle (audit/audit.h) must catch. Never set outside tests.
+  bool unsafe_skip_epoch_fence = false;
 };
 
 /// Raised by send()/recv() once a port pair exhausted
@@ -131,6 +136,9 @@ class GmPort {
     /// rejects fragments stamped with a dead epoch (its pre-crash state
     /// is gone, the sender's watchdog replays under the new epoch).
     std::uint32_t dst_epoch = 0;
+    /// Delivery-oracle identity (audit/audit.h); stream 0 when no
+    /// auditor is attached. Same across every attempt of the message.
+    audit::MsgTag audit;
   };
 
   struct PartialMsg {
@@ -149,6 +157,7 @@ class GmPort {
     /// is not a delivery failure), but the entry stays so a receiver
     /// crash can un-stage it and resume replaying.
     bool staged = false;
+    audit::MsgTag audit;  ///< replayed verbatim by watchdog retries
   };
 
   struct PostedRecv {
@@ -162,17 +171,20 @@ class GmPort {
   struct UnexpectedMsg {
     std::uint32_t tag = 0;
     std::uint64_t msg_seq = 0;
+    std::uint64_t bytes = 0;
+    audit::MsgTag audit;
   };
 
   sim::Task<void> rx_daemon();
   void complete_message(std::uint32_t tag, std::uint64_t bytes,
-                        std::uint64_t msg_seq);
+                        std::uint64_t msg_seq, const audit::MsgTag& atag);
   void trace_instant(const char* what);
 
   /// The token-paced fragment injection loop shared by send() and the
   /// watchdog's retransmissions.
   sim::Task<void> inject_fragments(std::uint64_t msg_seq, std::uint32_t tag,
-                                   std::uint64_t bytes, std::uint32_t attempt);
+                                   std::uint64_t bytes, std::uint32_t attempt,
+                                   const audit::MsgTag& atag);
   sim::Task<void> retry_message(std::uint64_t msg_seq);
   void arm_delivery_watchdog(std::uint64_t msg_seq);
   /// Peer-side notification that message `msg_seq` was consumed (matched
@@ -199,6 +211,7 @@ class GmPort {
   GmPort* peer_ = nullptr;
 
   // Send side.
+  std::uint32_t audit_stream_ = 0;  ///< delivery-oracle stream (0 = off)
   std::uint64_t next_msg_seq_ = 0;
   std::map<std::uint64_t, PendingDelivery> pending_;  // msg_seq -> watchdog
   std::uint64_t delivery_failures_ = 0;

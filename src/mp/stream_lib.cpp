@@ -52,6 +52,12 @@ void StreamLibrary::bind_peer(int peer_rank, tcp::Socket socket) {
 
   if (config_.zero_copy_staging) ch.sock.enable_payload_capture();
 
+  if (audit::Auditor* aud = sim_.auditor()) {
+    ch.audit_out = aud->register_stream(config_.name + "@" +
+                                        std::to_string(rank_) + "->" +
+                                        std::to_string(peer_rank));
+  }
+
   if (config_.progress == ProgressMode::kIndependent) {
     ch.reader_active = true;  // the progress engine owns the stream
     sim_.spawn_daemon(progress_daemon(ch),
@@ -181,6 +187,12 @@ sim::Task<void> StreamLibrary::read_one(PeerChannel& ch) {
         ch.posted.erase(std::find(ch.posted.begin(), ch.posted.end(), pr));
         pr->was_staged = false;
         pr->completed = true;
+        // Delivery oracle: completion into the posted user buffer is the
+        // moment of consumption.
+        if (audit::Auditor* aud = sim_.auditor()) {
+          aud->on_deliver(m.audit, m.bytes,
+                          /*after_teardown=*/ch.conn_failed);
+        }
         pr->done->set();
       } else {
         // Payload goes to the library's staging buffer first.
@@ -205,10 +217,16 @@ sim::Task<void> StreamLibrary::read_one(PeerChannel& ch) {
           pr->was_staged = true;
           pr->completed = true;
           pr->view = std::move(view);
+          if (audit::Auditor* aud = sim_.auditor()) {
+            aud->on_deliver(m.audit, m.bytes,
+                            /*after_teardown=*/ch.conn_failed);
+          }
           pr->done->set();
         } else {
+          // Parked in the unexpected queue: staging is *not* delivery —
+          // the tag rides along and is consumed when recv() drains it.
           ch.unexpected.push_back(
-              UnexpectedMsg{m.tag, m.bytes, std::move(view)});
+              UnexpectedMsg{m.tag, m.bytes, std::move(view), m.audit});
           ch.reader_changed->notify_all();
         }
       }
@@ -224,7 +242,7 @@ sim::Task<void> StreamLibrary::read_one(PeerChannel& ch) {
         // re-sent RTS whose first CTS was merely slow lands here too; the
         // duplicate CTS is ignored by the sender's tag match.
         trace_instant("cts");
-        co_await send_locked(ch, WireMeta{Kind::kCts, m.tag, m.bytes, false},
+        co_await send_locked(ch, WireMeta{Kind::kCts, m.tag, m.bytes, false, {}},
                              0);
       } else {
         auto dup = std::find_if(ch.rts_pending.begin(), ch.rts_pending.end(),
@@ -236,7 +254,7 @@ sim::Task<void> StreamLibrary::read_one(PeerChannel& ch) {
           trace_instant("dup-rts");
           break;
         }
-        ch.rts_pending.push_back(UnexpectedMsg{m.tag, m.bytes, {}});
+        ch.rts_pending.push_back(UnexpectedMsg{m.tag, m.bytes, {}, {}});
         ch.reader_changed->notify_all();
       }
       break;
@@ -364,13 +382,16 @@ sim::Task<void> StreamLibrary::send_message(PeerChannel& ch,
                                             std::uint64_t bytes,
                                             std::uint32_t tag, bool sync) {
   if (bytes <= config_.eager_max) {
-    co_await send_locked(ch, WireMeta{Kind::kData, tag, bytes, false},
-                         payload_with_fragment_overhead(bytes));
+    WireMeta m{Kind::kData, tag, bytes, false, {}};
+    if (audit::Auditor* aud = sim_.auditor()) {
+      m.audit = aud->on_inject(ch.audit_out, bytes);
+    }
+    co_await send_locked(ch, m, payload_with_fragment_overhead(bytes));
   } else {
     // Rendezvous: request-to-send, wait for clear-to-send, then the data.
     rendezvous_count_ += 1;
     trace_instant("rts");
-    co_await send_locked(ch, WireMeta{Kind::kRts, tag, bytes, false}, 0);
+    co_await send_locked(ch, WireMeta{Kind::kRts, tag, bytes, false, {}}, 0);
     sim::Trigger cts(sim_);
     ch.cts_waiters.push_back(
         CtsWait{&cts, tag, bytes, 0, config_.rendezvous_timeout});
@@ -387,8 +408,11 @@ sim::Task<void> StreamLibrary::send_message(PeerChannel& ch,
       throw;
     }
     trace_instant("rendezvous-payload");
-    co_await send_locked(ch, WireMeta{Kind::kData, tag, bytes, true},
-                         payload_with_fragment_overhead(bytes));
+    WireMeta m{Kind::kData, tag, bytes, true, {}};
+    if (audit::Auditor* aud = sim_.auditor()) {
+      m.audit = aud->on_inject(ch.audit_out, bytes);
+    }
+    co_await send_locked(ch, m, payload_with_fragment_overhead(bytes));
   }
 
   if (sync) {
@@ -407,7 +431,7 @@ sim::Task<void> StreamLibrary::resend_rts(PeerChannel& ch, std::uint32_t tag,
                                           std::uint64_t bytes,
                                           std::uint32_t attempt) {
   try {
-    co_await send_locked(ch, WireMeta{Kind::kRts, tag, bytes, false}, 0);
+    co_await send_locked(ch, WireMeta{Kind::kRts, tag, bytes, false, {}}, 0);
   } catch (const sim::ProtocolFailure&) {
     co_return;  // the parked sender raises from its own drive_until
   }
@@ -460,7 +484,7 @@ sim::Task<void> StreamLibrary::recv(int src, std::uint64_t bytes,
       co_await recv_message(ch, chunk, tag, /*sync=*/true);
     }
     if (config_.synchronous_send) {
-      co_await send_locked(ch, WireMeta{Kind::kSyncAck, tag, 0, false}, 0);
+      co_await send_locked(ch, WireMeta{Kind::kSyncAck, tag, 0, false, {}}, 0);
     }
     co_return;
   }
@@ -478,6 +502,12 @@ sim::Task<void> StreamLibrary::recv_message(PeerChannel& ch,
   if (uit != ch.unexpected.end()) {
     assert(uit->bytes == bytes && "matched message has a different size");
     view = std::move(uit->view);
+    // Delivery oracle: draining the unexpected queue hands the message to
+    // the application — this is its consumption point.
+    if (audit::Auditor* aud = sim_.auditor()) {
+      aud->on_deliver(uit->audit, uit->bytes,
+                      /*after_teardown=*/ch.conn_failed);
+    }
     ch.unexpected.erase(uit);
     staged = true;
   } else {
@@ -495,7 +525,7 @@ sim::Task<void> StreamLibrary::recv_message(PeerChannel& ch,
       ch.rts_pending.erase(rit);
       trace_instant("cts");
       try {
-        co_await send_locked(ch, WireMeta{Kind::kCts, tag, bytes, false},
+        co_await send_locked(ch, WireMeta{Kind::kCts, tag, bytes, false, {}},
                              0);
       } catch (...) {
         std::erase(ch.posted, &pr);
@@ -534,7 +564,7 @@ sim::Task<void> StreamLibrary::recv_message(PeerChannel& ch,
         config_.rx_conversion));
   }
   if (sync) {
-    co_await send_locked(ch, WireMeta{Kind::kSyncAck, tag, 0, false}, 0);
+    co_await send_locked(ch, WireMeta{Kind::kSyncAck, tag, 0, false, {}}, 0);
   }
 }
 

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit.h"
 #include "mp/api.h"
 #include "simcore/packet_arena.h"
 #include "simcore/sync.h"
@@ -163,6 +164,9 @@ class StreamLibrary : public Library {
     std::uint32_t tag = 0;
     std::uint64_t bytes = 0;
     bool rendezvous_payload = false;
+    /// Delivery-oracle identity (audit/audit.h); stream 0 when no auditor
+    /// is attached. Control metas (kRts/kCts/kSyncAck) stay untagged.
+    audit::MsgTag audit;
   };
 
   struct PostedRecv {
@@ -180,6 +184,7 @@ class StreamLibrary : public Library {
     std::uint32_t tag = 0;
     std::uint64_t bytes = 0;
     sim::PacketRef view;
+    audit::MsgTag audit;  ///< consumed when recv() drains the message
   };
 
   /// A rendezvous sender parked on its CTS; tag-matched so re-sent
@@ -219,6 +224,8 @@ class StreamLibrary : public Library {
     /// The socket failed permanently (SYN retries / RTO give-up): every
     /// blocked call on this channel raises instead of waiting forever.
     bool conn_failed = false;
+    /// Delivery-oracle stream for outbound data messages (0 = no auditor).
+    std::uint32_t audit_out = 0;
   };
 
   PeerChannel& channel(int peer);

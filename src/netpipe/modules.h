@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "audit/audit.h"
 #include "netpipe/transport.h"
 #include "tcpsim/socket.h"
 
@@ -28,16 +29,37 @@ inline ProtocolCounters tcp_socket_counters(const tcp::Socket& s) {
 }
 
 /// NetPIPE's TCP module: drives a raw socket.
+///
+/// With an Auditor attached (audit/audit.h), each send is tagged at
+/// injection and its identity rides the socket's existing send-token side
+/// channel (raw TCP carries no per-message metadata on the wire); recv
+/// drains the consumed tokens into the oracle. Without an auditor no
+/// token is ever passed, so the byte stream and all protocol behaviour
+/// are exactly as before.
 class TcpTransport final : public Transport {
  public:
   explicit TcpTransport(tcp::Socket socket, std::string name = "raw TCP")
-      : socket_(std::move(socket)), name_(std::move(name)) {}
+      : socket_(std::move(socket)), name_(std::move(name)) {
+    if (audit::Auditor* aud = socket_.node().simulator().auditor()) {
+      audit_stream_ =
+          aud->register_stream(name_ + " " + socket_.trace_track());
+    }
+  }
 
   sim::Task<void> send(std::uint64_t bytes) override {
+    if (audit::Auditor* aud = socket_.node().simulator().auditor()) {
+      const audit::MsgTag tag = aud->on_inject(audit_stream_, bytes);
+      return socket_.send(bytes, audit::Auditor::pack_token(tag));
+    }
     return socket_.send(bytes);
   }
   sim::Task<void> recv(std::uint64_t bytes) override {
-    return socket_.recv_exact(bytes);
+    co_await socket_.recv_exact(bytes);
+    if (audit::Auditor* aud = socket_.node().simulator().auditor()) {
+      for (std::uint64_t token : socket_.take_tokens()) {
+        aud->on_tcp_token(token, /*after_teardown=*/socket_.failed());
+      }
+    }
   }
   hw::Node& node() { return socket_.node(); }
   std::string name() const override { return name_; }
@@ -50,6 +72,7 @@ class TcpTransport final : public Transport {
  private:
   tcp::Socket socket_;
   std::string name_;
+  std::uint32_t audit_stream_ = 0;  ///< delivery-oracle stream (0 = off)
 };
 
 }  // namespace pp::netpipe

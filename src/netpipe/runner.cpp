@@ -131,6 +131,11 @@ RunResult run_netpipe(sim::Simulator& simulator, Transport& a, Transport& b,
   result.counters = a.counters();
   result.counters += b.counters();
 
+  if (audit::Auditor* aud = simulator.auditor()) {
+    result.audit = std::make_shared<audit::Summary>(
+        aud->finalize(audit::RunOutcome::kCompleted));
+  }
+
   // Latency: average one-way time of the small-message points. Streaming
   // mode measures throughput only, so latency_us stays NaN ("absent")
   // there rather than reading as a measured 0.0.

@@ -10,9 +10,11 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "audit/audit.h"
 #include "netpipe/schedule.h"
 #include "netpipe/transport.h"
 #include "simcore/simulator.h"
@@ -73,6 +75,12 @@ struct RunResult {
 
   /// Throughput at the data point closest to `bytes`.
   double mbps_at(std::uint64_t bytes) const;
+
+  /// Delivery-oracle accounting, stamped when an audit::Auditor was
+  /// attached to the simulator for this run (null otherwise). The runner
+  /// finalizes the ledger as kCompleted — a run that returns normally has
+  /// no excuse for unconsumed messages.
+  std::shared_ptr<const audit::Summary> audit;
 };
 
 /// Runs a NetPIPE measurement between transports `a` and `b` (which must

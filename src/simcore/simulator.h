@@ -24,6 +24,10 @@
 #include "simcore/task.h"
 #include "simcore/time.h"
 
+namespace pp::audit {
+class Auditor;
+}  // namespace pp::audit
+
 namespace pp::sim {
 
 class Simulator;
@@ -58,7 +62,7 @@ class BudgetExceededError : public std::runtime_error {
 /// when recovery machinery gives up for good: retry caps exhausted, the
 /// peer permanently dead. Distinct from BudgetExceededError — the run did
 /// not wedge, a protocol *decided* it cannot complete. The sweep runner
-/// maps it to JobStatus::kFailed ("failed" in pp.sweep/5 reports) so a
+/// maps it to JobStatus::kFailed ("failed" in pp.sweep reports) so a
 /// chaos run distinguishes a clean give-up from a hang.
 class ProtocolFailure : public std::runtime_error {
  public:
@@ -273,6 +277,15 @@ class Simulator {
   void set_tracer(TraceRecorder* t) noexcept { tracer_ = t; }
   TraceRecorder* tracer() const noexcept { return tracer_; }
 
+  /// Optional delivery/conservation oracle (see audit/audit.h). Like the
+  /// tracer, a plain observer pointer: protocol layers gate every audit
+  /// hook on one test here, so unaudited runs pay nothing and audited
+  /// runs stay bit-identical (pure observation). Attach *before*
+  /// constructing protocol objects — libraries register their message
+  /// streams in their constructors.
+  void set_auditor(audit::Auditor* a) noexcept { auditor_ = a; }
+  audit::Auditor* auditor() const noexcept { return auditor_; }
+
   /// Optional trace sink; when set, components may log timestamped lines.
   void set_trace_sink(std::function<void(SimTime, std::string_view)> sink) {
     trace_sink_ = std::move(sink);
@@ -348,6 +361,7 @@ class Simulator {
   ShardGroup* shard_group_ = nullptr;
   int shard_index_ = 0;
   TraceRecorder* tracer_ = nullptr;
+  audit::Auditor* auditor_ = nullptr;
   std::function<void(SimTime, std::string_view)> trace_sink_;
 };
 

@@ -58,6 +58,27 @@ void append_counters(std::ostringstream& os,
      << ",\"rdma_transfers\":" << c.rdma_transfers << "}";
 }
 
+void append_audit(std::ostringstream& os, const audit::Summary& a) {
+  os << "\"audit\":{"
+     << "\"outcome\":\"" << audit::to_string(a.outcome) << "\""
+     << ",\"streams\":" << a.streams
+     << ",\"injected\":" << a.injected
+     << ",\"injected_bytes\":" << a.injected_bytes
+     << ",\"delivered\":" << a.delivered
+     << ",\"failed_by_decision\":" << a.failed_by_decision
+     << ",\"unaccounted\":" << a.unaccounted
+     << ",\"violations\":" << a.violations;
+  if (!a.reports.empty()) {
+    os << ",\"violation_reports\":[";
+    for (std::size_t i = 0; i < a.reports.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "\"" << escaped(audit::to_string(a.reports[i])) << "\"";
+    }
+    os << "]";
+  }
+  os << "}";
+}
+
 void append_job(std::ostringstream& os, const JobResult& j,
                 bool include_timing) {
   os << "{\"label\":\"" << escaped(j.label) << "\",\"ok\":"
@@ -66,6 +87,10 @@ void append_job(std::ostringstream& os, const JobResult& j,
      << ",\"retries\":" << j.retries;
   if (!j.verdict.empty()) {
     os << ",\"verdict\":\"" << escaped(j.verdict) << "\"";
+  }
+  if (j.audit) {
+    os << ",";
+    append_audit(os, *j.audit);
   }
   if (include_timing) os << ",\"wall_ms\":" << number(j.wall_ms);
   if (!j.ok) {
@@ -93,7 +118,7 @@ void append_job(std::ostringstream& os, const JobResult& j,
 std::string JsonReporter::to_json(const std::vector<SweepResult>& sweeps,
                                   const Options& options) {
   std::ostringstream os;
-  os << "{\"schema\":\"pp.sweep/5\"";
+  os << "{\"schema\":\"pp.sweep/6\"";
   os << ",\"sweeps\":[";
   for (std::size_t s = 0; s < sweeps.size(); ++s) {
     const SweepResult& sw = sweeps[s];

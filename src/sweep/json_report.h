@@ -1,8 +1,8 @@
 // Machine-readable sweep reports (the BENCH_sweep.json trajectory).
 //
-// Schema (version pp.sweep/5):
+// Schema (version pp.sweep/6):
 //   {
-//     "schema": "pp.sweep/5",
+//     "schema": "pp.sweep/6",
 //     "sweeps": [
 //       { "name": ..., "shards": N, "threads": N,
 //         "wall_ms": ..., "serial_ms": ..., "speedup_vs_serial": ...,
@@ -11,6 +11,12 @@
 //             "status": "ok"|"error"|"watchdog"|"failed",
 //             "retries": N,            // watchdog-triggered re-runs
 //             "verdict": ...,          // only when a harness stamped one
+//             "audit": {               // only when the oracle was attached
+//               "outcome": "completed"|"failed"|"aborted",
+//               "streams": N, "injected": N, "injected_bytes": N,
+//               "delivered": N, "failed_by_decision": N,
+//               "unaccounted": N, "violations": N,
+//               "violation_reports": [ ... ] },  // only when nonzero
 //             "wall_ms": ...,
 //             "error": ...,            // only when !ok
 //             // measurement fields, only when ok:
@@ -35,6 +41,11 @@
 // "wall_ms") are omitted entirely — the canonical form the determinism
 // tests compare byte-for-byte. Consumers must treat them as optional.
 //
+// pp.sweep/6 adds the optional per-job "audit" block: the delivery
+// oracle's conservation ledger (audit/audit.h) stamped by audit-enabled
+// harnesses (bench/chaos --audit). Like "verdict" it is a pure function
+// of the simulation — the oracle is observe-only — so it belongs to the
+// canonical form.
 // pp.sweep/5 adds the "failed" job status (the run's protocol stack
 // raised sim::ProtocolFailure — a deliberate give-up under fault
 // injection, distinct from an error or a watchdog hang) and the optional
@@ -80,7 +91,7 @@ class JsonReporter {
     bool include_timing = true;
   };
 
-  /// Serializes the sweeps to the pp.sweep/5 schema.
+  /// Serializes the sweeps to the pp.sweep/6 schema.
   static std::string to_json(const std::vector<SweepResult>& sweeps,
                              const Options& options);
   static std::string to_json(const std::vector<SweepResult>& sweeps) {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -73,8 +74,14 @@ struct JobResult {
   std::string error;  ///< what() of the escaped exception when !ok
   /// Optional run classification stamped by chaos-style harnesses after
   /// the sweep (recovered | degraded | failed | hung | clean); emitted
-  /// in pp.sweep/5 reports when non-empty.
+  /// in pp.sweep/6 reports when non-empty.
   std::string verdict;
+  /// Delivery-oracle accounting, stamped by audit-enabled harnesses
+  /// after the sweep (bench/chaos --audit). For jobs that completed it
+  /// aliases RunResult::audit; for failed/aborted jobs it carries the
+  /// ledger the job wrapper finalized on the exception path. Emitted as
+  /// the per-job "audit" block in pp.sweep/6 reports when set.
+  std::shared_ptr<const audit::Summary> audit;
 };
 
 struct SweepResult {

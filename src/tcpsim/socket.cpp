@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "audit/audit.h"
 #include "simcore/sync.h"
 #include "simcore/tracing.h"
 
@@ -426,6 +427,11 @@ void Endpoint::on_segment(const SegmentCtx& s) {
     } else {
       assert(rcv_next + s.payload <= advert_edge() &&
              "peer violated the advertised window");
+      // Delivery-oracle hook (observe-only): an independent check that
+      // accepted bytes stay contiguous within this connection epoch.
+      if (audit::Auditor* aud = simulator().auditor()) {
+        aud->on_tcp_accept(name, epoch, s.seq, s.payload);
+      }
       rcv_next += s.payload;
       stats.bytes_received += s.payload;
       // Promote payload buffers whose stream range just completed; they

@@ -42,6 +42,12 @@ ViEndpoint::ViEndpoint(sim::Simulator& sim, hw::Node& node,
                                       : config.personality.default_credits)),
       arrivals_(sim),
       epoch_(node.power_epoch()) {
+  // Delivery-oracle stream: one directed channel per sending endpoint.
+  // The auditor must be attached before the fabric is built (see
+  // Simulator::set_auditor); untagged messages stay stream 0.
+  if (audit::Auditor* aud = sim_.auditor()) {
+    audit_stream_ = aud->register_stream(name_);
+  }
   sim_.spawn_daemon(rx_daemon(), name_ + ".rx");
   // Crash/restart hooks; a run that never crashes only pays the push.
   node_.add_power_listener([this](hw::PowerEvent e) {
@@ -134,7 +140,8 @@ void ViEndpoint::trace_instant(const char* what) {
 sim::Task<void> ViEndpoint::transmit(Kind kind, std::uint32_t tag,
                                      std::uint64_t msg_seq,
                                      std::uint64_t bytes,
-                                     std::uint32_t attempt) {
+                                     std::uint32_t attempt,
+                                     const audit::MsgTag& atag) {
   const std::uint32_t mtu = out_.nic().mtu;
   // One arena descriptor per message attempt, shared by every fragment
   // (a refcounted view, not a clone); the fragment's own byte count is
@@ -148,6 +155,7 @@ sim::Task<void> ViEndpoint::transmit(Kind kind, std::uint32_t tag,
   f->msg_bytes = bytes;
   f->attempt = attempt;
   f->dst_epoch = peer_ != nullptr ? peer_->epoch_ : 0;
+  f->set_audit(atag);
   // A dropped fragment must return its descriptor credit, or the
   // endpoint strangles itself one lost frame at a time. The hook lives
   // once in the shared descriptor and fires once per dropped fragment.
@@ -182,7 +190,7 @@ sim::Task<void> ViEndpoint::retry_message(std::uint64_t msg_seq) {
   auto it = pending_.find(msg_seq);
   if (it == pending_.end()) co_return;  // delivered while we were queued
   const PendingDelivery p = it->second;
-  co_await transmit(Kind::kData, p.tag, msg_seq, p.bytes, p.attempt);
+  co_await transmit(Kind::kData, p.tag, msg_seq, p.bytes, p.attempt, p.audit);
   arm_delivery_watchdog(msg_seq);
 }
 
@@ -256,7 +264,9 @@ void ViEndpoint::prune_partials() {
   }
 }
 
-void ViEndpoint::complete_message(std::uint32_t tag, std::uint64_t msg_seq) {
+void ViEndpoint::complete_message(std::uint32_t tag, std::uint64_t msg_seq,
+                                  std::uint64_t bytes,
+                                  const audit::MsgTag& atag) {
   auto it = std::find_if(posted_.begin(), posted_.end(), [&](PostedRecv* p) {
     return !p->completed && p->tag == tag;
   });
@@ -265,13 +275,21 @@ void ViEndpoint::complete_message(std::uint32_t tag, std::uint64_t msg_seq) {
     posted_.erase(it);
     pr->completed = true;
     trace_instant("complete");
+    // Consumption point (posted descriptor): the oracle verifies
+    // intact/exactly-once/FIFO here. A completion into a posted
+    // descriptor on an already-failed pair is a teardown violation.
+    if (audit::Auditor* aud = sim_.auditor()) {
+      aud->on_deliver(atag, bytes, /*after_teardown=*/failed_);
+    }
     if (peer_) peer_->on_delivered(msg_seq);
     pr->done->set();
   } else {
     trace_instant("unexpected");
-    unexpected_.push_back(UnexpectedMsg{tag, msg_seq});
+    unexpected_.push_back(UnexpectedMsg{tag, msg_seq, bytes, atag});
     // Staged, not consumed: the sender's watchdog stands down but keeps
-    // the message replayable should this node crash before recv().
+    // the message replayable should this node crash before recv(). The
+    // oracle deliberately does NOT count staging as delivery — a crash
+    // may wipe this queue and the replay is correct, not a duplicate.
     if (peer_) peer_->on_staged(msg_seq);
     arrivals_.notify_all();
   }
@@ -290,7 +308,7 @@ sim::Task<void> ViEndpoint::rx_daemon() {
       continue;
     }
     peer_->credits_.release(1);
-    if (frag->dst_epoch != epoch_) {
+    if (frag->dst_epoch != epoch_ && !config_.unsafe_skip_epoch_fence) {
       // Addressed to a previous power epoch of this endpoint: the state
       // it belonged to died with the node. The credit already went home;
       // the sender's watchdogs replay under the current epoch.
@@ -316,6 +334,13 @@ sim::Task<void> ViEndpoint::rx_daemon() {
           pm.attempt = frag->attempt;
           pm.sofar = 0;
         }
+        // Fencing/CRC oracle: this fragment is being ACCEPTED into a
+        // partial message. With the rejection ladder intact neither
+        // condition can hold; an upstream bug trips it.
+        if (audit::Auditor* aud = sim_.auditor()) {
+          aud->on_accept_fragment(frag->audit_tag(), frag->dst_epoch,
+                                  epoch_, p.corrupted);
+        }
         pm.sofar += p.dma_bytes - config_.frag_header;
         if (pm.sofar == frag->msg_bytes) {
           if (config_.delivery_timeout > 0) {
@@ -325,7 +350,8 @@ sim::Task<void> ViEndpoint::rx_daemon() {
             partial_.erase(frag->msg_seq);
           }
           rdma_acked_.erase(frag->tag);
-          complete_message(frag->tag, frag->msg_seq);
+          complete_message(frag->tag, frag->msg_seq, frag->msg_bytes,
+                           frag->audit_tag());
         }
         break;
       }
@@ -393,13 +419,17 @@ sim::Task<void> ViEndpoint::send(std::uint64_t bytes, std::uint32_t tag) {
   trace_instant("doorbell");
   if (bytes <= config_.rdma_threshold) {
     const std::uint64_t seq = next_msg_seq_++;
+    audit::MsgTag atag;
+    if (audit::Auditor* aud = sim_.auditor()) {
+      atag = aud->on_inject(audit_stream_, bytes);
+    }
     if (config_.delivery_timeout > 0) {
       // Each new message starts from the BASE timeout: backoff is
       // per-message state, never inherited across messages.
-      pending_[seq] =
-          PendingDelivery{bytes, tag, 0, config_.delivery_timeout, false};
+      pending_[seq] = PendingDelivery{bytes, tag, 0,
+                                      config_.delivery_timeout, false, atag};
     }
-    co_await transmit(Kind::kData, tag, seq, bytes, 0);
+    co_await transmit(Kind::kData, tag, seq, bytes, 0, atag);
     if (failed_) throw DeliveryFailed(fail_reason_);
     arm_delivery_watchdog(seq);
     co_return;
@@ -419,11 +449,15 @@ sim::Task<void> ViEndpoint::send(std::uint64_t bytes, std::uint32_t tag) {
   co_await node_.cpu_cost(config_.personality.doorbell_cost);
   trace_instant("doorbell");
   const std::uint64_t seq = next_msg_seq_++;
+  audit::MsgTag atag;
+  if (audit::Auditor* aud = sim_.auditor()) {
+    atag = aud->on_inject(audit_stream_, bytes);
+  }
   if (config_.delivery_timeout > 0) {
     pending_[seq] =
-        PendingDelivery{bytes, tag, 0, config_.delivery_timeout, false};
+        PendingDelivery{bytes, tag, 0, config_.delivery_timeout, false, atag};
   }
-  co_await transmit(Kind::kData, tag, seq, bytes, 0);
+  co_await transmit(Kind::kData, tag, seq, bytes, 0, atag);
   if (failed_) throw DeliveryFailed(fail_reason_);
   arm_delivery_watchdog(seq);
 }
@@ -462,6 +496,9 @@ sim::Task<void> ViEndpoint::recv(std::uint64_t bytes, std::uint32_t tag) {
                      [&](const UnexpectedMsg& u) { return u.tag == tag; });
     if (uit != unexpected_.end()) {
       // Now the message is truly consumed: the sender may forget it.
+      if (audit::Auditor* aud = sim_.auditor()) {
+        aud->on_deliver(uit->audit, uit->bytes, /*after_teardown=*/failed_);
+      }
       if (peer_) peer_->on_delivered(uit->msg_seq);
       unexpected_.erase(uit);
       staged = true;  // arrived before a descriptor was posted

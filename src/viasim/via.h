@@ -21,6 +21,7 @@
 #include <set>
 #include <string>
 
+#include "audit/audit.h"
 #include "simcore/simulator.h"
 #include "simcore/sync.h"
 #include "simcore/task.h"
@@ -68,6 +69,10 @@ struct ViaConfig {
   /// handshake before the endpoint pair is declared failed and blocked
   /// send()/recv() calls raise DeliveryFailed. 0 = retry forever.
   std::uint32_t max_delivery_attempts = 0;
+  /// TEST ONLY: disables the receive-side power-epoch fence so fragments
+  /// from a dead epoch are accepted — the deliberate protocol bug the
+  /// audit oracle (audit/audit.h) must catch. Never set outside tests.
+  bool unsafe_skip_epoch_fence = false;
 };
 
 /// Raised by send()/recv() once an endpoint pair exhausted
@@ -138,6 +143,21 @@ class ViEndpoint {
     /// Destination endpoint's power epoch at injection time; stale-epoch
     /// fragments are rejected (the watchdog replays under the new epoch).
     std::uint32_t dst_epoch = 0;
+    /// Delivery-oracle identity (audit/audit.h), laid out as scalars so
+    /// the descriptor still fits one 64-byte arena slot. Stream 0 = no
+    /// auditor; control fragments (kRdmaReq/kRdmaAck) stay untagged.
+    std::uint32_t audit_stream = 0;
+    std::uint64_t audit_seq = 0;
+    std::uint64_t audit_check = 0;
+
+    audit::MsgTag audit_tag() const noexcept {
+      return audit::MsgTag{audit_stream, audit_seq, audit_check};
+    }
+    void set_audit(const audit::MsgTag& t) noexcept {
+      audit_stream = t.stream;
+      audit_seq = t.seq;
+      audit_check = t.check;
+    }
   };
 
   struct PartialMsg {
@@ -155,6 +175,7 @@ class ViEndpoint {
     /// (slow consumer != delivery failure) but keep the entry replayable
     /// should the peer crash before consuming it.
     bool staged = false;
+    audit::MsgTag audit;  ///< replayed verbatim by watchdog retries
   };
 
   struct PendingReq {
@@ -175,13 +196,17 @@ class ViEndpoint {
   struct UnexpectedMsg {
     std::uint32_t tag = 0;
     std::uint64_t msg_seq = 0;
+    std::uint64_t bytes = 0;
+    audit::MsgTag audit;
   };
 
   sim::Task<void> rx_daemon();
   sim::Task<void> transmit(Kind kind, std::uint32_t tag,
                            std::uint64_t msg_seq, std::uint64_t bytes,
-                           std::uint32_t attempt);
-  void complete_message(std::uint32_t tag, std::uint64_t msg_seq);
+                           std::uint32_t attempt,
+                           const audit::MsgTag& atag = {});
+  void complete_message(std::uint32_t tag, std::uint64_t msg_seq,
+                        std::uint64_t bytes, const audit::MsgTag& atag);
   void trace_instant(const char* what);
 
   sim::Task<void> retry_message(std::uint64_t msg_seq);
@@ -211,6 +236,7 @@ class ViEndpoint {
   ViEndpoint* peer_ = nullptr;
 
   // Send side.
+  std::uint32_t audit_stream_ = 0;  ///< delivery-oracle stream (0 = off)
   std::uint64_t next_msg_seq_ = 0;
   std::map<std::uint64_t, PendingDelivery> pending_;  // msg_seq -> watchdog
   std::map<std::uint32_t, PendingReq> pending_reqs_;  // tag -> req watchdog

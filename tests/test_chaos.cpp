@@ -113,7 +113,7 @@ TEST(ChaosSweep, SmokeSweepHasNoHungOrErrorRuns) {
 }
 
 // Tentpole acceptance: a crash+restart TCP run completes with verdict
-// `recovered`, and the verdict lands in the pp.sweep/5 JSON.
+// `recovered`, and the verdict lands in the pp.sweep/6 JSON.
 TEST(ChaosSweep, CrashRestartTcpRunIsRecoveredInSweepJson) {
   faults::HostCrashConfig cc;
   cc.at = sim::milliseconds(1.0);
@@ -136,7 +136,7 @@ TEST(ChaosSweep, CrashRestartTcpRunIsRecoveredInSweepJson) {
   sr.jobs[0].verdict = chaos::to_string(v);
 
   const std::string j = sweep::JsonReporter::to_json({sr});
-  EXPECT_NE(j.find("pp.sweep/5"), std::string::npos);
+  EXPECT_NE(j.find("pp.sweep/6"), std::string::npos);
   EXPECT_NE(j.find("\"verdict\":\"recovered\""), std::string::npos);
   EXPECT_NE(j.find("\"reconnects\":"), std::string::npos);
 }

@@ -15,11 +15,13 @@
 #include <tuple>
 #include <vector>
 
+#include "chaos/chaos.h"
 #include "faults/config.h"
 #include "faults/minimize.h"
 #include "faults/plan.h"
 #include "faults/plan_io.h"
 #include "gmsim/gm.h"
+#include "mp/daemon_relay.h"
 #include "mp/lam.h"
 #include "mp/mpich.h"
 #include "mp/mplite.h"
@@ -903,6 +905,94 @@ TEST(PlanIo, RejectsMalformedInput) {
   EXPECT_THROW(faults::from_text("seed\n"), std::runtime_error);
 }
 
+TEST(PlanIo, RandomChaosPlansRoundTripByTheThousand) {
+  // pp.faultplan/1 is the interchange format between the chaos sweep,
+  // the ddmin minimizer and netpipe_cli --fault-plan: every plan the
+  // chaos generator can emit must survive format -> parse -> format
+  // bit-exactly (serialized text is the canonical plan identity).
+  for (std::uint64_t seed = 1; seed <= 1000; ++seed) {
+    const faults::FaultPlan plan = chaos::random_plan(seed);
+    const std::string text = faults::to_text(plan);
+    faults::FaultPlan parsed;
+    ASSERT_NO_THROW(parsed = faults::from_text(text)) << "seed " << seed
+                                                      << "\n" << text;
+    EXPECT_EQ(faults::to_text(parsed), text) << "seed " << seed;
+    EXPECT_EQ(parsed.seed, plan.seed);
+    EXPECT_EQ(parsed.links.size(), plan.links.size());
+    EXPECT_EQ(parsed.nics.size(), plan.nics.size());
+    EXPECT_EQ(parsed.hosts.size(), plan.hosts.size());
+    EXPECT_EQ(parsed.crashes.size(), plan.crashes.size());
+  }
+}
+
+// ---- Daemon-relay hop attribution ------------------------------------------
+
+// A corrupted frame traversing a two-hop daemon-relay chain (A -> B -> C,
+// store-and-forward at B) must be discarded by the checksumming receiver
+// of the hop it was corrupted on — and the drop must be charged to that
+// hop's socket, not smeared over the chain. The transfer still completes:
+// TCP retransmits the corrupted segment on the faulted hop alone.
+TEST(RelayFaults, CorruptedFrameIsDroppedAtTheRightHop) {
+  sim::Simulator s;
+  hw::Cluster cluster(s);
+  hw::Node& a = cluster.add_node(presets::pentium4_pc());
+  hw::Node& b = cluster.add_node(presets::pentium4_pc());
+  hw::Node& c = cluster.add_node(presets::pentium4_pc());
+  auto link_ab = cluster.connect(a, b, presets::netgear_ga620(),
+                                 presets::back_to_back());
+  auto link_bc = cluster.connect(b, c, presets::netgear_ga620(),
+                                 presets::back_to_back());
+  tcp::TcpStack stack_a(a, tcp::Sysctl::tuned());
+  tcp::TcpStack stack_b(b, tcp::Sysctl::tuned());
+  tcp::TcpStack stack_c(c, tcp::Sysctl::tuned());
+  auto [s1a, s1b] = tcp::connect(stack_a, stack_b, link_ab, "hop1");
+  auto [s2b, s2c] = tcp::connect(stack_b, stack_c, link_bc, "hop2");
+  mp::RelayChannel hop1(a, b, std::move(s1a), std::move(s1b));
+  mp::RelayChannel hop2(b, c, std::move(s2b), std::move(s2c));
+
+  // Corrupt only the second hop's forward direction (pipe "ga620[1-2]>").
+  faults::LinkFaultConfig corrupt;
+  corrupt.corrupt = 0.05;
+  faults::FaultPlan plan;
+  plan.seed = 17;
+  plan.add_link("[1-2]>", corrupt);
+  faults::apply(plan, cluster);
+
+  constexpr std::uint64_t kBytes = 512 << 10;
+  bool done = false;
+  s.spawn(
+      [](mp::RelayChannel& r) -> sim::Task<void> {
+        co_await r.send(kBytes);
+      }(hop1),
+      "src-app");
+  s.spawn(
+      [](mp::RelayChannel& in, mp::RelayChannel& out) -> sim::Task<void> {
+        co_await in.recv(kBytes);
+        co_await out.send(kBytes);
+      }(hop1, hop2),
+      "forwarder");
+  s.spawn(
+      [](mp::RelayChannel& r, bool& flag) -> sim::Task<void> {
+        co_await r.recv(kBytes);
+        flag = true;
+      }(hop2, done),
+      "dst-app");
+  s.run();
+
+  ASSERT_TRUE(done);  // the chain still delivers everything
+  EXPECT_GT(link_bc.forward.packets_corrupted(), 0u);
+  // The final checksumming receiver (hop2's destination socket on C)
+  // discarded the damage ...
+  EXPECT_GT(hop2.dst_socket().stats().checksum_drops, 0u);
+  // ... and no other socket of the chain was charged for it.
+  EXPECT_EQ(hop1.dst_socket().stats().checksum_drops, 0u);
+  EXPECT_EQ(hop1.src_socket().stats().checksum_drops, 0u);
+  EXPECT_EQ(hop2.src_socket().stats().checksum_drops, 0u);
+  // Recovery stayed local too: only the faulted hop retransmitted.
+  EXPECT_GT(hop2.src_socket().stats().retransmits, 0u);
+  EXPECT_EQ(hop1.src_socket().stats().retransmits, 0u);
+}
+
 // ---- ddmin plan minimization -----------------------------------------------
 
 TEST(Minimize, ShrinksToTheMinimalFailingCore) {
@@ -980,7 +1070,7 @@ TEST(SweepWatchdog, HungJobDegradesToAReportedRow) {
   EXPECT_EQ(sr.jobs[1].status, sweep::JobStatus::kOk);
 
   const std::string j = sweep::JsonReporter::to_json({sr});
-  EXPECT_NE(j.find("pp.sweep/5"), std::string::npos);
+  EXPECT_NE(j.find("pp.sweep/6"), std::string::npos);
   EXPECT_NE(j.find("\"status\":\"watchdog\""), std::string::npos);
   EXPECT_NE(j.find("\"retries\":1"), std::string::npos);
 }

@@ -295,12 +295,12 @@ TEST(Json, ReportCarriesSchemaCurvesAndSpeedup) {
   spec.jobs.push_back(JobSpec{"curve", [] { return tiny_measurement(64 << 10); }});
   const SweepResult sr = run_sweep(spec);
   const std::string j = JsonReporter::to_json({sr});
-  EXPECT_NE(j.find("\"schema\":\"pp.sweep/5\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema\":\"pp.sweep/6\""), std::string::npos);
   EXPECT_NE(j.find("\"name\":\"json\""), std::string::npos);
-  // pp.sweep/5: the sweep records the ambient shard count it installed.
+  // pp.sweep/4: the sweep records the ambient shard count it installed.
   EXPECT_NE(j.find("\"shards\":0"), std::string::npos);
   EXPECT_NE(j.find("\"label\":\"curve\""), std::string::npos);
-  // pp.sweep/5: per-job degraded-run reporting.
+  // pp.sweep/3: per-job degraded-run reporting.
   EXPECT_NE(j.find("\"status\":\"ok\""), std::string::npos);
   EXPECT_NE(j.find("\"retries\":0"), std::string::npos);
   EXPECT_NE(j.find("\"latency_us\""), std::string::npos);
@@ -349,7 +349,7 @@ TEST(Json, FailedJobSerializesErrorNotCurve) {
   EXPECT_NE(j.find("\"status\":\"error\""), std::string::npos);
   EXPECT_NE(j.find("\\\"curve\\\""), std::string::npos);  // escaped quotes
   EXPECT_EQ(j.find("\"points\""), std::string::npos);
-  // pp.sweep/5: failed jobs still carry a (zeroed) counters object.
+  // pp.sweep/3: failed jobs still carry a (zeroed) counters object.
   EXPECT_NE(j.find("\"counters\":{"), std::string::npos);
 }
 
@@ -366,7 +366,7 @@ TEST(Json, WriteProducesAParsableFileOnDisk) {
                   std::istreambuf_iterator<char>());
   EXPECT_EQ(all.front(), '{');
   EXPECT_EQ(all.back(), '\n');
-  EXPECT_NE(all.find("pp.sweep/5"), std::string::npos);
+  EXPECT_NE(all.find("pp.sweep/6"), std::string::npos);
   std::remove(path.c_str());
 }
 

@@ -6,15 +6,21 @@
 // minimal plan — ready for `netpipe_cli --fault-plan`.
 //
 //   minimize_plan --scenario tcp --plan failing.plan [--out minimal.plan]
-//                 [--verdict failed|hung|error|degraded] [--shards N]
+//                 [--target-verdict failed|hung|error|degraded]
+//                 [--shards N] [--audit]
 //
-// Without --verdict the target is whatever verdict the input plan
+// Without --target-verdict the target is whatever verdict the input plan
 // produces (it must be a bad one: failed, hung, error or degraded).
+// --verdict is accepted as a synonym. Targeting `error` (or passing
+// --audit) runs every probe under the delivery oracle (audit/audit.h),
+// so plans whose only symptom is an oracle violation — corruption,
+// duplication, unaccounted messages — minimize exactly like hangs.
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
 
+#include "audit/audit.h"
 #include "chaos/chaos.h"
 #include "faults/minimize.h"
 #include "faults/plan_io.h"
@@ -26,7 +32,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --scenario <tcp|mpich|gm|via> --plan <file>\n"
-               "          [--out <file>] [--verdict <name>] [--shards N]\n",
+               "          [--out <file>] [--target-verdict <name>]\n"
+               "          [--shards N] [--audit]\n",
                argv0);
   return 2;
 }
@@ -36,6 +43,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string scenario_name, plan_path, out_path, verdict_name;
   int shards = 1;
+  bool audit_on = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -45,10 +53,13 @@ int main(int argc, char** argv) {
       plan_path = argv[++i];
     } else if (arg == "--out" && has_value) {
       out_path = argv[++i];
-    } else if (arg == "--verdict" && has_value) {
+    } else if ((arg == "--verdict" || arg == "--target-verdict") &&
+               has_value) {
       verdict_name = argv[++i];
     } else if (arg == "--shards" && has_value) {
       shards = std::atoi(argv[++i]);
+    } else if (arg == "--audit") {
+      audit_on = true;
     } else {
       return usage(argv[0]);
     }
@@ -69,11 +80,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--plan %s: %s\n", plan_path.c_str(), e.what());
     return 2;
   }
-  const chaos::Verdict got = chaos::run_verdict(sc, plan, shards);
-  std::printf("input plan: %zu rule(s), verdict %s\n",
+  // An `error` target implies the oracle: without it, a run whose only
+  // defect is an audit violation classifies clean/recovered and the
+  // ddmin oracle would never reproduce.
+  if (verdict_name == "error") audit_on = true;
+  const auto probe = [&](const faults::FaultPlan& p) {
+    return audit_on ? chaos::run_verdict_audited(sc, p, shards)
+                    : chaos::run_verdict(sc, p, shards);
+  };
+  const chaos::Verdict got = probe(plan);
+  std::printf("input plan: %zu rule(s), verdict %s%s\n",
               plan.links.size() + plan.nics.size() + plan.hosts.size() +
                   plan.crashes.size(),
-              chaos::to_string(got));
+              chaos::to_string(got), audit_on ? " (audited)" : "");
   if (verdict_name.empty()) {
     if (got == chaos::Verdict::kClean || got == chaos::Verdict::kRecovered) {
       std::fprintf(stderr,
@@ -86,11 +105,19 @@ int main(int argc, char** argv) {
   }
 
   const faults::Oracle oracle = [&](const faults::FaultPlan& candidate) {
-    return verdict_name ==
-           chaos::to_string(chaos::run_verdict(sc, candidate, shards));
+    return verdict_name == chaos::to_string(probe(candidate));
   };
 
-  const faults::MinimizeResult r = faults::minimize(plan, oracle);
+  faults::MinimizeResult r;
+  try {
+    r = faults::minimize(plan, oracle);
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr,
+                 "nothing to minimize: the plan's verdict is %s, not the "
+                 "target '%s'\n",
+                 chaos::to_string(got), verdict_name.c_str());
+    return 1;
+  }
   std::printf("minimized %zu -> %zu rule(s) in %d probe(s)\n",
               r.initial_rules, r.final_rules, r.probes);
   faults::write_file(out_path, r.plan);
