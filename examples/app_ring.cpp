@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "mp/collectives.h"
+#include "mp/fabric_lib.h"
 #include "mp/lam.h"
 #include "mp/mpich.h"
 #include "mp/mpipro.h"
@@ -61,6 +63,49 @@ double run_app(const std::string& label, MakePair make) {
   return ms;
 }
 
+/// The same overlapped halo exchange at fabric scale: every rank trades
+/// halos with both ring neighbours through the fat-tree, computes while
+/// the wire is busy, then joins a dissemination barrier (the 2-rank
+/// "allreduce" above generalized to N). The point survives the switch
+/// fabric: communication cost is set by the library and the shared
+/// links, not by the number of cables.
+sim::Task<void> fabric_worker(mp::FabricWorld& world, int rank,
+                              std::uint64_t halo, sim::SimTime& finished) {
+  mp::Library& lib = world.lib(rank);
+  const int n = world.size();
+  const int left = (rank - 1 + n) % n;
+  const int right = (rank + 1) % n;
+  for (int it = 0; it < kIterations; ++it) {
+    mp::Request sr = lib.isend(right, halo, 7);
+    mp::Request sl = lib.isend(left, halo, 8);
+    mp::Request rl = lib.irecv(left, halo, 7);
+    mp::Request rr = lib.irecv(right, halo, 8);
+    co_await lib.node().cpu_cost(kComputeTime);
+    co_await sr.wait();
+    co_await sl.wait();
+    co_await rl.wait();
+    co_await rr.wait();
+    co_await mp::dissemination_barrier(world.comm(rank));
+  }
+  finished = std::max(finished, lib.node().simulator().now());
+}
+
+double run_fabric(int ranks, std::uint64_t halo) {
+  mp::FabricWorldOptions opt;
+  opt.host = hw::presets::pentium4_pc();
+  mp::FabricWorld world(ranks, opt);
+  sim::SimTime finished = 0;
+  for (int r = 0; r < ranks; ++r) {
+    world.spawn(r, fabric_worker(world, r, halo, finished),
+                "rank" + std::to_string(r));
+  }
+  world.run();
+  const double ms = sim::to_seconds(finished) * 1e3;
+  std::printf("  %3d ranks on a fat-tree   %8.2f ms for %d iterations\n",
+              ranks, ms, kIterations);
+  return ms;
+}
+
 }  // namespace
 
 int main() {
@@ -89,5 +134,16 @@ int main() {
       "faster than MPICH\n",
       100.0 * (mpich - mplite) / mpich, 100.0 * (mpich - mpipro) / mpich);
   std::printf("(LAM/MPI -O, on-call progress like MPICH: %.2f ms)\n", lam);
+
+  std::puts("\nscale-out on the switch fabric (64 kB halos, dissemination"
+            " barrier per iteration):");
+  const double f16 = run_fabric(16, 64 << 10);
+  const double f64 = run_fabric(64, 64 << 10);
+  std::printf("16 -> 64 ranks costs only %.1f%% more — the fat-tree has"
+              " full bisection\nbandwidth, so neighbour halos never share"
+              " a link and the barrier adds just\nlog2 rounds: near-ideal"
+              " weak scaling, unlike the incast results in\n"
+              "bench/scaling where everyone targets one port.\n",
+              100.0 * (f64 - f16) / f16);
   return 0;
 }

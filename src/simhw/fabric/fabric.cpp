@@ -1,0 +1,403 @@
+#include "simhw/fabric/fabric.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "faults/config.h"
+#include "simcore/shard.h"
+#include "simcore/tracing.h"
+
+namespace pp::hw::fabric {
+
+FatTreeShape FatTreeShape::fit(int hosts) {
+  if (hosts < 1) throw std::invalid_argument("FatTreeShape::fit: hosts < 1");
+  for (int k = 2;; k += 2) {
+    if (k * k * k / 4 >= hosts) return FatTreeShape{k};
+  }
+}
+
+ClosShape ClosShape::fit(int hosts) {
+  if (hosts < 1) throw std::invalid_argument("ClosShape::fit: hosts < 1");
+  int per_leaf = 1;
+  while (per_leaf * per_leaf < hosts) ++per_leaf;
+  const int leaves = (hosts + per_leaf - 1) / per_leaf;
+  const int spines = std::max(2, (leaves + 1) / 2);
+  return ClosShape{leaves, spines, per_leaf};
+}
+
+// ---------------------------------------------------------------- Link
+
+Link::Link(Fabric& fab, std::int32_t index, std::string name,
+           sim::Simulator& src_sim, sim::Simulator& dst_sim, Sink& dst,
+           sim::Rate rate, sim::SimTime propagation, std::uint32_t overhead,
+           std::uint32_t queue_frames)
+    : fab_(fab),
+      index_(index),
+      name_(std::move(name)),
+      src_sim_(src_sim),
+      dst_sim_(dst_sim),
+      dst_(dst),
+      rate_(rate),
+      propagation_(propagation),
+      overhead_(overhead),
+      queue_cap_(queue_frames) {
+  cross_shard_ = &src_sim_ != &dst_sim_;
+  // Same contract as PacketPipe: the merge tag depends on the link name
+  // only, so every shard layout (and the serial run) orders arrivals
+  // identically. Reserve the local-push sentinel.
+  order_tag_ =
+      faults::derive_seed(0x6661627269636c6bULL /* "fabriclk" */, name_);
+  if (order_tag_ == sim::kLocalEventTag) --order_tag_;
+  if (cross_shard_) {
+    sim::ShardGroup* group = src_sim_.shard_group();
+    if (group == nullptr || group != dst_sim_.shard_group()) {
+      throw std::logic_error(
+          "fabric link '" + name_ +
+          "' spans two simulators that are not shards of one ShardGroup");
+    }
+    group->register_link(propagation_);
+  }
+}
+
+void Link::set_loss(double probability, std::uint64_t seed) {
+  loss_p_ = probability;
+  loss_rng_ = sim::SplitMix64(seed);
+}
+
+std::size_t Link::backlog_at(sim::SimTime t) const {
+  std::size_t n = 0;
+  for (sim::SimTime dep : departures_) {
+    if (dep > t) ++n;
+  }
+  return n;
+}
+
+sim::SimTime Link::transmit(FabricFrame f, sim::SimTime head_ready,
+                            sim::SimTime tail_ready) {
+  const sim::SimTime now = src_sim_.now();
+  if (tail_ready < now) tail_ready = now;
+  if (loss_p_ > 0.0 && loss_rng_.uniform() < loss_p_) {
+    ++n_loss_drops_;
+    if (sim::TraceRecorder* t = src_sim_.tracer()) {
+      t->record_instant(name_, "fabric.loss", now);
+    }
+    if (f.pkt.fire_drop) f.pkt.desc.fire_drop();
+    return -1;
+  }
+  // Prune departures that are already on the wire; what remains is the
+  // output queue's instantaneous backlog.
+  while (!departures_.empty() && departures_.front() <= now) {
+    departures_.pop_front();
+  }
+  if (queue_cap_ != 0 && departures_.size() >= queue_cap_) {
+    ++n_queue_drops_;
+    if (sim::TraceRecorder* t = src_sim_.tracer()) {
+      t->record_instant(name_, "fabric.taildrop", now);
+    }
+    if (f.pkt.fire_drop) f.pkt.desc.fire_drop();
+    return -1;
+  }
+  const sim::SimTime ser = ser_time(f);
+  // head_ready may precede now in cut-through mode: the head entered
+  // the port while the tail was still arriving.
+  const sim::SimTime start = std::max(head_ready, port_free_);
+  const sim::SimTime dep = std::max(start + ser, tail_ready);
+  port_free_ = dep;
+  departures_.push_back(dep);
+  peak_backlog_ = std::max(peak_backlog_, departures_.size());
+  ++n_in_;
+  bytes_in_ += f.pkt.wire_bytes;
+  ++f.hops;
+  const sim::SimTime at = dep + propagation_;
+  const std::uint64_t seq = arrival_seq_++;
+  if (!cross_shard_) {
+    dst_sim_.call_at_tagged(at, now, order_tag_, seq,
+                            [this, frame = std::move(f)]() mutable {
+                              deliver(std::move(frame));
+                            });
+  } else {
+    src_sim_.shard_group()->post(
+        src_sim_.shard_index(), dst_sim_.shard_index(), at, now, order_tag_,
+        seq, sim::SmallFn([this, frame = std::move(f)]() mutable {
+          deliver(std::move(frame));
+        }));
+  }
+  return dep;
+}
+
+void Link::deliver(FabricFrame f) {
+  ++n_delivered_;
+  dst_.on_frame(*this, std::move(f));
+}
+
+// -------------------------------------------------------------- Switch
+
+Switch::Switch(Fabric& fab, VertexId vertex, sim::Simulator& sim,
+               SwitchConfig cfg)
+    : fab_(fab), vertex_(vertex), sim_(sim), cfg_(cfg) {
+  if (cfg_.crossbar_speedup > 0.0) {
+    xbar_rate_ =
+        sim::Rate{cfg_.port_rate.bytes_per_second * cfg_.crossbar_speedup};
+  }
+}
+
+void Switch::on_frame(const Link& in, FabricFrame f) {
+  const sim::SimTime now = sim_.now();
+  const Topology& topo = fab_.topology();
+  if (f.dst >= topo.hosts() ||
+      topo.distance(vertex_, f.dst) == Topology::kUnreachable) {
+    ++n_misrouted_;
+    if (sim::TraceRecorder* t = sim_.tracer()) {
+      t->record_instant(topo.vertex_name(vertex_), "fabric.noroute", now);
+    }
+    if (f.pkt.fire_drop) f.pkt.desc.fire_drop();
+    return;
+  }
+  ++n_switched_;
+  const EdgeRef e = topo.pick(vertex_, f.src, f.dst, f.flow);
+  Link& out = fab_.link(e.link);
+  // now is the tail-arrival instant; the head arrived one input
+  // serialization earlier.
+  sim::SimTime head_ready = cfg_.port_latency +
+                            (cfg_.mode == ForwardingMode::kCutThrough
+                                 ? now - in.ser_time(f)
+                                 : now);
+  sim::SimTime tail_ready = now + cfg_.port_latency;
+  if (xbar_rate_.bytes_per_second > 0.0) {
+    // The shared crossbar serializes every traversal: the frame's head
+    // emerges once its transfer completes.
+    const sim::SimTime start = std::max(head_ready, xbar_free_);
+    xbar_free_ = start + xbar_rate_.time_for(f.pkt.wire_bytes);
+    head_ready = xbar_free_;
+    tail_ready = std::max(tail_ready, head_ready);
+  }
+  out.transmit(std::move(f), head_ready, tail_ready);
+}
+
+// ------------------------------------------------------------ HostPort
+
+HostPort::HostPort(Fabric& fab, Node& node, int host)
+    : fab_(fab), node_(node), host_(host), rx_(node.simulator()) {}
+
+HostPort::~HostPort() {
+  // Undelivered frames hold arena descriptors; drop them while every
+  // shard's arena is still alive (Fabric is destroyed before the
+  // cluster / shard group that own the arenas).
+  while (rx_.try_pop()) {}
+}
+
+sim::SimTime HostPort::inject(int dst, Packet p, std::uint16_t flow) {
+  if (dst < 0 || dst >= fab_.hosts() || dst == host_) {
+    throw std::invalid_argument("HostPort::inject: bad destination");
+  }
+  FabricFrame f;
+  f.pkt = std::move(p);
+  f.src = static_cast<std::uint16_t>(host_);
+  f.dst = static_cast<std::uint16_t>(dst);
+  f.flow = flow;
+  ++n_injected_;
+  const sim::SimTime ready =
+      node_.simulator().now() + fab_.config().host_tx_cost;
+  return up_->transmit(std::move(f), ready, ready);
+}
+
+void HostPort::on_frame(const Link& in, FabricFrame f) {
+  (void)in;
+  ++n_delivered_;
+  rx_.push_now(std::move(f));
+}
+
+// -------------------------------------------------------------- Fabric
+
+Fabric::Fabric(Cluster& cluster, FabricConfig cfg, const FatTreeShape& shape)
+    : cfg_(std::move(cfg)), topo_(static_cast<int>(cluster.node_count())) {
+  const int k = shape.radix;
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("fat-tree radix must be even and >= 2");
+  }
+  const int half = k / 2;
+  const int hosts = topo_.hosts();
+  if (hosts > k * k * k / 4) {
+    throw std::invalid_argument("fat-tree radix too small for host count");
+  }
+  // Vertices: per pod k/2 edge then k/2 aggregation switches, then the
+  // (k/2)^2 cores. Hosts attach to edge switches in blocks of k/2.
+  std::vector<VertexId> edge(static_cast<std::size_t>(k) * half);
+  std::vector<VertexId> agg(static_cast<std::size_t>(k) * half);
+  std::vector<VertexId> core(static_cast<std::size_t>(half) * half);
+  switch_sims_.reserve(edge.size() + agg.size() + core.size());
+  auto place = [&](int host) -> sim::Simulator* {
+    return &cluster.node(static_cast<std::size_t>(host < hosts ? host : 0))
+                .simulator();
+  };
+  for (int p = 0; p < k; ++p) {
+    for (int e = 0; e < half; ++e) {
+      edge[static_cast<std::size_t>(p * half + e)] = topo_.add_switch();
+      // Co-locate each edge switch with its first attached host.
+      switch_sims_.push_back(place((p * half + e) * half));
+    }
+    for (int a = 0; a < half; ++a) {
+      agg[static_cast<std::size_t>(p * half + a)] = topo_.add_switch();
+      switch_sims_.push_back(place(p * half * half));
+    }
+  }
+  for (int c = 0; c < half * half; ++c) {
+    core[static_cast<std::size_t>(c)] = topo_.add_switch();
+    switch_sims_.push_back(place(c % hosts));
+  }
+  for (int h = 0; h < hosts; ++h) {
+    topo_.connect(h, edge[static_cast<std::size_t>(h / half)]);
+  }
+  for (int p = 0; p < k; ++p) {
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        topo_.connect(edge[static_cast<std::size_t>(p * half + e)],
+                      agg[static_cast<std::size_t>(p * half + a)]);
+      }
+    }
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) {
+        topo_.connect(agg[static_cast<std::size_t>(p * half + a)],
+                      core[static_cast<std::size_t>(a * half + c)]);
+      }
+    }
+  }
+  build(cluster);
+}
+
+Fabric::Fabric(Cluster& cluster, FabricConfig cfg, const ClosShape& shape)
+    : cfg_(std::move(cfg)), topo_(static_cast<int>(cluster.node_count())) {
+  const int hosts = topo_.hosts();
+  if (shape.leaves < 1 || shape.spines < 1 || shape.hosts_per_leaf < 1) {
+    throw std::invalid_argument("Clos shape parameters must be positive");
+  }
+  if (hosts > shape.leaves * shape.hosts_per_leaf) {
+    throw std::invalid_argument("Clos shape too small for host count");
+  }
+  std::vector<VertexId> leaf(static_cast<std::size_t>(shape.leaves));
+  std::vector<VertexId> spine(static_cast<std::size_t>(shape.spines));
+  for (int l = 0; l < shape.leaves; ++l) {
+    leaf[static_cast<std::size_t>(l)] = topo_.add_switch();
+    const int first = l * shape.hosts_per_leaf;
+    switch_sims_.push_back(
+        &cluster.node(static_cast<std::size_t>(first < hosts ? first : 0))
+             .simulator());
+  }
+  for (int s = 0; s < shape.spines; ++s) {
+    spine[static_cast<std::size_t>(s)] = topo_.add_switch();
+    switch_sims_.push_back(
+        &cluster.node(static_cast<std::size_t>(s % hosts)).simulator());
+  }
+  for (int h = 0; h < hosts; ++h) {
+    topo_.connect(h, leaf[static_cast<std::size_t>(h / shape.hosts_per_leaf)]);
+  }
+  for (int l = 0; l < shape.leaves; ++l) {
+    for (int s = 0; s < shape.spines; ++s) {
+      topo_.connect(leaf[static_cast<std::size_t>(l)],
+                    spine[static_cast<std::size_t>(s)]);
+    }
+  }
+  build(cluster);
+}
+
+Fabric::~Fabric() = default;
+
+sim::Simulator& Fabric::sim_of(VertexId v, Cluster& cluster) {
+  if (topo_.is_host(v)) {
+    return cluster.node(static_cast<std::size_t>(v)).simulator();
+  }
+  return *switch_sims_[static_cast<std::size_t>(v - topo_.hosts())];
+}
+
+void Fabric::build(Cluster& cluster) {
+  topo_.build_routes();
+  const int hosts = topo_.hosts();
+  ports_.reserve(static_cast<std::size_t>(hosts));
+  for (int h = 0; h < hosts; ++h) {
+    ports_.push_back(
+        std::make_unique<HostPort>(*this, cluster.node(static_cast<std::size_t>(h)), h));
+  }
+  const int n_switches = topo_.vertices() - hosts;
+  switches_.reserve(static_cast<std::size_t>(n_switches));
+  for (int s = 0; s < n_switches; ++s) {
+    switches_.push_back(std::make_unique<Switch>(
+        *this, hosts + s, *switch_sims_[static_cast<std::size_t>(s)], cfg_.sw));
+  }
+  links_.reserve(static_cast<std::size_t>(topo_.links()));
+  for (std::int32_t l = 0; l < topo_.links(); ++l) {
+    const auto [u, v] = topo_.link_ends(l);
+    const bool access = topo_.is_host(u) || topo_.is_host(v);
+    Sink& dst = topo_.is_host(v)
+                    ? static_cast<Sink&>(*ports_[static_cast<std::size_t>(v)])
+                    : *switches_[static_cast<std::size_t>(v - hosts)];
+    // The output queue belongs to the element at the link's tail: host
+    // NIC rings are unbounded here, switch ports honour queue_frames.
+    const std::uint32_t cap = topo_.is_host(u) ? 0 : cfg_.sw.queue_frames;
+    links_.push_back(std::make_unique<Link>(
+        *this, l,
+        cfg_.name + ".l" + std::to_string(l) + "[" + topo_.vertex_name(u) +
+            ">" + topo_.vertex_name(v) + "]",
+        sim_of(u, cluster), sim_of(v, cluster), dst,
+        access ? cfg_.host_rate : cfg_.sw.port_rate,
+        access ? cfg_.host_propagation : cfg_.trunk_propagation,
+        cfg_.frame_overhead, cap));
+  }
+  for (int h = 0; h < hosts; ++h) {
+    const auto& out = topo_.out(h);
+    if (out.size() != 1) {
+      throw std::logic_error("fabric host must have exactly one access link");
+    }
+    ports_[static_cast<std::size_t>(h)]->up_ =
+        links_[static_cast<std::size_t>(out[0].link)].get();
+  }
+}
+
+void Fabric::set_loss(double probability) {
+  for (auto& l : links_) {
+    l->set_loss(probability, faults::derive_seed(cfg_.seed, l->name()));
+  }
+}
+
+Fabric::Totals Fabric::totals() const {
+  Totals t;
+  for (const auto& p : ports_) {
+    t.injected += p->frames_injected();
+    t.delivered += p->frames_delivered();
+  }
+  for (const auto& s : switches_) {
+    t.switched += s->frames_switched();
+    t.dropped += s->frames_misrouted();
+  }
+  for (const auto& l : links_) t.dropped += l->frames_dropped();
+  return t;
+}
+
+std::string Fabric::conservation_violations(sim::SimTime end) const {
+  std::string out;
+  auto note = [&](const std::string& s) {
+    if (out.size() < 2000) out += s + "\n";
+  };
+  for (const auto& l : links_) {
+    // Drops are counted before admission, so every admitted frame must
+    // eventually deliver; after a completed run the event queues are
+    // empty, so any gap is a real leak.
+    if (l->frames_in() != l->frames_delivered()) {
+      note("link " + l->name() + ": in=" + std::to_string(l->frames_in()) +
+           " delivered=" + std::to_string(l->frames_delivered()));
+    }
+    if (l->backlog_at(end) != 0) {
+      note("link " + l->name() + ": backlog " +
+           std::to_string(l->backlog_at(end)) + " at end of run");
+    }
+  }
+  const Totals t = totals();
+  if (t.injected != t.delivered + t.dropped) {
+    note("fabric: injected=" + std::to_string(t.injected) +
+         " != delivered=" + std::to_string(t.delivered) + " + dropped=" +
+         std::to_string(t.dropped));
+  }
+  return out;
+}
+
+}  // namespace pp::hw::fabric

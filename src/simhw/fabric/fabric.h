@@ -1,0 +1,306 @@
+// Switch fabric: fat-tree / Clos interconnects for 64-1024 node clusters.
+//
+// Where PacketPipe models the paper's direct two-node wire, the fabric
+// wires every hw::Node through a tree of Switch elements. The model is
+// deliberately event-driven rather than coroutine-per-frame: a frame's
+// forwarding decision is pure busy-until arithmetic on the output port
+// (plus optional crossbar), computed in the arrival event, and the next
+// hop is scheduled with the same shard-stable (at, sched, tag, seq)
+// merge keys PacketPipe uses — so fabric runs are bit-identical across
+// shard counts, schedulers and packet paths.
+//
+// Forwarding modes (per switch):
+//   store-and-forward  start = max(tail_in + latency, port_free)
+//                      depart = start + serialization
+//   cut-through        start = max(head_in + latency, port_free)
+//                      depart = max(start + serialization, tail_in + latency)
+// with port_free advancing to `depart` either way. Cut-through lets the
+// head of a frame leave while its tail is still arriving, saving one
+// serialization delay per switch hop on an idle path; under load both
+// modes degrade to the same queueing behaviour (the invariant
+// cut-through <= store-and-forward is property-tested).
+//
+// Each output port owns a drop-tail queue of pending departures: the
+// backlog at time t is the number of frames whose departure is still in
+// the future. A finite queue_frames cap turns overflow into counted
+// drops; either way frames are conserved per link
+// (frames_in == delivered + dropped), which the incast tests audit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simcore/random.h"
+#include "simcore/simulator.h"
+#include "simhw/cluster.h"
+#include "simhw/fabric/topology.h"
+#include "simhw/pipe.h"
+
+namespace pp::hw::fabric {
+
+enum class ForwardingMode : std::uint8_t {
+  kStoreAndForward,
+  kCutThrough,
+};
+
+struct SwitchConfig {
+  sim::Rate port_rate = sim::Rate::gigabits(1.0);
+  /// Fixed per-hop pipeline latency (lookup + arbitration).
+  sim::SimTime port_latency = sim::microseconds(0.5);
+  ForwardingMode mode = ForwardingMode::kCutThrough;
+  /// Aggregate crossbar bandwidth as a multiple of port_rate; every
+  /// frame crossing the switch serializes through this shared resource.
+  /// 0 models an ideal non-blocking crossbar.
+  double crossbar_speedup = 0.0;
+  /// Output-queue capacity in frames; 0 = unbounded (lossless).
+  std::uint32_t queue_frames = 0;
+};
+
+struct FabricConfig {
+  std::string name = "fab";
+  SwitchConfig sw;
+  sim::Rate host_rate = sim::Rate::gigabits(1.0);
+  sim::SimTime host_propagation = sim::microseconds(0.5);
+  sim::SimTime trunk_propagation = sim::microseconds(0.5);
+  /// Per-frame framing overhead added to wire_bytes for serialization.
+  std::uint32_t frame_overhead = 38;
+  /// Payload bytes per frame; libraries fragment messages at this size.
+  std::uint32_t mtu = 4096;
+  /// Host-side NIC costs charged by HostPort / the libraries.
+  sim::SimTime host_tx_cost = sim::microseconds(0.5);
+  sim::SimTime host_rx_cost = sim::microseconds(1.0);
+  std::uint64_t seed = 1;
+};
+
+/// k-ary three-level fat-tree: k pods of k/2 edge + k/2 aggregation
+/// switches, (k/2)^2 cores, up to k^3/4 hosts. radix must be even.
+struct FatTreeShape {
+  int radix = 4;
+  /// Smallest even radix whose fat-tree holds `hosts` hosts.
+  static FatTreeShape fit(int hosts);
+};
+
+/// Two-level leaf-spine Clos: every leaf connects every spine.
+struct ClosShape {
+  int leaves = 4;
+  int spines = 2;
+  int hosts_per_leaf = 4;
+  /// A roughly square leaf-spine shape covering `hosts` hosts.
+  static ClosShape fit(int hosts);
+};
+
+/// One frame traversing the fabric. Owns an arena descriptor through
+/// pkt.desc; sized so [Link* + FabricFrame] stays inside
+/// SmallFn::kInlineBytes (no allocation per hop).
+struct FabricFrame {
+  Packet pkt;
+  std::uint16_t src = 0;
+  std::uint16_t dst = 0;
+  std::uint16_t hops = 0;
+  std::uint16_t flow = 0;
+};
+static_assert(sizeof(FabricFrame) <= 40, "FabricFrame must stay SmallFn-inline");
+
+class Fabric;
+class Link;
+
+/// Whatever sits at the head of a directed link (a Switch or HostPort).
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  /// Runs on the head vertex's simulator at the frame's tail-arrival
+  /// time. `in` is the link the frame arrived on.
+  virtual void on_frame(const Link& in, FabricFrame f) = 0;
+};
+
+/// A directed wire with one output port at its tail: busy-until
+/// transmit arithmetic, drop-tail backlog accounting, optional
+/// Bernoulli loss, and shard-stable arrival scheduling.
+class Link {
+ public:
+  Link(Fabric& fab, std::int32_t index, std::string name,
+       sim::Simulator& src_sim, sim::Simulator& dst_sim, Sink& dst,
+       sim::Rate rate, sim::SimTime propagation, std::uint32_t overhead,
+       std::uint32_t queue_frames);
+
+  /// Enqueues a frame on this output port. `head_ready` / `tail_ready`
+  /// are the times the frame's head / tail become available at the port
+  /// (as computed by the forwarding mode); both must be >= now. Returns
+  /// the departure (tail-on-wire) time, or -1 if the frame was dropped
+  /// (loss or queue overflow). Must run on src_sim's thread.
+  sim::SimTime transmit(FabricFrame f, sim::SimTime head_ready,
+                        sim::SimTime tail_ready);
+
+  sim::SimTime ser_time(const FabricFrame& f) const {
+    return rate_.time_for(f.pkt.wire_bytes + overhead_);
+  }
+
+  void set_loss(double probability, std::uint64_t seed);
+
+  const std::string& name() const noexcept { return name_; }
+  std::int32_t index() const noexcept { return index_; }
+  sim::Rate rate() const noexcept { return rate_; }
+  sim::SimTime propagation() const noexcept { return propagation_; }
+
+  std::uint64_t frames_in() const noexcept { return n_in_; }
+  std::uint64_t frames_delivered() const noexcept { return n_delivered_; }
+  std::uint64_t frames_dropped() const noexcept {
+    return n_loss_drops_ + n_queue_drops_;
+  }
+  std::uint64_t loss_drops() const noexcept { return n_loss_drops_; }
+  std::uint64_t queue_drops() const noexcept { return n_queue_drops_; }
+  std::uint64_t bytes_in() const noexcept { return bytes_in_; }
+  /// Deepest instantaneous output-queue backlog seen (frames waiting or
+  /// in serialization at one instant).
+  std::size_t peak_backlog() const noexcept { return peak_backlog_; }
+  /// Frames whose departure is still after `t`.
+  std::size_t backlog_at(sim::SimTime t) const;
+
+ private:
+  void deliver(FabricFrame f);
+
+  Fabric& fab_;
+  std::int32_t index_;
+  std::string name_;
+  sim::Simulator& src_sim_;
+  sim::Simulator& dst_sim_;
+  Sink& dst_;
+  sim::Rate rate_;
+  sim::SimTime propagation_;
+  std::uint32_t overhead_;
+  std::uint32_t queue_cap_;
+  bool cross_shard_ = false;
+  std::uint64_t order_tag_ = 0;
+  std::uint64_t arrival_seq_ = 0;
+  sim::SimTime port_free_ = 0;
+  std::deque<sim::SimTime> departures_;  // pending departure tails
+  double loss_p_ = 0.0;
+  sim::SplitMix64 loss_rng_{0};
+  // tx-side counters (src_sim's thread) ...
+  std::uint64_t n_in_ = 0;
+  std::uint64_t n_loss_drops_ = 0;
+  std::uint64_t n_queue_drops_ = 0;
+  std::uint64_t bytes_in_ = 0;
+  std::size_t peak_backlog_ = 0;
+  // ... and the one rx-side counter (dst_sim's thread).
+  std::uint64_t n_delivered_ = 0;
+};
+
+/// A crossbar switch: routes each arriving frame via the topology's
+/// ECMP tables and hands it to the chosen output Link.
+class Switch : public Sink {
+ public:
+  Switch(Fabric& fab, VertexId vertex, sim::Simulator& sim, SwitchConfig cfg);
+
+  void on_frame(const Link& in, FabricFrame f) override;
+
+  VertexId vertex() const noexcept { return vertex_; }
+  sim::Simulator& simulator() noexcept { return sim_; }
+  std::uint64_t frames_switched() const noexcept { return n_switched_; }
+  std::uint64_t frames_misrouted() const noexcept { return n_misrouted_; }
+
+ private:
+  Fabric& fab_;
+  VertexId vertex_;
+  sim::Simulator& sim_;
+  SwitchConfig cfg_;
+  sim::Rate xbar_rate_{0.0};
+  sim::SimTime xbar_free_ = 0;
+  std::uint64_t n_switched_ = 0;
+  std::uint64_t n_misrouted_ = 0;
+};
+
+/// A host's attachment point: injects frames up the access link and
+/// queues delivered frames for the host's rx consumer.
+class HostPort : public Sink {
+ public:
+  HostPort(Fabric& fab, Node& node, int host);
+  ~HostPort();
+
+  /// Injects one frame toward host `dst` from the host's simulator
+  /// thread. Returns the access-link departure time, or -1 if dropped.
+  sim::SimTime inject(int dst, Packet p, std::uint16_t flow = 0);
+
+  /// Delivered frames, in fabric arrival order.
+  sim::Channel<FabricFrame>& delivered() noexcept { return rx_; }
+
+  Node& node() noexcept { return node_; }
+  int host() const noexcept { return host_; }
+  std::uint64_t frames_injected() const noexcept { return n_injected_; }
+  std::uint64_t frames_delivered() const noexcept { return n_delivered_; }
+
+  void on_frame(const Link& in, FabricFrame f) override;
+
+ private:
+  friend class Fabric;
+  Fabric& fab_;
+  Node& node_;
+  int host_;
+  Link* up_ = nullptr;  // wired by Fabric after link construction
+  sim::Channel<FabricFrame> rx_;
+  std::uint64_t n_injected_ = 0;
+  std::uint64_t n_delivered_ = 0;
+};
+
+/// The fabric itself: topology + switches + links over a Cluster's
+/// nodes. Construction wires host i to the cluster's node i; the
+/// cluster decides shard placement of nodes, and the fabric co-locates
+/// each switch with a deterministic nearby host so placement never
+/// affects event order (all hop scheduling is key-tagged).
+class Fabric {
+ public:
+  Fabric(Cluster& cluster, FabricConfig cfg, const FatTreeShape& shape);
+  Fabric(Cluster& cluster, FabricConfig cfg, const ClosShape& shape);
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  const FabricConfig& config() const noexcept { return cfg_; }
+  const Topology& topology() const noexcept { return topo_; }
+  int hosts() const noexcept { return topo_.hosts(); }
+  HostPort& port(int host) { return *ports_.at(static_cast<std::size_t>(host)); }
+  std::size_t switch_count() const noexcept { return switches_.size(); }
+  Switch& switch_at(std::size_t i) { return *switches_.at(i); }
+  std::size_t link_count() const noexcept { return links_.size(); }
+  Link& link(std::int32_t i) {
+    return *links_.at(static_cast<std::size_t>(i));
+  }
+  const Link& link(std::int32_t i) const {
+    return *links_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Arms Bernoulli loss on every link (per-link streams derived from
+  /// the config seed and the link name).
+  void set_loss(double probability);
+
+  struct Totals {
+    std::uint64_t injected = 0;   ///< frames entering at host ports
+    std::uint64_t delivered = 0;  ///< frames handed to host rx queues
+    std::uint64_t switched = 0;   ///< switch forwarding decisions
+    std::uint64_t dropped = 0;    ///< loss + queue-overflow drops
+  };
+  Totals totals() const;
+
+  /// Conservation audit: per link, frames_in == delivered + dropped and
+  /// nothing still in flight at `end`; per fabric, host injections minus
+  /// drops equal host deliveries. Returns a description of the first
+  /// violations, or an empty string when fully conserved.
+  std::string conservation_violations(sim::SimTime end) const;
+
+ private:
+  void build(Cluster& cluster);
+  sim::Simulator& sim_of(VertexId v, Cluster& cluster);
+
+  FabricConfig cfg_;
+  Topology topo_;
+  std::vector<sim::Simulator*> switch_sims_;  // by switch ordinal
+  std::vector<std::unique_ptr<HostPort>> ports_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace pp::hw::fabric

@@ -1,0 +1,105 @@
+#include "simhw/fabric/topology.h"
+
+#include <queue>
+
+namespace pp::hw::fabric {
+
+Topology::Topology(int hosts) : hosts_(hosts) {
+  if (hosts < 1) throw std::invalid_argument("Topology: hosts < 1");
+  out_.resize(static_cast<std::size_t>(hosts));
+}
+
+VertexId Topology::add_switch() {
+  if (routed_) throw std::logic_error("Topology: add_switch after build_routes");
+  out_.emplace_back();
+  return static_cast<VertexId>(out_.size() - 1);
+}
+
+std::pair<std::int32_t, std::int32_t> Topology::connect(VertexId a,
+                                                        VertexId b) {
+  if (routed_) throw std::logic_error("Topology: connect after build_routes");
+  if (a < 0 || b < 0 || a >= vertices() || b >= vertices() || a == b) {
+    throw std::invalid_argument("Topology: bad connect endpoints");
+  }
+  const std::int32_t ab = n_links_++;
+  const std::int32_t ba = n_links_++;
+  out_[static_cast<std::size_t>(a)].push_back(EdgeRef{b, ab});
+  out_[static_cast<std::size_t>(b)].push_back(EdgeRef{a, ba});
+  ends_.push_back({a, b});
+  ends_.push_back({b, a});
+  return {ab, ba};
+}
+
+void Topology::build_routes() {
+  const std::size_t v = static_cast<std::size_t>(vertices());
+  const std::size_t h = static_cast<std::size_t>(hosts_);
+  dist_.assign(v * h, static_cast<std::uint16_t>(kUnreachable));
+  std::vector<VertexId> frontier;
+  std::vector<VertexId> next;
+  for (int dst = 0; dst < hosts_; ++dst) {
+    auto d = [&](VertexId x) -> std::uint16_t& {
+      return dist_[static_cast<std::size_t>(x) * h +
+                   static_cast<std::size_t>(dst)];
+    };
+    d(dst) = 0;
+    frontier.assign(1, dst);
+    std::uint16_t depth = 0;
+    while (!frontier.empty()) {
+      ++depth;
+      next.clear();
+      for (VertexId u : frontier) {
+        for (const EdgeRef& e : out_[static_cast<std::size_t>(u)]) {
+          if (d(e.to) == kUnreachable) {
+            d(e.to) = depth;
+            next.push_back(e.to);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+  }
+  routed_ = true;
+}
+
+int Topology::candidate_count(VertexId v, int dst) const {
+  const int dv = distance(v, dst);
+  if (dv == kUnreachable || dv == 0) return 0;
+  int n = 0;
+  for (const EdgeRef& e : out_[static_cast<std::size_t>(v)]) {
+    if (distance(e.to, dst) == dv - 1) ++n;
+  }
+  return n;
+}
+
+EdgeRef Topology::candidate(VertexId v, int dst, int k) const {
+  const int dv = distance(v, dst);
+  for (const EdgeRef& e : out_[static_cast<std::size_t>(v)]) {
+    if (distance(e.to, dst) == dv - 1 && k-- == 0) return e;
+  }
+  throw std::out_of_range("Topology: candidate index out of range");
+}
+
+EdgeRef Topology::pick(VertexId v, int src, int dst,
+                       std::uint32_t flow) const {
+  const int n = candidate_count(v, dst);
+  if (n == 0) throw std::out_of_range("Topology: no route to destination");
+  if (n == 1) return candidate(v, dst, 0);
+  // SplitMix64-style finisher over (src, dst, flow): deterministic and
+  // well mixed, so flows spread evenly across the equal-cost set.
+  std::uint64_t z = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+                     << 32) ^
+                    static_cast<std::uint32_t>(dst);
+  z += 0x9e3779b97f4a7c15ULL * (flow + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return candidate(v, dst, static_cast<int>(z % static_cast<std::uint64_t>(n)));
+}
+
+std::string Topology::vertex_name(VertexId v) const {
+  std::string out(1, is_host(v) ? 'h' : 's');
+  out += std::to_string(is_host(v) ? v : v - hosts_);
+  return out;
+}
+
+}  // namespace pp::hw::fabric

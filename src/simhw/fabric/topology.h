@@ -1,0 +1,101 @@
+// Switch-fabric graph and deterministic routing tables.
+//
+// The fabric models a cluster interconnect as a directed multigraph:
+// host vertices 0..hosts-1 (one per hw::Node) plus switch vertices,
+// joined by duplex connections registered in a fixed order. Routing
+// follows the protoGraph/protoRouteTable idiom: a per-destination
+// distance table built once by BFS over the undirected graph, then
+// queried at forwarding time for the equal-cost next-hop set (all
+// out-edges one hop closer to the destination). Because every route
+// step strictly decreases the remaining distance, routes are loop-free
+// by construction — on fat-tree and Clos shapes every shortest path is
+// an up/down path, which is the classical deadlock-free route set.
+//
+// ECMP selection is a pure function of (src, dst, flow): the same flow
+// always takes the same path, in every shard layout and scheduler, so
+// fabric runs stay bit-identical while distinct flows still spread
+// across the equal-cost uplinks.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pp::hw::fabric {
+
+/// Vertex id: hosts first (0..hosts-1), switches after.
+using VertexId = std::int32_t;
+
+/// One directed out-edge: the vertex it leads to and the global index
+/// of the Link object that realizes it.
+struct EdgeRef {
+  VertexId to = -1;
+  std::int32_t link = -1;
+};
+
+class Topology {
+ public:
+  static constexpr int kUnreachable = std::numeric_limits<std::uint16_t>::max();
+
+  explicit Topology(int hosts);
+
+  /// Adds a switch vertex; returns its VertexId (>= hosts()).
+  VertexId add_switch();
+
+  /// Registers a duplex connection between two vertices. Returns the
+  /// global link indices {a->b, b->a}; links are numbered in
+  /// registration order, which fixes both the ECMP candidate order and
+  /// the Link array layout in the Fabric.
+  std::pair<std::int32_t, std::int32_t> connect(VertexId a, VertexId b);
+
+  int hosts() const noexcept { return hosts_; }
+  int vertices() const noexcept { return static_cast<int>(out_.size()); }
+  int links() const noexcept { return n_links_; }
+  bool is_host(VertexId v) const noexcept { return v < hosts_; }
+  const std::vector<EdgeRef>& out(VertexId v) const {
+    return out_[static_cast<std::size_t>(v)];
+  }
+  /// Endpoints of a directed link: {tail vertex, head vertex}.
+  std::pair<VertexId, VertexId> link_ends(std::int32_t link) const {
+    return ends_[static_cast<std::size_t>(link)];
+  }
+
+  /// Builds the per-destination-host distance tables (BFS from each
+  /// host over the undirected graph). Call once, after every connect.
+  void build_routes();
+
+  /// Hop count from `v` to host `dst`, or kUnreachable.
+  int distance(VertexId v, int dst) const {
+    return dist_[static_cast<std::size_t>(v) * static_cast<std::size_t>(hosts_) +
+                 static_cast<std::size_t>(dst)];
+  }
+
+  /// Number of equal-cost next hops from `v` toward host `dst` (out-
+  /// edges whose head is exactly one hop closer).
+  int candidate_count(VertexId v, int dst) const;
+
+  /// The k-th equal-cost next hop (k < candidate_count), in edge
+  /// registration order.
+  EdgeRef candidate(VertexId v, int dst, int k) const;
+
+  /// Deterministic ECMP pick among the equal-cost next hops for a frame
+  /// of flow `flow` traveling src -> dst. Pure function of its
+  /// arguments; throws std::out_of_range when dst is unreachable.
+  EdgeRef pick(VertexId v, int src, int dst, std::uint32_t flow) const;
+
+  /// Human-readable vertex name ("h12" / "s3") for link labels.
+  std::string vertex_name(VertexId v) const;
+
+ private:
+  int hosts_;
+  int n_links_ = 0;
+  bool routed_ = false;
+  std::vector<std::vector<EdgeRef>> out_;
+  std::vector<std::pair<VertexId, VertexId>> ends_;
+  std::vector<std::uint16_t> dist_;  // [vertex * hosts_ + dst]
+};
+
+}  // namespace pp::hw::fabric

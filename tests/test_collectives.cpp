@@ -1,10 +1,18 @@
-// Tests for multi-node ring worlds and collective operations.
+// Tests for multi-node ring worlds and collective operations: the ring
+// algorithms over RingWorld, eager communicator validation, and the
+// tree/dissemination algorithms over the switch fabric with
+// audit-ledger oracles (exactly-once, conserved) matching their ring
+// counterparts.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
+#include <stdexcept>
 #include <vector>
 
+#include "audit/audit.h"
 #include "mp/collectives.h"
+#include "mp/fabric_lib.h"
 #include "mp/mpich.h"
 #include "mp/mplite.h"
 #include "mp/world.h"
@@ -217,6 +225,208 @@ TEST_P(RingSizes, BarrierAndAllreduceComplete) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Rings, RingSizes, ::testing::Values(2, 3, 4, 5, 8));
+
+// ---------------------------------------------------------------------------
+// Eager communicator validation (error paths)
+// ---------------------------------------------------------------------------
+
+TEST(Validation, NullLibraryThrowsAtTheCallSite) {
+  const RingComm bad{nullptr, 0, 4};
+  EXPECT_THROW(ring_barrier(bad), std::invalid_argument);
+  EXPECT_THROW(ring_broadcast(bad, 0, 100), std::invalid_argument);
+  EXPECT_THROW(ring_allreduce(bad, 100), std::invalid_argument);
+  EXPECT_THROW(ring_allgather(bad, 100), std::invalid_argument);
+  EXPECT_THROW(tree_broadcast(bad, 0, 100), std::invalid_argument);
+  EXPECT_THROW(dissemination_barrier(bad), std::invalid_argument);
+  EXPECT_THROW(dissemination_allgather(bad, 100), std::invalid_argument);
+  EXPECT_THROW(doubling_allreduce(bad, 100), std::invalid_argument);
+}
+
+TEST(Validation, BadSizeAndRankThrow) {
+  RingWorld world = make_ring(2);
+  auto libs = world.build<MpLite>();
+  Library* lib = libs[0].get();
+  EXPECT_THROW(ring_barrier(RingComm{lib, 0, 0}), std::invalid_argument);
+  EXPECT_THROW(ring_barrier(RingComm{lib, 0, -3}), std::invalid_argument);
+  EXPECT_THROW(ring_barrier(RingComm{lib, 2, 2}), std::invalid_argument);
+  EXPECT_THROW(ring_barrier(RingComm{lib, -1, 2}), std::invalid_argument);
+  EXPECT_THROW(doubling_allreduce(RingComm{lib, 5, 2}, 64),
+               std::invalid_argument);
+  // Roots are validated too.
+  EXPECT_THROW(ring_broadcast(RingComm{lib, 0, 2}, 2, 100),
+               std::invalid_argument);
+  EXPECT_THROW(tree_broadcast(RingComm{lib, 0, 2}, -1, 100),
+               std::invalid_argument);
+  // The throw is eager — no coroutine ran, so the world is untouched
+  // and a valid collective still works afterwards.
+  int completed = 0;
+  for (int i = 0; i < 2; ++i) {
+    world.sim.spawn(
+        [](RingComm comm, int& done) -> sim::Task<void> {
+          co_await ring_barrier(comm);
+          ++done;
+        }(comm_for(libs, i), completed),
+        "rank" + std::to_string(i));
+  }
+  world.sim.run();
+  EXPECT_EQ(completed, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-algorithm audit-ledger oracles over the switch fabric
+// ---------------------------------------------------------------------------
+
+struct LedgerRun {
+  audit::Summary summary;
+  sim::SimTime elapsed = 0;
+  int completed = 0;
+};
+
+/// Runs `per_rank` on every rank of an N-node fabric under a delivery
+/// auditor and closes the ledger as a completed run.
+LedgerRun audited_fabric_run(
+    int ranks, const std::function<sim::Task<void>(RingComm)>& per_rank) {
+  audit::Auditor aud;
+  FabricWorldOptions opt;
+  opt.shards = 1;
+  opt.host = hw::presets::pentium4_pc();
+  opt.auditor = &aud;
+  FabricWorld world(ranks, opt);
+  LedgerRun out;
+  for (int r = 0; r < ranks; ++r) {
+    world.spawn(r,
+                [](const std::function<sim::Task<void>(RingComm)>& body,
+                   RingComm comm, int& done) -> sim::Task<void> {
+                  co_await body(comm);
+                  ++done;
+                }(per_rank, world.comm(r), out.completed),
+                "rank" + std::to_string(r));
+  }
+  world.run();
+  out.elapsed = world.simulator(0).now();
+  out.summary = aud.finalize(audit::RunOutcome::kCompleted);
+  return out;
+}
+
+void expect_clean_ledger(const LedgerRun& run, int ranks,
+                         const char* what) {
+  EXPECT_EQ(run.completed, ranks) << what;
+  EXPECT_EQ(run.summary.violations, 0u) << what;
+  EXPECT_EQ(run.summary.unaccounted, 0u) << what;
+  EXPECT_EQ(run.summary.delivered, run.summary.injected) << what;
+  EXPECT_GT(run.summary.injected, 0u) << what;
+}
+
+class FabricCollectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(FabricCollectives, TreeBroadcastLedgerMatchesRing) {
+  const int n = GetParam();
+  const std::uint64_t bytes = 32 << 10;
+  const LedgerRun ring = audited_fabric_run(n, [&](RingComm c) {
+    return ring_broadcast(c, 1 % n, bytes);
+  });
+  const LedgerRun tree = audited_fabric_run(n, [&](RingComm c) {
+    return tree_broadcast(c, 1 % n, bytes);
+  });
+  expect_clean_ledger(ring, n, "ring_broadcast");
+  expect_clean_ledger(tree, n, "tree_broadcast");
+  // Both algorithms move the identical payload total: N-1 full copies.
+  EXPECT_EQ(tree.summary.injected_bytes, ring.summary.injected_bytes);
+  EXPECT_EQ(ring.summary.injected_bytes,
+            static_cast<std::uint64_t>(n - 1) * bytes);
+}
+
+TEST_P(FabricCollectives, DisseminationBarrierLedgerMatchesRing) {
+  const int n = GetParam();
+  const LedgerRun ring =
+      audited_fabric_run(n, [](RingComm c) { return ring_barrier(c); });
+  const LedgerRun diss = audited_fabric_run(
+      n, [](RingComm c) { return dissemination_barrier(c); });
+  expect_clean_ledger(ring, n, "ring_barrier");
+  expect_clean_ledger(diss, n, "dissemination_barrier");
+  // O(log N) rounds beat the O(N) token ring once the ring is long.
+  if (n >= 64) {
+    EXPECT_LT(diss.elapsed, ring.elapsed);
+  }
+}
+
+TEST_P(FabricCollectives, DisseminationAllgatherLedgerMatchesRing) {
+  const int n = GetParam();
+  const std::uint64_t block = 2048;
+  const LedgerRun ring = audited_fabric_run(
+      n, [&](RingComm c) { return ring_allgather(c, block); });
+  const LedgerRun diss = audited_fabric_run(
+      n, [&](RingComm c) { return dissemination_allgather(c, block); });
+  expect_clean_ledger(ring, n, "ring_allgather");
+  expect_clean_ledger(diss, n, "dissemination_allgather");
+  // Same total payload either way: every rank ends with N-1 new blocks.
+  EXPECT_EQ(diss.summary.injected_bytes, ring.summary.injected_bytes);
+}
+
+TEST_P(FabricCollectives, DoublingAllreduceLedgerIsCleanLikeRing) {
+  const int n = GetParam();
+  const std::uint64_t bytes = 8 << 10;
+  const LedgerRun ring = audited_fabric_run(
+      n, [&](RingComm c) { return ring_allreduce(c, bytes); });
+  const LedgerRun dbl = audited_fabric_run(
+      n, [&](RingComm c) { return doubling_allreduce(c, bytes); });
+  expect_clean_ledger(ring, n, "ring_allreduce");
+  expect_clean_ledger(dbl, n, "doubling_allreduce");
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, FabricCollectives, ::testing::Values(4, 8, 64));
+
+// Odd sizes exercise the recursive-doubling fold/unfold preamble.
+TEST(FabricCollectives, DoublingAllreduceHandlesNonPowerOfTwo) {
+  for (int n : {3, 5, 6, 7}) {
+    const LedgerRun run = audited_fabric_run(
+        n, [](RingComm c) { return doubling_allreduce(c, 4096); });
+    expect_clean_ledger(run, n, "doubling_allreduce non-pow2");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-plan leg: lossy fabric completes or fails by decision
+// ---------------------------------------------------------------------------
+
+TEST(FabricCollectives, LossyFabricCompletesOrFailsByDecisionNeverHangs) {
+  int failures = 0;
+  int completions = 0;
+  for (double loss : {0.0, 0.02, 0.3}) {
+    audit::Auditor aud;
+    FabricWorldOptions opt;
+    opt.shards = 1;
+    opt.host = hw::presets::pentium4_pc();
+    opt.auditor = &aud;
+    opt.lib.delivery_timeout = sim::milliseconds(2);
+    FabricWorld world(8, opt);
+    if (loss > 0) world.fabric().set_loss(loss);
+    for (int r = 0; r < 8; ++r) {
+      world.spawn(r,
+                  [](RingComm comm) -> sim::Task<void> {
+                    co_await doubling_allreduce(comm, 16 << 10);
+                    co_await dissemination_barrier(comm);
+                  }(world.comm(r)),
+                  "rank" + std::to_string(r));
+    }
+    audit::RunOutcome outcome = audit::RunOutcome::kCompleted;
+    try {
+      world.run();
+      ++completions;
+    } catch (const sim::ProtocolFailure&) {
+      // The receive watchdog decided: a clean failure, not a hang.
+      ++failures;
+      outcome = audit::RunOutcome::kFailed;
+    }
+    // Any other exception type (DeadlockError, budget) fails the test.
+    const audit::Summary& s = aud.finalize(outcome);
+    EXPECT_EQ(s.violations, 0u) << "loss " << loss;
+    EXPECT_EQ(s.injected, s.delivered + s.failed_by_decision)
+        << "loss " << loss;
+  }
+  EXPECT_GE(completions, 1);  // the lossless leg always completes
+  EXPECT_GE(failures, 1);     // 30% loss cannot sneak through
+}
 
 }  // namespace
 }  // namespace pp::mp

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "bench/figures.h"
+#include "mp/collectives.h"
+#include "mp/fabric_lib.h"
 #include "netpipe/report.h"
 #include "sweep/sweep.h"
 
@@ -111,6 +113,107 @@ void check_figure(const std::string& prefix, sweep::SweepSpec spec,
       expect_close(g.mbps, p.mbps(), what + " mbps");
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fabric scaling curves: collective latency vs node count
+// ---------------------------------------------------------------------------
+
+/// Median-of-3 latency (last rank out minus first rank in) of one
+/// collective on an N-node fat-tree; the golden contract mirrors
+/// bench/scaling's measurement.
+sim::SimTime scaling_latency(
+    int nodes, const std::function<sim::Task<void>(mp::RingComm)>& op) {
+  constexpr int kIters = 3;
+  mp::FabricWorldOptions opt;
+  opt.shards = 1;
+  opt.host = hw::presets::pentium4_pc();
+  mp::FabricWorld world(nodes, opt);
+  std::vector<sim::SimTime> first_in(kIters,
+                                     std::numeric_limits<sim::SimTime>::max());
+  std::vector<sim::SimTime> last_out(kIters, 0);
+  for (int r = 0; r < nodes; ++r) {
+    world.spawn(
+        r,
+        [](mp::FabricWorld& w, int rank,
+           const std::function<sim::Task<void>(mp::RingComm)>& body,
+           std::vector<sim::SimTime>& in,
+           std::vector<sim::SimTime>& out) -> sim::Task<void> {
+          sim::Simulator& sm = w.simulator(rank);
+          const mp::RingComm comm = w.comm(rank);
+          for (int i = 0; i < kIters; ++i) {
+            const auto it = static_cast<std::size_t>(i);
+            in[it] = std::min(in[it], sm.now());
+            co_await body(comm);
+            out[it] = std::max(out[it], sm.now());
+          }
+        }(world, r, op, first_in, last_out),
+        "rank" + std::to_string(r));
+  }
+  world.run();
+  std::vector<sim::SimTime> lat(kIters);
+  for (int i = 0; i < kIters; ++i) lat[i] = last_out[i] - first_in[i];
+  std::sort(lat.begin(), lat.end());
+  return lat[kIters / 2];
+}
+
+/// One curve = one .dat; rows are "nodes time_us 0" (the throughput
+/// column is meaningless for a latency curve and pinned at zero).
+void check_scaling_curve(
+    const std::string& name, const std::vector<int>& nodes,
+    const std::function<sim::Task<void>(mp::RingComm)>& op) {
+  const std::filesystem::path path =
+      std::filesystem::path(PP_GOLDEN_DIR) / ("scaling_" + name + ".dat");
+  std::vector<DatRow> fresh;
+  for (int n : nodes) {
+    fresh.push_back(DatRow{static_cast<std::uint64_t>(n),
+                           sim::to_microseconds(scaling_latency(n, op)),
+                           0.0});
+  }
+
+  if (update_mode()) {
+    std::ofstream f(path);
+    f << "# nodes time_us mbps — collective latency vs node count\n";
+    for (const DatRow& r : fresh) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%llu %.6g %.6g\n",
+                    static_cast<unsigned long long>(r.bytes), r.time_us,
+                    r.mbps);
+      f << buf;
+    }
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  SCOPED_TRACE(path.string());
+  const auto golden = read_dat(path);
+  if (golden.empty()) return;  // read_dat already failed the test
+  ASSERT_EQ(golden.size(), fresh.size()) << "node-count set changed";
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    ASSERT_EQ(golden[i].bytes, fresh[i].bytes) << "node set changed";
+    expect_close(golden[i].time_us, fresh[i].time_us,
+                 name + " @ N=" + std::to_string(golden[i].bytes) +
+                     " time_us");
+  }
+}
+
+TEST(Golden, ScalingBarrier) {
+  const std::vector<int> nodes = {8, 16, 64};
+  check_scaling_curve("barrier_ring", nodes,
+                      [](mp::RingComm c) { return mp::ring_barrier(c); });
+  check_scaling_curve("barrier_dissemination", nodes, [](mp::RingComm c) {
+    return mp::dissemination_barrier(c);
+  });
+}
+
+TEST(Golden, ScalingAllreduce) {
+  const std::vector<int> nodes = {8, 16, 64};
+  constexpr std::uint64_t kBytes = 16 << 10;
+  check_scaling_curve("allreduce_ring", nodes, [](mp::RingComm c) {
+    return mp::ring_allreduce(c, kBytes);
+  });
+  check_scaling_curve("allreduce_doubling", nodes, [](mp::RingComm c) {
+    return mp::doubling_allreduce(c, kBytes);
+  });
 }
 
 TEST(Golden, Figure1) {
